@@ -1,0 +1,49 @@
+//! E10 bench: SVD backends head-to-head on the same corpus — the ablation
+//! DESIGN.md calls out for the truncated-SVD algorithm choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lsi_bench::common::scaled_corpus;
+use lsi_core::{LsiConfig, LsiIndex, SvdBackend};
+use lsi_ir::Weighting;
+use lsi_linalg::randomized::RandomizedSvdOptions;
+
+fn bench_backends(c: &mut Criterion) {
+    let exp = scaled_corpus(0.25, 0.05, 31);
+    let k = exp.model.config().num_topics;
+    let td = exp.td;
+
+    let mut group = c.benchmark_group("e10_backends");
+    group.sample_size(10);
+
+    let configs: Vec<(&str, SvdBackend)> = vec![
+        ("dense", SvdBackend::Dense),
+        ("lanczos", SvdBackend::default()),
+        (
+            "randomized",
+            SvdBackend::Randomized(RandomizedSvdOptions::default()),
+        ),
+    ];
+    for (name, backend) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    LsiIndex::build(
+                        &td,
+                        LsiConfig {
+                            rank: k,
+                            weighting: Weighting::Count,
+                            backend: backend.clone(),
+                        },
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

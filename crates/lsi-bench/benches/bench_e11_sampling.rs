@@ -1,0 +1,31 @@
+//! E11 bench: FKV column sampling vs two-step random projection at matched
+//! sketch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lsi_bench::common::scaled_corpus;
+use lsi_rp::{fkv_low_rank, two_step_lsi, ProjectionKind};
+
+fn bench_e11(c: &mut Criterion) {
+    let exp = scaled_corpus(0.3, 0.05, 71);
+    let a = exp.td.counts().clone();
+    let k = exp.model.config().num_topics;
+
+    let mut group = c.benchmark_group("e11_sampling");
+    group.sample_size(10);
+    for &sketch in &[4 * k, 16 * k] {
+        group.bench_with_input(BenchmarkId::new("rp_two_step", sketch), &sketch, |b, &s| {
+            b.iter(|| {
+                black_box(two_step_lsi(&a, k, s, ProjectionKind::OrthonormalSubspace, 1).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fkv", sketch), &sketch, |b, &s| {
+            b.iter(|| black_box(fkv_low_rank(&a, k, s, 1).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e11);
+criterion_main!(benches);

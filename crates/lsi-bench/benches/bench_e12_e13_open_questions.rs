@@ -1,0 +1,38 @@
+//! E12/E13 bench: the open-question experiments (topic mixtures, polysemy)
+//! end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_mixtures");
+    group.sample_size(10);
+    for &j in &[1usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("topics-per-doc-{j}")),
+            &j,
+            |b, &j| {
+                b.iter(|| {
+                    let r = lsi_bench::e12_mixtures::run(&[black_box(j)], 60, 81);
+                    black_box(r.rows[0].correlation)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_e13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_polysemy");
+    group.sample_size(10);
+    group.bench_function("docs-200", |b| {
+        b.iter(|| {
+            let r = lsi_bench::e13_polysemy::run(black_box(200), 91);
+            black_box(r.disambiguated_lsi_ap)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e12, bench_e13);
+criterion_main!(benches);

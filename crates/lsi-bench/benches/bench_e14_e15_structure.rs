@@ -1,0 +1,44 @@
+//! E14/E15 bench: document clustering (raw vs LSI space) and the
+//! style-perturbation sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_clustering");
+    group.sample_size(10);
+    for &eps in &[0.05f64, 0.2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps-{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let r = lsi_bench::e14_clustering::run(0.15, &[black_box(eps)], 101);
+                    black_box(r.rows[0].lsi_ari)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_e15(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_styles");
+    group.sample_size(10);
+    for &p in &[0.1f64, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p-{p}")),
+            &p,
+            |b, &p| {
+                b.iter(|| {
+                    let r = lsi_bench::e15_styles::run(4, &[black_box(p)], 111);
+                    black_box(r.rows[0].delta)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e14, bench_e15);
+criterion_main!(benches);

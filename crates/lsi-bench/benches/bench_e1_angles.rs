@@ -1,0 +1,26 @@
+//! E1 bench: the paper's angle experiment end-to-end (corpus generation,
+//! LSI build, pairwise angle statistics) at several corpus scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_angles");
+    group.sample_size(10);
+    for &scale in &[0.1f64, 0.2, 0.4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("scale-{scale}")),
+            &scale,
+            |b, &scale| {
+                b.iter(|| {
+                    let r = lsi_bench::e1_angles::run_scaled(black_box(scale), 42);
+                    black_box(r.intratopic_collapse_factor())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

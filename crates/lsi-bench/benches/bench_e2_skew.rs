@@ -1,0 +1,25 @@
+//! E2 bench: skew measurement across the ε sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_skew");
+    group.sample_size(10);
+    for &eps in &[0.0f64, 0.1, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps-{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let r = lsi_bench::e2_skew::run(black_box(0.15), &[eps], 7);
+                    black_box(r.rows[0].delta)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

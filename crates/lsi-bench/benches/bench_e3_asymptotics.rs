@@ -1,0 +1,26 @@
+//! E3 bench: skew measurement as document length grows — the full
+//! sample-then-index-then-measure pipeline per point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_asymptotics");
+    group.sample_size(10);
+    for &len in &[25usize, 100, 400] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("len-{len}")),
+            &len,
+            |b, &len| {
+                b.iter(|| {
+                    let r = lsi_bench::e3_asymptotics::run(&[black_box(len)], &[], 5);
+                    black_box(r.length_sweep[0].delta)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E4 bench: random projection + distortion measurement per target
+//! dimension l.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_jl");
+    group.sample_size(10);
+    for &l in &[25usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("l-{l}")), &l, |b, &l| {
+            b.iter(|| {
+                let r = lsi_bench::e4_jl::run(0.3, &[black_box(l)], 60, 13);
+                black_box(r.rows.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

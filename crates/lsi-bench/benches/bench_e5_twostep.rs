@@ -1,0 +1,34 @@
+//! E5 bench: the two-step RP + LSI pipeline per projection dimension l,
+//! against direct Lanczos LSI on the same matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lsi_bench::common::scaled_corpus;
+use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_rp::{two_step_lsi, ProjectionKind};
+
+fn bench_e5(c: &mut Criterion) {
+    let exp = scaled_corpus(0.3, 0.05, 99);
+    let a = exp.td.counts().clone();
+    let k = exp.model.config().num_topics;
+
+    let mut group = c.benchmark_group("e5_twostep");
+    group.sample_size(10);
+
+    group.bench_function("direct_lanczos", |b| {
+        b.iter(|| black_box(lanczos_svd(&a, k, &LanczosOptions::default()).unwrap()))
+    });
+
+    for &l in &[2 * k, 4 * k, 8 * k] {
+        group.bench_with_input(BenchmarkId::new("two_step", l), &l, |b, &l| {
+            b.iter(|| {
+                black_box(two_step_lsi(&a, k, l, ProjectionKind::OrthonormalSubspace, 3).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

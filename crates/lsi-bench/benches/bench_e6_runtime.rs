@@ -1,0 +1,46 @@
+//! E6 bench: direct LSI vs two-step as the vocabulary grows — the Section 5
+//! running-time claim, measured by Criterion rather than ad-hoc timers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lsi_bench::common::make_corpus;
+use lsi_corpus::SeparableConfig;
+use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_linalg::CsrMatrix;
+use lsi_rp::{two_step_lsi, ProjectionKind};
+
+fn corpus(n_terms: usize) -> CsrMatrix {
+    let k = 10;
+    let config = SeparableConfig {
+        universe_size: n_terms,
+        num_topics: k,
+        primary_terms_per_topic: n_terms / k,
+        epsilon: 0.05,
+        min_doc_len: 50,
+        max_doc_len: 100,
+    };
+    make_corpus(config, 200, 11).td.counts().clone()
+}
+
+fn bench_e6(c: &mut Criterion) {
+    let k = 10;
+    let l = 60;
+    let mut group = c.benchmark_group("e6_runtime");
+    group.sample_size(10);
+    for &n in &[1000usize, 2000, 4000] {
+        let a = corpus(n);
+        group.bench_with_input(BenchmarkId::new("direct", n), &a, |b, a| {
+            b.iter(|| black_box(lanczos_svd(a, k, &LanczosOptions::default()).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("two_step", n), &a, |b, a| {
+            b.iter(|| {
+                black_box(two_step_lsi(a, k, l, ProjectionKind::OrthonormalSubspace, 5).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E7 bench: the synonymy analysis pipeline (corpus with styled synonym
+//! pair, dense eigendecomposition of A·Aᵀ, LSI comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_synonymy");
+    group.sample_size(10);
+    for &docs in &[100usize, 400] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("docs-{docs}")),
+            &docs,
+            |b, &docs| {
+                b.iter(|| {
+                    let r = lsi_bench::e7_synonymy::run(black_box(docs), 31);
+                    black_box(r.report.lsi_cosine)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E8 bench: planted-partition generation + rank-k spectral recovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_graph");
+    group.sample_size(10);
+    for &k in &[4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("blocks-{k}")),
+            &k,
+            |b, &k| {
+                b.iter(|| {
+                    let r = lsi_bench::e8_graph::run(black_box(k), 12, &[0.05], 21);
+                    black_box(r.rows[0].ari)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E9 bench: the Eckart–Young challenge (SVD truncation vs competitor
+//! families) per competitor count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_eckart_young");
+    group.sample_size(10);
+    for &n_comp in &[10usize, 40] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("competitors-{n_comp}")),
+            &n_comp,
+            |b, &n_comp| {
+                b.iter(|| {
+                    let r = lsi_bench::e9_eckart_young::run(3, black_box(n_comp), 51);
+                    black_box(r.optimality_held())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e9);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Kernel microbenches for the linear-algebra substrate: dense SVD,
+//! symmetric eigen, Lanczos, sparse matvec — the primitives every
+//! experiment's cost decomposes into.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lsi_linalg::eigen::symmetric_eigen;
+use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_linalg::rng::{gaussian_matrix, seeded};
+use lsi_linalg::svd::svd;
+use lsi_linalg::{CsrMatrix, LinearOperator};
+
+fn bench_dense_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_svd");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let mut rng = seeded(n as u64);
+        let a = gaussian_matrix(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| black_box(svd(a).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetric_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_eigen");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let mut rng = seeded(n as u64);
+        let g = gaussian_matrix(&mut rng, n, n);
+        let sym = g.add(&g.transpose()).unwrap().scaled(0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sym, |b, a| {
+            b.iter(|| black_box(symmetric_eigen(a, 0.0).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lanczos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanczos_svd_k10");
+    group.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        let mut rng = seeded(n as u64);
+        let mut dense = gaussian_matrix(&mut rng, n, n / 2);
+        dense.map_inplace(|x| if x.abs() > 1.5 { x } else { 0.0 });
+        let a = CsrMatrix::from_dense(&dense, 0.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| black_box(lanczos_svd(a, 10, &LanczosOptions::default()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_matvec");
+    for &n in &[1000usize, 4000] {
+        let mut rng = seeded(n as u64);
+        let mut dense = gaussian_matrix(&mut rng, n, 500);
+        dense.map_inplace(|x| if x.abs() > 2.0 { x } else { 0.0 });
+        let a = CsrMatrix::from_dense(&dense, 0.0);
+        let x = vec![1.0; 500];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| black_box(a.apply(&x).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_svd,
+    bench_symmetric_eigen,
+    bench_lanczos,
+    bench_sparse_matvec
+);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Regenerates every experiment in the paper's evaluation.
+//!
+//! ```text
+//! reproduce [--exp e1|e2|…|e10|all] [--seed N] [--paper-scale]
+//! ```
+//!
+//! By default runs every experiment at a laptop-friendly scale; pass
+//! `--paper-scale` to run E1 at the paper's exact 2000×1000 configuration
+//! (slower; use a release build).
+
+use std::process::ExitCode;
+
+use lsi_bench::*;
+
+struct Args {
+    exp: String,
+    seed: u64,
+    paper_scale: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut exp = "all".to_owned();
+    let mut seed = 20260706u64;
+    let mut paper_scale = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--exp" => {
+                exp = it.next().ok_or("--exp needs a value")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--paper-scale" => paper_scale = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--exp e1|..|e15|all] [--seed N] [--paper-scale]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args {
+        exp,
+        seed,
+        paper_scale,
+    })
+}
+
+fn heading(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    const KNOWN: [&str; 16] = [
+        "all", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+        "e14", "e15",
+    ];
+    if !KNOWN.contains(&args.exp.as_str()) {
+        eprintln!(
+            "error: unknown experiment {:?}; expected one of {}",
+            args.exp,
+            KNOWN.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let seed = args.seed;
+    let all = args.exp == "all";
+
+    if all || args.exp == "e1" {
+        heading("E1", "pairwise document angles, original vs LSI space (the paper's table)");
+        let r = if args.paper_scale {
+            println!("(paper scale: 2000 terms, 20 topics, 1000 documents, rank 20)");
+            e1_angles::run_paper(seed)
+        } else {
+            println!("(scaled: 40% of the paper's dimensions)");
+            e1_angles::run_scaled(0.4, seed)
+        };
+        print!("{}", r.table());
+        if let Some(f) = r.intratopic_collapse_factor() {
+            println!("intratopic mean-angle collapse factor: {f:.1}x (paper: ~62x)");
+        }
+    }
+
+    if all || args.exp == "e2" {
+        heading("E2", "delta-skew vs separability epsilon (Theorems 2-3)");
+        let r = e2_skew::run(0.3, &[0.0, 0.01, 0.05, 0.1, 0.2, 0.3], seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e3" {
+        heading("E3", "skew asymptotics in document length and corpus size (Theorem 2)");
+        let r = e3_asymptotics::run(&[10, 25, 50, 100, 200, 400], &[50, 100, 200, 400, 800], seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e4" {
+        heading("E4", "Johnson-Lindenstrauss distance preservation (Lemma 2)");
+        let r = e4_jl::run(0.5, &[25, 50, 100, 200, 400], 150, seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e5" {
+        heading("E5", "two-step RP+LSI Frobenius recovery (Theorem 5)");
+        let r = e5_twostep::run(0.4, &[20, 40, 80, 160, 320], seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e6" {
+        heading("E6", "running time: direct LSI vs two-step (Section 5)");
+        let r = e6_runtime::run(
+            &[1000, 2000, 4000, 8000],
+            400,
+            10,
+            60,
+            2_000_000_000, // dense baseline capped at ~2 Gflop-equivalents
+            seed,
+        );
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e7" {
+        heading("E7", "synonymy: difference vector is a trailing eigenvector (Section 4)");
+        let r = e7_synonymy::run(400, seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e8" {
+        heading("E8", "spectral recovery of planted high-conductance subgraphs (Theorem 6)");
+        let r = e8_graph::run(8, 15, &[0.0, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0], seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e9" {
+        heading("E9", "Eckart-Young optimality of the truncated SVD (Theorem 1)");
+        let r = e9_eckart_young::run(4, 40, seed);
+        print!("{}", r.table());
+        println!(
+            "optimality held across all competitors: {}",
+            r.optimality_held()
+        );
+    }
+
+    if all || args.exp == "e10" {
+        heading("E10", "ablations: SVD backend, projection ensemble, weighting scheme");
+        let r = e10_ablations::run(0.3, seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e11" {
+        heading("E11", "speedups head-to-head: RP+LSI vs FKV column sampling (Section 5)");
+        let r = e11_sampling::run(0.3, &[20, 40, 80, 160], seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e12" {
+        heading("E12", "open question: documents on several topics (Section 6)");
+        let r = e12_mixtures::run(&[1, 2, 3, 4], 120, seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e13" {
+        heading("E13", "open question: does LSI address polysemy? (Section 6)");
+        let r = e13_polysemy::run(300, seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e14" {
+        heading("E14", "document classification: k-means in raw vs LSI space (Section 4)");
+        let r = e14_clustering::run(0.3, &[0.02, 0.05, 0.1, 0.2], seed);
+        print!("{}", r.table());
+    }
+
+    if all || args.exp == "e15" {
+        heading("E15", "styles as the perturbation F of Theorem 3 (Definition 3)");
+        let r = e15_styles::run(5, &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], seed);
+        print!("{}", r.table());
+    }
+
+    ExitCode::SUCCESS
+}

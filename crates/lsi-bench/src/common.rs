@@ -1,0 +1,94 @@
+//! Shared helpers for the experiment suite.
+
+use lsi_corpus::{GeneratedCorpus, SeparableConfig, SeparableModel};
+use lsi_ir::TermDocumentMatrix;
+use lsi_linalg::rng::seeded;
+use lsi_linalg::Matrix;
+
+/// A generated experiment corpus with everything downstream steps need.
+pub struct ExperimentCorpus {
+    /// The separable model it was drawn from.
+    pub model: SeparableModel,
+    /// The sampled corpus.
+    pub corpus: GeneratedCorpus,
+    /// Its term–document matrix (raw counts).
+    pub td: TermDocumentMatrix,
+}
+
+/// Samples a corpus of `m` documents from an ε-separable model.
+pub fn make_corpus(config: SeparableConfig, m: usize, seed: u64) -> ExperimentCorpus {
+    let model = SeparableModel::build(config).expect("valid experiment configuration");
+    let mut rng = seeded(seed);
+    let corpus = model.model().sample_corpus(m, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&corpus).expect("corpus fits its universe");
+    ExperimentCorpus { model, corpus, td }
+}
+
+/// The paper's exact Section 4 corpus (2000 terms, 20 topics, 1000 docs).
+pub fn paper_corpus(seed: u64) -> ExperimentCorpus {
+    make_corpus(SeparableConfig::paper_experiment(), 1000, seed)
+}
+
+/// A proportionally scaled-down paper corpus for fast benches: `scale` in
+/// (0, 1] shrinks terms, topics and documents together.
+pub fn scaled_corpus(scale: f64, epsilon: f64, seed: u64) -> ExperimentCorpus {
+    let topics = ((20.0 * scale).round() as usize).max(2);
+    let terms_per_topic = ((100.0 * scale).round() as usize).max(5);
+    let docs = ((1000.0 * scale).round() as usize).max(20);
+    let config = SeparableConfig {
+        universe_size: topics * terms_per_topic,
+        num_topics: topics,
+        primary_terms_per_topic: terms_per_topic,
+        epsilon,
+        min_doc_len: 50,
+        max_doc_len: 100,
+    };
+    make_corpus(config, docs, seed)
+}
+
+/// Document vectors in the **original term space** as rows (`m × n`), the
+/// representation whose pairwise angles the paper compares against.
+pub fn original_space_rows(td: &TermDocumentMatrix) -> Matrix {
+    td.counts().transpose().to_dense_matrix()
+}
+
+/// Wall-clock seconds for one invocation of `f`.
+pub fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Formats a `f64` with 4 significant decimals, aligned for tables.
+pub fn fmt(x: f64) -> String {
+    format!("{x:>10.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_corpus_dimensions() {
+        let e = scaled_corpus(0.2, 0.05, 1);
+        assert_eq!(e.model.config().num_topics, 4);
+        assert_eq!(e.model.config().primary_terms_per_topic, 20);
+        assert_eq!(e.td.n_docs(), 200);
+        assert_eq!(e.td.n_terms(), 80);
+    }
+
+    #[test]
+    fn original_space_rows_shape() {
+        let e = scaled_corpus(0.1, 0.05, 2);
+        let rows = original_space_rows(&e.td);
+        assert_eq!(rows.nrows(), e.td.n_docs());
+        assert_eq!(rows.ncols(), e.td.n_terms());
+    }
+
+    #[test]
+    fn time_secs_returns_value() {
+        let (v, s) = time_secs(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! E11 — the two speedups of Section 5 head-to-head: random projection +
+//! LSI (Theorem 5) vs the Frieze–Kannan–Vempala column-sampling Monte Carlo
+//! algorithm \[15\], both measured by their excess Frobenius error over the
+//! rank-k optimum at matched sketch sizes.
+
+use lsi_linalg::LinearOperator;
+use lsi_rp::{fkv_low_rank, two_step_lsi, ProjectionKind};
+
+use crate::common::scaled_corpus;
+use crate::e5_twostep::direct_error_sq_lanczos;
+
+/// One row of the sketch-size sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct E11Row {
+    /// Sketch size: projection dimension `l` for RP, sample count `s` for
+    /// FKV (matched so both methods look at comparable sketches).
+    pub sketch: usize,
+    /// Excess error fraction of the two-step RP pipeline.
+    pub rp_excess: f64,
+    /// Excess error fraction of FKV column sampling.
+    pub fkv_excess: f64,
+}
+
+/// Sweep result.
+pub struct E11Result {
+    /// Rank k.
+    pub k: usize,
+    /// Direct rank-k error fraction, for reference.
+    pub direct_error_frac: f64,
+    /// One row per sketch size.
+    pub rows: Vec<E11Row>,
+}
+
+impl E11Result {
+    /// Renders a table.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "rank k = {}; direct rank-k error fraction {:.4}\n",
+            self.k, self.direct_error_frac
+        );
+        out.push_str("sketch   RP+LSI excess   FKV sampling excess\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>6} {:>15.4} {:>21.4}\n",
+                r.sketch, r.rp_excess, r.fkv_excess
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep at corpus `scale` over matched sketch sizes.
+pub fn run(scale: f64, sketches: &[usize], seed: u64) -> E11Result {
+    let exp = scaled_corpus(scale, 0.05, seed);
+    let a = exp.td.counts();
+    let k = exp.model.config().num_topics;
+    let total = a.frobenius_sq();
+    let direct = direct_error_sq_lanczos(a, k);
+
+    let rows = sketches
+        .iter()
+        .filter(|&&s| s >= 2 * k && s <= a.nrows())
+        .map(|&sketch| {
+            let rp = two_step_lsi(a, k, sketch, ProjectionKind::OrthonormalSubspace, seed ^ 0x11)
+                .expect("validated dimensions");
+            let fkv = fkv_low_rank(a, k, sketch, seed ^ 0x22).expect("validated dimensions");
+            E11Row {
+                sketch,
+                rp_excess: (rp.error_sq - direct) / total,
+                fkv_excess: (fkv.error_sq - direct) / total,
+            }
+        })
+        .collect();
+
+    E11Result {
+        k,
+        direct_error_frac: direct / total,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_methods_converge_with_sketch_size() {
+        let r = run(0.2, &[16, 64], 71);
+        assert_eq!(r.rows.len(), 2);
+        let first = &r.rows[0];
+        let last = &r.rows[1];
+        assert!(
+            last.rp_excess <= first.rp_excess + 0.02,
+            "RP not converging: {} -> {}",
+            first.rp_excess,
+            last.rp_excess
+        );
+        assert!(
+            last.fkv_excess <= first.fkv_excess + 0.02,
+            "FKV not converging: {} -> {}",
+            first.fkv_excess,
+            last.fkv_excess
+        );
+        // At a generous sketch both are near the optimum (RP can go
+        // negative: it keeps rank 2k).
+        assert!(last.rp_excess < 0.08, "RP excess {}", last.rp_excess);
+        assert!(last.fkv_excess < 0.15, "FKV excess {}", last.fkv_excess);
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(0.12, &[20], 7);
+        assert!(r.table().contains("FKV"));
+    }
+}

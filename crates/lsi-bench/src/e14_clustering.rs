@@ -1,0 +1,118 @@
+//! E14 — "LSI does a particularly good job of classifying documents when
+//! applied to such a corpus" (Section 4, right after the δ-skew
+//! definition): unsupervised document clustering in raw term space vs
+//! rank-k LSI space, scored by adjusted Rand index against the generating
+//! topics.
+
+use lsi_core::{LsiConfig, LsiIndex};
+use lsi_graph::{adjusted_rand_index, kmeans};
+use lsi_linalg::rng::seeded;
+use lsi_linalg::{vector, Matrix};
+
+use crate::common::{original_space_rows, scaled_corpus};
+
+/// One clustering comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct E14Row {
+    /// Model separability ε.
+    pub epsilon: f64,
+    /// k-means ARI on raw term-space document vectors (cosine-normalized).
+    pub raw_ari: f64,
+    /// k-means ARI on LSI document representations.
+    pub lsi_ari: f64,
+}
+
+/// Sweep result.
+pub struct E14Result {
+    /// One row per ε.
+    pub rows: Vec<E14Row>,
+}
+
+impl E14Result {
+    /// Renders a table.
+    pub fn table(&self) -> String {
+        let mut out = String::from("epsilon   raw-space ARI   LSI-space ARI\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>7.3} {:>15.4} {:>15.4}\n",
+                r.epsilon, r.raw_ari, r.lsi_ari
+            ));
+        }
+        out
+    }
+}
+
+/// Row-normalizes a matrix copy so k-means clusters by direction (cosine
+/// geometry), matching how both spaces are actually used for retrieval.
+fn normalized_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.nrows() {
+        let n = vector::norm(out.row(i));
+        if n > 0.0 {
+            for x in out.row_mut(i) {
+                *x /= n;
+            }
+        }
+    }
+    out
+}
+
+/// Runs the comparison across separability levels.
+pub fn run(scale: f64, epsilons: &[f64], seed: u64) -> E14Result {
+    let rows = epsilons
+        .iter()
+        .map(|&eps| {
+            let exp = scaled_corpus(scale, eps, seed);
+            let k = exp.model.config().num_topics;
+            let truth: Vec<usize> = exp
+                .td
+                .topic_labels()
+                .iter()
+                .map(|l| l.expect("pure model"))
+                .collect();
+
+            let raw = normalized_rows(&original_space_rows(&exp.td));
+            let raw_labels = kmeans(&raw, k, &mut seeded(seed ^ 0xaa));
+            let raw_ari = adjusted_rand_index(&raw_labels, &truth);
+
+            let index = LsiIndex::build(&exp.td, LsiConfig::with_rank(k))
+                .expect("feasible rank");
+            let lsi = normalized_rows(index.doc_representations());
+            let lsi_labels = kmeans(&lsi, k, &mut seeded(seed ^ 0xbb));
+            let lsi_ari = adjusted_rand_index(&lsi_labels, &truth);
+
+            E14Row {
+                epsilon: eps,
+                raw_ari,
+                lsi_ari,
+            }
+        })
+        .collect();
+    E14Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsi_space_clusters_at_least_as_well() {
+        let r = run(0.15, &[0.05, 0.2], 101);
+        for row in &r.rows {
+            assert!(
+                row.lsi_ari >= row.raw_ari - 0.05,
+                "eps {}: LSI {} below raw {}",
+                row.epsilon,
+                row.lsi_ari,
+                row.raw_ari
+            );
+            assert!(row.lsi_ari > 0.9, "eps {}: LSI ARI {}", row.epsilon, row.lsi_ari);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(0.1, &[0.05], 5);
+        assert!(r.table().contains("LSI-space ARI"));
+    }
+}

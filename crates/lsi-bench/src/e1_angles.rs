@@ -1,0 +1,97 @@
+//! E1 — the paper's table (Section 4 "Experiments"): intratopic and
+//! intertopic pairwise document angles, original space vs rank-k LSI space.
+
+use lsi_core::angles::{format_report, pairwise_angle_stats, PairAngleReport};
+use lsi_core::{LsiConfig, LsiIndex};
+
+use crate::common::{original_space_rows, paper_corpus, scaled_corpus, ExperimentCorpus};
+
+/// Outcome of the angle experiment.
+pub struct E1Result {
+    /// Angle statistics in the original term space.
+    pub original: PairAngleReport,
+    /// Angle statistics in the rank-k LSI space.
+    pub lsi: PairAngleReport,
+    /// Rank used (the number of topics).
+    pub rank: usize,
+}
+
+impl E1Result {
+    /// Renders the paper's table.
+    pub fn table(&self) -> String {
+        format_report(&self.original, &self.lsi)
+    }
+
+    /// The paper's headline effect: how many times smaller the average
+    /// intratopic angle is in LSI space (paper: 1.09 → 0.0177, ≈ 62×).
+    pub fn intratopic_collapse_factor(&self) -> Option<f64> {
+        let orig = self.original.intratopic?.mean;
+        let lsi = self.lsi.intratopic?.mean;
+        (lsi > 0.0).then(|| orig / lsi)
+    }
+}
+
+fn run_on(exp: &ExperimentCorpus) -> E1Result {
+    let rank = exp.model.config().num_topics;
+    let labels = exp.td.topic_labels().to_vec();
+
+    let original_rows = original_space_rows(&exp.td);
+    let original = pairwise_angle_stats(&original_rows, &labels);
+
+    let index = LsiIndex::build(&exp.td, LsiConfig::with_rank(rank))
+        .expect("experiment corpus always admits rank = #topics");
+    let lsi = pairwise_angle_stats(index.doc_representations(), &labels);
+
+    E1Result {
+        original,
+        lsi,
+        rank,
+    }
+}
+
+/// Runs E1 at the paper's exact configuration (2000 terms, 20 topics,
+/// 1000 documents, rank-20 LSI).
+pub fn run_paper(seed: u64) -> E1Result {
+    run_on(&paper_corpus(seed))
+}
+
+/// Runs E1 on a proportionally scaled-down corpus (for benches and tests).
+pub fn run_scaled(scale: f64, seed: u64) -> E1Result {
+    run_on(&scaled_corpus(scale, 0.05, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angles_collapse_on_small_corpus() {
+        let r = run_scaled(0.15, 42);
+        let orig_intra = r.original.intratopic.unwrap();
+        let lsi_intra = r.lsi.intratopic.unwrap();
+        let lsi_inter = r.lsi.intertopic.unwrap();
+
+        // The paper's qualitative shape: intratopic angles collapse…
+        assert!(
+            lsi_intra.mean < orig_intra.mean / 5.0,
+            "no collapse: {} -> {}",
+            orig_intra.mean,
+            lsi_intra.mean
+        );
+        // …while intertopic pairs stay essentially orthogonal on average.
+        assert!(
+            lsi_inter.mean > 1.2,
+            "intertopic mean collapsed: {}",
+            lsi_inter.mean
+        );
+        assert!(r.intratopic_collapse_factor().unwrap() > 5.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run_scaled(0.1, 7);
+        let t = r.table();
+        assert!(t.contains("Intratopic"));
+        assert!(t.contains("LSI space"));
+    }
+}

@@ -1,0 +1,106 @@
+//! E3 — the asymptotics behind Theorem 2: skew shrinks as documents get
+//! longer and the corpus gets larger ("with probability 1 − O(m⁻¹)…
+//! assuming that the length of each document in the corpus is large
+//! enough").
+
+use lsi_core::skew::measure_skew;
+use lsi_core::{LsiConfig, LsiIndex};
+use lsi_corpus::SeparableConfig;
+
+use crate::common::make_corpus;
+
+/// One measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct E3Row {
+    /// Number of documents m.
+    pub n_docs: usize,
+    /// Document length (fixed per point).
+    pub doc_len: usize,
+    /// Measured δ-skew.
+    pub delta: f64,
+}
+
+/// Sweep result: a document-length sweep and a corpus-size sweep.
+pub struct E3Result {
+    /// δ at varying document length (fixed m).
+    pub length_sweep: Vec<E3Row>,
+    /// δ at varying corpus size (fixed length).
+    pub size_sweep: Vec<E3Row>,
+}
+
+impl E3Result {
+    /// Renders both sweeps.
+    pub fn table(&self) -> String {
+        let mut out = String::from("doc length sweep (m fixed):\n  len      delta\n");
+        for r in &self.length_sweep {
+            out.push_str(&format!("{:>5} {:>10.4}\n", r.doc_len, r.delta));
+        }
+        out.push_str("corpus size sweep (length fixed):\n    m      delta\n");
+        for r in &self.size_sweep {
+            out.push_str(&format!("{:>5} {:>10.4}\n", r.n_docs, r.delta));
+        }
+        out
+    }
+}
+
+fn measure(topics: usize, terms_per_topic: usize, m: usize, len: usize, seed: u64) -> E3Row {
+    let config = SeparableConfig {
+        universe_size: topics * terms_per_topic,
+        num_topics: topics,
+        primary_terms_per_topic: terms_per_topic,
+        epsilon: 0.05,
+        min_doc_len: len,
+        max_doc_len: len,
+    };
+    let exp = make_corpus(config, m, seed);
+    let index = LsiIndex::build(&exp.td, LsiConfig::with_rank(topics))
+        .expect("experiment corpus admits rank = #topics");
+    let skew = measure_skew(index.doc_representations(), exp.td.topic_labels())
+        .expect("enough labeled documents");
+    E3Row {
+        n_docs: m,
+        doc_len: len,
+        delta: skew.delta,
+    }
+}
+
+/// Runs both sweeps at a given base size.
+pub fn run(doc_lens: &[usize], corpus_sizes: &[usize], seed: u64) -> E3Result {
+    let topics = 4;
+    let terms = 25;
+    let length_sweep = doc_lens
+        .iter()
+        .map(|&len| measure(topics, terms, 150, len, seed))
+        .collect();
+    let size_sweep = corpus_sizes
+        .iter()
+        .map(|&m| measure(topics, terms, m, 60, seed.wrapping_add(1)))
+        .collect();
+    E3Result {
+        length_sweep,
+        size_sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_documents_reduce_skew() {
+        let r = run(&[10, 200], &[100], 5);
+        let short = r.length_sweep[0].delta;
+        let long = r.length_sweep[1].delta;
+        assert!(
+            long < short,
+            "longer docs should reduce skew: {short} -> {long}"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(&[20], &[50], 2);
+        assert!(r.table().contains("doc length sweep"));
+        assert!(r.table().contains("corpus size sweep"));
+    }
+}

@@ -1,0 +1,113 @@
+//! E4 — empirical Johnson–Lindenstrauss (Lemma 2): distance and
+//! inner-product distortion of random projections as the target dimension
+//! `l` grows, compared against the `O(√(log m / l))` prediction.
+
+use lsi_linalg::Matrix;
+use lsi_rp::{measure_distortion, DistortionReport, ProjectionKind, RandomProjection};
+
+use crate::common::scaled_corpus;
+
+/// One row of the `l` sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct E4Row {
+    /// Projection dimension.
+    pub l: usize,
+    /// Measured distortion.
+    pub report: DistortionReport,
+    /// The `√(ln m / l)` prediction (up to a constant).
+    pub predicted_scale: f64,
+}
+
+/// Sweep result.
+pub struct E4Result {
+    /// One row per `l`.
+    pub rows: Vec<E4Row>,
+    /// Number of document vectors measured.
+    pub n_points: usize,
+}
+
+impl E4Result {
+    /// Renders a table.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "JL distortion over {} documents (pairs per row: {})\n",
+            self.n_points,
+            self.rows.first().map_or(0, |r| r.report.pairs)
+        );
+        out.push_str("    l   max dist    mean dist   max ip err   ~sqrt(ln m / l)\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>5} {:>10.4} {:>12.4} {:>12.4} {:>17.4}\n",
+                r.l,
+                r.report.max_distance_distortion,
+                r.report.mean_distance_distortion,
+                r.report.max_inner_product_error,
+                r.predicted_scale
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep: projects the first `n_points` document columns of a
+/// scaled corpus to each `l` and measures pairwise distortion.
+pub fn run(scale: f64, ls: &[usize], n_points: usize, seed: u64) -> E4Result {
+    let exp = scaled_corpus(scale, 0.05, seed);
+    let n = exp.td.n_terms();
+    let m = exp.td.n_docs().min(n_points);
+
+    // Original document vectors (columns) restricted to the first m docs.
+    let dense = exp.td.to_dense();
+    let original = Matrix::from_fn(n, m, |i, j| dense[(i, j)]);
+    let sparse = lsi_linalg::CsrMatrix::from_dense(&original, 0.0);
+
+    let rows = ls
+        .iter()
+        .filter(|&&l| l <= n)
+        .map(|&l| {
+            let p = RandomProjection::new(ProjectionKind::OrthonormalSubspace, n, l, seed ^ 0xabc)
+                .expect("l <= n by filter");
+            let projected = p.project_columns(&sparse).expect("dimensions agree");
+            let report =
+                measure_distortion(&original, &projected).expect("distinct documents exist");
+            E4Row {
+                l,
+                report,
+                predicted_scale: ((m.max(2) as f64).ln() / l as f64).sqrt(),
+            }
+        })
+        .collect();
+
+    E4Result { rows, n_points: m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distortion_shrinks_with_l() {
+        let r = run(0.3, &[8, 64], 40, 13);
+        assert_eq!(r.rows.len(), 2);
+        let d_small = r.rows[0].report.max_distance_distortion;
+        let d_large = r.rows[1].report.max_distance_distortion;
+        assert!(
+            d_large < d_small,
+            "distortion should shrink: l=8 {d_small} vs l=64 {d_large}"
+        );
+        // And track the predicted scale within a small constant factor.
+        assert!(d_large < 4.0 * r.rows[1].predicted_scale);
+    }
+
+    #[test]
+    fn oversized_l_filtered() {
+        let r = run(0.1, &[10, 100_000], 20, 1);
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(0.1, &[10], 15, 2);
+        assert!(r.table().contains("max dist"));
+    }
+}

@@ -1,0 +1,405 @@
+//! The CLI commands, implemented as library functions (the binary is a
+//! thin dispatcher; tests call these directly).
+
+use std::path::Path;
+
+use lsi_core::{LsiConfig, LsiIndex, SvdBackend};
+use lsi_ir::text::Tokenizer;
+use lsi_ir::{Dictionary, TermDocumentMatrix, Weighting};
+
+use crate::container::Container;
+use crate::corpus_io::load_corpus;
+use crate::CliError;
+
+/// Parses a weighting name (`count`, `binary`, `log-tf`, `tf-idf`,
+/// `log-entropy`).
+pub fn parse_weighting(name: &str) -> Result<Weighting, CliError> {
+    Weighting::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Weighting::ALL.iter().map(|w| w.name()).collect();
+            CliError(format!(
+                "unknown weighting {name:?}; expected one of {}",
+                names.join(", ")
+            ))
+        })
+}
+
+/// `lsi index`: tokenizes the corpus, builds a rank-`rank` LSI index, and
+/// writes the container. Returns a one-line summary.
+pub fn cmd_index(
+    input: &Path,
+    output: &Path,
+    rank: usize,
+    weighting: Weighting,
+) -> Result<String, CliError> {
+    let docs = load_corpus(input)?;
+    let tokenizer = Tokenizer::default();
+    let mut dictionary = Dictionary::new();
+    let td = TermDocumentMatrix::from_text(&docs, &tokenizer, &mut dictionary)
+        .map_err(|e| CliError(format!("failed to build term-document matrix: {e}")))?;
+
+    let max_rank = td.n_terms().min(td.n_docs());
+    if max_rank == 0 {
+        return Err(CliError("corpus has no indexable terms".into()));
+    }
+    // Out-of-range ranks in either direction are clamped, symmetrically.
+    let rank = rank.clamp(1, max_rank);
+    let index = LsiIndex::build(
+        &td,
+        LsiConfig {
+            rank,
+            weighting,
+            backend: SvdBackend::default(),
+        },
+    )?;
+
+    let container = Container {
+        dictionary,
+        doc_ids: docs.iter().map(|d| d.id.clone()).collect(),
+        index,
+    };
+    container.save(output)?;
+    Ok(format!(
+        "indexed {} documents, {} terms, rank {} ({}) -> {}",
+        td.n_docs(),
+        td.n_terms(),
+        rank,
+        weighting.name(),
+        output.display()
+    ))
+}
+
+/// `lsi add`: folds new documents into an existing container (the classic
+/// LSI updating operation) and returns a summary. The spectral basis is
+/// not recomputed — see [`lsi_core::LsiIndex::add_document`] for the
+/// trade-off; rebuild with `lsi index` when the corpus drifts.
+///
+/// Fold-in terms must be weighted like the build-time matrix. Count,
+/// binary and log-tf are locally computable; tf-idf and log-entropy need
+/// corpus-global statistics the container does not carry, so folding into
+/// such an index is rejected rather than silently mis-scaled.
+pub fn cmd_add(container: &mut Container, input: &Path) -> Result<String, CliError> {
+    let weighting = container.index.config().weighting;
+    match weighting {
+        Weighting::Count | Weighting::Binary | Weighting::LogTf => {}
+        Weighting::TfIdf | Weighting::LogEntropy => {
+            return Err(CliError(format!(
+                "cannot fold into a {}-weighted index: that weighting needs \
+                 corpus-global statistics; rebuild with `lsi index` instead",
+                weighting.name()
+            )));
+        }
+    }
+
+    let docs = load_corpus(input)?;
+    let tokenizer = Tokenizer::default();
+    let mut added = 0usize;
+    let mut skipped = 0usize;
+    for doc in &docs {
+        // Accumulate counts over known vocabulary only (new terms cannot
+        // enter a fixed spectral basis).
+        let mut counts = std::collections::HashMap::new();
+        for tok in tokenizer.tokenize(&doc.body) {
+            if let Some(t) = container.dictionary.id(&tok) {
+                *counts.entry(t).or_insert(0.0) += 1.0;
+            }
+        }
+        if counts.is_empty() {
+            skipped += 1;
+            continue;
+        }
+        let terms: Vec<(usize, f64)> = counts
+            .into_iter()
+            .map(|(t, tf): (usize, f64)| {
+                let w = match weighting {
+                    Weighting::Binary => 1.0,
+                    Weighting::LogTf => 1.0 + tf.ln(),
+                    _ => tf, // Count
+                };
+                (t, w)
+            })
+            .collect();
+        container.index.add_document(&terms);
+        container.doc_ids.push(doc.id.clone());
+        added += 1;
+    }
+    Ok(format!(
+        "folded in {added} documents ({skipped} skipped: no known terms); \
+         total {} documents",
+        container.index.n_docs()
+    ))
+}
+
+/// `lsi query`: tokenizes the query with the same pipeline, folds it into
+/// LSI space, returns `(doc id, score)` pairs best-first.
+pub fn cmd_query(
+    container: &Container,
+    query_text: &str,
+    top: usize,
+) -> Result<Vec<(String, f64)>, CliError> {
+    let tokenizer = Tokenizer::default();
+    let terms: Vec<(usize, f64)> = tokenizer
+        .tokenize(query_text)
+        .into_iter()
+        .filter_map(|tok| container.dictionary.id(&tok))
+        .map(|t| (t, 1.0))
+        .collect();
+    if terms.is_empty() {
+        return Err(CliError(format!(
+            "no query term appears in the index vocabulary: {query_text:?}"
+        )));
+    }
+    let hits = container.index.query(&terms, top);
+    Ok(hits
+        .hits()
+        .iter()
+        .map(|h| {
+            // Documents folded in after the container was assembled have no
+            // external id; synthesize one rather than indexing out of range.
+            let id = container
+                .doc_ids
+                .get(h.doc)
+                .cloned()
+                .unwrap_or_else(|| format!("doc#{}", h.doc));
+            (id, h.score)
+        })
+        .collect())
+}
+
+/// `lsi similar-terms`: nearest terms to `term` in LSI space.
+pub fn cmd_similar_terms(
+    container: &Container,
+    term: &str,
+    top: usize,
+) -> Result<Vec<(String, f64)>, CliError> {
+    let t = container
+        .dictionary
+        .id(&term.to_lowercase())
+        .ok_or_else(|| CliError(format!("term {term:?} is not in the index vocabulary")))?;
+    let hits = container.index.similar_terms(t, top);
+    Ok(hits
+        .hits()
+        .iter()
+        .map(|h| {
+            (
+                container
+                    .dictionary
+                    .term(h.doc)
+                    .unwrap_or("<unknown>")
+                    .to_owned(),
+                h.score,
+            )
+        })
+        .collect())
+}
+
+/// `lsi topics`: for each retained singular direction, the top-weighted
+/// terms — a human-readable view of what the latent dimensions encode.
+pub fn cmd_topics(container: &Container, terms_per_topic: usize) -> Vec<(usize, f64, Vec<String>)> {
+    let index: &LsiIndex = &container.index;
+    let k = index.rank();
+    let n = index.n_terms();
+    let mut out = Vec::with_capacity(k);
+    for dim in 0..k {
+        let mut weighted: Vec<(usize, f64)> = (0..n)
+            .map(|t| (t, index.factors().u[(t, dim)].abs()))
+            .collect();
+        weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        let top_terms: Vec<String> = weighted
+            .iter()
+            .take(terms_per_topic)
+            .map(|&(t, _)| {
+                container
+                    .dictionary
+                    .term(t)
+                    .unwrap_or("<unknown>")
+                    .to_owned()
+            })
+            .collect();
+        out.push((dim, index.singular_values()[dim], top_terms));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lsi_cmd_{}_{name}", std::process::id()))
+    }
+
+    fn write_sample_corpus(path: &Path) {
+        fs::write(
+            path,
+            "d0\tthe car engine roared down the highway\n\
+             d1\tan automobile engine needs maintenance\n\
+             d2\tthe automobile market and highway sales\n\
+             d3\ta car needs a good engine and brakes\n\
+             d4\tthe galaxy contains billions of stars\n\
+             d5\ta starship crossed the galaxy to the stars\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn index_then_query_end_to_end() {
+        let input = temp("corpus.txt");
+        let output = temp("corpus.lsic");
+        write_sample_corpus(&input);
+
+        let summary = cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+        assert!(summary.contains("6 documents"));
+
+        let container = Container::load(&output).unwrap();
+        let hits = cmd_query(&container, "automobile", 6).unwrap();
+        assert!(!hits.is_empty());
+        // Synonymy bridge: a "car"-only document scores high.
+        let car_doc_score = hits
+            .iter()
+            .find(|(id, _)| id == "d0")
+            .map(|&(_, s)| s)
+            .expect("d0 retrieved");
+        assert!(car_doc_score > 0.8, "d0 score {car_doc_score}");
+
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn similar_terms_cross_surface_forms() {
+        let input = temp("corpus2.txt");
+        let output = temp("corpus2.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+        let container = Container::load(&output).unwrap();
+
+        let sims = cmd_similar_terms(&container, "automobile", 5).unwrap();
+        assert!(
+            sims.iter().any(|(t, s)| t == "car" && *s > 0.5),
+            "car not among similar terms: {sims:?}"
+        );
+        assert!(cmd_similar_terms(&container, "zeppelin", 5).is_err());
+
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn topics_show_vocabulary() {
+        let input = temp("corpus3.txt");
+        let output = temp("corpus3.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+        let container = Container::load(&output).unwrap();
+
+        let topics = cmd_topics(&container, 4);
+        assert_eq!(topics.len(), 2);
+        let all_terms: Vec<String> = topics.iter().flat_map(|(_, _, ts)| ts.clone()).collect();
+        // The two dominant directions split vehicle vs space vocabulary.
+        assert!(all_terms.iter().any(|t| t == "engine" || t == "car"));
+        assert!(all_terms.iter().any(|t| t == "galaxy" || t == "stars"));
+
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn add_folds_documents_into_saved_container() {
+        let input = temp("corpus_add.txt");
+        let output = temp("corpus_add.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+
+        // Fold in two new documents, one off-vocabulary.
+        let more = temp("more.txt");
+        fs::write(
+            &more,
+            "d6\tthe car engine and the automobile engine\nd7\tzzz qqq www\n",
+        )
+        .unwrap();
+        let mut container = Container::load(&output).unwrap();
+        let before = container.index.n_docs();
+        let summary = cmd_add(&mut container, &more).unwrap();
+        assert!(summary.contains("folded in 1"), "{summary}");
+        assert!(summary.contains("1 skipped"), "{summary}");
+        assert_eq!(container.index.n_docs(), before + 1);
+        assert_eq!(container.doc_ids.len(), before + 1);
+
+        // Save, reload, and confirm the folded document is searchable.
+        container.save(&output).unwrap();
+        let reloaded = Container::load(&output).unwrap();
+        let hits = cmd_query(&reloaded, "automobile engine", 10).unwrap();
+        assert!(
+            hits.iter().any(|(id, s)| id == "d6" && *s > 0.8),
+            "folded doc not retrieved: {hits:?}"
+        );
+
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+        fs::remove_file(&more).ok();
+    }
+
+    #[test]
+    fn add_rejects_globally_weighted_indexes() {
+        let input = temp("corpus_tfidf.txt");
+        let output = temp("corpus_tfidf.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::TfIdf).unwrap();
+        let mut container = Container::load(&output).unwrap();
+        let err = cmd_add(&mut container, &input).unwrap_err();
+        assert!(err.0.contains("tf-idf"), "{err}");
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn add_applies_log_tf_weighting() {
+        let input = temp("corpus_logtf.txt");
+        let output = temp("corpus_logtf.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::LogTf).unwrap();
+        let mut container = Container::load(&output).unwrap();
+        let summary = cmd_add(&mut container, &input).unwrap();
+        assert!(summary.contains("folded in 6"), "{summary}");
+        // Folded copies of existing documents land on top of the originals.
+        let n = container.index.n_docs();
+        assert!((container.index.doc_cosine(0, n - 6) - 1.0).abs() < 1e-6);
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn query_with_oov_terms_errors() {
+        let input = temp("corpus4.txt");
+        let output = temp("corpus4.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+        let container = Container::load(&output).unwrap();
+        assert!(cmd_query(&container, "quux flibbet", 3).is_err());
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn rank_clamped_to_corpus() {
+        let input = temp("corpus5.txt");
+        let output = temp("corpus5.lsic");
+        write_sample_corpus(&input);
+        // Ask for an absurd rank; it gets clamped, not rejected.
+        let summary = cmd_index(&input, &output, 500, Weighting::TfIdf).unwrap();
+        assert!(summary.contains("rank 6"), "{summary}");
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn parse_weighting_names() {
+        assert_eq!(parse_weighting("tf-idf").unwrap(), Weighting::TfIdf);
+        assert_eq!(parse_weighting("count").unwrap(), Weighting::Count);
+        assert!(parse_weighting("nonsense").is_err());
+    }
+}

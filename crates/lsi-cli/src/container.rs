@@ -1,0 +1,209 @@
+//! The `.lsic` container: dictionary + document ids + spectral factors.
+//!
+//! ```text
+//! magic "LSIC" | version u32 |
+//! n_terms u64 | term strings (u32 length + UTF-8 bytes) … |
+//! n_docs  u64 | doc-id strings … |
+//! embedded LSIX payload (lsi_core::storage)
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use lsi_core::LsiIndex;
+use lsi_ir::Dictionary;
+
+use crate::CliError;
+
+const MAGIC: &[u8; 4] = b"LSIC";
+const VERSION: u32 = 1;
+/// Upper bound on a single stored string; rejects absurd headers early.
+const MAX_STRING: u32 = 1 << 20;
+
+/// Everything the CLI needs to serve queries.
+pub struct Container {
+    /// Term ↔ id mapping used at indexing time.
+    pub dictionary: Dictionary,
+    /// External document ids, in column order.
+    pub doc_ids: Vec<String>,
+    /// The spectral index.
+    pub index: LsiIndex,
+}
+
+fn write_string<W: Write>(w: &mut W, s: &str) -> Result<(), CliError> {
+    let bytes = s.as_bytes();
+    if bytes.len() as u64 > MAX_STRING as u64 {
+        return Err(CliError(format!("string too long ({} bytes)", bytes.len())));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    Ok(())
+}
+
+fn read_string<R: Read>(r: &mut R) -> Result<String, CliError> {
+    let mut lenbuf = [0u8; 4];
+    r.read_exact(&mut lenbuf)?;
+    let len = u32::from_le_bytes(lenbuf);
+    if len > MAX_STRING {
+        return Err(CliError(format!("corrupt container: string length {len}")));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| CliError("corrupt container: invalid UTF-8".into()))
+}
+
+impl Container {
+    /// Serializes to a writer.
+    pub fn write<W: Write>(&self, w: &mut W) -> Result<(), CliError> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.dictionary.len() as u64).to_le_bytes())?;
+        for (_, term) in self.dictionary.iter() {
+            write_string(w, term)?;
+        }
+        w.write_all(&(self.doc_ids.len() as u64).to_le_bytes())?;
+        for id in &self.doc_ids {
+            write_string(w, id)?;
+        }
+        lsi_core::write_index(w, &self.index)?;
+        Ok(())
+    }
+
+    /// Deserializes from a reader, validating consistency between the
+    /// dictionary/doc ids and the embedded index dimensions.
+    pub fn read<R: Read>(r: &mut R) -> Result<Self, CliError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(CliError("not an .lsic container (bad magic)".into()));
+        }
+        let mut vbuf = [0u8; 4];
+        r.read_exact(&mut vbuf)?;
+        let version = u32::from_le_bytes(vbuf);
+        if version != VERSION {
+            return Err(CliError(format!("unsupported container version {version}")));
+        }
+
+        let mut cbuf = [0u8; 8];
+        r.read_exact(&mut cbuf)?;
+        let n_terms = u64::from_le_bytes(cbuf) as usize;
+        let mut dictionary = Dictionary::new();
+        for _ in 0..n_terms {
+            let term = read_string(r)?;
+            dictionary.intern(&term);
+        }
+        r.read_exact(&mut cbuf)?;
+        let n_docs = u64::from_le_bytes(cbuf) as usize;
+        let mut doc_ids = Vec::with_capacity(n_docs.min(1 << 20));
+        for _ in 0..n_docs {
+            doc_ids.push(read_string(r)?);
+        }
+
+        let index = lsi_core::read_index(r)?;
+        if index.n_terms() != dictionary.len() || index.n_docs() != doc_ids.len() {
+            return Err(CliError(format!(
+                "container inconsistent: dictionary {} / docs {} vs index {}x{}",
+                dictionary.len(),
+                doc_ids.len(),
+                index.n_terms(),
+                index.n_docs()
+            )));
+        }
+        Ok(Container {
+            dictionary,
+            doc_ids,
+            index,
+        })
+    }
+
+    /// Writes to a file path, atomically: the container is written to a
+    /// temporary sibling file and renamed into place, so a crash mid-write
+    /// never destroys an existing index.
+    pub fn save(&self, path: &Path) -> Result<(), CliError> {
+        let tmp = path.with_extension("lsic.tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp).map_err(|e| {
+                CliError(format!("cannot create {}: {e}", tmp.display()))
+            })?);
+            self.write(&mut f)?;
+            use std::io::Write as _;
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CliError(format!("cannot replace {}: {e}", path.display()))
+        })
+    }
+
+    /// Reads from a file path.
+    pub fn load(path: &Path) -> Result<Self, CliError> {
+        let mut f = std::io::BufReader::new(
+            std::fs::File::open(path)
+                .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?,
+        );
+        Self::read(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_core::LsiConfig;
+    use lsi_ir::text::{TextDocument, Tokenizer};
+    use lsi_ir::TermDocumentMatrix;
+
+    fn sample() -> Container {
+        let docs = vec![
+            TextDocument::new("a", "the car engine roared"),
+            TextDocument::new("b", "an automobile engine hums"),
+            TextDocument::new("c", "stars in the galaxy"),
+        ];
+        let mut dictionary = Dictionary::new();
+        let td =
+            TermDocumentMatrix::from_text(&docs, &Tokenizer::default(), &mut dictionary).unwrap();
+        let index = LsiIndex::build(&td, LsiConfig::with_rank(2)).unwrap();
+        Container {
+            dictionary,
+            doc_ids: docs.iter().map(|d| d.id.clone()).collect(),
+            index,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write(&mut buf).unwrap();
+        let loaded = Container::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.doc_ids, c.doc_ids);
+        assert_eq!(loaded.dictionary.len(), c.dictionary.len());
+        assert_eq!(loaded.dictionary.id("engine"), c.dictionary.id("engine"));
+        assert_eq!(loaded.index.singular_values(), c.index.singular_values());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write(&mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'Z';
+        assert!(Container::read(&mut bad.as_slice()).is_err());
+        for cut in [2usize, 9, buf.len() / 3, buf.len() - 2] {
+            assert!(
+                Container::read(&mut buf[..cut].to_vec().as_slice()).is_err(),
+                "accepted truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let c = sample();
+        let path = std::env::temp_dir().join(format!("lsi_container_{}.lsic", std::process::id()));
+        c.save(&path).unwrap();
+        let loaded = Container::load(&path).unwrap();
+        assert_eq!(loaded.doc_ids, c.doc_ids);
+        std::fs::remove_file(&path).ok();
+    }
+}

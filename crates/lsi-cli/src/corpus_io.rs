@@ -1,0 +1,129 @@
+//! Reading text corpora from files and directories.
+
+use std::fs;
+use std::path::Path;
+
+use lsi_ir::text::TextDocument;
+
+use crate::CliError;
+
+/// Loads a corpus from `path`:
+///
+/// * a **file** — one document per non-empty line, `id<TAB>body` or plain
+///   body (ids default to `line-N`);
+/// * a **directory** — every `.txt` file is one document, id = file stem.
+///
+/// Documents are returned in a deterministic order (line order / sorted
+/// file names).
+pub fn load_corpus(path: &Path) -> Result<Vec<TextDocument>, CliError> {
+    if path.is_dir() {
+        load_dir(path)
+    } else {
+        load_lines(path)
+    }
+}
+
+fn load_lines(path: &Path) -> Result<Vec<TextDocument>, CliError> {
+    let content = fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))?;
+    let docs: Vec<TextDocument> = content
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| match line.split_once('\t') {
+            Some((id, body)) if !id.trim().is_empty() => {
+                TextDocument::new(id.trim(), body.trim())
+            }
+            _ => TextDocument::new(format!("line-{}", i + 1), line.trim()),
+        })
+        .collect();
+    if docs.is_empty() {
+        return Err(CliError(format!("{} contains no documents", path.display())));
+    }
+    Ok(docs)
+}
+
+fn load_dir(path: &Path) -> Result<Vec<TextDocument>, CliError> {
+    let mut entries: Vec<_> = fs::read_dir(path)
+        .map_err(|e| CliError(format!("cannot read directory {}: {e}", path.display())))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    entries.sort();
+    let mut docs = Vec::with_capacity(entries.len());
+    for p in entries {
+        let body = fs::read_to_string(&p)
+            .map_err(|e| CliError(format!("cannot read {}: {e}", p.display())))?;
+        let id = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string());
+        docs.push(TextDocument::new(id, body));
+    }
+    if docs.is_empty() {
+        return Err(CliError(format!(
+            "{} contains no .txt documents",
+            path.display()
+        )));
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lsi_cli_test_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn loads_tabbed_lines() {
+        let p = temp_path("tabbed.txt");
+        fs::write(&p, "doc-a\tthe car engine\ndoc-b\tthe galaxy spins\n\n").unwrap();
+        let docs = load_corpus(&p).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].id, "doc-a");
+        assert_eq!(docs[0].body, "the car engine");
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn loads_plain_lines_with_generated_ids() {
+        let p = temp_path("plain.txt");
+        fs::write(&p, "first document\n\nthird line doc\n").unwrap();
+        let docs = load_corpus(&p).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].id, "line-1");
+        assert_eq!(docs[1].id, "line-3");
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn loads_directory_sorted() {
+        let dir = temp_path("dir");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("b.txt"), "second doc").unwrap();
+        fs::write(dir.join("a.txt"), "first doc").unwrap();
+        fs::write(dir.join("ignored.md"), "not text").unwrap();
+        let docs = load_corpus(&dir).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].id, "a");
+        assert_eq!(docs[1].id, "b");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        let p = temp_path("empty.txt");
+        fs::write(&p, "\n\n").unwrap();
+        assert!(load_corpus(&p).is_err());
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_path_is_an_error() {
+        assert!(load_corpus(Path::new("/definitely/not/here.txt")).is_err());
+    }
+}

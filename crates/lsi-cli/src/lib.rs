@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Command-line LSI — a small, deployable front end over the workspace.
+//!
+//! ```text
+//! lsi index --input docs.txt --output corpus.lsic [--rank 50] [--weighting log-entropy]
+//! lsi query --index corpus.lsic "car maintenance" [--top 10]
+//! lsi similar-terms --index corpus.lsic automobile [--top 10]
+//! lsi topics --index corpus.lsic [--terms 8]
+//! ```
+//!
+//! Input corpora are plain text: a single file with one document per line
+//! (`id<TAB>body`, or just the body — line numbers become ids), or a
+//! directory whose `.txt` files are one document each.
+//!
+//! The `.lsic` container bundles the dictionary, document ids and the
+//! spectral factors (via [`lsi_core::storage`]) into one file.
+
+pub mod commands;
+pub mod container;
+pub mod corpus_io;
+
+/// Exit-style error type for the CLI: every failure carries a user-facing
+/// message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+impl From<lsi_core::StorageError> for CliError {
+    fn from(e: lsi_core::StorageError) -> Self {
+        CliError(format!("index file error: {e}"))
+    }
+}
+
+impl From<lsi_core::LsiError> for CliError {
+    fn from(e: lsi_core::LsiError) -> Self {
+        CliError(format!("indexing error: {e}"))
+    }
+}

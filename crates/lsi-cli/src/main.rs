@@ -1,0 +1,138 @@
+//! `lsi` — command-line latent semantic indexing.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lsi_cli::commands::{
+    cmd_add, cmd_index, cmd_query, cmd_similar_terms, cmd_topics, parse_weighting,
+};
+use lsi_cli::container::Container;
+use lsi_cli::CliError;
+use lsi_ir::Weighting;
+
+const USAGE: &str = "\
+usage:
+  lsi index --input <file|dir> --output <out.lsic> [--rank K] [--weighting W]
+  lsi add --index <out.lsic> --input <file|dir>
+  lsi query --index <out.lsic> <query text...> [--top N]
+  lsi similar-terms --index <out.lsic> <term> [--top N]
+  lsi topics --index <out.lsic> [--terms N]
+
+weightings: count, binary, log-tf, tf-idf, log-entropy (default: log-entropy)
+";
+
+struct Flags {
+    named: std::collections::HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut named = std::collections::HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+            named.insert(name.to_owned(), value.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(Flags { named, positional })
+}
+
+impl Flags {
+    fn path(&self, name: &str) -> Result<PathBuf, CliError> {
+        self.named
+            .get(name)
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError(format!("missing required --{name}")))
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.named.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| CliError(format!("bad --{name} value {v:?}: {e}"))),
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return Err(CliError("no command given".into()));
+    };
+    let flags = parse_flags(&args[1..])?;
+
+    match command.as_str() {
+        "index" => {
+            let weighting = match flags.named.get("weighting") {
+                Some(w) => parse_weighting(w)?,
+                None => Weighting::LogEntropy,
+            };
+            let summary = cmd_index(
+                &flags.path("input")?,
+                &flags.path("output")?,
+                flags.usize_or("rank", 50)?,
+                weighting,
+            )?;
+            println!("{summary}");
+        }
+        "add" => {
+            let index_path = flags.path("index")?;
+            let mut container = Container::load(&index_path)?;
+            let summary = cmd_add(&mut container, &flags.path("input")?)?;
+            container.save(&index_path)?;
+            println!("{summary}");
+        }
+        "query" => {
+            let container = Container::load(&flags.path("index")?)?;
+            let text = flags.positional.join(" ");
+            let top = flags.usize_or("top", 10)?;
+            for (id, score) in cmd_query(&container, &text, top)? {
+                println!("{score:+.4}  {id}");
+            }
+        }
+        "similar-terms" => {
+            let container = Container::load(&flags.path("index")?)?;
+            let term = flags
+                .positional
+                .first()
+                .ok_or_else(|| CliError("similar-terms needs a term argument".into()))?;
+            let top = flags.usize_or("top", 10)?;
+            for (t, score) in cmd_similar_terms(&container, term, top)? {
+                println!("{score:+.4}  {t}");
+            }
+        }
+        "topics" => {
+            let container = Container::load(&flags.path("index")?)?;
+            let terms = flags.usize_or("terms", 8)?;
+            for (dim, sigma, top_terms) in cmd_topics(&container, terms) {
+                println!("dim {dim:>3}  σ = {sigma:<10.3}  {}", top_terms.join(" "));
+            }
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+        }
+        other => {
+            eprint!("{USAGE}");
+            return Err(CliError(format!("unknown command {other:?}")));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

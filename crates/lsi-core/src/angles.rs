@@ -1,0 +1,176 @@
+//! Pairwise angle statistics — the paper's experimental table.
+//!
+//! The Section 4 experiment measures "the angle (not some function of the
+//! angle such as the cosine) between all pairs of documents in the original
+//! space and in the rank 20 LSI space", split into intratopic and intertopic
+//! pairs, reporting min / max / average / standard deviation of each.
+
+use lsi_linalg::{vector, Matrix};
+
+/// Summary statistics over a set of angles (radians).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AngleStats {
+    /// Smallest angle.
+    pub min: f64,
+    /// Largest angle.
+    pub max: f64,
+    /// Mean angle.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of pairs aggregated.
+    pub count: usize,
+}
+
+impl AngleStats {
+    fn from_angles(angles: &[f64]) -> Option<Self> {
+        if angles.is_empty() {
+            return None;
+        }
+        let n = angles.len() as f64;
+        let mean = angles.iter().sum::<f64>() / n;
+        let var = angles.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n;
+        Some(AngleStats {
+            min: angles.iter().copied().fold(f64::INFINITY, f64::min),
+            max: angles.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean,
+            std: var.sqrt(),
+            count: angles.len(),
+        })
+    }
+}
+
+/// Intratopic and intertopic angle statistics for one representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairAngleReport {
+    /// Statistics over pairs of documents from the same topic.
+    pub intratopic: Option<AngleStats>,
+    /// Statistics over pairs from different topics.
+    pub intertopic: Option<AngleStats>,
+}
+
+/// Computes pairwise-angle statistics over documents given as **rows** of
+/// `reps`, split by ground-truth label. Unlabeled documents are skipped.
+///
+/// To reproduce the paper's table, call this twice: once with the columns of
+/// the term–document matrix as rows ("original space") and once with the LSI
+/// document representations ("LSI space").
+pub fn pairwise_angle_stats(reps: &Matrix, labels: &[Option<usize>]) -> PairAngleReport {
+    assert_eq!(
+        reps.nrows(),
+        labels.len(),
+        "pairwise_angle_stats: one label per document row"
+    );
+    let live: Vec<(usize, usize)> = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.map(|t| (i, t)))
+        .collect();
+
+    let mut intra = Vec::new();
+    let mut inter = Vec::new();
+    for (a, &(i, ti)) in live.iter().enumerate() {
+        for &(j, tj) in &live[a + 1..] {
+            let theta = vector::angle(reps.row(i), reps.row(j));
+            if ti == tj {
+                intra.push(theta);
+            } else {
+                inter.push(theta);
+            }
+        }
+    }
+
+    PairAngleReport {
+        intratopic: AngleStats::from_angles(&intra),
+        intertopic: AngleStats::from_angles(&inter),
+    }
+}
+
+/// Formats a report as the paper's two-row table (radians, 3 significant
+/// digits), for the reproduce binary and examples.
+pub fn format_report(original: &PairAngleReport, lsi: &PairAngleReport) -> String {
+    fn row(label: &str, s: &Option<AngleStats>) -> String {
+        match s {
+            Some(s) => format!(
+                "{label:<16} {:>8.3} {:>8.3} {:>8.4} {:>9.4}",
+                s.min, s.max, s.mean, s.std
+            ),
+            None => format!("{label:<16} {:>8} {:>8} {:>8} {:>9}", "-", "-", "-", "-"),
+        }
+    }
+    let mut out = String::new();
+    out.push_str("Intratopic            Min      Max  Average      Std.\n");
+    out.push_str(&row("  Original space", &original.intratopic));
+    out.push('\n');
+    out.push_str(&row("  LSI space", &lsi.intratopic));
+    out.push('\n');
+    out.push_str("Intertopic            Min      Max  Average      Std.\n");
+    out.push_str(&row("  Original space", &original.intertopic));
+    out.push('\n');
+    out.push_str(&row("  LSI space", &lsi.intertopic));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn stats_of_known_angles() {
+        // Three docs: two parallel (topic 0), one orthogonal (topic 1).
+        let reps = m(&[&[1.0, 0.0], &[2.0, 0.0], &[0.0, 1.0]]);
+        let labels = vec![Some(0), Some(0), Some(1)];
+        let r = pairwise_angle_stats(&reps, &labels);
+        let intra = r.intratopic.unwrap();
+        assert_eq!(intra.count, 1);
+        assert!(intra.mean.abs() < 1e-12);
+        let inter = r.intertopic.unwrap();
+        assert_eq!(inter.count, 2);
+        assert!((inter.mean - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(inter.std.abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_classes_are_none() {
+        let reps = m(&[&[1.0], &[1.0]]);
+        let r = pairwise_angle_stats(&reps, &[Some(0), Some(0)]);
+        assert!(r.intratopic.is_some());
+        assert!(r.intertopic.is_none());
+    }
+
+    #[test]
+    fn unlabeled_skipped() {
+        let reps = m(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let r = pairwise_angle_stats(&reps, &[Some(0), Some(1), None]);
+        assert_eq!(r.intertopic.unwrap().count, 1);
+        assert!(r.intratopic.is_none());
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let reps = m(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 1.0]]);
+        let labels = vec![Some(0), Some(0), Some(0)];
+        let s = pairwise_angle_stats(&reps, &labels).intratopic.unwrap();
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert_eq!(s.count, 3);
+        assert!((s.min - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!((s.max - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_report_contains_rows() {
+        let reps = m(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let r = pairwise_angle_stats(&reps, &[Some(0), Some(1)]);
+        let text = format_report(&r, &r);
+        assert!(text.contains("Intratopic"));
+        assert!(text.contains("Intertopic"));
+        assert!(text.contains("LSI space"));
+        // Intratopic side is empty here → dashes.
+        assert!(text.contains('-'));
+    }
+}

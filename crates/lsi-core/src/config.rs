@@ -1,0 +1,84 @@
+//! LSI build configuration.
+
+use lsi_ir::Weighting;
+use lsi_linalg::lanczos::LanczosOptions;
+use lsi_linalg::randomized::RandomizedSvdOptions;
+
+/// Which truncated-SVD algorithm computes the factors.
+#[derive(Debug, Clone)]
+pub enum SvdBackend {
+    /// Dense Golub–Reinsch SVD of the full matrix, then truncate. Exact;
+    /// `O(m n min(m,n))` — the right choice for small corpora and tests.
+    Dense,
+    /// Golub–Kahan–Lanczos on the sparse matrix (the SVDPACK-equivalent
+    /// path). The default.
+    Lanczos(LanczosOptions),
+    /// Randomized range-finder SVD; fastest, slightly less accurate.
+    Randomized(RandomizedSvdOptions),
+}
+
+impl Default for SvdBackend {
+    fn default() -> Self {
+        SvdBackend::Lanczos(LanczosOptions::default())
+    }
+}
+
+impl SvdBackend {
+    /// Short stable name for reports and benchmarks.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SvdBackend::Dense => "dense",
+            SvdBackend::Lanczos(_) => "lanczos",
+            SvdBackend::Randomized(_) => "randomized",
+        }
+    }
+}
+
+/// Configuration for building an [`crate::LsiIndex`].
+#[derive(Debug, Clone)]
+pub struct LsiConfig {
+    /// Truncation rank `k` — "small enough to enable fast retrieval and
+    /// large enough to adequately capture the structure of the corpus" (§2).
+    pub rank: usize,
+    /// Term-weighting scheme applied to raw counts before the SVD.
+    pub weighting: Weighting,
+    /// SVD algorithm.
+    pub backend: SvdBackend,
+}
+
+impl LsiConfig {
+    /// A config with the given rank and default weighting/backend.
+    pub fn with_rank(rank: usize) -> Self {
+        LsiConfig {
+            rank,
+            weighting: Weighting::Count,
+            backend: SvdBackend::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_is_lanczos() {
+        assert_eq!(SvdBackend::default().name(), "lanczos");
+    }
+
+    #[test]
+    fn with_rank_sets_rank() {
+        let c = LsiConfig::with_rank(20);
+        assert_eq!(c.rank, 20);
+        assert_eq!(c.weighting, Weighting::Count);
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(SvdBackend::Dense.name(), "dense");
+        assert_eq!(
+            SvdBackend::Randomized(RandomizedSvdOptions::default()).name(),
+            "randomized"
+        );
+    }
+}

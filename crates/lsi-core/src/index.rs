@@ -1,0 +1,654 @@
+//! The LSI index: rank-k spectral representation plus retrieval.
+
+use lsi_ir::retrieval::{RankedList, SearchHit};
+use lsi_ir::TermDocumentMatrix;
+use lsi_linalg::lanczos::lanczos_svd;
+use lsi_linalg::randomized::randomized_svd;
+use lsi_linalg::svd::svd;
+use lsi_linalg::{vector, LinalgError, Matrix, TruncatedSvd};
+
+use crate::config::{LsiConfig, SvdBackend};
+
+/// Errors from building or querying an [`LsiIndex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LsiError {
+    /// The requested rank is zero or exceeds `min(n_terms, n_docs)`.
+    BadRank {
+        /// Requested rank.
+        requested: usize,
+        /// Maximum feasible rank for this corpus.
+        max: usize,
+    },
+    /// The corpus is empty (no terms or no documents).
+    EmptyCorpus,
+    /// A linear-algebra failure (shape bug or non-convergence).
+    Linalg(LinalgError),
+}
+
+impl std::fmt::Display for LsiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LsiError::BadRank { requested, max } => {
+                write!(f, "rank {requested} out of range (max {max})")
+            }
+            LsiError::EmptyCorpus => write!(f, "corpus has no terms or no documents"),
+            LsiError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LsiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LsiError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for LsiError {
+    fn from(e: LinalgError) -> Self {
+        LsiError::Linalg(e)
+    }
+}
+
+/// A built LSI index over a corpus.
+///
+/// Holds the truncated factors `U_k, D_k, V_kᵀ` of the weighted
+/// term–document matrix, the document representations (rows of `V_k D_k`),
+/// and enough bookkeeping to fold in queries and rank documents.
+///
+/// # Examples
+///
+/// ```
+/// use lsi_core::{LsiConfig, LsiIndex};
+/// use lsi_ir::TermDocumentMatrix;
+///
+/// // Two documents about term 0, one about term 2.
+/// let td = TermDocumentMatrix::from_triplets(
+///     3,
+///     3,
+///     &[(0, 0, 2.0), (1, 0, 1.0), (0, 1, 1.0), (2, 2, 3.0)],
+/// )
+/// .unwrap();
+/// let index = LsiIndex::build(&td, LsiConfig::with_rank(2)).unwrap();
+///
+/// let hits = index.query(&[(0, 1.0)], 3);
+/// // The two term-0 documents outrank the unrelated one.
+/// let ranking = hits.doc_ids();
+/// assert!(ranking[0] == 0 || ranking[0] == 1);
+/// assert_eq!(*ranking.last().unwrap(), 2);
+/// assert!(index.doc_cosine(0, 1) > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LsiIndex {
+    factors: TruncatedSvd,
+    /// `m × k` document representations (row `j` = `D_k V_kᵀ e_j`).
+    doc_reps: Matrix,
+    /// Euclidean norms of the document representations.
+    doc_norms: Vec<f64>,
+    config: LsiConfig,
+}
+
+impl LsiIndex {
+    /// Builds the index: weights the counts, runs the configured SVD
+    /// backend, and materializes document representations.
+    pub fn build(td: &TermDocumentMatrix, config: LsiConfig) -> Result<Self, LsiError> {
+        let (n, m) = (td.n_terms(), td.n_docs());
+        if n == 0 || m == 0 {
+            return Err(LsiError::EmptyCorpus);
+        }
+        let max_rank = n.min(m);
+        if config.rank == 0 || config.rank > max_rank {
+            return Err(LsiError::BadRank {
+                requested: config.rank,
+                max: max_rank,
+            });
+        }
+
+        let weighted = td.weighted(config.weighting);
+        let factors = match &config.backend {
+            SvdBackend::Dense => svd(&weighted.to_dense_matrix())?.truncate(config.rank)?,
+            SvdBackend::Lanczos(opts) => lanczos_svd(&weighted, config.rank, opts)?,
+            SvdBackend::Randomized(opts) => randomized_svd(&weighted, config.rank, opts)?,
+        };
+
+        let mut doc_reps = factors.doc_representation();
+        let mut doc_norms: Vec<f64> = (0..m).map(|j| vector::norm(doc_reps.row(j))).collect();
+        // Snap numerically-null representations (e.g. empty documents seen
+        // through Lanczos round-off) to exact zero: otherwise their noise
+        // direction would enter cosine rankings with arbitrary scores.
+        let max_norm = doc_norms.iter().copied().fold(0.0f64, f64::max);
+        for (j, norm) in doc_norms.iter_mut().enumerate() {
+            if *norm <= 1e-12 * max_norm {
+                doc_reps.row_mut(j).fill(0.0);
+                *norm = 0.0;
+            }
+        }
+
+        Ok(LsiIndex {
+            factors,
+            doc_reps,
+            doc_norms,
+            config,
+        })
+    }
+
+    /// Reassembles an index from previously computed parts (used by the
+    /// storage layer; invariants are the caller's responsibility).
+    pub(crate) fn from_parts(
+        factors: TruncatedSvd,
+        doc_reps: Matrix,
+        doc_norms: Vec<f64>,
+        config: LsiConfig,
+    ) -> Self {
+        LsiIndex {
+            factors,
+            doc_reps,
+            doc_norms,
+            config,
+        }
+    }
+
+    /// The truncation rank `k`.
+    pub fn rank(&self) -> usize {
+        self.factors.rank()
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> usize {
+        self.doc_reps.nrows()
+    }
+
+    /// Number of terms in the universe.
+    pub fn n_terms(&self) -> usize {
+        self.factors.u.nrows()
+    }
+
+    /// The retained singular values `σ_1 ≥ … ≥ σ_k`.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.factors.singular_values
+    }
+
+    /// The truncated factors.
+    pub fn factors(&self) -> &TruncatedSvd {
+        &self.factors
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &LsiConfig {
+        &self.config
+    }
+
+    /// Document `j`'s LSI-space representation (a length-`k` vector).
+    pub fn doc_vector(&self, j: usize) -> &[f64] {
+        self.doc_reps.row(j)
+    }
+
+    /// All document representations (`m × k`, one row per document).
+    pub fn doc_representations(&self) -> &Matrix {
+        &self.doc_reps
+    }
+
+    /// Term `t`'s LSI-space representation: row `t` of `U_k D_k`.
+    pub fn term_vector(&self, t: usize) -> Vec<f64> {
+        let k = self.rank();
+        (0..k)
+            .map(|i| self.factors.u[(t, i)] * self.factors.singular_values[i])
+            .collect()
+    }
+
+    /// Folds a sparse term-space query into LSI space: `q̂ = U_kᵀ q`.
+    ///
+    /// Document columns project the same way (`U_kᵀ a_j = D_k V_kᵀ e_j` is
+    /// exactly row `j` of the document representations), so query/document
+    /// cosines in this space are the paper's intended comparison.
+    pub fn fold_in(&self, terms: &[(usize, f64)]) -> Vec<f64> {
+        let k = self.rank();
+        let mut out = vec![0.0; k];
+        for &(t, w) in terms {
+            if t >= self.n_terms() || w == 0.0 {
+                continue;
+            }
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += self.factors.u[(t, i)] * w;
+            }
+        }
+        out
+    }
+
+    /// Folds a dense term-space vector (length `n`) into LSI space.
+    pub fn fold_in_dense(&self, q: &[f64]) -> Result<Vec<f64>, LsiError> {
+        Ok(self.factors.project(q)?)
+    }
+
+    /// Cosine-ranked retrieval in LSI space for a sparse query.
+    pub fn query(&self, terms: &[(usize, f64)], top_k: usize) -> RankedList {
+        self.query_vector(&self.fold_in(terms), top_k)
+    }
+
+    /// Folds a **new document** into the index (the classical LSI
+    /// "folding-in" update): its representation `U_kᵀ d` is appended to the
+    /// document set and becomes immediately searchable. Returns the new
+    /// document's id.
+    ///
+    /// `terms` must be weighted consistently with the index's weighting
+    /// scheme (raw counts are correct for [`lsi_ir::Weighting::Count`]).
+    /// Folding-in does not update the spectral basis itself, so after many
+    /// additions — or additions that shift the corpus's topic structure —
+    /// the index should be rebuilt; this is the standard trade-off of the
+    /// technique, not an implementation shortcut.
+    pub fn add_document(&mut self, terms: &[(usize, f64)]) -> usize {
+        let rep = self.fold_in(terms);
+        let norm = vector::norm(&rep);
+        self.doc_reps
+            .push_row(&rep)
+            .expect("fold_in always returns a rank-length vector");
+        self.doc_norms.push(norm);
+        self.doc_reps.nrows() - 1
+    }
+
+    /// Terms most similar to term `t` in LSI space (cosine over rows of
+    /// `U_k D_k`), excluding `t` itself. This is the term-side view of the
+    /// synonymy effect: surface forms that share contexts land together.
+    pub fn similar_terms(&self, t: usize, top_k: usize) -> RankedList {
+        // Term vectors are rows of U_k scaled by Σ; computing the cosines
+        // with σ²-weighted dot products over U's (contiguous) rows avoids
+        // materializing a scaled vector per candidate term.
+        let k = self.rank();
+        let s2: Vec<f64> = self
+            .factors
+            .singular_values
+            .iter()
+            .map(|s| s * s)
+            .collect();
+        let weighted_norm = |row: &[f64]| -> f64 {
+            row.iter()
+                .zip(&s2)
+                .map(|(x, w)| x * x * w)
+                .sum::<f64>()
+                .sqrt()
+        };
+        let target = self.factors.u.row(t)[..k].to_vec();
+        let tn = weighted_norm(&target);
+        if tn <= 0.0 {
+            return RankedList::default();
+        }
+        let hits: Vec<SearchHit> = (0..self.n_terms())
+            .filter(|&u| u != t)
+            .filter_map(|u| {
+                let row = &self.factors.u.row(u)[..k];
+                let vn = weighted_norm(row);
+                (vn > 0.0).then(|| {
+                    let dot: f64 = row
+                        .iter()
+                        .zip(&target)
+                        .zip(&s2)
+                        .map(|((a, b), w)| a * b * w)
+                        .sum();
+                    SearchHit {
+                        doc: u,
+                        score: (dot / (tn * vn)).clamp(-1.0, 1.0),
+                    }
+                })
+            })
+            .collect();
+        RankedList::from_hits(hits).truncated(top_k)
+    }
+
+    /// Rocchio relevance feedback in LSI space: moves a folded-in query
+    /// toward the centroid of `relevant` documents and away from the
+    /// centroid of `non_relevant` ones, returning the refined query vector
+    /// (feed it to [`LsiIndex::query_vector`]).
+    ///
+    /// `alpha`, `beta`, `gamma` are the classical weights for the original
+    /// query, the relevant centroid, and the non-relevant centroid
+    /// (typical: 1.0, 0.75, 0.15). Empty feedback sets contribute nothing.
+    pub fn rocchio(
+        &self,
+        query: &[f64],
+        relevant: &[usize],
+        non_relevant: &[usize],
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+    ) -> Vec<f64> {
+        let k = self.rank();
+        assert_eq!(query.len(), k, "rocchio: query must live in LSI space");
+        let centroid = |docs: &[usize]| -> Vec<f64> {
+            let mut c = vec![0.0; k];
+            let mut count = 0usize;
+            for &d in docs {
+                if d < self.n_docs() {
+                    vector::axpy(1.0, self.doc_reps.row(d), &mut c);
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                vector::scale(1.0 / count as f64, &mut c);
+            }
+            c
+        };
+        let rel = centroid(relevant);
+        let nonrel = centroid(non_relevant);
+        (0..k)
+            .map(|i| alpha * query[i] + beta * rel[i] - gamma * nonrel[i])
+            .collect()
+    }
+
+    /// Cosine-ranked retrieval for a query already in LSI space (e.g. a
+    /// [`LsiIndex::rocchio`]-refined vector).
+    ///
+    /// # Panics
+    /// Panics if `q.len() != self.rank()` — a term-space vector must go
+    /// through [`LsiIndex::fold_in`] first.
+    pub fn query_vector(&self, q: &[f64], top_k: usize) -> RankedList {
+        assert_eq!(
+            q.len(),
+            self.rank(),
+            "query_vector: query must live in LSI space (length = rank)"
+        );
+        self.rank_by_vector(q, top_k, None)
+    }
+
+    /// Documents most similar to document `j` (excluding `j` itself).
+    pub fn similar_docs(&self, j: usize, top_k: usize) -> RankedList {
+        let q = self.doc_vector(j).to_vec();
+        self.rank_by_vector(&q, top_k, Some(j))
+    }
+
+    /// Cosine similarity between two indexed documents in LSI space.
+    pub fn doc_cosine(&self, i: usize, j: usize) -> f64 {
+        vector::cosine(self.doc_reps.row(i), self.doc_reps.row(j))
+    }
+
+    /// Angle (radians) between two documents in LSI space — the quantity
+    /// tabulated by the paper's experiment.
+    pub fn doc_angle(&self, i: usize, j: usize) -> f64 {
+        vector::angle(self.doc_reps.row(i), self.doc_reps.row(j))
+    }
+
+    fn rank_by_vector(&self, q: &[f64], top_k: usize, exclude: Option<usize>) -> RankedList {
+        let qn = vector::norm(q);
+        if qn <= 0.0 {
+            return RankedList::default();
+        }
+        let hits: Vec<SearchHit> = (0..self.n_docs())
+            .filter(|&d| Some(d) != exclude)
+            .filter(|&d| self.doc_norms[d] > 0.0)
+            .map(|d| SearchHit {
+                doc: d,
+                score: (vector::dot(q, self.doc_reps.row(d)) / (qn * self.doc_norms[d]))
+                    .clamp(-1.0, 1.0),
+            })
+            .collect();
+        RankedList::from_hits(hits).truncated(top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_corpus::{SeparableConfig, SeparableModel};
+    use lsi_ir::Weighting;
+    use rand::SeedableRng;
+
+    fn small_corpus(seed: u64) -> (TermDocumentMatrix, SeparableModel) {
+        let model = SeparableModel::build(SeparableConfig::small(4, 0.05)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let corpus = model.model().sample_corpus(60, &mut rng);
+        (TermDocumentMatrix::from_generated(&corpus).unwrap(), model)
+    }
+
+    #[test]
+    fn build_validates() {
+        let (td, _) = small_corpus(1);
+        assert!(matches!(
+            LsiIndex::build(&td, LsiConfig::with_rank(0)),
+            Err(LsiError::BadRank { .. })
+        ));
+        assert!(matches!(
+            LsiIndex::build(&td, LsiConfig::with_rank(10_000)),
+            Err(LsiError::BadRank { .. })
+        ));
+        let empty = TermDocumentMatrix::from_triplets(5, 0, &[]).unwrap();
+        assert!(matches!(
+            LsiIndex::build(&empty, LsiConfig::with_rank(1)),
+            Err(LsiError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn backends_agree_on_singular_values() {
+        let (td, _) = small_corpus(2);
+        let dense = LsiIndex::build(
+            &td,
+            LsiConfig {
+                rank: 4,
+                weighting: Weighting::Count,
+                backend: SvdBackend::Dense,
+            },
+        )
+        .unwrap();
+        let lanczos = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        for (a, b) in dense
+            .singular_values()
+            .iter()
+            .zip(lanczos.singular_values())
+        {
+            assert!((a - b).abs() < 1e-6 * a.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn doc_vectors_are_projected_columns() {
+        let (td, _) = small_corpus(3);
+        let idx = LsiIndex::build(
+            &td,
+            LsiConfig {
+                rank: 4,
+                weighting: Weighting::Count,
+                backend: SvdBackend::Dense,
+            },
+        )
+        .unwrap();
+        // Row j of doc_reps == U_kᵀ a_j.
+        let dense = td.to_dense();
+        for j in [0usize, 5, 17] {
+            let proj = idx.fold_in_dense(&dense.col(j)).unwrap();
+            let rep = idx.doc_vector(j);
+            for (a, b) in proj.iter().zip(rep) {
+                assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn same_topic_docs_score_higher() {
+        let (td, _) = small_corpus(4);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        let labels = td.topic_labels();
+        // For each document, its most-similar neighbor should share its topic
+        // in the overwhelming majority of cases.
+        let mut good = 0;
+        let mut total = 0;
+        for j in 0..td.n_docs() {
+            let sims = idx.similar_docs(j, 1);
+            if let Some(top) = sims.hits().first() {
+                total += 1;
+                if labels[top.doc] == labels[j] {
+                    good += 1;
+                }
+            }
+        }
+        assert!(
+            good as f64 >= 0.95 * total as f64,
+            "only {good}/{total} nearest neighbors on-topic"
+        );
+    }
+
+    #[test]
+    fn query_retrieves_topic_documents() {
+        let (td, model) = small_corpus(5);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        // Query: a few primary terms of topic 2.
+        let q: Vec<(usize, f64)> = model.primary_set(2)[..5]
+            .iter()
+            .map(|&t| (t, 1.0))
+            .collect();
+        let res = idx.query(&q, 10);
+        assert!(!res.is_empty());
+        let labels = td.topic_labels();
+        let on_topic = res
+            .hits()
+            .iter()
+            .filter(|h| labels[h.doc] == Some(2))
+            .count();
+        assert!(
+            on_topic >= 9,
+            "only {on_topic}/10 of top hits on topic 2"
+        );
+    }
+
+    #[test]
+    fn fold_in_ignores_oov_and_zero() {
+        let (td, _) = small_corpus(6);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+        let empty = idx.fold_in(&[(99_999, 1.0), (0, 0.0)]);
+        assert!(empty.iter().all(|&x| x == 0.0));
+        assert!(idx.query(&[(99_999, 1.0)], 5).is_empty());
+    }
+
+    #[test]
+    fn term_vector_shape_and_scaling() {
+        let (td, _) = small_corpus(7);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+        let tv = idx.term_vector(0);
+        assert_eq!(tv.len(), 3);
+        for (i, &x) in tv.iter().enumerate() {
+            let expect = idx.factors().u[(0, i)] * idx.singular_values()[i];
+            assert!((x - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rocchio_feedback_improves_topic_focus() {
+        let (td, model) = small_corpus(12);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        let labels = td.topic_labels();
+
+        // A deliberately weak query: one topic-0 term plus one topic-1 term.
+        let q0 = idx.fold_in(&[
+            (model.primary_set(0)[0], 1.0),
+            (model.primary_set(1)[0], 1.0),
+        ]);
+        let before = idx.query_vector(&q0, 10);
+        // Feedback: mark the topic-0 hits relevant, topic-1 hits not.
+        let rel: Vec<usize> = before
+            .hits()
+            .iter()
+            .filter(|h| labels[h.doc] == Some(0))
+            .map(|h| h.doc)
+            .collect();
+        let nonrel: Vec<usize> = before
+            .hits()
+            .iter()
+            .filter(|h| labels[h.doc] == Some(1))
+            .map(|h| h.doc)
+            .collect();
+        let refined = idx.rocchio(&q0, &rel, &nonrel, 1.0, 0.75, 0.15);
+        let after = idx.query_vector(&refined, 10);
+
+        let on_topic = |r: &lsi_ir::retrieval::RankedList| {
+            r.hits()
+                .iter()
+                .filter(|h| labels[h.doc] == Some(0))
+                .count()
+        };
+        assert!(
+            on_topic(&after) >= on_topic(&before),
+            "feedback did not help: {} -> {}",
+            on_topic(&before),
+            on_topic(&after)
+        );
+        // Empty feedback is the identity (up to alpha scaling).
+        let same = idx.rocchio(&q0, &[], &[], 1.0, 0.75, 0.15);
+        for (a, b) in same.iter().zip(&q0) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Out-of-range doc ids are ignored, not a panic.
+        let _ = idx.rocchio(&q0, &[999_999], &[], 1.0, 0.75, 0.15);
+    }
+
+    #[test]
+    fn doc_cosine_and_angle_consistent() {
+        let (td, _) = small_corpus(8);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        let c = idx.doc_cosine(0, 1);
+        let a = idx.doc_angle(0, 1);
+        assert!((a.cos() - c).abs() < 1e-10);
+        assert!((idx.doc_cosine(2, 2) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn add_document_folds_in_and_is_searchable() {
+        let (td, model) = small_corpus(10);
+        let mut idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        let before = idx.n_docs();
+
+        // A fresh document made of topic 1's primary terms.
+        let new_doc: Vec<(usize, f64)> = model.primary_set(1)[..6]
+            .iter()
+            .map(|&t| (t, 2.0))
+            .collect();
+        let id = idx.add_document(&new_doc);
+        assert_eq!(id, before);
+        assert_eq!(idx.n_docs(), before + 1);
+
+        // Its nearest neighbors are topic-1 documents.
+        let sims = idx.similar_docs(id, 5);
+        let labels = td.topic_labels();
+        for hit in sims.hits() {
+            assert_eq!(labels[hit.doc], Some(1), "off-topic neighbor {}", hit.doc);
+        }
+        // And a topic-1 query retrieves it.
+        let res = idx.query(&new_doc, idx.n_docs());
+        assert!(res.doc_ids().contains(&id));
+    }
+
+    #[test]
+    fn similar_terms_finds_cohort() {
+        let (td, model) = small_corpus(11);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        let t = model.primary_set(2)[0];
+        let sims = idx.similar_terms(t, 10);
+        assert!(!sims.is_empty());
+        // Top similar terms belong to the same topic's primary set.
+        let primary = model.primary_set(2);
+        let on_topic = sims
+            .hits()
+            .iter()
+            .take(5)
+            .filter(|h| primary.contains(&h.doc))
+            .count();
+        assert!(on_topic >= 4, "only {on_topic}/5 on-topic similar terms");
+        // Never returns the query term itself.
+        assert!(sims.hits().iter().all(|h| h.doc != t));
+    }
+
+    #[test]
+    fn weighting_changes_factors() {
+        let (td, _) = small_corpus(9);
+        let count = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+        let tfidf = LsiIndex::build(
+            &td,
+            LsiConfig {
+                rank: 3,
+                weighting: Weighting::TfIdf,
+                backend: SvdBackend::default(),
+            },
+        )
+        .unwrap();
+        assert_ne!(count.singular_values()[0], tfidf.singular_values()[0]);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Latent Semantic Indexing.
+//!
+//! The paper's object of study (§2): take the `n × m` term–document matrix
+//! `A`, compute its rank-`k` truncated SVD `A_k = U_k D_k V_kᵀ`, represent
+//! documents by the rows of `V_k D_k`, and process queries in the
+//! `k`-dimensional "LSI space" spanned by the columns of `U_k`.
+//!
+//! * [`index`] — build the index (dense, Lanczos, or randomized SVD
+//!   backend), fold queries in, retrieve by cosine in LSI space.
+//! * [`skew`] — the δ-skew measure of Section 4's theorems: how close the
+//!   LSI representation is to "orthogonal across topics, parallel within a
+//!   topic".
+//! * [`angles`] — the pairwise-angle statistics of the paper's experiment
+//!   (its only table), in both the original term space and the LSI space.
+//! * [`synonymy`] — the co-occurrence analysis of Section 4's "Synonymy"
+//!   discussion: terms with identical co-occurrence patterns differ only
+//!   along trailing eigenvectors of `A Aᵀ`, which rank-k LSI projects out.
+
+//! * [`storage`] — a versioned binary on-disk format, because the SVD is
+//!   the expensive step and a deployed index is computed once.
+
+pub mod angles;
+pub mod config;
+pub mod index;
+pub mod skew;
+pub mod storage;
+pub mod synonymy;
+
+pub use angles::{pairwise_angle_stats, AngleStats, PairAngleReport};
+pub use config::{LsiConfig, SvdBackend};
+pub use index::{LsiError, LsiIndex};
+pub use skew::{measure_skew, SkewReport};
+pub use storage::{read_index, write_index, StorageError};

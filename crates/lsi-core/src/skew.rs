@@ -1,0 +1,159 @@
+//! The δ-skew measure of Section 4.
+//!
+//! "The rank-k LSI is δ-skewed on the corpus instance C if, for each pair of
+//! documents d and d′: v_d · v_d′ ≤ δ‖v_d‖‖v_d′‖ if d and d′ belong to
+//! different topics, and v_d · v_d′ ≥ (1 − δ)‖v_d‖‖v_d′‖ if they belong to
+//! the same topic."
+//!
+//! [`measure_skew`] reports the **smallest** δ for which a given document
+//! representation is δ-skewed — 0 means perfect topic separation (Theorem 2),
+//! and Theorems 3/6 predict δ = O(ε) for ε-separable models.
+
+use lsi_linalg::{vector, Matrix};
+
+/// The measured skew of a labeled document representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    /// The smallest δ such that the representation is δ-skewed.
+    pub delta: f64,
+    /// Largest intertopic cosine observed (contributes `max cos`).
+    pub max_intertopic_cos: f64,
+    /// Smallest intratopic cosine observed (contributes `1 − min cos`).
+    pub min_intratopic_cos: f64,
+    /// Number of intratopic pairs measured.
+    pub intratopic_pairs: usize,
+    /// Number of intertopic pairs measured.
+    pub intertopic_pairs: usize,
+}
+
+/// Measures skew over documents given as **rows** of `reps`, with
+/// ground-truth labels (unlabeled documents are skipped). Zero-norm
+/// documents are skipped too: the definition compares directions, and a
+/// zero vector has none.
+///
+/// Returns `None` when fewer than two labeled documents remain.
+pub fn measure_skew(reps: &Matrix, labels: &[Option<usize>]) -> Option<SkewReport> {
+    assert_eq!(
+        reps.nrows(),
+        labels.len(),
+        "measure_skew: one label per document row"
+    );
+    let live: Vec<(usize, usize)> = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.map(|t| (i, t)))
+        .filter(|&(i, _)| vector::norm(reps.row(i)) > 0.0)
+        .collect();
+    if live.len() < 2 {
+        return None;
+    }
+
+    let mut max_inter = f64::NEG_INFINITY;
+    let mut min_intra = f64::INFINITY;
+    let mut n_intra = 0usize;
+    let mut n_inter = 0usize;
+
+    for (a, &(i, ti)) in live.iter().enumerate() {
+        for &(j, tj) in &live[a + 1..] {
+            let c = vector::cosine(reps.row(i), reps.row(j));
+            if ti == tj {
+                n_intra += 1;
+                min_intra = min_intra.min(c);
+            } else {
+                n_inter += 1;
+                max_inter = max_inter.max(c);
+            }
+        }
+    }
+
+    // δ must dominate both failure modes; a missing class of pairs imposes
+    // no constraint.
+    let from_inter = if n_inter > 0 { max_inter.max(0.0) } else { 0.0 };
+    let from_intra = if n_intra > 0 { 1.0 - min_intra } else { 0.0 };
+    Some(SkewReport {
+        delta: from_inter.max(from_intra),
+        max_intertopic_cos: if n_inter > 0 { max_inter } else { f64::NAN },
+        min_intratopic_cos: if n_intra > 0 { min_intra } else { f64::NAN },
+        intratopic_pairs: n_intra,
+        intertopic_pairs: n_inter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn perfect_separation_is_zero_skew() {
+        let reps = m(&[
+            &[1.0, 0.0],
+            &[2.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, 3.0],
+        ]);
+        let labels = vec![Some(0), Some(0), Some(1), Some(1)];
+        let r = measure_skew(&reps, &labels).unwrap();
+        assert!(r.delta.abs() < 1e-12, "{r:?}");
+        assert_eq!(r.intratopic_pairs, 2);
+        assert_eq!(r.intertopic_pairs, 4);
+    }
+
+    #[test]
+    fn intertopic_overlap_raises_delta() {
+        // 45° between topics: intertopic cosine ≈ 0.707.
+        let reps = m(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        let labels = vec![Some(0), Some(1)];
+        let r = measure_skew(&reps, &labels).unwrap();
+        assert!((r.delta - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intratopic_spread_raises_delta() {
+        // Same topic, 90° apart: 1 − cos = 1.
+        let reps = m(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let labels = vec![Some(0), Some(0)];
+        let r = measure_skew(&reps, &labels).unwrap();
+        assert!((r.delta - 1.0).abs() < 1e-12);
+        assert_eq!(r.intertopic_pairs, 0);
+        assert!(r.max_intertopic_cos.is_nan());
+    }
+
+    #[test]
+    fn negative_intertopic_cosines_do_not_reward() {
+        // Anti-parallel across topics is still fine (δ from inter = 0).
+        let reps = m(&[&[1.0, 0.0], &[-1.0, 0.0]]);
+        let labels = vec![Some(0), Some(1)];
+        let r = measure_skew(&reps, &labels).unwrap();
+        assert_eq!(r.delta, 0.0);
+    }
+
+    #[test]
+    fn unlabeled_and_zero_docs_skipped() {
+        let reps = m(&[&[1.0, 0.0], &[0.0, 0.0], &[0.5, 0.0], &[0.0, 1.0]]);
+        let labels = vec![Some(0), Some(0), Some(0), None];
+        let r = measure_skew(&reps, &labels).unwrap();
+        // Only rows 0 and 2 count: parallel, same topic.
+        assert_eq!(r.intratopic_pairs, 1);
+        assert_eq!(r.intertopic_pairs, 0);
+        assert!(r.delta.abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_documents_is_none() {
+        let reps = m(&[&[1.0, 0.0]]);
+        assert!(measure_skew(&reps, &[Some(0)]).is_none());
+        let reps2 = m(&[&[1.0], &[1.0]]);
+        assert!(measure_skew(&reps2, &[None, None]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per document")]
+    fn mismatched_labels_panic() {
+        let reps = m(&[&[1.0]]);
+        measure_skew(&reps, &[Some(0), Some(1)]);
+    }
+}

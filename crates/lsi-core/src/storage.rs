@@ -1,0 +1,378 @@
+//! On-disk persistence for LSI indexes.
+//!
+//! The SVD is the expensive step of LSI ("at the expense of some
+//! considerable preprocessing", §1); a deployable system computes it once
+//! and serves many queries. This module defines a small, versioned,
+//! self-describing binary format:
+//!
+//! ```text
+//! magic "LSIX" | version u32 | weighting u8 | rank u32 |
+//! n_terms u64 | n_docs u64 | n_vt_docs u64 |
+//! singular_values  k × f64 |
+//! u        (n_terms × k) × f64 row-major |
+//! vt       (k × n_vt_docs) × f64 row-major |
+//! doc_reps (n_docs × k) × f64 row-major
+//! ```
+//!
+//! All integers and floats are little-endian. Document representations are
+//! stored explicitly (not recomputed from `vt`) because
+//! [`LsiIndex::add_document`] can fold in documents beyond the build-time
+//! factorization — `n_docs ≥ n_vt_docs`. Document norms are recomputed on
+//! load. Readers validate magic, version, dimensional consistency, and
+//! finiteness, so a truncated or corrupted file yields an error rather than
+//! a quietly broken index.
+
+use std::io::{Read, Write};
+
+use lsi_ir::Weighting;
+use lsi_linalg::{vector, Matrix, TruncatedSvd};
+
+use crate::config::{LsiConfig, SvdBackend};
+use crate::index::LsiIndex;
+
+const MAGIC: &[u8; 4] = b"LSIX";
+const VERSION: u32 = 1;
+
+/// Errors from reading or writing an index file.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the `LSIX` magic.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// An unknown weighting tag.
+    UnknownWeighting(u8),
+    /// Declared dimensions are inconsistent or implausibly large.
+    BadDimensions(String),
+    /// A stored float is NaN or infinite.
+    CorruptData,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadMagic => write!(f, "not an LSI index file (bad magic)"),
+            StorageError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::UnknownWeighting(t) => write!(f, "unknown weighting tag {t}"),
+            StorageError::BadDimensions(d) => write!(f, "bad dimensions: {d}"),
+            StorageError::CorruptData => write!(f, "corrupt data (non-finite value)"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+fn weighting_tag(w: Weighting) -> u8 {
+    match w {
+        Weighting::Count => 0,
+        Weighting::Binary => 1,
+        Weighting::LogTf => 2,
+        Weighting::TfIdf => 3,
+        Weighting::LogEntropy => 4,
+    }
+}
+
+fn weighting_from_tag(t: u8) -> Result<Weighting, StorageError> {
+    Ok(match t {
+        0 => Weighting::Count,
+        1 => Weighting::Binary,
+        2 => Weighting::LogTf,
+        3 => Weighting::TfIdf,
+        4 => Weighting::LogEntropy,
+        other => return Err(StorageError::UnknownWeighting(other)),
+    })
+}
+
+fn write_f64s<W: Write>(w: &mut W, xs: &[f64]) -> Result<(), StorageError> {
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f64s<R: Read>(r: &mut R, count: usize) -> Result<Vec<f64>, StorageError> {
+    // Cap the up-front allocation: a crafted header must not force a huge
+    // allocation before any payload bytes have been validated.
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    let mut buf = [0u8; 8];
+    for _ in 0..count {
+        r.read_exact(&mut buf)?;
+        let x = f64::from_le_bytes(buf);
+        if !x.is_finite() {
+            return Err(StorageError::CorruptData);
+        }
+        out.push(x);
+    }
+    Ok(out)
+}
+
+/// Serializes an index to any writer.
+pub fn write_index<W: Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageError> {
+    let f = index.factors();
+    let k = index.rank();
+    let n = index.n_terms();
+    let m_docs = index.n_docs(); // may exceed vt's columns after add_document
+    let m_vt = f.vt.ncols();
+
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[weighting_tag(index.config().weighting)])?;
+    w.write_all(&(k as u32).to_le_bytes())?;
+    w.write_all(&(n as u64).to_le_bytes())?;
+    w.write_all(&(m_docs as u64).to_le_bytes())?;
+    w.write_all(&(m_vt as u64).to_le_bytes())?;
+    write_f64s(w, &f.singular_values)?;
+    write_f64s(w, f.u.as_slice())?;
+    write_f64s(w, f.vt.as_slice())?;
+    write_f64s(w, index.doc_representations().as_slice())?;
+    Ok(())
+}
+
+/// Deserializes an index from any reader.
+///
+/// The loaded index reports [`SvdBackend::Dense`] as its backend (the
+/// factors are already computed; the backend only matters at build time).
+pub fn read_index<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(StorageError::UnsupportedVersion(version));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let weighting = weighting_from_tag(tag[0])?;
+    r.read_exact(&mut u32buf)?;
+    let k = u32::from_le_bytes(u32buf) as usize;
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let m_docs = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let m_vt = u64::from_le_bytes(u64buf) as usize;
+
+    // Sanity caps: reject absurd headers (≈1 GiB per array at most).
+    const MAX_ELEMS: usize = 1 << 27;
+    if k == 0
+        || n == 0
+        || m_vt == 0
+        || m_docs < m_vt
+        || k > n.min(m_vt)
+        || n.saturating_mul(k) > MAX_ELEMS
+        || m_vt.saturating_mul(k) > MAX_ELEMS
+        || m_docs.saturating_mul(k) > MAX_ELEMS
+    {
+        return Err(StorageError::BadDimensions(format!(
+            "k={k}, n_terms={n}, n_docs={m_docs}, n_vt_docs={m_vt}"
+        )));
+    }
+
+    let singular_values = read_f64s(r, k)?;
+    if singular_values.iter().any(|&s| s < 0.0) {
+        return Err(StorageError::CorruptData);
+    }
+    let u_data = read_f64s(r, n * k)?;
+    let vt_data = read_f64s(r, k * m_vt)?;
+    let rep_data = read_f64s(r, m_docs * k)?;
+
+    let u = Matrix::from_vec(n, k, u_data)
+        .map_err(|e| StorageError::BadDimensions(e.to_string()))?;
+    let vt = Matrix::from_vec(k, m_vt, vt_data)
+        .map_err(|e| StorageError::BadDimensions(e.to_string()))?;
+    let doc_reps = Matrix::from_vec(m_docs, k, rep_data)
+        .map_err(|e| StorageError::BadDimensions(e.to_string()))?;
+
+    let factors = TruncatedSvd {
+        u,
+        singular_values,
+        vt,
+    };
+    let doc_norms: Vec<f64> = (0..m_docs).map(|j| vector::norm(doc_reps.row(j))).collect();
+
+    Ok(LsiIndex::from_parts(
+        factors,
+        doc_reps,
+        doc_norms,
+        LsiConfig {
+            rank: k,
+            weighting,
+            backend: SvdBackend::Dense,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_ir::TermDocumentMatrix;
+
+    fn sample_index() -> LsiIndex {
+        let td = TermDocumentMatrix::from_triplets(
+            6,
+            5,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (0, 1, 1.0),
+                (2, 2, 3.0),
+                (3, 2, 1.0),
+                (2, 3, 2.0),
+                (4, 4, 1.0),
+                (5, 4, 2.0),
+            ],
+        )
+        .unwrap();
+        LsiIndex::build(
+            &td,
+            LsiConfig {
+                rank: 3,
+                weighting: Weighting::LogTf,
+                backend: SvdBackend::Dense,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_observable() {
+        let idx = sample_index();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        let loaded = read_index(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.rank(), idx.rank());
+        assert_eq!(loaded.n_terms(), idx.n_terms());
+        assert_eq!(loaded.n_docs(), idx.n_docs());
+        assert_eq!(loaded.config().weighting, Weighting::LogTf);
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+        // Query behaviour is identical.
+        let q = vec![(0usize, 1.0), (1, 2.0)];
+        let a = idx.query(&q, 5);
+        let b = loaded.query(&q, 5);
+        assert_eq!(a.doc_ids(), b.doc_ids());
+        for (x, y) in a.hits().iter().zip(b.hits()) {
+            assert!((x.score - y.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &sample_index()).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_index(&mut buf.as_slice()),
+            Err(StorageError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &sample_index()).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_index(&mut buf.as_slice()),
+            Err(StorageError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_weighting() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &sample_index()).unwrap();
+        buf[8] = 42;
+        assert!(matches!(
+            read_index(&mut buf.as_slice()),
+            Err(StorageError::UnknownWeighting(42))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &sample_index()).unwrap();
+        for cut in [3usize, 10, 20, buf.len() / 2, buf.len() - 1] {
+            let r = read_index(&mut buf[..cut].to_vec().as_slice());
+            assert!(r.is_err(), "accepted a file truncated at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_nan_payload() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &sample_index()).unwrap();
+        // Overwrite the first singular value with NaN.
+        let offset = 4 + 4 + 1 + 4 + 8 + 8 + 8;
+        buf[offset..offset + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            read_index(&mut buf.as_slice()),
+            Err(StorageError::CorruptData)
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_folded_in_documents() {
+        let mut idx = sample_index();
+        // Fold in a new document after the build.
+        let new_id = idx.add_document(&[(0usize, 3.0), (1, 1.0)]);
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        let loaded = read_index(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.n_docs(), idx.n_docs());
+        // The folded document's representation survives byte-for-byte.
+        assert_eq!(loaded.doc_vector(new_id), idx.doc_vector(new_id));
+        // And it is still searchable in the loaded index.
+        let hits = loaded.query(&[(0, 1.0)], loaded.n_docs());
+        assert!(hits.doc_ids().contains(&new_id));
+    }
+
+    #[test]
+    fn rejects_absurd_dimensions() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &sample_index()).unwrap();
+        // Claim 2^40 terms.
+        let offset = 4 + 4 + 1 + 4;
+        buf[offset..offset + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert!(matches!(
+            read_index(&mut buf.as_slice()),
+            Err(StorageError::BadDimensions(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let idx = sample_index();
+        let path = std::env::temp_dir().join("lsi_storage_test.lsix");
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            write_index(&mut f, &idx).unwrap();
+        }
+        let mut f = std::fs::File::open(&path).unwrap();
+        let loaded = read_index(&mut f).unwrap();
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,216 @@
+//! Discrete sampling by the Walker alias method.
+//!
+//! Document generation draws tens of thousands of terms per corpus; the
+//! alias method gives O(1) draws after O(n) preprocessing, so corpus
+//! generation stays linear in total corpus length.
+
+use rand::Rng;
+
+/// A normalized discrete distribution with O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct DiscreteDistribution {
+    /// Normalized probabilities (kept for exact queries and mixing).
+    probs: Vec<f64>,
+    /// Alias-table acceptance thresholds.
+    accept: Vec<f64>,
+    /// Alias targets.
+    alias: Vec<usize>,
+}
+
+impl DiscreteDistribution {
+    /// Builds from nonnegative weights (not necessarily normalized).
+    ///
+    /// Returns `None` when `weights` is empty, contains a negative or
+    /// non-finite entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let n = weights.len();
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+        // Walker's alias construction: split entries into under- and
+        // over-full relative to the uniform 1/n, pair them off.
+        let mut accept = vec![0.0; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        let mut scaled: Vec<f64> = probs.iter().map(|p| p * n as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            accept[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in large.iter().chain(small.iter()) {
+            accept[i] = 1.0;
+        }
+
+        Some(DiscreteDistribution {
+            probs,
+            accept,
+            alias,
+        })
+    }
+
+    /// The uniform distribution on `0..n`.
+    pub fn uniform(n: usize) -> Option<Self> {
+        Self::new(&vec![1.0; n])
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when the support is empty (cannot happen for constructed values;
+    /// present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of outcome `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The normalized probability vector.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Draws one outcome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.probs.len();
+        let i = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.accept[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Convex combination `Σ wᵢ·distᵢ` of several distributions over the
+    /// same support size. Weights must be nonnegative with positive sum.
+    pub fn mixture(components: &[(&DiscreteDistribution, f64)]) -> Option<Self> {
+        let n = components.first()?.0.len();
+        if components.iter().any(|(d, w)| d.len() != n || *w < 0.0) {
+            return None;
+        }
+        let mut weights = vec![0.0; n];
+        for (d, w) in components {
+            for (i, &p) in d.probs.iter().enumerate() {
+                weights[i] += w * p;
+            }
+        }
+        Self::new(&weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(DiscreteDistribution::new(&[]).is_none());
+        assert!(DiscreteDistribution::new(&[0.0, 0.0]).is_none());
+        assert!(DiscreteDistribution::new(&[1.0, -0.5]).is_none());
+        assert!(DiscreteDistribution::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn normalizes() {
+        let d = DiscreteDistribution::new(&[2.0, 6.0]).unwrap();
+        assert!((d.prob(0) - 0.25).abs() < 1e-15);
+        assert!((d.prob(1) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let d = DiscreteDistribution::uniform(4).unwrap();
+        for i in 0..4 {
+            assert!((d.prob(i) - 0.25).abs() < 1e-15);
+        }
+        assert!(DiscreteDistribution::uniform(0).is_none());
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let d = DiscreteDistribution::new(&[1.0, 2.0, 7.0]).unwrap();
+        let mut r = rng(42);
+        let n = 300_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freqs[0] - 0.1).abs() < 0.005, "{freqs:?}");
+        assert!((freqs[1] - 0.2).abs() < 0.005, "{freqs:?}");
+        assert!((freqs[2] - 0.7).abs() < 0.005, "{freqs:?}");
+    }
+
+    #[test]
+    fn degenerate_single_outcome() {
+        let d = DiscreteDistribution::new(&[5.0]).unwrap();
+        let mut r = rng(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn point_mass_never_samples_others() {
+        let d = DiscreteDistribution::new(&[0.0, 1.0, 0.0]).unwrap();
+        let mut r = rng(2);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn mixture_combines() {
+        let a = DiscreteDistribution::new(&[1.0, 0.0]).unwrap();
+        let b = DiscreteDistribution::new(&[0.0, 1.0]).unwrap();
+        let m = DiscreteDistribution::mixture(&[(&a, 0.25), (&b, 0.75)]).unwrap();
+        assert!((m.prob(0) - 0.25).abs() < 1e-15);
+        assert!((m.prob(1) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mixture_rejects_mismatched_supports() {
+        let a = DiscreteDistribution::uniform(2).unwrap();
+        let b = DiscreteDistribution::uniform(3).unwrap();
+        assert!(DiscreteDistribution::mixture(&[(&a, 0.5), (&b, 0.5)]).is_none());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = DiscreteDistribution::new(&[0.3, 0.3, 0.9, 1.5]).unwrap();
+        let sum: f64 = d.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

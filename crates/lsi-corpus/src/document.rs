@@ -1,0 +1,166 @@
+//! Generated documents and corpora.
+
+/// A sampled document: a bag of term occurrences plus the ground truth the
+/// generator knows about it (its topic, when the model is pure).
+///
+/// Ground-truth labels are what let the experiments *measure* whether LSI
+/// rediscovered the structure (δ-skew, intratopic/intertopic angles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// `(term, count)` pairs sorted by term id; counts are ≥ 1.
+    counts: Vec<(usize, u32)>,
+    /// Total number of term occurrences (the paper's document length ℓ).
+    length: usize,
+    /// Ground-truth topic index for pure models; `None` for mixtures.
+    topic: Option<usize>,
+}
+
+impl Document {
+    /// Builds a document from a raw sequence of sampled term occurrences.
+    pub fn from_occurrences(occurrences: &[usize], topic: Option<usize>) -> Self {
+        let mut sorted = occurrences.to_vec();
+        sorted.sort_unstable();
+        let mut counts: Vec<(usize, u32)> = Vec::new();
+        for &t in &sorted {
+            match counts.last_mut() {
+                Some((term, c)) if *term == t => *c += 1,
+                _ => counts.push((t, 1)),
+            }
+        }
+        Document {
+            counts,
+            length: occurrences.len(),
+            topic,
+        }
+    }
+
+    /// `(term, count)` pairs sorted by term id.
+    pub fn counts(&self) -> &[(usize, u32)] {
+        &self.counts
+    }
+
+    /// Total term occurrences.
+    pub fn len(&self) -> usize {
+        self.length
+    }
+
+    /// True if the document has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.length == 0
+    }
+
+    /// Number of distinct terms.
+    pub fn distinct_terms(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Occurrence count of a specific term.
+    pub fn count(&self, term: usize) -> u32 {
+        match self.counts.binary_search_by_key(&term, |&(t, _)| t) {
+            Ok(i) => self.counts[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Ground-truth topic (pure models only).
+    pub fn topic(&self) -> Option<usize> {
+        self.topic
+    }
+}
+
+/// A corpus sampled from a [`crate::CorpusModel`].
+#[derive(Debug, Clone)]
+pub struct GeneratedCorpus {
+    universe_size: usize,
+    documents: Vec<Document>,
+}
+
+impl GeneratedCorpus {
+    /// Assembles a corpus; documents must reference terms `< universe_size`.
+    pub fn new(universe_size: usize, documents: Vec<Document>) -> Self {
+        debug_assert!(documents
+            .iter()
+            .all(|d| d.counts().iter().all(|&(t, _)| t < universe_size)));
+        GeneratedCorpus {
+            universe_size,
+            documents,
+        }
+    }
+
+    /// Size of the term universe.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True when the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// The documents.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// Ground-truth topic labels, `None` entries for mixture documents.
+    pub fn topic_labels(&self) -> Vec<Option<usize>> {
+        self.documents.iter().map(|d| d.topic()).collect()
+    }
+
+    /// COO triplets `(term, doc, count)` of the raw count term–document
+    /// matrix — the hand-off format to `lsi-ir`.
+    pub fn to_triplets(&self) -> Vec<(usize, usize, f64)> {
+        let mut trips = Vec::new();
+        for (j, doc) in self.documents.iter().enumerate() {
+            for &(t, c) in doc.counts() {
+                trips.push((t, j, c as f64));
+            }
+        }
+        trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_occurrences_counts() {
+        let d = Document::from_occurrences(&[3, 1, 3, 3, 2], Some(0));
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.distinct_terms(), 3);
+        assert_eq!(d.count(3), 3);
+        assert_eq!(d.count(1), 1);
+        assert_eq!(d.count(9), 0);
+        assert_eq!(d.topic(), Some(0));
+        assert_eq!(d.counts(), &[(1, 1), (2, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::from_occurrences(&[], None);
+        assert!(d.is_empty());
+        assert_eq!(d.distinct_terms(), 0);
+        assert_eq!(d.topic(), None);
+    }
+
+    #[test]
+    fn corpus_triplets() {
+        let d0 = Document::from_occurrences(&[0, 0, 1], Some(0));
+        let d1 = Document::from_occurrences(&[2], Some(1));
+        let c = GeneratedCorpus::new(3, vec![d0, d1]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.universe_size(), 3);
+        let trips = c.to_triplets();
+        assert!(trips.contains(&(0, 0, 2.0)));
+        assert!(trips.contains(&(1, 0, 1.0)));
+        assert!(trips.contains(&(2, 1, 1.0)));
+        assert_eq!(trips.len(), 3);
+        assert_eq!(c.topic_labels(), vec![Some(0), Some(1)]);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! The probabilistic corpus model of Papadimitriou, Raghavan, Tamaki &
+//! Vempala (Section 3 of the paper).
+//!
+//! * A **universe** is a set of terms `0..n` ([`model::CorpusModel`] carries
+//!   its size).
+//! * A **topic** ([`Topic`]) is a probability distribution on the universe
+//!   (Definition 2).
+//! * A **style** ([`Style`]) is a row-stochastic matrix that rewrites term
+//!   frequencies (Definition 3).
+//! * A **corpus model** ([`CorpusModel`]) is the quadruple `(U, T, S, D)` of
+//!   Definition 4: universe, topics, styles, and a distribution `D` over
+//!   convex topic combinations × convex style combinations × document
+//!   lengths.
+//!
+//! Documents are produced by the paper's two-step sampling process
+//! ([`CorpusModel::sample_corpus`]): draw `(T̄, S̄, ℓ)` from `D`, then draw
+//! `ℓ` terms i.i.d. from the styled mixture `T̄ S̄`.
+//!
+//! [`separable`] builds the pure, ε-separable models of Section 4 —
+//! including the exact configuration of the paper's experiment (2000 terms,
+//! 20 topics, 0.05-separable, 1000 documents of 50–100 terms).
+
+pub mod distribution;
+pub mod document;
+pub mod model;
+pub mod separable;
+pub mod style;
+pub mod topic;
+pub mod vocab;
+
+pub use distribution::DiscreteDistribution;
+pub use document::{Document, GeneratedCorpus};
+pub use model::{CorpusError, CorpusModel, DocumentLaw, DocumentSpec, LengthLaw};
+pub use separable::{SeparableConfig, SeparableModel};
+pub use style::Style;
+pub use topic::Topic;

@@ -1,0 +1,578 @@
+//! The corpus model quadruple `C = (U, T, S, D)` and its two-step sampler
+//! (Definition 4 and the sampling process of Section 3).
+
+use rand::Rng;
+
+use crate::distribution::DiscreteDistribution;
+use crate::document::{Document, GeneratedCorpus};
+use crate::style::Style;
+use crate::topic::Topic;
+
+/// Configuration errors for [`CorpusModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// The model needs at least one topic.
+    NoTopics,
+    /// A topic is defined over a different universe size than the model.
+    UniverseMismatch {
+        /// Index of the offending topic or style.
+        index: usize,
+        /// Its universe size.
+        found: usize,
+        /// The model's universe size.
+        expected: usize,
+    },
+    /// `topics_per_doc` must satisfy `1 ≤ topics_per_doc ≤ |T|`.
+    BadTopicsPerDoc(usize),
+    /// The length law is degenerate (zero or inverted range).
+    BadLengthLaw,
+    /// A non-identity style mode was requested but the model has no styles.
+    NoStyles,
+    /// A configuration constraint was violated (details in the message).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::NoTopics => write!(f, "corpus model needs at least one topic"),
+            CorpusError::UniverseMismatch {
+                index,
+                found,
+                expected,
+            } => write!(
+                f,
+                "component {index} has universe size {found}, model expects {expected}"
+            ),
+            CorpusError::BadTopicsPerDoc(k) => write!(f, "invalid topics_per_doc {k}"),
+            CorpusError::BadLengthLaw => write!(f, "invalid document length law"),
+            CorpusError::NoStyles => {
+                write!(f, "style mode requires at least one style in the model")
+            }
+            CorpusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Distribution of document lengths (the `Z+` component of `D`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LengthLaw {
+    /// Every document has exactly this many term occurrences.
+    Fixed(usize),
+    /// Uniform over `min..=max` — the paper's experiment uses `Uniform
+    /// { min: 50, max: 100 }`.
+    Uniform {
+        /// Minimum length (inclusive), ≥ 1.
+        min: usize,
+        /// Maximum length (inclusive).
+        max: usize,
+    },
+}
+
+impl LengthLaw {
+    fn validate(&self) -> Result<(), CorpusError> {
+        match *self {
+            LengthLaw::Fixed(l) if l >= 1 => Ok(()),
+            LengthLaw::Uniform { min, max } if min >= 1 && min <= max => Ok(()),
+            _ => Err(CorpusError::BadLengthLaw),
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match *self {
+            LengthLaw::Fixed(l) => l,
+            LengthLaw::Uniform { min, max } => rng.gen_range(min..=max),
+        }
+    }
+}
+
+/// How styles enter the per-document draw (the `S̄` component of `D`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StyleMode {
+    /// No rewriting (the "style-free" setting of Section 4's theorems).
+    #[default]
+    Identity,
+    /// One style chosen uniformly per document.
+    RandomSingle,
+    /// A uniform convex combination of all styles per document.
+    UniformMixture,
+}
+
+/// The distribution `D` over (topic combination, style combination, length).
+#[derive(Debug, Clone)]
+pub struct DocumentLaw {
+    /// Number of topics mixed per document; `1` makes the model **pure**.
+    pub topics_per_doc: usize,
+    /// Style selection mode.
+    pub style_mode: StyleMode,
+    /// Document length distribution.
+    pub length: LengthLaw,
+}
+
+impl DocumentLaw {
+    /// The law of the paper's Section 4 experiments: pure documents,
+    /// style-free, lengths uniform in `[min, max]`.
+    pub fn pure_uniform(min_len: usize, max_len: usize) -> Self {
+        DocumentLaw {
+            topics_per_doc: 1,
+            style_mode: StyleMode::Identity,
+            length: LengthLaw::Uniform {
+                min: min_len,
+                max: max_len,
+            },
+        }
+    }
+}
+
+/// One draw from `D`: the recipe for a single document.
+#[derive(Debug, Clone)]
+pub struct DocumentSpec {
+    /// `(topic index, weight)` convex combination.
+    pub topic_mixture: Vec<(usize, f64)>,
+    /// `(style index, weight)` convex combination; empty = identity.
+    pub style_mixture: Vec<(usize, f64)>,
+    /// Number of term occurrences to draw.
+    pub length: usize,
+}
+
+/// The corpus model `C = (U, T, S, D)`.
+#[derive(Debug, Clone)]
+pub struct CorpusModel {
+    universe_size: usize,
+    topics: Vec<Topic>,
+    styles: Vec<Style>,
+    law: DocumentLaw,
+}
+
+impl CorpusModel {
+    /// Assembles a model, validating that all components share the universe.
+    pub fn new(
+        universe_size: usize,
+        topics: Vec<Topic>,
+        styles: Vec<Style>,
+        law: DocumentLaw,
+    ) -> Result<Self, CorpusError> {
+        if topics.is_empty() {
+            return Err(CorpusError::NoTopics);
+        }
+        for (i, t) in topics.iter().enumerate() {
+            if t.universe_size() != universe_size {
+                return Err(CorpusError::UniverseMismatch {
+                    index: i,
+                    found: t.universe_size(),
+                    expected: universe_size,
+                });
+            }
+        }
+        for (i, s) in styles.iter().enumerate() {
+            if s.universe_size() != universe_size {
+                return Err(CorpusError::UniverseMismatch {
+                    index: i,
+                    found: s.universe_size(),
+                    expected: universe_size,
+                });
+            }
+        }
+        if law.topics_per_doc == 0 || law.topics_per_doc > topics.len() {
+            return Err(CorpusError::BadTopicsPerDoc(law.topics_per_doc));
+        }
+        if law.style_mode != StyleMode::Identity && styles.is_empty() {
+            return Err(CorpusError::NoStyles);
+        }
+        law.length.validate()?;
+        Ok(CorpusModel {
+            universe_size,
+            topics,
+            styles,
+            law,
+        })
+    }
+
+    /// Size of the term universe `|U|`.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// The topic set `T`.
+    pub fn topics(&self) -> &[Topic] {
+        &self.topics
+    }
+
+    /// The style set `S`.
+    pub fn styles(&self) -> &[Style] {
+        &self.styles
+    }
+
+    /// The document law `D`.
+    pub fn law(&self) -> &DocumentLaw {
+        &self.law
+    }
+
+    /// True when every document involves a single topic (Section 4's
+    /// "pure" condition).
+    pub fn is_pure(&self) -> bool {
+        self.law.topics_per_doc == 1
+    }
+
+    /// True when no style rewriting happens ("style-free").
+    pub fn is_style_free(&self) -> bool {
+        self.law.style_mode == StyleMode::Identity
+    }
+
+    /// The paper's `τ`: the largest probability any topic assigns to any
+    /// single term.
+    pub fn max_term_probability(&self) -> f64 {
+        self.topics
+            .iter()
+            .map(|t| t.max_term_probability())
+            .fold(0.0, f64::max)
+    }
+
+    /// First step of the two-step process: draw `(T̄, S̄, ℓ)` from `D`.
+    pub fn sample_spec<R: Rng + ?Sized>(&self, rng: &mut R) -> DocumentSpec {
+        let k = self.topics.len();
+        let j = self.law.topics_per_doc;
+        // Choose j distinct topics uniformly (partial Fisher–Yates).
+        let mut ids: Vec<usize> = (0..k).collect();
+        for i in 0..j {
+            let pick = rng.gen_range(i..k);
+            ids.swap(i, pick);
+        }
+        let chosen = &ids[..j];
+        // Random convex weights (uniform on the simplex via exponentials).
+        let mut weights: Vec<f64> = if j == 1 {
+            vec![1.0]
+        } else {
+            let raw: Vec<f64> = (0..j).map(|_| -rng.gen::<f64>().max(1e-12).ln()).collect();
+            let sum: f64 = raw.iter().sum();
+            raw.into_iter().map(|w| w / sum).collect()
+        };
+        let topic_mixture: Vec<(usize, f64)> = chosen
+            .iter()
+            .copied()
+            .zip(weights.drain(..))
+            .collect();
+
+        let style_mixture = match self.law.style_mode {
+            StyleMode::Identity => Vec::new(),
+            StyleMode::RandomSingle => {
+                vec![(rng.gen_range(0..self.styles.len()), 1.0)]
+            }
+            StyleMode::UniformMixture => {
+                let s = self.styles.len();
+                (0..s).map(|i| (i, 1.0 / s as f64)).collect()
+            }
+        };
+
+        DocumentSpec {
+            topic_mixture,
+            style_mixture,
+            length: self.law.length.sample(rng),
+        }
+    }
+
+    /// Second step: draw `spec.length` terms from the styled mixture `T̄ S̄`.
+    pub fn sample_document_from_spec<R: Rng + ?Sized>(
+        &self,
+        spec: &DocumentSpec,
+        rng: &mut R,
+    ) -> Document {
+        // Build the mixture distribution T̄.
+        let dist = if spec.topic_mixture.len() == 1 {
+            self.topics[spec.topic_mixture[0].0].distribution().clone()
+        } else {
+            let comps: Vec<(&DiscreteDistribution, f64)> = spec
+                .topic_mixture
+                .iter()
+                .map(|&(i, w)| (self.topics[i].distribution(), w))
+                .collect();
+            DiscreteDistribution::mixture(&comps)
+                .expect("topic mixture over a common universe is valid")
+        };
+
+        let topic_label = if spec.topic_mixture.len() == 1 {
+            Some(spec.topic_mixture[0].0)
+        } else {
+            None
+        };
+
+        let mut occurrences = Vec::with_capacity(spec.length);
+        for _ in 0..spec.length {
+            let mut t = dist.sample(rng);
+            if !spec.style_mixture.is_empty() {
+                // Draw which style applies to this occurrence (sampling the
+                // convex combination S̄), then rewrite through it.
+                let style_idx = pick_weighted(&spec.style_mixture, rng);
+                t = self.styles[style_idx].rewrite(t, rng);
+            }
+            occurrences.push(t);
+        }
+        Document::from_occurrences(&occurrences, topic_label)
+    }
+
+    /// Samples one document (both steps).
+    pub fn sample_document<R: Rng + ?Sized>(&self, rng: &mut R) -> Document {
+        let spec = self.sample_spec(rng);
+        self.sample_document_from_spec(&spec, rng)
+    }
+
+    /// Samples a corpus of `m` documents by repeating the two-step process.
+    pub fn sample_corpus<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> GeneratedCorpus {
+        let docs = (0..m).map(|_| self.sample_document(rng)).collect();
+        GeneratedCorpus::new(self.universe_size, docs)
+    }
+
+    /// Samples a corpus and returns each document's spec alongside it — the
+    /// mixture ground truth needed by experiments on non-pure models (the
+    /// paper's open question of documents belonging to several topics).
+    pub fn sample_corpus_with_specs<R: Rng + ?Sized>(
+        &self,
+        m: usize,
+        rng: &mut R,
+    ) -> (GeneratedCorpus, Vec<DocumentSpec>) {
+        let mut docs = Vec::with_capacity(m);
+        let mut specs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let spec = self.sample_spec(rng);
+            docs.push(self.sample_document_from_spec(&spec, rng));
+            specs.push(spec);
+        }
+        (GeneratedCorpus::new(self.universe_size, docs), specs)
+    }
+}
+
+impl DocumentSpec {
+    /// The spec's topic weights as a dense length-`k` vector.
+    pub fn topic_weight_vector(&self, num_topics: usize) -> Vec<f64> {
+        let mut w = vec![0.0; num_topics];
+        for &(t, weight) in &self.topic_mixture {
+            w[t] = weight;
+        }
+        w
+    }
+}
+
+fn pick_weighted<R: Rng + ?Sized>(weighted: &[(usize, f64)], rng: &mut R) -> usize {
+    let mut u: f64 = rng.gen();
+    for &(idx, w) in weighted {
+        if u < w {
+            return idx;
+        }
+        u -= w;
+    }
+    weighted.last().expect("nonempty mixture").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn two_topic_model(style_mode: StyleMode) -> CorpusModel {
+        let t0 = Topic::concentrated("a", 10, &[0, 1, 2], 1.0).unwrap();
+        let t1 = Topic::concentrated("b", 10, &[5, 6, 7], 1.0).unwrap();
+        let style = Style::substitutions("swap", 10, &[(0, 9, 1.0)]).unwrap();
+        CorpusModel::new(
+            10,
+            vec![t0, t1],
+            vec![style],
+            DocumentLaw {
+                topics_per_doc: 1,
+                style_mode,
+                length: LengthLaw::Fixed(20),
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_construction() {
+        assert_eq!(
+            CorpusModel::new(5, vec![], vec![], DocumentLaw::pure_uniform(1, 2)).unwrap_err(),
+            CorpusError::NoTopics
+        );
+        let t = Topic::uniform("t", 4).unwrap();
+        assert!(matches!(
+            CorpusModel::new(5, vec![t.clone()], vec![], DocumentLaw::pure_uniform(1, 2)),
+            Err(CorpusError::UniverseMismatch { .. })
+        ));
+        let t5 = Topic::uniform("t", 5).unwrap();
+        assert!(matches!(
+            CorpusModel::new(
+                5,
+                vec![t5.clone()],
+                vec![],
+                DocumentLaw {
+                    topics_per_doc: 2,
+                    style_mode: StyleMode::Identity,
+                    length: LengthLaw::Fixed(3),
+                }
+            ),
+            Err(CorpusError::BadTopicsPerDoc(2))
+        ));
+        assert!(matches!(
+            CorpusModel::new(
+                5,
+                vec![t5],
+                vec![],
+                DocumentLaw {
+                    topics_per_doc: 1,
+                    style_mode: StyleMode::Identity,
+                    length: LengthLaw::Uniform { min: 5, max: 2 },
+                }
+            ),
+            Err(CorpusError::BadLengthLaw)
+        ));
+    }
+
+    #[test]
+    fn pure_documents_stay_on_topic_terms() {
+        let model = two_topic_model(StyleMode::Identity);
+        assert!(model.is_pure());
+        assert!(model.is_style_free());
+        let mut r = rng(3);
+        let corpus = model.sample_corpus(50, &mut r);
+        for doc in corpus.documents() {
+            let topic = doc.topic().expect("pure model labels documents");
+            let allowed: &[usize] = if topic == 0 { &[0, 1, 2] } else { &[5, 6, 7] };
+            for &(t, _) in doc.counts() {
+                assert!(allowed.contains(&t), "term {t} not in topic {topic}");
+            }
+            assert_eq!(doc.len(), 20);
+        }
+    }
+
+    #[test]
+    fn both_topics_appear() {
+        let model = two_topic_model(StyleMode::Identity);
+        let mut r = rng(4);
+        let corpus = model.sample_corpus(100, &mut r);
+        let zeros = corpus
+            .documents()
+            .iter()
+            .filter(|d| d.topic() == Some(0))
+            .count();
+        assert!(zeros > 20 && zeros < 80, "topic balance off: {zeros}/100");
+    }
+
+    #[test]
+    fn style_rewrites_terms() {
+        let model = two_topic_model(StyleMode::RandomSingle);
+        let mut r = rng(5);
+        // Topic 0 uses terms {0,1,2}; the style maps 0 → 9 always.
+        let mut saw_nine = false;
+        for _ in 0..50 {
+            let doc = model.sample_document(&mut r);
+            assert_eq!(doc.count(0), 0, "term 0 must always be rewritten");
+            if doc.count(9) > 0 {
+                saw_nine = true;
+            }
+        }
+        assert!(saw_nine, "rewritten term 9 never appeared");
+    }
+
+    #[test]
+    fn mixture_documents_are_unlabeled() {
+        let t0 = Topic::uniform("a", 6).unwrap();
+        let t1 = Topic::uniform("b", 6).unwrap();
+        let model = CorpusModel::new(
+            6,
+            vec![t0, t1],
+            vec![],
+            DocumentLaw {
+                topics_per_doc: 2,
+                style_mode: StyleMode::Identity,
+                length: LengthLaw::Fixed(5),
+            },
+        )
+        .unwrap();
+        assert!(!model.is_pure());
+        let mut r = rng(6);
+        let doc = model.sample_document(&mut r);
+        assert_eq!(doc.topic(), None);
+        assert_eq!(doc.len(), 5);
+    }
+
+    #[test]
+    fn spec_weights_form_convex_combination() {
+        let t0 = Topic::uniform("a", 4).unwrap();
+        let t1 = Topic::uniform("b", 4).unwrap();
+        let t2 = Topic::uniform("c", 4).unwrap();
+        let model = CorpusModel::new(
+            4,
+            vec![t0, t1, t2],
+            vec![],
+            DocumentLaw {
+                topics_per_doc: 2,
+                style_mode: StyleMode::Identity,
+                length: LengthLaw::Fixed(3),
+            },
+        )
+        .unwrap();
+        let mut r = rng(7);
+        for _ in 0..20 {
+            let spec = model.sample_spec(&mut r);
+            assert_eq!(spec.topic_mixture.len(), 2);
+            let sum: f64 = spec.topic_mixture.iter().map(|&(_, w)| w).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(spec.topic_mixture.iter().all(|&(_, w)| w >= 0.0));
+            // Distinct topic indices.
+            assert_ne!(spec.topic_mixture[0].0, spec.topic_mixture[1].0);
+        }
+    }
+
+    #[test]
+    fn lengths_respect_law() {
+        let t = Topic::uniform("t", 3).unwrap();
+        let model = CorpusModel::new(
+            3,
+            vec![t],
+            vec![],
+            DocumentLaw::pure_uniform(5, 9),
+        )
+        .unwrap();
+        let mut r = rng(8);
+        for _ in 0..100 {
+            let d = model.sample_document(&mut r);
+            assert!((5..=9).contains(&d.len()), "length {}", d.len());
+        }
+    }
+
+    #[test]
+    fn sample_with_specs_aligns_documents_and_truth() {
+        let t0 = Topic::uniform("a", 6).unwrap();
+        let t1 = Topic::uniform("b", 6).unwrap();
+        let model = CorpusModel::new(
+            6,
+            vec![t0, t1],
+            vec![],
+            DocumentLaw {
+                topics_per_doc: 2,
+                style_mode: StyleMode::Identity,
+                length: LengthLaw::Fixed(7),
+            },
+        )
+        .unwrap();
+        let mut r = rng(13);
+        let (corpus, specs) = model.sample_corpus_with_specs(10, &mut r);
+        assert_eq!(corpus.len(), 10);
+        assert_eq!(specs.len(), 10);
+        for (doc, spec) in corpus.documents().iter().zip(&specs) {
+            assert_eq!(doc.len(), spec.length);
+            let w = spec.topic_weight_vector(2);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_term_probability_reflects_topics() {
+        let model = two_topic_model(StyleMode::Identity);
+        assert!((model.max_term_probability() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! Pure, ε-separable corpus models (Section 4).
+//!
+//! A model is **ε-separable** when each topic `T` has an associated primary
+//! term set `U_T`, the `U_T` are mutually disjoint, and `T` puts at least
+//! `1 − ε` of its mass on `U_T`. Theorems 2 and 3 show rank-k LSI is
+//! `O(ε)`-skewed on corpora drawn from such models; the builder here
+//! constructs them, including the paper's exact experimental configuration.
+
+use crate::model::{CorpusError, CorpusModel, DocumentLaw};
+use crate::topic::Topic;
+
+/// Parameters of a pure ε-separable model with equal-sized disjoint primary
+/// sets and the "uniform leakage" topic shape used in the paper's
+/// experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeparableConfig {
+    /// Total number of terms `n`.
+    pub universe_size: usize,
+    /// Number of topics `k`.
+    pub num_topics: usize,
+    /// Size of each topic's primary term set.
+    pub primary_terms_per_topic: usize,
+    /// Leakage ε: each topic puts `1 − ε` of its mass uniformly on its
+    /// primary set and `ε` uniformly on the whole universe.
+    pub epsilon: f64,
+    /// Minimum document length.
+    pub min_doc_len: usize,
+    /// Maximum document length.
+    pub max_doc_len: usize,
+}
+
+impl SeparableConfig {
+    /// The exact configuration of the experiment in Section 4 of the paper:
+    /// 2000 terms, 20 topics with disjoint 100-term primary sets, 0.95/0.05
+    /// mass split (0.05-separable), documents of 50–100 terms.
+    pub fn paper_experiment() -> Self {
+        SeparableConfig {
+            universe_size: 2000,
+            num_topics: 20,
+            primary_terms_per_topic: 100,
+            epsilon: 0.05,
+            min_doc_len: 50,
+            max_doc_len: 100,
+        }
+    }
+
+    /// A smaller configuration with the same proportions, convenient for
+    /// unit tests and quick examples.
+    pub fn small(num_topics: usize, epsilon: f64) -> Self {
+        SeparableConfig {
+            universe_size: num_topics * 20,
+            num_topics,
+            primary_terms_per_topic: 20,
+            epsilon,
+            min_doc_len: 30,
+            max_doc_len: 60,
+        }
+    }
+}
+
+/// A built ε-separable model together with its ground-truth primary sets.
+///
+/// # Examples
+///
+/// ```
+/// use lsi_corpus::{SeparableConfig, SeparableModel};
+/// use rand::SeedableRng;
+///
+/// let model = SeparableModel::build(SeparableConfig::small(3, 0.05)).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let corpus = model.model().sample_corpus(10, &mut rng);
+/// assert_eq!(corpus.len(), 10);
+/// // Pure models label every document with its generating topic.
+/// assert!(corpus.documents().iter().all(|d| d.topic().is_some()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeparableModel {
+    config: SeparableConfig,
+    model: CorpusModel,
+    primary_sets: Vec<Vec<usize>>,
+}
+
+impl SeparableModel {
+    /// Builds the model, assigning topic `i` the primary set
+    /// `[i·s, (i+1)·s)` for `s = primary_terms_per_topic`.
+    pub fn build(config: SeparableConfig) -> Result<Self, CorpusError> {
+        let SeparableConfig {
+            universe_size,
+            num_topics,
+            primary_terms_per_topic,
+            epsilon,
+            min_doc_len,
+            max_doc_len,
+        } = config;
+        if num_topics == 0 || primary_terms_per_topic == 0 {
+            return Err(CorpusError::InvalidConfig(
+                "num_topics and primary_terms_per_topic must be >= 1".to_owned(),
+            ));
+        }
+        if num_topics * primary_terms_per_topic > universe_size {
+            return Err(CorpusError::InvalidConfig(format!(
+                "{num_topics} topics x {primary_terms_per_topic} primary terms exceed the \
+                 {universe_size}-term universe"
+            )));
+        }
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(CorpusError::InvalidConfig(format!(
+                "epsilon {epsilon} outside [0, 1]"
+            )));
+        }
+
+        let mut topics = Vec::with_capacity(num_topics);
+        let mut primary_sets = Vec::with_capacity(num_topics);
+        for i in 0..num_topics {
+            let lo = i * primary_terms_per_topic;
+            let primary: Vec<usize> = (lo..lo + primary_terms_per_topic).collect();
+            let topic = Topic::concentrated(
+                format!("topic-{i}"),
+                universe_size,
+                &primary,
+                1.0 - epsilon,
+            )
+            .expect("validated parameters construct a topic");
+            topics.push(topic);
+            primary_sets.push(primary);
+        }
+
+        let model = CorpusModel::new(
+            universe_size,
+            topics,
+            Vec::new(),
+            DocumentLaw::pure_uniform(min_doc_len, max_doc_len),
+        )?;
+
+        Ok(SeparableModel {
+            config,
+            model,
+            primary_sets,
+        })
+    }
+
+    /// The underlying corpus model (pure, style-free).
+    pub fn model(&self) -> &CorpusModel {
+        &self.model
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &SeparableConfig {
+        &self.config
+    }
+
+    /// Topic `i`'s primary term set `U_{T_i}`.
+    pub fn primary_set(&self, topic: usize) -> &[usize] {
+        &self.primary_sets[topic]
+    }
+
+    /// All primary sets.
+    pub fn primary_sets(&self) -> &[Vec<usize>] {
+        &self.primary_sets
+    }
+
+    /// The measured separability: the largest probability mass any topic
+    /// places **outside** its own primary set. For the uniform-leakage
+    /// shape this is `ε · (1 − s/n) ≤ ε`.
+    pub fn measured_epsilon(&self) -> f64 {
+        self.model
+            .topics()
+            .iter()
+            .zip(&self.primary_sets)
+            .map(|(t, p)| 1.0 - t.mass_on(p))
+            .fold(0.0, f64::max)
+    }
+
+    /// Ground-truth topic of a term: the topic whose primary set contains
+    /// it, or `None` for terms in no primary set.
+    pub fn topic_of_term(&self, term: usize) -> Option<usize> {
+        let s = self.config.primary_terms_per_topic;
+        let candidate = term / s;
+        (candidate < self.config.num_topics).then_some(candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_config_values() {
+        let c = SeparableConfig::paper_experiment();
+        assert_eq!(c.universe_size, 2000);
+        assert_eq!(c.num_topics, 20);
+        assert_eq!(c.primary_terms_per_topic, 100);
+        assert!((c.epsilon - 0.05).abs() < 1e-15);
+        let m = SeparableModel::build(c).unwrap();
+        // Measured ε = 0.05 · (1 − 100/2000) = 0.0475.
+        assert!((m.measured_epsilon() - 0.0475).abs() < 1e-12);
+        assert!(m.model().is_pure());
+        assert!(m.model().is_style_free());
+    }
+
+    #[test]
+    fn primary_sets_are_disjoint_blocks() {
+        let m = SeparableModel::build(SeparableConfig::small(4, 0.1)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for set in m.primary_sets() {
+            for &t in set {
+                assert!(seen.insert(t), "term {t} in two primary sets");
+            }
+        }
+        assert_eq!(m.topic_of_term(0), Some(0));
+        assert_eq!(m.topic_of_term(25), Some(1));
+        assert_eq!(m.topic_of_term(79), Some(3));
+    }
+
+    #[test]
+    fn zero_epsilon_keeps_all_mass_primary() {
+        let m = SeparableModel::build(SeparableConfig::small(3, 0.0)).unwrap();
+        assert_eq!(m.measured_epsilon(), 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let corpus = m.model().sample_corpus(30, &mut rng);
+        for doc in corpus.documents() {
+            let topic = doc.topic().unwrap();
+            let primary = m.primary_set(topic);
+            for &(t, _) in doc.counts() {
+                assert!(primary.contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_configs() {
+        let mut c = SeparableConfig::small(2, 0.1);
+        c.num_topics = 0;
+        assert!(SeparableModel::build(c).is_err());
+        let mut c = SeparableConfig::small(2, 0.1);
+        c.epsilon = 1.5;
+        assert!(SeparableModel::build(c).is_err());
+        let mut c = SeparableConfig::small(2, 0.1);
+        c.primary_terms_per_topic = 1000; // exceeds universe
+        assert!(SeparableModel::build(c).is_err());
+    }
+
+    #[test]
+    fn sampled_corpus_respects_epsilon_statistically() {
+        let m = SeparableModel::build(SeparableConfig::small(3, 0.2)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let corpus = m.model().sample_corpus(200, &mut rng);
+        let mut off_primary = 0usize;
+        let mut total = 0usize;
+        for doc in corpus.documents() {
+            let primary = m.primary_set(doc.topic().unwrap());
+            for &(t, c) in doc.counts() {
+                total += c as usize;
+                if !primary.contains(&t) {
+                    off_primary += c as usize;
+                }
+            }
+        }
+        let frac = off_primary as f64 / total as f64;
+        // Expected ≈ measured ε ≈ 0.2·(1 − 20/60) ≈ 0.133.
+        assert!((frac - m.measured_epsilon()).abs() < 0.02, "{frac}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Styles: row-stochastic term-rewriting matrices (Definition 3).
+//!
+//! "A 'formal' style may map 'car' often to 'automobile' and 'vehicle', and
+//! seldom to 'car'" (§3). A style is a `|U| × |U|` stochastic matrix; since
+//! realistic styles rewrite only a small subset of the vocabulary, the
+//! representation here stores only the rows that differ from the identity.
+
+use std::collections::HashMap;
+
+/// A style: a sparse row-stochastic matrix over the term universe.
+///
+/// Row `t` is the distribution of terms that an occurrence of `t` is
+/// rewritten to. Unlisted rows are identity rows (`t ↦ t` with probability
+/// 1).
+#[derive(Debug, Clone)]
+pub struct Style {
+    name: String,
+    universe_size: usize,
+    overrides: HashMap<usize, Vec<(usize, f64)>>,
+}
+
+/// Problems detected while building a [`Style`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StyleError {
+    /// A source or target term id is outside the universe.
+    TermOutOfRange(usize),
+    /// A rewrite probability is negative or non-finite.
+    InvalidProbability(f64),
+    /// A row's probabilities do not sum to 1 (within 1e-9).
+    RowNotStochastic {
+        /// The offending source term.
+        term: usize,
+        /// The row's actual sum.
+        sum: f64,
+    },
+    /// The same source term was given two rows — the second would silently
+    /// replace the first, so this is rejected instead.
+    DuplicateSource(usize),
+}
+
+impl std::fmt::Display for StyleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StyleError::TermOutOfRange(t) => write!(f, "term {t} out of range"),
+            StyleError::InvalidProbability(p) => write!(f, "invalid probability {p}"),
+            StyleError::RowNotStochastic { term, sum } => {
+                write!(f, "row {term} sums to {sum}, expected 1")
+            }
+            StyleError::DuplicateSource(t) => {
+                write!(f, "source term {t} given more than one rewrite row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StyleError {}
+
+impl Style {
+    /// The identity style (no rewriting).
+    pub fn identity(universe_size: usize) -> Self {
+        Style {
+            name: "identity".to_owned(),
+            universe_size,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Builds a style from explicit non-identity rows. Each row is a list of
+    /// `(target_term, probability)` pairs that must sum to 1.
+    pub fn from_rows(
+        name: impl Into<String>,
+        universe_size: usize,
+        rows: &[(usize, Vec<(usize, f64)>)],
+    ) -> Result<Self, StyleError> {
+        let mut overrides = HashMap::new();
+        for (src, row) in rows {
+            if *src >= universe_size {
+                return Err(StyleError::TermOutOfRange(*src));
+            }
+            let mut sum = 0.0;
+            for &(dst, p) in row {
+                if dst >= universe_size {
+                    return Err(StyleError::TermOutOfRange(dst));
+                }
+                if !p.is_finite() || p < 0.0 {
+                    return Err(StyleError::InvalidProbability(p));
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(StyleError::RowNotStochastic { term: *src, sum });
+            }
+            if overrides.insert(*src, row.clone()).is_some() {
+                return Err(StyleError::DuplicateSource(*src));
+            }
+        }
+        Ok(Style {
+            name: name.into(),
+            universe_size,
+            overrides,
+        })
+    }
+
+    /// Convenience: a style that rewrites `src → dst` with probability `p`
+    /// (keeping `src` with probability `1 − p`) for each listed pair.
+    /// This is the natural encoding of the paper's "formal style" example.
+    pub fn substitutions(
+        name: impl Into<String>,
+        universe_size: usize,
+        pairs: &[(usize, usize, f64)],
+    ) -> Result<Self, StyleError> {
+        let rows: Vec<(usize, Vec<(usize, f64)>)> = pairs
+            .iter()
+            .map(|&(src, dst, p)| (src, vec![(dst, p), (src, 1.0 - p)]))
+            .collect();
+        Self::from_rows(name, universe_size, &rows)
+    }
+
+    /// Style label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Universe size this style is defined over.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Number of non-identity rows.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// `S[t][·]` as an iterator of `(target, probability)`. Identity rows
+    /// yield the single pair `(t, 1.0)`.
+    pub fn row(&self, t: usize) -> Vec<(usize, f64)> {
+        match self.overrides.get(&t) {
+            Some(row) => row.clone(),
+            None => vec![(t, 1.0)],
+        }
+    }
+
+    /// Applies the style to a term distribution: returns `p S` (the
+    /// distribution of the rewritten term when the original is drawn from
+    /// `probs`). `probs.len()` must equal the universe size.
+    pub fn apply_to_distribution(&self, probs: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            probs.len(),
+            self.universe_size,
+            "apply_to_distribution: universe size mismatch"
+        );
+        let mut out = probs.to_vec();
+        for (&src, row) in &self.overrides {
+            let mass = probs[src];
+            if mass == 0.0 {
+                continue;
+            }
+            out[src] -= mass;
+            for &(dst, p) in row {
+                out[dst] += mass * p;
+            }
+        }
+        out
+    }
+
+    /// Applies the style to a single sampled term, drawing the rewrite from
+    /// row `t`.
+    pub fn rewrite<R: rand::Rng + ?Sized>(&self, t: usize, rng: &mut R) -> usize {
+        match self.overrides.get(&t) {
+            None => t,
+            Some(row) => {
+                let mut u: f64 = rng.gen();
+                for &(dst, p) in row {
+                    if u < p {
+                        return dst;
+                    }
+                    u -= p;
+                }
+                // Rounding slack: fall back to the last listed target.
+                row.last().map_or(t, |&(dst, _)| dst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_noop() {
+        let s = Style::identity(4);
+        let p = vec![0.1, 0.2, 0.3, 0.4];
+        assert_eq!(s.apply_to_distribution(&p), p);
+        assert_eq!(s.override_count(), 0);
+        assert_eq!(s.row(2), vec![(2, 1.0)]);
+    }
+
+    #[test]
+    fn substitution_moves_mass() {
+        // car(0) → automobile(1) with prob 0.8.
+        let s = Style::substitutions("formal", 3, &[(0, 1, 0.8)]).unwrap();
+        let p = vec![1.0, 0.0, 0.0];
+        let q = s.apply_to_distribution(&p);
+        assert!((q[0] - 0.2).abs() < 1e-12);
+        assert!((q[1] - 0.8).abs() < 1e-12);
+        assert_eq!(q[2], 0.0);
+        // Still a distribution.
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(matches!(
+            Style::from_rows("x", 2, &[(5, vec![(0, 1.0)])]),
+            Err(StyleError::TermOutOfRange(5))
+        ));
+        assert!(matches!(
+            Style::from_rows("x", 2, &[(0, vec![(3, 1.0)])]),
+            Err(StyleError::TermOutOfRange(3))
+        ));
+        assert!(matches!(
+            Style::from_rows("x", 2, &[(0, vec![(1, 0.4)])]),
+            Err(StyleError::RowNotStochastic { .. })
+        ));
+        assert!(matches!(
+            Style::from_rows("x", 2, &[(0, vec![(1, -1.0), (0, 2.0)])]),
+            Err(StyleError::InvalidProbability(_))
+        ));
+        // Two rows for the same source term are rejected, not silently
+        // merged-by-overwrite.
+        assert!(matches!(
+            Style::substitutions("x", 3, &[(0, 1, 0.5), (0, 2, 0.5)]),
+            Err(StyleError::DuplicateSource(0))
+        ));
+    }
+
+    #[test]
+    fn rewrite_respects_probabilities() {
+        let s = Style::substitutions("s", 2, &[(0, 1, 0.75)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| s.rewrite(0, &mut rng) == 1).count();
+        let f = hits as f64 / n as f64;
+        assert!((f - 0.75).abs() < 0.01, "{f}");
+        // Identity row untouched.
+        assert_eq!(s.rewrite(1, &mut rng), 1);
+    }
+
+    #[test]
+    fn apply_preserves_total_mass() {
+        let s = Style::from_rows(
+            "spread",
+            4,
+            &[(0, vec![(1, 0.5), (2, 0.3), (3, 0.2)]), (1, vec![(0, 1.0)])],
+        )
+        .unwrap();
+        let p = vec![0.4, 0.3, 0.2, 0.1];
+        let q = s.apply_to_distribution(&p);
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Mass of term 1 after: from 0 (0.4·0.5) plus nothing stays (row 1 maps away).
+        assert!((q[1] - 0.4 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size mismatch")]
+    fn apply_panics_on_wrong_length() {
+        let s = Style::identity(3);
+        s.apply_to_distribution(&[0.5, 0.5]);
+    }
+}

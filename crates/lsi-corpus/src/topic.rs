@@ -1,0 +1,154 @@
+//! Topics: probability distributions on the term universe (Definition 2).
+
+use crate::distribution::DiscreteDistribution;
+
+/// A topic — a probability distribution over the universe of terms.
+///
+/// "A meaningful topic is very different from the uniform distribution on U
+/// and is concentrated on terms that might be used to talk about a
+/// particular subject" (§3). Nothing here *enforces* meaningfulness; the
+/// ε-separable builders in [`crate::separable`] construct topics with the
+/// concentration properties Section 4's theorems require.
+#[derive(Debug, Clone)]
+pub struct Topic {
+    name: String,
+    dist: DiscreteDistribution,
+}
+
+impl Topic {
+    /// Builds a topic from term weights over a universe of `weights.len()`
+    /// terms. Returns `None` for empty/invalid/zero-sum weights.
+    pub fn from_weights(name: impl Into<String>, weights: &[f64]) -> Option<Self> {
+        Some(Topic {
+            name: name.into(),
+            dist: DiscreteDistribution::new(weights)?,
+        })
+    }
+
+    /// A topic spreading `concentration` of its mass uniformly over
+    /// `primary` terms and the remaining `1 − concentration` uniformly over
+    /// the whole universe — exactly the topic shape of the paper's Section 4
+    /// experiment (there: 0.95 on a 100-term primary set out of 2000 terms).
+    ///
+    /// Returns `None` if `primary` is empty, contains out-of-range ids, or
+    /// `concentration ∉ [0, 1]`.
+    pub fn concentrated(
+        name: impl Into<String>,
+        universe_size: usize,
+        primary: &[usize],
+        concentration: f64,
+    ) -> Option<Self> {
+        if primary.is_empty() || !(0.0..=1.0).contains(&concentration) {
+            return None;
+        }
+        if primary.iter().any(|&t| t >= universe_size) {
+            return None;
+        }
+        let mut weights = vec![(1.0 - concentration) / universe_size as f64; universe_size];
+        let bump = concentration / primary.len() as f64;
+        for &t in primary {
+            weights[t] += bump;
+        }
+        Self::from_weights(name, &weights)
+    }
+
+    /// The uniform "noise" topic.
+    pub fn uniform(name: impl Into<String>, universe_size: usize) -> Option<Self> {
+        Some(Topic {
+            name: name.into(),
+            dist: DiscreteDistribution::uniform(universe_size)?,
+        })
+    }
+
+    /// Topic label (for reports and examples).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Universe size this topic is defined over.
+    pub fn universe_size(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Probability this topic assigns to `term`.
+    pub fn prob(&self, term: usize) -> f64 {
+        self.dist.prob(term)
+    }
+
+    /// The underlying distribution.
+    pub fn distribution(&self) -> &DiscreteDistribution {
+        &self.dist
+    }
+
+    /// The largest probability the topic assigns to any single term — the
+    /// paper's `τ` parameter (Theorems 2–3 need it "sufficiently small").
+    pub fn max_term_probability(&self) -> f64 {
+        self.dist
+            .probabilities()
+            .iter()
+            .fold(0.0, |acc, &p| acc.max(p))
+    }
+
+    /// Total probability mass on a term set (used to verify ε-separability).
+    pub fn mass_on(&self, terms: &[usize]) -> f64 {
+        terms.iter().map(|&t| self.dist.prob(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concentrated_matches_paper_shape() {
+        // 0.95 on terms {0..99} of a 2000-term universe.
+        let primary: Vec<usize> = (0..100).collect();
+        let t = Topic::concentrated("space travel", 2000, &primary, 0.95).unwrap();
+        // Primary term: 0.95/100 + 0.05/2000.
+        let expect_primary = 0.95 / 100.0 + 0.05 / 2000.0;
+        assert!((t.prob(0) - expect_primary).abs() < 1e-12);
+        // Non-primary term: 0.05/2000.
+        assert!((t.prob(1999) - 0.05 / 2000.0).abs() < 1e-12);
+        // Mass on primary set is 1 − ε·(1 − |primary|/n) ≥ 1 − ε.
+        assert!(t.mass_on(&primary) >= 0.95);
+        assert!((t.max_term_probability() - expect_primary).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_validates_inputs() {
+        assert!(Topic::concentrated("x", 10, &[], 0.9).is_none());
+        assert!(Topic::concentrated("x", 10, &[10], 0.9).is_none());
+        assert!(Topic::concentrated("x", 10, &[0], 1.5).is_none());
+        assert!(Topic::concentrated("x", 10, &[0], -0.1).is_none());
+    }
+
+    #[test]
+    fn zero_epsilon_is_exactly_separable() {
+        let primary = [2, 3];
+        let t = Topic::concentrated("t", 5, &primary, 1.0).unwrap();
+        assert_eq!(t.prob(0), 0.0);
+        assert!((t.prob(2) - 0.5).abs() < 1e-15);
+        assert!((t.mass_on(&primary) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_topic() {
+        let t = Topic::uniform("noise", 8).unwrap();
+        assert!((t.prob(3) - 0.125).abs() < 1e-15);
+        assert_eq!(t.universe_size(), 8);
+        assert_eq!(t.name(), "noise");
+    }
+
+    #[test]
+    fn from_weights_rejects_invalid() {
+        assert!(Topic::from_weights("bad", &[]).is_none());
+        assert!(Topic::from_weights("bad", &[0.0]).is_none());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let t = Topic::from_weights("t", &[1.0, 2.0, 3.0]).unwrap();
+        let sum: f64 = (0..3).map(|i| t.prob(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Human-readable vocabularies for examples and demos.
+//!
+//! The experiments only need term *ids*; the runnable examples are far more
+//! legible with actual words. This module provides small themed vocabularies
+//! (the paper's own motivating topics — space travel, cars, the Internet)
+//! plus a deterministic synthetic word generator to pad a universe to any
+//! requested size.
+
+/// A themed seed vocabulary: `(theme name, words)`.
+pub const THEMES: &[(&str, &[&str])] = &[
+    (
+        "space-travel",
+        &[
+            "galaxy", "starship", "orbit", "rocket", "astronaut", "launch", "module", "lunar",
+            "probe", "thruster", "cosmos", "satellite", "mission", "capsule", "telescope",
+            "nebula",
+        ],
+    ),
+    (
+        "automobiles",
+        &[
+            "car", "automobile", "vehicle", "engine", "wheel", "highway", "driver", "gasoline",
+            "brake", "chassis", "transmission", "sedan", "mileage", "traffic", "garage", "tire",
+        ],
+    ),
+    (
+        "internet",
+        &[
+            "search", "browser", "website", "server", "network", "protocol", "download", "email",
+            "hyperlink", "router", "bandwidth", "domain", "packet", "modem", "online", "webpage",
+        ],
+    ),
+    (
+        "finance",
+        &[
+            "market", "stock", "bond", "dividend", "portfolio", "interest", "equity", "broker",
+            "asset", "liability", "futures", "hedge", "yield", "capital", "ledger", "audit",
+        ],
+    ),
+];
+
+/// Builds a vocabulary of exactly `size` distinct words: the themed seed
+/// words first (as many themes as fit), then deterministic synthetic tokens
+/// `term0042`-style. Deterministic: same size ⇒ same vocabulary.
+pub fn build_vocabulary(size: usize) -> Vec<String> {
+    let mut words: Vec<String> = Vec::with_capacity(size);
+    'outer: for (_, theme_words) in THEMES {
+        for w in *theme_words {
+            if words.len() >= size {
+                break 'outer;
+            }
+            words.push((*w).to_owned());
+        }
+    }
+    let mut i = 0usize;
+    while words.len() < size {
+        words.push(format!("term{i:04}"));
+        i += 1;
+    }
+    words
+}
+
+/// Renders a bag-of-terms document as text using a vocabulary (terms in
+/// count order); for example output only.
+pub fn render_document(counts: &[(usize, u32)], vocab: &[String]) -> String {
+    let mut parts: Vec<String> = counts
+        .iter()
+        .map(|&(t, c)| {
+            let word = vocab.get(t).map_or("<oov>", |s| s.as_str());
+            if c > 1 {
+                format!("{word}×{c}")
+            } else {
+                word.to_owned()
+            }
+        })
+        .collect();
+    parts.sort();
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_exact_size() {
+        for size in [0usize, 1, 10, 64, 100, 500] {
+            let v = build_vocabulary(size);
+            assert_eq!(v.len(), size);
+        }
+    }
+
+    #[test]
+    fn words_are_distinct() {
+        let v = build_vocabulary(300);
+        let set: std::collections::HashSet<&String> = v.iter().collect();
+        assert_eq!(set.len(), v.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build_vocabulary(128), build_vocabulary(128));
+    }
+
+    #[test]
+    fn themed_words_come_first() {
+        let v = build_vocabulary(4);
+        assert_eq!(v[0], "galaxy");
+    }
+
+    #[test]
+    fn render_document_formats() {
+        let vocab = build_vocabulary(20);
+        let s = render_document(&[(0, 2), (1, 1)], &vocab);
+        assert!(s.contains("galaxy×2"));
+        assert!(s.contains("starship"));
+        let oov = render_document(&[(999, 1)], &vocab);
+        assert!(oov.contains("<oov>"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the corpus model.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use lsi_corpus::{
+    CorpusModel, DiscreteDistribution, DocumentLaw, LengthLaw, SeparableConfig, SeparableModel,
+    Style, Topic,
+};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Alias-table construction preserves and normalizes the weights.
+    #[test]
+    fn distribution_normalizes(weights in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 1e-9);
+        let d = DiscreteDistribution::new(&weights).expect("valid weights");
+        let sum: f64 = d.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for (i, &w) in weights.iter().enumerate() {
+            prop_assert!((d.prob(i) - w / total).abs() < 1e-9);
+        }
+    }
+
+    /// Samples always land inside the support, never on zero-weight items.
+    #[test]
+    fn samples_respect_support(
+        weights in proptest::collection::vec(0.0f64..10.0, 2..20),
+        seed in proptest::num::u64::ANY,
+    ) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 1e-9);
+        let d = DiscreteDistribution::new(&weights).expect("valid");
+        let mut r = rng(seed);
+        for _ in 0..200 {
+            let s = d.sample(&mut r);
+            prop_assert!(s < weights.len());
+            prop_assert!(weights[s] > 0.0, "sampled zero-weight outcome {s}");
+        }
+    }
+
+    /// Mixture probabilities are the convex combination of the components.
+    #[test]
+    fn mixture_is_convex_combination(
+        w_a in proptest::collection::vec(0.01f64..5.0, 4),
+        w_b in proptest::collection::vec(0.01f64..5.0, 4),
+        lambda in 0.01f64..0.99,
+    ) {
+        let a = DiscreteDistribution::new(&w_a).expect("valid");
+        let b = DiscreteDistribution::new(&w_b).expect("valid");
+        let m = DiscreteDistribution::mixture(&[(&a, lambda), (&b, 1.0 - lambda)])
+            .expect("same support");
+        for i in 0..4 {
+            let expect = lambda * a.prob(i) + (1.0 - lambda) * b.prob(i);
+            prop_assert!((m.prob(i) - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Topic mass on its primary set is exactly 1 − ε(1 − s/n).
+    #[test]
+    fn concentrated_topic_mass(
+        universe in 20usize..200,
+        primary_len in 2usize..10,
+        eps in 0.0f64..0.5,
+    ) {
+        prop_assume!(primary_len < universe);
+        let primary: Vec<usize> = (0..primary_len).collect();
+        let t = Topic::concentrated("t", universe, &primary, 1.0 - eps).expect("valid");
+        let mass = t.mass_on(&primary);
+        let expect = (1.0 - eps) + eps * primary_len as f64 / universe as f64;
+        prop_assert!((mass - expect).abs() < 1e-9, "mass {mass}, expect {expect}");
+    }
+
+    /// Styles preserve probability mass on any distribution.
+    #[test]
+    fn style_preserves_mass(
+        p in 0.0f64..1.0,
+        src in 0usize..5,
+        dst in 0usize..5,
+        weights in proptest::collection::vec(0.01f64..3.0, 5),
+    ) {
+        let style = Style::substitutions("s", 5, &[(src, dst, p)]).expect("valid");
+        let total: f64 = weights.iter().sum();
+        let dist: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let out = style.apply_to_distribution(&dist);
+        let out_sum: f64 = out.iter().sum();
+        prop_assert!((out_sum - 1.0).abs() < 1e-9);
+        prop_assert!(out.iter().all(|&x| x >= -1e-12));
+    }
+
+    /// Sampled corpora are structurally valid for any separable config.
+    #[test]
+    fn separable_corpus_structure(
+        topics in 2usize..5,
+        terms in 5usize..15,
+        eps in 0.0f64..0.4,
+        m in 5usize..30,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let config = SeparableConfig {
+            universe_size: topics * terms,
+            num_topics: topics,
+            primary_terms_per_topic: terms,
+            epsilon: eps,
+            min_doc_len: 10,
+            max_doc_len: 30,
+        };
+        let model = SeparableModel::build(config).expect("valid config");
+        prop_assert!(model.measured_epsilon() <= eps + 1e-12);
+        let corpus = model.model().sample_corpus(m, &mut rng(seed));
+        prop_assert_eq!(corpus.len(), m);
+        let trips = corpus.to_triplets();
+        let total_from_trips: f64 = trips.iter().map(|&(_, _, v)| v).sum();
+        let total_from_docs: usize = corpus.documents().iter().map(|d| d.len()).sum();
+        prop_assert!((total_from_trips - total_from_docs as f64).abs() < 1e-9);
+    }
+
+    /// The corpus model's sampling respects the length law exactly.
+    #[test]
+    fn length_law_respected(
+        min in 1usize..20,
+        extra in 0usize..20,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let t = Topic::uniform("t", 10).expect("valid");
+        let model = CorpusModel::new(
+            10,
+            vec![t],
+            vec![],
+            DocumentLaw {
+                topics_per_doc: 1,
+                style_mode: lsi_corpus::model::StyleMode::Identity,
+                length: LengthLaw::Uniform { min, max: min + extra },
+            },
+        )
+        .expect("valid");
+        let mut r = rng(seed);
+        for _ in 0..20 {
+            let d = model.sample_document(&mut r);
+            prop_assert!(d.len() >= min && d.len() <= min + extra);
+        }
+    }
+}

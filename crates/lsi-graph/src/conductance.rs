@@ -1,0 +1,177 @@
+//! Conductance, exactly as defined in Section 4 of the paper:
+//!
+//! ```text
+//! φ(G) = min_{S ⊂ V}  w(S, S̄) / min(|S|, |S̄|)
+//! ```
+//!
+//! (weight of the cut normalized by the *cardinality* of the smaller side —
+//! the paper's expansion-flavored variant, not the volume-normalized one).
+
+use crate::graph::WeightedGraph;
+
+/// Total weight of edges crossing between `set` and its complement.
+/// `in_set` must have one entry per vertex.
+pub fn cut_weight(g: &WeightedGraph, in_set: &[bool]) -> f64 {
+    assert_eq!(in_set.len(), g.len(), "cut_weight: one flag per vertex");
+    let mut w = 0.0;
+    for u in 0..g.len() {
+        if !in_set[u] {
+            continue;
+        }
+        for &(v, weight) in g.neighbors(u) {
+            if !in_set[v] {
+                w += weight;
+            }
+        }
+    }
+    w
+}
+
+/// Conductance of a single cut: `w(S, S̄) / min(|S|, |S̄|)`.
+/// Returns `None` for the trivial cuts (`S = ∅` or `S = V`).
+pub fn conductance_of_set(g: &WeightedGraph, in_set: &[bool]) -> Option<f64> {
+    let size: usize = in_set.iter().filter(|&&b| b).count();
+    if size == 0 || size == g.len() {
+        return None;
+    }
+    let denom = size.min(g.len() - size) as f64;
+    Some(cut_weight(g, in_set) / denom)
+}
+
+/// Exact minimum conductance by exhaustive enumeration of all nontrivial
+/// cuts. `O(2ⁿ)` — refuses graphs with more than `max_n` vertices (use the
+/// sweep-cut bound beyond that).
+pub fn min_conductance_exhaustive(g: &WeightedGraph, max_n: usize) -> Option<f64> {
+    let n = g.len();
+    // 63 is the hard ceiling regardless of the caller's cap: the cut
+    // enumeration shifts a u64 by n−1.
+    if n < 2 || n > max_n.min(63) {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    // Fix vertex 0 out of S to halve the enumeration (complement symmetry).
+    for mask in 1u64..(1u64 << (n - 1)) {
+        let in_set: Vec<bool> = (0..n)
+            .map(|v| v > 0 && (mask >> (v - 1)) & 1 == 1)
+            .collect();
+        if let Some(c) = conductance_of_set(g, &in_set) {
+            best = best.min(c);
+        }
+    }
+    best.is_finite().then_some(best)
+}
+
+/// Sweep-cut upper bound on the minimum conductance: sorts vertices by the
+/// given embedding score (typically a Fiedler-style eigenvector) and takes
+/// the best prefix cut. Cheap (`O(n · m)` over prefixes here, adequate for
+/// experiment sizes) and a classical companion to spectral partitioning.
+pub fn sweep_cut_conductance(g: &WeightedGraph, scores: &[f64]) -> Option<f64> {
+    assert_eq!(scores.len(), g.len(), "sweep_cut: one score per vertex");
+    let n = g.len();
+    if n < 2 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+
+    let mut in_set = vec![false; n];
+    let mut best = f64::INFINITY;
+    for &v in order.iter().take(n - 1) {
+        in_set[v] = true;
+        if let Some(c) = conductance_of_set(g, &in_set) {
+            best = best.min(c);
+        }
+    }
+    best.is_finite().then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles joined by one weak edge.
+    fn barbell(bridge: f64) -> WeightedGraph {
+        let mut g = WeightedGraph::new(6);
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b, 1.0);
+        }
+        g.add_edge(2, 3, bridge);
+        g
+    }
+
+    #[test]
+    fn cut_weight_basics() {
+        let g = barbell(0.5);
+        let left = vec![true, true, true, false, false, false];
+        assert_eq!(cut_weight(&g, &left), 0.5);
+        let one = vec![true, false, false, false, false, false];
+        assert_eq!(cut_weight(&g, &one), 2.0); // vertex 0 has two unit edges
+    }
+
+    #[test]
+    fn conductance_of_balanced_cut() {
+        let g = barbell(0.5);
+        let left = vec![true, true, true, false, false, false];
+        let c = conductance_of_set(&g, &left).unwrap();
+        assert!((c - 0.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_cuts_rejected() {
+        let g = barbell(1.0);
+        assert!(conductance_of_set(&g, &[false; 6]).is_none());
+        assert!(conductance_of_set(&g, &[true; 6]).is_none());
+    }
+
+    #[test]
+    fn exhaustive_finds_the_bridge() {
+        let g = barbell(0.1);
+        let c = min_conductance_exhaustive(&g, 20).unwrap();
+        assert!((c - 0.1 / 3.0).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn exhaustive_respects_size_cap() {
+        let g = WeightedGraph::new(25);
+        assert!(min_conductance_exhaustive(&g, 20).is_none());
+    }
+
+    #[test]
+    fn complete_graph_has_high_conductance() {
+        let n = 6;
+        let mut g = WeightedGraph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(i, j, 1.0);
+            }
+        }
+        let c = min_conductance_exhaustive(&g, 20).unwrap();
+        // Best cut of K6: |S| = 3 gives 9/3 = 3.
+        assert!((c - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_cut_finds_planted_cut_with_good_scores() {
+        let g = barbell(0.05);
+        // Scores that separate the halves.
+        let scores = vec![-1.0, -0.9, -0.8, 0.8, 0.9, 1.0];
+        let c = sweep_cut_conductance(&g, &scores).unwrap();
+        assert!((c - 0.05 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_cut_upper_bounds_exhaustive() {
+        let g = barbell(0.3);
+        let scores = vec![0.3, -0.2, 0.9, -0.8, 0.1, 0.5]; // arbitrary
+        let sweep = sweep_cut_conductance(&g, &scores).unwrap();
+        let exact = min_conductance_exhaustive(&g, 20).unwrap();
+        assert!(sweep >= exact - 1e-12);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = WeightedGraph::new(1);
+        assert!(min_conductance_exhaustive(&g, 20).is_none());
+        assert!(sweep_cut_conductance(&g, &[0.0]).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Document-similarity graphs from term–document matrices.
+//!
+//! Section 6: "Suppose that documents are nodes in a graph and that weights
+//! on the edges capture conceptual proximity of two documents (for example,
+//! this distance matrix could be derived from, or in fact coincide with,
+//! AAᵀ)." For documents the natural Gram matrix is `AᵀA` (columns are
+//! documents); this module builds the weighted graph whose edges are the
+//! pairwise document inner products (optionally cosine-normalized and
+//! thresholded), closing the loop between the probabilistic corpus model
+//! and the graph-theoretic one: a corpus sampled from a separable model
+//! yields a graph satisfying Theorem 6's hypothesis, and rank-k spectral
+//! analysis of that graph recovers the topics.
+
+use lsi_linalg::{CsrMatrix, LinearOperator};
+
+use crate::graph::WeightedGraph;
+
+/// How edge weights are derived from document vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimilarityKind {
+    /// Raw inner products `aᵢ · aⱼ` (the `AᵀA` choice the paper names).
+    InnerProduct,
+    /// Cosine similarities (inner products of normalized documents) —
+    /// insensitive to document length.
+    Cosine,
+}
+
+/// Builds the document-similarity graph of a term–document matrix
+/// (columns = documents). Edges with weight ≤ `threshold` are dropped;
+/// pass `0.0` to keep every positive similarity.
+///
+/// Cost is `O(m² · k̄)` over document pairs (`k̄` = average distinct terms);
+/// intended for experiment-scale corpora, matching the paper's usage.
+pub fn document_similarity_graph(
+    a: &CsrMatrix,
+    kind: SimilarityKind,
+    threshold: f64,
+) -> WeightedGraph {
+    let m = a.ncols();
+    // Columns are strided in CSR; transpose once so documents are rows.
+    let at = a.transpose();
+    let docs: Vec<Vec<(usize, f64)>> = (0..m).map(|j| at.row_entries(j).collect()).collect();
+    let norms = a.column_norms();
+
+    let mut g = WeightedGraph::new(m);
+    for i in 0..m {
+        for j in i + 1..m {
+            let dot = sparse_dot(&docs[i], &docs[j]);
+            let w = match kind {
+                SimilarityKind::InnerProduct => dot,
+                SimilarityKind::Cosine => {
+                    let denom = norms[i] * norms[j];
+                    if denom > 0.0 {
+                        (dot / denom).clamp(-1.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            if w > threshold {
+                g.add_edge(i, j, w);
+            }
+        }
+    }
+    g
+}
+
+/// Convenience: the leakage fraction of a labeled similarity graph — the
+/// measured ε of Theorem 6's hypothesis on a concrete instance.
+pub fn label_leakage(g: &WeightedGraph, labels: &[usize]) -> f64 {
+    assert_eq!(g.len(), labels.len(), "one label per vertex");
+    (0..g.len())
+        .map(|u| {
+            let total = g.degree(u);
+            if total <= 0.0 {
+                return 0.0;
+            }
+            let inter: f64 = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&(v, _)| labels[v] != labels[u])
+                .map(|&(_, w)| w)
+                .sum();
+            inter / total
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Dot product of two sparse vectors given as sorted `(index, value)`
+/// pairs — the single sparse-product kernel both the graph builder and
+/// [`sparse_cosine`] use.
+pub fn sparse_dot(a: &[(usize, f64)], b: &[(usize, f64)]) -> f64 {
+    let mut dot = 0.0;
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < a.len() && q < b.len() {
+        match a[p].0.cmp(&b[q].0) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                dot += a[p].1 * b[q].1;
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    dot
+}
+
+/// Cosine of two sparse documents (sorted `(index, value)` pairs).
+pub fn sparse_cosine(a: &[(usize, f64)], b: &[(usize, f64)]) -> f64 {
+    let na = a.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+    let nb = b.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+    if na <= 0.0 || nb <= 0.0 {
+        0.0
+    } else {
+        (sparse_dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // 4 terms × 4 docs: docs {0,1} share term 0; docs {2,3} share
+        // term 2; doc 1 also weakly touches term 2.
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 2.0),
+                (0, 1, 2.0),
+                (2, 1, 0.5),
+                (2, 2, 3.0),
+                (2, 3, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_product_weights() {
+        let g = document_similarity_graph(&sample(), SimilarityKind::InnerProduct, 0.0);
+        assert_eq!(g.weight(0, 1), 4.0);
+        assert_eq!(g.weight(2, 3), 9.0);
+        assert_eq!(g.weight(1, 2), 1.5);
+        assert_eq!(g.weight(0, 2), 0.0);
+    }
+
+    #[test]
+    fn cosine_weights_normalized() {
+        let g = document_similarity_graph(&sample(), SimilarityKind::Cosine, 0.0);
+        assert!((g.weight(2, 3) - 1.0).abs() < 1e-12);
+        let expect01 = 4.0 / (2.0 * (4.0f64 + 0.25).sqrt());
+        assert!((g.weight(0, 1) - expect01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_drops_weak_edges() {
+        let g = document_similarity_graph(&sample(), SimilarityKind::InnerProduct, 2.0);
+        assert_eq!(g.weight(1, 2), 0.0); // 1.5 <= 2.0 dropped
+        assert_eq!(g.weight(0, 1), 4.0);
+    }
+
+    #[test]
+    fn leakage_measures_cross_label_weight() {
+        let g = document_similarity_graph(&sample(), SimilarityKind::InnerProduct, 0.0);
+        let labels = vec![0, 0, 1, 1];
+        let leak = label_leakage(&g, &labels);
+        // Vertex 1: degree 4 + 1.5 + 1.5 (edges to docs 0, 2, 3); inter =
+        // 1.5 + 1.5 → 3/7.
+        assert!((leak - 3.0 / 7.0).abs() < 1e-12, "{leak}");
+    }
+
+    #[test]
+    fn sparse_cosine_basics() {
+        let a = vec![(0usize, 1.0), (2, 2.0)];
+        let b = vec![(2usize, 1.0)];
+        let c = sparse_cosine(&a, &b);
+        assert!((c - 2.0 / 5.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(sparse_cosine(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn corpus_graph_recovers_topics_spectrally() {
+        use crate::spectral::{adjusted_rand_index, spectral_partition};
+        use lsi_corpus::{SeparableConfig, SeparableModel};
+
+        let model = SeparableModel::build(SeparableConfig::small(3, 0.05)).unwrap();
+        let mut rng = lsi_linalg::rng::seeded(6);
+        let corpus = model.model().sample_corpus(60, &mut rng);
+        let a = CsrMatrix::from_triplets(
+            corpus.universe_size(),
+            corpus.len(),
+            &corpus.to_triplets(),
+        )
+        .unwrap();
+        let truth: Vec<usize> = corpus
+            .topic_labels()
+            .iter()
+            .map(|l| l.expect("pure model"))
+            .collect();
+
+        let g = document_similarity_graph(&a, SimilarityKind::Cosine, 0.0);
+        assert!(label_leakage(&g, &truth) < 0.5);
+        let labels = spectral_partition(&g, 3, &mut lsi_linalg::rng::seeded(9)).unwrap();
+        let ari = adjusted_rand_index(&labels, &truth);
+        assert!(ari > 0.95, "ARI {ari}");
+    }
+}

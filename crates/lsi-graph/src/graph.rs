@@ -1,0 +1,272 @@
+//! Weighted undirected graphs.
+
+use lsi_linalg::Matrix;
+
+/// An undirected graph with nonnegative edge weights, stored as per-vertex
+/// adjacency lists (each edge appears in both endpoints' lists).
+///
+/// # Examples
+///
+/// ```
+/// use lsi_graph::WeightedGraph;
+///
+/// let mut g = WeightedGraph::new(3);
+/// g.add_edge(0, 1, 2.0);
+/// g.add_edge(1, 2, 0.5);
+/// assert_eq!(g.degree(1), 2.5);
+/// assert_eq!(g.weight(1, 0), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl WeightedGraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds `weight` to the undirected edge `{u, v}`. Self-loops are
+    /// allowed (weight counts once on the diagonal). Panics on out-of-range
+    /// vertices or negative/non-finite weight.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(u < self.len() && v < self.len(), "vertex out of range");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "edge weight must be nonnegative and finite"
+        );
+        if weight == 0.0 {
+            return;
+        }
+        add_to_list(&mut self.adj[u], v, weight);
+        if u != v {
+            add_to_list(&mut self.adj[v], u, weight);
+        }
+    }
+
+    /// The neighbors of `u` as `(vertex, weight)` pairs.
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.adj[u]
+    }
+
+    /// Weight of edge `{u, v}` (0 if absent).
+    pub fn weight(&self, u: usize, v: usize) -> f64 {
+        self.adj[u]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map_or(0.0, |&(_, x)| x)
+    }
+
+    /// Weighted degree (sum of incident edge weights) of `u`.
+    pub fn degree(&self, u: usize) -> f64 {
+        self.adj[u].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Total edge weight (each undirected edge counted once).
+    pub fn total_weight(&self) -> f64 {
+        let mut sum = 0.0;
+        for (u, list) in self.adj.iter().enumerate() {
+            for &(v, w) in list {
+                if v >= u {
+                    sum += w;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Number of distinct edges (undirected, self-loops included).
+    pub fn edge_count(&self) -> usize {
+        let mut count = 0usize;
+        for (u, list) in self.adj.iter().enumerate() {
+            count += list.iter().filter(|&&(v, _)| v >= u).count();
+        }
+        count
+    }
+
+    /// The dense symmetric adjacency matrix.
+    pub fn adjacency_matrix(&self) -> Matrix {
+        let n = self.len();
+        let mut a = Matrix::zeros(n, n);
+        for (u, list) in self.adj.iter().enumerate() {
+            for &(v, w) in list {
+                a[(u, v)] = w;
+            }
+        }
+        a
+    }
+
+    /// The row-normalized adjacency (each row sums to 1) — "the earlier
+    /// normalization" used in Theorem 6's proof. Isolated vertices keep an
+    /// all-zero row.
+    pub fn row_normalized_adjacency(&self) -> Matrix {
+        let mut a = self.adjacency_matrix();
+        for u in 0..self.len() {
+            let d = self.degree(u);
+            if d > 0.0 {
+                for x in a.row_mut(u) {
+                    *x /= d;
+                }
+            }
+        }
+        a
+    }
+
+    /// The symmetric normalization `D^{-1/2} A D^{-1/2}` whose spectrum is
+    /// real — the matrix the spectral partitioner actually factors (it has
+    /// the same invariant-subspace structure as the row-stochastic form).
+    pub fn symmetric_normalized_adjacency(&self) -> Matrix {
+        let n = self.len();
+        let inv_sqrt: Vec<f64> = (0..n)
+            .map(|u| {
+                let d = self.degree(u);
+                if d > 0.0 {
+                    1.0 / d.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut a = self.adjacency_matrix();
+        for u in 0..n {
+            for v in 0..n {
+                a[(u, v)] *= inv_sqrt[u] * inv_sqrt[v];
+            }
+        }
+        a
+    }
+}
+
+fn add_to_list(list: &mut Vec<(usize, f64)>, v: usize, w: f64) {
+    match list.iter_mut().find(|(x, _)| *x == v) {
+        Some((_, existing)) => *existing += w,
+        None => list.push((v, w)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> WeightedGraph {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(0, 2, 3.0);
+        g
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let g = triangle();
+        assert_eq!(g.weight(0, 1), 1.0);
+        assert_eq!(g.weight(1, 0), 1.0);
+        assert_eq!(g.weight(2, 1), 2.0);
+        assert_eq!(g.weight(0, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 0.5);
+        assert_eq!(g.weight(0, 1), 1.5);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn zero_weight_ignored() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 0.0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn degrees_and_total() {
+        let g = triangle();
+        assert_eq!(g.degree(0), 4.0);
+        assert_eq!(g.degree(1), 3.0);
+        assert_eq!(g.degree(2), 5.0);
+        assert_eq!(g.total_weight(), 6.0);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn self_loop_counts_once() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 0, 2.0);
+        assert_eq!(g.weight(0, 0), 2.0);
+        assert_eq!(g.degree(0), 2.0);
+        assert_eq!(g.total_weight(), 2.0);
+    }
+
+    #[test]
+    fn adjacency_matrix_symmetric() {
+        let g = triangle();
+        let a = g.adjacency_matrix();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a[(i, j)], a[(j, i)]);
+            }
+        }
+        assert_eq!(a[(0, 2)], 3.0);
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let g = triangle();
+        let a = g.row_normalized_adjacency();
+        for i in 0..3 {
+            let s: f64 = a.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_zero_row() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let a = g.row_normalized_adjacency();
+        assert!(a.row(2).iter().all(|&x| x == 0.0));
+        let s = g.symmetric_normalized_adjacency();
+        assert!(s.row(2).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn symmetric_normalization_is_symmetric() {
+        let g = triangle();
+        let s = g.symmetric_normalized_adjacency();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((s[(i, j)] - s[(j, i)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn add_edge_negative_panics() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+}

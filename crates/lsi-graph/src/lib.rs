@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! The graph-theoretic corpus model (Section 6, Theorem 6).
+//!
+//! "Suppose that documents are nodes in a graph and that weights on the
+//! edges capture conceptual proximity… Then a topic is defined implicitly as
+//! a subgraph with high conductance." Theorem 6: if the corpus consists of
+//! `k` disjoint high-conductance subgraphs joined by edges of total weight
+//! per vertex bounded by an ε fraction, rank-k spectral analysis discovers
+//! the subgraphs.
+//!
+//! * [`graph`] — weighted undirected graphs and their (row-normalized)
+//!   adjacency matrices.
+//! * [`conductance`] — the paper's conductance `φ(S) = w(S, S̄) /
+//!   min(|S|, |S̄|)` (exhaustive for small graphs, sweep-cut otherwise).
+//! * [`planted`] — the planted-partition generator matching Theorem 6's
+//!   hypothesis: dense blocks plus ε-bounded leakage.
+//! * [`spectral`] — rank-k spectral embedding + clustering, and the
+//!   adjusted Rand index to score recovery against the planted truth.
+
+pub mod conductance;
+pub mod doc_graph;
+pub mod graph;
+pub mod planted;
+pub mod spectral;
+
+pub use conductance::{conductance_of_set, cut_weight, min_conductance_exhaustive};
+pub use doc_graph::{document_similarity_graph, label_leakage, SimilarityKind};
+pub use graph::WeightedGraph;
+pub use planted::{PlantedConfig, PlantedPartition};
+pub use spectral::{adjusted_rand_index, kmeans, spectral_partition};

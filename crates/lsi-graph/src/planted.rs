@@ -1,0 +1,232 @@
+//! Planted-partition graphs matching Theorem 6's hypothesis.
+//!
+//! "The corpus consists of k disjoint subgraphs with high conductance, and
+//! is joined with edges of total weight per vertex bounded from above by an
+//! ε fraction." The generator builds k dense blocks (Erdős–Rényi inside
+//! each block) and sprinkles inter-block edges whose total weight at each
+//! vertex stays below ε times the vertex's intra-block weight.
+
+use rand::Rng;
+
+use crate::graph::WeightedGraph;
+
+/// Parameters of the planted-partition generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantedConfig {
+    /// Number of blocks `k`.
+    pub blocks: usize,
+    /// Vertices per block.
+    pub block_size: usize,
+    /// Probability of each intra-block edge (unit weight).
+    pub p_intra: f64,
+    /// Per-vertex inter-block leakage ε: each vertex *originates* cross
+    /// edges of total weight `ε ×` its intra-block degree. Because edges
+    /// are undirected, a vertex can additionally *receive* cross edges
+    /// originated by others, so its realized leakage fraction can exceed
+    /// ε; [`PlantedPartition::measured_leakage`] reports the realized
+    /// maximum.
+    pub epsilon: f64,
+}
+
+/// A generated planted partition: the graph plus the ground truth.
+#[derive(Debug, Clone)]
+pub struct PlantedPartition {
+    /// The generated graph.
+    pub graph: WeightedGraph,
+    /// Ground-truth block label per vertex.
+    pub labels: Vec<usize>,
+    config: PlantedConfig,
+}
+
+impl PlantedPartition {
+    /// Generates a planted partition. Panics on degenerate parameters
+    /// (`blocks == 0`, `block_size < 2`, probabilities outside `[0, 1]`).
+    pub fn generate<R: Rng + ?Sized>(config: PlantedConfig, rng: &mut R) -> Self {
+        assert!(config.blocks >= 1, "need at least one block");
+        assert!(config.block_size >= 2, "blocks need at least two vertices");
+        assert!(
+            (0.0..=1.0).contains(&config.p_intra),
+            "p_intra must be a probability"
+        );
+        assert!(config.epsilon >= 0.0, "epsilon must be nonnegative");
+
+        let n = config.blocks * config.block_size;
+        let mut g = WeightedGraph::new(n);
+        let labels: Vec<usize> = (0..n).map(|v| v / config.block_size).collect();
+
+        // Intra-block Erdős–Rényi edges of unit weight; guarantee
+        // connectivity of each block with a Hamiltonian path so conductance
+        // can't collapse by accident at small sizes.
+        for b in 0..config.blocks {
+            let lo = b * config.block_size;
+            let hi = lo + config.block_size;
+            for u in lo..hi {
+                for v in u + 1..hi {
+                    if v == u + 1 || rng.gen::<f64>() < config.p_intra {
+                        g.add_edge(u, v, 1.0);
+                    }
+                }
+            }
+        }
+
+        // Inter-block leakage: each vertex gets a few random cross edges
+        // whose total weight is ε × its intra-block degree. Snapshot the
+        // intra-only degrees first so cross edges added for earlier vertices
+        // don't inflate later vertices' budgets.
+        if config.epsilon > 0.0 && config.blocks > 1 {
+            let intra_degree: Vec<f64> = (0..n).map(|u| g.degree(u)).collect();
+            for u in 0..n {
+                let budget = config.epsilon * intra_degree[u];
+                if budget <= 0.0 {
+                    continue;
+                }
+                // Spread the budget over up to 3 random cross edges.
+                let pieces = 3.min(n - config.block_size);
+                let w = budget / pieces as f64;
+                for _ in 0..pieces {
+                    // Rejection-sample a vertex outside u's block.
+                    loop {
+                        let v = rng.gen_range(0..n);
+                        if labels[v] != labels[u] {
+                            g.add_edge(u, v, w);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        PlantedPartition {
+            graph: g,
+            labels,
+            config,
+        }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &PlantedConfig {
+        &self.config
+    }
+
+    /// Measured leakage: the largest, over vertices, of (inter-block weight)
+    /// / (total weight) — what Theorem 6 bounds by ε/(1+ε)-ish.
+    pub fn measured_leakage(&self) -> f64 {
+        let g = &self.graph;
+        (0..g.len())
+            .map(|u| {
+                let total = g.degree(u);
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                let inter: f64 = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&(v, _)| self.labels[v] != self.labels[u])
+                    .map(|&(_, w)| w)
+                    .sum();
+                inter / total
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Minimum over blocks of the block's internal conductance (computed
+    /// exhaustively on the block's induced subgraph; blocks must have ≤ 20
+    /// vertices). High values confirm Theorem 6's "high conductance"
+    /// hypothesis holds for the instance.
+    pub fn min_block_conductance(&self) -> Option<f64> {
+        let k = self.config.blocks;
+        let s = self.config.block_size;
+        let mut worst = f64::INFINITY;
+        for b in 0..k {
+            let lo = b * s;
+            // Induced subgraph.
+            let mut sub = WeightedGraph::new(s);
+            for u in 0..s {
+                for &(v, w) in self.graph.neighbors(lo + u) {
+                    if v >= lo && v < lo + s && v > lo + u {
+                        sub.add_edge(u, v - lo, w);
+                    }
+                }
+            }
+            worst = worst.min(crate::conductance::min_conductance_exhaustive(&sub, 20)?);
+        }
+        worst.is_finite().then_some(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn config(k: usize, eps: f64) -> PlantedConfig {
+        PlantedConfig {
+            blocks: k,
+            block_size: 10,
+            p_intra: 0.8,
+            epsilon: eps,
+        }
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let p = PlantedPartition::generate(config(3, 0.05), &mut rng(1));
+        assert_eq!(p.graph.len(), 30);
+        assert_eq!(p.labels.len(), 30);
+        assert_eq!(p.labels[0], 0);
+        assert_eq!(p.labels[29], 2);
+    }
+
+    #[test]
+    fn zero_epsilon_means_disjoint_blocks() {
+        let p = PlantedPartition::generate(config(3, 0.0), &mut rng(2));
+        for u in 0..p.graph.len() {
+            for &(v, _) in p.graph.neighbors(u) {
+                assert_eq!(p.labels[u], p.labels[v], "cross edge {u}-{v}");
+            }
+        }
+        assert_eq!(p.measured_leakage(), 0.0);
+    }
+
+    #[test]
+    fn leakage_close_to_epsilon() {
+        let p = PlantedPartition::generate(config(4, 0.1), &mut rng(3));
+        let leak = p.measured_leakage();
+        // Budget was ε× the intra degree at generation time; later incoming
+        // cross edges can push a vertex somewhat above it.
+        assert!(leak > 0.0 && leak < 0.35, "leakage {leak}");
+    }
+
+    #[test]
+    fn blocks_have_high_conductance() {
+        let p = PlantedPartition::generate(config(2, 0.0), &mut rng(4));
+        let c = p.min_block_conductance().unwrap();
+        // Dense ER blocks at p = 0.8 on 10 vertices are near-complete.
+        assert!(c > 1.0, "block conductance {c}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = PlantedPartition::generate(config(3, 0.05), &mut rng(9));
+        let b = PlantedPartition::generate(config(3, 0.05), &mut rng(9));
+        assert_eq!(a.graph.total_weight(), b.graph.total_weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn rejects_tiny_blocks() {
+        PlantedPartition::generate(
+            PlantedConfig {
+                blocks: 2,
+                block_size: 1,
+                p_intra: 0.5,
+                epsilon: 0.0,
+            },
+            &mut rng(1),
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Rank-k spectral subgraph discovery (Theorem 6) and recovery scoring.
+//!
+//! The partitioner embeds each vertex as its row in the matrix of top-k
+//! eigenvectors of the symmetrically-normalized adjacency, row-normalizes,
+//! and clusters with seeded k-means (k-means++ initialization). Under
+//! Theorem 6's hypothesis the embedded blocks are nearly orthogonal point
+//! masses, so the clustering is essentially exact.
+
+use lsi_linalg::eigen::symmetric_eigen;
+use lsi_linalg::{vector, LinalgError, Matrix};
+use rand::Rng;
+
+use crate::graph::WeightedGraph;
+
+/// Partitions the graph's vertices into `k` clusters by rank-k spectral
+/// embedding + k-means. Returns one label in `0..k` per vertex.
+pub fn spectral_partition<R: Rng + ?Sized>(
+    g: &WeightedGraph,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, LinalgError> {
+    let n = g.len();
+    if k == 0 || k > n {
+        return Err(LinalgError::InvalidDimension {
+            op: "spectral_partition",
+            detail: format!("need 1 <= k <= n = {n}, got k = {k}"),
+        });
+    }
+
+    let a = g.symmetric_normalized_adjacency();
+    let eig = symmetric_eigen(&a, 1e-9)?;
+
+    // Embedding: rows of the top-k eigenvector matrix, row-normalized so
+    // cluster geometry is angular (degree-insensitive).
+    let mut embed = Matrix::zeros(n, k);
+    for j in 0..k {
+        let v = eig.eigenvector(j);
+        for (i, &x) in v.iter().enumerate() {
+            embed[(i, j)] = x;
+        }
+    }
+    for i in 0..n {
+        let norm = vector::norm(embed.row(i));
+        if norm > 0.0 {
+            for x in embed.row_mut(i) {
+                *x /= norm;
+            }
+        }
+    }
+
+    Ok(kmeans(&embed, k, rng))
+}
+
+/// Seeded k-means with k-means++ initialization over the **rows** of
+/// `points`, returning one label in `0..k` per row.
+///
+/// Public because it is useful beyond the spectral partitioner — e.g. for
+/// clustering LSI document representations directly (experiment E14). Runs
+/// at most 100 Lloyd iterations; with well-separated inputs it converges in
+/// a handful. An empty `points` yields an empty labeling.
+///
+/// # Panics
+/// Panics if `k == 0` (there is no 0-way partition to return).
+pub fn kmeans<R: Rng + ?Sized>(points: &Matrix, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k >= 1, "kmeans: k must be at least 1");
+    let n = points.nrows();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = points.ncols();
+
+    // k-means++ seeding.
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points.row(rng.gen_range(0..n)).to_vec());
+    while centers.len() < k {
+        let dists: Vec<f64> = (0..n)
+            .map(|i| {
+                centers
+                    .iter()
+                    .map(|c| vector::distance(points.row(i), c).powi(2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centers: duplicate one.
+            centers.push(centers[0].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = n - 1;
+        for (i, &w) in dists.iter().enumerate() {
+            if target < w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centers.push(points.row(chosen).to_vec());
+    }
+
+    // Lloyd iterations.
+    let mut labels = vec![0usize; n];
+    for _ in 0..100 {
+        let mut changed = false;
+        for (i, label) in labels.iter_mut().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    let da = vector::distance(points.row(i), &centers[a]);
+                    let db = vector::distance(points.row(i), &centers[b]);
+                    da.partial_cmp(&db).expect("finite distances")
+                })
+                .expect("k >= 1");
+            if *label != best {
+                *label = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            vector::axpy(1.0, points.row(i), &mut sums[labels[i]]);
+        }
+        for (c, (sum, count)) in centers.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|x| x / *count as f64).collect();
+            }
+        }
+    }
+    labels
+}
+
+/// Adjusted Rand index between two labelings (1.0 = identical partitions up
+/// to renaming, ≈ 0 = chance agreement).
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ka = a.iter().max().map_or(0, |&m| m + 1);
+    let kb = b.iter().max().map_or(0, |&m| m + 1);
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let choose2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_ij: f64 = table.iter().flatten().map(|&x| choose2(x)).sum();
+    let sum_a: f64 = table
+        .iter()
+        .map(|row| choose2(row.iter().sum::<u64>()))
+        .sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum::<u64>()))
+        .sum();
+    let total = choose2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // degenerate: both partitions trivial
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planted::{PlantedConfig, PlantedPartition};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ari_identical_and_permuted() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        let b = vec![2, 2, 0, 0, 1, 1]; // same partition, renamed
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_disagreement_is_low() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1];
+        assert!(adjusted_rand_index(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn ari_trivial_partitions() {
+        let a = vec![0, 0, 0];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn recovers_disjoint_blocks_exactly() {
+        let p = PlantedPartition::generate(
+            PlantedConfig {
+                blocks: 3,
+                block_size: 10,
+                p_intra: 0.9,
+                epsilon: 0.0,
+            },
+            &mut rng(1),
+        );
+        let labels = spectral_partition(&p.graph, 3, &mut rng(2)).unwrap();
+        let ari = adjusted_rand_index(&labels, &p.labels);
+        assert!((ari - 1.0).abs() < 1e-12, "ARI {ari}");
+    }
+
+    #[test]
+    fn recovers_blocks_with_small_leakage() {
+        let p = PlantedPartition::generate(
+            PlantedConfig {
+                blocks: 4,
+                block_size: 12,
+                p_intra: 0.85,
+                epsilon: 0.05,
+            },
+            &mut rng(3),
+        );
+        let labels = spectral_partition(&p.graph, 4, &mut rng(4)).unwrap();
+        let ari = adjusted_rand_index(&labels, &p.labels);
+        assert!(ari > 0.95, "ARI {ari}");
+    }
+
+    #[test]
+    fn heavy_leakage_degrades() {
+        let light = PlantedPartition::generate(
+            PlantedConfig {
+                blocks: 3,
+                block_size: 10,
+                p_intra: 0.8,
+                epsilon: 0.02,
+            },
+            &mut rng(5),
+        );
+        let heavy = PlantedPartition::generate(
+            PlantedConfig {
+                blocks: 3,
+                block_size: 10,
+                p_intra: 0.8,
+                epsilon: 2.0,
+            },
+            &mut rng(5),
+        );
+        let l1 = spectral_partition(&light.graph, 3, &mut rng(6)).unwrap();
+        let l2 = spectral_partition(&heavy.graph, 3, &mut rng(6)).unwrap();
+        let a1 = adjusted_rand_index(&l1, &light.labels);
+        let a2 = adjusted_rand_index(&l2, &heavy.labels);
+        assert!(a1 > a2, "light {a1} should beat heavy {a2}");
+        assert!(a1 > 0.9);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let g = WeightedGraph::new(5);
+        assert!(spectral_partition(&g, 0, &mut rng(1)).is_err());
+        assert!(spectral_partition(&g, 6, &mut rng(1)).is_err());
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        use lsi_linalg::Matrix;
+        let points = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, -0.1],
+            &[0.05, 0.05],
+            &[10.0, 10.0],
+            &[10.1, 9.9],
+            &[9.9, 10.1],
+        ])
+        .unwrap();
+        let labels = kmeans(&points, 2, &mut rng(3));
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn kmeans_empty_input_and_zero_k() {
+        use lsi_linalg::Matrix;
+        assert!(kmeans(&Matrix::zeros(0, 3), 2, &mut rng(1)).is_empty());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            kmeans(&Matrix::zeros(3, 2), 0, &mut rng(1))
+        }));
+        assert!(caught.is_err(), "k = 0 must panic with a clear message");
+    }
+
+    #[test]
+    fn kmeans_with_duplicate_points() {
+        use lsi_linalg::Matrix;
+        let points = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]).unwrap();
+        // k larger than distinct points must still terminate with labels.
+        let labels = kmeans(&points, 2, &mut rng(4));
+        assert_eq!(labels.len(), 3);
+        assert!(labels.iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn k_equals_one_labels_everything_together() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let labels = spectral_partition(&g, 1, &mut rng(7)).unwrap();
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the graph model.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use lsi_graph::{
+    adjusted_rand_index, conductance_of_set, cut_weight, min_conductance_exhaustive,
+    WeightedGraph,
+};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Strategy: a random weighted graph as an edge list.
+fn graph_strategy() -> impl Strategy<Value = WeightedGraph> {
+    (3usize..10).prop_flat_map(|n| {
+        proptest::collection::vec(((0..n), (0..n), 0.1f64..5.0), 1..25).prop_map(
+            move |edges| {
+                let mut g = WeightedGraph::new(n);
+                for (u, v, w) in edges {
+                    if u != v {
+                        g.add_edge(u, v, w);
+                    }
+                }
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cut weight of S equals cut weight of its complement.
+    #[test]
+    fn cut_weight_symmetric(g in graph_strategy(), mask in proptest::num::u64::ANY) {
+        let n = g.len();
+        let in_set: Vec<bool> = (0..n).map(|v| (mask >> v) & 1 == 1).collect();
+        let complement: Vec<bool> = in_set.iter().map(|b| !b).collect();
+        prop_assert!((cut_weight(&g, &in_set) - cut_weight(&g, &complement)).abs() < 1e-9);
+    }
+
+    /// Degrees sum to twice the total weight (minus self-loops, excluded
+    /// by the strategy).
+    #[test]
+    fn handshake_lemma(g in graph_strategy()) {
+        let degree_sum: f64 = (0..g.len()).map(|u| g.degree(u)).sum();
+        prop_assert!((degree_sum - 2.0 * g.total_weight()).abs() < 1e-9);
+    }
+
+    /// The exhaustive minimum conductance lower-bounds every nontrivial cut.
+    #[test]
+    fn exhaustive_is_a_lower_bound(g in graph_strategy(), mask in proptest::num::u64::ANY) {
+        let n = g.len();
+        if let Some(min_c) = min_conductance_exhaustive(&g, 12) {
+            let in_set: Vec<bool> = (0..n).map(|v| (mask >> v) & 1 == 1).collect();
+            if let Some(c) = conductance_of_set(&g, &in_set) {
+                prop_assert!(min_c <= c + 1e-9, "min {min_c} > cut {c}");
+            }
+        }
+    }
+
+    /// ARI is 1 for identical labelings and invariant under renaming.
+    #[test]
+    fn ari_identity_and_renaming(labels in proptest::collection::vec(0usize..4, 2..30)) {
+        prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-9);
+        let renamed: Vec<usize> = labels.iter().map(|&l| 3 - l).collect();
+        prop_assert!((adjusted_rand_index(&labels, &renamed) - 1.0).abs() < 1e-9);
+    }
+
+    /// ARI is symmetric in its arguments.
+    #[test]
+    fn ari_symmetric(
+        a in proptest::collection::vec(0usize..3, 2..25),
+        seed in proptest::num::u64::ANY,
+    ) {
+        use rand::Rng;
+        let mut r = rng(seed);
+        let b: Vec<usize> = a.iter().map(|_| r.gen_range(0..3)).collect();
+        let ab = adjusted_rand_index(&a, &b);
+        let ba = adjusted_rand_index(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab <= 1.0 + 1e-9);
+    }
+}

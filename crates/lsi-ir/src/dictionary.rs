@@ -1,0 +1,94 @@
+//! Term ↔ id interning.
+
+use std::collections::HashMap;
+
+/// A bidirectional mapping between term strings and dense ids `0..len`.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_term: HashMap<String, usize>,
+    by_id: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, term: &str) -> usize {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = self.by_id.len();
+        self.by_term.insert(term.to_owned(), id);
+        self.by_id.push(term.to_owned());
+        id
+    }
+
+    /// Looks up a term's id without interning.
+    pub fn id(&self, term: &str) -> Option<usize> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term string for an id.
+    pub fn term(&self, id: usize) -> Option<&str> {
+        self.by_id.get(id).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates `(id, term)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.by_id.iter().enumerate().map(|(i, s)| (i, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("car");
+        let b = d.intern("auto");
+        assert_eq!(d.intern("car"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut d = Dictionary::new();
+        let id = d.intern("galaxy");
+        assert_eq!(d.id("galaxy"), Some(id));
+        assert_eq!(d.term(id), Some("galaxy"));
+        assert_eq!(d.id("missing"), None);
+        assert_eq!(d.term(99), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern("a");
+        d.intern("b");
+        let pairs: Vec<(usize, &str)> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "a"), (1, "b")]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Retrieval-quality evaluation: precision, recall, average precision, MAP.
+//!
+//! The paper's headline claim is that LSI improves "precision and recall in
+//! standard collections and query workloads" over plain vector-space
+//! retrieval; this harness is what the integration tests and benchmarks use
+//! to check that the claim's *shape* holds on our synthetic workloads.
+
+use std::collections::HashSet;
+
+/// Relevance judgments for one query: the set of relevant document ids.
+#[derive(Debug, Clone, Default)]
+pub struct Judgments {
+    relevant: HashSet<usize>,
+}
+
+impl Judgments {
+    /// Builds from a list of relevant document ids.
+    pub fn new(relevant: impl IntoIterator<Item = usize>) -> Self {
+        Judgments {
+            relevant: relevant.into_iter().collect(),
+        }
+    }
+
+    /// Number of relevant documents.
+    pub fn n_relevant(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// Is `doc` relevant?
+    pub fn is_relevant(&self, doc: usize) -> bool {
+        self.relevant.contains(&doc)
+    }
+}
+
+/// Precision at cutoff `k`: fraction of the top `k` ranked docs that are
+/// relevant. Returns `0.0` when `k == 0`. Duplicate occurrences of a
+/// relevant document are counted once (a ranking should not be rewarded for
+/// repeating itself).
+pub fn precision_at(ranking: &[usize], judgments: &Judgments, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let mut seen = HashSet::new();
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|d| judgments.is_relevant(**d) && seen.insert(**d))
+        .count();
+    hits as f64 / k.min(ranking.len()).max(1) as f64
+}
+
+/// Recall at cutoff `k`: fraction of all relevant docs found in the top `k`.
+/// Returns `0.0` when there are no relevant documents. Duplicates count
+/// once, so recall never exceeds 1.
+pub fn recall_at(ranking: &[usize], judgments: &Judgments, k: usize) -> f64 {
+    let total = judgments.n_relevant();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut seen = HashSet::new();
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|d| judgments.is_relevant(**d) && seen.insert(**d))
+        .count();
+    hits as f64 / total as f64
+}
+
+/// Average precision: the mean of precision values at each relevant rank,
+/// normalized by the total number of relevant documents (uninterpolated
+/// AP). Only a relevant document's **first** occurrence scores.
+pub fn average_precision(ranking: &[usize], judgments: &Judgments) -> f64 {
+    let total = judgments.n_relevant();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut seen = HashSet::new();
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (rank, doc) in ranking.iter().enumerate() {
+        if judgments.is_relevant(*doc) && seen.insert(*doc) {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / total as f64
+}
+
+/// Mean average precision over a query workload of `(ranking, judgments)`.
+pub fn mean_average_precision(runs: &[(Vec<usize>, Judgments)]) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    runs.iter()
+        .map(|(r, j)| average_precision(r, j))
+        .sum::<f64>()
+        / runs.len() as f64
+}
+
+/// 11-point interpolated precision: precision interpolated at recall levels
+/// `0.0, 0.1, …, 1.0` — the classical IR summary curve.
+pub fn eleven_point_precision(ranking: &[usize], judgments: &Judgments) -> [f64; 11] {
+    let total = judgments.n_relevant();
+    let mut out = [0.0f64; 11];
+    if total == 0 {
+        return out;
+    }
+    // Precision/recall after each rank (first occurrences only).
+    let mut points: Vec<(f64, f64)> = Vec::new(); // (recall, precision)
+    let mut seen = HashSet::new();
+    let mut hits = 0usize;
+    for (rank, doc) in ranking.iter().enumerate() {
+        if judgments.is_relevant(*doc) && seen.insert(*doc) {
+            hits += 1;
+            points.push((hits as f64 / total as f64, hits as f64 / (rank + 1) as f64));
+        }
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        let level = i as f64 / 10.0;
+        *slot = points
+            .iter()
+            .filter(|&&(r, _)| r >= level - 1e-12)
+            .map(|&(_, p)| p)
+            .fold(0.0, f64::max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(rel: &[usize]) -> Judgments {
+        Judgments::new(rel.iter().copied())
+    }
+
+    #[test]
+    fn precision_and_recall_basic() {
+        let ranking = vec![3, 1, 4, 1, 5]; // doc ids
+        let jd = j(&[3, 4]);
+        assert!((precision_at(&ranking, &jd, 1) - 1.0).abs() < 1e-15);
+        assert!((precision_at(&ranking, &jd, 2) - 0.5).abs() < 1e-15);
+        assert!((precision_at(&ranking, &jd, 3) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((recall_at(&ranking, &jd, 1) - 0.5).abs() < 1e-15);
+        assert!((recall_at(&ranking, &jd, 3) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn precision_k_zero_and_empty() {
+        let jd = j(&[1]);
+        assert_eq!(precision_at(&[], &jd, 5), 0.0);
+        assert_eq!(precision_at(&[1], &jd, 0), 0.0);
+        assert_eq!(recall_at(&[1, 2], &j(&[]), 2), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_ranking() {
+        let jd = j(&[0, 1]);
+        assert!((average_precision(&[0, 1, 2, 3], &jd) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn average_precision_worst_case_ordering() {
+        let jd = j(&[2, 3]);
+        // Relevant docs at ranks 3 and 4: AP = (1/3 + 2/4)/2.
+        let ap = average_precision(&[0, 1, 2, 3], &jd);
+        assert!((ap - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duplicate_docs_count_once() {
+        // A degenerate ranking repeating one relevant doc must not inflate
+        // any metric (caught originally by the property suite).
+        let jd = j(&[3]);
+        let ranking = vec![3, 3, 3];
+        assert!((average_precision(&ranking, &jd) - 1.0).abs() < 1e-15);
+        assert!((recall_at(&ranking, &jd, 3) - 1.0).abs() < 1e-15);
+        assert!((precision_at(&ranking, &jd, 3) - 1.0 / 3.0).abs() < 1e-15);
+        let pts = eleven_point_precision(&ranking, &jd);
+        assert!(pts.iter().all(|&p| p <= 1.0));
+    }
+
+    #[test]
+    fn average_precision_missing_relevant_penalized() {
+        let jd = j(&[0, 9]); // doc 9 never retrieved
+        let ap = average_precision(&[0, 1], &jd);
+        assert!((ap - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn map_averages_queries() {
+        let runs = vec![
+            (vec![0, 1], j(&[0])),     // AP 1.0
+            (vec![1, 0], j(&[0])),     // AP 0.5
+        ];
+        assert!((mean_average_precision(&runs) - 0.75).abs() < 1e-15);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+
+    #[test]
+    fn eleven_point_is_monotone_nonincreasing() {
+        let ranking = vec![0, 5, 1, 6, 2, 7, 3, 8, 4, 9];
+        let jd = j(&[0, 1, 2, 3, 4]);
+        let pts = eleven_point_precision(&ranking, &jd);
+        for w in pts.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "{pts:?}");
+        }
+        // Recall level 0 precision is max precision anywhere = 1.0 (rank 1 hit).
+        assert!((pts[0] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eleven_point_no_relevant() {
+        let pts = eleven_point_precision(&[0, 1], &j(&[]));
+        assert!(pts.iter().all(|&p| p == 0.0));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Vector-space information-retrieval substrate.
+//!
+//! The paper's baseline is "conventional vector-based methods": documents as
+//! vectors in term space, cosine-ranked retrieval. This crate provides that
+//! baseline plus everything LSI sits on top of:
+//!
+//! * [`text`] — tokenization and in-memory text documents (for the
+//!   examples; the experiments work directly on generated term ids).
+//! * [`dictionary`] — term ↔ id interning.
+//! * [`term_doc`] — building the `n × m` term–document matrix (terms are
+//!   rows, documents are columns, matching the paper's convention) from a
+//!   generated corpus or tokenized text.
+//! * [`weighting`] — the entry transforms of §2 ("0-1, frequency, etc."):
+//!   binary, raw counts, log-tf, tf-idf, and log-entropy.
+//! * [`retrieval`] — cosine-ranked retrieval through an inverted index, and
+//!   dense retrieval in a projected (LSI) space.
+//! * [`eval`] — precision/recall/MAP evaluation harness.
+
+pub mod bm25;
+pub mod dictionary;
+pub mod eval;
+pub mod retrieval;
+pub mod term_doc;
+pub mod text;
+pub mod weighting;
+
+pub use bm25::{Bm25Index, Bm25Params};
+pub use dictionary::Dictionary;
+pub use retrieval::{RankedList, SearchHit, VectorSpaceIndex};
+pub use term_doc::TermDocumentMatrix;
+pub use weighting::Weighting;

@@ -1,0 +1,256 @@
+//! Cosine-ranked vector-space retrieval — the "conventional vector-based
+//! method" the paper uses as its baseline.
+
+use lsi_linalg::{CsrMatrix, LinearOperator};
+
+/// One retrieved document with its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Document (column) index.
+    pub doc: usize,
+    /// Cosine similarity to the query, in `[-1, 1]`.
+    pub score: f64,
+}
+
+/// A score-descending ranked result list.
+#[derive(Debug, Clone, Default)]
+pub struct RankedList {
+    hits: Vec<SearchHit>,
+}
+
+impl RankedList {
+    /// Builds from unordered hits, sorting by descending score (ties broken
+    /// by ascending doc id for determinism).
+    pub fn from_hits(mut hits: Vec<SearchHit>) -> Self {
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(a.doc.cmp(&b.doc))
+        });
+        RankedList { hits }
+    }
+
+    /// The hits, best first.
+    pub fn hits(&self) -> &[SearchHit] {
+        &self.hits
+    }
+
+    /// Document ids in rank order.
+    pub fn doc_ids(&self) -> Vec<usize> {
+        self.hits.iter().map(|h| h.doc).collect()
+    }
+
+    /// Number of hits.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// True when no documents matched.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Keeps only the top `k`.
+    pub fn truncated(mut self, k: usize) -> Self {
+        self.hits.truncate(k);
+        self
+    }
+}
+
+/// An inverted-index cosine retriever over a weighted term–document matrix.
+///
+/// The index stores, per term, the posting list of `(doc, weight)` pairs;
+/// query scoring touches only the postings of the query's terms — the
+/// standard sparse VSM evaluation strategy.
+///
+/// # Examples
+///
+/// ```
+/// use lsi_ir::retrieval::VectorSpaceIndex;
+/// use lsi_linalg::CsrMatrix;
+///
+/// let weighted = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+/// let index = VectorSpaceIndex::build(&weighted);
+/// let hits = index.query(&[(1, 1.0)], 10);
+/// assert_eq!(hits.hits()[0].doc, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VectorSpaceIndex {
+    /// Postings: for each term, `(doc, weight)` pairs.
+    postings: Vec<Vec<(usize, f64)>>,
+    /// Euclidean norm of each document column.
+    doc_norms: Vec<f64>,
+    n_docs: usize,
+}
+
+impl VectorSpaceIndex {
+    /// Builds the index from a weighted `n × m` term–document matrix.
+    pub fn build(weighted: &CsrMatrix) -> Self {
+        let n_terms = weighted.nrows();
+        let n_docs = weighted.ncols();
+        let mut postings = Vec::with_capacity(n_terms);
+        for t in 0..n_terms {
+            postings.push(weighted.row_entries(t).collect());
+        }
+        VectorSpaceIndex {
+            postings,
+            doc_norms: weighted.column_norms(),
+            n_docs,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Number of terms in the index's universe.
+    pub fn n_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Cosine-ranked retrieval for a sparse query of `(term, weight)` pairs.
+    /// Out-of-vocabulary terms are ignored. Only documents sharing at least
+    /// one query term are returned.
+    pub fn query(&self, terms: &[(usize, f64)], top_k: usize) -> RankedList {
+        let mut scores = vec![0.0f64; self.n_docs];
+        let mut touched = vec![false; self.n_docs];
+        let mut q_norm_sq = 0.0;
+        for &(t, w) in terms {
+            q_norm_sq += w * w;
+            if let Some(posting) = self.postings.get(t) {
+                for &(doc, dw) in posting {
+                    scores[doc] += w * dw;
+                    touched[doc] = true;
+                }
+            }
+        }
+        let q_norm = q_norm_sq.sqrt();
+        if q_norm <= 0.0 {
+            return RankedList::default();
+        }
+        let hits: Vec<SearchHit> = (0..self.n_docs)
+            .filter(|&d| touched[d])
+            .map(|d| {
+                let denom = q_norm * self.doc_norms[d].max(f64::MIN_POSITIVE);
+                SearchHit {
+                    doc: d,
+                    score: (scores[d] / denom).clamp(-1.0, 1.0),
+                }
+            })
+            .collect();
+        RankedList::from_hits(hits).truncated(top_k)
+    }
+
+    /// Cosine similarity between two indexed documents, computed from the
+    /// postings (O(nnz) — fine for tests and small corpora; batch work
+    /// should use the matrix directly).
+    pub fn doc_cosine(&self, i: usize, j: usize) -> f64 {
+        let mut dot = 0.0;
+        for posting in &self.postings {
+            let wi = posting.iter().find(|&&(d, _)| d == i).map(|&(_, w)| w);
+            let wj = posting.iter().find(|&&(d, _)| d == j).map(|&(_, w)| w);
+            if let (Some(a), Some(b)) = (wi, wj) {
+                dot += a * b;
+            }
+        }
+        let denom = self.doc_norms[i] * self.doc_norms[j];
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (dot / denom).clamp(-1.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> VectorSpaceIndex {
+        // 4 terms × 3 docs:
+        //   doc0: t0=1, t1=1
+        //   doc1: t1=2
+        //   doc2: t2=3
+        let m = CsrMatrix::from_triplets(
+            4,
+            3,
+            &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)],
+        )
+        .unwrap();
+        VectorSpaceIndex::build(&m)
+    }
+
+    #[test]
+    fn query_ranks_by_cosine() {
+        let idx = index();
+        let r = idx.query(&[(1, 1.0)], 10);
+        // doc1 is a pure t1 document (cosine 1); doc0 splits mass.
+        assert_eq!(r.hits()[0].doc, 1);
+        assert!((r.hits()[0].score - 1.0).abs() < 1e-12);
+        assert_eq!(r.hits()[1].doc, 0);
+        assert!((r.hits()[1].score - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(r.len(), 2); // doc2 shares no terms
+    }
+
+    #[test]
+    fn query_ignores_oov_terms() {
+        let idx = index();
+        let r = idx.query(&[(99, 1.0)], 10);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn query_zero_weight_returns_empty() {
+        let idx = index();
+        assert!(idx.query(&[], 5).is_empty());
+        assert!(idx.query(&[(0, 0.0)], 5).is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let idx = index();
+        let r = idx.query(&[(1, 1.0)], 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.hits()[0].doc, 1);
+    }
+
+    #[test]
+    fn ranked_list_tie_break_deterministic() {
+        let l = RankedList::from_hits(vec![
+            SearchHit { doc: 5, score: 0.5 },
+            SearchHit { doc: 1, score: 0.5 },
+            SearchHit { doc: 3, score: 0.9 },
+        ]);
+        assert_eq!(l.doc_ids(), vec![3, 1, 5]);
+    }
+
+    #[test]
+    fn doc_cosine_basics() {
+        let idx = index();
+        // doc0 and doc1 share t1.
+        let c01 = idx.doc_cosine(0, 1);
+        assert!((c01 - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        // doc0 and doc2 share nothing.
+        assert_eq!(idx.doc_cosine(0, 2), 0.0);
+        // Self-similarity.
+        assert!((idx.doc_cosine(1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_dimensions() {
+        let idx = index();
+        assert_eq!(idx.n_docs(), 3);
+        assert_eq!(idx.n_terms(), 4);
+    }
+
+    #[test]
+    fn multi_term_query() {
+        let idx = index();
+        let r = idx.query(&[(0, 1.0), (1, 1.0)], 10);
+        // doc0 matches the query direction exactly.
+        assert_eq!(r.hits()[0].doc, 0);
+        assert!((r.hits()[0].score - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Tokenization and in-memory text documents.
+//!
+//! Deliberately simple: lowercase, split on non-alphanumerics, optional
+//! stop-word removal and minimum token length. The paper notes that corpora
+//! "are usually preprocessed to eliminate commonly-occurring stop-words" —
+//! that preprocessing is what justifies treating models as ε-separable, so
+//! the tokenizer supports it directly.
+
+/// A small default English stop-word list.
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "he", "in",
+    "is", "it", "its", "of", "on", "or", "she", "that", "the", "their", "they", "this", "to",
+    "was", "we", "were", "will", "with",
+];
+
+/// Tokenizer configuration.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Minimum token length to keep (after lowercasing).
+    pub min_len: usize,
+    /// Stop words to drop; empty disables stop-word filtering.
+    pub stopwords: Vec<String>,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer {
+            min_len: 2,
+            stopwords: DEFAULT_STOPWORDS.iter().map(|s| (*s).to_owned()).collect(),
+        }
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer that keeps everything (no stop words, length ≥ 1).
+    pub fn keep_all() -> Self {
+        Tokenizer {
+            min_len: 1,
+            stopwords: Vec::new(),
+        }
+    }
+
+    /// Splits text into normalized tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.to_lowercase())
+            .filter(|t| t.chars().count() >= self.min_len)
+            .filter(|t| !self.stopwords.iter().any(|s| s == t))
+            .collect()
+    }
+}
+
+/// A raw text document with an external identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextDocument {
+    /// Caller-supplied identifier (file name, URL, title, …).
+    pub id: String,
+    /// The document body.
+    pub body: String,
+}
+
+impl TextDocument {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, body: impl Into<String>) -> Self {
+        TextDocument {
+            id: id.into(),
+            body: body.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        let t = Tokenizer::keep_all();
+        assert_eq!(
+            t.tokenize("Hello, World! 42x"),
+            vec!["hello", "world", "42x"]
+        );
+    }
+
+    #[test]
+    fn tokenize_drops_stopwords() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("The car is on the highway");
+        assert_eq!(toks, vec!["car", "highway"]);
+    }
+
+    #[test]
+    fn tokenize_min_len() {
+        let t = Tokenizer {
+            min_len: 4,
+            stopwords: Vec::new(),
+        };
+        assert_eq!(t.tokenize("a bb ccc dddd eeeee"), vec!["dddd", "eeeee"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_punctuation_only() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn tokenize_unicode() {
+        let t = Tokenizer::keep_all();
+        assert_eq!(t.tokenize("naïve café"), vec!["naïve", "café"]);
+    }
+
+    #[test]
+    fn text_document_constructor() {
+        let d = TextDocument::new("doc1", "body text");
+        assert_eq!(d.id, "doc1");
+        assert_eq!(d.body, "body text");
+    }
+}

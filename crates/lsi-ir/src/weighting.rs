@@ -1,0 +1,222 @@
+//! Term-weighting schemes.
+//!
+//! Section 2 of the paper: "The i-th coordinate of a vector represents some
+//! function of the number of times the i-th term occurs in the document…
+//! There are several candidates for the right function to be used here (0-1,
+//! frequency, etc.), and the precise choice does not affect our results."
+//! The benchmark suite's ablation E10 verifies that empirically; this module
+//! implements the standard candidates.
+
+use lsi_linalg::{CsrMatrix, LinearOperator};
+
+/// A term-weighting scheme applied to a raw count matrix (rows = terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Weighting {
+    /// Raw occurrence counts (the identity transform).
+    #[default]
+    Count,
+    /// 0/1 presence.
+    Binary,
+    /// `1 + ln(tf)` for nonzero counts (dampened term frequency).
+    LogTf,
+    /// `tf · ln(m / df)` — raw counts scaled by inverse document frequency.
+    TfIdf,
+    /// Log-entropy: `(1 + ln tf) · (1 + H(term)/ln m)` where `H` is the
+    /// (negative) entropy of the term's distribution across documents; the
+    /// weighting classically paired with LSI in the literature.
+    LogEntropy,
+}
+
+impl Weighting {
+    /// All schemes, for sweeps and ablations.
+    pub const ALL: [Weighting; 5] = [
+        Weighting::Count,
+        Weighting::Binary,
+        Weighting::LogTf,
+        Weighting::TfIdf,
+        Weighting::LogEntropy,
+    ];
+
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Weighting::Count => "count",
+            Weighting::Binary => "binary",
+            Weighting::LogTf => "log-tf",
+            Weighting::TfIdf => "tf-idf",
+            Weighting::LogEntropy => "log-entropy",
+        }
+    }
+
+    /// Applies the scheme to raw counts, producing the weighted matrix.
+    pub fn apply(self, counts: &CsrMatrix) -> CsrMatrix {
+        let m = counts.ncols();
+        let mut out = counts.clone();
+        match self {
+            Weighting::Count => {}
+            Weighting::Binary => out.map_values_inplace(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Weighting::LogTf => out.map_values_inplace(|v| if v > 0.0 { 1.0 + v.ln() } else { 0.0 }),
+            Weighting::TfIdf => {
+                let dfs = counts.row_nnz();
+                for (t, &df) in dfs.iter().enumerate() {
+                    if df > 0 {
+                        let idf = ((m as f64) / (df as f64)).ln();
+                        out.scale_row(t, idf);
+                    }
+                }
+            }
+            Weighting::LogEntropy => {
+                if m <= 1 {
+                    // Entropy weight degenerates with one document; fall
+                    // back to log-tf.
+                    out.map_values_inplace(|v| if v > 0.0 { 1.0 + v.ln() } else { 0.0 });
+                    return out;
+                }
+                let log_m = (m as f64).ln();
+                // Global weight g_t = 1 + Σ_j p_tj ln p_tj / ln m.
+                let n = counts.nrows();
+                let mut global = vec![1.0; n];
+                for (t, g) in global.iter_mut().enumerate() {
+                    let total: f64 = counts.row_entries(t).map(|(_, v)| v).sum();
+                    if total <= 0.0 {
+                        continue;
+                    }
+                    let mut h = 0.0;
+                    for (_, v) in counts.row_entries(t) {
+                        let p = v / total;
+                        if p > 0.0 {
+                            h += p * p.ln();
+                        }
+                    }
+                    *g = 1.0 + h / log_m;
+                }
+                out.map_values_inplace(|v| if v > 0.0 { 1.0 + v.ln() } else { 0.0 });
+                for (t, &g) in global.iter().enumerate() {
+                    out.scale_row(t, g);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Normalizes every column (document vector) to unit Euclidean length.
+/// Zero columns are left untouched.
+pub fn normalize_columns(a: &mut CsrMatrix) {
+    let norms = a.column_norms();
+    let factors: Vec<f64> = norms
+        .iter()
+        .map(|&n| if n > 0.0 { 1.0 / n } else { 1.0 })
+        .collect();
+    a.scale_cols(&factors)
+        .expect("factors built from the same matrix always match");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // 3 terms × 4 docs.
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 0, 3.0),
+                (2, 2, 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_is_identity() {
+        let c = sample();
+        assert_eq!(Weighting::Count.apply(&c), c);
+    }
+
+    #[test]
+    fn binary_flattens() {
+        let w = Weighting::Binary.apply(&sample());
+        assert_eq!(w.get(0, 0), 1.0);
+        assert_eq!(w.get(1, 0), 1.0);
+        assert_eq!(w.get(2, 2), 1.0);
+        assert_eq!(w.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn log_tf_dampens() {
+        let w = Weighting::LogTf.apply(&sample());
+        assert!((w.get(0, 0) - (1.0 + 2f64.ln())).abs() < 1e-12);
+        assert!((w.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tf_idf_downweights_ubiquitous_terms() {
+        let w = Weighting::TfIdf.apply(&sample());
+        // Term 0 occurs in all 4 docs: idf = ln(4/4) = 0 → weight 0.
+        assert_eq!(w.get(0, 0), 0.0);
+        // Term 2 occurs in 1 of 4 docs: idf = ln 4.
+        assert!((w.get(2, 2) - 4.0 * 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_entropy_bounds() {
+        let w = Weighting::LogEntropy.apply(&sample());
+        // Term 1 occurs in a single document: entropy 0 → global weight 1.
+        assert!((w.get(1, 0) - (1.0 + 3f64.ln())).abs() < 1e-12);
+        // Term 0 spread across all docs: global weight in (0, 1).
+        let g = w.get(0, 1); // local weight is 1.0, so entry = global
+        assert!(g > 0.0 && g < 1.0, "{g}");
+    }
+
+    #[test]
+    fn log_entropy_single_doc_fallback() {
+        let c = CsrMatrix::from_triplets(2, 1, &[(0, 0, 2.0)]).unwrap();
+        let w = Weighting::LogEntropy.apply(&c);
+        assert!((w.get(0, 0) - (1.0 + 2f64.ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_columns_unit_norms() {
+        let mut a = sample();
+        normalize_columns(&mut a);
+        for (j, n) in a.column_norms().iter().enumerate() {
+            if j == 3 || *n > 0.0 {
+                assert!((n - 1.0).abs() < 1e-12, "col {j}: {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_handles_zero_columns() {
+        let mut a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 3.0)]).unwrap();
+        normalize_columns(&mut a);
+        assert_eq!(a.get(0, 0), 1.0);
+        // Columns 1–2 are zero and untouched.
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn all_schemes_preserve_sparsity_pattern() {
+        let c = sample();
+        for w in Weighting::ALL {
+            let applied = w.apply(&c);
+            assert!(applied.nnz() <= c.nnz(), "{}", w.name());
+            // Zero cells stay zero.
+            assert_eq!(applied.get(2, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Weighting::ALL.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Weighting::ALL.len());
+    }
+}

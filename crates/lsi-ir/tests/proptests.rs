@@ -1,0 +1,108 @@
+//! Property-based tests for the IR substrate.
+
+use proptest::prelude::*;
+
+use lsi_ir::eval::{average_precision, precision_at, recall_at, Judgments};
+use lsi_ir::retrieval::VectorSpaceIndex;
+use lsi_ir::{TermDocumentMatrix, Weighting};
+
+/// Strategy: a small random term–document count matrix as triplets.
+fn triplets_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (2usize..12, 2usize..12).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(
+            ((0..n), (0..m), 1.0f64..9.0).prop_map(|(t, d, v)| (t, d, v.round())),
+            1..40,
+        )
+        .prop_map(move |trips| (n, m, trips))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every weighting scheme produces finite, nonnegative entries on count
+    /// data and keeps the shape.
+    #[test]
+    fn weightings_well_behaved((n, m, trips) in triplets_strategy()) {
+        let td = TermDocumentMatrix::from_triplets(n, m, &trips).expect("in bounds");
+        for w in Weighting::ALL {
+            let applied = td.weighted(w);
+            let dense = applied.to_dense_matrix();
+            prop_assert_eq!(dense.shape(), (n, m));
+            prop_assert!(dense.as_slice().iter().all(|x| x.is_finite()), "{}", w.name());
+            prop_assert!(dense.as_slice().iter().all(|&x| x >= -1e-12), "{}", w.name());
+        }
+    }
+
+    /// Query scores are valid cosines and rankings are sorted.
+    #[test]
+    fn vsm_scores_are_cosines((n, m, trips) in triplets_strategy()) {
+        let td = TermDocumentMatrix::from_triplets(n, m, &trips).expect("in bounds");
+        let idx = VectorSpaceIndex::build(&td.weighted(Weighting::Count));
+        let query: Vec<(usize, f64)> = (0..n.min(3)).map(|t| (t, 1.0)).collect();
+        let result = idx.query(&query, m);
+        for h in result.hits() {
+            prop_assert!(h.score >= -1.0 - 1e-12 && h.score <= 1.0 + 1e-12);
+        }
+        for w in result.hits().windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    /// A document is its own best match when queried with its exact terms.
+    #[test]
+    fn self_query_ranks_self_first((n, m, trips) in triplets_strategy()) {
+        let td = TermDocumentMatrix::from_triplets(n, m, &trips).expect("in bounds");
+        let dense = td.to_dense();
+        let idx = VectorSpaceIndex::build(&td.weighted(Weighting::Count));
+        // Pick the first nonzero document.
+        for j in 0..m {
+            let col = dense.col(j);
+            let query: Vec<(usize, f64)> = col
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v > 0.0)
+                .map(|(t, &v)| (t, v))
+                .collect();
+            if query.is_empty() {
+                continue;
+            }
+            let result = idx.query(&query, m);
+            let top = result.hits().first().expect("nonempty");
+            prop_assert!((top.score - 1.0).abs() < 1e-9 || top.doc == j,
+                "doc {j} not a perfect self-match: top {} at {}", top.doc, top.score);
+            break;
+        }
+    }
+
+    /// Precision/recall/AP stay within [0, 1] for arbitrary rankings.
+    #[test]
+    fn eval_metrics_bounded(
+        ranking in proptest::collection::vec(0usize..50, 0..30),
+        relevant in proptest::collection::hash_set(0usize..50, 0..20),
+        k in 0usize..35,
+    ) {
+        let j = Judgments::new(relevant);
+        let p = precision_at(&ranking, &j, k);
+        let r = recall_at(&ranking, &j, k);
+        let ap = average_precision(&ranking, &j);
+        prop_assert!((0.0..=1.0).contains(&p), "precision {p}");
+        prop_assert!((0.0..=1.0).contains(&r), "recall {r}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap), "AP {ap}");
+    }
+
+    /// Recall is monotone nondecreasing in k.
+    #[test]
+    fn recall_monotone_in_k(
+        ranking in proptest::collection::vec(0usize..20, 1..20),
+        relevant in proptest::collection::hash_set(0usize..20, 1..10),
+    ) {
+        let j = Judgments::new(relevant);
+        let mut prev = 0.0;
+        for k in 0..=ranking.len() {
+            let r = recall_at(&ranking, &j, k);
+            prop_assert!(r >= prev - 1e-12);
+            prev = r;
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Golub–Kahan Householder bidiagonalization.
+//!
+//! First phase of the dense SVD: `A = U B Vᵀ` with `B` upper bidiagonal.
+//! Requires `m ≥ n`; the SVD driver transposes wide inputs before calling.
+
+use crate::dense::Matrix;
+use crate::error::LinalgError;
+
+use crate::Result;
+
+/// Result of bidiagonalizing an `m × n` matrix (`m ≥ n`):
+/// `A = U · B · Vᵀ` where `B` is upper bidiagonal with main diagonal `diag`
+/// and superdiagonal `superdiag` (`superdiag[k] = B[k][k+1]`).
+#[derive(Debug, Clone)]
+pub struct Bidiagonal {
+    /// `m × n` column-orthonormal left factor.
+    pub u: Matrix,
+    /// Main diagonal of `B`, length `n`.
+    pub diag: Vec<f64>,
+    /// Superdiagonal of `B`, length `n - 1` (empty when `n ≤ 1`).
+    pub superdiag: Vec<f64>,
+    /// `n × n` orthogonal right factor.
+    pub v: Matrix,
+}
+
+impl Bidiagonal {
+    /// Reconstructs `U B Vᵀ` densely; intended for tests.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let n = self.diag.len();
+        let mut b = Matrix::zeros(n, n);
+        for (k, &d) in self.diag.iter().enumerate() {
+            b[(k, k)] = d;
+        }
+        for (k, &e) in self.superdiag.iter().enumerate() {
+            b[(k, k + 1)] = e;
+        }
+        self.u.matmul(&b)?.matmul(&self.v.transpose())
+    }
+}
+
+use crate::vector::householder_reflector as householder;
+
+/// Bidiagonalizes a tall matrix (`m ≥ n`). See [`Bidiagonal`].
+pub fn bidiagonalize(a: &Matrix) -> Result<Bidiagonal> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::InvalidDimension {
+            op: "bidiagonalize",
+            detail: format!("need m >= n, got {m}x{n}"),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NotFinite { op: "bidiagonalize" });
+    }
+
+    let mut work = a.clone();
+    // Left reflectors act on rows k..m (n of them); right reflectors act on
+    // columns k+1..n (n-2 of them, when n > 2).
+    let mut left: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n);
+    let mut right: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n.saturating_sub(2));
+
+    for k in 0..n {
+        // Zero out column k below the diagonal.
+        let x: Vec<f64> = (k..m).map(|i| work[(i, k)]).collect();
+        let (v, beta) = householder(&x);
+        if beta != 0.0 {
+            for j in k..n {
+                let mut dot = 0.0;
+                for (idx, vi) in v.iter().enumerate() {
+                    dot += vi * work[(k + idx, j)];
+                }
+                let s = beta * dot;
+                for (idx, vi) in v.iter().enumerate() {
+                    work[(k + idx, j)] -= s * vi;
+                }
+            }
+        }
+        left.push((v, beta));
+
+        // Zero out row k to the right of the superdiagonal.
+        if k + 2 < n {
+            let x: Vec<f64> = (k + 1..n).map(|j| work[(k, j)]).collect();
+            let (v, beta) = householder(&x);
+            if beta != 0.0 {
+                for i in k..m {
+                    let mut dot = 0.0;
+                    for (idx, vi) in v.iter().enumerate() {
+                        dot += vi * work[(i, k + 1 + idx)];
+                    }
+                    let s = beta * dot;
+                    for (idx, vi) in v.iter().enumerate() {
+                        work[(i, k + 1 + idx)] -= s * vi;
+                    }
+                }
+            }
+            right.push((v, beta));
+        }
+    }
+
+    // Form U (m×n): apply left reflectors in reverse order to I_{m×n}.
+    let mut u = Matrix::zeros(m, n);
+    for j in 0..n {
+        u[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let (v, beta) = &left[k];
+        if *beta == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * u[(k + idx, j)];
+            }
+            let s = beta * dot;
+            for (idx, vi) in v.iter().enumerate() {
+                u[(k + idx, j)] -= s * vi;
+            }
+        }
+    }
+
+    // Form V (n×n): apply right reflectors in reverse order to I_n.
+    let mut v_mat = Matrix::identity(n);
+    for k in (0..right.len()).rev() {
+        let (v, beta) = &right[k];
+        if *beta == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * v_mat[(k + 1 + idx, j)];
+            }
+            let s = beta * dot;
+            for (idx, vi) in v.iter().enumerate() {
+                v_mat[(k + 1 + idx, j)] -= s * vi;
+            }
+        }
+    }
+
+    let diag: Vec<f64> = (0..n).map(|k| work[(k, k)]).collect();
+    let superdiag: Vec<f64> = (0..n.saturating_sub(1)).map(|k| work[(k, k + 1)]).collect();
+
+    Ok(Bidiagonal {
+        u,
+        diag,
+        superdiag,
+        v: v_mat,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormality_error;
+    use crate::rng::{gaussian_matrix, seeded};
+
+    #[test]
+    fn bidiagonalize_reconstructs_random() {
+        let mut rng = seeded(17);
+        for &(m, n) in &[(5usize, 5usize), (8, 5), (12, 3), (6, 1), (2, 2)] {
+            let a = gaussian_matrix(&mut rng, m, n);
+            let bd = bidiagonalize(&a).unwrap();
+            let r = bd.reconstruct().unwrap();
+            let err = r.max_abs_diff(&a).unwrap();
+            assert!(err < 1e-11, "({m},{n}) reconstruction error {err}");
+            assert!(orthonormality_error(&bd.u) < 1e-12, "U not orthonormal");
+            assert!(orthonormality_error(&bd.v) < 1e-12, "V not orthogonal");
+        }
+    }
+
+    #[test]
+    fn bidiagonal_structure_is_enforced() {
+        let mut rng = seeded(23);
+        let a = gaussian_matrix(&mut rng, 7, 6);
+        let bd = bidiagonalize(&a).unwrap();
+        assert_eq!(bd.diag.len(), 6);
+        assert_eq!(bd.superdiag.len(), 5);
+        // Verify UᵀAV is upper bidiagonal.
+        let b = bd.u.transpose_matmul(&a.matmul(&bd.v).unwrap()).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                if j != i && j != i + 1 {
+                    assert!(b[(i, j)].abs() < 1e-11, "B[{i},{j}] = {}", b[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidiagonalize_zero_matrix() {
+        let a = Matrix::zeros(4, 3);
+        let bd = bidiagonalize(&a).unwrap();
+        assert!(bd.diag.iter().all(|&d| d == 0.0));
+        assert!(bd.superdiag.iter().all(|&e| e == 0.0));
+        assert!(bd.reconstruct().unwrap().max_abs_diff(&a).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn bidiagonalize_rejects_wide() {
+        let a = Matrix::zeros(2, 4);
+        assert!(bidiagonalize(&a).is_err());
+    }
+
+    #[test]
+    fn bidiagonalize_rejects_nan() {
+        let mut a = Matrix::zeros(3, 2);
+        a[(0, 0)] = f64::INFINITY;
+        assert!(bidiagonalize(&a).is_err());
+    }
+
+    #[test]
+    fn single_column() {
+        let a = Matrix::from_rows(&[&[3.0], &[4.0]]).unwrap();
+        let bd = bidiagonalize(&a).unwrap();
+        assert!((bd.diag[0].abs() - 5.0).abs() < 1e-12);
+        assert!(bd.superdiag.is_empty());
+    }
+}

@@ -1,0 +1,378 @@
+//! Symmetric eigendecomposition.
+//!
+//! Householder tridiagonalization followed by the implicit-shift QL
+//! iteration. Used by the synonymy experiment (spectrum of the term–term
+//! autocorrelation matrix `A Aᵀ`, Section 4 of the paper), by the
+//! graph-theoretic corpus model (Theorem 6), and by tests as an independent
+//! cross-check of the SVD (`σᵢ² = λᵢ(AᵀA)`).
+
+use crate::dense::Matrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Eigendecomposition `A = Q Λ Qᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in **descending** order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, ordered to match.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `Q Λ Qᵀ`; intended for tests.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let q = &self.eigenvectors;
+        let mut lq = q.transpose();
+        for (i, &l) in self.eigenvalues.iter().enumerate() {
+            for x in lq.row_mut(i) {
+                *x *= l;
+            }
+        }
+        q.matmul(&lq)
+    }
+
+    /// The eigenvector for the `i`-th largest eigenvalue.
+    pub fn eigenvector(&self, i: usize) -> Vec<f64> {
+        self.eigenvectors.col(i)
+    }
+
+    /// The eigenvector for the **smallest** eigenvalue — the paper's
+    /// synonymy analysis looks at this end of the spectrum.
+    pub fn smallest_eigenvector(&self) -> Vec<f64> {
+        self.eigenvectors.col(self.eigenvalues.len() - 1)
+    }
+}
+
+/// Householder tridiagonalization: returns `(q, d, e)` with
+/// `A = Q T Qᵀ`, `T` symmetric tridiagonal (diagonal `d`, off-diagonal `e`
+/// of length `n − 1`).
+fn tridiagonalize(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let n = a.nrows();
+    let mut t = a.clone();
+    let mut reflectors: Vec<(Vec<f64>, f64)> = Vec::new();
+
+    for k in 0..n.saturating_sub(2) {
+        // Householder vector for column k, rows k+1..n (overflow-safe).
+        let x: Vec<f64> = (k + 1..n).map(|i| t[(i, k)]).collect();
+        let (v, beta) = crate::vector::householder_reflector(&x);
+
+        if beta != 0.0 {
+            // Symmetric update T ← H T H with H = I − βvvᵀ acting on k+1..n.
+            // w = β T v (restricted), then T ← T − v wᵀ − w vᵀ + (β vᵀw) v vᵀ.
+            let mut w = vec![0.0; n - k - 1];
+            for (i, wi) in w.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for (j, vj) in v.iter().enumerate() {
+                    s += t[(k + 1 + i, k + 1 + j)] * vj;
+                }
+                *wi = beta * s;
+            }
+            let vw: f64 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+            for i in 0..n - k - 1 {
+                for j in 0..n - k - 1 {
+                    t[(k + 1 + i, k + 1 + j)] +=
+                        -v[i] * w[j] - w[i] * v[j] + beta * vw * v[i] * v[j];
+                }
+            }
+            // Column k (and row k by symmetry): H x = x − βv(vᵀx).
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * t[(k + 1 + idx, k)];
+            }
+            for (idx, vi) in v.iter().enumerate() {
+                let upd = t[(k + 1 + idx, k)] - beta * dot * vi;
+                t[(k + 1 + idx, k)] = upd;
+                t[(k, k + 1 + idx)] = upd;
+            }
+        }
+        reflectors.push((v, beta));
+    }
+
+    // Accumulate Q = H_0 H_1 ... applied to the identity (reverse order).
+    let mut q = Matrix::identity(n);
+    for k in (0..reflectors.len()).rev() {
+        let (v, beta) = &reflectors[k];
+        if *beta == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * q[(k + 1 + idx, j)];
+            }
+            let s = beta * dot;
+            for (idx, vi) in v.iter().enumerate() {
+                q[(k + 1 + idx, j)] -= s * vi;
+            }
+        }
+    }
+
+    let d: Vec<f64> = (0..n).map(|i| t[(i, i)]).collect();
+    let e: Vec<f64> = (0..n.saturating_sub(1)).map(|i| t[(i + 1, i)]).collect();
+    (q, d, e)
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix,
+/// accumulating rotations into the columns of `z`.
+///
+/// `e` must have length `n` (off-diagonals in `e[0..n-1]`, with `e[n-1]`
+/// used as scratch by the sweep, following the classic formulation).
+fn ql_implicit(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<()> {
+    let n = d.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    let eps = f64::EPSILON;
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find the first negligible off-diagonal at or after l.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= eps * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 64 {
+                return Err(LinalgError::NoConvergence {
+                    op: "symmetric_eigen",
+                    iterations: iter,
+                });
+            }
+
+            // Wilkinson-style shift; the sign of the denominator `g ± r`
+            // is chosen to avoid cancellation.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (if g >= 0.0 { g + r } else { g - r });
+
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r <= f64::MIN_POSITIVE {
+                    // Recover: skip the rest of this sweep.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+
+                // Rotate eigenvector columns i and i+1.
+                for row in 0..z.nrows() {
+                    f = z[(row, i + 1)];
+                    z[(row, i + 1)] = s * z[(row, i)] + c * f;
+                    z[(row, i)] = c * z[(row, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Eigendecomposition of a symmetric matrix.
+///
+/// `a` must be square and symmetric to within `sym_tol` (absolute, compared
+/// entrywise); pass `0.0` to require exact symmetry. Eigenvalues are returned
+/// in descending order with matching orthonormal eigenvector columns.
+pub fn symmetric_eigen(a: &Matrix, sym_tol: f64) -> Result<SymmetricEigen> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::InvalidDimension {
+            op: "symmetric_eigen",
+            detail: format!("matrix must be square, got {m}x{n}"),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NotFinite {
+            op: "symmetric_eigen",
+        });
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > sym_tol {
+                return Err(LinalgError::InvalidDimension {
+                    op: "symmetric_eigen",
+                    detail: format!(
+                        "matrix is not symmetric at ({i},{j}): {} vs {}",
+                        a[(i, j)],
+                        a[(j, i)]
+                    ),
+                });
+            }
+        }
+    }
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            eigenvalues: Vec::new(),
+            eigenvectors: Matrix::zeros(0, 0),
+        });
+    }
+
+    let (q, mut d, mut e) = tridiagonalize(a);
+    e.push(0.0); // scratch slot used by the QL sweep
+    let mut z = q;
+    ql_implicit(&mut d, &mut e, &mut z)?;
+
+    // Sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("eigenvalues are finite"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        eigenvectors.set_col(new_j, &z.col(old_j));
+    }
+
+    // Deterministic sign: largest-|entry| positive.
+    for j in 0..n {
+        let col = eigenvectors.col(j);
+        let (mut best, mut best_abs) = (0usize, 0.0f64);
+        for (i, &x) in col.iter().enumerate() {
+            if x.abs() > best_abs {
+                best_abs = x.abs();
+                best = i;
+            }
+        }
+        if best_abs > 0.0 && col[best] < 0.0 {
+            for r in 0..n {
+                eigenvectors[(r, j)] = -eigenvectors[(r, j)];
+            }
+        }
+    }
+
+    Ok(SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormality_error;
+    use crate::rng::{gaussian_matrix, seeded};
+
+    fn random_symmetric(seed: u64, n: usize) -> Matrix {
+        let mut rng = seeded(seed);
+        let g = gaussian_matrix(&mut rng, n, n);
+        g.add(&g.transpose()).unwrap().scaled(0.5)
+    }
+
+    #[test]
+    fn eigen_diagonal() {
+        let a = Matrix::from_diag(&[1.0, 4.0, 2.0]);
+        let f = symmetric_eigen(&a, 0.0).unwrap();
+        assert!((f.eigenvalues[0] - 4.0).abs() < 1e-12);
+        assert!((f.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((f.eigenvalues[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let f = symmetric_eigen(&a, 0.0).unwrap();
+        assert!((f.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((f.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for 3 is (1,1)/√2 up to sign.
+        let v = f.eigenvector(0);
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v[0] - v[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_reconstructs_random() {
+        for seed in [1u64, 2, 3] {
+            for n in [1usize, 2, 3, 5, 10, 20] {
+                let a = random_symmetric(seed * 100 + n as u64, n);
+                let f = symmetric_eigen(&a, 0.0).unwrap();
+                let r = f.reconstruct().unwrap();
+                let err = r.max_abs_diff(&a).unwrap();
+                assert!(err < 1e-9, "n={n} seed={seed}: err {err}");
+                assert!(orthonormality_error(&f.eigenvectors) < 1e-10);
+                for w in f.eigenvalues.windows(2) {
+                    assert!(w[0] >= w[1] - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_negative_eigenvalues() {
+        let a = Matrix::from_diag(&[-5.0, 3.0, -1.0]);
+        let f = symmetric_eigen(&a, 0.0).unwrap();
+        assert!((f.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((f.eigenvalues[2] + 5.0).abs() < 1e-12);
+        assert!((f.smallest_eigenvector()[0].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_rejects_nonsquare_and_asymmetric() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3), 0.0).is_err());
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(symmetric_eigen(&a, 1e-12).is_err());
+        // But passes with a loose tolerance.
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[2.0 + 1e-13, 1.0]]).unwrap();
+        assert!(symmetric_eigen(&b, 1e-10).is_ok());
+    }
+
+    #[test]
+    fn eigen_matches_svd_on_gram_matrix() {
+        let mut rng = seeded(44);
+        let a = gaussian_matrix(&mut rng, 9, 5);
+        let gram = a.transpose_matmul(&a).unwrap();
+        let eig = symmetric_eigen(&gram, 1e-10).unwrap();
+        let f = crate::svd::svd(&a).unwrap();
+        for (l, s) in eig.eigenvalues.iter().zip(&f.singular_values) {
+            assert!((l - s * s).abs() < 1e-8, "λ={l} vs σ²={}", s * s);
+        }
+    }
+
+    #[test]
+    fn eigen_empty_and_single() {
+        let f = symmetric_eigen(&Matrix::zeros(0, 0), 0.0).unwrap();
+        assert!(f.eigenvalues.is_empty());
+        let a = Matrix::from_rows(&[&[7.0]]).unwrap();
+        let f = symmetric_eigen(&a, 0.0).unwrap();
+        assert_eq!(f.eigenvalues, vec![7.0]);
+    }
+
+    #[test]
+    fn eigen_repeated_eigenvalues() {
+        // 2·I plus a rank-1 bump keeps two equal eigenvalues.
+        let mut a = Matrix::identity(3).scaled(2.0);
+        a[(0, 0)] = 5.0;
+        let f = symmetric_eigen(&a, 0.0).unwrap();
+        assert!((f.eigenvalues[0] - 5.0).abs() < 1e-12);
+        assert!((f.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((f.eigenvalues[2] - 2.0).abs() < 1e-12);
+        assert!(f.reconstruct().unwrap().max_abs_diff(&a).unwrap() < 1e-10);
+    }
+}

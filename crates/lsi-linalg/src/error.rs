@@ -1,0 +1,105 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+///
+/// Shape mismatches and invalid arguments are reported eagerly; iterative
+/// routines additionally report failure to converge within their iteration
+/// budget rather than returning silently wrong factors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A dimension argument was invalid (for instance a zero-sized matrix
+    /// where a nonempty one is required, or `k` larger than `min(m, n)`).
+    InvalidDimension {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violated requirement.
+        detail: String,
+    },
+    /// An iterative algorithm did not converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm.
+        op: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument that must be finite contained a NaN or infinity.
+    NotFinite {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// Sparse-matrix construction received an out-of-bounds or duplicate
+    /// entry that the caller asked to be rejected.
+    InvalidEntry {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "{op}: incompatible shapes {}x{} and {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::InvalidDimension { op, detail } => {
+                write!(f, "{op}: invalid dimension: {detail}")
+            }
+            LinalgError::NoConvergence { op, iterations } => {
+                write!(f, "{op}: no convergence after {iterations} iterations")
+            }
+            LinalgError::NotFinite { op } => write!(f, "{op}: non-finite value in input"),
+            LinalgError::InvalidEntry { op, row, col } => {
+                write!(f, "{op}: invalid entry at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert_eq!(e.to_string(), "matmul: incompatible shapes 2x3 and 4x5");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence {
+            op: "svd",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("30 iterations"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::NotFinite { op: "qr" });
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! Dense and sparse linear algebra substrate for the LSI reproduction.
+//!
+//! The paper ran its experiments on SVDPACK; this crate replaces it with a
+//! self-contained, pure-Rust implementation of everything the LSI pipeline
+//! needs:
+//!
+//! * [`Matrix`] — row-major dense matrices with the usual kernels
+//!   (multiplication, transpose, norms, slicing).
+//! * [`qr`] — Householder QR factorization and orthonormalization.
+//! * [`svd`] — full singular value decomposition (Golub–Kahan
+//!   bidiagonalization followed by Golub–Reinsch implicit-shift QR).
+//! * [`eigen`] — symmetric eigendecomposition (Householder tridiagonalization
+//!   plus implicit QL with Wilkinson shifts), used by the synonymy experiment
+//!   on `A Aᵀ` and by the spectral graph model.
+//! * [`CsrMatrix`] — compressed sparse row matrices, the natural shape of a
+//!   term–document matrix.
+//! * [`lanczos`] — truncated SVD of an arbitrary [`LinearOperator`] by
+//!   Golub–Kahan–Lanczos bidiagonalization with full reorthogonalization:
+//!   the stand-in for SVDPACK's `las2`.
+//! * [`randomized`] — Halko-style randomized truncated SVD, the modern
+//!   descendant of the paper's random-projection idea, kept as an ablation
+//!   backend.
+//! * [`rng`] — seeded Gaussian sampling and random orthonormal matrices.
+//!
+//! All routines are deterministic given their inputs (and, where relevant, a
+//! seed), and return [`Result`] rather than panicking on shape errors.
+//!
+//! # Example
+//!
+//! ```
+//! use lsi_linalg::{Matrix, svd::svd};
+//!
+//! let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+//! let f = svd(&a).unwrap();
+//! assert!((f.singular_values[0] - 4.0).abs() < 1e-12);
+//! assert!((f.singular_values[1] - 3.0).abs() < 1e-12);
+//! ```
+
+pub mod bidiag;
+pub mod dense;
+pub mod eigen;
+pub mod error;
+pub mod lanczos;
+pub mod norms;
+pub mod operator;
+pub mod qr;
+pub mod randomized;
+pub mod rng;
+pub mod sparse;
+pub mod svd;
+pub mod vector;
+
+pub use dense::Matrix;
+pub use error::LinalgError;
+pub use operator::LinearOperator;
+pub use sparse::CsrMatrix;
+pub use svd::{Svd, TruncatedSvd};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

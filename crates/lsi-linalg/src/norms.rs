@@ -1,0 +1,126 @@
+//! Matrix norms.
+
+use crate::dense::Matrix;
+use crate::operator::LinearOperator;
+use crate::vector;
+use crate::Result;
+
+/// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
+pub fn frobenius(a: &Matrix) -> f64 {
+    vector::norm(a.as_slice())
+}
+
+/// Squared Frobenius norm `Σ aᵢⱼ²` — the measure in Eckart–Young (Theorem 1)
+/// and Theorem 5 of the paper.
+pub fn frobenius_sq(a: &Matrix) -> f64 {
+    vector::norm_sq(a.as_slice())
+}
+
+/// Maximum absolute column sum (operator 1-norm).
+pub fn one_norm(a: &Matrix) -> f64 {
+    let mut sums = vec![0.0; a.ncols()];
+    for row in a.rows_iter() {
+        for (j, &x) in row.iter().enumerate() {
+            sums[j] += x.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Maximum absolute row sum (operator ∞-norm).
+pub fn inf_norm(a: &Matrix) -> f64 {
+    a.rows_iter()
+        .map(|row| row.iter().map(|x| x.abs()).sum())
+        .fold(0.0, f64::max)
+}
+
+/// Spectral norm (largest singular value) estimated by power iteration on
+/// `AᵀA`, accurate to roughly `tol` relative error.
+///
+/// Deterministic: the starting vector is the all-ones vector plus a small
+/// index-dependent perturbation, which is almost never orthogonal to the top
+/// singular vector in practice; the iteration cap guards the exception.
+pub fn spectral_norm<Op: LinearOperator + ?Sized>(a: &Op, tol: f64, max_iter: usize) -> Result<f64> {
+    let n = a.ncols();
+    if n == 0 || a.nrows() == 0 {
+        return Ok(0.0);
+    }
+    // Deterministic restarts: if a start vector lands in A's null space the
+    // iterate breaks down, but that only proves the norm is 0 along that
+    // direction — try a differently-phased start before concluding σ = 0.
+    let mut sigma = 0.0f64;
+    for restart in 0..4u32 {
+        let phase = f64::from(restart) * 0.7;
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 1e-3 * (i as f64 + 1.0 + phase).sin() + phase * (i as f64).cos())
+            .collect();
+        if vector::normalize(&mut v) == 0.0 {
+            continue;
+        }
+        let mut broke_down = false;
+        for _ in 0..max_iter {
+            let av = a.apply(&v)?;
+            let mut w = a.apply_transpose(&av)?;
+            let new_sigma = vector::norm(&av);
+            if vector::normalize(&mut w) == 0.0 {
+                broke_down = true;
+                break;
+            }
+            v = w;
+            if (new_sigma - sigma).abs() <= tol * new_sigma.max(f64::MIN_POSITIVE) {
+                return Ok(new_sigma);
+            }
+            sigma = new_sigma;
+        }
+        if !broke_down {
+            return Ok(sigma);
+        }
+    }
+    Ok(sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frobenius_known() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert!((frobenius(&a) - 5.0).abs() < 1e-15);
+        assert!((frobenius_sq(&a) - 25.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn one_and_inf_norms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[-3.0, 4.0]]).unwrap();
+        assert_eq!(one_norm(&a), 6.0); // column 1: |−2|+|4|
+        assert_eq!(inf_norm(&a), 7.0); // row 1: |−3|+|4|
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let a = Matrix::from_diag(&[1.0, 5.0, 3.0]);
+        let s = spectral_norm(&a, 1e-12, 1000).unwrap();
+        assert!((s - 5.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn spectral_norm_zero_matrix() {
+        let a = Matrix::zeros(3, 4);
+        assert_eq!(spectral_norm(&a, 1e-12, 100).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spectral_norm_empty() {
+        let a = Matrix::zeros(0, 0);
+        assert_eq!(spectral_norm(&a, 1e-12, 100).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spectral_le_frobenius() {
+        let a = Matrix::from_fn(5, 4, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let s = spectral_norm(&a, 1e-10, 2000).unwrap();
+        assert!(s <= frobenius(&a) + 1e-9);
+        assert!(s >= frobenius(&a) / (4f64).sqrt() - 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Abstract linear operators.
+//!
+//! Lanczos, randomized SVD, and the power iteration only need `y = A x` and
+//! `y = Aᵀ x`. Abstracting over that lets them run on a dense [`Matrix`],
+//! a [`CsrMatrix`](crate::CsrMatrix) term–document matrix, or any composite
+//! (e.g. a random projection applied on the fly) without densifying.
+
+use crate::dense::Matrix;
+use crate::Result;
+
+/// Anything that can act as a (real) linear map and its transpose.
+pub trait LinearOperator {
+    /// Number of rows of the operator.
+    fn nrows(&self) -> usize;
+
+    /// Number of columns of the operator.
+    fn ncols(&self) -> usize;
+
+    /// `A x`; `x.len()` must equal `ncols()`.
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>>;
+
+    /// `Aᵀ x`; `x.len()` must equal `nrows()`.
+    fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>>;
+
+    /// Materializes the operator as a dense matrix by applying it to the
+    /// standard basis. Intended for tests and small operators.
+    fn to_dense(&self) -> Result<Matrix> {
+        let (m, n) = (self.nrows(), self.ncols());
+        let mut out = Matrix::zeros(m, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.apply(&e)?;
+            out.set_col(j, &col);
+            e[j] = 0.0;
+        }
+        Ok(out)
+    }
+}
+
+impl LinearOperator for Matrix {
+    fn nrows(&self) -> usize {
+        Matrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        Matrix::ncols(self)
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.matvec(x)
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.matvec_transpose(x)
+    }
+
+    fn to_dense(&self) -> Result<Matrix> {
+        Ok(self.clone())
+    }
+}
+
+/// The composition `L R` of two operators, applied lazily.
+///
+/// Used by the two-step pipeline of Section 5, where the projected matrix
+/// `B = √(n/l) Rᵀ A` is a product that never needs to be stored densely when
+/// only matrix–vector products are required.
+pub struct ProductOperator<'a, L: LinearOperator, R: LinearOperator> {
+    left: &'a L,
+    right: &'a R,
+}
+
+impl<'a, L: LinearOperator, R: LinearOperator> ProductOperator<'a, L, R> {
+    /// Composes `left * right`; fails if inner dimensions disagree.
+    pub fn new(left: &'a L, right: &'a R) -> Result<Self> {
+        if left.ncols() != right.nrows() {
+            return Err(crate::LinalgError::ShapeMismatch {
+                op: "ProductOperator::new",
+                left: (left.nrows(), left.ncols()),
+                right: (right.nrows(), right.ncols()),
+            });
+        }
+        Ok(ProductOperator { left, right })
+    }
+}
+
+impl<L: LinearOperator, R: LinearOperator> LinearOperator for ProductOperator<'_, L, R> {
+    fn nrows(&self) -> usize {
+        self.left.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.right.ncols()
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let y = self.right.apply(x)?;
+        self.left.apply(&y)
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let y = self.left.apply_transpose(x)?;
+        self.right.apply_transpose(&y)
+    }
+}
+
+/// An operator scaled by a constant: `alpha * A`.
+pub struct ScaledOperator<'a, A: LinearOperator> {
+    inner: &'a A,
+    alpha: f64,
+}
+
+impl<'a, A: LinearOperator> ScaledOperator<'a, A> {
+    /// Wraps `inner`, scaling every product by `alpha`.
+    pub fn new(inner: &'a A, alpha: f64) -> Self {
+        ScaledOperator { inner, alpha }
+    }
+}
+
+impl<A: LinearOperator> LinearOperator for ScaledOperator<'_, A> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut y = self.inner.apply(x)?;
+        crate::vector::scale(self.alpha, &mut y);
+        Ok(y)
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut y = self.inner.apply_transpose(x)?;
+        crate::vector::scale(self.alpha, &mut y);
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_operator_matches_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let x = vec![1.0, -1.0];
+        assert_eq!(LinearOperator::apply(&a, &x).unwrap(), a.matvec(&x).unwrap());
+        let y = vec![1.0, 0.0, -1.0];
+        assert_eq!(
+            LinearOperator::apply_transpose(&a, &y).unwrap(),
+            a.matvec_transpose(&y).unwrap()
+        );
+    }
+
+    #[test]
+    fn to_dense_reconstructs() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let d = LinearOperator::to_dense(&a).unwrap();
+        assert_eq!(d.max_abs_diff(&a), Some(0.0));
+    }
+
+    #[test]
+    fn product_operator_matches_matmul() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(2, 4, |i, j| (i * 4 + j) as f64 * 0.5);
+        let p = ProductOperator::new(&a, &b).unwrap();
+        let dense = p.to_dense().unwrap();
+        let expect = a.matmul(&b).unwrap();
+        assert!(dense.max_abs_diff(&expect).unwrap() < 1e-13);
+        // Transpose product: (AB)ᵀ x = Bᵀ Aᵀ x.
+        let x = vec![1.0, 2.0, 3.0];
+        let got = p.apply_transpose(&x).unwrap();
+        let want = expect.matvec_transpose(&x).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn product_operator_rejects_mismatch() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(3, 4);
+        assert!(ProductOperator::new(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scaled_operator_scales_both_directions() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j + 1) as f64);
+        let s = ScaledOperator::new(&a, 2.0);
+        let x = vec![1.0, 1.0, 1.0];
+        let got = s.apply(&x).unwrap();
+        let base = a.matvec(&x).unwrap();
+        for (g, b) in got.iter().zip(&base) {
+            assert!((g - 2.0 * b).abs() < 1e-14);
+        }
+        let y = vec![1.0, -1.0];
+        let got_t = s.apply_transpose(&y).unwrap();
+        let base_t = a.matvec_transpose(&y).unwrap();
+        for (g, b) in got_t.iter().zip(&base_t) {
+            assert!((g - 2.0 * b).abs() < 1e-14);
+        }
+    }
+}

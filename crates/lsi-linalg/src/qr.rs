@@ -1,0 +1,204 @@
+//! Householder QR factorization.
+//!
+//! Used to orthonormalize Gaussian matrices into random subspace bases
+//! (Section 5's projection matrix `R`), as the range-finder step of the
+//! randomized SVD, and by tests as an independent orthogonality oracle.
+
+use crate::dense::Matrix;
+use crate::error::LinalgError;
+use crate::vector;
+use crate::Result;
+
+/// Thin QR of a tall (or square) matrix `A` (`m × n`, `m ≥ n`):
+/// `A = Q R` with `Q` `m × n` column-orthonormal and `R` `n × n` upper
+/// triangular with nonnegative diagonal.
+///
+/// Rank-deficient input is allowed; the corresponding columns of `Q` complete
+/// an orthonormal basis (the factorization still satisfies `A = QR`).
+pub fn qr_thin(a: &Matrix) -> Result<(Matrix, Matrix)> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::InvalidDimension {
+            op: "qr_thin",
+            detail: format!("need m >= n, got {m}x{n}"),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NotFinite { op: "qr_thin" });
+    }
+
+    // Work on a copy; `work` becomes R in its upper triangle while the
+    // Householder vectors are kept separately (unit leading entry).
+    let mut work = a.clone();
+    let mut reflectors: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n); // (v, beta)
+
+    for k in 0..n {
+        // Build the Householder vector for column k, rows k..m (scaled
+        // against over/underflow by the shared reflector helper).
+        let x: Vec<f64> = (k..m).map(|i| work[(i, k)]).collect();
+        let (v, beta) = vector::householder_reflector(&x);
+
+        if beta != 0.0 {
+            // Apply H = I - beta v vᵀ to the trailing block work[k.., k..].
+            for j in k..n {
+                let mut dot = 0.0;
+                for (idx, vi) in v.iter().enumerate() {
+                    dot += vi * work[(k + idx, j)];
+                }
+                let s = beta * dot;
+                for (idx, vi) in v.iter().enumerate() {
+                    work[(k + idx, j)] -= s * vi;
+                }
+            }
+        }
+        reflectors.push((v, beta));
+    }
+
+    // Extract R (n×n upper triangle).
+    let mut r = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r[(i, j)] = work[(i, j)];
+        }
+    }
+
+    // Form thin Q by applying H_0 ... H_{n-1} (in reverse) to I_{m×n}.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let (v, beta) = &reflectors[k];
+        if *beta == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * q[(k + idx, j)];
+            }
+            let s = beta * dot;
+            for (idx, vi) in v.iter().enumerate() {
+                q[(k + idx, j)] -= s * vi;
+            }
+        }
+    }
+
+    // Canonicalize: make R's diagonal nonnegative by flipping signs.
+    for k in 0..n {
+        if r[(k, k)] < 0.0 {
+            for j in k..n {
+                r[(k, j)] = -r[(k, j)];
+            }
+            for i in 0..m {
+                q[(i, k)] = -q[(i, k)];
+            }
+        }
+    }
+
+    Ok((q, r))
+}
+
+/// Orthonormalizes the columns of `a` (returns the thin-QR `Q` factor).
+pub fn orthonormalize_columns(a: &Matrix) -> Result<Matrix> {
+    Ok(qr_thin(a)?.0)
+}
+
+/// Maximum deviation of `qᵀq` from the identity; a test/validation helper
+/// exposed publicly because several crates assert orthonormality.
+pub fn orthonormality_error(q: &Matrix) -> f64 {
+    let n = q.ncols();
+    let mut worst = 0.0f64;
+    // Gram matrix via transpose_matmul keeps this O(mn²) and allocation-light.
+    let gram = q
+        .transpose_matmul(q)
+        .expect("orthonormality_error: shapes always agree");
+    for i in 0..n {
+        for j in 0..n {
+            let expect = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((gram[(i, j)] - expect).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{gaussian_matrix, seeded};
+
+    fn reconstruct(q: &Matrix, r: &Matrix) -> Matrix {
+        q.matmul(r).unwrap()
+    }
+
+    #[test]
+    fn qr_identity() {
+        let a = Matrix::identity(4);
+        let (q, r) = qr_thin(&a).unwrap();
+        assert!(orthonormality_error(&q) < 1e-14);
+        assert!(reconstruct(&q, &r).max_abs_diff(&a).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn qr_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let (q, r) = qr_thin(&a).unwrap();
+        assert!(orthonormality_error(&q) < 1e-13);
+        assert!(reconstruct(&q, &r).max_abs_diff(&a).unwrap() < 1e-13);
+        // R upper triangular with nonnegative diagonal.
+        assert!(r[(1, 0)].abs() < 1e-14);
+        assert!(r[(0, 0)] >= 0.0 && r[(1, 1)] >= 0.0);
+    }
+
+    #[test]
+    fn qr_random_tall() {
+        let mut rng = seeded(99);
+        let a = gaussian_matrix(&mut rng, 30, 8);
+        let (q, r) = qr_thin(&a).unwrap();
+        assert!(orthonormality_error(&q) < 1e-12);
+        assert!(reconstruct(&q, &r).max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn qr_rank_deficient_still_factors() {
+        // Two identical columns.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let (q, r) = qr_thin(&a).unwrap();
+        assert!(reconstruct(&q, &r).max_abs_diff(&a).unwrap() < 1e-12);
+        // Second diagonal entry of R collapses to ~0.
+        assert!(r[(1, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_zero_matrix() {
+        let a = Matrix::zeros(5, 3);
+        let (q, r) = qr_thin(&a).unwrap();
+        assert!(reconstruct(&q, &r).max_abs_diff(&a).unwrap() < 1e-14);
+        assert_eq!(q.shape(), (5, 3));
+        assert_eq!(r.shape(), (3, 3));
+    }
+
+    #[test]
+    fn qr_rejects_wide() {
+        let a = Matrix::zeros(2, 5);
+        assert!(matches!(
+            qr_thin(&a),
+            Err(LinalgError::InvalidDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn qr_rejects_nan() {
+        let mut a = Matrix::zeros(3, 2);
+        a[(1, 1)] = f64::NAN;
+        assert!(matches!(qr_thin(&a), Err(LinalgError::NotFinite { .. })));
+    }
+
+    #[test]
+    fn orthonormalize_columns_is_q() {
+        let mut rng = seeded(5);
+        let a = gaussian_matrix(&mut rng, 12, 4);
+        let q = orthonormalize_columns(&a).unwrap();
+        assert!(orthonormality_error(&q) < 1e-12);
+    }
+}

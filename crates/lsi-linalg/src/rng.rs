@@ -1,0 +1,132 @@
+//! Seeded random sampling used across the workspace.
+//!
+//! `rand` provides uniform variates; the Gaussian sampler (Marsaglia polar
+//! method) lives here so the workspace does not need `rand_distr`. Every
+//! entry point takes an explicit seed or `&mut impl Rng` so that experiments
+//! are reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dense::Matrix;
+use crate::qr::qr_thin;
+use crate::Result;
+
+/// Creates the workspace-standard seeded PRNG.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal variate by the Marsaglia polar method.
+///
+/// Discards the second variate of each pair; sampling here is never the
+/// bottleneck (SVD is), so the simpler stateless form wins.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Fills `out` with i.i.d. standard-normal variates.
+pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    for x in out {
+        *x = standard_normal(rng);
+    }
+}
+
+/// An `n × m` matrix of i.i.d. standard-normal entries.
+pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let mut data = vec![0.0; rows * cols];
+    fill_standard_normal(rng, &mut data);
+    Matrix::from_vec(rows, cols, data).expect("gaussian_matrix: data length matches by construction")
+}
+
+/// A random `n × l` column-orthonormal matrix: the Q factor of a Gaussian
+/// matrix. This is the projection matrix `R` of the paper's Section 5 (the
+/// basis of a uniformly random `l`-dimensional subspace of Rⁿ).
+///
+/// Requires `l <= n` so the columns can be orthonormal.
+pub fn random_orthonormal<R: Rng + ?Sized>(rng: &mut R, n: usize, l: usize) -> Result<Matrix> {
+    if l > n {
+        return Err(crate::LinalgError::InvalidDimension {
+            op: "random_orthonormal",
+            detail: format!("need l <= n, got l={l}, n={n}"),
+        });
+    }
+    let g = gaussian_matrix(rng, n, l);
+    let (q, _r) = qr_thin(&g)?;
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let xa: Vec<f64> = (0..8).map(|_| standard_normal(&mut a)).collect();
+        let xb: Vec<f64> = (0..8).map(|_| standard_normal(&mut b)).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = seeded(7);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_matrix_shape() {
+        let mut rng = seeded(3);
+        let g = gaussian_matrix(&mut rng, 4, 7);
+        assert_eq!(g.nrows(), 4);
+        assert_eq!(g.ncols(), 7);
+        assert!(g.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn random_orthonormal_columns() {
+        let mut rng = seeded(11);
+        let q = random_orthonormal(&mut rng, 20, 5).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let d = crate::vector::dot(&q.col(i), &q.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-10, "({i},{j}) -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_orthonormal_rejects_wide() {
+        let mut rng = seeded(11);
+        assert!(random_orthonormal(&mut rng, 3, 5).is_err());
+    }
+}

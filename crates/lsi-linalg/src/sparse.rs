@@ -1,0 +1,441 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Term–document matrices are extremely sparse (a document touches a few
+//! dozen of thousands of terms); the Lanczos truncated SVD only needs
+//! matrix–vector products, so CSR plus [`LinearOperator`] is all LSI needs
+//! to scale the way the paper assumes (`O(mnc)` with `c` nonzeros/column).
+
+use crate::dense::Matrix;
+use crate::error::LinalgError;
+use crate::operator::LinearOperator;
+use crate::Result;
+
+/// An immutable CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column index of each stored entry, grouped by row, sorted within row.
+    col_idx: Vec<usize>,
+    /// Stored values, parallel to `col_idx`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from COO triplets `(row, col, value)`.
+    ///
+    /// Duplicate coordinates are **summed** (the natural semantics for
+    /// accumulating term counts); explicit zeros are dropped; out-of-bounds
+    /// coordinates are an error.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(LinalgError::InvalidEntry {
+                    op: "CsrMatrix::from_triplets",
+                    row: r,
+                    col: c,
+                });
+            }
+        }
+        // Sort by (row, col) and merge duplicates.
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+
+        let mut i = 0;
+        while i < sorted.len() {
+            let (r, c, mut v) = sorted[i];
+            i += 1;
+            while i < sorted.len() && sorted[i].0 == r && sorted[i].1 == c {
+                v += sorted[i].2;
+                i += 1;
+            }
+            if v != 0.0 {
+                row_ptr[r + 1] += 1;
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, dropping entries with `|x| <= drop_tol`.
+    pub fn from_dense(a: &Matrix, drop_tol: f64) -> Self {
+        let (rows, cols) = a.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            for (j, &x) in a.row(i).iter().enumerate() {
+                if x.abs() > drop_tol {
+                    col_idx.push(j);
+                    values.push(x);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// An all-zero sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction `nnz / (rows * cols)`, `0.0` for empty shapes.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// The stored entries of row `i` as `(column, value)` pairs.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Reads a single entry (O(log nnz-in-row)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Applies `f` to every stored value in place (structure unchanged).
+    /// The weighting schemes in `lsi-ir` use this for tf transforms.
+    pub fn map_values_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.values {
+            *v = f(*v);
+        }
+    }
+
+    /// Scales every stored value of row `i` by `factor` (for row/IDF scaling).
+    pub fn scale_row(&mut self, i: usize, factor: f64) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        for v in &mut self.values[lo..hi] {
+            *v *= factor;
+        }
+    }
+
+    /// Scales every stored value in column `j` of every row by the factor in
+    /// `factors[j]` (for document-length normalization).
+    pub fn scale_cols(&mut self, factors: &[f64]) -> Result<()> {
+        if factors.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "scale_cols",
+                left: (self.rows, self.cols),
+                right: (factors.len(), 1),
+            });
+        }
+        for (c, v) in self.col_idx.iter().zip(&mut self.values) {
+            *v *= factors[*c];
+        }
+        Ok(())
+    }
+
+    /// Euclidean norm of each column.
+    pub fn column_norms(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.cols];
+        for (c, v) in self.col_idx.iter().zip(&self.values) {
+            acc[*c] += v * v;
+        }
+        for a in &mut acc {
+            *a = a.sqrt();
+        }
+        acc
+    }
+
+    /// Number of stored entries in each row (term document-frequencies when
+    /// rows are terms).
+    pub fn row_nnz(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|i| self.row_ptr[i + 1] - self.row_ptr[i])
+            .collect()
+    }
+
+    /// The transpose, also in CSR.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.rows {
+            for (c, v) in self.row_entries(i) {
+                let pos = next[c];
+                col_idx[pos] = i;
+                values[pos] = v;
+                next[c] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Densifies; intended for tests and small matrices.
+    pub fn to_dense_matrix(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (c, v) in self.row_entries(i) {
+                out[(i, c)] = v;
+            }
+        }
+        out
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.frobenius_sq().sqrt()
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::apply",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (c, v) in self.row_entries(i) {
+                acc += v * x[c];
+            }
+            *yi = acc;
+        }
+        Ok(y)
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::apply_transpose",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row_entries(i) {
+                y[c] += v * xi;
+            }
+        }
+        Ok(y)
+    }
+
+    fn to_dense(&self) -> Result<Matrix> {
+        Ok(self.to_dense_matrix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_basic() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn from_triplets_drops_zero_sums() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, -1.0), (1, 1, 2.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense_matrix();
+        let back = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let d = m.to_dense_matrix();
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        assert_eq!(m.apply(&x).unwrap(), d.matvec(&x).unwrap());
+        let y = vec![1.0, 2.0, -1.0];
+        assert_eq!(
+            m.apply_transpose(&y).unwrap(),
+            d.matvec_transpose(&y).unwrap()
+        );
+    }
+
+    #[test]
+    fn matvec_shape_errors() {
+        let m = sample();
+        assert!(m.apply(&[1.0]).is_err());
+        assert!(m.apply_transpose(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 3);
+        let expect = m.to_dense_matrix().transpose();
+        assert_eq!(t.to_dense_matrix().max_abs_diff(&expect), Some(0.0));
+    }
+
+    #[test]
+    fn column_norms_and_row_nnz() {
+        let m = sample();
+        let norms = m.column_norms();
+        assert!((norms[0] - (1.0f64 + 16.0).sqrt()).abs() < 1e-14);
+        assert!((norms[1] - 3.0).abs() < 1e-14);
+        assert_eq!(m.row_nnz(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn scale_row_and_cols() {
+        let mut m = sample();
+        m.scale_row(0, 2.0);
+        assert_eq!(m.get(0, 3), 4.0);
+        m.scale_cols(&[1.0, 10.0, 1.0, 1.0]).unwrap();
+        assert_eq!(m.get(1, 1), 30.0);
+        assert!(m.scale_cols(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn map_values() {
+        let mut m = sample();
+        m.map_values_inplace(|v| v + 1.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        // Structure unchanged: zeros stay zero.
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn density_and_frobenius() {
+        let m = sample();
+        assert!((m.density() - 5.0 / 12.0).abs() < 1e-15);
+        let expect_sq = 1.0 + 4.0 + 9.0 + 16.0 + 25.0;
+        assert!((m.frobenius_sq() - expect_sq).abs() < 1e-12);
+        assert!((m.frobenius() - expect_sq.sqrt()).abs() < 1e-12);
+        assert_eq!(CsrMatrix::zeros(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(4, 2, &[(3, 1, 1.0)]).unwrap();
+        assert_eq!(m.row_entries(0).count(), 0);
+        assert_eq!(m.row_entries(3).count(), 1);
+        let x = vec![1.0, 1.0];
+        assert_eq!(m.apply(&x).unwrap(), vec![0.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,632 @@
+//! Full singular value decomposition.
+//!
+//! Two-phase dense SVD: Golub–Kahan Householder bidiagonalization
+//! ([`crate::bidiag`]) followed by Golub–Reinsch implicit-shift QR on the
+//! bidiagonal with Wilkinson shifts, deflation, and the zero-diagonal
+//! splitting rotations. This is the same algorithm family SVDPACK's dense
+//! path used, reimplemented from the literature (Golub & Van Loan §8.6).
+
+use crate::bidiag::bidiagonalize;
+use crate::dense::Matrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// A thin SVD `A = U Σ Vᵀ` with `p = min(m, n)` retained triplets.
+///
+/// `u` is `m × p`, `singular_values` has length `p` sorted descending and
+/// nonnegative, and `vt` is `p × n`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, one per column.
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, one per **row**.
+    pub vt: Matrix,
+}
+
+/// A rank-`k` truncation of an SVD — the object LSI actually works with.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// `m × k` left factor (the paper's `U_k`; its span is the "LSI space").
+    pub u: Matrix,
+    /// Leading `k` singular values, descending.
+    pub singular_values: Vec<f64>,
+    /// `k × n` right factor (rows of `V_kᵀ`).
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Number of retained triplets (`min(m, n)`).
+    pub fn len(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// True if no triplets are retained (zero-sized input).
+    pub fn is_empty(&self) -> bool {
+        self.singular_values.is_empty()
+    }
+
+    /// Numerical rank: the number of singular values above
+    /// `tol * σ_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        if smax <= 0.0 {
+            return 0;
+        }
+        self.singular_values
+            .iter()
+            .take_while(|&&s| s > tol * smax)
+            .count()
+    }
+
+    /// Keeps the leading `k` triplets. `k` may not exceed [`Svd::len`].
+    pub fn truncate(&self, k: usize) -> Result<TruncatedSvd> {
+        if k > self.len() {
+            return Err(LinalgError::InvalidDimension {
+                op: "Svd::truncate",
+                detail: format!("k={k} > available triplets {}", self.len()),
+            });
+        }
+        Ok(TruncatedSvd {
+            u: self.u.columns_prefix(k)?,
+            singular_values: self.singular_values[..k].to_vec(),
+            vt: self.vt.rows_prefix(k)?,
+        })
+    }
+
+    /// `U Σ Vᵀ` — should reproduce the input up to rounding.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        reconstruct_parts(&self.u, &self.singular_values, &self.vt)
+    }
+
+    /// The Eckart–Young optimal rank-`k` approximation `A_k = U_k Σ_k V_kᵀ`
+    /// (Theorem 1 of the paper).
+    pub fn low_rank_approx(&self, k: usize) -> Result<Matrix> {
+        self.truncate(k)?.reconstruct()
+    }
+
+    /// The Moore–Penrose pseudo-inverse `A⁺ = V Σ⁺ Uᵀ`, inverting only
+    /// singular values above `tol · σ_max`.
+    pub fn pseudo_inverse(&self, tol: f64) -> Result<Matrix> {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        let cutoff = tol * smax;
+        // A⁺ = V diag(1/σ) Uᵀ: scale U's columns (as rows of Uᵀ), then
+        // multiply by Vᵀᵀ.
+        let mut ut = self.u.transpose();
+        for (i, &s) in self.singular_values.iter().enumerate() {
+            let inv = if s > cutoff && s > 0.0 { 1.0 / s } else { 0.0 };
+            for x in ut.row_mut(i) {
+                *x *= inv;
+            }
+        }
+        self.vt.transpose().matmul(&ut)
+    }
+}
+
+impl TruncatedSvd {
+    /// The truncation rank `k`.
+    pub fn rank(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// `U_k Σ_k V_kᵀ`.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        reconstruct_parts(&self.u, &self.singular_values, &self.vt)
+    }
+
+    /// Projects a length-`m` column vector (a document, in LSI terms) into
+    /// the `k`-dimensional left singular subspace: returns `U_kᵀ x`.
+    pub fn project(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.u.matvec_transpose(x)
+    }
+
+    /// Document representation matrix `V_k Σ_k` (documents as rows), the
+    /// representation the paper uses for retrieval.
+    pub fn doc_representation(&self) -> Matrix {
+        let k = self.rank();
+        let n = self.vt.ncols();
+        let mut out = Matrix::zeros(n, k);
+        for j in 0..n {
+            for i in 0..k {
+                out[(j, i)] = self.vt[(i, j)] * self.singular_values[i];
+            }
+        }
+        out
+    }
+}
+
+fn reconstruct_parts(u: &Matrix, s: &[f64], vt: &Matrix) -> Result<Matrix> {
+    // U * diag(s) * Vt, scaling Vt's rows to avoid forming diag(s).
+    let mut svt = vt.clone();
+    for (i, &si) in s.iter().enumerate() {
+        for x in svt.row_mut(i) {
+            *x *= si;
+        }
+    }
+    u.matmul(&svt)
+}
+
+/// Givens rotation coefficients `(c, s)` with `c = a/r`, `s = b/r`,
+/// `r = hypot(a, b)`; `(1, 0)` when both inputs vanish.
+#[inline]
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    let r = a.hypot(b);
+    if r <= f64::MIN_POSITIVE {
+        (1.0, 0.0)
+    } else {
+        (a / r, b / r)
+    }
+}
+
+/// Applies the rotation to columns `i` and `j` of `m`:
+/// `(col_i, col_j) ← (c·col_i + s·col_j, −s·col_i + c·col_j)`.
+#[inline]
+fn rotate_cols(m: &mut Matrix, i: usize, j: usize, c: f64, s: f64) {
+    let rows = m.nrows();
+    for r in 0..rows {
+        let u = m[(r, i)];
+        let v = m[(r, j)];
+        m[(r, i)] = c * u + s * v;
+        m[(r, j)] = -s * u + c * v;
+    }
+}
+
+/// Golub–Kahan SVD step (one implicit-shift QR sweep) on the active block
+/// `p..=q` of the bidiagonal `(d, e)`, accumulating rotations into `u`/`v`.
+fn qr_sweep(d: &mut [f64], e: &mut [f64], p: usize, q: usize, u: &mut Matrix, v: &mut Matrix) {
+    // Wilkinson shift from the trailing 2×2 of BᵀB restricted to the block.
+    let t11 = d[q - 1] * d[q - 1] + if q - 1 > p { e[q - 2] * e[q - 2] } else { 0.0 };
+    let t12 = d[q - 1] * e[q - 1];
+    let t22 = d[q] * d[q] + e[q - 1] * e[q - 1];
+    let delta = (t11 - t22) / 2.0;
+    let denom = delta + delta.signum() * delta.hypot(t12);
+    let mu = if denom.abs() <= f64::MIN_POSITIVE {
+        t22
+    } else {
+        t22 - t12 * t12 / denom
+    };
+
+    let mut y = d[p] * d[p] - mu;
+    let mut z = d[p] * e[p];
+
+    for k in p..q {
+        // Right rotation: zeroes z (the bulge in row k−1 when k > p).
+        let (c, s) = givens(y, z);
+        if k > p {
+            e[k - 1] = y.hypot(z);
+        }
+        let f = c * d[k] + s * e[k];
+        e[k] = -s * d[k] + c * e[k];
+        d[k] = f;
+        let bulge = s * d[k + 1];
+        d[k + 1] *= c;
+        rotate_cols(v, k, k + 1, c, s);
+
+        // Left rotation: zeroes the bulge that appeared at B[k+1, k].
+        let (c2, s2) = givens(d[k], bulge);
+        d[k] = d[k].hypot(bulge);
+        let f2 = c2 * e[k] + s2 * d[k + 1];
+        d[k + 1] = -s2 * e[k] + c2 * d[k + 1];
+        e[k] = f2;
+        if k + 1 < q {
+            y = e[k];
+            z = s2 * e[k + 1];
+            e[k + 1] *= c2;
+        }
+        rotate_cols(u, k, k + 1, c2, s2);
+    }
+}
+
+/// When `d[i] ≈ 0` inside the block, chase `e[i]` off the matrix with left
+/// rotations against rows `i+1..=q`.
+fn chase_zero_diag_row(d: &mut [f64], e: &mut [f64], i: usize, q: usize, u: &mut Matrix) {
+    let mut f = e[i];
+    e[i] = 0.0;
+    for j in i + 1..=q {
+        // Rotate rows (j, i) to annihilate the bulge f at position (i, j)
+        // against the diagonal d[j]; the same rotation then shifts the bulge
+        // one column to the right via e[j].
+        let (c, s) = givens(d[j], f);
+        d[j] = d[j].hypot(f);
+        rotate_cols(u, j, i, c, s);
+        if j < q {
+            let g = e[j];
+            e[j] = c * g;
+            f = -s * g;
+        }
+    }
+}
+
+/// When the trailing diagonal of the block `d[q] ≈ 0`, chase `e[q−1]` upward
+/// with right (column) rotations against columns `p..q`.
+fn chase_zero_diag_col(d: &mut [f64], e: &mut [f64], p: usize, q: usize, v: &mut Matrix) {
+    let mut f = e[q - 1];
+    e[q - 1] = 0.0;
+    let mut j = q - 1;
+    loop {
+        let (c, s) = givens(d[j], f);
+        d[j] = d[j].hypot(f);
+        rotate_cols(v, j, q, c, s);
+        if j == p {
+            break;
+        }
+        let g = e[j - 1];
+        e[j - 1] = c * g;
+        f = -s * g;
+        j -= 1;
+    }
+}
+
+/// Diagonalizes the bidiagonal `(d, e)` in place, accumulating rotations.
+/// Returns an error if any block fails to deflate within the iteration cap.
+fn golub_reinsch(d: &mut [f64], e: &mut [f64], u: &mut Matrix, v: &mut Matrix) -> Result<()> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let eps = f64::EPSILON;
+    let anorm = d
+        .iter()
+        .chain(e.iter())
+        .map(|x| x.abs())
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
+
+    let max_sweeps = 60 * n.max(4);
+    let mut sweeps = 0usize;
+    let mut q = n - 1;
+
+    'outer: loop {
+        // Deflate negligible superdiagonal entries.
+        for i in 0..n - 1 {
+            if e[i].abs() <= eps * (d[i].abs() + d[i + 1].abs()) + f64::MIN_POSITIVE {
+                e[i] = 0.0;
+            }
+        }
+        // Shrink q past converged trailing 1×1 blocks.
+        while q > 0 && e[q - 1] == 0.0 {
+            q -= 1;
+        }
+        if q == 0 {
+            break 'outer;
+        }
+        // Active block is p..=q with all e[p..q] nonzero.
+        let mut p = q - 1;
+        while p > 0 && e[p - 1] != 0.0 {
+            p -= 1;
+        }
+
+        sweeps += 1;
+        if sweeps > max_sweeps {
+            return Err(LinalgError::NoConvergence {
+                op: "svd",
+                iterations: sweeps,
+            });
+        }
+
+        // Zero diagonal inside the block forces a split.
+        let mut split = false;
+        for i in p..q {
+            if d[i].abs() <= eps * anorm {
+                d[i] = 0.0;
+                chase_zero_diag_row(d, e, i, q, u);
+                split = true;
+                break;
+            }
+        }
+        if split {
+            continue;
+        }
+        if d[q].abs() <= eps * anorm {
+            d[q] = 0.0;
+            chase_zero_diag_col(d, e, p, q, v);
+            continue;
+        }
+
+        qr_sweep(d, e, p, q, u, v);
+    }
+    Ok(())
+}
+
+/// Full thin SVD of an arbitrary dense matrix.
+///
+/// Works for any shape (transposes internally when `m < n`); returns
+/// `min(m, n)` triplets sorted by descending singular value, with
+/// nonnegative values and sign-canonicalized vectors (the entry of largest
+/// magnitude in each left singular vector is positive), so results are
+/// comparable across backends.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            singular_values: Vec::new(),
+            vt: Matrix::zeros(0, n),
+        });
+    }
+    if m < n {
+        // SVD of Aᵀ = U Σ Vᵀ  ⇒  A = V Σ Uᵀ.
+        let f = svd(&a.transpose())?;
+        return Ok(Svd {
+            u: f.vt.transpose(),
+            singular_values: f.singular_values,
+            vt: f.u.transpose(),
+        });
+    }
+
+    let bd = bidiagonalize(a)?;
+    let mut d = bd.diag;
+    let mut e = bd.superdiag;
+    let mut u = bd.u;
+    let mut v = bd.v;
+
+    // Normalize the bidiagonal's scale before iterating: the Wilkinson
+    // shift squares entries, so matrices near 1e±150 would otherwise
+    // underflow/overflow intermediates and stall convergence.
+    let anorm = d
+        .iter()
+        .chain(e.iter())
+        .map(|x| x.abs())
+        .fold(0.0f64, f64::max);
+    if anorm > 0.0 {
+        for x in d.iter_mut().chain(e.iter_mut()) {
+            *x /= anorm;
+        }
+    }
+
+    golub_reinsch(&mut d, &mut e, &mut u, &mut v)?;
+
+    if anorm > 0.0 {
+        for x in &mut d {
+            *x *= anorm;
+        }
+    }
+
+    // Make singular values nonnegative by flipping the U column.
+    for (i, di) in d.iter_mut().enumerate() {
+        if *di < 0.0 {
+            *di = -*di;
+            for r in 0..u.nrows() {
+                u[(r, i)] = -u[(r, i)];
+            }
+        }
+    }
+
+    // Sort triplets descending by singular value.
+    let mut order: Vec<usize> = (0..d.len()).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("singular values are finite"));
+    let sorted_s: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut su = Matrix::zeros(u.nrows(), d.len());
+    let mut sv = Matrix::zeros(v.nrows(), d.len());
+    for (new_j, &old_j) in order.iter().enumerate() {
+        su.set_col(new_j, &u.col(old_j));
+        sv.set_col(new_j, &v.col(old_j));
+    }
+
+    // Sign canonicalization: largest-|entry| of each u column positive.
+    for j in 0..sorted_s.len() {
+        let col = su.col(j);
+        let mut best = 0usize;
+        let mut best_abs = 0.0;
+        for (i, &x) in col.iter().enumerate() {
+            if x.abs() > best_abs {
+                best_abs = x.abs();
+                best = i;
+            }
+        }
+        if best_abs > 0.0 && col[best] < 0.0 {
+            for r in 0..su.nrows() {
+                su[(r, j)] = -su[(r, j)];
+            }
+            for r in 0..sv.nrows() {
+                sv[(r, j)] = -sv[(r, j)];
+            }
+        }
+    }
+
+    Ok(Svd {
+        u: su,
+        singular_values: sorted_s,
+        vt: sv.transpose(),
+    })
+}
+
+/// Convenience: SVD truncated to rank `k` (`k ≤ min(m, n)`).
+pub fn svd_truncated(a: &Matrix, k: usize) -> Result<TruncatedSvd> {
+    svd(a)?.truncate(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::frobenius;
+    use crate::qr::orthonormality_error;
+    use crate::rng::{gaussian_matrix, seeded};
+
+    fn check_svd(a: &Matrix, tol: f64) {
+        let f = svd(a).unwrap();
+        let r = f.reconstruct().unwrap();
+        let scale = frobenius(a).max(1.0);
+        let err = r.max_abs_diff(a).unwrap();
+        assert!(err < tol * scale, "reconstruction error {err}");
+        assert!(orthonormality_error(&f.u) < 1e-10, "U not orthonormal");
+        assert!(
+            orthonormality_error(&f.vt.transpose()) < 1e-10,
+            "V not orthonormal"
+        );
+        // Descending nonnegative.
+        for w in f.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(f.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_diagonal() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let f = svd(&a).unwrap();
+        let s = &f.singular_values;
+        assert!((s[0] - 3.0).abs() < 1e-12);
+        assert!((s[1] - 2.0).abs() < 1e-12);
+        assert!((s[2] - 1.0).abs() < 1e-12);
+        check_svd(&a, 1e-12);
+    }
+
+    #[test]
+    fn svd_known_2x2() {
+        // A = [[1, 1], [0, 1]] has singular values sqrt((3±sqrt5)/2).
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let f = svd(&a).unwrap();
+        let s1 = ((3.0 + 5f64.sqrt()) / 2.0).sqrt();
+        let s2 = ((3.0 - 5f64.sqrt()) / 2.0).sqrt();
+        assert!((f.singular_values[0] - s1).abs() < 1e-12);
+        assert!((f.singular_values[1] - s2).abs() < 1e-12);
+        check_svd(&a, 1e-12);
+    }
+
+    #[test]
+    fn svd_random_shapes() {
+        let mut rng = seeded(31);
+        for &(m, n) in &[(6usize, 6usize), (10, 4), (4, 10), (1, 5), (5, 1), (2, 2), (20, 7)] {
+            let a = gaussian_matrix(&mut rng, m, n);
+            check_svd(&a, 1e-10);
+        }
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Rank-1 outer product.
+        let u = [1.0, 2.0, 3.0];
+        let v = [4.0, 5.0];
+        let a = Matrix::from_fn(3, 2, |i, j| u[i] * v[j]);
+        let f = svd(&a).unwrap();
+        assert!(f.singular_values[1].abs() < 1e-10);
+        assert_eq!(f.rank(1e-9), 1);
+        check_svd(&a, 1e-11);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::zeros(4, 3);
+        let f = svd(&a).unwrap();
+        assert!(f.singular_values.iter().all(|&s| s == 0.0));
+        assert_eq!(f.rank(1e-12), 0);
+    }
+
+    #[test]
+    fn svd_empty() {
+        let a = Matrix::zeros(0, 3);
+        let f = svd(&a).unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn svd_matches_gram_eigenvalues() {
+        // σᵢ² are the eigenvalues of AᵀA: verify via trace and det for 2×2.
+        let a = Matrix::from_rows(&[&[2.0, 0.5], &[1.0, 3.0], &[0.0, 1.0]]).unwrap();
+        let f = svd(&a).unwrap();
+        let g = a.transpose_matmul(&a).unwrap();
+        let trace = g[(0, 0)] + g[(1, 1)];
+        let det = g[(0, 0)] * g[(1, 1)] - g[(0, 1)] * g[(1, 0)];
+        let s0 = f.singular_values[0] * f.singular_values[0];
+        let s1 = f.singular_values[1] * f.singular_values[1];
+        assert!((s0 + s1 - trace).abs() < 1e-10);
+        assert!((s0 * s1 - det).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncate_and_low_rank() {
+        let mut rng = seeded(77);
+        let a = gaussian_matrix(&mut rng, 8, 6);
+        let f = svd(&a).unwrap();
+        let t = f.truncate(2).unwrap();
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.u.shape(), (8, 2));
+        assert_eq!(t.vt.shape(), (2, 6));
+        // ‖A − A_k‖²_F = Σ_{i>k} σᵢ².
+        let ak = f.low_rank_approx(2).unwrap();
+        let err = frobenius(&a.sub(&ak).unwrap());
+        let tail: f64 = f.singular_values[2..].iter().map(|s| s * s).sum();
+        assert!((err * err - tail).abs() < 1e-9, "{} vs {}", err * err, tail);
+        assert!(f.truncate(100).is_err());
+    }
+
+    #[test]
+    fn doc_representation_is_v_sigma() {
+        let mut rng = seeded(5);
+        let a = gaussian_matrix(&mut rng, 6, 4);
+        let t = svd_truncated(&a, 3).unwrap();
+        let rep = t.doc_representation();
+        assert_eq!(rep.shape(), (4, 3));
+        // Row j of rep should equal Σ_k ∘ (column j of Vt) = U_kᵀ a_j.
+        for j in 0..4 {
+            let proj = t.project(&a.col(j)).unwrap();
+            for i in 0..3 {
+                assert!((rep[(j, i)] - proj[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_graded_singular_values() {
+        // Widely spread spectrum stresses deflation.
+        let s_true = [1e6, 1e3, 1.0, 1e-3, 1e-6];
+        let mut rng = seeded(9);
+        let u = crate::rng::random_orthonormal(&mut rng, 8, 5).unwrap();
+        let v = crate::rng::random_orthonormal(&mut rng, 5, 5).unwrap();
+        let mut svt = v.transpose();
+        for (i, &si) in s_true.iter().enumerate() {
+            for x in svt.row_mut(i) {
+                *x *= si;
+            }
+        }
+        let a = u.matmul(&svt).unwrap();
+        let f = svd(&a).unwrap();
+        for (got, want) in f.singular_values.iter().zip(&s_true) {
+            assert!(
+                (got - want).abs() <= 1e-9 * 1e6,
+                "got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn svd_identity() {
+        let f = svd(&Matrix::identity(5)).unwrap();
+        for &s in &f.singular_values {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_of_invertible_is_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let pinv = svd(&a).unwrap().pseudo_inverse(1e-12).unwrap();
+        let prod = a.matmul(&pinv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn pseudo_inverse_satisfies_penrose_conditions() {
+        let mut rng = seeded(13);
+        let a = gaussian_matrix(&mut rng, 7, 4);
+        let p = svd(&a).unwrap().pseudo_inverse(1e-12).unwrap();
+        assert_eq!(p.shape(), (4, 7));
+        // A A⁺ A = A and A⁺ A A⁺ = A⁺.
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.max_abs_diff(&a).unwrap() < 1e-9);
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(pap.max_abs_diff(&p).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_inverse_handles_rank_deficiency() {
+        // Rank-1 matrix: the pseudo-inverse must not blow up.
+        let a = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        let p = svd(&a).unwrap().pseudo_inverse(1e-10).unwrap();
+        assert!(p.is_finite());
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(apa.max_abs_diff(&a).unwrap() < 1e-9);
+    }
+}

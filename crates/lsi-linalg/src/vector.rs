@@ -1,0 +1,260 @@
+//! Kernels on `&[f64]` vectors.
+//!
+//! Free functions rather than a wrapper type: the rest of the workspace deals
+//! in plain slices (matrix rows, document vectors), and a newtype would force
+//! conversions at every boundary for no safety gain.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length; in release the
+/// shorter length is used (standard `zip` semantics), which is never exercised
+/// by this workspace's callers.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// Euclidean distance between two equal-length slices.
+#[inline]
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean length in place and returns the original
+/// norm. A zero (or denormal-tiny) vector is left untouched and `0.0` is
+/// returned so callers can detect breakdown (Lanczos relies on this).
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > f64::MIN_POSITIVE {
+        scale(1.0 / n, x);
+        n
+    } else {
+        0.0
+    }
+}
+
+/// Cosine of the angle between `a` and `b`, or `0.0` if either is zero.
+///
+/// The result is clamped to `[-1, 1]` so that downstream `acos` never sees a
+/// value pushed outside the domain by rounding.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na <= f64::MIN_POSITIVE || nb <= f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Angle in radians between `a` and `b` (the measurement used by the paper's
+/// Section 4 experiment, which reports raw angles rather than cosines).
+///
+/// Returns `π/2` if either vector is zero, the convention that keeps
+/// degenerate documents "unrelated to everything".
+pub fn angle(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na <= f64::MIN_POSITIVE || nb <= f64::MIN_POSITIVE {
+        return std::f64::consts::FRAC_PI_2;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0).acos()
+}
+
+/// Subtracts from `v` its component along each row of `basis` (classical
+/// Gram–Schmidt step). `basis` rows are assumed orthonormal.
+pub fn orthogonalize_against(v: &mut [f64], basis: &[Vec<f64>]) {
+    for q in basis {
+        let c = dot(v, q);
+        axpy(-c, q, v);
+    }
+}
+
+/// Computes a Householder reflector for `x`: returns `(v, beta)` with
+/// `(I − β v vᵀ) x = (∓‖x‖·amax, 0, …, 0)`-shaped (the reflector is
+/// invariant to the scaling of `v`, so callers use it as-is).
+///
+/// Scales by the largest absolute entry first (LAPACK `dlarfg` style) so
+/// entries near `1e±154` neither overflow nor underflow when squared — the
+/// naive `‖x‖²` would silently produce `beta = 0` and skip the reflection.
+/// A zero `x` yields `beta = 0.0` (identity reflector).
+pub fn householder_reflector(x: &[f64]) -> (Vec<f64>, f64) {
+    let amax = x.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    if amax <= f64::MIN_POSITIVE || !amax.is_finite() {
+        return (x.to_vec(), 0.0);
+    }
+    let mut v: Vec<f64> = x.iter().map(|&e| e / amax).collect();
+    let alpha = norm(&v);
+    if alpha <= f64::MIN_POSITIVE {
+        return (v, 0.0);
+    }
+    let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+    v[0] += sign * alpha;
+    let beta = 2.0 / norm_sq(&v);
+    (v, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm_pythagorean() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distance_is_norm_of_difference() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert!((distance(&a, &b) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn normalize_unit_result() {
+        let mut v = vec![3.0, 4.0];
+        let n = normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-15);
+        assert!((norm(&v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_reports_breakdown() {
+        let mut v = vec![0.0, 0.0, 0.0];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_orthogonal_and_parallel() {
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-15);
+        assert!((cosine(&[2.0, 0.0], &[5.0, 0.0]) - 1.0).abs() < 1e-15);
+        assert!((cosine(&[1.0, 0.0], &[-3.0, 0.0]) + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn angle_right_angle() {
+        let a = angle(&[1.0, 0.0], &[0.0, 2.0]);
+        assert!((a - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_zero_vector_convention() {
+        assert_eq!(
+            angle(&[0.0, 0.0], &[1.0, 0.0]),
+            std::f64::consts::FRAC_PI_2
+        );
+    }
+
+    #[test]
+    fn angle_clamps_rounding() {
+        // Nearly parallel vectors whose cosine could exceed 1 by rounding.
+        let a = [1.0, 1e-8];
+        let b = [1.0, 1e-8];
+        let theta = angle(&a, &b);
+        assert!((0.0..1e-6).contains(&theta));
+    }
+
+    #[test]
+    fn householder_reflector_annihilates_tail() {
+        let x = [3.0, 4.0, 0.0];
+        let (v, beta) = householder_reflector(&x);
+        // Apply H = I − βvvᵀ to x: result must be (±5·s, 0, 0)-shaped.
+        let c = beta * dot(&v, &x);
+        let hx: Vec<f64> = x.iter().zip(&v).map(|(xi, vi)| xi - c * vi).collect();
+        assert!((hx[0].abs() - 5.0).abs() < 1e-12, "{hx:?}");
+        assert!(hx[1].abs() < 1e-12 && hx[2].abs() < 1e-12, "{hx:?}");
+    }
+
+    #[test]
+    fn householder_reflector_extreme_scales() {
+        for &scale in &[1e-300f64, 1e-160, 1e160, 1e300] {
+            let x = [3.0 * scale, 4.0 * scale];
+            let (v, beta) = householder_reflector(&x);
+            assert!(beta > 0.0, "reflector skipped at scale {scale}");
+            let c = beta * dot(&v, &x);
+            let hx1 = x[1] - c * v[1];
+            assert!(
+                hx1.abs() < 1e-10 * scale,
+                "tail not annihilated at scale {scale}: {hx1}"
+            );
+        }
+    }
+
+    #[test]
+    fn householder_reflector_zero_input() {
+        let (_, beta) = householder_reflector(&[0.0, 0.0]);
+        assert_eq!(beta, 0.0);
+    }
+
+    #[test]
+    fn orthogonalize_removes_components() {
+        let basis = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]];
+        let mut v = vec![3.0, 4.0, 5.0];
+        orthogonalize_against(&mut v, &basis);
+        assert!(v[0].abs() < 1e-15);
+        assert!(v[1].abs() < 1e-15);
+        assert!((v[2] - 5.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,201 @@
+//! Numerical torture tests: classical ill-conditioned and structured
+//! matrices that historically expose SVD/eigensolver bugs (cancellation,
+//! missed deflation, shift breakdown, sign instability).
+
+use lsi_linalg::eigen::symmetric_eigen;
+use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_linalg::norms::frobenius;
+use lsi_linalg::qr::orthonormality_error;
+use lsi_linalg::svd::svd;
+use lsi_linalg::Matrix;
+
+fn check_svd(a: &Matrix, rel_tol: f64, label: &str) {
+    let f = svd(a).unwrap_or_else(|e| panic!("{label}: svd failed: {e}"));
+    let scale = frobenius(a).max(1.0);
+    let rec = f.reconstruct().expect("shapes agree");
+    let err = rec.max_abs_diff(a).expect("same shape");
+    assert!(err <= rel_tol * scale, "{label}: reconstruction error {err}");
+    assert!(
+        orthonormality_error(&f.u) < 1e-9,
+        "{label}: U not orthonormal"
+    );
+    assert!(
+        orthonormality_error(&f.vt.transpose()) < 1e-9,
+        "{label}: V not orthonormal"
+    );
+    for w in f.singular_values.windows(2) {
+        assert!(w[0] >= w[1] - 1e-12, "{label}: unsorted singular values");
+    }
+}
+
+/// Hilbert matrix: famously ill-conditioned (κ ~ e^{3.5n}).
+#[test]
+fn hilbert_matrices() {
+    for n in [3usize, 5, 8, 12] {
+        let h = Matrix::from_fn(n, n, |i, j| 1.0 / (i + j + 1) as f64);
+        check_svd(&h, 1e-12, &format!("hilbert-{n}"));
+        // Hilbert is symmetric positive definite: eigen must agree with svd.
+        let eig = symmetric_eigen(&h, 0.0).unwrap();
+        let f = svd(&h).unwrap();
+        for (l, s) in eig.eigenvalues.iter().zip(&f.singular_values) {
+            assert!((l - s).abs() < 1e-10, "hilbert-{n}: λ {l} vs σ {s}");
+        }
+        // SPD up to roundoff: Hilbert-12's smallest eigenvalue (~1e-17) sits
+        // below eps·λmax, so its computed sign is noise.
+        let floor = -1e-12 * eig.eigenvalues[0];
+        assert!(
+            eig.eigenvalues.iter().all(|&l| l > floor),
+            "SPD violated beyond roundoff: {:?}",
+            eig.eigenvalues
+        );
+    }
+}
+
+/// Kahan matrix: a classic trap for QR/SVD rank detection.
+#[test]
+fn kahan_matrix() {
+    let n = 10;
+    let theta: f64 = 1.2;
+    let (s, c) = theta.sin_cos();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        let si = s.powi(i as i32);
+        k[(i, i)] = si;
+        for j in i + 1..n {
+            k[(i, j)] = -c * si;
+        }
+    }
+    check_svd(&k, 1e-12, "kahan");
+    let f = svd(&k).unwrap();
+    // The Kahan trap: σ_min is far below the smallest diagonal entry
+    // s^{n−1} — naive pivot-based rank detection is fooled, the SVD is not.
+    let last = *f.singular_values.last().unwrap();
+    let smallest_diag = s.powi((n - 1) as i32);
+    assert!(
+        last > 0.0 && last < 0.2 * smallest_diag,
+        "σ_min {last} vs smallest diagonal {smallest_diag}"
+    );
+}
+
+/// Graded diagonal plus noise: stresses deflation ordering.
+#[test]
+fn graded_matrices() {
+    for n in [6usize, 20] {
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let base = if i == j { 10f64.powi(-(i as i32)) } else { 0.0 };
+            base + 1e-14 * ((i * 31 + j * 17) % 7) as f64
+        });
+        check_svd(&a, 1e-12, &format!("graded-{n}"));
+    }
+}
+
+/// Matrices of all-equal entries (rank 1, maximally degenerate spectrum).
+#[test]
+fn constant_matrices() {
+    for &(m, n) in &[(5usize, 5usize), (8, 3), (3, 8)] {
+        let a = Matrix::from_fn(m, n, |_, _| 2.5);
+        check_svd(&a, 1e-12, &format!("constant-{m}x{n}"));
+        let f = svd(&a).unwrap();
+        assert_eq!(f.rank(1e-10), 1, "constant matrix must be rank 1");
+        let expect = 2.5 * ((m * n) as f64).sqrt();
+        assert!((f.singular_values[0] - expect).abs() < 1e-10);
+    }
+}
+
+/// Orthogonal matrices: all singular values exactly 1.
+#[test]
+fn rotation_matrices() {
+    let theta: f64 = 0.7;
+    let (s, c) = theta.sin_cos();
+    let mut g = Matrix::identity(6);
+    // Compose a few plane rotations.
+    for &(i, j) in &[(0usize, 1usize), (2, 3), (1, 4), (0, 5)] {
+        let mut r = Matrix::identity(6);
+        r[(i, i)] = c;
+        r[(j, j)] = c;
+        r[(i, j)] = s;
+        r[(j, i)] = -s;
+        g = g.matmul(&r).unwrap();
+    }
+    let f = svd(&g).unwrap();
+    for &sv in &f.singular_values {
+        assert!((sv - 1.0).abs() < 1e-12, "σ = {sv}");
+    }
+}
+
+/// Wilkinson's W21+ matrix: famous for pathologically close eigenvalue
+/// pairs.
+#[test]
+fn wilkinson_w21() {
+    let n = 21;
+    let mut w = Matrix::zeros(n, n);
+    for i in 0..n {
+        w[(i, i)] = ((i as i64) - 10).abs() as f64;
+        if i + 1 < n {
+            w[(i, i + 1)] = 1.0;
+            w[(i + 1, i)] = 1.0;
+        }
+    }
+    let eig = symmetric_eigen(&w, 0.0).unwrap();
+    let rec = eig.reconstruct().unwrap();
+    assert!(rec.max_abs_diff(&w).unwrap() < 1e-9);
+    // The two largest eigenvalues agree to ~1e-15 but must both be found.
+    let gap = eig.eigenvalues[0] - eig.eigenvalues[1];
+    assert!((0.0..1e-10).contains(&gap), "gap {gap}");
+    assert!((eig.eigenvalues[0] - 10.746194).abs() < 1e-5);
+}
+
+/// Extreme scaling: uniform tiny and huge matrices must not over/underflow.
+#[test]
+fn extreme_scales() {
+    for &scale in &[1e-150f64, 1e-30, 1e30, 1e120] {
+        let a = Matrix::from_fn(5, 4, |i, j| scale * ((i + 2 * j + 1) as f64));
+        let f = svd(&a).expect("svd at extreme scale");
+        assert!(f.singular_values.iter().all(|s| s.is_finite()));
+        assert!(
+            (f.singular_values[0] / scale).is_finite() && f.singular_values[0] > 0.0,
+            "scale {scale}: σ₀ {}",
+            f.singular_values[0]
+        );
+    }
+}
+
+/// Single row / single column shapes.
+#[test]
+fn degenerate_shapes() {
+    let row = Matrix::from_rows(&[&[3.0, 4.0, 0.0]]).unwrap();
+    let f = svd(&row).unwrap();
+    assert!((f.singular_values[0] - 5.0).abs() < 1e-12);
+    let col = row.transpose();
+    let f = svd(&col).unwrap();
+    assert!((f.singular_values[0] - 5.0).abs() < 1e-12);
+}
+
+/// Lanczos on the Hilbert matrix: the dominant triplets of an
+/// ill-conditioned operator must match the dense factorization.
+#[test]
+fn lanczos_on_hilbert() {
+    let n = 30;
+    let h = Matrix::from_fn(n, n, |i, j| 1.0 / (i + j + 1) as f64);
+    let dense = svd(&h).unwrap();
+    let lz = lanczos_svd(&h, 5, &LanczosOptions::default()).unwrap();
+    for i in 0..5 {
+        assert!(
+            (lz.singular_values[i] - dense.singular_values[i]).abs() < 1e-9,
+            "σ_{i}: {} vs {}",
+            lz.singular_values[i],
+            dense.singular_values[i]
+        );
+    }
+}
+
+/// Sign flips must not change singular values (|det| invariance).
+#[test]
+fn sign_invariance() {
+    let a = Matrix::from_fn(6, 4, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
+    let f_pos = svd(&a).unwrap();
+    let f_neg = svd(&a.scaled(-1.0)).unwrap();
+    for (x, y) in f_pos.singular_values.iter().zip(&f_neg.singular_values) {
+        assert!((x - y).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These check algebraic identities on randomized inputs: SVD reconstruction
+//! and orthogonality, Eckart–Young optimality against random competitors,
+//! CSR/dense operator equivalence, and QR invariants.
+
+use proptest::prelude::*;
+
+use lsi_linalg::norms::{frobenius, frobenius_sq};
+use lsi_linalg::qr::{orthonormality_error, qr_thin};
+use lsi_linalg::svd::svd;
+use lsi_linalg::{CsrMatrix, LinearOperator, Matrix};
+
+/// Strategy: a matrix with dimensions in [1, max_dim] and entries in [-10, 10].
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data).expect("length matches"))
+    })
+}
+
+/// Strategy: sparse triplets over an (m, n) grid.
+fn sparse_strategy(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..=max_dim, 2..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(
+            ((0..m), (0..n), -5.0f64..5.0).prop_map(|(r, c, v)| (r, c, v)),
+            0..(m * n).min(40),
+        )
+        .prop_map(move |trips| CsrMatrix::from_triplets(m, n, &trips).expect("in bounds"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn svd_reconstructs(a in matrix_strategy(12)) {
+        let f = svd(&a).unwrap();
+        let rec = f.reconstruct().unwrap();
+        let scale = frobenius(&a).max(1.0);
+        prop_assert!(rec.max_abs_diff(&a).unwrap() <= 1e-9 * scale);
+    }
+
+    #[test]
+    fn svd_factors_orthonormal(a in matrix_strategy(10)) {
+        let f = svd(&a).unwrap();
+        prop_assert!(orthonormality_error(&f.u) <= 1e-9);
+        prop_assert!(orthonormality_error(&f.vt.transpose()) <= 1e-9);
+    }
+
+    #[test]
+    fn svd_values_sorted_nonnegative(a in matrix_strategy(10)) {
+        let f = svd(&a).unwrap();
+        for w in f.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(f.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn frobenius_is_sum_of_squared_singular_values(a in matrix_strategy(10)) {
+        let f = svd(&a).unwrap();
+        let sum_sq: f64 = f.singular_values.iter().map(|s| s * s).sum();
+        let scale = frobenius_sq(&a).max(1.0);
+        prop_assert!((sum_sq - frobenius_sq(&a)).abs() <= 1e-9 * scale);
+    }
+
+    /// Eckart–Young (Theorem 1 of the paper): the SVD truncation beats any
+    /// perturbed competitor of the same rank in Frobenius distance.
+    #[test]
+    fn eckart_young_beats_random_rank_k(
+        a in matrix_strategy(8),
+        seed in 0u64..1000,
+    ) {
+        let p = a.nrows().min(a.ncols());
+        let k = (p / 2).max(1);
+        let f = svd(&a).unwrap();
+        let ak = f.low_rank_approx(k).unwrap();
+        let best = frobenius(&a.sub(&ak).unwrap());
+
+        // Competitor: a random rank-k matrix built from Gaussian factors,
+        // scaled to match A roughly.
+        let mut rng = lsi_linalg::rng::seeded(seed);
+        let b = lsi_linalg::rng::gaussian_matrix(&mut rng, a.nrows(), k);
+        let c = lsi_linalg::rng::gaussian_matrix(&mut rng, k, a.ncols());
+        let mut comp = b.matmul(&c).unwrap();
+        let cf = frobenius(&comp);
+        if cf > 0.0 {
+            comp = comp.scaled(frobenius(&a) / cf);
+        }
+        let other = frobenius(&a.sub(&comp).unwrap());
+        prop_assert!(best <= other + 1e-9, "best {best} > competitor {other}");
+    }
+
+    #[test]
+    fn qr_reconstructs_and_is_orthonormal(a in matrix_strategy(10)) {
+        let (m, n) = a.shape();
+        if m < n {
+            return Ok(());
+        }
+        let (q, r) = qr_thin(&a).unwrap();
+        prop_assert!(orthonormality_error(&q) <= 1e-9);
+        let rec = q.matmul(&r).unwrap();
+        let scale = frobenius(&a).max(1.0);
+        prop_assert!(rec.max_abs_diff(&a).unwrap() <= 1e-9 * scale);
+        // R upper triangular.
+        for i in 0..n {
+            for j in 0..i {
+                prop_assert!(r[(i, j)].abs() <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_matches_dense_operator(sp in sparse_strategy(10)) {
+        let d = sp.to_dense_matrix();
+        let x: Vec<f64> = (0..sp.ncols()).map(|i| (i as f64).sin() + 0.5).collect();
+        let ys = sp.apply(&x).unwrap();
+        let yd = d.matvec(&x).unwrap();
+        for (a, b) in ys.iter().zip(&yd) {
+            prop_assert!((a - b).abs() <= 1e-10);
+        }
+        let y: Vec<f64> = (0..sp.nrows()).map(|i| (i as f64).cos()).collect();
+        let ts = sp.apply_transpose(&y).unwrap();
+        let td = d.matvec_transpose(&y).unwrap();
+        for (a, b) in ts.iter().zip(&td) {
+            prop_assert!((a - b).abs() <= 1e-10);
+        }
+    }
+
+    #[test]
+    fn csr_transpose_of_transpose_is_identity(sp in sparse_strategy(8)) {
+        let tt = sp.transpose().transpose();
+        prop_assert_eq!(
+            tt.to_dense_matrix().max_abs_diff(&sp.to_dense_matrix()),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn csr_frobenius_matches_dense(sp in sparse_strategy(8)) {
+        let d = sp.to_dense_matrix();
+        prop_assert!((sp.frobenius() - frobenius(&d)).abs() <= 1e-10);
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs(a in matrix_strategy(8)) {
+        // Symmetrize.
+        let n = a.nrows().min(a.ncols());
+        let sq = Matrix::from_fn(n, n, |i, j| a[(i, j)]);
+        let sym = sq.add(&sq.transpose()).unwrap().scaled(0.5);
+        let f = lsi_linalg::eigen::symmetric_eigen(&sym, 0.0).unwrap();
+        let rec = f.reconstruct().unwrap();
+        let scale = frobenius(&sym).max(1.0);
+        prop_assert!(rec.max_abs_diff(&sym).unwrap() <= 1e-8 * scale);
+    }
+
+    #[test]
+    fn eigenvalues_match_singular_values_on_gram(a in matrix_strategy(7)) {
+        let gram = a.transpose_matmul(&a).unwrap();
+        let eig = lsi_linalg::eigen::symmetric_eigen(&gram, 1e-8).unwrap();
+        let f = svd(&a).unwrap();
+        let scale = frobenius(&gram).max(1.0);
+        for (l, s) in eig.eigenvalues.iter().zip(&f.singular_values) {
+            prop_assert!((l - s * s).abs() <= 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn spectral_norm_bounded_by_frobenius(a in matrix_strategy(8)) {
+        let s = lsi_linalg::norms::spectral_norm(&a, 1e-9, 5000).unwrap();
+        prop_assert!(s <= frobenius(&a) + 1e-6);
+    }
+}

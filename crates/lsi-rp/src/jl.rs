@@ -1,0 +1,156 @@
+//! Empirical Johnson–Lindenstrauss verification (Lemma 2 / experiment E4).
+//!
+//! Lemma 2 (plus the discussion following it) says: projecting to a random
+//! `l = Ω(log m / ε²)`-dimensional subspace preserves all pairwise Euclidean
+//! distances within `1 ± ε`, and all inner products of unit-norm vectors
+//! within `2ε`, with high probability. [`measure_distortion`] measures both
+//! on concrete data.
+
+use lsi_linalg::{vector, Matrix};
+
+/// Measured distortion of a projection over a set of vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistortionReport {
+    /// Largest relative distance distortion `|‖p(x)−p(y)‖/‖x−y‖ − 1|`
+    /// over all measured pairs.
+    pub max_distance_distortion: f64,
+    /// Mean relative distance distortion.
+    pub mean_distance_distortion: f64,
+    /// Largest absolute inner-product error after normalizing the inputs to
+    /// unit length (Lemma 2's corollary bounds this by `2ε`).
+    pub max_inner_product_error: f64,
+    /// Number of pairs measured.
+    pub pairs: usize,
+}
+
+/// Measures pairwise distortion between `original` and `projected` vectors
+/// (both matrices hold one vector per **column**; column counts must match).
+///
+/// Pairs at distance ≤ `1e-12` in the original space are skipped (relative
+/// distortion is undefined there). Returns `None` when no measurable pairs
+/// remain.
+pub fn measure_distortion(original: &Matrix, projected: &Matrix) -> Option<DistortionReport> {
+    assert_eq!(
+        original.ncols(),
+        projected.ncols(),
+        "measure_distortion: one projected vector per original vector"
+    );
+    let m = original.ncols();
+    // Columns are strided; pull them out once.
+    let orig: Vec<Vec<f64>> = (0..m).map(|j| original.col(j)).collect();
+    let proj: Vec<Vec<f64>> = (0..m).map(|j| projected.col(j)).collect();
+
+    let mut max_d = 0.0f64;
+    let mut sum_d = 0.0f64;
+    let mut max_ip = 0.0f64;
+    let mut pairs = 0usize;
+
+    for i in 0..m {
+        for j in i + 1..m {
+            let d0 = vector::distance(&orig[i], &orig[j]);
+            if d0 <= 1e-12 {
+                continue;
+            }
+            let d1 = vector::distance(&proj[i], &proj[j]);
+            let distortion = (d1 / d0 - 1.0).abs();
+            max_d = max_d.max(distortion);
+            sum_d += distortion;
+            pairs += 1;
+
+            // Inner products of the unit-normalized originals.
+            let (n_i, n_j) = (vector::norm(&orig[i]), vector::norm(&orig[j]));
+            if n_i > 0.0 && n_j > 0.0 {
+                let ip0 = vector::dot(&orig[i], &orig[j]) / (n_i * n_j);
+                let ip1 = vector::dot(&proj[i], &proj[j]) / (n_i * n_j);
+                max_ip = max_ip.max((ip1 - ip0).abs());
+            }
+        }
+    }
+
+    (pairs > 0).then(|| DistortionReport {
+        max_distance_distortion: max_d,
+        mean_distance_distortion: sum_d / pairs as f64,
+        max_inner_product_error: max_ip,
+        pairs,
+    })
+}
+
+/// The dimension Lemma 2 asks for: `l = ⌈c · ln(m) / ε²⌉`, clamped to at
+/// least 1. The lemma's constant is absorbed in `c`; `c = 4` matches the
+/// classical `(ε²/2 − ε³/3)⁻¹`-style bounds for moderate ε.
+pub fn recommended_dimension(m: usize, epsilon: f64, c: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+    assert!(c > 0.0, "constant must be positive");
+    let l = (c * (m.max(2) as f64).ln() / (epsilon * epsilon)).ceil();
+    l.max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::{ProjectionKind, RandomProjection};
+    use lsi_linalg::rng::{gaussian_matrix, seeded};
+
+    #[test]
+    fn identity_projection_has_zero_distortion() {
+        let mut rng = seeded(1);
+        let a = gaussian_matrix(&mut rng, 6, 10);
+        let r = measure_distortion(&a, &a).unwrap();
+        assert!(r.max_distance_distortion < 1e-12);
+        assert!(r.max_inner_product_error < 1e-12);
+        assert_eq!(r.pairs, 45);
+    }
+
+    #[test]
+    fn duplicate_points_are_skipped() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 2.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let r = measure_distortion(&a, &a).unwrap();
+        // Pair (0,1) has zero distance and is skipped; pairs (0,2), (1,2) remain.
+        assert_eq!(r.pairs, 2);
+    }
+
+    #[test]
+    fn all_identical_returns_none() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]).unwrap();
+        assert!(measure_distortion(&a, &a).is_none());
+    }
+
+    #[test]
+    fn random_projection_distortion_shrinks_with_l() {
+        let mut rng = seeded(7);
+        let n = 400;
+        let m = 40;
+        let a = gaussian_matrix(&mut rng, n, m);
+        let sparse = lsi_linalg::CsrMatrix::from_dense(&a, 0.0);
+        let mut prev = f64::INFINITY;
+        for &l in &[10usize, 40, 160] {
+            let p = RandomProjection::new(ProjectionKind::OrthonormalSubspace, n, l, 99).unwrap();
+            let b = p.project_columns(&sparse).unwrap();
+            let r = measure_distortion(&a, &b).unwrap();
+            assert!(
+                r.max_distance_distortion < prev + 0.05,
+                "distortion did not shrink: l={l}, {} vs prev {prev}",
+                r.max_distance_distortion
+            );
+            prev = r.max_distance_distortion;
+        }
+        // At l = 160 on 40 points, distortion should be comfortably < 0.5.
+        assert!(prev < 0.5, "final distortion {prev}");
+    }
+
+    #[test]
+    fn recommended_dimension_scales() {
+        let l1 = recommended_dimension(1000, 0.5, 4.0);
+        let l2 = recommended_dimension(1000, 0.25, 4.0);
+        assert!(l2 > 3 * l1, "quadrupling expected: {l1} -> {l2}");
+        let l3 = recommended_dimension(1_000_000, 0.5, 4.0);
+        assert!(l3 > l1);
+        assert!(recommended_dimension(2, 0.9, 0.1) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn recommended_dimension_rejects_bad_eps() {
+        recommended_dimension(10, 1.5, 4.0);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Random projection and the two-step RP + LSI pipeline (Section 5).
+//!
+//! The paper's algorithmic contribution: project the term–document matrix
+//! onto a random `l`-dimensional subspace (`B = √(n/l) Rᵀ A`), then run
+//! rank-`2k` LSI on the *small* matrix `B`. Theorem 5 guarantees
+//!
+//! ```text
+//! ‖A − B₂ₖ‖²_F ≤ ‖A − A_k‖²_F + 2ε‖A‖²_F
+//! ```
+//!
+//! for `l = Ω(log n / ε²)` — almost all of direct LSI's recovery at a
+//! fraction of the cost (`O(m l (l + c))` vs `O(m n c)`).
+//!
+//! * [`projection`] — the projection matrices: the paper's random
+//!   orthonormal subspace, plus i.i.d. Gaussian and Achlioptas sign/sparse
+//!   variants as cheaper drop-ins.
+//! * [`jl`] — empirical verification of the Johnson–Lindenstrauss lemma
+//!   (Lemma 2): distance and inner-product distortion measurement.
+//! * [`two_step`] — the two-step pipeline and the Theorem 5 accounting.
+
+//! * [`sampling`] — the column-sampling (Frieze–Kannan–Vempala) alternative
+//!   speedup the paper discusses alongside random projection.
+
+pub mod jl;
+pub mod projection;
+pub mod sampling;
+pub mod two_step;
+
+pub use jl::{measure_distortion, recommended_dimension, DistortionReport};
+pub use projection::{ProjectionKind, RandomProjection};
+pub use sampling::{fkv_low_rank, FkvResult};
+pub use two_step::{two_step_lsi, TwoStepResult};

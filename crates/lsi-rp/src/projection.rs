@@ -1,0 +1,288 @@
+//! Random projection matrices.
+//!
+//! The paper projects with a random **column-orthonormal** `n × l` matrix
+//! `R` (a uniformly random `l`-dimensional subspace) and scales by
+//! `√(n/l)`. Achlioptas-style sign and sparse projections satisfy the same
+//! JL guarantees with cheaper generation and application; they are provided
+//! for the ablation experiment (E10 in `DESIGN.md`).
+
+use lsi_linalg::rng::{random_orthonormal, seeded};
+use lsi_linalg::{CsrMatrix, LinalgError, LinearOperator, Matrix};
+use rand::Rng;
+
+/// Which random ensemble the projection matrix is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjectionKind {
+    /// The paper's choice: a random column-orthonormal `n × l` matrix,
+    /// scaled by `√(n/l)` on application.
+    OrthonormalSubspace,
+    /// I.i.d. `N(0, 1)` entries scaled by `1/√l`.
+    GaussianIid,
+    /// Achlioptas signs: `±1` with probability 1/2 each, scaled by `1/√l`.
+    SignsAchlioptas,
+    /// Achlioptas sparse: `{+1, 0, −1}` with probabilities `{1/6, 2/3,
+    /// 1/6}`, scaled by `√(3/l)` — two thirds of the entries vanish.
+    SparseAchlioptas,
+}
+
+impl ProjectionKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [ProjectionKind; 4] = [
+        ProjectionKind::OrthonormalSubspace,
+        ProjectionKind::GaussianIid,
+        ProjectionKind::SignsAchlioptas,
+        ProjectionKind::SparseAchlioptas,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProjectionKind::OrthonormalSubspace => "orthonormal",
+            ProjectionKind::GaussianIid => "gaussian",
+            ProjectionKind::SignsAchlioptas => "signs",
+            ProjectionKind::SparseAchlioptas => "sparse",
+        }
+    }
+}
+
+/// A materialized random projection from `Rⁿ` to `Rˡ`.
+///
+/// Stored row-major as the `l × n` projector (scaling folded in), so
+/// applying to a vector is one dense mat-vec and applying to a sparse matrix
+/// is `O(nnz · l)`.
+///
+/// # Examples
+///
+/// ```
+/// use lsi_rp::{ProjectionKind, RandomProjection};
+///
+/// let p = RandomProjection::new(ProjectionKind::OrthonormalSubspace, 100, 20, 42).unwrap();
+/// let x = vec![1.0; 100];
+/// let y = p.project_vector(&x).unwrap();
+/// assert_eq!(y.len(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    /// The `l × n` projector, scaling included.
+    projector: Matrix,
+    kind: ProjectionKind,
+}
+
+impl RandomProjection {
+    /// Draws a projection from `n` down to `l` dimensions. Requires
+    /// `1 ≤ l ≤ n`.
+    pub fn new(kind: ProjectionKind, n: usize, l: usize, seed: u64) -> Result<Self, LinalgError> {
+        if l == 0 || l > n {
+            return Err(LinalgError::InvalidDimension {
+                op: "RandomProjection::new",
+                detail: format!("need 1 <= l <= n, got l={l}, n={n}"),
+            });
+        }
+        let mut rng = seeded(seed);
+        let projector = match kind {
+            ProjectionKind::OrthonormalSubspace => {
+                let r = random_orthonormal(&mut rng, n, l)?;
+                r.transpose().scaled((n as f64 / l as f64).sqrt())
+            }
+            ProjectionKind::GaussianIid => {
+                let scale = 1.0 / (l as f64).sqrt();
+                let mut m = lsi_linalg::rng::gaussian_matrix(&mut rng, l, n);
+                m.map_inplace(|x| x * scale);
+                m
+            }
+            ProjectionKind::SignsAchlioptas => {
+                let scale = 1.0 / (l as f64).sqrt();
+                Matrix::from_fn(l, n, |_, _| {
+                    if rng.gen::<bool>() {
+                        scale
+                    } else {
+                        -scale
+                    }
+                })
+            }
+            ProjectionKind::SparseAchlioptas => {
+                let scale = (3.0 / l as f64).sqrt();
+                Matrix::from_fn(l, n, |_, _| {
+                    let u: f64 = rng.gen();
+                    if u < 1.0 / 6.0 {
+                        scale
+                    } else if u < 1.0 / 3.0 {
+                        -scale
+                    } else {
+                        0.0
+                    }
+                })
+            }
+        };
+        Ok(RandomProjection { projector, kind })
+    }
+
+    /// Source dimension `n`.
+    pub fn input_dim(&self) -> usize {
+        self.projector.ncols()
+    }
+
+    /// Target dimension `l`.
+    pub fn output_dim(&self) -> usize {
+        self.projector.nrows()
+    }
+
+    /// The ensemble this projection was drawn from.
+    pub fn kind(&self) -> ProjectionKind {
+        self.kind
+    }
+
+    /// The materialized `l × n` projector (scaling included).
+    pub fn projector(&self) -> &Matrix {
+        &self.projector
+    }
+
+    /// Projects a single length-`n` vector.
+    pub fn project_vector(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.projector.matvec(x)
+    }
+
+    /// Projects every **column** of a sparse `n × m` matrix, producing the
+    /// dense `l × m` matrix `B = P A`. `O(nnz(A) · l)`.
+    pub fn project_columns(&self, a: &CsrMatrix) -> Result<Matrix, LinalgError> {
+        let (n, l) = (self.input_dim(), self.output_dim());
+        if a.nrows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "project_columns",
+                left: (l, n),
+                right: (a.nrows(), a.ncols()),
+            });
+        }
+        let m = a.ncols();
+        let mut out = Matrix::zeros(l, m);
+        // B[i, j] = Σ_t P[i, t] · A[t, j]. Keeping the output row `i`
+        // outermost makes both the projector row and the output row
+        // contiguous in memory (both matrices are row-major); the inner
+        // scatter walks A's rows once per output dimension.
+        for i in 0..l {
+            for t in 0..n {
+                let p = self.projector[(i, t)];
+                if p == 0.0 {
+                    continue;
+                }
+                for (j, v) in a.row_entries(t) {
+                    out[(i, j)] += v * p;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projects every column of a dense `n × m` matrix.
+    pub fn project_dense_columns(&self, a: &Matrix) -> Result<Matrix, LinalgError> {
+        self.projector.matmul(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_linalg::vector;
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(RandomProjection::new(ProjectionKind::GaussianIid, 5, 0, 1).is_err());
+        assert!(RandomProjection::new(ProjectionKind::GaussianIid, 5, 6, 1).is_err());
+    }
+
+    #[test]
+    fn dimensions_and_kind() {
+        let p = RandomProjection::new(ProjectionKind::SignsAchlioptas, 20, 5, 2).unwrap();
+        assert_eq!(p.input_dim(), 20);
+        assert_eq!(p.output_dim(), 5);
+        assert_eq!(p.kind().name(), "signs");
+    }
+
+    #[test]
+    fn orthonormal_rows_scaled() {
+        let n = 30;
+        let l = 6;
+        let p = RandomProjection::new(ProjectionKind::OrthonormalSubspace, n, l, 3).unwrap();
+        // Rows of the projector are orthogonal with squared norm n/l.
+        let proj = p.projector();
+        for i in 0..l {
+            let r2 = vector::norm_sq(proj.row(i));
+            assert!((r2 - n as f64 / l as f64).abs() < 1e-9, "row {i}: {r2}");
+            for j in 0..i {
+                let d = vector::dot(proj.row(i), proj.row(j));
+                assert!(d.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        for kind in ProjectionKind::ALL {
+            let a = RandomProjection::new(kind, 12, 4, 7).unwrap();
+            let b = RandomProjection::new(kind, 12, 4, 7).unwrap();
+            assert_eq!(a.projector().max_abs_diff(b.projector()), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn sparse_achlioptas_density() {
+        let p = RandomProjection::new(ProjectionKind::SparseAchlioptas, 100, 50, 11).unwrap();
+        let zeros = p
+            .projector()
+            .as_slice()
+            .iter()
+            .filter(|&&x| x == 0.0)
+            .count();
+        let frac = zeros as f64 / (100.0 * 50.0);
+        assert!((frac - 2.0 / 3.0).abs() < 0.03, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn project_columns_matches_dense_path() {
+        let dense = Matrix::from_fn(10, 6, |i, j| ((i * 7 + j * 3) % 5) as f64 - 1.0);
+        let sparse = CsrMatrix::from_dense(&dense, 0.0);
+        for kind in ProjectionKind::ALL {
+            let p = RandomProjection::new(kind, 10, 4, 13).unwrap();
+            let via_sparse = p.project_columns(&sparse).unwrap();
+            let via_dense = p.project_dense_columns(&dense).unwrap();
+            assert!(
+                via_sparse.max_abs_diff(&via_dense).unwrap() < 1e-10,
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn project_columns_rejects_mismatch() {
+        let p = RandomProjection::new(ProjectionKind::GaussianIid, 10, 3, 1).unwrap();
+        let a = CsrMatrix::zeros(8, 5);
+        assert!(p.project_columns(&a).is_err());
+    }
+
+    #[test]
+    fn project_vector_linear() {
+        let p = RandomProjection::new(ProjectionKind::GaussianIid, 8, 3, 5).unwrap();
+        let x = vec![1.0; 8];
+        let y = vec![0.5; 8];
+        let px = p.project_vector(&x).unwrap();
+        let py = p.project_vector(&y).unwrap();
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let psum = p.project_vector(&sum).unwrap();
+        for i in 0..3 {
+            assert!((psum[i] - px[i] - py[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norms_roughly_preserved_in_expectation() {
+        // With l = 64 on n = 256, relative distortion should be modest.
+        let n = 256;
+        let l = 64;
+        let p = RandomProjection::new(ProjectionKind::OrthonormalSubspace, n, l, 21).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let px = p.project_vector(&x).unwrap();
+        let ratio = vector::norm(&px) / vector::norm(&x);
+        assert!((ratio - 1.0).abs() < 0.35, "ratio {ratio}");
+    }
+}

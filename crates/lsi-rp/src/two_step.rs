@@ -1,0 +1,227 @@
+//! The two-step RP + LSI pipeline and the Theorem 5 accounting.
+//!
+//! Step 1: project the `n × m` term–document matrix to `l` dimensions,
+//! `B = √(n/l) Rᵀ A` — now every document is a length-`l` vector.
+//! Step 2: compute the rank-`2k` SVD of `B` (dense — `B` is small) and take
+//! its top right singular vectors `b_1 … b_{2k}`. The final approximation is
+//!
+//! ```text
+//! B₂ₖ = A · Σᵢ₌₁²ᵏ bᵢ bᵢᵀ
+//! ```
+//!
+//! i.e. `A`'s columnsᵀ projected onto the span of the `bᵢ` — computable
+//! without ever factoring `A` itself.
+
+use lsi_linalg::svd::svd;
+use lsi_linalg::{CsrMatrix, LinalgError, LinearOperator, Matrix};
+
+use crate::projection::{ProjectionKind, RandomProjection};
+
+/// Outcome of the two-step pipeline.
+#[derive(Debug, Clone)]
+pub struct TwoStepResult {
+    /// `m × 2k` orthonormal basis of the recovered document subspace (the
+    /// top right singular vectors of `B`, one per column).
+    pub doc_basis: Matrix,
+    /// The top `2k` singular values of the projected matrix `B` (estimates
+    /// of `A`'s, by Lemma 3).
+    pub singular_values: Vec<f64>,
+    /// `‖A − B₂ₖ‖²_F` — the two-step reconstruction error.
+    pub error_sq: f64,
+    /// `‖A‖²_F`, for normalizing.
+    pub total_sq: f64,
+    /// The projection dimension `l` used.
+    pub l: usize,
+    /// The LSI target rank `k` (the approximation uses rank `2k`).
+    pub k: usize,
+}
+
+impl TwoStepResult {
+    /// Theorem 5's guarantee, rearranged: the excess error over direct
+    /// rank-k LSI, as a fraction of `‖A‖²_F`. Theorem 5 says this is ≤ 2ε
+    /// when `l = Ω(log n / ε²)`.
+    pub fn excess_error_fraction(&self, direct_error_sq: f64) -> f64 {
+        if self.total_sq <= 0.0 {
+            return 0.0;
+        }
+        (self.error_sq - direct_error_sq) / self.total_sq
+    }
+
+    /// Document `j`'s representation in the recovered `2k`-dimensional
+    /// space: row `j` of the basis (documents index the rows of `Vᵀ`'s
+    /// transpose).
+    pub fn doc_vector(&self, j: usize) -> &[f64] {
+        self.doc_basis.row(j)
+    }
+
+    /// All document representations with LSI's `V D` scaling: row `j` is
+    /// document `j`'s basis row weighted by the singular values of `B`.
+    /// This is the analog of [`lsi_linalg::TruncatedSvd::doc_representation`]
+    /// for the two-step pipeline and the right input for skew/angle
+    /// measurements.
+    pub fn doc_representations(&self) -> Matrix {
+        let (m, k2) = self.doc_basis.shape();
+        let mut out = self.doc_basis.clone();
+        for j in 0..m {
+            let row = out.row_mut(j);
+            for (i, x) in row.iter_mut().enumerate().take(k2) {
+                *x *= self.singular_values.get(i).copied().unwrap_or(0.0);
+            }
+        }
+        out
+    }
+}
+
+/// Runs the two-step pipeline on a sparse term–document matrix.
+///
+/// * `k` — the LSI rank being approximated (the pipeline keeps `2k`
+///   dimensions, per Theorem 5).
+/// * `l` — the random projection dimension; must satisfy `2k ≤ l ≤ n`.
+pub fn two_step_lsi(
+    a: &CsrMatrix,
+    k: usize,
+    l: usize,
+    kind: ProjectionKind,
+    seed: u64,
+) -> Result<TwoStepResult, LinalgError> {
+    let (n, m) = (a.nrows(), a.ncols());
+    if k == 0 || 2 * k > l || 2 * k > m {
+        return Err(LinalgError::InvalidDimension {
+            op: "two_step_lsi",
+            detail: format!("need 1 <= 2k <= min(l, m); got k={k}, l={l}, m={m}"),
+        });
+    }
+
+    // Step 1: B = scaled Rᵀ A (l × m dense).
+    let projection = RandomProjection::new(kind, n, l, seed)?;
+    let b = projection.project_columns(a)?;
+
+    // Step 2: rank-2k right singular vectors of B.
+    let f = svd(&b)?;
+    let keep = (2 * k).min(f.len());
+    let vt = f.vt.rows_prefix(keep)?; // 2k × m
+    let doc_basis = vt.transpose(); // m × 2k
+    let singular_values = f.singular_values[..keep].to_vec();
+
+    // ‖A − A·V Vᵀ‖²_F = ‖A‖²_F − ‖A V‖²_F  (orthogonal projection).
+    let total_sq = a.frobenius_sq();
+    let mut captured = 0.0;
+    for i in 0..keep {
+        let av = a.apply(doc_basis.col(i).as_slice())?;
+        captured += av.iter().map(|x| x * x).sum::<f64>();
+    }
+    let error_sq = (total_sq - captured).max(0.0);
+
+    Ok(TwoStepResult {
+        doc_basis,
+        singular_values,
+        error_sq,
+        total_sq,
+        l,
+        k,
+    })
+}
+
+/// `‖A − A_k‖²_F` for direct rank-k LSI, computed from the exact spectrum
+/// (dense SVD) — the comparison baseline in Theorem 5.
+pub fn direct_lsi_error_sq(a: &CsrMatrix, k: usize) -> Result<f64, LinalgError> {
+    let f = svd(&a.to_dense_matrix())?;
+    let total: f64 = f.singular_values.iter().map(|s| s * s).sum();
+    let head: f64 = f.singular_values.iter().take(k).map(|s| s * s).sum();
+    Ok((total - head).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsi_corpus::{SeparableConfig, SeparableModel};
+    use lsi_linalg::rng::seeded;
+
+    fn corpus_matrix(seed: u64, topics: usize, docs: usize) -> CsrMatrix {
+        let model = SeparableModel::build(SeparableConfig::small(topics, 0.05)).unwrap();
+        let mut rng = seeded(seed);
+        let corpus = model.model().sample_corpus(docs, &mut rng);
+        CsrMatrix::from_triplets(corpus.universe_size(), corpus.len(), &corpus.to_triplets())
+            .unwrap()
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let a = corpus_matrix(1, 3, 30);
+        assert!(two_step_lsi(&a, 0, 10, ProjectionKind::GaussianIid, 1).is_err());
+        assert!(two_step_lsi(&a, 6, 10, ProjectionKind::GaussianIid, 1).is_err()); // 2k > l
+        assert!(two_step_lsi(&a, 3, 1000, ProjectionKind::GaussianIid, 1).is_err()); // l > n
+    }
+
+    #[test]
+    fn error_decreases_with_l() {
+        let a = corpus_matrix(2, 4, 60);
+        let mut prev = f64::INFINITY;
+        for &l in &[10usize, 25, 60] {
+            let r = two_step_lsi(&a, 4, l, ProjectionKind::OrthonormalSubspace, 7).unwrap();
+            assert!(
+                r.error_sq <= prev * 1.05,
+                "error grew: l={l}, {} vs {prev}",
+                r.error_sq
+            );
+            prev = r.error_sq;
+        }
+    }
+
+    #[test]
+    fn theorem5_inequality_holds_for_large_l() {
+        // On a topic-structured corpus with l comfortably above 2k, the
+        // excess error over direct LSI should be a small fraction of ‖A‖².
+        let a = corpus_matrix(3, 4, 60);
+        let k = 4;
+        let direct = direct_lsi_error_sq(&a, k).unwrap();
+        let r = two_step_lsi(&a, k, 40, ProjectionKind::OrthonormalSubspace, 11).unwrap();
+        let excess = r.excess_error_fraction(direct);
+        // Note the excess can be negative: B₂ₖ has rank 2k and may beat the
+        // rank-k optimum. Theorem 5 only bounds it from above.
+        assert!(excess < 0.05, "excess fraction {excess}");
+    }
+
+    #[test]
+    fn full_dimension_projection_recovers_exactly() {
+        // l = n and 2k ≥ rank ⇒ B₂ₖ captures everything a rank-2k
+        // projection can; with a tiny rank-structured matrix this is exact.
+        let dense = Matrix::from_fn(6, 8, |i, j| ((i + 1) * (j + 1)) as f64); // rank 1
+        let a = CsrMatrix::from_dense(&dense, 0.0);
+        let r = two_step_lsi(&a, 1, 6, ProjectionKind::OrthonormalSubspace, 3).unwrap();
+        assert!(
+            r.error_sq < 1e-9 * r.total_sq,
+            "rank-1 matrix should be fully recovered: {}",
+            r.error_sq
+        );
+    }
+
+    #[test]
+    fn doc_basis_is_orthonormal() {
+        let a = corpus_matrix(4, 3, 40);
+        let r = two_step_lsi(&a, 3, 20, ProjectionKind::GaussianIid, 5).unwrap();
+        assert_eq!(r.doc_basis.shape(), (40, 6));
+        let err = lsi_linalg::qr::orthonormality_error(&r.doc_basis);
+        assert!(err < 1e-9, "{err}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = corpus_matrix(5, 3, 30);
+        let x = two_step_lsi(&a, 2, 15, ProjectionKind::SignsAchlioptas, 9).unwrap();
+        let y = two_step_lsi(&a, 2, 15, ProjectionKind::SignsAchlioptas, 9).unwrap();
+        assert_eq!(x.error_sq, y.error_sq);
+    }
+
+    #[test]
+    fn direct_error_matches_tail_spectrum() {
+        let dense = Matrix::from_diag(&[5.0, 3.0, 1.0]);
+        let a = CsrMatrix::from_dense(&dense, 0.0);
+        let e = direct_lsi_error_sq(&a, 1).unwrap();
+        assert!((e - (9.0 + 1.0)).abs() < 1e-10);
+        let e2 = direct_lsi_error_sq(&a, 3).unwrap();
+        assert!(e2.abs() < 1e-10);
+    }
+
+    use lsi_linalg::Matrix;
+}

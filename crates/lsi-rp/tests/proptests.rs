@@ -1,0 +1,84 @@
+//! Property-based tests for random projection.
+
+use proptest::prelude::*;
+
+use lsi_linalg::rng::{gaussian_matrix, seeded};
+use lsi_linalg::{vector, CsrMatrix};
+use lsi_rp::{fkv_low_rank, two_step_lsi, ProjectionKind, RandomProjection};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Projections are linear maps: P(ax + by) = aPx + bPy.
+    #[test]
+    fn projection_is_linear(
+        n in 4usize..40,
+        seed in proptest::num::u64::ANY,
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let l = (n / 2).max(1);
+        for kind in ProjectionKind::ALL {
+            let p = RandomProjection::new(kind, n, l, seed).expect("l <= n");
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+            let combo: Vec<f64> = x.iter().zip(&y).map(|(u, v)| a * u + b * v).collect();
+            let px = p.project_vector(&x).expect("length n");
+            let py = p.project_vector(&y).expect("length n");
+            let pc = p.project_vector(&combo).expect("length n");
+            for i in 0..l {
+                prop_assert!((pc[i] - a * px[i] - b * py[i]).abs() < 1e-9, "{}", kind.name());
+            }
+        }
+    }
+
+    /// Orthonormal-subspace projection at full dimension is an isometry.
+    #[test]
+    fn full_dimension_projection_preserves_norms(
+        n in 3usize..25,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let p = RandomProjection::new(ProjectionKind::OrthonormalSubspace, n, n, seed)
+            .expect("l == n allowed");
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).ln()).collect();
+        let px = p.project_vector(&x).expect("length n");
+        // Scaling √(n/l) = 1 at l = n; an orthogonal map preserves norms.
+        prop_assert!((vector::norm(&px) - vector::norm(&x)).abs() < 1e-9);
+    }
+
+    /// The two-step error never exceeds the total mass and never goes
+    /// negative, for any ensemble and seed.
+    #[test]
+    fn two_step_error_in_range(
+        seed in proptest::num::u64::ANY,
+        kind_idx in 0usize..4,
+    ) {
+        let mut rng = seeded(seed ^ 0x777);
+        let mut dense = gaussian_matrix(&mut rng, 30, 20);
+        dense.map_inplace(|x| if x.abs() > 0.8 { x } else { 0.0 });
+        let a = CsrMatrix::from_dense(&dense, 0.0);
+        let kind = ProjectionKind::ALL[kind_idx];
+        let r = two_step_lsi(&a, 3, 12, kind, seed).expect("valid dims");
+        prop_assert!(r.error_sq >= 0.0);
+        prop_assert!(r.error_sq <= r.total_sq + 1e-9);
+        prop_assert!((r.total_sq - a.frobenius_sq()).abs() < 1e-9);
+    }
+
+    /// FKV error is bounded by the total mass and never beats the optimum.
+    #[test]
+    fn fkv_error_in_range(seed in proptest::num::u64::ANY, s in 3usize..20) {
+        let mut rng = seeded(seed ^ 0x999);
+        let mut dense = gaussian_matrix(&mut rng, 25, 18);
+        dense.map_inplace(|x| if x.abs() > 0.8 { x } else { 0.0 });
+        let a = CsrMatrix::from_dense(&dense, 0.0);
+        let k = 3.min(s);
+        let r = fkv_low_rank(&a, k, s, seed).expect("valid dims");
+        prop_assert!(r.error_sq >= -1e-9);
+        prop_assert!(r.error_sq <= r.total_sq + 1e-9);
+        // Optimum via exact spectrum.
+        let f = lsi_linalg::svd::svd(&dense).expect("finite");
+        let head: f64 = f.singular_values.iter().take(k).map(|x| x * x).sum();
+        let opt = (a.frobenius_sq() - head).max(0.0);
+        prop_assert!(r.error_sq >= opt - 1e-6, "beat the optimum: {} < {opt}", r.error_sq);
+    }
+}

@@ -1,0 +1,103 @@
+//! Incremental LSI: the paper notes the SVD is expensive preprocessing
+//! ("great savings in storage and query time at the expense of some
+//! considerable preprocessing", §1). Production LSI systems therefore
+//! factor once and **fold in** new documents as they arrive, persisting the
+//! index between sessions. This example exercises that lifecycle:
+//! build → save → load → fold in → query.
+//!
+//! ```sh
+//! cargo run --example incremental_indexing
+//! ```
+
+use lsi_repro::core::{read_index, write_index, LsiConfig, LsiIndex};
+use lsi_repro::corpus::{SeparableConfig, SeparableModel};
+use lsi_repro::ir::TermDocumentMatrix;
+use lsi_repro::linalg::rng::seeded;
+
+fn main() {
+    // Day 0: factor the initial corpus.
+    let model = SeparableModel::build(SeparableConfig {
+        universe_size: 200,
+        num_topics: 4,
+        primary_terms_per_topic: 50,
+        epsilon: 0.05,
+        min_doc_len: 40,
+        max_doc_len: 80,
+    })
+    .expect("valid configuration");
+    let mut rng = seeded(404);
+    let corpus = model.model().sample_corpus(120, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&corpus).expect("fits universe");
+    let index = LsiIndex::build(&td, LsiConfig::with_rank(4)).expect("feasible rank");
+    println!(
+        "built rank-{} index over {} documents ({} terms)",
+        index.rank(),
+        index.n_docs(),
+        index.n_terms()
+    );
+
+    // Persist to disk (the expensive step is now paid for).
+    let path = std::env::temp_dir().join("incremental_demo.lsix");
+    {
+        let mut f = std::fs::File::create(&path).expect("temp file");
+        write_index(&mut f, &index).expect("serialize");
+    }
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!("saved index: {bytes} bytes at {}", path.display());
+
+    // Day 1: a new session loads the index and folds in fresh documents
+    // without re-running the SVD.
+    let mut loaded = {
+        let mut f = std::fs::File::open(&path).expect("open");
+        read_index(&mut f).expect("deserialize")
+    };
+    let fresh = model.model().sample_corpus(10, &mut rng);
+    let mut new_ids = Vec::new();
+    for doc in fresh.documents() {
+        let terms: Vec<(usize, f64)> = doc
+            .counts()
+            .iter()
+            .map(|&(t, c)| (t, f64::from(c)))
+            .collect();
+        new_ids.push((loaded.add_document(&terms), doc.topic().expect("pure")));
+    }
+    println!(
+        "folded in {} new documents (now {} total) — no SVD recomputation",
+        new_ids.len(),
+        loaded.n_docs()
+    );
+
+    // The folded documents land next to their topics.
+    let mut correct = 0;
+    for &(id, topic) in &new_ids {
+        let neighbors = loaded.similar_docs(id, 3);
+        let on_topic = neighbors
+            .hits()
+            .iter()
+            .filter(|h| h.doc < 120 && td.topic_labels()[h.doc] == Some(topic))
+            .count();
+        if on_topic >= 2 {
+            correct += 1;
+        }
+    }
+    println!(
+        "{correct}/{} folded documents have >=2/3 on-topic nearest neighbors",
+        new_ids.len()
+    );
+
+    // Day 2: persistence round-trips the folded documents too.
+    {
+        let mut f = std::fs::File::create(&path).expect("temp file");
+        write_index(&mut f, &loaded).expect("serialize");
+    }
+    let reloaded = {
+        let mut f = std::fs::File::open(&path).expect("open");
+        read_index(&mut f).expect("deserialize")
+    };
+    assert_eq!(reloaded.n_docs(), loaded.n_docs());
+    println!(
+        "round-trip preserved all {} documents, including folded ones",
+        reloaded.n_docs()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,73 @@
+//! Quickstart: index a tiny text corpus, then compare plain vector-space
+//! retrieval against LSI on a query that exercises synonymy.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lsi_repro::core::{LsiConfig, LsiIndex, SvdBackend};
+use lsi_repro::ir::text::{TextDocument, Tokenizer};
+use lsi_repro::ir::{Dictionary, TermDocumentMatrix, VectorSpaceIndex, Weighting};
+
+fn main() {
+    // A corpus where "car" and "automobile" are used by different authors
+    // for the same concept — the paper's motivating synonymy problem.
+    let docs = vec![
+        TextDocument::new("d0", "the car engine roared down the highway"),
+        TextDocument::new("d1", "an automobile engine needs regular maintenance"),
+        TextDocument::new("d2", "the automobile market saw highway sales rise"),
+        TextDocument::new("d3", "a car needs a good engine and good brakes"),
+        TextDocument::new("d4", "the galaxy contains billions of stars and planets"),
+        TextDocument::new("d5", "a starship crossed the galaxy toward distant stars"),
+        TextDocument::new("d6", "planets orbit stars across the galaxy"),
+    ];
+
+    let tokenizer = Tokenizer::default();
+    let mut dict = Dictionary::new();
+    let td = TermDocumentMatrix::from_text(&docs, &tokenizer, &mut dict)
+        .expect("corpus builds cleanly");
+    println!(
+        "indexed {} documents over {} distinct terms",
+        td.n_docs(),
+        td.n_terms()
+    );
+
+    // --- Baseline: cosine retrieval in raw term space. ---
+    let vsm = VectorSpaceIndex::build(&td.weighted(Weighting::Count));
+    let query_term = dict.id("automobile").expect("term in vocabulary");
+    let baseline = vsm.query(&[(query_term, 1.0)], 5);
+    println!("\nquery \"automobile\" — raw vector space:");
+    for hit in baseline.hits() {
+        println!("  {}  score {:.3}", docs[hit.doc].id, hit.score);
+    }
+    println!("  (docs saying \"car\" are invisible: no shared term)");
+
+    // --- LSI: rank-2 spectral index over the same corpus. ---
+    let lsi = LsiIndex::build(
+        &td,
+        LsiConfig {
+            rank: 2,
+            weighting: Weighting::Count,
+            backend: SvdBackend::Dense,
+        },
+    )
+    .expect("rank 2 is feasible for 7 documents");
+    let spectral = lsi.query(&[(query_term, 1.0)], 5);
+    println!("\nquery \"automobile\" — rank-2 LSI space:");
+    for hit in spectral.hits() {
+        println!("  {}  score {:.3}", docs[hit.doc].id, hit.score);
+    }
+    println!("  (the \"car\" documents now surface: LSI bridged the synonyms)");
+
+    // Show the learned geometry: car vs automobile across spaces.
+    let car = dict.id("car").expect("term in vocabulary");
+    let dense = td.to_dense();
+    let raw_cos = lsi_repro::linalg::vector::cosine(dense.row(car), dense.row(query_term));
+    let lsi_cos = lsi_repro::linalg::vector::cosine(
+        &lsi.term_vector(car),
+        &lsi.term_vector(query_term),
+    );
+    println!("\nterm similarity car ~ automobile:");
+    println!("  raw term space: {raw_cos:.3}");
+    println!("  LSI space:      {lsi_cos:.3}");
+}

@@ -1,0 +1,94 @@
+//! The synonymy mechanism of Section 4, made visible: a corpus where two
+//! surface forms of one concept never co-occur, yet share their entire
+//! context. The difference of the two term axes is a trailing eigenvector
+//! of A·Aᵀ, and rank-k LSI projects it out.
+//!
+//! ```sh
+//! cargo run --example synonymy
+//! ```
+
+use lsi_repro::core::synonymy::analyze_synonym_pair;
+use lsi_repro::core::{LsiConfig, LsiIndex, SvdBackend};
+use lsi_repro::corpus::model::StyleMode;
+use lsi_repro::corpus::{CorpusModel, DocumentLaw, LengthLaw, Style, Topic};
+use lsi_repro::ir::{TermDocumentMatrix, Weighting};
+use lsi_repro::linalg::rng::seeded;
+
+const CAR: usize = 0;
+const AUTOMOBILE: usize = 1;
+
+fn main() {
+    let universe = 30;
+
+    // Topic "vehicles": context terms 2..=10 plus a rare concept word CAR.
+    let mut weights = vec![0.0; universe];
+    weights[CAR] = 0.3;
+    weights[2..=10].fill(1.0);
+    let vehicles = Topic::from_weights("vehicles", &weights).expect("valid topic");
+    let space_terms: Vec<usize> = (15..=25).collect();
+    let space = Topic::concentrated("space", universe, &space_terms, 1.0).expect("valid topic");
+
+    // Two authorship styles (Definition 3): plain keeps "car"; formal
+    // rewrites every "car" to "automobile". Each document draws one style.
+    let plain = Style::identity(universe);
+    let formal = Style::substitutions("formal", universe, &[(CAR, AUTOMOBILE, 1.0)])
+        .expect("valid style");
+
+    let model = CorpusModel::new(
+        universe,
+        vec![vehicles, space],
+        vec![plain, formal],
+        DocumentLaw {
+            topics_per_doc: 1,
+            style_mode: StyleMode::RandomSingle,
+            length: LengthLaw::Uniform { min: 20, max: 40 },
+        },
+    )
+    .expect("valid model");
+
+    let mut rng = seeded(7);
+    let corpus = model.sample_corpus(400, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&corpus).expect("fits universe");
+
+    // Verify the setup: the synonyms never co-occur.
+    let co_occurrences = (0..td.n_docs())
+        .filter(|&j| td.counts().get(CAR, j) > 0.0 && td.counts().get(AUTOMOBILE, j) > 0.0)
+        .count();
+    println!(
+        "documents: {}   car-docs and automobile-docs co-occurring: {}",
+        td.n_docs(),
+        co_occurrences
+    );
+
+    let index = LsiIndex::build(
+        &td,
+        LsiConfig {
+            rank: 2,
+            weighting: Weighting::Count,
+            backend: SvdBackend::Dense,
+        },
+    )
+    .expect("rank 2 feasible");
+
+    let report = analyze_synonym_pair(&td.to_dense(), &index, CAR, AUTOMOBILE)
+        .expect("valid pair");
+
+    println!("\nspectral analysis of the term-term matrix A·Aᵀ:");
+    println!(
+        "  difference vector (e_car − e_automobile)/√2 aligns with eigenvector #{} of {}",
+        report.aligned_eigen_index, report.spectrum_size
+    );
+    println!("  alignment |cos|: {:.4}", report.alignment);
+    println!(
+        "  its eigenvalue is {:.2}% of the top eigenvalue",
+        100.0 * report.aligned_eigenvalue / report.top_eigenvalue
+    );
+    println!("\nterm similarity car ~ automobile:");
+    println!("  original space cosine: {:.4}", report.original_cosine);
+    println!("  LSI space cosine:      {:.4}", report.lsi_cosine);
+    println!(
+        "\nrank-2 LSI kept eigen directions 0..2 and discarded #{} — the\n\
+         'insignificant semantic difference' between the synonyms (Section 4).",
+        report.aligned_eigen_index
+    );
+}

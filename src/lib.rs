@@ -1,0 +1,16 @@
+//! Umbrella crate for the LSI reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so the examples and
+//! integration tests (and downstream users who want a single dependency)
+//! can write `use lsi_repro::core::LsiIndex;` instead of depending on each
+//! crate individually.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use lsi_corpus as corpus;
+pub use lsi_core as core;
+pub use lsi_graph as graph;
+pub use lsi_ir as ir;
+pub use lsi_linalg as linalg;
+pub use lsi_rp as rp;

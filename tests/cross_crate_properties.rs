@@ -1,0 +1,121 @@
+//! Cross-crate property tests: invariants that hold across the whole
+//! pipeline for randomized corpus configurations.
+
+use proptest::prelude::*;
+
+use lsi_repro::core::skew::measure_skew;
+use lsi_repro::core::{LsiConfig, LsiIndex};
+use lsi_repro::corpus::{SeparableConfig, SeparableModel};
+use lsi_repro::ir::{TermDocumentMatrix, Weighting};
+use lsi_repro::linalg::rng::seeded;
+
+/// Strategy: a small but varied separable-corpus configuration.
+fn config_strategy() -> impl Strategy<Value = (SeparableConfig, usize, u64)> {
+    (
+        2usize..6,           // topics
+        8usize..25,          // primary terms per topic
+        0.0f64..0.3,         // epsilon
+        30usize..80,         // documents
+        proptest::num::u64::ANY,
+    )
+        .prop_map(|(k, s, eps, m, seed)| {
+            (
+                SeparableConfig {
+                    universe_size: k * s,
+                    num_topics: k,
+                    primary_terms_per_topic: s,
+                    epsilon: eps,
+                    min_doc_len: 40,
+                    max_doc_len: 80,
+                },
+                m,
+                seed,
+            )
+        })
+}
+
+fn build(config: SeparableConfig, m: usize, seed: u64) -> (TermDocumentMatrix, usize) {
+    let model = SeparableModel::build(config).expect("valid random config");
+    let mut rng = seeded(seed);
+    let corpus = model.model().sample_corpus(m, &mut rng);
+    (
+        TermDocumentMatrix::from_generated(&corpus).expect("fits universe"),
+        config.num_topics,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LSI always builds on sampled corpora, its singular values are sorted
+    /// and nonnegative, and document representations have the right shape.
+    #[test]
+    fn lsi_builds_on_any_sampled_corpus((config, m, seed) in config_strategy()) {
+        let (td, k) = build(config, m, seed);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(k)).expect("feasible rank");
+        prop_assert_eq!(idx.rank(), k);
+        prop_assert_eq!(idx.n_docs(), m);
+        for w in idx.singular_values().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        prop_assert!(idx.singular_values().iter().all(|&s| s >= 0.0));
+        prop_assert!(idx.doc_representations().is_finite());
+    }
+
+    /// The skew is always a valid number in [0, 2] and document self-cosine
+    /// is 1 for nonzero docs.
+    #[test]
+    fn skew_is_well_defined((config, m, seed) in config_strategy()) {
+        let (td, k) = build(config, m, seed);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(k)).expect("feasible");
+        if let Some(s) = measure_skew(idx.doc_representations(), td.topic_labels()) {
+            prop_assert!(s.delta >= 0.0 && s.delta <= 2.0, "delta {}", s.delta);
+        }
+        prop_assert!((idx.doc_cosine(0, 0) - 1.0).abs() < 1e-9);
+    }
+
+    /// Weighting schemes never change the matrix shape or create entries
+    /// out of nothing.
+    #[test]
+    fn weighting_preserves_support((config, m, seed) in config_strategy()) {
+        let (td, _) = build(config, m, seed);
+        let raw = td.counts();
+        for w in Weighting::ALL {
+            let applied = td.weighted(w);
+            prop_assert!(applied.nnz() <= raw.nnz(), "{}", w.name());
+        }
+    }
+
+    /// Query folding is linear: fold(q1 + q2) = fold(q1) + fold(q2).
+    #[test]
+    fn fold_in_is_linear((config, m, seed) in config_strategy()) {
+        let (td, k) = build(config, m, seed);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(k)).expect("feasible");
+        let q1 = vec![(0usize, 1.0), (1, 2.0)];
+        let q2 = vec![(1usize, -0.5), (2, 3.0)];
+        let combined = vec![(0usize, 1.0), (1, 1.5), (2, 3.0)];
+        let f1 = idx.fold_in(&q1);
+        let f2 = idx.fold_in(&q2);
+        let fc = idx.fold_in(&combined);
+        for i in 0..k {
+            prop_assert!((f1[i] + f2[i] - fc[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Generated corpora have documents within the configured length range
+    /// and all term ids in range.
+    #[test]
+    fn sampled_documents_respect_model((config, m, seed) in config_strategy()) {
+        let model = SeparableModel::build(config).expect("valid");
+        let mut rng = seeded(seed);
+        let corpus = model.model().sample_corpus(m, &mut rng);
+        for doc in corpus.documents() {
+            prop_assert!(doc.len() >= config.min_doc_len && doc.len() <= config.max_doc_len);
+            for &(t, c) in doc.counts() {
+                prop_assert!(t < config.universe_size);
+                prop_assert!(c >= 1);
+            }
+            prop_assert!(doc.topic().is_some(), "pure model labels all docs");
+        }
+    }
+}

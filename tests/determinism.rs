@@ -1,0 +1,78 @@
+//! Integration: bit-for-bit determinism. Every stochastic component takes a
+//! seed; the same seed must produce identical artifacts across runs — the
+//! property EXPERIMENTS.md's numbers depend on.
+
+use lsi_repro::core::{LsiConfig, LsiIndex};
+use lsi_repro::corpus::{SeparableConfig, SeparableModel};
+use lsi_repro::graph::{spectral_partition, PlantedConfig, PlantedPartition};
+use lsi_repro::ir::TermDocumentMatrix;
+use lsi_repro::linalg::rng::seeded;
+use lsi_repro::rp::{two_step_lsi, ProjectionKind, RandomProjection};
+
+#[test]
+fn corpus_generation_is_deterministic() {
+    let model = SeparableModel::build(SeparableConfig::small(3, 0.1)).unwrap();
+    let a = model.model().sample_corpus(40, &mut seeded(7));
+    let b = model.model().sample_corpus(40, &mut seeded(7));
+    for (da, db) in a.documents().iter().zip(b.documents()) {
+        assert_eq!(da.counts(), db.counts());
+        assert_eq!(da.topic(), db.topic());
+    }
+}
+
+#[test]
+fn lsi_build_is_deterministic() {
+    let model = SeparableModel::build(SeparableConfig::small(3, 0.05)).unwrap();
+    let corpus = model.model().sample_corpus(50, &mut seeded(9));
+    let td = TermDocumentMatrix::from_generated(&corpus).unwrap();
+    let x = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+    let y = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+    assert_eq!(x.singular_values(), y.singular_values());
+    assert_eq!(
+        x.doc_representations().max_abs_diff(y.doc_representations()),
+        Some(0.0)
+    );
+}
+
+#[test]
+fn projections_and_pipelines_are_deterministic() {
+    let model = SeparableModel::build(SeparableConfig::small(3, 0.05)).unwrap();
+    let corpus = model.model().sample_corpus(40, &mut seeded(3));
+    let td = TermDocumentMatrix::from_generated(&corpus).unwrap();
+
+    for kind in ProjectionKind::ALL {
+        let p1 = RandomProjection::new(kind, td.n_terms(), 10, 42).unwrap();
+        let p2 = RandomProjection::new(kind, td.n_terms(), 10, 42).unwrap();
+        assert_eq!(p1.projector().max_abs_diff(p2.projector()), Some(0.0));
+    }
+
+    let r1 = two_step_lsi(td.counts(), 3, 15, ProjectionKind::GaussianIid, 5).unwrap();
+    let r2 = two_step_lsi(td.counts(), 3, 15, ProjectionKind::GaussianIid, 5).unwrap();
+    assert_eq!(r1.error_sq, r2.error_sq);
+    assert_eq!(r1.singular_values, r2.singular_values);
+}
+
+#[test]
+fn graph_pipeline_is_deterministic() {
+    let config = PlantedConfig {
+        blocks: 3,
+        block_size: 8,
+        p_intra: 0.8,
+        epsilon: 0.05,
+    };
+    let g1 = PlantedPartition::generate(config, &mut seeded(11));
+    let g2 = PlantedPartition::generate(config, &mut seeded(11));
+    assert_eq!(g1.graph.total_weight(), g2.graph.total_weight());
+    let l1 = spectral_partition(&g1.graph, 3, &mut seeded(4)).unwrap();
+    let l2 = spectral_partition(&g2.graph, 3, &mut seeded(4)).unwrap();
+    assert_eq!(l1, l2);
+}
+
+#[test]
+fn experiment_entry_points_are_deterministic() {
+    // The reproduce binary's own building blocks: same seed, same numbers.
+    let model = SeparableModel::build(SeparableConfig::paper_experiment()).unwrap();
+    let a = model.model().sample_corpus(30, &mut seeded(20260706));
+    let b = model.model().sample_corpus(30, &mut seeded(20260706));
+    assert_eq!(a.to_triplets(), b.to_triplets());
+}

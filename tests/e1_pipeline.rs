@@ -1,0 +1,131 @@
+//! Integration: the full Section 4 pipeline — corpus model → sampling →
+//! term–document matrix → rank-k LSI → angle statistics — reproduces the
+//! paper's qualitative table on a scaled corpus.
+
+use lsi_repro::core::angles::pairwise_angle_stats;
+use lsi_repro::core::skew::measure_skew;
+use lsi_repro::core::{LsiConfig, LsiIndex};
+use lsi_repro::corpus::{SeparableConfig, SeparableModel};
+use lsi_repro::ir::TermDocumentMatrix;
+use lsi_repro::linalg::rng::seeded;
+
+fn pipeline(
+    config: SeparableConfig,
+    m: usize,
+    seed: u64,
+) -> (TermDocumentMatrix, LsiIndex, Vec<Option<usize>>) {
+    let model = SeparableModel::build(config).expect("valid config");
+    let mut rng = seeded(seed);
+    let corpus = model.model().sample_corpus(m, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&corpus).expect("fits universe");
+    let labels = td.topic_labels().to_vec();
+    let index =
+        LsiIndex::build(&td, LsiConfig::with_rank(config.num_topics)).expect("feasible rank");
+    (td, index, labels)
+}
+
+#[test]
+fn angle_table_shape_matches_paper() {
+    let config = SeparableConfig {
+        universe_size: 400,
+        num_topics: 8,
+        primary_terms_per_topic: 50,
+        epsilon: 0.05,
+        min_doc_len: 50,
+        max_doc_len: 100,
+    };
+    let (td, index, labels) = pipeline(config, 300, 1);
+
+    let original_rows = td.counts().transpose().to_dense_matrix();
+    let original = pairwise_angle_stats(&original_rows, &labels);
+    let lsi = pairwise_angle_stats(index.doc_representations(), &labels);
+
+    let o_intra = original.intratopic.expect("intratopic pairs exist");
+    let l_intra = lsi.intratopic.expect("intratopic pairs exist");
+    let o_inter = original.intertopic.expect("intertopic pairs exist");
+    let l_inter = lsi.intertopic.expect("intertopic pairs exist");
+
+    // Paper: intratopic average 1.09 → 0.0177; ours must collapse ≥ 10×.
+    assert!(
+        l_intra.mean < o_intra.mean / 10.0,
+        "collapse too weak: {} -> {}",
+        o_intra.mean,
+        l_intra.mean
+    );
+    // Paper: intertopic average 1.57 → 1.55; ours must stay near π/2.
+    assert!(
+        (l_inter.mean - std::f64::consts::FRAC_PI_2).abs() < 0.15,
+        "intertopic mean drifted: {}",
+        l_inter.mean
+    );
+    // Std of intertopic angles grows only modestly (paper: 0.008 → 0.15).
+    assert!(l_inter.std < 0.3, "intertopic std {}", l_inter.std);
+    assert!(o_inter.std < 0.1, "original intertopic std {}", o_inter.std);
+}
+
+#[test]
+fn zero_epsilon_corpus_is_nearly_zero_skewed() {
+    // Theorem 2: ε = 0 ⇒ 0-skewed (with high probability, finite-sample
+    // fuzz allowed).
+    let config = SeparableConfig {
+        universe_size: 200,
+        num_topics: 4,
+        primary_terms_per_topic: 50,
+        epsilon: 0.0,
+        min_doc_len: 80,
+        max_doc_len: 120,
+    };
+    let (_td, index, labels) = pipeline(config, 200, 2);
+    let skew = measure_skew(index.doc_representations(), &labels).expect("enough docs");
+    assert!(skew.delta < 0.15, "delta {} at eps=0", skew.delta);
+}
+
+#[test]
+fn skew_is_order_epsilon() {
+    // Theorem 3's shape: δ grows with ε but stays O(ε)-ish.
+    let mut deltas = Vec::new();
+    for &eps in &[0.0, 0.1, 0.25] {
+        let config = SeparableConfig {
+            universe_size: 200,
+            num_topics: 4,
+            primary_terms_per_topic: 50,
+            epsilon: eps,
+            min_doc_len: 80,
+            max_doc_len: 120,
+        };
+        let (_td, index, labels) = pipeline(config, 200, 3);
+        let skew = measure_skew(index.doc_representations(), &labels).expect("enough docs");
+        deltas.push(skew.delta);
+    }
+    assert!(
+        deltas[2] > deltas[0],
+        "no growth with epsilon: {deltas:?}"
+    );
+    assert!(deltas[2] < 0.8, "skew blew up: {deltas:?}");
+}
+
+#[test]
+fn lsi_rank_matches_topic_count_spectrally() {
+    // The k-th and (k+1)-th singular values should be separated for a
+    // well-separated corpus — the gap condition behind Lemma 1.
+    let config = SeparableConfig {
+        universe_size: 300,
+        num_topics: 6,
+        primary_terms_per_topic: 50,
+        epsilon: 0.02,
+        min_doc_len: 60,
+        max_doc_len: 100,
+    };
+    let model = SeparableModel::build(config).expect("valid");
+    let mut rng = seeded(4);
+    let corpus = model.model().sample_corpus(240, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&corpus).expect("fits");
+    // Compute a few extra triplets to inspect the spectrum around k.
+    let index = LsiIndex::build(&td, LsiConfig::with_rank(8)).expect("feasible");
+    let s = index.singular_values();
+    let gap_ratio = s[5] / s[6];
+    assert!(
+        gap_ratio > 2.0,
+        "σ_k/σ_(k+1) = {gap_ratio} too small; spectrum {s:?}"
+    );
+}

@@ -1,0 +1,127 @@
+//! Integration: failure injection — degenerate inputs must produce errors
+//! or defined results, never panics.
+
+use lsi_repro::core::{LsiConfig, LsiError, LsiIndex};
+use lsi_repro::corpus::{CorpusModel, DocumentLaw, SeparableConfig, SeparableModel, Topic};
+use lsi_repro::ir::{TermDocumentMatrix, VectorSpaceIndex, Weighting};
+use lsi_repro::linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_repro::linalg::svd::svd;
+use lsi_repro::linalg::{CsrMatrix, Matrix};
+
+#[test]
+fn empty_corpus_rejected_cleanly() {
+    let td = TermDocumentMatrix::from_triplets(10, 0, &[]).unwrap();
+    assert!(matches!(
+        LsiIndex::build(&td, LsiConfig::with_rank(1)),
+        Err(LsiError::EmptyCorpus)
+    ));
+    let td2 = TermDocumentMatrix::from_triplets(0, 10, &[]).unwrap();
+    assert!(matches!(
+        LsiIndex::build(&td2, LsiConfig::with_rank(1)),
+        Err(LsiError::EmptyCorpus)
+    ));
+}
+
+#[test]
+fn all_zero_matrix_is_fine_everywhere() {
+    let td = TermDocumentMatrix::from_triplets(8, 6, &[]).unwrap();
+    // VSM: queries return nothing.
+    let vsm = VectorSpaceIndex::build(&td.weighted(Weighting::TfIdf));
+    assert!(vsm.query(&[(0, 1.0)], 5).is_empty());
+    // Dense SVD: all-zero singular values.
+    let f = svd(&td.to_dense()).unwrap();
+    assert!(f.singular_values.iter().all(|&s| s == 0.0));
+    // Lanczos: zero triplets, no panic.
+    let lz = lanczos_svd(td.counts(), 2, &LanczosOptions::default()).unwrap();
+    assert!(lz.singular_values.iter().all(|&s| s == 0.0));
+    // LSI over an all-zero corpus: builds, queries return nothing.
+    let idx = LsiIndex::build(&td, LsiConfig::with_rank(2)).unwrap();
+    assert!(idx.query(&[(0, 1.0)], 3).is_empty());
+}
+
+#[test]
+fn duplicate_documents_do_not_break_lsi() {
+    // Identical columns ⇒ rank deficiency; k above the rank must still
+    // produce a valid (zero-padded) index.
+    let trips: Vec<(usize, usize, f64)> = (0..6)
+        .flat_map(|j| vec![(0, j, 2.0), (1, j, 1.0)])
+        .collect();
+    let td = TermDocumentMatrix::from_triplets(4, 6, &trips).unwrap();
+    let idx = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+    assert!(idx.singular_values()[0] > 0.0);
+    assert_eq!(idx.singular_values()[1], 0.0);
+    // All documents identical ⇒ all pairwise cosines 1.
+    assert!((idx.doc_cosine(0, 5) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn single_topic_corpus_works() {
+    let model = SeparableModel::build(SeparableConfig {
+        universe_size: 30,
+        num_topics: 1,
+        primary_terms_per_topic: 30,
+        epsilon: 0.0,
+        min_doc_len: 10,
+        max_doc_len: 20,
+    })
+    .unwrap();
+    let mut rng = lsi_repro::linalg::rng::seeded(1);
+    let corpus = model.model().sample_corpus(20, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&corpus).unwrap();
+    let idx = LsiIndex::build(&td, LsiConfig::with_rank(1)).unwrap();
+    // Every pair of documents is intratopic and near-parallel.
+    assert!(idx.doc_cosine(0, 1) > 0.99);
+}
+
+#[test]
+fn empty_documents_are_tolerated() {
+    // A document with zero terms (length law can't produce it, but raw
+    // triplets can) yields a zero column.
+    let td = TermDocumentMatrix::from_triplets(4, 3, &[(0, 0, 1.0), (1, 2, 1.0)]).unwrap();
+    let idx = LsiIndex::build(&td, LsiConfig::with_rank(2)).unwrap();
+    // Column 1 is empty: zero representation, cosine convention 0.
+    assert_eq!(idx.doc_vector(1).iter().map(|x| x * x).sum::<f64>(), 0.0);
+    assert_eq!(idx.doc_cosine(0, 1), 0.0);
+    // similar_docs never returns the zero doc with a positive score.
+    let sims = idx.similar_docs(0, 3);
+    assert!(sims.hits().iter().all(|h| h.doc != 1));
+}
+
+#[test]
+fn corpus_model_validation_surfaces_errors() {
+    // Universe mismatch between topic and model.
+    let t = Topic::uniform("t", 5).unwrap();
+    let err = CorpusModel::new(10, vec![t], vec![], DocumentLaw::pure_uniform(5, 10));
+    assert!(err.is_err());
+}
+
+#[test]
+fn svd_of_extreme_values_stays_finite() {
+    let a = Matrix::from_fn(6, 5, |i, j| {
+        if (i + j) % 2 == 0 { 1e150 } else { 1e-150 }
+    });
+    let f = svd(&a.scaled(1e-140)).unwrap(); // pre-scale to avoid overflow in products
+    assert!(f.singular_values.iter().all(|s| s.is_finite()));
+    let g = svd(&a.scaled(1e-160));
+    assert!(g.is_ok());
+}
+
+#[test]
+fn lanczos_k_larger_than_rank_pads() {
+    let dense = Matrix::from_fn(10, 8, |i, j| ((i + 1) * (j + 1)) as f64); // rank 1
+    let a = CsrMatrix::from_dense(&dense, 0.0);
+    let f = lanczos_svd(&a, 5, &LanczosOptions::default()).unwrap();
+    assert!(f.singular_values[0] > 0.0);
+    for i in 1..5 {
+        assert_eq!(f.singular_values[i], 0.0, "σ_{i}");
+    }
+}
+
+#[test]
+fn oov_queries_are_silent_not_fatal() {
+    let td = TermDocumentMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+    let idx = LsiIndex::build(&td, LsiConfig::with_rank(2)).unwrap();
+    assert!(idx.query(&[(999, 1.0)], 5).is_empty());
+    let vsm = VectorSpaceIndex::build(&td.weighted(Weighting::Count));
+    assert!(vsm.query(&[(999, 1.0)], 5).is_empty());
+}

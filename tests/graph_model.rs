@@ -1,0 +1,109 @@
+//! Integration: Theorem 6 — spectral recovery of planted high-conductance
+//! subgraphs, and the conductance machinery supporting it.
+
+use lsi_repro::graph::{
+    adjusted_rand_index, conductance_of_set, min_conductance_exhaustive, spectral_partition,
+    PlantedConfig, PlantedPartition, WeightedGraph,
+};
+use lsi_repro::linalg::rng::seeded;
+
+#[test]
+fn planted_blocks_recovered_across_sizes() {
+    for &(blocks, size) in &[(2usize, 8usize), (4, 10), (8, 12)] {
+        let planted = PlantedPartition::generate(
+            PlantedConfig {
+                blocks,
+                block_size: size,
+                p_intra: 0.85,
+                epsilon: 0.03,
+            },
+            &mut seeded(blocks as u64 * 100 + size as u64),
+        );
+        let labels =
+            spectral_partition(&planted.graph, blocks, &mut seeded(999)).expect("valid k");
+        let ari = adjusted_rand_index(&labels, &planted.labels);
+        assert!(
+            ari > 0.95,
+            "blocks={blocks} size={size}: ARI {ari} too low"
+        );
+    }
+}
+
+#[test]
+fn recovery_threshold_behaviour() {
+    // ARI should be ≈ 1 for small ε and drop substantially by ε ≈ 2.
+    let mut aris = Vec::new();
+    for &eps in &[0.01f64, 0.1, 1.0, 4.0] {
+        let planted = PlantedPartition::generate(
+            PlantedConfig {
+                blocks: 3,
+                block_size: 12,
+                p_intra: 0.85,
+                epsilon: eps,
+            },
+            &mut seeded((eps * 1000.0) as u64),
+        );
+        let labels =
+            spectral_partition(&planted.graph, 3, &mut seeded(7)).expect("valid k");
+        aris.push(adjusted_rand_index(&labels, &planted.labels));
+    }
+    assert!(aris[0] > 0.95, "clean case failed: {aris:?}");
+    assert!(
+        aris[3] < aris[0],
+        "no degradation at heavy leakage: {aris:?}"
+    );
+}
+
+#[test]
+fn theorem6_hypothesis_is_checkable() {
+    // The generator's instances actually satisfy the theorem's hypothesis:
+    // high internal conductance, bounded leakage.
+    let planted = PlantedPartition::generate(
+        PlantedConfig {
+            blocks: 3,
+            block_size: 10,
+            p_intra: 0.9,
+            epsilon: 0.05,
+        },
+        &mut seeded(3),
+    );
+    let c = planted.min_block_conductance().expect("blocks small enough");
+    assert!(c > 1.0, "internal conductance {c}");
+    let leak = planted.measured_leakage();
+    assert!(leak < 0.2, "leakage {leak}");
+}
+
+#[test]
+fn conductance_identifies_the_weak_cut() {
+    // A graph of two cliques with a weak bridge: the minimum-conductance
+    // cut is exactly the bridge.
+    let mut g = WeightedGraph::new(8);
+    for i in 0..4 {
+        for j in i + 1..4 {
+            g.add_edge(i, j, 1.0);
+            g.add_edge(i + 4, j + 4, 1.0);
+        }
+    }
+    g.add_edge(0, 4, 0.2);
+    let exact = min_conductance_exhaustive(&g, 20).expect("small graph");
+    let planted_cut: Vec<bool> = (0..8).map(|v| v < 4).collect();
+    let planted_phi = conductance_of_set(&g, &planted_cut).expect("nontrivial");
+    assert!((exact - planted_phi).abs() < 1e-12);
+    assert!((planted_phi - 0.2 / 4.0).abs() < 1e-12);
+}
+
+#[test]
+fn spectral_partition_is_deterministic_given_seeds() {
+    let planted = PlantedPartition::generate(
+        PlantedConfig {
+            blocks: 3,
+            block_size: 8,
+            p_intra: 0.8,
+            epsilon: 0.05,
+        },
+        &mut seeded(21),
+    );
+    let a = spectral_partition(&planted.graph, 3, &mut seeded(5)).unwrap();
+    let b = spectral_partition(&planted.graph, 3, &mut seeded(5)).unwrap();
+    assert_eq!(a, b);
+}

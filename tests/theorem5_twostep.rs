@@ -1,0 +1,108 @@
+//! Integration: Theorem 5 — the two-step RP + LSI pipeline satisfies
+//! `‖A − B₂ₖ‖²_F ≤ ‖A − A_k‖²_F + 2ε‖A‖²_F` across corpora, projection
+//! ensembles, and seeds.
+
+use lsi_repro::corpus::{SeparableConfig, SeparableModel};
+use lsi_repro::ir::TermDocumentMatrix;
+use lsi_repro::linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_repro::linalg::rng::seeded;
+use lsi_repro::linalg::CsrMatrix;
+use lsi_repro::rp::{two_step_lsi, ProjectionKind};
+
+fn corpus(seed: u64) -> (CsrMatrix, usize) {
+    let k = 6;
+    let config = SeparableConfig {
+        universe_size: 300,
+        num_topics: k,
+        primary_terms_per_topic: 50,
+        epsilon: 0.05,
+        min_doc_len: 50,
+        max_doc_len: 100,
+    };
+    let model = SeparableModel::build(config).expect("valid");
+    let mut rng = seeded(seed);
+    let c = model.model().sample_corpus(150, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&c).expect("fits");
+    (td.counts().clone(), k)
+}
+
+fn direct_error_sq(a: &CsrMatrix, k: usize) -> f64 {
+    let f = lanczos_svd(a, k, &LanczosOptions::default()).expect("valid rank");
+    let head: f64 = f.singular_values.iter().map(|s| s * s).sum();
+    (a.frobenius_sq() - head).max(0.0)
+}
+
+#[test]
+fn inequality_holds_across_ensembles() {
+    let (a, k) = corpus(10);
+    let direct = direct_error_sq(&a, k);
+    let l = 80; // comfortably Ω(log n / ε²) territory for this scale
+    for kind in ProjectionKind::ALL {
+        for seed in [1u64, 2, 3] {
+            let r = two_step_lsi(&a, k, l, kind, seed).expect("valid dims");
+            let excess = r.excess_error_fraction(direct);
+            assert!(
+                excess < 0.08,
+                "{}/seed {seed}: excess {excess}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_improves_monotonically_in_l() {
+    let (a, k) = corpus(11);
+    let mut last = f64::INFINITY;
+    for &l in &[2 * k, 4 * k, 10 * k, 30 * k] {
+        let r = two_step_lsi(&a, k, l, ProjectionKind::OrthonormalSubspace, 5)
+            .expect("valid dims");
+        assert!(
+            r.error_sq <= last * 1.1,
+            "error not shrinking at l={l}: {} vs {last}",
+            r.error_sq
+        );
+        last = r.error_sq;
+    }
+}
+
+#[test]
+fn two_step_document_geometry_still_separates_topics() {
+    // Beyond the Frobenius bound: the 2k-dim document representations from
+    // the two-step pipeline should still cluster by topic.
+    let k = 4;
+    let config = SeparableConfig {
+        universe_size: 200,
+        num_topics: k,
+        primary_terms_per_topic: 50,
+        epsilon: 0.03,
+        min_doc_len: 60,
+        max_doc_len: 100,
+    };
+    let model = SeparableModel::build(config).expect("valid");
+    let mut rng = seeded(12);
+    let c = model.model().sample_corpus(120, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&c).expect("fits");
+    let labels = td.topic_labels().to_vec();
+
+    let r = two_step_lsi(
+        td.counts(),
+        k,
+        60,
+        ProjectionKind::OrthonormalSubspace,
+        9,
+    )
+    .expect("valid dims");
+
+    // Singular-value-weighted document representations (the V·D analog):
+    // topic structure must survive the projection.
+    let reps = r.doc_representations();
+    let skew = lsi_repro::core::skew::measure_skew(&reps, &labels).expect("enough docs");
+    // The 2k-dim space keeps k noise directions alongside the k topic
+    // directions, so the constant is looser than for direct LSI.
+    assert!(
+        skew.delta < 0.6,
+        "two-step representation lost topic structure: {}",
+        skew.delta
+    );
+}
