@@ -8,12 +8,16 @@ fn bench_e4(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_jl");
     group.sample_size(10);
     for &l in &[25usize, 100, 400] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("l-{l}")), &l, |b, &l| {
-            b.iter(|| {
-                let r = lsi_bench::e4_jl::run(0.3, &[black_box(l)], 60, 13);
-                black_box(r.rows.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("l-{l}")),
+            &l,
+            |b, &l| {
+                b.iter(|| {
+                    let r = lsi_bench::e4_jl::run(0.3, &[black_box(l)], 60, 13);
+                    black_box(r.rows.len())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -7,7 +7,13 @@
 //! By default runs every experiment at a laptop-friendly scale; pass
 //! `--paper-scale` to run E1 at the paper's exact 2000×1000 configuration
 //! (slower; use a release build).
+//!
+//! Experiments are isolated: a panic in one (a regression, a numerical
+//! blow-up) is caught, recorded, and the remaining experiments still run.
+//! A summary table at the end lists every experiment's status, and the
+//! process exits nonzero if any failed.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
 use lsi_bench::*;
@@ -37,9 +43,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--paper-scale" => paper_scale = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: reproduce [--exp e1|..|e15|all] [--seed N] [--paper-scale]"
-                );
+                println!("usage: reproduce [--exp e1|..|e15|all] [--seed N] [--paper-scale]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
@@ -54,6 +58,17 @@ fn parse_args() -> Result<Args, String> {
 
 fn heading(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
+}
+
+/// Renders a caught panic payload as a one-line message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 fn main() -> ExitCode {
@@ -78,116 +93,195 @@ fn main() -> ExitCode {
     }
     let seed = args.seed;
     let all = args.exp == "all";
+    let paper_scale = args.paper_scale;
 
-    if all || args.exp == "e1" {
-        heading("E1", "pairwise document angles, original vs LSI space (the paper's table)");
-        let r = if args.paper_scale {
-            println!("(paper scale: 2000 terms, 20 topics, 1000 documents, rank 20)");
-            e1_angles::run_paper(seed)
-        } else {
-            println!("(scaled: 40% of the paper's dimensions)");
-            e1_angles::run_scaled(0.4, seed)
-        };
-        print!("{}", r.table());
-        if let Some(f) = r.intratopic_collapse_factor() {
-            println!("intratopic mean-angle collapse factor: {f:.1}x (paper: ~62x)");
+    type Body = Box<dyn FnOnce()>;
+    let experiments: Vec<(&'static str, &'static str, Body)> = vec![
+        (
+            "e1",
+            "pairwise document angles, original vs LSI space (the paper's table)",
+            Box::new(move || {
+                let r = if paper_scale {
+                    println!("(paper scale: 2000 terms, 20 topics, 1000 documents, rank 20)");
+                    e1_angles::run_paper(seed)
+                } else {
+                    println!("(scaled: 40% of the paper's dimensions)");
+                    e1_angles::run_scaled(0.4, seed)
+                };
+                print!("{}", r.table());
+                if let Some(f) = r.intratopic_collapse_factor() {
+                    println!("intratopic mean-angle collapse factor: {f:.1}x (paper: ~62x)");
+                }
+            }),
+        ),
+        (
+            "e2",
+            "delta-skew vs separability epsilon (Theorems 2-3)",
+            Box::new(move || {
+                let r = e2_skew::run(0.3, &[0.0, 0.01, 0.05, 0.1, 0.2, 0.3], seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e3",
+            "skew asymptotics in document length and corpus size (Theorem 2)",
+            Box::new(move || {
+                let r = e3_asymptotics::run(
+                    &[10, 25, 50, 100, 200, 400],
+                    &[50, 100, 200, 400, 800],
+                    seed,
+                );
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e4",
+            "Johnson-Lindenstrauss distance preservation (Lemma 2)",
+            Box::new(move || {
+                let r = e4_jl::run(0.5, &[25, 50, 100, 200, 400], 150, seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e5",
+            "two-step RP+LSI Frobenius recovery (Theorem 5)",
+            Box::new(move || {
+                let r = e5_twostep::run(0.4, &[20, 40, 80, 160, 320], seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e6",
+            "running time: direct LSI vs two-step (Section 5)",
+            Box::new(move || {
+                let r = e6_runtime::run(
+                    &[1000, 2000, 4000, 8000],
+                    400,
+                    10,
+                    60,
+                    2_000_000_000, // dense baseline capped at ~2 Gflop-equivalents
+                    seed,
+                );
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e7",
+            "synonymy: difference vector is a trailing eigenvector (Section 4)",
+            Box::new(move || {
+                let r = e7_synonymy::run(400, seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e8",
+            "spectral recovery of planted high-conductance subgraphs (Theorem 6)",
+            Box::new(move || {
+                let r = e8_graph::run(8, 15, &[0.0, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0], seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e9",
+            "Eckart-Young optimality of the truncated SVD (Theorem 1)",
+            Box::new(move || {
+                let r = e9_eckart_young::run(4, 40, seed);
+                print!("{}", r.table());
+                println!(
+                    "optimality held across all competitors: {}",
+                    r.optimality_held()
+                );
+            }),
+        ),
+        (
+            "e10",
+            "ablations: SVD backend, projection ensemble, weighting scheme",
+            Box::new(move || {
+                let r = e10_ablations::run(0.3, seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e11",
+            "speedups head-to-head: RP+LSI vs FKV column sampling (Section 5)",
+            Box::new(move || {
+                let r = e11_sampling::run(0.3, &[20, 40, 80, 160], seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e12",
+            "open question: documents on several topics (Section 6)",
+            Box::new(move || {
+                let r = e12_mixtures::run(&[1, 2, 3, 4], 120, seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e13",
+            "open question: does LSI address polysemy? (Section 6)",
+            Box::new(move || {
+                let r = e13_polysemy::run(300, seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e14",
+            "document classification: k-means in raw vs LSI space (Section 4)",
+            Box::new(move || {
+                let r = e14_clustering::run(0.3, &[0.02, 0.05, 0.1, 0.2], seed);
+                print!("{}", r.table());
+            }),
+        ),
+        (
+            "e15",
+            "styles as the perturbation F of Theorem 3 (Definition 3)",
+            Box::new(move || {
+                let r = e15_styles::run(5, &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], seed);
+                print!("{}", r.table());
+            }),
+        ),
+    ];
+
+    let mut statuses: Vec<(&'static str, Option<String>)> = Vec::new();
+    for (id, title, body) in experiments {
+        if !(all || args.exp == id) {
+            continue;
+        }
+        heading(&id.to_uppercase(), title);
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(()) => statuses.push((id, None)),
+            Err(payload) => {
+                let msg = panic_message(payload);
+                eprintln!("{} FAILED: {msg}", id.to_uppercase());
+                statuses.push((id, Some(msg)));
+            }
         }
     }
 
-    if all || args.exp == "e2" {
-        heading("E2", "delta-skew vs separability epsilon (Theorems 2-3)");
-        let r = e2_skew::run(0.3, &[0.0, 0.01, 0.05, 0.1, 0.2, 0.3], seed);
-        print!("{}", r.table());
+    let failures = statuses.iter().filter(|(_, f)| f.is_some()).count();
+    println!(
+        "\n=== summary: {}/{} experiments ok ===",
+        statuses.len() - failures,
+        statuses.len()
+    );
+    for (id, failure) in &statuses {
+        match failure {
+            None => println!("  {:<4} ok", id),
+            Some(msg) => {
+                let mut msg = msg.replace('\n', " ");
+                if msg.len() > 100 {
+                    msg.truncate(97);
+                    msg.push_str("...");
+                }
+                println!("  {:<4} FAILED: {msg}", id);
+            }
+        }
     }
 
-    if all || args.exp == "e3" {
-        heading("E3", "skew asymptotics in document length and corpus size (Theorem 2)");
-        let r = e3_asymptotics::run(&[10, 25, 50, 100, 200, 400], &[50, 100, 200, 400, 800], seed);
-        print!("{}", r.table());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-
-    if all || args.exp == "e4" {
-        heading("E4", "Johnson-Lindenstrauss distance preservation (Lemma 2)");
-        let r = e4_jl::run(0.5, &[25, 50, 100, 200, 400], 150, seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e5" {
-        heading("E5", "two-step RP+LSI Frobenius recovery (Theorem 5)");
-        let r = e5_twostep::run(0.4, &[20, 40, 80, 160, 320], seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e6" {
-        heading("E6", "running time: direct LSI vs two-step (Section 5)");
-        let r = e6_runtime::run(
-            &[1000, 2000, 4000, 8000],
-            400,
-            10,
-            60,
-            2_000_000_000, // dense baseline capped at ~2 Gflop-equivalents
-            seed,
-        );
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e7" {
-        heading("E7", "synonymy: difference vector is a trailing eigenvector (Section 4)");
-        let r = e7_synonymy::run(400, seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e8" {
-        heading("E8", "spectral recovery of planted high-conductance subgraphs (Theorem 6)");
-        let r = e8_graph::run(8, 15, &[0.0, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0], seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e9" {
-        heading("E9", "Eckart-Young optimality of the truncated SVD (Theorem 1)");
-        let r = e9_eckart_young::run(4, 40, seed);
-        print!("{}", r.table());
-        println!(
-            "optimality held across all competitors: {}",
-            r.optimality_held()
-        );
-    }
-
-    if all || args.exp == "e10" {
-        heading("E10", "ablations: SVD backend, projection ensemble, weighting scheme");
-        let r = e10_ablations::run(0.3, seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e11" {
-        heading("E11", "speedups head-to-head: RP+LSI vs FKV column sampling (Section 5)");
-        let r = e11_sampling::run(0.3, &[20, 40, 80, 160], seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e12" {
-        heading("E12", "open question: documents on several topics (Section 6)");
-        let r = e12_mixtures::run(&[1, 2, 3, 4], 120, seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e13" {
-        heading("E13", "open question: does LSI address polysemy? (Section 6)");
-        let r = e13_polysemy::run(300, seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e14" {
-        heading("E14", "document classification: k-means in raw vs LSI space (Section 4)");
-        let r = e14_clustering::run(0.3, &[0.02, 0.05, 0.1, 0.2], seed);
-        print!("{}", r.table());
-    }
-
-    if all || args.exp == "e15" {
-        heading("E15", "styles as the perturbation F of Theorem 3 (Definition 3)");
-        let r = e15_styles::run(5, &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], seed);
-        print!("{}", r.table());
-    }
-
-    ExitCode::SUCCESS
 }

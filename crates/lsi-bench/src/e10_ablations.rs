@@ -187,7 +187,11 @@ mod tests {
         assert_eq!(r.backends.len(), 3);
         for b in &r.backends {
             // Lanczos should be essentially exact; randomized within 1%.
-            let cap = if b.backend == "randomized" { 1e-2 } else { 1e-6 };
+            let cap = if b.backend == "randomized" {
+                1e-2
+            } else {
+                1e-6
+            };
             assert!(
                 b.sigma_rel_err < cap,
                 "{}: rel err {}",

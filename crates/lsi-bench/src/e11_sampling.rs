@@ -61,8 +61,14 @@ pub fn run(scale: f64, sketches: &[usize], seed: u64) -> E11Result {
         .iter()
         .filter(|&&s| s >= 2 * k && s <= a.nrows())
         .map(|&sketch| {
-            let rp = two_step_lsi(a, k, sketch, ProjectionKind::OrthonormalSubspace, seed ^ 0x11)
-                .expect("validated dimensions");
+            let rp = two_step_lsi(
+                a,
+                k,
+                sketch,
+                ProjectionKind::OrthonormalSubspace,
+                seed ^ 0x11,
+            )
+            .expect("validated dimensions");
             let fkv = fkv_low_rank(a, k, sketch, seed ^ 0x22).expect("validated dimensions");
             E11Row {
                 sketch,

@@ -100,10 +100,7 @@ pub fn run(mixes: &[usize], n_docs: usize, seed: u64) -> E12Result {
             let td = TermDocumentMatrix::from_generated(&corpus).expect("fits");
             let index = LsiIndex::build(&td, LsiConfig::with_rank(k)).expect("feasible");
 
-            let truth: Vec<Vec<f64>> = specs
-                .iter()
-                .map(|s| s.topic_weight_vector(k))
-                .collect();
+            let truth: Vec<Vec<f64>> = specs.iter().map(|s| s.topic_weight_vector(k)).collect();
 
             let mut lsi_cos = Vec::new();
             let mut truth_cos = Vec::new();

@@ -75,8 +75,7 @@ pub fn run(scale: f64, epsilons: &[f64], seed: u64) -> E14Result {
             let raw_labels = kmeans(&raw, k, &mut seeded(seed ^ 0xaa));
             let raw_ari = adjusted_rand_index(&raw_labels, &truth);
 
-            let index = LsiIndex::build(&exp.td, LsiConfig::with_rank(k))
-                .expect("feasible rank");
+            let index = LsiIndex::build(&exp.td, LsiConfig::with_rank(k)).expect("feasible rank");
             let lsi = normalized_rows(index.doc_representations());
             let lsi_labels = kmeans(&lsi, k, &mut seeded(seed ^ 0xbb));
             let lsi_ari = adjusted_rand_index(&lsi_labels, &truth);
@@ -106,7 +105,12 @@ mod tests {
                 row.lsi_ari,
                 row.raw_ari
             );
-            assert!(row.lsi_ari > 0.9, "eps {}: LSI ARI {}", row.epsilon, row.lsi_ari);
+            assert!(
+                row.lsi_ari > 0.9,
+                "eps {}: LSI ARI {}",
+                row.epsilon,
+                row.lsi_ari
+            );
         }
     }
 

@@ -69,8 +69,7 @@ pub fn run(scale_topics: usize, probs: &[f64], seed: u64) -> E15Result {
                     (0..5).map(move |off| (topic * s + off, next * s + off, p))
                 })
                 .collect();
-            let style =
-                Style::substitutions("cross-topic", universe, &pairs).expect("valid style");
+            let style = Style::substitutions("cross-topic", universe, &pairs).expect("valid style");
 
             // Half the authors write plainly, half through the rewriting
             // style. The *disagreement* between the two populations is what
@@ -97,8 +96,8 @@ pub fn run(scale_topics: usize, probs: &[f64], seed: u64) -> E15Result {
             let corpus = model.sample_corpus(160, &mut rng);
             let td = TermDocumentMatrix::from_generated(&corpus).expect("fits");
             let index = LsiIndex::build(&td, LsiConfig::with_rank(k)).expect("feasible");
-            let skew = measure_skew(index.doc_representations(), td.topic_labels())
-                .expect("enough docs");
+            let skew =
+                measure_skew(index.doc_representations(), td.topic_labels()).expect("enough docs");
             E15Row {
                 rewrite_prob: p,
                 delta: skew.delta,

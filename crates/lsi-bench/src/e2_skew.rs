@@ -31,9 +31,8 @@ pub struct E2Result {
 impl E2Result {
     /// Renders a table.
     pub fn table(&self) -> String {
-        let mut out = String::from(
-            "epsilon      delta   max intertopic cos   min intratopic cos\n",
-        );
+        let mut out =
+            String::from("epsilon      delta   max intertopic cos   min intratopic cos\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{:>7.3} {:>10.4} {:>20.4} {:>20.4}\n",
@@ -76,7 +75,11 @@ mod tests {
         assert_eq!(r.rows.len(), 3);
         // δ(0) should be small (Theorem 2's 0-skew, finite-sample fuzz
         // allowed), and the trend increasing.
-        assert!(r.rows[0].delta < 0.25, "delta at eps=0: {}", r.rows[0].delta);
+        assert!(
+            r.rows[0].delta < 0.25,
+            "delta at eps=0: {}",
+            r.rows[0].delta
+        );
         assert!(
             r.rows[2].delta > r.rows[0].delta,
             "no growth: {} vs {}",

@@ -126,9 +126,8 @@ pub fn run(
                 None
             };
 
-            let (_, lanczos_secs) = time_secs(|| {
-                lanczos_svd(a, k, &LanczosOptions::default()).expect("valid rank")
-            });
+            let (_, lanczos_secs) =
+                time_secs(|| lanczos_svd(a, k, &LanczosOptions::default()).expect("valid rank"));
             let (_, two_step_secs) = time_secs(|| {
                 two_step_lsi(a, k, l, ProjectionKind::OrthonormalSubspace, seed ^ 0xc0de)
                     .expect("valid dimensions")

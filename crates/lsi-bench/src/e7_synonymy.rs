@@ -99,8 +99,8 @@ pub fn run(n_docs: usize, seed: u64) -> E7Result {
     )
     .expect("rank 2 feasible");
 
-    let report = analyze_synonym_pair(&td.to_dense(), &index, CAR, AUTOMOBILE)
-        .expect("valid synonym pair");
+    let report =
+        analyze_synonym_pair(&td.to_dense(), &index, CAR, AUTOMOBILE).expect("valid synonym pair");
 
     E7Result {
         report,

@@ -11,13 +11,13 @@
 //! bench-friendly scales.
 
 pub mod common;
-pub mod e1_angles;
 pub mod e10_ablations;
 pub mod e11_sampling;
 pub mod e12_mixtures;
 pub mod e13_polysemy;
 pub mod e14_clustering;
 pub mod e15_styles;
+pub mod e1_angles;
 pub mod e2_skew;
 pub mod e3_asymptotics;
 pub mod e4_jl;

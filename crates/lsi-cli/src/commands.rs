@@ -3,7 +3,7 @@
 
 use std::path::Path;
 
-use lsi_core::{LsiConfig, LsiIndex, SvdBackend};
+use lsi_core::{BuildStatus, LsiConfig, LsiIndex, SvdBackend};
 use lsi_ir::text::Tokenizer;
 use lsi_ir::{Dictionary, TermDocumentMatrix, Weighting};
 
@@ -19,7 +19,7 @@ pub fn parse_weighting(name: &str) -> Result<Weighting, CliError> {
         .find(|w| w.name() == name)
         .ok_or_else(|| {
             let names: Vec<&str> = Weighting::ALL.iter().map(|w| w.name()).collect();
-            CliError(format!(
+            CliError::usage(format!(
                 "unknown weighting {name:?}; expected one of {}",
                 names.join(", ")
             ))
@@ -38,11 +38,11 @@ pub fn cmd_index(
     let tokenizer = Tokenizer::default();
     let mut dictionary = Dictionary::new();
     let td = TermDocumentMatrix::from_text(&docs, &tokenizer, &mut dictionary)
-        .map_err(|e| CliError(format!("failed to build term-document matrix: {e}")))?;
+        .map_err(|e| CliError::other(format!("failed to build term-document matrix: {e}")))?;
 
     let max_rank = td.n_terms().min(td.n_docs());
     if max_rank == 0 {
-        return Err(CliError("corpus has no indexable terms".into()));
+        return Err(CliError::other("corpus has no indexable terms"));
     }
     // Out-of-range ranks in either direction are clamped, symmetrically.
     let rank = rank.clamp(1, max_rank);
@@ -55,20 +55,36 @@ pub fn cmd_index(
         },
     )?;
 
-    let container = Container {
-        dictionary,
-        doc_ids: docs.iter().map(|d| d.id.clone()).collect(),
-        index,
-    };
-    container.save(output)?;
-    Ok(format!(
+    let mut summary = format!(
         "indexed {} documents, {} terms, rank {} ({}) -> {}",
         td.n_docs(),
         td.n_terms(),
         rank,
         weighting.name(),
         output.display()
-    ))
+    );
+    if let BuildStatus::Degraded { achieved_rank } = index.build_status() {
+        summary.push_str(&format!(
+            "\nwarning: degraded build — corpus rank {achieved_rank} < requested {rank}; \
+             trailing dimensions are zero"
+        ));
+    }
+    if let Some(report) = index.solve_report() {
+        if report.fell_back() {
+            summary.push_str(&format!(
+                "\nsolver fell back:\n{}",
+                report.summary().trim_end()
+            ));
+        }
+    }
+
+    let container = Container {
+        dictionary,
+        doc_ids: docs.iter().map(|d| d.id.clone()).collect(),
+        index,
+    };
+    container.save(output)?;
+    Ok(summary)
 }
 
 /// `lsi add`: folds new documents into an existing container (the classic
@@ -85,7 +101,7 @@ pub fn cmd_add(container: &mut Container, input: &Path) -> Result<String, CliErr
     match weighting {
         Weighting::Count | Weighting::Binary | Weighting::LogTf => {}
         Weighting::TfIdf | Weighting::LogEntropy => {
-            return Err(CliError(format!(
+            return Err(CliError::other(format!(
                 "cannot fold into a {}-weighted index: that weighting needs \
                  corpus-global statistics; rebuild with `lsi index` instead",
                 weighting.name()
@@ -147,7 +163,7 @@ pub fn cmd_query(
         .map(|t| (t, 1.0))
         .collect();
     if terms.is_empty() {
-        return Err(CliError(format!(
+        return Err(CliError::other(format!(
             "no query term appears in the index vocabulary: {query_text:?}"
         )));
     }
@@ -177,7 +193,7 @@ pub fn cmd_similar_terms(
     let t = container
         .dictionary
         .id(&term.to_lowercase())
-        .ok_or_else(|| CliError(format!("term {term:?} is not in the index vocabulary")))?;
+        .ok_or_else(|| CliError::other(format!("term {term:?} is not in the index vocabulary")))?;
     let hits = container.index.similar_terms(t, top);
     Ok(hits
         .hits()
@@ -351,7 +367,7 @@ mod tests {
         cmd_index(&input, &output, 2, Weighting::TfIdf).unwrap();
         let mut container = Container::load(&output).unwrap();
         let err = cmd_add(&mut container, &input).unwrap_err();
-        assert!(err.0.contains("tf-idf"), "{err}");
+        assert!(err.message.contains("tf-idf"), "{err}");
         fs::remove_file(&input).ok();
         fs::remove_file(&output).ok();
     }

@@ -4,19 +4,26 @@
 //! magic "LSIC" | version u32 |
 //! n_terms u64 | term strings (u32 length + UTF-8 bytes) … |
 //! n_docs  u64 | doc-id strings … |
-//! embedded LSIX payload (lsi_core::storage)
+//! embedded LSIX payload (lsi_core::storage) |
+//! crc32 u32 (version ≥ 2: over every preceding byte)
 //! ```
+//!
+//! Version-1 containers (no trailer) are still read; new files are always
+//! written as version 2.
 
 use std::io::{Read, Write};
 use std::path::Path;
 
+use lsi_core::storage::{Crc32Reader, Crc32Writer};
 use lsi_core::LsiIndex;
 use lsi_ir::Dictionary;
 
 use crate::CliError;
 
 const MAGIC: &[u8; 4] = b"LSIC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Last container version without the CRC-32 trailer.
+const VERSION_NO_CRC: u32 = 1;
 /// Upper bound on a single stored string; rejects absurd headers early.
 const MAX_STRING: u32 = 1 << 20;
 
@@ -33,7 +40,10 @@ pub struct Container {
 fn write_string<W: Write>(w: &mut W, s: &str) -> Result<(), CliError> {
     let bytes = s.as_bytes();
     if bytes.len() as u64 > MAX_STRING as u64 {
-        return Err(CliError(format!("string too long ({} bytes)", bytes.len())));
+        return Err(CliError::storage(format!(
+            "string too long ({} bytes)",
+            bytes.len()
+        )));
     }
     w.write_all(&(bytes.len() as u32).to_le_bytes())?;
     w.write_all(bytes)?;
@@ -45,45 +55,75 @@ fn read_string<R: Read>(r: &mut R) -> Result<String, CliError> {
     r.read_exact(&mut lenbuf)?;
     let len = u32::from_le_bytes(lenbuf);
     if len > MAX_STRING {
-        return Err(CliError(format!("corrupt container: string length {len}")));
+        return Err(CliError::storage(format!(
+            "corrupt container: string length {len}"
+        )));
     }
     let mut buf = vec![0u8; len as usize];
     r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| CliError("corrupt container: invalid UTF-8".into()))
+    String::from_utf8(buf).map_err(|_| CliError::storage("corrupt container: invalid UTF-8"))
 }
 
 impl Container {
-    /// Serializes to a writer.
+    /// Serializes to a writer (version 2: CRC-32 trailer included).
     pub fn write<W: Write>(&self, w: &mut W) -> Result<(), CliError> {
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&(self.dictionary.len() as u64).to_le_bytes())?;
+        let mut cw = Crc32Writer::new(w);
+        cw.write_all(MAGIC)?;
+        cw.write_all(&VERSION.to_le_bytes())?;
+        cw.write_all(&(self.dictionary.len() as u64).to_le_bytes())?;
         for (_, term) in self.dictionary.iter() {
-            write_string(w, term)?;
+            write_string(&mut cw, term)?;
         }
-        w.write_all(&(self.doc_ids.len() as u64).to_le_bytes())?;
+        cw.write_all(&(self.doc_ids.len() as u64).to_le_bytes())?;
         for id in &self.doc_ids {
-            write_string(w, id)?;
+            write_string(&mut cw, id)?;
         }
-        lsi_core::write_index(w, &self.index)?;
+        lsi_core::write_index(&mut cw, &self.index)?;
+        let crc = cw.crc();
+        w.write_all(&crc.to_le_bytes())?;
         Ok(())
     }
 
-    /// Deserializes from a reader, validating consistency between the
-    /// dictionary/doc ids and the embedded index dimensions.
+    /// Deserializes from a reader, validating the CRC-32 trailer (version
+    /// ≥ 2) and the consistency between the dictionary/doc ids and the
+    /// embedded index dimensions. Legacy version-1 containers (no
+    /// trailer) are still accepted.
     pub fn read<R: Read>(r: &mut R) -> Result<Self, CliError> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(CliError("not an .lsic container (bad magic)".into()));
+            return Err(CliError::storage("not an .lsic container (bad magic)"));
         }
         let mut vbuf = [0u8; 4];
         r.read_exact(&mut vbuf)?;
         let version = u32::from_le_bytes(vbuf);
-        if version != VERSION {
-            return Err(CliError(format!("unsupported container version {version}")));
+        match version {
+            VERSION_NO_CRC => Self::read_body(r),
+            VERSION => {
+                let mut cr = Crc32Reader::new(r);
+                cr.absorb(MAGIC);
+                cr.absorb(&version.to_le_bytes());
+                let container = Self::read_body(&mut cr)?;
+                let computed = cr.crc();
+                let mut trailer = [0u8; 4];
+                cr.inner().read_exact(&mut trailer)?;
+                let stored = u32::from_le_bytes(trailer);
+                if stored != computed {
+                    return Err(CliError::storage(format!(
+                        "container checksum mismatch: file says {stored:#010x}, \
+                         contents hash to {computed:#010x}"
+                    )));
+                }
+                Ok(container)
+            }
+            other => Err(CliError::storage(format!(
+                "unsupported container version {other}"
+            ))),
         }
+    }
 
+    /// Reads everything after the magic/version header.
+    fn read_body<R: Read>(r: &mut R) -> Result<Self, CliError> {
         let mut cbuf = [0u8; 8];
         r.read_exact(&mut cbuf)?;
         let n_terms = u64::from_le_bytes(cbuf) as usize;
@@ -101,7 +141,7 @@ impl Container {
 
         let index = lsi_core::read_index(r)?;
         if index.n_terms() != dictionary.len() || index.n_docs() != doc_ids.len() {
-            return Err(CliError(format!(
+            return Err(CliError::storage(format!(
                 "container inconsistent: dictionary {} / docs {} vs index {}x{}",
                 dictionary.len(),
                 doc_ids.len(),
@@ -122,16 +162,17 @@ impl Container {
     pub fn save(&self, path: &Path) -> Result<(), CliError> {
         let tmp = path.with_extension("lsic.tmp");
         {
-            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp).map_err(|e| {
-                CliError(format!("cannot create {}: {e}", tmp.display()))
-            })?);
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(&tmp)
+                    .map_err(|e| CliError::io(format!("cannot create {}: {e}", tmp.display())))?,
+            );
             self.write(&mut f)?;
             use std::io::Write as _;
             f.flush()?;
         }
         std::fs::rename(&tmp, path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
-            CliError(format!("cannot replace {}: {e}", path.display()))
+            CliError::io(format!("cannot replace {}: {e}", path.display()))
         })
     }
 
@@ -139,7 +180,7 @@ impl Container {
     pub fn load(path: &Path) -> Result<Self, CliError> {
         let mut f = std::io::BufReader::new(
             std::fs::File::open(path)
-                .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?,
+                .map_err(|e| CliError::io(format!("cannot open {}: {e}", path.display())))?,
         );
         Self::read(&mut f)
     }
@@ -195,6 +236,40 @@ mod tests {
                 "accepted truncation at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn rejects_bit_flip_via_checksum() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write(&mut buf).unwrap();
+        // Corrupt the stored doc id "a" -> "b": the file still parses
+        // structurally, so only the container trailer can catch it.
+        let pat = [1u8, 0, 0, 0, b'a'];
+        let pos = buf
+            .windows(pat.len())
+            .position(|w| w == pat)
+            .expect("doc id 'a' in container bytes");
+        buf[pos + 4] = b'b';
+        let err = match Container::read(&mut buf.as_slice()) {
+            Ok(_) => panic!("corrupted container was accepted"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind, crate::ErrorKind::Storage);
+        assert!(err.message.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn reads_legacy_version_1_containers() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write(&mut buf).unwrap();
+        // Rewrite as v1: patch the version field, drop the trailer.
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        buf.truncate(buf.len() - 4);
+        let loaded = Container::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.doc_ids, c.doc_ids);
+        assert_eq!(loaded.index.singular_values(), c.index.singular_values());
     }
 
     #[test]

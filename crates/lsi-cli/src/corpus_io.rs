@@ -25,27 +25,28 @@ pub fn load_corpus(path: &Path) -> Result<Vec<TextDocument>, CliError> {
 
 fn load_lines(path: &Path) -> Result<Vec<TextDocument>, CliError> {
     let content = fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))?;
+        .map_err(|e| CliError::io(format!("cannot read {}: {e}", path.display())))?;
     let docs: Vec<TextDocument> = content
         .lines()
         .enumerate()
         .filter(|(_, line)| !line.trim().is_empty())
         .map(|(i, line)| match line.split_once('\t') {
-            Some((id, body)) if !id.trim().is_empty() => {
-                TextDocument::new(id.trim(), body.trim())
-            }
+            Some((id, body)) if !id.trim().is_empty() => TextDocument::new(id.trim(), body.trim()),
             _ => TextDocument::new(format!("line-{}", i + 1), line.trim()),
         })
         .collect();
     if docs.is_empty() {
-        return Err(CliError(format!("{} contains no documents", path.display())));
+        return Err(CliError::other(format!(
+            "{} contains no documents",
+            path.display()
+        )));
     }
     Ok(docs)
 }
 
 fn load_dir(path: &Path) -> Result<Vec<TextDocument>, CliError> {
     let mut entries: Vec<_> = fs::read_dir(path)
-        .map_err(|e| CliError(format!("cannot read directory {}: {e}", path.display())))?
+        .map_err(|e| CliError::io(format!("cannot read directory {}: {e}", path.display())))?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
@@ -54,7 +55,7 @@ fn load_dir(path: &Path) -> Result<Vec<TextDocument>, CliError> {
     let mut docs = Vec::with_capacity(entries.len());
     for p in entries {
         let body = fs::read_to_string(&p)
-            .map_err(|e| CliError(format!("cannot read {}: {e}", p.display())))?;
+            .map_err(|e| CliError::io(format!("cannot read {}: {e}", p.display())))?;
         let id = p
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
@@ -62,7 +63,7 @@ fn load_dir(path: &Path) -> Result<Vec<TextDocument>, CliError> {
         docs.push(TextDocument::new(id, body));
     }
     if docs.is_empty() {
-        return Err(CliError(format!(
+        return Err(CliError::other(format!(
             "{} contains no .txt documents",
             path.display()
         )));

@@ -15,19 +15,96 @@
 //!
 //! The `.lsic` container bundles the dictionary, document ids and the
 //! spectral factors (via [`lsi_core::storage`]) into one file.
+//!
+//! Failures exit with a category-specific code (see [`ErrorKind`]) so
+//! scripts can distinguish a typo'd flag from a corrupt index file from a
+//! solver that exhausted its fallback chain.
 
 pub mod commands;
 pub mod container;
 pub mod corpus_io;
 
+/// Failure category; each maps to a distinct process exit code so callers
+/// can react without parsing stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Anything not covered by a more specific kind (bad query terms,
+    /// fold-in restrictions, …). Exit code 1.
+    Other,
+    /// Bad invocation: unknown command, missing/unparsable flag. Exit
+    /// code 2.
+    Usage,
+    /// Filesystem failure reading a corpus or writing a container. Exit
+    /// code 3.
+    Io,
+    /// Malformed, corrupt, or version-incompatible `.lsic` data (including
+    /// checksum mismatches). Exit code 4.
+    Storage,
+    /// Every SVD backend in the resilient fallback chain failed; stderr
+    /// carries the per-attempt report. Exit code 5.
+    Solver,
+}
+
+impl ErrorKind {
+    /// The process exit code for this failure category.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Other => 1,
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::Storage => 4,
+            ErrorKind::Solver => 5,
+        }
+    }
+}
+
 /// Exit-style error type for the CLI: every failure carries a user-facing
-/// message.
+/// message plus the [`ErrorKind`] that decides the exit code.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// User-facing description, printed to stderr.
+    pub message: String,
+    /// Failure category; decides the process exit code.
+    pub kind: ErrorKind,
+}
+
+impl CliError {
+    /// A miscellaneous failure (exit code 1).
+    pub fn other(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            kind: ErrorKind::Other,
+        }
+    }
+
+    /// An invocation error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            kind: ErrorKind::Usage,
+        }
+    }
+
+    /// A filesystem error (exit code 3).
+    pub fn io(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            kind: ErrorKind::Io,
+        }
+    }
+
+    /// A malformed-container error (exit code 4).
+    pub fn storage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            kind: ErrorKind::Storage,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -35,18 +112,70 @@ impl std::error::Error for CliError {}
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
-        CliError(format!("i/o error: {e}"))
+        CliError {
+            message: format!("i/o error: {e}"),
+            kind: ErrorKind::Io,
+        }
     }
 }
 
 impl From<lsi_core::StorageError> for CliError {
     fn from(e: lsi_core::StorageError) -> Self {
-        CliError(format!("index file error: {e}"))
+        CliError {
+            message: format!("index file error: {e}"),
+            kind: ErrorKind::Storage,
+        }
     }
 }
 
 impl From<lsi_core::LsiError> for CliError {
     fn from(e: lsi_core::LsiError) -> Self {
-        CliError(format!("indexing error: {e}"))
+        let kind = match &e {
+            lsi_core::LsiError::SolverExhausted(_) => ErrorKind::Solver,
+            _ => ErrorKind::Other,
+        };
+        CliError {
+            message: format!("indexing error: {e}"),
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let codes = [
+            ErrorKind::Other,
+            ErrorKind::Usage,
+            ErrorKind::Io,
+            ErrorKind::Storage,
+            ErrorKind::Solver,
+        ]
+        .map(ErrorKind::exit_code);
+        let unique: std::collections::HashSet<u8> = codes.into_iter().collect();
+        assert_eq!(unique.len(), 5);
+        assert!(!unique.contains(&0), "0 is reserved for success");
+    }
+
+    #[test]
+    fn io_errors_map_to_io_kind() {
+        let e: CliError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(e.kind, ErrorKind::Io);
+        assert!(e.message.contains("i/o error"));
+    }
+
+    #[test]
+    fn storage_errors_map_to_storage_kind() {
+        let e: CliError = lsi_core::StorageError::CorruptData.into();
+        assert_eq!(e.kind, ErrorKind::Storage);
+    }
+
+    #[test]
+    fn lsi_errors_map_to_other_kind() {
+        let e: CliError = lsi_core::LsiError::EmptyCorpus.into();
+        assert_eq!(e.kind, ErrorKind::Other);
     }
 }

@@ -34,7 +34,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         if let Some(name) = arg.strip_prefix("--") {
             let value = it
                 .next()
-                .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+                .ok_or_else(|| CliError::usage(format!("--{name} needs a value")))?;
             named.insert(name.to_owned(), value.clone());
         } else {
             positional.push(arg.clone());
@@ -48,7 +48,7 @@ impl Flags {
         self.named
             .get(name)
             .map(PathBuf::from)
-            .ok_or_else(|| CliError(format!("missing required --{name}")))
+            .ok_or_else(|| CliError::usage(format!("missing required --{name}")))
     }
 
     fn usize_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
@@ -56,7 +56,7 @@ impl Flags {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|e| CliError(format!("bad --{name} value {v:?}: {e}"))),
+                .map_err(|e| CliError::usage(format!("bad --{name} value {v:?}: {e}"))),
         }
     }
 }
@@ -65,7 +65,7 @@ fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprint!("{USAGE}");
-        return Err(CliError("no command given".into()));
+        return Err(CliError::usage("no command given"));
     };
     let flags = parse_flags(&args[1..])?;
 
@@ -103,7 +103,7 @@ fn run() -> Result<(), CliError> {
             let term = flags
                 .positional
                 .first()
-                .ok_or_else(|| CliError("similar-terms needs a term argument".into()))?;
+                .ok_or_else(|| CliError::usage("similar-terms needs a term argument"))?;
             let top = flags.usize_or("top", 10)?;
             for (t, score) in cmd_similar_terms(&container, term, top)? {
                 println!("{score:+.4}  {t}");
@@ -121,7 +121,7 @@ fn run() -> Result<(), CliError> {
         }
         other => {
             eprint!("{USAGE}");
-            return Err(CliError(format!("unknown command {other:?}")));
+            return Err(CliError::usage(format!("unknown command {other:?}")));
         }
     }
     Ok(())
@@ -132,7 +132,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.kind.exit_code())
         }
     }
 }

@@ -3,6 +3,7 @@
 use lsi_ir::Weighting;
 use lsi_linalg::lanczos::LanczosOptions;
 use lsi_linalg::randomized::RandomizedSvdOptions;
+use lsi_linalg::solver::{BackendSpec, SolvePlan};
 
 /// Which truncated-SVD algorithm computes the factors.
 #[derive(Debug, Clone)]
@@ -31,6 +32,22 @@ impl SvdBackend {
             SvdBackend::Lanczos(_) => "lanczos",
             SvdBackend::Randomized(_) => "randomized",
         }
+    }
+
+    /// The solver-driver spec equivalent to this backend choice.
+    pub fn to_spec(&self) -> BackendSpec {
+        match self {
+            SvdBackend::Dense => BackendSpec::Dense,
+            SvdBackend::Lanczos(o) => BackendSpec::Lanczos(o.clone()),
+            SvdBackend::Randomized(o) => BackendSpec::Randomized(o.clone()),
+        }
+    }
+
+    /// The resilient escalation chain starting from this backend: retries
+    /// with escalated options, then the other iterative family, then the
+    /// dense last resort (see [`SolvePlan::resilient_from`]).
+    pub fn solve_plan(&self) -> SolvePlan {
+        SolvePlan::resilient_from(self.to_spec())
     }
 }
 

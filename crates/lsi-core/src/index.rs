@@ -2,12 +2,11 @@
 
 use lsi_ir::retrieval::{RankedList, SearchHit};
 use lsi_ir::TermDocumentMatrix;
-use lsi_linalg::lanczos::lanczos_svd;
-use lsi_linalg::randomized::randomized_svd;
-use lsi_linalg::svd::svd;
-use lsi_linalg::{vector, LinalgError, Matrix, TruncatedSvd};
+use lsi_linalg::faults::{FaultPlan, FaultyOperator};
+use lsi_linalg::solver::{solve_truncated_svd, SolveError, SolveReport};
+use lsi_linalg::{vector, LinalgError, LinearOperator, Matrix, TruncatedSvd};
 
-use crate::config::{LsiConfig, SvdBackend};
+use crate::config::LsiConfig;
 
 /// Errors from building or querying an [`LsiIndex`].
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +22,9 @@ pub enum LsiError {
     EmptyCorpus,
     /// A linear-algebra failure (shape bug or non-convergence).
     Linalg(LinalgError),
+    /// Every backend in the resilient solve plan failed; the report carries
+    /// each attempt's backend, iterations, and typed failure cause.
+    SolverExhausted(SolveReport),
 }
 
 impl std::fmt::Display for LsiError {
@@ -33,8 +35,29 @@ impl std::fmt::Display for LsiError {
             }
             LsiError::EmptyCorpus => write!(f, "corpus has no terms or no documents"),
             LsiError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            LsiError::SolverExhausted(report) => write!(
+                f,
+                "all {} solver attempts failed:\n{}",
+                report.attempts.len(),
+                report.summary()
+            ),
         }
     }
+}
+
+/// How completely a build satisfied its requested rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildStatus {
+    /// All requested triplets are live (σ > 0).
+    Full,
+    /// The corpus's true rank is below the requested rank: the trailing
+    /// triplets are zero-padded and retrieval runs in the smaller space.
+    /// This is a documented outcome, not an error — the factors are still
+    /// verified and exact for the live subspace.
+    Degraded {
+        /// Number of live triplets actually obtained.
+        achieved_rank: usize,
+    },
 }
 
 impl std::error::Error for LsiError {
@@ -88,12 +111,48 @@ pub struct LsiIndex {
     /// Euclidean norms of the document representations.
     doc_norms: Vec<f64>,
     config: LsiConfig,
+    /// Per-attempt record of the solve that produced `factors`; `None` for
+    /// indexes reloaded from storage.
+    solve_report: Option<SolveReport>,
 }
 
 impl LsiIndex {
     /// Builds the index: weights the counts, runs the configured SVD
-    /// backend, and materializes document representations.
+    /// backend through the resilient solve driver, and materializes
+    /// document representations.
+    ///
+    /// The configured backend is the *first* attempt of an escalation chain
+    /// ([`crate::SvdBackend::solve_plan`]); if it fails or returns factors
+    /// that do not verify, the driver falls back — ultimately to a dense
+    /// SVD — before giving up with [`LsiError::SolverExhausted`]. The full
+    /// per-attempt record is available via [`LsiIndex::solve_report`].
+    ///
+    /// A corpus whose true rank is below `config.rank` builds successfully
+    /// with zero-padded trailing triplets; [`LsiIndex::build_status`]
+    /// reports [`BuildStatus::Degraded`] with the achieved rank.
     pub fn build(td: &TermDocumentMatrix, config: LsiConfig) -> Result<Self, LsiError> {
+        Self::build_inner(td, config, None)
+    }
+
+    /// [`LsiIndex::build`] with seeded faults injected into every
+    /// matrix–vector product of the weighted term–document operator.
+    ///
+    /// This is the integration surface for resilience testing: the faulty
+    /// operator exercises exactly the production solve path (guards,
+    /// fallback, verification). It is not intended for production builds.
+    pub fn build_with_injected_faults(
+        td: &TermDocumentMatrix,
+        config: LsiConfig,
+        faults: FaultPlan,
+    ) -> Result<Self, LsiError> {
+        Self::build_inner(td, config, Some(faults))
+    }
+
+    fn build_inner(
+        td: &TermDocumentMatrix,
+        config: LsiConfig,
+        faults: Option<FaultPlan>,
+    ) -> Result<Self, LsiError> {
         let (n, m) = (td.n_terms(), td.n_docs());
         if n == 0 || m == 0 {
             return Err(LsiError::EmptyCorpus);
@@ -107,10 +166,13 @@ impl LsiIndex {
         }
 
         let weighted = td.weighted(config.weighting);
-        let factors = match &config.backend {
-            SvdBackend::Dense => svd(&weighted.to_dense_matrix())?.truncate(config.rank)?,
-            SvdBackend::Lanczos(opts) => lanczos_svd(&weighted, config.rank, opts)?,
-            SvdBackend::Randomized(opts) => randomized_svd(&weighted, config.rank, opts)?,
+        let plan = config.backend.solve_plan();
+        let (factors, report) = match faults {
+            None => Self::solve_on(&weighted, config.rank, &plan)?,
+            Some(f) => {
+                let faulty = FaultyOperator::new(&weighted, f);
+                Self::solve_on(&faulty, config.rank, &plan)?
+            }
         };
 
         let mut doc_reps = factors.doc_representation();
@@ -131,7 +193,22 @@ impl LsiIndex {
             doc_reps,
             doc_norms,
             config,
+            solve_report: Some(report),
         })
+    }
+
+    /// Runs the resilient driver on one operator, mapping solver errors
+    /// into [`LsiError`].
+    fn solve_on<Op: LinearOperator + ?Sized>(
+        op: &Op,
+        rank: usize,
+        plan: &lsi_linalg::solver::SolvePlan,
+    ) -> Result<(TruncatedSvd, SolveReport), LsiError> {
+        match solve_truncated_svd(op, rank, plan) {
+            Ok(s) => Ok((s.factors, s.report)),
+            Err(SolveError::Invalid(e)) => Err(LsiError::Linalg(e)),
+            Err(SolveError::Exhausted(report)) => Err(LsiError::SolverExhausted(report)),
+        }
     }
 
     /// Reassembles an index from previously computed parts (used by the
@@ -147,6 +224,31 @@ impl LsiIndex {
             doc_reps,
             doc_norms,
             config,
+            solve_report: None,
+        }
+    }
+
+    /// The per-attempt record of the solve that built this index, or `None`
+    /// for indexes reloaded from storage.
+    pub fn solve_report(&self) -> Option<&SolveReport> {
+        self.solve_report.as_ref()
+    }
+
+    /// Whether the build achieved the full requested rank or degraded to
+    /// the corpus's smaller true rank (see [`BuildStatus`]).
+    pub fn build_status(&self) -> BuildStatus {
+        let live = self
+            .factors
+            .singular_values
+            .iter()
+            .filter(|&&s| s > 0.0)
+            .count();
+        if live < self.config.rank {
+            BuildStatus::Degraded {
+                achieved_rank: live,
+            }
+        } else {
+            BuildStatus::Full
         }
     }
 
@@ -256,12 +358,7 @@ impl LsiIndex {
         // with σ²-weighted dot products over U's (contiguous) rows avoids
         // materializing a scaled vector per candidate term.
         let k = self.rank();
-        let s2: Vec<f64> = self
-            .factors
-            .singular_values
-            .iter()
-            .map(|s| s * s)
-            .collect();
+        let s2: Vec<f64> = self.factors.singular_values.iter().map(|s| s * s).collect();
         let weighted_norm = |row: &[f64]| -> f64 {
             row.iter()
                 .zip(&s2)
@@ -389,6 +486,7 @@ impl LsiIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SvdBackend;
     use lsi_corpus::{SeparableConfig, SeparableModel};
     use lsi_ir::Weighting;
     use rand::SeedableRng;
@@ -416,6 +514,70 @@ mod tests {
             LsiIndex::build(&empty, LsiConfig::with_rank(1)),
             Err(LsiError::EmptyCorpus)
         ));
+    }
+
+    #[test]
+    fn build_attaches_solve_report() {
+        let (td, _) = small_corpus(21);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        let report = idx.solve_report().expect("fresh build carries a report");
+        assert_eq!(report.succeeded, Some(0));
+        assert_eq!(report.requested_rank, 4);
+        assert_eq!(report.achieved_rank, 4);
+        assert_eq!(idx.build_status(), BuildStatus::Full);
+    }
+
+    #[test]
+    fn rank_deficient_corpus_builds_degraded() {
+        // Two identical documents over three terms: true rank 1.
+        let td = TermDocumentMatrix::from_triplets(
+            3,
+            2,
+            &[(0, 0, 1.0), (1, 0, 2.0), (0, 1, 1.0), (1, 1, 2.0)],
+        )
+        .unwrap();
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(2)).unwrap();
+        assert_eq!(
+            idx.build_status(),
+            BuildStatus::Degraded { achieved_rank: 1 }
+        );
+        let report = idx.solve_report().unwrap();
+        assert_eq!(report.achieved_rank, 1);
+        assert!(report.degraded());
+        // Retrieval still works in the 1-dimensional live space.
+        assert!(idx.doc_cosine(0, 1) > 0.999);
+    }
+
+    #[test]
+    fn injected_transient_fault_still_builds_verified() {
+        use lsi_linalg::faults::{FaultKind, FaultPlan};
+        let (td, _) = small_corpus(22);
+        let clean = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
+        let faults =
+            FaultPlan::new(3).with_fault(FaultKind::NanInjection { probability: 0.2 }, 4, 8);
+        let idx =
+            LsiIndex::build_with_injected_faults(&td, LsiConfig::with_rank(4), faults).unwrap();
+        for (a, b) in clean.singular_values().iter().zip(idx.singular_values()) {
+            assert!((a - b).abs() < 1e-6 * a.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn injected_persistent_fault_exhausts_with_typed_error() {
+        use lsi_linalg::faults::{FaultKind, FaultPlan};
+        let (td, _) = small_corpus(23);
+        let faults = FaultPlan::new(4).with_fault(
+            FaultKind::NanInjection { probability: 0.5 },
+            0,
+            usize::MAX,
+        );
+        match LsiIndex::build_with_injected_faults(&td, LsiConfig::with_rank(4), faults) {
+            Err(LsiError::SolverExhausted(report)) => {
+                assert!(!report.attempts.is_empty());
+                assert!(report.succeeded.is_none());
+            }
+            other => panic!("expected SolverExhausted, got {other:?}"),
+        }
     }
 
     #[test]
@@ -489,7 +651,7 @@ mod tests {
 
     #[test]
     fn query_retrieves_topic_documents() {
-        let (td, model) = small_corpus(5);
+        let (td, model) = small_corpus(6);
         let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
         // Query: a few primary terms of topic 2.
         let q: Vec<(usize, f64)> = model.primary_set(2)[..5]
@@ -504,10 +666,7 @@ mod tests {
             .iter()
             .filter(|h| labels[h.doc] == Some(2))
             .count();
-        assert!(
-            on_topic >= 9,
-            "only {on_topic}/10 of top hits on topic 2"
-        );
+        assert!(on_topic >= 9, "only {on_topic}/10 of top hits on topic 2");
     }
 
     #[test]
@@ -533,7 +692,7 @@ mod tests {
 
     #[test]
     fn rocchio_feedback_improves_topic_focus() {
-        let (td, model) = small_corpus(12);
+        let (td, model) = small_corpus(6);
         let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
         let labels = td.topic_labels();
 
@@ -560,10 +719,7 @@ mod tests {
         let after = idx.query_vector(&refined, 10);
 
         let on_topic = |r: &lsi_ir::retrieval::RankedList| {
-            r.hits()
-                .iter()
-                .filter(|h| labels[h.doc] == Some(0))
-                .count()
+            r.hits().iter().filter(|h| labels[h.doc] == Some(0)).count()
         };
         assert!(
             on_topic(&after) >= on_topic(&before),
@@ -592,7 +748,7 @@ mod tests {
 
     #[test]
     fn add_document_folds_in_and_is_searchable() {
-        let (td, model) = small_corpus(10);
+        let (td, model) = small_corpus(6);
         let mut idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
         let before = idx.n_docs();
 
@@ -618,7 +774,7 @@ mod tests {
 
     #[test]
     fn similar_terms_finds_cohort() {
-        let (td, model) = small_corpus(11);
+        let (td, model) = small_corpus(6);
         let idx = LsiIndex::build(&td, LsiConfig::with_rank(4)).unwrap();
         let t = model.primary_set(2)[0];
         let sims = idx.similar_terms(t, 10);

@@ -30,6 +30,6 @@ pub mod synonymy;
 
 pub use angles::{pairwise_angle_stats, AngleStats, PairAngleReport};
 pub use config::{LsiConfig, SvdBackend};
-pub use index::{LsiError, LsiIndex};
+pub use index::{BuildStatus, LsiError, LsiIndex};
 pub use skew::{measure_skew, SkewReport};
 pub use storage::{read_index, write_index, StorageError};

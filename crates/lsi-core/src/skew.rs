@@ -89,12 +89,7 @@ mod tests {
 
     #[test]
     fn perfect_separation_is_zero_skew() {
-        let reps = m(&[
-            &[1.0, 0.0],
-            &[2.0, 0.0],
-            &[0.0, 1.0],
-            &[0.0, 3.0],
-        ]);
+        let reps = m(&[&[1.0, 0.0], &[2.0, 0.0], &[0.0, 1.0], &[0.0, 3.0]]);
         let labels = vec![Some(0), Some(0), Some(1), Some(1)];
         let r = measure_skew(&reps, &labels).unwrap();
         assert!(r.delta.abs() < 1e-12, "{r:?}");

@@ -21,6 +21,11 @@
 //! load. Readers validate magic, version, dimensional consistency, and
 //! finiteness, so a truncated or corrupted file yields an error rather than
 //! a quietly broken index.
+//!
+//! Version 2 appends a little-endian IEEE CRC-32 trailer computed over
+//! every preceding byte (magic and version included), so silent bit rot is
+//! caught even when the flipped bits still decode to finite floats.
+//! Version-1 files (no trailer) are still read.
 
 use std::io::{Read, Write};
 
@@ -31,7 +36,154 @@ use crate::config::{LsiConfig, SvdBackend};
 use crate::index::LsiIndex;
 
 const MAGIC: &[u8; 4] = b"LSIX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Last format version without the CRC-32 trailer.
+const VERSION_NO_CRC: u32 = 1;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental IEEE CRC-32 (the polynomial used by zip, gzip, PNG).
+///
+/// Table-driven, dependency-free; used for the version-2 file trailer and
+/// reusable by any container format that embeds this one.
+///
+/// ```
+/// use lsi_core::storage::Crc32;
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finalize(), 0xCBF4_3926); // the standard check value
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+/// A writer adapter that checksums every byte it forwards.
+pub struct Crc32Writer<'a, W: Write> {
+    inner: &'a mut W,
+    crc: Crc32,
+}
+
+impl<'a, W: Write> Crc32Writer<'a, W> {
+    /// Wraps `inner`; all writes pass through and update the checksum.
+    pub fn new(inner: &'a mut W) -> Self {
+        Crc32Writer {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    /// The checksum of everything written so far.
+    pub fn crc(&self) -> u32 {
+        self.crc.finalize()
+    }
+}
+
+impl<W: Write> Write for Crc32Writer<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader adapter that checksums every byte it yields.
+pub struct Crc32Reader<'a, R: Read> {
+    inner: &'a mut R,
+    crc: Crc32,
+}
+
+impl<'a, R: Read> Crc32Reader<'a, R> {
+    /// Wraps `inner`; all reads pass through and update the checksum.
+    pub fn new(inner: &'a mut R) -> Self {
+        Crc32Reader {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    /// Feeds already-consumed bytes (e.g. a header parsed before wrapping)
+    /// into the checksum as if they had been read through this adapter.
+    pub fn absorb(&mut self, bytes: &[u8]) {
+        self.crc.update(bytes);
+    }
+
+    /// The checksum of everything read so far.
+    pub fn crc(&self) -> u32 {
+        self.crc.finalize()
+    }
+
+    /// The wrapped reader (to read past the checksummed region).
+    pub fn inner(&mut self) -> &mut R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for Crc32Reader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Errors from reading or writing an index file.
 #[derive(Debug)]
@@ -48,6 +200,14 @@ pub enum StorageError {
     BadDimensions(String),
     /// A stored float is NaN or infinite.
     CorruptData,
+    /// The CRC-32 trailer does not match the file contents (bit rot, a
+    /// partial overwrite, or tampering).
+    ChecksumMismatch {
+        /// The checksum stored in the file trailer.
+        stored: u32,
+        /// The checksum computed over the bytes actually read.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -59,6 +219,10 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownWeighting(t) => write!(f, "unknown weighting tag {t}"),
             StorageError::BadDimensions(d) => write!(f, "bad dimensions: {d}"),
             StorageError::CorruptData => write!(f, "corrupt data (non-finite value)"),
+            StorageError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: file says {stored:#010x}, contents hash to {computed:#010x}"
+            ),
         }
     }
 }
@@ -122,7 +286,7 @@ fn read_f64s<R: Read>(r: &mut R, count: usize) -> Result<Vec<f64>, StorageError>
     Ok(out)
 }
 
-/// Serializes an index to any writer.
+/// Serializes an index to any writer (version 2: CRC-32 trailer included).
 pub fn write_index<W: Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageError> {
     let f = index.factors();
     let k = index.rank();
@@ -130,24 +294,29 @@ pub fn write_index<W: Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageE
     let m_docs = index.n_docs(); // may exceed vt's columns after add_document
     let m_vt = f.vt.ncols();
 
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&[weighting_tag(index.config().weighting)])?;
-    w.write_all(&(k as u32).to_le_bytes())?;
-    w.write_all(&(n as u64).to_le_bytes())?;
-    w.write_all(&(m_docs as u64).to_le_bytes())?;
-    w.write_all(&(m_vt as u64).to_le_bytes())?;
-    write_f64s(w, &f.singular_values)?;
-    write_f64s(w, f.u.as_slice())?;
-    write_f64s(w, f.vt.as_slice())?;
-    write_f64s(w, index.doc_representations().as_slice())?;
+    let mut cw = Crc32Writer::new(w);
+    cw.write_all(MAGIC)?;
+    cw.write_all(&VERSION.to_le_bytes())?;
+    cw.write_all(&[weighting_tag(index.config().weighting)])?;
+    cw.write_all(&(k as u32).to_le_bytes())?;
+    cw.write_all(&(n as u64).to_le_bytes())?;
+    cw.write_all(&(m_docs as u64).to_le_bytes())?;
+    cw.write_all(&(m_vt as u64).to_le_bytes())?;
+    write_f64s(&mut cw, &f.singular_values)?;
+    write_f64s(&mut cw, f.u.as_slice())?;
+    write_f64s(&mut cw, f.vt.as_slice())?;
+    write_f64s(&mut cw, index.doc_representations().as_slice())?;
+    let crc = cw.crc();
+    w.write_all(&crc.to_le_bytes())?;
     Ok(())
 }
 
 /// Deserializes an index from any reader.
 ///
-/// The loaded index reports [`SvdBackend::Dense`] as its backend (the
-/// factors are already computed; the backend only matters at build time).
+/// Accepts both the current version-2 format (CRC-32 trailer, verified)
+/// and legacy version-1 files (no trailer). The loaded index reports
+/// [`SvdBackend::Dense`] as its backend (the factors are already computed;
+/// the backend only matters at build time).
 pub fn read_index<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -157,9 +326,30 @@ pub fn read_index<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
     let mut u32buf = [0u8; 4];
     r.read_exact(&mut u32buf)?;
     let version = u32::from_le_bytes(u32buf);
-    if version != VERSION {
-        return Err(StorageError::UnsupportedVersion(version));
+    match version {
+        VERSION_NO_CRC => read_body(r),
+        VERSION => {
+            let mut cr = Crc32Reader::new(r);
+            cr.absorb(MAGIC);
+            cr.absorb(&version.to_le_bytes());
+            let index = read_body(&mut cr)?;
+            let computed = cr.crc();
+            let mut trailer = [0u8; 4];
+            cr.inner().read_exact(&mut trailer)?;
+            let stored = u32::from_le_bytes(trailer);
+            if stored != computed {
+                return Err(StorageError::ChecksumMismatch { stored, computed });
+            }
+            Ok(index)
+        }
+        other => Err(StorageError::UnsupportedVersion(other)),
     }
+}
+
+/// Reads everything after the magic/version header: the weighting tag,
+/// dimensions, and factor payload.
+fn read_body<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
+    let mut u32buf = [0u8; 4];
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     let weighting = weighting_from_tag(tag[0])?;
@@ -197,8 +387,8 @@ pub fn read_index<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
     let vt_data = read_f64s(r, k * m_vt)?;
     let rep_data = read_f64s(r, m_docs * k)?;
 
-    let u = Matrix::from_vec(n, k, u_data)
-        .map_err(|e| StorageError::BadDimensions(e.to_string()))?;
+    let u =
+        Matrix::from_vec(n, k, u_data).map_err(|e| StorageError::BadDimensions(e.to_string()))?;
     let vt = Matrix::from_vec(k, m_vt, vt_data)
         .map_err(|e| StorageError::BadDimensions(e.to_string()))?;
     let doc_reps = Matrix::from_vec(m_docs, k, rep_data)
@@ -360,6 +550,65 @@ mod tests {
             read_index(&mut buf.as_slice()),
             Err(StorageError::BadDimensions(_))
         ));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn rejects_single_bit_flip_via_checksum() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &sample_index()).unwrap();
+        // Flip a low mantissa bit deep in the doc-representation payload:
+        // the float stays finite, so only the checksum can catch it.
+        let target = buf.len() - 12; // inside the last f64 before the trailer
+        buf[target] ^= 0x01;
+        assert!(matches!(
+            read_index(&mut buf.as_slice()),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_trailer() {
+        let mut buf = Vec::new();
+        write_index(&mut buf, &sample_index()).unwrap();
+        buf.truncate(buf.len() - 2); // payload intact, trailer cut short
+        assert!(matches!(
+            read_index(&mut buf.as_slice()),
+            Err(StorageError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn reads_legacy_version_1_files_without_trailer() {
+        let idx = sample_index();
+        let mut buf = Vec::new();
+        write_index(&mut buf, &idx).unwrap();
+        // Rewrite as a v1 file: patch the version field, drop the trailer.
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        buf.truncate(buf.len() - 4);
+        let loaded = read_index(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+        assert_eq!(loaded.n_docs(), idx.n_docs());
+    }
+
+    #[test]
+    fn checksum_error_display_names_both_values() {
+        let e = StorageError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("checksum"), "{msg}");
+        assert!(
+            msg.contains("0x00000001") && msg.contains("0x00000002"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -42,8 +42,7 @@ impl SynonymyReport {
     /// difference direction lives in the bottom `tail_fraction` of the
     /// spectrum with strong alignment, and LSI brings the terms together.
     pub fn confirms_projection(&self, min_alignment: f64, tail_fraction: f64) -> bool {
-        let tail_start =
-            (self.spectrum_size as f64 * (1.0 - tail_fraction)).floor() as usize;
+        let tail_start = (self.spectrum_size as f64 * (1.0 - tail_fraction)).floor() as usize;
         self.alignment >= min_alignment
             && self.aligned_eigen_index >= tail_start
             && self.lsi_cosine >= self.original_cosine - 1e-12

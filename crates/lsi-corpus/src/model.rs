@@ -249,11 +249,8 @@ impl CorpusModel {
             let sum: f64 = raw.iter().sum();
             raw.into_iter().map(|w| w / sum).collect()
         };
-        let topic_mixture: Vec<(usize, f64)> = chosen
-            .iter()
-            .copied()
-            .zip(weights.drain(..))
-            .collect();
+        let topic_mixture: Vec<(usize, f64)> =
+            chosen.iter().copied().zip(weights.drain(..)).collect();
 
         let style_mixture = match self.law.style_mode {
             StyleMode::Identity => Vec::new(),
@@ -530,13 +527,7 @@ mod tests {
     #[test]
     fn lengths_respect_law() {
         let t = Topic::uniform("t", 3).unwrap();
-        let model = CorpusModel::new(
-            3,
-            vec![t],
-            vec![],
-            DocumentLaw::pure_uniform(5, 9),
-        )
-        .unwrap();
+        let model = CorpusModel::new(3, vec![t], vec![], DocumentLaw::pure_uniform(5, 9)).unwrap();
         let mut r = rng(8);
         for _ in 0..100 {
             let d = model.sample_document(&mut r);

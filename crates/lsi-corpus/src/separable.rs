@@ -114,13 +114,9 @@ impl SeparableModel {
         for i in 0..num_topics {
             let lo = i * primary_terms_per_topic;
             let primary: Vec<usize> = (lo..lo + primary_terms_per_topic).collect();
-            let topic = Topic::concentrated(
-                format!("topic-{i}"),
-                universe_size,
-                &primary,
-                1.0 - epsilon,
-            )
-            .expect("validated parameters construct a topic");
+            let topic =
+                Topic::concentrated(format!("topic-{i}"), universe_size, &primary, 1.0 - epsilon)
+                    .expect("validated parameters construct a topic");
             topics.push(topic);
             primary_sets.push(primary);
         }

@@ -11,30 +11,85 @@ pub const THEMES: &[(&str, &[&str])] = &[
     (
         "space-travel",
         &[
-            "galaxy", "starship", "orbit", "rocket", "astronaut", "launch", "module", "lunar",
-            "probe", "thruster", "cosmos", "satellite", "mission", "capsule", "telescope",
+            "galaxy",
+            "starship",
+            "orbit",
+            "rocket",
+            "astronaut",
+            "launch",
+            "module",
+            "lunar",
+            "probe",
+            "thruster",
+            "cosmos",
+            "satellite",
+            "mission",
+            "capsule",
+            "telescope",
             "nebula",
         ],
     ),
     (
         "automobiles",
         &[
-            "car", "automobile", "vehicle", "engine", "wheel", "highway", "driver", "gasoline",
-            "brake", "chassis", "transmission", "sedan", "mileage", "traffic", "garage", "tire",
+            "car",
+            "automobile",
+            "vehicle",
+            "engine",
+            "wheel",
+            "highway",
+            "driver",
+            "gasoline",
+            "brake",
+            "chassis",
+            "transmission",
+            "sedan",
+            "mileage",
+            "traffic",
+            "garage",
+            "tire",
         ],
     ),
     (
         "internet",
         &[
-            "search", "browser", "website", "server", "network", "protocol", "download", "email",
-            "hyperlink", "router", "bandwidth", "domain", "packet", "modem", "online", "webpage",
+            "search",
+            "browser",
+            "website",
+            "server",
+            "network",
+            "protocol",
+            "download",
+            "email",
+            "hyperlink",
+            "router",
+            "bandwidth",
+            "domain",
+            "packet",
+            "modem",
+            "online",
+            "webpage",
         ],
     ),
     (
         "finance",
         &[
-            "market", "stock", "bond", "dividend", "portfolio", "interest", "equity", "broker",
-            "asset", "liability", "futures", "hedge", "yield", "capital", "ledger", "audit",
+            "market",
+            "stock",
+            "bond",
+            "dividend",
+            "portfolio",
+            "interest",
+            "equity",
+            "broker",
+            "asset",
+            "liability",
+            "futures",
+            "hedge",
+            "yield",
+            "capital",
+            "ledger",
+            "audit",
         ],
     ),
 ];

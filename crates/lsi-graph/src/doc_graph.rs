@@ -189,12 +189,9 @@ mod tests {
         let model = SeparableModel::build(SeparableConfig::small(3, 0.05)).unwrap();
         let mut rng = lsi_linalg::rng::seeded(6);
         let corpus = model.model().sample_corpus(60, &mut rng);
-        let a = CsrMatrix::from_triplets(
-            corpus.universe_size(),
-            corpus.len(),
-            &corpus.to_triplets(),
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(corpus.universe_size(), corpus.len(), &corpus.to_triplets())
+                .unwrap();
         let truth: Vec<usize> = corpus
             .topic_labels()
             .iter()

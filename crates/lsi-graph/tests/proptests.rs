@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 
 use lsi_graph::{
-    adjusted_rand_index, conductance_of_set, cut_weight, min_conductance_exhaustive,
-    WeightedGraph,
+    adjusted_rand_index, conductance_of_set, cut_weight, min_conductance_exhaustive, WeightedGraph,
 };
 
 fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -15,17 +14,15 @@ fn rng(seed: u64) -> rand::rngs::StdRng {
 /// Strategy: a random weighted graph as an edge list.
 fn graph_strategy() -> impl Strategy<Value = WeightedGraph> {
     (3usize..10).prop_flat_map(|n| {
-        proptest::collection::vec(((0..n), (0..n), 0.1f64..5.0), 1..25).prop_map(
-            move |edges| {
-                let mut g = WeightedGraph::new(n);
-                for (u, v, w) in edges {
-                    if u != v {
-                        g.add_edge(u, v, w);
-                    }
+        proptest::collection::vec(((0..n), (0..n), 0.1f64..5.0), 1..25).prop_map(move |edges| {
+            let mut g = WeightedGraph::new(n);
+            for (u, v, w) in edges {
+                if u != v {
+                    g.add_edge(u, v, w);
                 }
-                g
-            },
-        )
+            }
+            g
+        })
     })
 }
 

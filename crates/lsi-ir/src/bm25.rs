@@ -178,12 +178,9 @@ mod tests {
     #[test]
     fn length_normalization_penalizes_long_docs() {
         // Same tf, one doc padded with another term.
-        let a = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 0, 2.0), (0, 1, 2.0), (1, 1, 20.0), (2, 2, 1.0)],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (0, 1, 2.0), (1, 1, 20.0), (2, 2, 1.0)])
+                .unwrap();
         let idx = Bm25Index::build(&a, Bm25Params::default());
         let r = idx.query(&[(0, 1.0)], 3);
         assert_eq!(r.hits()[0].doc, 0, "short doc should win: {r:?}");

@@ -190,8 +190,8 @@ mod tests {
     #[test]
     fn map_averages_queries() {
         let runs = vec![
-            (vec![0, 1], j(&[0])),     // AP 1.0
-            (vec![1, 0], j(&[0])),     // AP 0.5
+            (vec![0, 1], j(&[0])), // AP 1.0
+            (vec![1, 0], j(&[0])), // AP 0.5
         ];
         assert!((mean_average_precision(&runs) - 0.75).abs() < 1e-15);
         assert_eq!(mean_average_precision(&[]), 0.0);

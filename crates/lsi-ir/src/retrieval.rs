@@ -173,12 +173,9 @@ mod tests {
         //   doc0: t0=1, t1=1
         //   doc1: t1=2
         //   doc2: t2=3
-        let m = CsrMatrix::from_triplets(
-            4,
-            3,
-            &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(4, 3, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0)])
+                .unwrap();
         VectorSpaceIndex::build(&m)
     }
 

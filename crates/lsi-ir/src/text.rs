@@ -8,9 +8,9 @@
 
 /// A small default English stop-word list.
 pub const DEFAULT_STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "he", "in",
-    "is", "it", "its", "of", "on", "or", "she", "that", "the", "their", "they", "this", "to",
-    "was", "we", "were", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "he", "in", "is",
+    "it", "its", "of", "on", "or", "she", "that", "the", "their", "they", "this", "to", "was",
+    "we", "were", "will", "with",
 ];
 
 /// Tokenizer configuration.

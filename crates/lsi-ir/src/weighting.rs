@@ -55,7 +55,9 @@ impl Weighting {
         match self {
             Weighting::Count => {}
             Weighting::Binary => out.map_values_inplace(|v| if v > 0.0 { 1.0 } else { 0.0 }),
-            Weighting::LogTf => out.map_values_inplace(|v| if v > 0.0 { 1.0 + v.ln() } else { 0.0 }),
+            Weighting::LogTf => {
+                out.map_values_inplace(|v| if v > 0.0 { 1.0 + v.ln() } else { 0.0 })
+            }
             Weighting::TfIdf => {
                 let dfs = counts.row_nnz();
                 for (t, &df) in dfs.iter().enumerate() {

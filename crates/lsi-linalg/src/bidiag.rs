@@ -50,7 +50,9 @@ pub fn bidiagonalize(a: &Matrix) -> Result<Bidiagonal> {
         });
     }
     if !a.is_finite() {
-        return Err(LinalgError::NotFinite { op: "bidiagonalize" });
+        return Err(LinalgError::NotFinite {
+            op: "bidiagonalize",
+        });
     }
 
     let mut work = a.clone();

@@ -43,11 +43,7 @@ impl Matrix {
         if data.len() != rows * cols {
             return Err(LinalgError::InvalidDimension {
                 op: "from_vec",
-                detail: format!(
-                    "data length {} != rows*cols = {}",
-                    data.len(),
-                    rows * cols
-                ),
+                detail: format!("data length {} != rows*cols = {}", data.len(), rows * cols),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -67,7 +63,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds a `rows × cols` matrix whose `(i, j)` entry is `f(i, j)`.
@@ -145,7 +145,9 @@ impl Matrix {
     /// transpose once instead.
     pub fn col(&self, j: usize) -> Vec<f64> {
         debug_assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Overwrites column `j` with `v`.
@@ -262,7 +264,12 @@ impl Matrix {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
 
-    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::ShapeMismatch {
                 op,

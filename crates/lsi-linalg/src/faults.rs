@@ -1,0 +1,380 @@
+//! Seeded fault injection for linear operators.
+//!
+//! [`FaultyOperator`] wraps any [`LinearOperator`] and corrupts its
+//! matrix–vector products according to a [`FaultPlan`]: NaN injection,
+//! zeroed columns, magnitude spikes, or a simulated hard breakdown. Every
+//! corruption is a deterministic function of the plan's seed and the
+//! operator's global apply counter, so a failing run reproduces exactly.
+//!
+//! Faults are *windowed* over the apply counter (each [`apply`] or
+//! [`apply_transpose`] call increments it once): a window covering only the
+//! first few products models a transient fault that a retrying solver can
+//! ride out, while an unbounded window models a persistently corrupted
+//! operator that every backend must fail on — loudly, with a typed error.
+//!
+//! This module exists to *test* the resilient solve driver in
+//! [`crate::solver`]; production code paths never construct a
+//! [`FaultyOperator`].
+//!
+//! [`apply`]: LinearOperator::apply
+//! [`apply_transpose`]: LinearOperator::apply_transpose
+
+use std::cell::Cell;
+
+use rand::Rng;
+
+use crate::error::LinalgError;
+use crate::operator::LinearOperator;
+use crate::rng::seeded;
+use crate::Result;
+
+/// One way a matrix–vector product can be corrupted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Each output entry is independently replaced by NaN with the given
+    /// probability (at least one entry is always hit while the fault is
+    /// active, so a tiny probability still injects).
+    NanInjection {
+        /// Per-entry corruption probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// The operator behaves as if column `column` of the underlying matrix
+    /// were zero: forward products ignore `x[column]`, transpose products
+    /// zero `y[column]`. Out-of-range columns are ignored.
+    ZeroColumn {
+        /// Index of the column to suppress.
+        column: usize,
+    },
+    /// Each output entry is independently multiplied by `scale` with the
+    /// given probability (at least one entry is always hit while active),
+    /// modelling bit-flip-like magnitude excursions.
+    MagnitudeSpike {
+        /// Multiplier applied to corrupted entries (e.g. `1e150`).
+        scale: f64,
+        /// Per-entry corruption probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// The product fails outright with [`LinalgError::NotFinite`],
+    /// simulating a hard numerical breakdown inside the kernel.
+    Breakdown,
+}
+
+/// A [`FaultKind`] active over a window of apply-counter values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// What corruption to apply.
+    pub kind: FaultKind,
+    /// First apply index (inclusive) at which the fault is active.
+    pub from_apply: usize,
+    /// Last apply index (exclusive); use `usize::MAX` for a persistent
+    /// fault.
+    pub until_apply: usize,
+}
+
+impl Fault {
+    fn active(&self, apply_index: usize) -> bool {
+        (self.from_apply..self.until_apply).contains(&apply_index)
+    }
+}
+
+/// A seeded, ordered set of faults to inject into an operator.
+///
+/// # Examples
+///
+/// ```
+/// use lsi_linalg::faults::{FaultKind, FaultPlan, FaultyOperator};
+/// use lsi_linalg::{LinearOperator, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// // NaNs in the first 2 products, clean afterwards.
+/// let plan = FaultPlan::new(7).with_fault(
+///     FaultKind::NanInjection { probability: 0.5 },
+///     0,
+///     2,
+/// );
+/// let faulty = FaultyOperator::new(&a, plan);
+/// let y = faulty.apply(&[1.0, 1.0]).unwrap();
+/// assert!(y.iter().any(|v| v.is_nan()));
+/// // After the window closes the operator is clean again.
+/// faulty.apply(&[1.0, 1.0]).unwrap();
+/// let clean = faulty.apply(&[1.0, 1.0]).unwrap();
+/// assert!(clean.iter().all(|v| v.is_finite()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed from which every stochastic corruption is derived.
+    pub seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault active on apply indices `[from_apply, until_apply)`.
+    pub fn with_fault(mut self, kind: FaultKind, from_apply: usize, until_apply: usize) -> Self {
+        self.faults.push(Fault {
+            kind,
+            from_apply,
+            until_apply,
+        });
+        self
+    }
+
+    /// The configured faults, in injection order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True when no fault is ever active.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// A [`LinearOperator`] whose products are corrupted per a [`FaultPlan`].
+///
+/// The wrapper keeps a global apply counter (shared between forward and
+/// transpose products, and therefore also advanced by
+/// [`LinearOperator::to_dense`], which is built from forward products) so
+/// fault windows line up with "step N" of whatever algorithm is driving the
+/// operator.
+#[derive(Debug)]
+pub struct FaultyOperator<'a, Op: LinearOperator + ?Sized> {
+    inner: &'a Op,
+    plan: FaultPlan,
+    applies: Cell<usize>,
+}
+
+impl<'a, Op: LinearOperator + ?Sized> FaultyOperator<'a, Op> {
+    /// Wraps `inner`, corrupting its products according to `plan`.
+    pub fn new(inner: &'a Op, plan: FaultPlan) -> Self {
+        FaultyOperator {
+            inner,
+            plan,
+            applies: Cell::new(0),
+        }
+    }
+
+    /// Total products (forward + transpose) performed so far.
+    pub fn applies(&self) -> usize {
+        self.applies.get()
+    }
+
+    /// The injection plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Corrupts `out` in place per every fault active at `idx`. `transpose`
+    /// selects which side a [`FaultKind::ZeroColumn`] masks.
+    fn corrupt(&self, out: &mut [f64], idx: usize, transpose: bool) -> Result<()> {
+        for fault in &self.plan.faults {
+            if !fault.active(idx) {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::Breakdown => {
+                    return Err(LinalgError::NotFinite {
+                        op: "faulty_operator::breakdown",
+                    });
+                }
+                FaultKind::NanInjection { probability } => {
+                    corrupt_entries(out, self.plan.seed, idx, probability, |_| f64::NAN);
+                }
+                FaultKind::MagnitudeSpike { scale, probability } => {
+                    corrupt_entries(out, self.plan.seed, idx, probability, |x| x * scale);
+                }
+                FaultKind::ZeroColumn { column } => {
+                    // Transpose output lives in column space; the forward
+                    // side is handled by masking the input instead.
+                    if transpose {
+                        if let Some(v) = out.get_mut(column) {
+                            *v = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Input mask for forward products: zeroes coordinates of `x` that a
+    /// [`FaultKind::ZeroColumn`] active at `idx` suppresses.
+    fn masked_input(&self, x: &[f64], idx: usize) -> Option<Vec<f64>> {
+        let mut masked: Option<Vec<f64>> = None;
+        for fault in &self.plan.faults {
+            if let FaultKind::ZeroColumn { column } = fault.kind {
+                if fault.active(idx) && column < x.len() {
+                    let m = masked.get_or_insert_with(|| x.to_vec());
+                    m[column] = 0.0;
+                }
+            }
+        }
+        masked
+    }
+
+    fn next_index(&self) -> usize {
+        let idx = self.applies.get();
+        self.applies.set(idx + 1);
+        idx
+    }
+}
+
+/// Applies `f` to each entry independently with probability `p`, forcing at
+/// least one hit. Deterministic in `(seed, apply_index)`.
+fn corrupt_entries(out: &mut [f64], seed: u64, apply_index: usize, p: f64, f: impl Fn(f64) -> f64) {
+    if out.is_empty() {
+        return;
+    }
+    // SplitMix64-style mix so nearby apply indices get unrelated streams.
+    let mixed = seed ^ (apply_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut rng = seeded(mixed);
+    let forced = rng.gen_range(0..out.len());
+    for (i, v) in out.iter_mut().enumerate() {
+        if i == forced || rng.gen_bool(p.clamp(0.0, 1.0)) {
+            *v = f(*v);
+        }
+    }
+}
+
+impl<Op: LinearOperator + ?Sized> LinearOperator for FaultyOperator<'_, Op> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let idx = self.next_index();
+        let mut y = match self.masked_input(x, idx) {
+            Some(masked) => self.inner.apply(&masked)?,
+            None => self.inner.apply(x)?,
+        };
+        self.corrupt(&mut y, idx, false)?;
+        Ok(y)
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let idx = self.next_index();
+        let mut y = self.inner.apply_transpose(x)?;
+        self.corrupt(&mut y, idx, true)?;
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Matrix;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let a = sample();
+        let f = FaultyOperator::new(&a, FaultPlan::new(1));
+        let x = vec![1.0, -1.0, 0.5];
+        assert_eq!(f.apply(&x).unwrap(), a.matvec(&x).unwrap());
+        let y = vec![2.0, -3.0];
+        assert_eq!(
+            f.apply_transpose(&y).unwrap(),
+            a.matvec_transpose(&y).unwrap()
+        );
+        assert_eq!(f.applies(), 2);
+    }
+
+    #[test]
+    fn nan_injection_hits_within_window_only() {
+        let a = sample();
+        let plan = FaultPlan::new(3).with_fault(FaultKind::NanInjection { probability: 0.0 }, 1, 2);
+        let f = FaultyOperator::new(&a, plan);
+        let x = vec![1.0, 1.0, 1.0];
+        assert!(f.apply(&x).unwrap().iter().all(|v| v.is_finite()));
+        // Even probability 0.0 forces one hit while active.
+        assert!(f.apply(&x).unwrap().iter().any(|v| v.is_nan()));
+        assert!(f.apply(&x).unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nan_injection_is_deterministic_in_seed() {
+        let a = sample();
+        let mk = || {
+            let plan =
+                FaultPlan::new(9).with_fault(FaultKind::NanInjection { probability: 0.4 }, 0, 10);
+            FaultyOperator::new(&a, plan)
+        };
+        let (f, g) = (mk(), mk());
+        let x = vec![1.0, 2.0, 3.0];
+        for _ in 0..5 {
+            let yf = f.apply(&x).unwrap();
+            let yg = g.apply(&x).unwrap();
+            let nf: Vec<bool> = yf.iter().map(|v| v.is_nan()).collect();
+            let ng: Vec<bool> = yg.iter().map(|v| v.is_nan()).collect();
+            assert_eq!(nf, ng);
+        }
+    }
+
+    #[test]
+    fn zero_column_masks_both_directions() {
+        let a = sample();
+        let plan = FaultPlan::new(0).with_fault(FaultKind::ZeroColumn { column: 1 }, 0, usize::MAX);
+        let f = FaultyOperator::new(&a, plan);
+        // Forward: x[1] is ignored.
+        let y = f.apply(&[0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(y, vec![0.0, 0.0]);
+        // Transpose: output coordinate 1 is zeroed.
+        let t = f.apply_transpose(&[1.0, 0.0]).unwrap();
+        assert_eq!(t[1], 0.0);
+        assert_eq!(t[0], 1.0);
+        assert_eq!(t[2], 3.0);
+    }
+
+    #[test]
+    fn magnitude_spike_scales_entries() {
+        let a = sample();
+        let plan = FaultPlan::new(5).with_fault(
+            FaultKind::MagnitudeSpike {
+                scale: 1e100,
+                probability: 0.0,
+            },
+            0,
+            1,
+        );
+        let f = FaultyOperator::new(&a, plan);
+        let y = f.apply(&[1.0, 1.0, 1.0]).unwrap();
+        assert!(y.iter().any(|v| v.abs() >= 1e99));
+    }
+
+    #[test]
+    fn breakdown_returns_typed_error() {
+        let a = sample();
+        let plan = FaultPlan::new(0).with_fault(FaultKind::Breakdown, 2, 3);
+        let f = FaultyOperator::new(&a, plan);
+        let x = vec![1.0, 1.0, 1.0];
+        assert!(f.apply(&x).is_ok());
+        assert!(f.apply(&x).is_ok());
+        assert!(matches!(f.apply(&x), Err(LinalgError::NotFinite { .. })));
+        // Counter still advanced: the window has passed.
+        assert!(f.apply(&x).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_zero_column_is_ignored() {
+        let a = sample();
+        let plan =
+            FaultPlan::new(0).with_fault(FaultKind::ZeroColumn { column: 99 }, 0, usize::MAX);
+        let f = FaultyOperator::new(&a, plan);
+        let x = vec![1.0, 1.0, 1.0];
+        assert_eq!(f.apply(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+}

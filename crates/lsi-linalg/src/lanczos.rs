@@ -21,13 +21,20 @@ use crate::vector;
 use crate::Result;
 
 /// Options for [`lanczos_svd`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LanczosOptions {
     /// Seed for the random start vector.
     pub seed: u64,
     /// Relative residual tolerance for declaring a Ritz triplet converged.
     pub tol: f64,
     /// Hard cap on Lanczos steps (defaults to `min(m, n)` if larger).
+    ///
+    /// When the cap is *below* `min(m, n)` and the leading `k` Ritz triplets
+    /// have not met [`tol`](Self::tol) by the time the cap is reached,
+    /// [`lanczos_svd`] returns [`LinalgError::NoConvergence`] carrying the
+    /// number of steps taken, rather than silently growing the Krylov space
+    /// to the full dimension. A cap of `min(m, n)` (or more) never fails this
+    /// way: the full Krylov space reproduces the SVD exactly.
     pub max_steps: usize,
 }
 
@@ -148,6 +155,17 @@ pub fn lanczos_svd<Op: LinearOperator + ?Sized>(
     k: usize,
     opts: &LanczosOptions,
 ) -> Result<TruncatedSvd> {
+    lanczos_svd_detailed(a, k, opts).map(|(f, _)| f)
+}
+
+/// Like [`lanczos_svd`], additionally reporting the number of Lanczos steps
+/// performed — the iteration count recorded by the resilient solve driver's
+/// [`SolveReport`](crate::solver::SolveReport).
+pub fn lanczos_svd_detailed<Op: LinearOperator + ?Sized>(
+    a: &Op,
+    k: usize,
+    opts: &LanczosOptions,
+) -> Result<(TruncatedSvd, usize)> {
     let (m, n) = (a.nrows(), a.ncols());
     let p = m.min(n);
     if k == 0 || k > p {
@@ -173,17 +191,29 @@ pub fn lanczos_svd<Op: LinearOperator + ?Sized>(
             break f;
         }
         let last_beta = state.betas.get(s - 1).copied().unwrap_or(0.0);
-        let converged = state.exhausted
-            || s >= cap
-            || (0..k.min(f.len())).all(|i| {
-                let sigma = f.singular_values[i];
-                // True GKL residual: ‖Aᵀũᵢ − σᵢṽᵢ‖ = β_s · |p_i[s−1]|,
-                // the last entry of the *left* small singular vector.
-                let resid = last_beta * f.u[(s - 1, i)].abs();
-                resid <= opts.tol * sigma.max(f64::MIN_POSITIVE)
-            });
-        if converged && f.len() >= k.min(s) {
+        let ritz_ok = (0..k.min(f.len())).all(|i| {
+            let sigma = f.singular_values[i];
+            // True GKL residual: ‖Aᵀũᵢ − σᵢṽᵢ‖ = β_s · |p_i[s−1]|,
+            // the last entry of the *left* small singular vector.
+            let resid = last_beta * f.u[(s - 1, i)].abs();
+            resid <= opts.tol * sigma.max(f64::MIN_POSITIVE)
+        });
+        if (state.exhausted || ritz_ok) && f.len() >= k.min(s) {
             break f;
+        }
+        if s >= cap {
+            if cap >= p {
+                // Full Krylov space: the projected problem is the whole
+                // problem, so the factors are exact regardless of the Ritz
+                // residual estimate.
+                break f;
+            }
+            // The caller's step budget ran out before the leading triplets
+            // met tolerance: refuse to hand back unconverged factors.
+            return Err(LinalgError::NoConvergence {
+                op: "lanczos_svd",
+                iterations: s,
+            });
         }
         target = (target + target / 2 + 8).min(cap);
     };
@@ -229,11 +259,14 @@ pub fn lanczos_svd<Op: LinearOperator + ?Sized>(
         }
     }
 
-    Ok(TruncatedSvd {
-        u,
-        singular_values,
-        vt,
-    })
+    Ok((
+        TruncatedSvd {
+            u,
+            singular_values,
+            vt,
+        },
+        s,
+    ))
 }
 
 #[cfg(test)]
@@ -290,9 +323,7 @@ mod tests {
         let via_sparse = lanczos_svd(&sp, 4, &opts()).unwrap();
         let via_dense = svd(&dense_m).unwrap();
         for i in 0..4 {
-            assert!(
-                (via_sparse.singular_values[i] - via_dense.singular_values[i]).abs() < 1e-8
-            );
+            assert!((via_sparse.singular_values[i] - via_dense.singular_values[i]).abs() < 1e-8);
         }
     }
 
@@ -347,6 +378,54 @@ mod tests {
     }
 
     #[test]
+    fn lanczos_max_steps_budget_reports_no_convergence() {
+        // A flat spectrum with a tight tolerance cannot converge in a
+        // handful of steps; the budget must surface as NoConvergence with
+        // the steps actually taken, not as silently unconverged factors.
+        let mut rng = seeded(17);
+        let a = gaussian_matrix(&mut rng, 60, 50);
+        let tight = LanczosOptions {
+            tol: 1e-14,
+            max_steps: 6,
+            ..LanczosOptions::default()
+        };
+        match lanczos_svd(&a, 5, &tight) {
+            Err(crate::LinalgError::NoConvergence { op, iterations }) => {
+                assert_eq!(op, "lanczos_svd");
+                assert!(iterations <= 6, "iterations {iterations}");
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lanczos_max_steps_at_full_dimension_is_exact() {
+        // A budget of min(m, n) spans the whole space, so even an
+        // unreachable tolerance yields exact factors rather than an error.
+        let mut rng = seeded(18);
+        let a = gaussian_matrix(&mut rng, 12, 9);
+        let opts = LanczosOptions {
+            tol: 0.0,
+            max_steps: 9,
+            ..LanczosOptions::default()
+        };
+        let f = lanczos_svd(&a, 3, &opts).unwrap();
+        let dense = svd(&a).unwrap();
+        for i in 0..3 {
+            assert!((f.singular_values[i] - dense.singular_values[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lanczos_detailed_reports_steps() {
+        let mut rng = seeded(19);
+        let a = gaussian_matrix(&mut rng, 20, 15);
+        let (f, steps) = lanczos_svd_detailed(&a, 3, &opts()).unwrap();
+        assert!((3..=15).contains(&steps), "steps {steps}");
+        assert!(f.singular_values[0] > 0.0);
+    }
+
+    #[test]
     fn lanczos_clustered_spectrum() {
         // Nearly-equal leading singular values stress convergence detection.
         let mut rng = seeded(91);
@@ -366,5 +445,3 @@ mod tests {
         }
     }
 }
-
-

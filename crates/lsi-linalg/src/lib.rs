@@ -22,6 +22,11 @@
 //! * [`randomized`] — Halko-style randomized truncated SVD, the modern
 //!   descendant of the paper's random-projection idea, kept as an ablation
 //!   backend.
+//! * [`solver`] — the resilient truncated-SVD driver: ordered backend
+//!   attempts with escalating options, input-finiteness guards, post-hoc
+//!   factor verification, and a per-attempt [`solver::SolveReport`].
+//! * [`faults`] — seeded fault injection ([`faults::FaultyOperator`]) for
+//!   exercising the driver's fallback and verification paths.
 //! * [`rng`] — seeded Gaussian sampling and random orthonormal matrices.
 //!
 //! All routines are deterministic given their inputs (and, where relevant, a
@@ -42,12 +47,14 @@ pub mod bidiag;
 pub mod dense;
 pub mod eigen;
 pub mod error;
+pub mod faults;
 pub mod lanczos;
 pub mod norms;
 pub mod operator;
 pub mod qr;
 pub mod randomized;
 pub mod rng;
+pub mod solver;
 pub mod sparse;
 pub mod svd;
 pub mod vector;

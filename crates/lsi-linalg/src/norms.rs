@@ -40,7 +40,11 @@ pub fn inf_norm(a: &Matrix) -> f64 {
 /// Deterministic: the starting vector is the all-ones vector plus a small
 /// index-dependent perturbation, which is almost never orthogonal to the top
 /// singular vector in practice; the iteration cap guards the exception.
-pub fn spectral_norm<Op: LinearOperator + ?Sized>(a: &Op, tol: f64, max_iter: usize) -> Result<f64> {
+pub fn spectral_norm<Op: LinearOperator + ?Sized>(
+    a: &Op,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
     let n = a.ncols();
     if n == 0 || a.nrows() == 0 {
         return Ok(0.0);

@@ -147,7 +147,10 @@ mod tests {
     fn dense_operator_matches_matvec() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
         let x = vec![1.0, -1.0];
-        assert_eq!(LinearOperator::apply(&a, &x).unwrap(), a.matvec(&x).unwrap());
+        assert_eq!(
+            LinearOperator::apply(&a, &x).unwrap(),
+            a.matvec(&x).unwrap()
+        );
         let y = vec![1.0, 0.0, -1.0];
         assert_eq!(
             LinearOperator::apply_transpose(&a, &y).unwrap(),

@@ -15,7 +15,7 @@ use crate::svd::{svd, TruncatedSvd};
 use crate::Result;
 
 /// Options for [`randomized_svd`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomizedSvdOptions {
     /// Oversampling: the sketch has `k + oversample` columns.
     pub oversample: usize,

@@ -43,7 +43,8 @@ pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
 pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
     let mut data = vec![0.0; rows * cols];
     fill_standard_normal(rng, &mut data);
-    Matrix::from_vec(rows, cols, data).expect("gaussian_matrix: data length matches by construction")
+    Matrix::from_vec(rows, cols, data)
+        .expect("gaussian_matrix: data length matches by construction")
 }
 
 /// A random `n × l` column-orthonormal matrix: the Q factor of a Gaussian

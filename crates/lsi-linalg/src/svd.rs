@@ -488,7 +488,15 @@ mod tests {
     #[test]
     fn svd_random_shapes() {
         let mut rng = seeded(31);
-        for &(m, n) in &[(6usize, 6usize), (10, 4), (4, 10), (1, 5), (5, 1), (2, 2), (20, 7)] {
+        for &(m, n) in &[
+            (6usize, 6usize),
+            (10, 4),
+            (4, 10),
+            (1, 5),
+            (5, 1),
+            (2, 2),
+            (20, 7),
+        ] {
             let a = gaussian_matrix(&mut rng, m, n);
             check_svd(&a, 1e-10);
         }
@@ -584,10 +592,7 @@ mod tests {
         let a = u.matmul(&svt).unwrap();
         let f = svd(&a).unwrap();
         for (got, want) in f.singular_values.iter().zip(&s_true) {
-            assert!(
-                (got - want).abs() <= 1e-9 * 1e6,
-                "got {got}, want {want}"
-            );
+            assert!((got - want).abs() <= 1e-9 * 1e6, "got {got}, want {want}");
         }
     }
 

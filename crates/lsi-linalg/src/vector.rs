@@ -201,10 +201,7 @@ mod tests {
 
     #[test]
     fn angle_zero_vector_convention() {
-        assert_eq!(
-            angle(&[0.0, 0.0], &[1.0, 0.0]),
-            std::f64::consts::FRAC_PI_2
-        );
+        assert_eq!(angle(&[0.0, 0.0], &[1.0, 0.0]), std::f64::consts::FRAC_PI_2);
     }
 
     #[test]

@@ -14,7 +14,10 @@ fn check_svd(a: &Matrix, rel_tol: f64, label: &str) {
     let scale = frobenius(a).max(1.0);
     let rec = f.reconstruct().expect("shapes agree");
     let err = rec.max_abs_diff(a).expect("same shape");
-    assert!(err <= rel_tol * scale, "{label}: reconstruction error {err}");
+    assert!(
+        err <= rel_tol * scale,
+        "{label}: reconstruction error {err}"
+    );
     assert!(
         orthonormality_error(&f.u) < 1e-9,
         "{label}: U not orthonormal"

@@ -92,13 +92,7 @@ impl RandomProjection {
             }
             ProjectionKind::SignsAchlioptas => {
                 let scale = 1.0 / (l as f64).sqrt();
-                Matrix::from_fn(l, n, |_, _| {
-                    if rng.gen::<bool>() {
-                        scale
-                    } else {
-                        -scale
-                    }
-                })
+                Matrix::from_fn(l, n, |_, _| if rng.gen::<bool>() { scale } else { -scale })
             }
             ProjectionKind::SparseAchlioptas => {
                 let scale = (3.0 / l as f64).sqrt();

@@ -52,7 +52,12 @@ impl FkvResult {
 /// * `s` — number of column samples, `k ≤ s ≤ m` recommended (the bound
 ///   needs `s = poly(k, 1/ε)`; sampling *with replacement* is the
 ///   algorithm's own semantics, so `s > m` is permitted but wasteful).
-pub fn fkv_low_rank(a: &CsrMatrix, k: usize, s: usize, seed: u64) -> Result<FkvResult, LinalgError> {
+pub fn fkv_low_rank(
+    a: &CsrMatrix,
+    k: usize,
+    s: usize,
+    seed: u64,
+) -> Result<FkvResult, LinalgError> {
     let (n, m) = (a.nrows(), a.ncols());
     if k == 0 || s < k || m == 0 || n == 0 {
         return Err(LinalgError::InvalidDimension {

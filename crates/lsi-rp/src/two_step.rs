@@ -150,7 +150,8 @@ mod tests {
         let a = corpus_matrix(1, 3, 30);
         assert!(two_step_lsi(&a, 0, 10, ProjectionKind::GaussianIid, 1).is_err());
         assert!(two_step_lsi(&a, 6, 10, ProjectionKind::GaussianIid, 1).is_err()); // 2k > l
-        assert!(two_step_lsi(&a, 3, 1000, ProjectionKind::GaussianIid, 1).is_err()); // l > n
+        assert!(two_step_lsi(&a, 3, 1000, ProjectionKind::GaussianIid, 1).is_err());
+        // l > n
     }
 
     #[test]

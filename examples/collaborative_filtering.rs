@@ -38,8 +38,8 @@ fn main() {
         }
     }
     // Rows = movies ("terms"), columns = viewers ("documents").
-    let td = TermDocumentMatrix::from_triplets(n_movies, n_viewers, &triplets)
-        .expect("valid ratings");
+    let td =
+        TermDocumentMatrix::from_triplets(n_movies, n_viewers, &triplets).expect("valid ratings");
     println!(
         "ratings matrix: {} movies x {} viewers, {} ratings",
         n_movies,
@@ -59,8 +59,7 @@ fn main() {
         }
     }
     let truth: Vec<usize> = (0..n_viewers).map(|v| v / VIEWERS_PER_GROUP).collect();
-    let labels =
-        spectral_partition(&g, GENRES.len(), &mut seeded(7)).expect("k <= viewer count");
+    let labels = spectral_partition(&g, GENRES.len(), &mut seeded(7)).expect("k <= viewer count");
     let ari = adjusted_rand_index(&labels, &truth);
     println!("\nspectral taste-group recovery (Theorem 6): ARI = {ari:.3}");
 

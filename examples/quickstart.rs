@@ -24,8 +24,8 @@ fn main() {
 
     let tokenizer = Tokenizer::default();
     let mut dict = Dictionary::new();
-    let td = TermDocumentMatrix::from_text(&docs, &tokenizer, &mut dict)
-        .expect("corpus builds cleanly");
+    let td =
+        TermDocumentMatrix::from_text(&docs, &tokenizer, &mut dict).expect("corpus builds cleanly");
     println!(
         "indexed {} documents over {} distinct terms",
         td.n_docs(),
@@ -63,10 +63,8 @@ fn main() {
     let car = dict.id("car").expect("term in vocabulary");
     let dense = td.to_dense();
     let raw_cos = lsi_repro::linalg::vector::cosine(dense.row(car), dense.row(query_term));
-    let lsi_cos = lsi_repro::linalg::vector::cosine(
-        &lsi.term_vector(car),
-        &lsi.term_vector(query_term),
-    );
+    let lsi_cos =
+        lsi_repro::linalg::vector::cosine(&lsi.term_vector(car), &lsi.term_vector(query_term));
     println!("\nterm similarity car ~ automobile:");
     println!("  raw term space: {raw_cos:.3}");
     println!("  LSI space:      {lsi_cos:.3}");

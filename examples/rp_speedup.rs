@@ -47,10 +47,7 @@ fn main() {
     let head: f64 = direct.singular_values.iter().map(|s| s * s).sum();
     let direct_err = (total_sq - head).max(0.0);
     println!("\ndirect rank-{k} Lanczos LSI:    {direct_secs:.3}s");
-    println!(
-        "  captured Frobenius mass: {:.2}%",
-        100.0 * head / total_sq
-    );
+    println!("  captured Frobenius mass: {:.2}%", 100.0 * head / total_sq);
 
     // Two-step pipeline at a few projection dimensions.
     println!("\ntwo-step RP + rank-2k LSI (Theorem 5):");

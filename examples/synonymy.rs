@@ -31,8 +31,8 @@ fn main() {
     // Two authorship styles (Definition 3): plain keeps "car"; formal
     // rewrites every "car" to "automobile". Each document draws one style.
     let plain = Style::identity(universe);
-    let formal = Style::substitutions("formal", universe, &[(CAR, AUTOMOBILE, 1.0)])
-        .expect("valid style");
+    let formal =
+        Style::substitutions("formal", universe, &[(CAR, AUTOMOBILE, 1.0)]).expect("valid style");
 
     let model = CorpusModel::new(
         universe,
@@ -70,8 +70,7 @@ fn main() {
     )
     .expect("rank 2 feasible");
 
-    let report = analyze_synonym_pair(&td.to_dense(), &index, CAR, AUTOMOBILE)
-        .expect("valid pair");
+    let report = analyze_synonym_pair(&td.to_dense(), &index, CAR, AUTOMOBILE).expect("valid pair");
 
     println!("\nspectral analysis of the term-term matrix A·Aᵀ:");
     println!(

@@ -8,8 +8,8 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
 
-pub use lsi_corpus as corpus;
 pub use lsi_core as core;
+pub use lsi_corpus as corpus;
 pub use lsi_graph as graph;
 pub use lsi_ir as ir;
 pub use lsi_linalg as linalg;

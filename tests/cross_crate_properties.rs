@@ -12,10 +12,10 @@ use lsi_repro::linalg::rng::seeded;
 /// Strategy: a small but varied separable-corpus configuration.
 fn config_strategy() -> impl Strategy<Value = (SeparableConfig, usize, u64)> {
     (
-        2usize..6,           // topics
-        8usize..25,          // primary terms per topic
-        0.0f64..0.3,         // epsilon
-        30usize..80,         // documents
+        2usize..6,   // topics
+        8usize..25,  // primary terms per topic
+        0.0f64..0.3, // epsilon
+        30usize..80, // documents
         proptest::num::u64::ANY,
     )
         .prop_map(|(k, s, eps, m, seed)| {

@@ -29,7 +29,8 @@ fn lsi_build_is_deterministic() {
     let y = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
     assert_eq!(x.singular_values(), y.singular_values());
     assert_eq!(
-        x.doc_representations().max_abs_diff(y.doc_representations()),
+        x.doc_representations()
+            .max_abs_diff(y.doc_representations()),
         Some(0.0)
     );
 }

@@ -97,10 +97,7 @@ fn skew_is_order_epsilon() {
         let skew = measure_skew(index.doc_representations(), &labels).expect("enough docs");
         deltas.push(skew.delta);
     }
-    assert!(
-        deltas[2] > deltas[0],
-        "no growth with epsilon: {deltas:?}"
-    );
+    assert!(deltas[2] > deltas[0], "no growth with epsilon: {deltas:?}");
     assert!(deltas[2] < 0.8, "skew blew up: {deltas:?}");
 }
 

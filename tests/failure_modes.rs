@@ -1,7 +1,7 @@
 //! Integration: failure injection — degenerate inputs must produce errors
 //! or defined results, never panics.
 
-use lsi_repro::core::{LsiConfig, LsiError, LsiIndex};
+use lsi_repro::core::{BuildStatus, LsiConfig, LsiError, LsiIndex, SvdBackend};
 use lsi_repro::corpus::{CorpusModel, DocumentLaw, SeparableConfig, SeparableModel, Topic};
 use lsi_repro::ir::{TermDocumentMatrix, VectorSpaceIndex, Weighting};
 use lsi_repro::linalg::lanczos::{lanczos_svd, LanczosOptions};
@@ -97,9 +97,7 @@ fn corpus_model_validation_surfaces_errors() {
 
 #[test]
 fn svd_of_extreme_values_stays_finite() {
-    let a = Matrix::from_fn(6, 5, |i, j| {
-        if (i + j) % 2 == 0 { 1e150 } else { 1e-150 }
-    });
+    let a = Matrix::from_fn(6, 5, |i, j| if (i + j) % 2 == 0 { 1e150 } else { 1e-150 });
     let f = svd(&a.scaled(1e-140)).unwrap(); // pre-scale to avoid overflow in products
     assert!(f.singular_values.iter().all(|s| s.is_finite()));
     let g = svd(&a.scaled(1e-160));
@@ -114,6 +112,110 @@ fn lanczos_k_larger_than_rank_pads() {
     assert!(f.singular_values[0] > 0.0);
     for i in 1..5 {
         assert_eq!(f.singular_values[i], 0.0, "σ_{i}");
+    }
+}
+
+/// One config per SVD backend, at the given rank.
+fn all_backend_configs(rank: usize) -> Vec<LsiConfig> {
+    [
+        SvdBackend::Dense,
+        SvdBackend::Lanczos(Default::default()),
+        SvdBackend::Randomized(Default::default()),
+    ]
+    .into_iter()
+    .map(|backend| LsiConfig {
+        rank,
+        weighting: Weighting::Count,
+        backend,
+    })
+    .collect()
+}
+
+#[test]
+fn nan_counts_yield_typed_errors_on_every_backend() {
+    // CSR accepts NaN values; the solver's input guards must catch them
+    // before any backend runs, on every starting backend.
+    let td = TermDocumentMatrix::from_triplets(5, 4, &[(0, 0, f64::NAN), (1, 1, 1.0), (2, 2, 3.0)])
+        .unwrap();
+    for cfg in all_backend_configs(2) {
+        let name = cfg.backend.name();
+        match LsiIndex::build(&td, cfg) {
+            Err(LsiError::SolverExhausted(report)) => {
+                assert!(report.succeeded.is_none(), "backend {name}");
+                assert!(!report.attempts.is_empty(), "backend {name}");
+            }
+            Ok(_) => panic!("backend {name} accepted NaN counts"),
+            Err(e) => panic!("backend {name}: unexpected error kind {e}"),
+        }
+    }
+}
+
+#[test]
+fn all_zero_matrix_builds_on_every_backend() {
+    let td = TermDocumentMatrix::from_triplets(8, 6, &[]).unwrap();
+    for cfg in all_backend_configs(2) {
+        let name = cfg.backend.name();
+        let idx = LsiIndex::build(&td, cfg).unwrap_or_else(|e| panic!("backend {name}: {e}"));
+        assert!(
+            idx.singular_values().iter().all(|&s| s == 0.0),
+            "backend {name}"
+        );
+        assert!(idx.query(&[(0, 1.0)], 3).is_empty(), "backend {name}");
+        assert_eq!(
+            idx.build_status(),
+            BuildStatus::Degraded { achieved_rank: 0 },
+            "backend {name}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_documents_degrade_gracefully_on_every_backend() {
+    let trips: Vec<(usize, usize, f64)> = (0..6)
+        .flat_map(|j| vec![(0, j, 2.0), (1, j, 1.0)])
+        .collect();
+    let td = TermDocumentMatrix::from_triplets(4, 6, &trips).unwrap();
+    for cfg in all_backend_configs(3) {
+        let name = cfg.backend.name();
+        let idx = LsiIndex::build(&td, cfg).unwrap_or_else(|e| panic!("backend {name}: {e}"));
+        assert!(idx.singular_values()[0] > 0.0, "backend {name}");
+        assert_eq!(
+            idx.build_status(),
+            BuildStatus::Degraded { achieved_rank: 1 },
+            "backend {name}"
+        );
+        assert!((idx.doc_cosine(0, 5) - 1.0).abs() < 1e-9, "backend {name}");
+    }
+}
+
+#[test]
+fn rank_above_true_rank_pads_on_every_backend() {
+    // Rank-2 matrix, rank-4 request: two live triplets, two zero-padded.
+    let td = TermDocumentMatrix::from_triplets(
+        6,
+        5,
+        &[
+            (0, 0, 3.0),
+            (1, 0, 1.0),
+            (2, 1, 2.0),
+            (0, 2, 3.0),
+            (1, 2, 1.0),
+            (2, 3, 2.0),
+        ],
+    )
+    .unwrap();
+    for cfg in all_backend_configs(4) {
+        let name = cfg.backend.name();
+        let idx = LsiIndex::build(&td, cfg).unwrap_or_else(|e| panic!("backend {name}: {e}"));
+        let sv = idx.singular_values();
+        assert!(sv[0] > 0.0 && sv[1] > 0.0, "backend {name}: {sv:?}");
+        assert_eq!(sv[2], 0.0, "backend {name}: {sv:?}");
+        assert_eq!(sv[3], 0.0, "backend {name}: {sv:?}");
+        assert_eq!(
+            idx.build_status(),
+            BuildStatus::Degraded { achieved_rank: 2 },
+            "backend {name}"
+        );
     }
 }
 

@@ -1,0 +1,176 @@
+//! Integration: the resilient solver driver under injected faults.
+//!
+//! The contract under test: for any finite corpus and any seeded fault
+//! plan, `LsiIndex::build_with_injected_faults` either returns an index
+//! whose factors passed post-hoc verification (with the full per-attempt
+//! record attached) or a typed [`LsiError`] — never a panic, never
+//! unverified garbage.
+
+use proptest::prelude::*;
+
+use lsi_repro::core::{BuildStatus, LsiConfig, LsiError, LsiIndex, SvdBackend};
+use lsi_repro::corpus::{SeparableConfig, SeparableModel};
+use lsi_repro::ir::{TermDocumentMatrix, Weighting};
+use lsi_repro::linalg::faults::{FaultKind, FaultPlan};
+use lsi_repro::linalg::lanczos::LanczosOptions;
+
+/// An E1-shaped corpus: a few well-separated topics, uniform primary
+/// terms, documents sampled from the paper's separable model.
+fn e1_corpus(seed: u64) -> TermDocumentMatrix {
+    let model = SeparableModel::build(SeparableConfig {
+        universe_size: 60,
+        num_topics: 3,
+        primary_terms_per_topic: 20,
+        epsilon: 0.0,
+        min_doc_len: 8,
+        max_doc_len: 16,
+    })
+    .unwrap();
+    let mut rng = lsi_repro::linalg::rng::seeded(seed);
+    let corpus = model.model().sample_corpus(40, &mut rng);
+    TermDocumentMatrix::from_generated(&corpus).unwrap()
+}
+
+fn config(rank: usize) -> LsiConfig {
+    LsiConfig {
+        rank,
+        weighting: Weighting::Count,
+        backend: SvdBackend::default(),
+    }
+}
+
+#[test]
+fn clean_build_reports_first_attempt_success() {
+    let td = e1_corpus(11);
+    let idx = LsiIndex::build(&td, config(3)).unwrap();
+    let report = idx.solve_report().expect("built indexes carry a report");
+    assert!(!report.fell_back(), "clean input should not need fallback");
+    assert_eq!(report.requested_rank, 3);
+    assert!(report.summary().contains("ok"));
+}
+
+#[test]
+fn transient_nan_fault_builds_via_fallback() {
+    let td = e1_corpus(12);
+    // Poison applies 4..8: the first attempt's input guard passes, its
+    // backend sees NaNs and fails, and a later attempt runs clean.
+    let plan = FaultPlan::new(99).with_fault(FaultKind::NanInjection { probability: 0.2 }, 4, 8);
+    let idx = LsiIndex::build_with_injected_faults(&td, config(3), plan).unwrap();
+    let report = idx.solve_report().unwrap();
+    assert!(
+        report.fell_back(),
+        "expected a fallback:\n{}",
+        report.summary()
+    );
+    assert!(idx.singular_values().iter().all(|s| s.is_finite()));
+    assert!(idx.singular_values()[0] > 0.0);
+}
+
+#[test]
+fn persistent_breakdown_exhausts_with_typed_error() {
+    let td = e1_corpus(13);
+    let plan = FaultPlan::new(7).with_fault(FaultKind::Breakdown, 0, usize::MAX);
+    let err = LsiIndex::build_with_injected_faults(&td, config(3), plan).unwrap_err();
+    let LsiError::SolverExhausted(report) = err else {
+        panic!("expected SolverExhausted, got {err}");
+    };
+    assert!(report.succeeded.is_none());
+    assert!(
+        report.attempts.len() >= 2,
+        "the whole chain should have been tried:\n{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn forced_lanczos_failure_falls_back_and_matches_dense() {
+    let td = e1_corpus(14);
+    // A Lanczos budget far too small to converge at an unreachable
+    // tolerance: the primary attempt must fail with NoConvergence and the
+    // chain must recover.
+    let starved = LsiConfig {
+        rank: 3,
+        weighting: Weighting::Count,
+        backend: SvdBackend::Lanczos(LanczosOptions {
+            max_steps: 2,
+            tol: 1e-300,
+            ..LanczosOptions::default()
+        }),
+    };
+    let idx = LsiIndex::build(&td, starved).unwrap();
+    let report = idx.solve_report().unwrap();
+    assert!(report.fell_back(), "{}", report.summary());
+
+    let reference = LsiIndex::build(
+        &td,
+        LsiConfig {
+            rank: 3,
+            weighting: Weighting::Count,
+            backend: SvdBackend::Dense,
+        },
+    )
+    .unwrap();
+    for (a, b) in idx
+        .singular_values()
+        .iter()
+        .zip(reference.singular_values())
+    {
+        assert!(
+            (a - b).abs() <= 1e-6 * b.max(1.0),
+            "fallback σ {a} vs dense reference {b}"
+        );
+    }
+}
+
+#[test]
+fn rank_deficient_corpus_is_degraded_not_fatal() {
+    // Six copies of one document: true rank 1.
+    let trips: Vec<(usize, usize, f64)> = (0..6)
+        .flat_map(|j| vec![(0, j, 2.0), (1, j, 1.0)])
+        .collect();
+    let td = TermDocumentMatrix::from_triplets(4, 6, &trips).unwrap();
+    let idx = LsiIndex::build(&td, config(3)).unwrap();
+    assert_eq!(
+        idx.build_status(),
+        BuildStatus::Degraded { achieved_rank: 1 }
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded fault plan on the E1-shaped corpus: verified factors or
+    /// a typed error — never a panic, never non-finite factors.
+    #[test]
+    fn arbitrary_fault_plans_never_panic_or_corrupt(
+        fault_seed in proptest::num::u64::ANY,
+        kind_sel in 0usize..4,
+        from in 0usize..20,
+        len in 0usize..40,
+    ) {
+        let kind = match kind_sel {
+            0 => FaultKind::NanInjection { probability: 0.1 },
+            1 => FaultKind::ZeroColumn { column: from % 40 },
+            2 => FaultKind::MagnitudeSpike { scale: 1e9, probability: 0.1 },
+            _ => FaultKind::Breakdown,
+        };
+        let until = if len == 39 { usize::MAX } else { from + len };
+        let plan = FaultPlan::new(fault_seed).with_fault(kind, from, until);
+        let td = e1_corpus(fault_seed % 5);
+        match LsiIndex::build_with_injected_faults(&td, config(3), plan) {
+            Ok(idx) => {
+                // Success implies verified factors: finite, ordered spectrum.
+                prop_assert!(idx.singular_values().iter().all(|s| s.is_finite()));
+                for w in idx.singular_values().windows(2) {
+                    prop_assert!(w[0] >= w[1]);
+                }
+                prop_assert!(idx.solve_report().is_some());
+            }
+            Err(LsiError::SolverExhausted(report)) => {
+                prop_assert!(report.succeeded.is_none());
+                prop_assert!(!report.attempts.is_empty());
+            }
+            Err(e) => prop_assert!(false, "unexpected error kind: {e}"),
+        }
+    }
+}

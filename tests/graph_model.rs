@@ -19,13 +19,9 @@ fn planted_blocks_recovered_across_sizes() {
             },
             &mut seeded(blocks as u64 * 100 + size as u64),
         );
-        let labels =
-            spectral_partition(&planted.graph, blocks, &mut seeded(999)).expect("valid k");
+        let labels = spectral_partition(&planted.graph, blocks, &mut seeded(999)).expect("valid k");
         let ari = adjusted_rand_index(&labels, &planted.labels);
-        assert!(
-            ari > 0.95,
-            "blocks={blocks} size={size}: ARI {ari} too low"
-        );
+        assert!(ari > 0.95, "blocks={blocks} size={size}: ARI {ari} too low");
     }
 }
 
@@ -43,8 +39,7 @@ fn recovery_threshold_behaviour() {
             },
             &mut seeded((eps * 1000.0) as u64),
         );
-        let labels =
-            spectral_partition(&planted.graph, 3, &mut seeded(7)).expect("valid k");
+        let labels = spectral_partition(&planted.graph, 3, &mut seeded(7)).expect("valid k");
         aris.push(adjusted_rand_index(&labels, &planted.labels));
     }
     assert!(aris[0] > 0.95, "clean case failed: {aris:?}");
@@ -67,7 +62,9 @@ fn theorem6_hypothesis_is_checkable() {
         },
         &mut seeded(3),
     );
-    let c = planted.min_block_conductance().expect("blocks small enough");
+    let c = planted
+        .min_block_conductance()
+        .expect("blocks small enough");
     assert!(c > 1.0, "internal conductance {c}");
     let leak = planted.measured_leakage();
     assert!(leak < 0.2, "leakage {leak}");

@@ -31,8 +31,7 @@ fn synonym_corpus(seed: u64) -> (TermDocumentMatrix, Vec<Option<usize>>, Vec<(us
         substitutions.push((lo, lo + 1, 1.0));
     }
     let plain = Style::identity(universe);
-    let formal =
-        Style::substitutions("formal", universe, &substitutions).expect("valid style");
+    let formal = Style::substitutions("formal", universe, &substitutions).expect("valid style");
 
     let model = CorpusModel::new(
         universe,
@@ -130,8 +129,7 @@ fn lsi_matches_vsm_when_no_synonymy_exists() {
             .iter()
             .map(|&t| (t, 1.0))
             .collect();
-        let judgments =
-            Judgments::new((0..m).filter(|&j| labels[j] == Some(topic)));
+        let judgments = Judgments::new((0..m).filter(|&j| labels[j] == Some(topic)));
         vsm_sum += average_precision(&vsm.query(&query, m).doc_ids(), &judgments);
         lsi_sum += average_precision(&lsi.query(&query, m).doc_ids(), &judgments);
     }

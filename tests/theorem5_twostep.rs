@@ -55,8 +55,7 @@ fn recovery_improves_monotonically_in_l() {
     let (a, k) = corpus(11);
     let mut last = f64::INFINITY;
     for &l in &[2 * k, 4 * k, 10 * k, 30 * k] {
-        let r = two_step_lsi(&a, k, l, ProjectionKind::OrthonormalSubspace, 5)
-            .expect("valid dims");
+        let r = two_step_lsi(&a, k, l, ProjectionKind::OrthonormalSubspace, 5).expect("valid dims");
         assert!(
             r.error_sq <= last * 1.1,
             "error not shrinking at l={l}: {} vs {last}",
@@ -85,14 +84,8 @@ fn two_step_document_geometry_still_separates_topics() {
     let td = TermDocumentMatrix::from_generated(&c).expect("fits");
     let labels = td.topic_labels().to_vec();
 
-    let r = two_step_lsi(
-        td.counts(),
-        k,
-        60,
-        ProjectionKind::OrthonormalSubspace,
-        9,
-    )
-    .expect("valid dims");
+    let r = two_step_lsi(td.counts(), k, 60, ProjectionKind::OrthonormalSubspace, 9)
+        .expect("valid dims");
 
     // Singular-value-weighted document representations (the V·D analog):
     // topic structure must survive the projection.

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so this vendored crate
+//! reimplements, from scratch, the slice of proptest's API the workspace's
+//! property tests use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, the
+//! [`collection`] constructors, [`num::u64::ANY`], and the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`] macros.
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! corpus: each test runs its body on `cases` deterministic pseudo-random
+//! inputs (seeded from the test's name, so failures reproduce exactly).
+//! Assertion macros panic directly, which keeps failure output readable in
+//! plain `cargo test`.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as a collection size: a fixed count or a range.
+    pub trait SizeRange {
+        /// Draws a concrete size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            rng.usize_in(self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// A `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `HashSet` of values from an element strategy.
+    pub struct HashSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// A `HashSet<S::Value>` with cardinality *at most* the drawn size
+    /// (fewer when the element domain is too small to supply distinct
+    /// values — mirroring proptest's behaviour of not looping forever).
+    pub fn hash_set<S, Z>(element: S, size: Z) -> HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        Z: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S, Z> Strategy for HashSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        Z: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 20 * target + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Numeric strategies mirroring `proptest::num`.
+pub mod num {
+    /// Strategies over `u64`.
+    pub mod u64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for a uniformly random `u64`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniform over the whole `u64` domain.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u64;
+
+            fn generate(&self, rng: &mut TestRng) -> u64 {
+                rng.next_u64()
+            }
+        }
+    }
+}
+
+/// The commonly-imported names, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                // The body runs in a closure returning `Result` — as in real
+                // proptest — so `prop_assume!` and explicit `return Ok(())`
+                // can skip a case by returning early.
+                let mut case = || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                if let ::core::result::Result::Err(e) = case() {
+                    panic!("property test case failed: {}", e);
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..200 {
+            let x = (1usize..=8).generate(&mut rng);
+            assert!((1..=8).contains(&x));
+            let (a, b, v) = ((0usize..4), (0usize..7), -5.0f64..5.0).generate(&mut rng);
+            assert!(a < 4 && b < 7 && (-5.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::for_test("compose");
+        let strat = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn hash_set_caps_at_domain_size() {
+        let mut rng = TestRng::for_test("hs");
+        let s = crate::collection::hash_set(0usize..3, 10usize);
+        let out = s.generate(&mut rng);
+        assert!(out.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::for_test("same");
+            (0..10)
+                .map(|_| crate::num::u64::ANY.generate(&mut rng))
+                .collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::for_test("same");
+            (0..10)
+                .map(|_| crate::num::u64::ANY.generate(&mut rng))
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, assume, and assertions.
+        #[test]
+        fn macro_end_to_end((a, b) in ((0usize..10), (0usize..10)), x in 0.5f64..1.5) {
+            prop_assume!(a != b || a < 5);
+            prop_assert!(x >= 0.5 && x < 1.5);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

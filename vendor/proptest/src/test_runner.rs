@@ -1,0 +1,95 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration (only the `cases` knob is meaningful here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated input cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error type a property-test body may return (mirrors
+/// `proptest::test_runner::TestCaseError`; here it only exists so bodies can
+/// use `Result`-style early returns).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result alias for property-test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies: seeded from the test's name so every run
+/// of a given test sees the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for the named test (FNV-1a of the name).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive).
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform `u32` in `[lo, hi]` (inclusive).
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform `i32` in `[lo, hi]` (inclusive).
+    pub fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        self.inner.gen_range(lo..=hi)
+    }
+}
