@@ -239,6 +239,117 @@ pub fn cmd_topics(container: &Container, terms_per_topic: usize) -> Vec<(usize, 
     out
 }
 
+/// Options for [`cmd_serve_bench`] — one struct so the flag surface can
+/// grow without churning the signature.
+#[derive(Debug, Clone)]
+pub struct ServeBenchOptions {
+    /// Total queries in the load profile.
+    pub queries: usize,
+    /// Worker threads in the engine pool.
+    pub workers: usize,
+    /// Seed for the query generator (the profile is seed-deterministic).
+    pub seed: u64,
+    /// Hard per-query deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Optional soft deadline in milliseconds (degrade instead of
+    /// continuing in LSI space past it). Note: a container carries no
+    /// term-document matrix, so the bench engine has no term-space
+    /// fallback and soft deadlines only matter for degraded indexes.
+    pub soft_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeBenchOptions {
+    fn default() -> Self {
+        ServeBenchOptions {
+            queries: 1_000,
+            workers: 4,
+            seed: 20260706,
+            deadline_ms: 1_000,
+            soft_deadline_ms: None,
+        }
+    }
+}
+
+/// `lsi serve-bench`: drives the concurrent query engine with a
+/// seed-deterministic load profile — mostly well-formed vocabulary
+/// queries, plus fixed fractions of malformed (out-of-range term,
+/// non-finite weight) and deliberately slow queries — and renders the
+/// engine's statistics table. Fails with a serve-category error if the
+/// engine's bookkeeping does not balance after the run.
+pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result<String, CliError> {
+    use lsi_serve::{EngineConfig, Query, QueryEngine};
+    use rand::Rng;
+    use std::time::Duration;
+
+    let n_terms = container.index.n_terms();
+    if n_terms == 0 {
+        return Err(CliError::other("index has an empty vocabulary"));
+    }
+    // Slow queries are keyed on a tag the generator below assigns.
+    const TAG_SLOW: u64 = 1;
+    let config = EngineConfig {
+        workers: opts.workers,
+        // Room for the whole profile: the bench measures the engine's
+        // outcome mix, not the submitter's ability to outrun it.
+        queue_capacity: opts.queries.max(64),
+        deadline: Some(Duration::from_millis(opts.deadline_ms)),
+        soft_deadline: opts.soft_deadline_ms.map(Duration::from_millis),
+        fault_hook: Some(std::sync::Arc::new(|tag| {
+            if tag == TAG_SLOW {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })),
+    };
+    let engine = QueryEngine::new(container.index, config);
+
+    let mut rng = lsi_linalg::rng::seeded(opts.seed);
+    let mut tickets = Vec::with_capacity(opts.queries);
+    for _ in 0..opts.queries {
+        let roll = rng.gen_range(0usize..100);
+        let mut terms: Vec<(usize, f64)> = (0..rng.gen_range(1usize..=4))
+            .map(|_| (rng.gen_range(0..n_terms), rng.gen_range(0.5..2.0)))
+            .collect();
+        let mut tag = 0;
+        match roll {
+            // 5%: out-of-range term id.
+            0..=4 => terms[0].0 = n_terms + 1,
+            // 3%: non-finite weight.
+            5..=7 => terms[0].1 = f64::NAN,
+            // 2%: deliberately slow.
+            8..=9 => tag = TAG_SLOW,
+            _ => {}
+        }
+        let query = Query {
+            terms,
+            top_k: rng.gen_range(1usize..=10),
+            tag,
+        };
+        // Shedding cannot happen at this capacity; treat it as fatal.
+        tickets.push(engine.submit(query)?);
+    }
+    for ticket in tickets {
+        // Per-query outcomes (including typed errors) are the bench's
+        // data, not failures; they land in the stats table.
+        let _ = ticket.wait();
+    }
+
+    let stats = engine.stats();
+    if !stats.consistent() {
+        return Err(CliError::serve(format!(
+            "engine bookkeeping does not balance after the run:\n{}",
+            stats.table()
+        )));
+    }
+    Ok(format!(
+        "serve-bench: {} queries, {} workers, deadline {} ms, seed {}\n{}",
+        opts.queries,
+        opts.workers,
+        opts.deadline_ms,
+        opts.seed,
+        stats.table().trim_end()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,5 +528,30 @@ mod tests {
         assert_eq!(parse_weighting("tf-idf").unwrap(), Weighting::TfIdf);
         assert_eq!(parse_weighting("count").unwrap(), Weighting::Count);
         assert!(parse_weighting("nonsense").is_err());
+    }
+
+    #[test]
+    fn serve_bench_runs_profile_and_balances() {
+        let input = temp("corpus_bench.txt");
+        let output = temp("corpus_bench.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+        let container = Container::load(&output).unwrap();
+
+        let opts = ServeBenchOptions {
+            queries: 200,
+            workers: 2,
+            seed: 42,
+            deadline_ms: 5_000,
+            soft_deadline_ms: None,
+        };
+        let report = cmd_serve_bench(container, &opts).unwrap();
+        assert!(report.contains("200 queries"), "{report}");
+        assert!(report.contains("submitted"), "{report}");
+        // The profile injects malformed queries; they must show up typed.
+        assert!(report.contains("bad query"), "{report}");
+
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
     }
 }

@@ -43,6 +43,10 @@ pub enum ErrorKind {
     /// Every SVD backend in the resilient fallback chain failed; stderr
     /// carries the per-attempt report. Exit code 5.
     Solver,
+    /// The serving engine failed as a whole (inconsistent bookkeeping,
+    /// engine shutdown mid-run) — distinct from per-query errors, which
+    /// serve-bench counts rather than propagates. Exit code 6.
+    Serve,
 }
 
 impl ErrorKind {
@@ -54,6 +58,7 @@ impl ErrorKind {
             ErrorKind::Io => 3,
             ErrorKind::Storage => 4,
             ErrorKind::Solver => 5,
+            ErrorKind::Serve => 6,
         }
     }
 }
@@ -100,6 +105,14 @@ impl CliError {
             kind: ErrorKind::Storage,
         }
     }
+
+    /// A serving-engine failure (exit code 6).
+    pub fn serve(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            kind: ErrorKind::Serve,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -141,6 +154,20 @@ impl From<lsi_core::LsiError> for CliError {
     }
 }
 
+impl From<lsi_serve::QueryError> for CliError {
+    fn from(e: lsi_serve::QueryError) -> Self {
+        let kind = match &e {
+            // A malformed query is the caller's fault, not the engine's.
+            lsi_serve::QueryError::BadQuery(_) => ErrorKind::Other,
+            _ => ErrorKind::Serve,
+        };
+        CliError {
+            message: format!("serving error: {e}"),
+            kind,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,10 +180,11 @@ mod tests {
             ErrorKind::Io,
             ErrorKind::Storage,
             ErrorKind::Solver,
+            ErrorKind::Serve,
         ]
         .map(ErrorKind::exit_code);
         let unique: std::collections::HashSet<u8> = codes.into_iter().collect();
-        assert_eq!(unique.len(), 5);
+        assert_eq!(unique.len(), 6);
         assert!(!unique.contains(&0), "0 is reserved for success");
     }
 
@@ -177,5 +205,15 @@ mod tests {
     fn lsi_errors_map_to_other_kind() {
         let e: CliError = lsi_core::LsiError::EmptyCorpus.into();
         assert_eq!(e.kind, ErrorKind::Other);
+    }
+
+    #[test]
+    fn query_errors_map_to_serve_kind() {
+        let e: CliError = lsi_serve::QueryError::DeadlineExceeded.into();
+        assert_eq!(e.kind, ErrorKind::Serve);
+        // Malformed queries are the caller's problem, not the engine's.
+        let bad: CliError =
+            lsi_serve::QueryError::BadQuery(lsi_core::BadQuery::NonFiniteQuery).into();
+        assert_eq!(bad.kind, ErrorKind::Other);
     }
 }

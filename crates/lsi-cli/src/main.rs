@@ -4,7 +4,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lsi_cli::commands::{
-    cmd_add, cmd_index, cmd_query, cmd_similar_terms, cmd_topics, parse_weighting,
+    cmd_add, cmd_index, cmd_query, cmd_serve_bench, cmd_similar_terms, cmd_topics, parse_weighting,
+    ServeBenchOptions,
 };
 use lsi_cli::container::Container;
 use lsi_cli::CliError;
@@ -17,6 +18,8 @@ usage:
   lsi query --index <out.lsic> <query text...> [--top N]
   lsi similar-terms --index <out.lsic> <term> [--top N]
   lsi topics --index <out.lsic> [--terms N]
+  lsi serve-bench --index <out.lsic> [--queries N] [--workers W] [--seed S]
+                  [--deadline-ms D] [--soft-ms D]
 
 weightings: count, binary, log-tf, tf-idf, log-entropy (default: log-entropy)
 ";
@@ -115,6 +118,25 @@ fn run() -> Result<(), CliError> {
             for (dim, sigma, top_terms) in cmd_topics(&container, terms) {
                 println!("dim {dim:>3}  σ = {sigma:<10.3}  {}", top_terms.join(" "));
             }
+        }
+        "serve-bench" => {
+            let container = Container::load(&flags.path("index")?)?;
+            let defaults = ServeBenchOptions::default();
+            let opts = ServeBenchOptions {
+                queries: flags.usize_or("queries", defaults.queries)?,
+                workers: flags.usize_or("workers", defaults.workers)?,
+                seed: flags.usize_or("seed", defaults.seed as usize)? as u64,
+                deadline_ms: flags.usize_or("deadline-ms", defaults.deadline_ms as usize)? as u64,
+                soft_deadline_ms: match flags.named.get("soft-ms") {
+                    None => None,
+                    Some(v) => {
+                        Some(v.parse().map_err(|e| {
+                            CliError::usage(format!("bad --soft-ms value {v:?}: {e}"))
+                        })?)
+                    }
+                },
+            };
+            println!("{}", cmd_serve_bench(container, &opts)?);
         }
         "--help" | "-h" | "help" => {
             print!("{USAGE}");

@@ -1,0 +1,186 @@
+//! Cooperative cancellation for query-path hot loops.
+//!
+//! A serving system cannot let one pathological query stall a worker
+//! forever: scoring loops must be interruptible. [`CancelToken`] is the
+//! std-only primitive for that — a shared cancellation flag plus an
+//! optional wall-clock deadline. The cosine-scoring loops in
+//! [`crate::LsiIndex`] (`try_query`, `try_query_vector`,
+//! `try_similar_docs`, `try_similar_terms`) poll their token every
+//! [`CHECK_INTERVAL`] candidates and bail out with
+//! [`crate::LsiError::Cancelled`] when it fires.
+//!
+//! Tokens are cheap to clone (an `Arc` plus a `Copy` deadline) and clones
+//! share the cancellation flag, so a supervisor can hand one token to a
+//! worker and trip it from another thread.
+//!
+//! Deadlines use [`std::time::Instant`]; this module is serving
+//! infrastructure, not experiment code, so the repository's
+//! no-wall-clock-in-experiments rule does not apply here.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::index::LsiError;
+
+/// How many scoring candidates (documents or terms) are processed between
+/// consecutive token polls inside the hot loops. Small enough that a
+/// cancelled query stops within microseconds, large enough that the
+/// `Instant::now()` call is amortized to noise.
+pub const CHECK_INTERVAL: usize = 1024;
+
+#[derive(Debug)]
+struct Flag {
+    cancelled: AtomicBool,
+}
+
+/// A cancellation token: a shared flag plus an optional deadline.
+///
+/// The token is observed (`is_cancelled`, `check`) by long-running scoring
+/// loops and tripped either explicitly ([`CancelToken::cancel`], from any
+/// thread) or implicitly by its deadline passing.
+///
+/// # Examples
+///
+/// ```
+/// use lsi_core::cancel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// let observer = token.clone(); // shares the flag
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// assert!(observer.check().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<Flag>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own; only [`CancelToken::cancel`]
+    /// trips it.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(Flag {
+                cancelled: AtomicBool::new(false),
+            }),
+            deadline: None,
+        }
+    }
+
+    /// A token that expires `after` from now.
+    pub fn with_deadline(after: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + after)
+    }
+
+    /// A token that expires at the absolute instant `at`.
+    pub fn with_deadline_at(at: Instant) -> Self {
+        CancelToken {
+            deadline: Some(at),
+            ..Self::new()
+        }
+    }
+
+    /// A child token sharing this token's cancellation flag but with a
+    /// deadline no later than `at` (the tighter of the two wins).
+    ///
+    /// This is how a serving layer expresses "soft deadline inside a hard
+    /// deadline": cancel the parent and both trip; let the child expire and
+    /// only the soft-deadlined work stops.
+    pub fn child_with_deadline_at(&self, at: Instant) -> Self {
+        let deadline = Some(match self.deadline {
+            Some(own) => own.min(at),
+            None => at,
+        });
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline,
+        }
+    }
+
+    /// Trips the shared flag: every clone and child observes the
+    /// cancellation.
+    pub fn cancel(&self) {
+        self.flag.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once the flag is tripped or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// [`CancelToken::is_cancelled`] as a `Result`, for `?`-style use in
+    /// scoring loops: `Err(LsiError::Cancelled)` once tripped.
+    pub fn check(&self) -> Result<(), LsiError> {
+        if self.is_cancelled() {
+            Err(LsiError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_trips_all_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(matches!(t.check(), Err(LsiError::Cancelled)));
+    }
+
+    #[test]
+    fn past_deadline_is_cancelled() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn child_takes_tighter_deadline_and_shares_flag() {
+        let now = Instant::now();
+        let parent = CancelToken::with_deadline_at(now + Duration::from_secs(3600));
+        let child = parent.child_with_deadline_at(now + Duration::from_secs(7200));
+        // Parent's earlier deadline wins.
+        assert_eq!(child.deadline(), parent.deadline());
+        let tight = parent.child_with_deadline_at(now);
+        assert!(tight.is_cancelled());
+        assert!(!parent.is_cancelled());
+        // Cancelling the parent trips the child.
+        let child2 = parent.child_with_deadline_at(now + Duration::from_secs(7200));
+        parent.cancel();
+        assert!(child2.is_cancelled());
+    }
+}

@@ -6,7 +6,65 @@ use lsi_linalg::faults::{FaultPlan, FaultyOperator};
 use lsi_linalg::solver::{solve_truncated_svd, SolveError, SolveReport};
 use lsi_linalg::{vector, LinalgError, LinearOperator, Matrix, TruncatedSvd};
 
+use crate::cancel::{CancelToken, CHECK_INTERVAL};
 use crate::config::LsiConfig;
+
+/// Why a query was rejected before any scoring happened.
+///
+/// Produced by the guarded `try_*` query variants on [`LsiIndex`]; the
+/// unguarded legacy methods either silently skip the offending entry
+/// (`fold_in`) or panic (see each method's `# Panics` section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadQuery {
+    /// A query term id is outside the index vocabulary.
+    TermOutOfRange {
+        /// The offending term id.
+        term: usize,
+        /// Number of terms the index knows.
+        n_terms: usize,
+    },
+    /// A document id is outside the indexed document set.
+    DocOutOfRange {
+        /// The offending document id.
+        doc: usize,
+        /// Number of indexed documents.
+        n_docs: usize,
+    },
+    /// A query weight is NaN or infinite.
+    NonFiniteWeight {
+        /// The term whose weight is non-finite.
+        term: usize,
+    },
+    /// A dense LSI-space query has the wrong dimension.
+    WrongDimension {
+        /// Length of the supplied vector.
+        got: usize,
+        /// Expected length (the index rank).
+        expected: usize,
+    },
+    /// A dense LSI-space query contains a NaN or infinite component.
+    NonFiniteQuery,
+}
+
+impl std::fmt::Display for BadQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BadQuery::TermOutOfRange { term, n_terms } => {
+                write!(f, "term id {term} out of range (vocabulary size {n_terms})")
+            }
+            BadQuery::DocOutOfRange { doc, n_docs } => {
+                write!(f, "document id {doc} out of range ({n_docs} documents)")
+            }
+            BadQuery::NonFiniteWeight { term } => {
+                write!(f, "non-finite weight for term {term}")
+            }
+            BadQuery::WrongDimension { got, expected } => {
+                write!(f, "query has dimension {got}, expected rank {expected}")
+            }
+            BadQuery::NonFiniteQuery => write!(f, "query vector has a non-finite component"),
+        }
+    }
+}
 
 /// Errors from building or querying an [`LsiIndex`].
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +83,12 @@ pub enum LsiError {
     /// Every backend in the resilient solve plan failed; the report carries
     /// each attempt's backend, iterations, and typed failure cause.
     SolverExhausted(SolveReport),
+    /// The query itself is malformed (out-of-range ids, non-finite
+    /// weights, wrong dimension); nothing was scored.
+    BadQuery(BadQuery),
+    /// A cooperative [`CancelToken`] fired (explicit cancellation or an
+    /// expired deadline) while scoring was in progress.
+    Cancelled,
 }
 
 impl std::fmt::Display for LsiError {
@@ -41,7 +105,15 @@ impl std::fmt::Display for LsiError {
                 report.attempts.len(),
                 report.summary()
             ),
+            LsiError::BadQuery(b) => write!(f, "bad query: {b}"),
+            LsiError::Cancelled => write!(f, "operation cancelled (deadline or explicit)"),
         }
+    }
+}
+
+impl From<BadQuery> for LsiError {
+    fn from(b: BadQuery) -> Self {
+        LsiError::BadQuery(b)
     }
 }
 
@@ -283,8 +355,19 @@ impl LsiIndex {
     }
 
     /// Document `j`'s LSI-space representation (a length-`k` vector).
+    ///
+    /// # Panics
+    /// Panics if `j >= self.n_docs()`; use [`LsiIndex::try_doc_vector`]
+    /// for a guarded variant.
     pub fn doc_vector(&self, j: usize) -> &[f64] {
         self.doc_reps.row(j)
+    }
+
+    /// Guarded [`LsiIndex::doc_vector`]: out-of-range ids are a typed
+    /// [`LsiError::BadQuery`] instead of a panic.
+    pub fn try_doc_vector(&self, j: usize) -> Result<&[f64], LsiError> {
+        self.check_doc(j)?;
+        Ok(self.doc_reps.row(j))
     }
 
     /// All document representations (`m × k`, one row per document).
@@ -293,6 +376,10 @@ impl LsiIndex {
     }
 
     /// Term `t`'s LSI-space representation: row `t` of `U_k D_k`.
+    ///
+    /// # Panics
+    /// Panics if `t >= self.n_terms()`; use [`LsiIndex::try_term_vector`]
+    /// for a guarded variant.
     pub fn term_vector(&self, t: usize) -> Vec<f64> {
         let k = self.rank();
         (0..k)
@@ -300,11 +387,59 @@ impl LsiIndex {
             .collect()
     }
 
+    /// Guarded [`LsiIndex::term_vector`]: out-of-range ids are a typed
+    /// [`LsiError::BadQuery`] instead of a panic.
+    pub fn try_term_vector(&self, t: usize) -> Result<Vec<f64>, LsiError> {
+        self.check_term(t)?;
+        Ok(self.term_vector(t))
+    }
+
+    /// Validates a sparse term-space query: every term id must be in
+    /// range and every weight finite. This is the shared gate of all
+    /// guarded query entry points (and of serving layers that score the
+    /// same query through a different backend).
+    pub fn validate_query(&self, terms: &[(usize, f64)]) -> Result<(), LsiError> {
+        for &(t, w) in terms {
+            self.check_term(t)?;
+            if !w.is_finite() {
+                return Err(BadQuery::NonFiniteWeight { term: t }.into());
+            }
+        }
+        Ok(())
+    }
+
+    fn check_term(&self, t: usize) -> Result<(), LsiError> {
+        if t >= self.n_terms() {
+            return Err(BadQuery::TermOutOfRange {
+                term: t,
+                n_terms: self.n_terms(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    fn check_doc(&self, j: usize) -> Result<(), LsiError> {
+        if j >= self.n_docs() {
+            return Err(BadQuery::DocOutOfRange {
+                doc: j,
+                n_docs: self.n_docs(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
     /// Folds a sparse term-space query into LSI space: `q̂ = U_kᵀ q`.
     ///
     /// Document columns project the same way (`U_kᵀ a_j = D_k V_kᵀ e_j` is
     /// exactly row `j` of the document representations), so query/document
     /// cosines in this space are the paper's intended comparison.
+    ///
+    /// Out-of-range term ids and zero weights are silently skipped; a
+    /// non-finite weight propagates NaN into the folded vector. Use
+    /// [`LsiIndex::try_fold_in`] when malformed input must surface as a
+    /// typed error instead.
     pub fn fold_in(&self, terms: &[(usize, f64)]) -> Vec<f64> {
         let k = self.rank();
         let mut out = vec![0.0; k];
@@ -319,14 +454,42 @@ impl LsiIndex {
         out
     }
 
+    /// Guarded [`LsiIndex::fold_in`]: rejects out-of-range term ids and
+    /// non-finite weights with [`LsiError::BadQuery`] rather than skipping
+    /// or propagating them.
+    pub fn try_fold_in(&self, terms: &[(usize, f64)]) -> Result<Vec<f64>, LsiError> {
+        self.validate_query(terms)?;
+        Ok(self.fold_in(terms))
+    }
+
     /// Folds a dense term-space vector (length `n`) into LSI space.
     pub fn fold_in_dense(&self, q: &[f64]) -> Result<Vec<f64>, LsiError> {
         Ok(self.factors.project(q)?)
     }
 
     /// Cosine-ranked retrieval in LSI space for a sparse query.
+    ///
+    /// # Panics
+    /// A non-finite query weight poisons the cosine scores and panics when
+    /// the ranked list is sorted. Use [`LsiIndex::try_query`] for the
+    /// guarded (and cancellable) variant.
     pub fn query(&self, terms: &[(usize, f64)], top_k: usize) -> RankedList {
         self.query_vector(&self.fold_in(terms), top_k)
+    }
+
+    /// Guarded, cancellable [`LsiIndex::query`]: the query is validated
+    /// up front ([`LsiError::BadQuery`] on out-of-range ids or non-finite
+    /// weights) and the scoring loop polls `cancel` every
+    /// [`CHECK_INTERVAL`](crate::cancel::CHECK_INTERVAL) documents,
+    /// returning [`LsiError::Cancelled`] once the token fires.
+    pub fn try_query(
+        &self,
+        terms: &[(usize, f64)],
+        top_k: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RankedList, LsiError> {
+        let q = self.try_fold_in(terms)?;
+        self.rank_by_vector(&q, top_k, None, cancel)
     }
 
     /// Folds a **new document** into the index (the classical LSI
@@ -350,10 +513,46 @@ impl LsiIndex {
         self.doc_reps.nrows() - 1
     }
 
+    /// Guarded [`LsiIndex::add_document`]: rejects out-of-range term ids
+    /// and non-finite weights with [`LsiError::BadQuery`] before anything
+    /// is appended, so a malformed update can never poison the document
+    /// set with NaN representations.
+    pub fn try_add_document(&mut self, terms: &[(usize, f64)]) -> Result<usize, LsiError> {
+        self.validate_query(terms)?;
+        Ok(self.add_document(terms))
+    }
+
     /// Terms most similar to term `t` in LSI space (cosine over rows of
     /// `U_k D_k`), excluding `t` itself. This is the term-side view of the
     /// synonymy effect: surface forms that share contexts land together.
+    ///
+    /// # Panics
+    /// Panics if `t >= self.n_terms()`; use [`LsiIndex::try_similar_terms`]
+    /// for the guarded (and cancellable) variant.
     pub fn similar_terms(&self, t: usize, top_k: usize) -> RankedList {
+        self.similar_terms_inner(t, top_k, None)
+            .expect("infallible without a cancel token")
+    }
+
+    /// Guarded, cancellable [`LsiIndex::similar_terms`]: out-of-range term
+    /// ids are [`LsiError::BadQuery`], and the scoring loop polls `cancel`
+    /// every [`CHECK_INTERVAL`](crate::cancel::CHECK_INTERVAL) terms.
+    pub fn try_similar_terms(
+        &self,
+        t: usize,
+        top_k: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RankedList, LsiError> {
+        self.check_term(t)?;
+        self.similar_terms_inner(t, top_k, cancel)
+    }
+
+    fn similar_terms_inner(
+        &self,
+        t: usize,
+        top_k: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RankedList, LsiError> {
         // Term vectors are rows of U_k scaled by Σ; computing the cosines
         // with σ²-weighted dot products over U's (contiguous) rows avoids
         // materializing a scaled vector per candidate term.
@@ -369,28 +568,34 @@ impl LsiIndex {
         let target = self.factors.u.row(t)[..k].to_vec();
         let tn = weighted_norm(&target);
         if tn <= 0.0 {
-            return RankedList::default();
+            return Ok(RankedList::default());
         }
-        let hits: Vec<SearchHit> = (0..self.n_terms())
-            .filter(|&u| u != t)
-            .filter_map(|u| {
-                let row = &self.factors.u.row(u)[..k];
-                let vn = weighted_norm(row);
-                (vn > 0.0).then(|| {
-                    let dot: f64 = row
-                        .iter()
-                        .zip(&target)
-                        .zip(&s2)
-                        .map(|((a, b), w)| a * b * w)
-                        .sum();
-                    SearchHit {
-                        doc: u,
-                        score: (dot / (tn * vn)).clamp(-1.0, 1.0),
-                    }
-                })
-            })
-            .collect();
-        RankedList::from_hits(hits).truncated(top_k)
+        let mut hits: Vec<SearchHit> = Vec::new();
+        for u in 0..self.n_terms() {
+            if u % CHECK_INTERVAL == 0 {
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
+            }
+            if u == t {
+                continue;
+            }
+            let row = &self.factors.u.row(u)[..k];
+            let vn = weighted_norm(row);
+            if vn > 0.0 {
+                let dot: f64 = row
+                    .iter()
+                    .zip(&target)
+                    .zip(&s2)
+                    .map(|((a, b), w)| a * b * w)
+                    .sum();
+                hits.push(SearchHit {
+                    doc: u,
+                    score: (dot / (tn * vn)).clamp(-1.0, 1.0),
+                });
+            }
+        }
+        Ok(RankedList::from_hits(hits).truncated(top_k))
     }
 
     /// Rocchio relevance feedback in LSI space: moves a folded-in query
@@ -445,13 +650,57 @@ impl LsiIndex {
             self.rank(),
             "query_vector: query must live in LSI space (length = rank)"
         );
-        self.rank_by_vector(q, top_k, None)
+        self.rank_by_vector(q, top_k, None, None)
+            .expect("infallible without a cancel token")
+    }
+
+    /// Guarded, cancellable [`LsiIndex::query_vector`]: dimension and
+    /// finiteness problems are [`LsiError::BadQuery`] instead of panics,
+    /// and the scoring loop polls `cancel` every
+    /// [`CHECK_INTERVAL`](crate::cancel::CHECK_INTERVAL) documents.
+    pub fn try_query_vector(
+        &self,
+        q: &[f64],
+        top_k: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RankedList, LsiError> {
+        if q.len() != self.rank() {
+            return Err(BadQuery::WrongDimension {
+                got: q.len(),
+                expected: self.rank(),
+            }
+            .into());
+        }
+        if q.iter().any(|x| !x.is_finite()) {
+            return Err(BadQuery::NonFiniteQuery.into());
+        }
+        self.rank_by_vector(q, top_k, None, cancel)
     }
 
     /// Documents most similar to document `j` (excluding `j` itself).
+    ///
+    /// # Panics
+    /// Panics if `j >= self.n_docs()`; use [`LsiIndex::try_similar_docs`]
+    /// for the guarded (and cancellable) variant.
     pub fn similar_docs(&self, j: usize, top_k: usize) -> RankedList {
         let q = self.doc_vector(j).to_vec();
-        self.rank_by_vector(&q, top_k, Some(j))
+        self.rank_by_vector(&q, top_k, Some(j), None)
+            .expect("infallible without a cancel token")
+    }
+
+    /// Guarded, cancellable [`LsiIndex::similar_docs`]: out-of-range
+    /// document ids are [`LsiError::BadQuery`], and the scoring loop polls
+    /// `cancel` every [`CHECK_INTERVAL`](crate::cancel::CHECK_INTERVAL)
+    /// documents.
+    pub fn try_similar_docs(
+        &self,
+        j: usize,
+        top_k: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RankedList, LsiError> {
+        self.check_doc(j)?;
+        let q = self.doc_reps.row(j).to_vec();
+        self.rank_by_vector(&q, top_k, Some(j), cancel)
     }
 
     /// Cosine similarity between two indexed documents in LSI space.
@@ -465,21 +714,38 @@ impl LsiIndex {
         vector::angle(self.doc_reps.row(i), self.doc_reps.row(j))
     }
 
-    fn rank_by_vector(&self, q: &[f64], top_k: usize, exclude: Option<usize>) -> RankedList {
+    /// The shared cosine-scoring hot loop. With a token, cancellation is
+    /// cooperative: the token is polled every
+    /// [`CHECK_INTERVAL`](crate::cancel::CHECK_INTERVAL) documents, so an
+    /// expired deadline stops the scan within one interval.
+    fn rank_by_vector(
+        &self,
+        q: &[f64],
+        top_k: usize,
+        exclude: Option<usize>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RankedList, LsiError> {
         let qn = vector::norm(q);
         if qn <= 0.0 {
-            return RankedList::default();
+            return Ok(RankedList::default());
         }
-        let hits: Vec<SearchHit> = (0..self.n_docs())
-            .filter(|&d| Some(d) != exclude)
-            .filter(|&d| self.doc_norms[d] > 0.0)
-            .map(|d| SearchHit {
+        let mut hits: Vec<SearchHit> = Vec::new();
+        for d in 0..self.n_docs() {
+            if d % CHECK_INTERVAL == 0 {
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
+            }
+            if Some(d) == exclude || self.doc_norms[d] <= 0.0 {
+                continue;
+            }
+            hits.push(SearchHit {
                 doc: d,
                 score: (vector::dot(q, self.doc_reps.row(d)) / (qn * self.doc_norms[d]))
                     .clamp(-1.0, 1.0),
-            })
-            .collect();
-        RankedList::from_hits(hits).truncated(top_k)
+            });
+        }
+        Ok(RankedList::from_hits(hits).truncated(top_k))
     }
 }
 
@@ -790,6 +1056,184 @@ mod tests {
         assert!(on_topic >= 4, "only {on_topic}/5 on-topic similar terms");
         // Never returns the query term itself.
         assert!(sims.hits().iter().all(|h| h.doc != t));
+    }
+
+    #[test]
+    fn guarded_variants_reject_malformed_queries() {
+        let (td, _) = small_corpus(31);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+        let n = idx.n_terms();
+        let m = idx.n_docs();
+
+        // Out-of-range term ids.
+        assert_eq!(
+            idx.try_query(&[(n, 1.0)], 5, None),
+            Err(LsiError::BadQuery(BadQuery::TermOutOfRange {
+                term: n,
+                n_terms: n
+            }))
+        );
+        assert!(matches!(
+            idx.try_fold_in(&[(n + 7, 1.0)]),
+            Err(LsiError::BadQuery(BadQuery::TermOutOfRange { .. }))
+        ));
+        assert!(matches!(
+            idx.try_term_vector(n),
+            Err(LsiError::BadQuery(BadQuery::TermOutOfRange { .. }))
+        ));
+        assert!(matches!(
+            idx.try_similar_terms(n, 5, None),
+            Err(LsiError::BadQuery(BadQuery::TermOutOfRange { .. }))
+        ));
+
+        // Non-finite weights.
+        assert!(matches!(
+            idx.try_query(&[(0, f64::NAN)], 5, None),
+            Err(LsiError::BadQuery(BadQuery::NonFiniteWeight { term: 0 }))
+        ));
+        assert!(matches!(
+            idx.try_query(&[(1, f64::INFINITY)], 5, None),
+            Err(LsiError::BadQuery(BadQuery::NonFiniteWeight { term: 1 }))
+        ));
+
+        // Out-of-range document ids.
+        assert!(matches!(
+            idx.try_doc_vector(m),
+            Err(LsiError::BadQuery(BadQuery::DocOutOfRange { .. }))
+        ));
+        assert!(matches!(
+            idx.try_similar_docs(m + 3, 5, None),
+            Err(LsiError::BadQuery(BadQuery::DocOutOfRange { .. }))
+        ));
+
+        // Dense queries: wrong dimension / non-finite components.
+        assert!(matches!(
+            idx.try_query_vector(&[1.0; 7], 5, None),
+            Err(LsiError::BadQuery(BadQuery::WrongDimension {
+                got: 7,
+                expected: 3
+            }))
+        ));
+        assert!(matches!(
+            idx.try_query_vector(&[f64::NAN, 0.0, 0.0], 5, None),
+            Err(LsiError::BadQuery(BadQuery::NonFiniteQuery))
+        ));
+
+        // Malformed updates never mutate the index.
+        let mut idx2 = idx.clone();
+        assert!(idx2.try_add_document(&[(n, 1.0)]).is_err());
+        assert!(idx2.try_add_document(&[(0, f64::NAN)]).is_err());
+        assert_eq!(idx2.n_docs(), m);
+    }
+
+    #[test]
+    fn guarded_variants_match_unguarded_on_clean_input() {
+        let (td, _) = small_corpus(32);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+        let q = [(0usize, 1.0), (3, 2.0)];
+        let a = idx.query(&q, 10);
+        let b = idx.try_query(&q, 10, None).unwrap();
+        assert_eq!(a.doc_ids(), b.doc_ids());
+        assert_eq!(
+            idx.similar_docs(2, 5).doc_ids(),
+            idx.try_similar_docs(2, 5, None).unwrap().doc_ids()
+        );
+        assert_eq!(
+            idx.similar_terms(1, 5).doc_ids(),
+            idx.try_similar_terms(1, 5, None).unwrap().doc_ids()
+        );
+        assert_eq!(idx.term_vector(2), idx.try_term_vector(2).unwrap());
+        assert_eq!(idx.doc_vector(3), idx.try_doc_vector(3).unwrap());
+        let mut g = idx.clone();
+        let mut u = idx.clone();
+        assert_eq!(
+            g.try_add_document(&[(0, 2.0)]).unwrap(),
+            u.add_document(&[(0, 2.0)])
+        );
+        assert_eq!(g.doc_vector(g.n_docs() - 1), u.doc_vector(u.n_docs() - 1));
+    }
+
+    #[test]
+    fn cancelled_token_stops_scoring_with_typed_error() {
+        use crate::cancel::CancelToken;
+        let (td, _) = small_corpus(33);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            idx.try_query(&[(0, 1.0)], 5, Some(&token)),
+            Err(LsiError::Cancelled)
+        );
+        assert_eq!(
+            idx.try_similar_docs(0, 5, Some(&token)),
+            Err(LsiError::Cancelled)
+        );
+        assert_eq!(
+            idx.try_similar_terms(0, 5, Some(&token)),
+            Err(LsiError::Cancelled)
+        );
+        // An already-expired deadline behaves identically.
+        let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+        assert_eq!(
+            idx.try_query_vector(&[1.0, 0.0, 0.0], 5, Some(&expired)),
+            Err(LsiError::Cancelled)
+        );
+        // A live token changes nothing.
+        let live = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        assert_eq!(
+            idx.try_query(&[(0, 1.0)], 5, Some(&live))
+                .unwrap()
+                .doc_ids(),
+            idx.query(&[(0, 1.0)], 5).doc_ids()
+        );
+    }
+
+    #[test]
+    fn retrieval_edge_cases_return_typed_results() {
+        let (td, _) = small_corpus(34);
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap();
+        let m = idx.n_docs();
+
+        // top_k = 0 is an empty list everywhere, never a panic.
+        assert!(idx.query(&[(0, 1.0)], 0).is_empty());
+        assert!(idx.similar_docs(0, 0).is_empty());
+        assert!(idx.similar_terms(0, 0).is_empty());
+        assert!(idx.try_similar_docs(0, 0, None).unwrap().is_empty());
+
+        // top_k > n_docs returns everything that scored, bounded by m.
+        let all = idx.try_similar_docs(0, m + 100, None).unwrap();
+        assert!(all.len() <= m);
+        assert!(!all.is_empty());
+
+        // Rocchio with empty feedback sets on the full surface.
+        let q = idx.fold_in(&[(0, 1.0)]);
+        let same = idx.rocchio(&q, &[], &[], 1.0, 0.75, 0.15);
+        assert_eq!(same.len(), idx.rank());
+        // Entirely out-of-range feedback sets are ignored, not a panic.
+        let refined = idx.rocchio(&q, &[m + 1, m + 2], &[m + 9], 1.0, 0.75, 0.15);
+        for (a, b) in refined.iter().zip(&q) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degraded_index_query_surface_stays_typed() {
+        // Rank-deficient corpus: requested rank 2, true rank 1.
+        let td = TermDocumentMatrix::from_triplets(
+            3,
+            2,
+            &[(0, 0, 1.0), (1, 0, 2.0), (0, 1, 1.0), (1, 1, 2.0)],
+        )
+        .unwrap();
+        let idx = LsiIndex::build(&td, LsiConfig::with_rank(2)).unwrap();
+        assert!(matches!(idx.build_status(), BuildStatus::Degraded { .. }));
+        // Every retrieval entry point still answers in the live subspace.
+        assert!(!idx.try_query(&[(0, 1.0)], 5, None).unwrap().is_empty());
+        assert!(!idx.try_similar_docs(0, 5, None).unwrap().is_empty());
+        let _ = idx.try_similar_terms(0, 5, None).unwrap();
+        assert!(idx.try_query(&[(0, 1.0)], 0, None).unwrap().is_empty());
+        let oversized = idx.try_similar_docs(0, 99, None).unwrap();
+        assert!(oversized.len() <= idx.n_docs());
     }
 
     #[test]

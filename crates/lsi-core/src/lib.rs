@@ -21,7 +21,11 @@
 //! * [`storage`] — a versioned binary on-disk format, because the SVD is
 //!   the expensive step and a deployed index is computed once.
 
+//! * [`cancel`] — cooperative cancellation tokens threaded through the
+//!   query hot paths, so a serving layer can enforce deadlines.
+
 pub mod angles;
+pub mod cancel;
 pub mod config;
 pub mod index;
 pub mod skew;
@@ -29,7 +33,8 @@ pub mod storage;
 pub mod synonymy;
 
 pub use angles::{pairwise_angle_stats, AngleStats, PairAngleReport};
+pub use cancel::CancelToken;
 pub use config::{LsiConfig, SvdBackend};
-pub use index::{BuildStatus, LsiError, LsiIndex};
+pub use index::{BadQuery, BuildStatus, LsiError, LsiIndex};
 pub use skew::{measure_skew, SkewReport};
-pub use storage::{read_index, write_index, StorageError};
+pub use storage::{read_index, write_index, write_index_atomic, StorageError};

@@ -311,6 +311,43 @@ pub fn write_index<W: Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageE
     Ok(())
 }
 
+/// Writes an index to `path` atomically, mirroring the crash-safe pattern
+/// of the CLI's `.lsic` container: the bytes go to a temporary sibling
+/// (`<name>.tmp`), are flushed and synced, and only then renamed over the
+/// destination. A crash or I/O failure mid-write therefore never destroys
+/// an existing index file — at worst it leaves a stale `.tmp`, which the
+/// next atomic write cleans up.
+pub fn write_index_atomic(path: &std::path::Path, index: &LsiIndex) -> Result<(), StorageError> {
+    let tmp = stale_tmp_path(path);
+    // A leftover .tmp from a crashed previous writer is dead weight; remove
+    // it so this write starts from a clean slate (File::create would
+    // truncate anyway, but a failed create should not be masked by it).
+    if tmp.exists() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    let file = std::fs::File::create(&tmp)?;
+    let mut w = std::io::BufWriter::new(file);
+    let write_result = write_index(&mut w, index)
+        .and_then(|()| w.flush().map_err(StorageError::from))
+        .and_then(|()| w.get_ref().sync_all().map_err(StorageError::from));
+    if let Err(e) = write_result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        StorageError::Io(e)
+    })
+}
+
+/// The temporary sibling used by [`write_index_atomic`]: the destination
+/// file name with `.tmp` appended (so `idx.lsix` → `idx.lsix.tmp`).
+fn stale_tmp_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 /// Deserializes an index from any reader.
 ///
 /// Accepts both the current version-2 format (CRC-32 trailer, verified)
@@ -609,6 +646,55 @@ mod tests {
             msg.contains("0x00000001") && msg.contains("0x00000002"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_leaves_no_tmp() {
+        let idx = sample_index();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lsi_atomic_{}.lsix", std::process::id()));
+        write_index_atomic(&path, &idx).unwrap();
+        assert!(!stale_tmp_path(&path).exists(), "tmp sibling left behind");
+        let mut f = std::fs::File::open(&path).unwrap();
+        let loaded = read_index(&mut f).unwrap();
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_mid_write_never_destroys_existing_index() {
+        // The crash model: a previous writer died after emitting only part
+        // of the payload into the .tmp sibling. The destination file must
+        // stay valid throughout, and the next atomic write must clean the
+        // stale .tmp up and succeed.
+        let idx = sample_index();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lsi_atomic_crash_{}.lsix", std::process::id()));
+        write_index_atomic(&path, &idx).unwrap();
+
+        // Simulate the crashed writer: a truncated payload in the .tmp.
+        let mut full = Vec::new();
+        write_index(&mut full, &idx).unwrap();
+        let tmp = stale_tmp_path(&path);
+        std::fs::write(&tmp, &full[..full.len() / 3]).unwrap();
+
+        // The destination is untouched by the crashed write.
+        let mut f = std::fs::File::open(&path).unwrap();
+        let loaded = read_index(&mut f).unwrap();
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+        // The truncated .tmp itself is unreadable garbage, as expected.
+        let mut g = std::fs::File::open(&tmp).unwrap();
+        assert!(read_index(&mut g).is_err());
+
+        // A fresh atomic write clears the stale .tmp and installs cleanly.
+        let mut idx2 = idx.clone();
+        idx2.add_document(&[(0, 1.0)]);
+        write_index_atomic(&path, &idx2).unwrap();
+        assert!(!tmp.exists(), "stale tmp survived the rewrite");
+        let mut f2 = std::fs::File::open(&path).unwrap();
+        let reloaded = read_index(&mut f2).unwrap();
+        assert_eq!(reloaded.n_docs(), idx.n_docs() + 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

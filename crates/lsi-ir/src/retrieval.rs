@@ -13,7 +13,7 @@ pub struct SearchHit {
 }
 
 /// A score-descending ranked result list.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankedList {
     hits: Vec<SearchHit>,
 }
@@ -143,6 +143,32 @@ impl VectorSpaceIndex {
         RankedList::from_hits(hits).truncated(top_k)
     }
 
+    /// Appends a new document column to the index (the term-space analogue
+    /// of LSI fold-in), returning its id. `terms` must already be weighted
+    /// consistently with the matrix the index was built from; unknown term
+    /// ids and zero weights are skipped, exactly as in querying.
+    ///
+    /// This keeps a raw-VSM fallback index in lockstep with an
+    /// [`LsiIndex`](https://docs.rs/lsi-core)-style spectral index that
+    /// grows by folding in, so degraded-mode retrieval sees the same
+    /// document set.
+    pub fn add_document(&mut self, terms: &[(usize, f64)]) -> usize {
+        let doc = self.n_docs;
+        let mut norm_sq = 0.0f64;
+        for &(t, w) in terms {
+            if w == 0.0 {
+                continue;
+            }
+            if let Some(posting) = self.postings.get_mut(t) {
+                posting.push((doc, w));
+                norm_sq += w * w;
+            }
+        }
+        self.doc_norms.push(norm_sq.sqrt());
+        self.n_docs += 1;
+        doc
+    }
+
     /// Cosine similarity between two indexed documents, computed from the
     /// postings (O(nnz) — fine for tests and small corpora; batch work
     /// should use the matrix directly).
@@ -240,6 +266,22 @@ mod tests {
         let idx = index();
         assert_eq!(idx.n_docs(), 3);
         assert_eq!(idx.n_terms(), 4);
+    }
+
+    #[test]
+    fn add_document_appends_searchable_column() {
+        let mut idx = index();
+        let id = idx.add_document(&[(0, 2.0), (2, 1.0), (99, 5.0), (1, 0.0)]);
+        assert_eq!(id, 3);
+        assert_eq!(idx.n_docs(), 4);
+        // Only the in-vocabulary, nonzero weights count toward the norm.
+        let r = idx.query(&[(0, 1.0), (2, 0.5)], 10);
+        assert!(r.doc_ids().contains(&id));
+        // Norm reflects exactly the stored weights: (2, 1).
+        let hit = r.hits().iter().find(|h| h.doc == id).unwrap();
+        assert!(hit.score.is_finite() && hit.score > 0.0);
+        // doc_cosine with the new document works too.
+        assert!((idx.doc_cosine(id, id) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Resilient concurrent query serving for LSI indexes.
+//!
+//! The paper's retrieval model is a pure function: project a query into the
+//! rank-`k` LSI subspace and rank documents by cosine. This crate wraps that
+//! function in the machinery a long-running service needs to keep answering
+//! under load and partial failure:
+//!
+//! - **Deadlines & cancellation** — every query carries a hard deadline;
+//!   the scoring loops in `lsi-core` poll a [`CancelToken`] and abandon
+//!   work cooperatively once it expires ([`QueryError::DeadlineExceeded`]).
+//! - **Admission control** — a bounded submission queue sheds excess load
+//!   at the front door ([`QueryError::Overloaded`]) instead of queueing
+//!   unboundedly.
+//! - **Panic isolation** — each query runs inside `catch_unwind`; a panic
+//!   becomes [`QueryError::Internal`] for that one caller and the worker
+//!   respawns, so one poisoned query never takes the service down.
+//! - **Graceful degradation** — an index built at degraded rank, or a
+//!   query that overruns its *soft* deadline, is answered by the raw
+//!   term-space scorer from `lsi-ir` and the response is explicitly marked
+//!   [`QueryResponse::Degraded`].
+//! - **Observability** — a lock-free [`ServeStats`] block counts every
+//!   admission decision and terminal outcome plus a latency histogram, with
+//!   an accounting identity ([`StatsSnapshot::consistent`]) the chaos suite
+//!   asserts after every storm.
+//!
+//! Concurrency is std-only: a fixed pool of named worker threads, a bounded
+//! `sync_channel` for admission, and an `RwLock` around the index so
+//! fold-in updates serialize against reads.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsi_core::{LsiConfig, LsiIndex};
+//! use lsi_ir::TermDocumentMatrix;
+//! use lsi_serve::{EngineConfig, Query, QueryEngine};
+//!
+//! let td = TermDocumentMatrix::from_triplets(
+//!     3,
+//!     3,
+//!     &[(0, 0, 2.0), (1, 0, 1.0), (0, 1, 1.0), (2, 2, 3.0)],
+//! )
+//! .unwrap();
+//! let index = LsiIndex::build(&td, LsiConfig::with_rank(2)).unwrap();
+//! let engine = QueryEngine::with_fallback(index, &td, EngineConfig::default());
+//! let response = engine.query(Query::new(vec![(0, 1.0)], 3)).unwrap();
+//! assert!(!response.hits().is_empty());
+//! println!("{}", engine.stats().table());
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+pub mod stats;
+
+pub use engine::{
+    DegradeReason, EngineConfig, FaultHook, Query, QueryEngine, QueryError, QueryResponse, Ticket,
+};
+pub use lsi_core::cancel::CancelToken;
+pub use stats::{Outcome, ServeStats, StatsSnapshot, LATENCY_BUCKETS_US};

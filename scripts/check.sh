@@ -13,4 +13,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace
 
+echo "== serve chaos suite (fixed seed)"
+SERVE_CHAOS_SEED=20260706 cargo test --test serve_chaos
+
+echo "== serve chaos soak (high volume)"
+SERVE_SOAK=1 cargo test --test serve_chaos fault_storm
+
+echo "== benches compile"
+cargo bench --workspace --no-run
+
 echo "== all checks passed"

@@ -14,3 +14,4 @@ pub use lsi_graph as graph;
 pub use lsi_ir as ir;
 pub use lsi_linalg as linalg;
 pub use lsi_rp as rp;
+pub use lsi_serve as serve;
