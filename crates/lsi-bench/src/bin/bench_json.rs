@@ -1,0 +1,201 @@
+//! Kernel benchmark baseline: wall-times and GFLOP/s for the parallel
+//! linalg kernels at 1, 2, and 4 linalg threads, written as JSON.
+//!
+//! ```text
+//! bench-json [--out PATH] [--smoke]
+//! ```
+//!
+//! Emits `BENCH_kernels.json` (at the repo root by default) with one record
+//! per (kernel, thread count): median wall milliseconds over several runs,
+//! derived GFLOP/s where a flop count is well-defined, and speedup versus
+//! the 1-thread row. The host's logical CPU count is recorded alongside —
+//! on a single-core host the >1-thread rows measure scheduling overhead,
+//! not speedup, and the JSON says so rather than hiding it.
+//!
+//! `--smoke` shrinks problem sizes and repetitions so CI can verify the
+//! path end-to-end in well under a second.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_linalg::parallel::set_threads;
+use lsi_linalg::rng::{gaussian_matrix, seeded};
+use lsi_linalg::CsrMatrix;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Args {
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = "BENCH_kernels.json".to_owned();
+    let mut smoke = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().ok_or("--out needs a value")?,
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!("usage: bench-json [--out PATH] [--smoke]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args { out, smoke })
+}
+
+/// Median wall time in milliseconds over `reps` runs of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+struct Record {
+    kernel: &'static str,
+    shape: String,
+    threads: usize,
+    wall_ms: f64,
+    /// `None` when a flop count is not well-defined (e.g. whole Lanczos runs).
+    gflops: Option<f64>,
+    speedup_vs_1t: f64,
+}
+
+/// Runs one kernel at every thread count and returns its records.
+fn sweep(
+    kernel: &'static str,
+    shape: String,
+    flops: Option<f64>,
+    reps: usize,
+    mut f: impl FnMut(),
+) -> Vec<Record> {
+    let mut records: Vec<Record> = Vec::new();
+    for &t in &THREAD_COUNTS {
+        set_threads(t);
+        let wall_ms = median_ms(reps, &mut f);
+        let base = records.first().map_or(wall_ms, |r: &Record| r.wall_ms);
+        records.push(Record {
+            kernel,
+            shape: shape.clone(),
+            threads: t,
+            wall_ms,
+            gflops: flops.map(|fl| fl / (wall_ms * 1e6)),
+            speedup_vs_1t: base / wall_ms,
+        });
+        eprintln!("  {kernel:<24} threads={t}  {wall_ms:>10.3} ms");
+    }
+    set_threads(0);
+    records
+}
+
+fn sparse_matrix(m: usize, n: usize, seed: u64) -> CsrMatrix {
+    let mut rng = seeded(seed);
+    let mut d = gaussian_matrix(&mut rng, m, n);
+    d.map_inplace(|x| if x.abs() > 1.5 { x } else { 0.0 });
+    CsrMatrix::from_dense(&d, 0.0)
+}
+
+fn main() -> Result<(), String> {
+    let args = parse_args()?;
+    let (dim, reps, svd_mn, svd_k) = if args.smoke {
+        (96usize, 3usize, (200usize, 100usize), 5usize)
+    } else {
+        (1000, 5, (5000, 2000), 50)
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "bench-json: host has {host_cpus} logical CPU(s); sweeping threads {THREAD_COUNTS:?}"
+    );
+
+    let mut records: Vec<Record> = Vec::new();
+
+    // Dense matmul, dim³ problem: 2·n³ flops.
+    let mut rng = seeded(0xbe7c);
+    let a = gaussian_matrix(&mut rng, dim, dim);
+    let b = gaussian_matrix(&mut rng, dim, dim);
+    records.extend(sweep(
+        "dense_matmul",
+        format!("{dim}x{dim}x{dim}"),
+        Some(2.0 * (dim as f64).powi(3)),
+        reps,
+        || {
+            std::hint::black_box(a.matmul(&b).unwrap());
+        },
+    ));
+
+    // Dense matvec on the same matrix: 2·n² flops.
+    let x = vec![1.0; dim];
+    let mut out = vec![0.0; dim];
+    records.extend(sweep(
+        "dense_matvec",
+        format!("{dim}x{dim}"),
+        Some(2.0 * (dim as f64).powi(2)),
+        reps * 20,
+        || {
+            a.matvec_into(std::hint::black_box(&x), &mut out).unwrap();
+        },
+    ));
+
+    // CSR matvec on a thresholded-Gaussian sparse matrix: 2·nnz flops.
+    let (sm, sn) = svd_mn;
+    let sp = sparse_matrix(sm, sn, 0x5eed);
+    let sx = vec![1.0; sn];
+    let mut sout = vec![0.0; sm];
+    records.extend(sweep(
+        "csr_matvec",
+        format!("{sm}x{sn} nnz={}", sp.nnz()),
+        Some(2.0 * sp.nnz() as f64),
+        reps * 20,
+        || {
+            sp.matvec_into(std::hint::black_box(&sx), &mut sout)
+                .unwrap();
+        },
+    ));
+
+    // Rank-k Lanczos SVD of the sparse matrix; no single flop count.
+    records.extend(sweep(
+        "lanczos_svd",
+        format!("{sm}x{sn} k={svd_k}"),
+        None,
+        reps.min(3),
+        || {
+            std::hint::black_box(lanczos_svd(&sp, svd_k, &LanczosOptions::default()).unwrap());
+        },
+    ));
+
+    // Hand-rolled JSON: the workspace is dependency-free by policy, and the
+    // schema is flat enough that formatting it directly stays readable.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_logical_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"thread_counts\": [1, 2, 4],");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"bitwise-identical outputs at every thread count; speedup requires >1 host CPU\","
+    );
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let gflops = r.gflops.map_or("null".to_owned(), |g| format!("{g:.4}"));
+        let _ = write!(
+            json,
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"wall_ms\": {:.4}, \"gflops\": {}, \"speedup_vs_1t\": {:.3}}}",
+            r.kernel, r.shape, r.threads, r.wall_ms, gflops, r.speedup_vs_1t
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&args.out, &json).map_err(|e| format!("writing {}: {e}", args.out))?;
+    println!("wrote {} ({} records)", args.out, records.len());
+    Ok(())
+}

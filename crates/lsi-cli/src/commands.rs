@@ -341,9 +341,10 @@ pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result
         )));
     }
     Ok(format!(
-        "serve-bench: {} queries, {} workers, deadline {} ms, seed {}\n{}",
+        "serve-bench: {} queries, {} workers, {} linalg thread(s), deadline {} ms, seed {}\n{}",
         opts.queries,
         opts.workers,
+        lsi_linalg::parallel::threads(),
         opts.deadline_ms,
         opts.seed,
         stats.table().trim_end()
@@ -548,6 +549,9 @@ mod tests {
         let report = cmd_serve_bench(container, &opts).unwrap();
         assert!(report.contains("200 queries"), "{report}");
         assert!(report.contains("submitted"), "{report}");
+        // The report states the linalg thread configuration so bench runs
+        // are self-describing.
+        assert!(report.contains("linalg thread(s)"), "{report}");
         // The profile injects malformed queries; they must show up typed.
         assert!(report.contains("bad query"), "{report}");
 

@@ -21,6 +21,10 @@ usage:
   lsi serve-bench --index <out.lsic> [--queries N] [--workers W] [--seed S]
                   [--deadline-ms D] [--soft-ms D]
 
+global flags:
+  --threads N   linalg thread count (overrides LSI_THREADS; outputs are
+                bitwise identical for every value)
+
 weightings: count, binary, log-tf, tf-idf, log-entropy (default: log-entropy)
 ";
 
@@ -64,8 +68,36 @@ impl Flags {
     }
 }
 
+/// Extracts the global `--threads N` flag (accepted before or after the
+/// command) and applies it, returning the remaining arguments.
+///
+/// Results are bitwise identical for every value, so the flag only affects
+/// wall time; 0 would mean "back to automatic", which is not a sensible
+/// CLI request, so reject it.
+fn apply_threads_flag(args: Vec<String>) -> Result<Vec<String>, CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::usage("--threads needs a value"))?;
+            let t: usize = v
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --threads value {v:?}: {e}")))?;
+            if t == 0 {
+                return Err(CliError::usage("--threads must be at least 1"));
+            }
+            lsi_linalg::parallel::set_threads(t);
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok(rest)
+}
+
 fn run() -> Result<(), CliError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = apply_threads_flag(std::env::args().skip(1).collect())?;
     let Some(command) = args.first() else {
         eprint!("{USAGE}");
         return Err(CliError::usage("no command given"));

@@ -1,0 +1,111 @@
+//! Parallel-kernel benches: the hot linalg kernels at 1, 2, and 4 linalg
+//! threads, exercising the `parallel` work-sharing layer end to end.
+//!
+//! Because outputs are bitwise identical at every thread count, the bench
+//! compares *only* wall time; any numerical comparison would be vacuous.
+//! On a single-core host the 2/4-thread rows measure scheduling overhead
+//! rather than speedup — see `BENCH_kernels.json` for the recorded host
+//! CPU count alongside the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_linalg::parallel::set_threads;
+use lsi_linalg::rng::{gaussian_matrix, seeded};
+use lsi_linalg::{CsrMatrix, Matrix};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn dense_pair(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
+    let mut rng = seeded(seed);
+    (
+        gaussian_matrix(&mut rng, m, k),
+        gaussian_matrix(&mut rng, k, n),
+    )
+}
+
+fn sparse_matrix(m: usize, n: usize, seed: u64) -> CsrMatrix {
+    let mut rng = seeded(seed);
+    let mut d = gaussian_matrix(&mut rng, m, n);
+    d.map_inplace(|x| if x.abs() > 1.5 { x } else { 0.0 });
+    CsrMatrix::from_dense(&d, 0.0)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let (a, b) = dense_pair(384, 384, 384, 17);
+    let mut group = c.benchmark_group("parallel_matmul_384");
+    for &t in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            set_threads(t);
+            bch.iter(|| black_box(a.matmul(&b).unwrap()));
+        });
+    }
+    set_threads(0);
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let (a, _) = dense_pair(1500, 1000, 1, 23);
+    let x = vec![1.0; 1000];
+    let y = vec![0.5; 1500];
+    let mut out_m = vec![0.0; 1500];
+    let mut out_n = vec![0.0; 1000];
+    let mut group = c.benchmark_group("parallel_matvec_1500x1000");
+    for &t in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("into/threads", t), &t, |bch, &t| {
+            set_threads(t);
+            bch.iter(|| a.matvec_into(black_box(&x), &mut out_m).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("transpose/threads", t), &t, |bch, &t| {
+            set_threads(t);
+            bch.iter(|| a.matvec_transpose_into(black_box(&y), &mut out_n).unwrap());
+        });
+    }
+    set_threads(0);
+    group.finish();
+}
+
+fn bench_csr_matvec(c: &mut Criterion) {
+    let sp = sparse_matrix(2000, 1200, 31);
+    let x = vec![1.0; 1200];
+    let y = vec![0.5; 2000];
+    let mut out_m = vec![0.0; 2000];
+    let mut out_n = vec![0.0; 1200];
+    let mut group = c.benchmark_group("parallel_csr_matvec_2000x1200");
+    for &t in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("into/threads", t), &t, |bch, &t| {
+            set_threads(t);
+            bch.iter(|| sp.matvec_into(black_box(&x), &mut out_m).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("transpose/threads", t), &t, |bch, &t| {
+            set_threads(t);
+            bch.iter(|| sp.matvec_transpose_into(black_box(&y), &mut out_n).unwrap());
+        });
+    }
+    set_threads(0);
+    group.finish();
+}
+
+fn bench_lanczos(c: &mut Criterion) {
+    let sp = sparse_matrix(1200, 600, 47);
+    let mut group = c.benchmark_group("parallel_lanczos_k10_1200x600");
+    group.sample_size(10);
+    for &t in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |bch, &t| {
+            set_threads(t);
+            bch.iter(|| black_box(lanczos_svd(&sp, 10, &LanczosOptions::default()).unwrap()));
+        });
+    }
+    set_threads(0);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matvec,
+    bench_csr_matvec,
+    bench_lanczos
+);
+criterion_main!(benches);

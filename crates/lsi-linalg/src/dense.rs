@@ -4,8 +4,52 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use crate::error::LinalgError;
+use crate::parallel;
 use crate::vector;
 use crate::Result;
+
+/// Rows per matmul chunk: fixed so chunk boundaries (and hence results)
+/// never depend on the thread count.
+const MATMUL_ROW_GRAIN: usize = 8;
+/// Rows per matvec chunk.
+const MATVEC_ROW_GRAIN: usize = 64;
+/// Output columns per transpose-side chunk.
+const COL_GRAIN: usize = 512;
+/// Register tile width of the matmul microkernel.
+const MICRO_NR: usize = 8;
+
+/// Accumulates one output row of `A · B` into `out_row`, register-tiled
+/// over `MICRO_NR`-wide column blocks.
+///
+/// The per-element arithmetic is exactly the classic i-k-j axpy loop: each
+/// `out[j]` receives `a[k] * b[k][j]` for `k` ascending, one rounding per
+/// addition, skipping zero `a[k]` — so results are bit-identical to the
+/// untiled kernel while the accumulators stay in registers.
+fn matmul_row_kernel(a_row: &[f64], b_data: &[f64], n: usize, out_row: &mut [f64]) {
+    let mut j = 0;
+    while j + MICRO_NR <= n {
+        let mut acc = [0.0f64; MICRO_NR];
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b = &b_data[k * n + j..k * n + j + MICRO_NR];
+            for (a, &bj) in acc.iter_mut().zip(b) {
+                *a += aik * bj;
+            }
+        }
+        out_row[j..j + MICRO_NR].copy_from_slice(&acc);
+        j += MICRO_NR;
+    }
+    if j < n {
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            vector::axpy(aik, &b_data[k * n + j..(k + 1) * n], &mut out_row[j..]);
+        }
+    }
+}
 
 /// A dense, row-major `f64` matrix.
 ///
@@ -177,8 +221,9 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses the cache-friendly i-k-j loop order; adequate for the matrix
-    /// sizes this workspace uses (up to a few thousand on a side).
+    /// Row blocks are distributed over the [`parallel`] executor and each
+    /// row runs a register-tiled i-k-j microkernel; the result is bitwise
+    /// identical for every thread count (see `parallel` module docs).
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -188,21 +233,31 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
+        let n = rhs.cols;
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(n)
+            .saturating_mul(2);
+        parallel::for_chunks_mut(
+            &mut out.data,
+            MATMUL_ROW_GRAIN * n.max(1),
+            work,
+            |_, offset, chunk| {
+                let row0 = offset / n;
+                for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+                    matmul_row_kernel(self.row(row0 + r), &rhs.data, n, out_row);
                 }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                vector::axpy(aik, b_row, out_row);
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
     /// `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// Parallel over blocks of output rows (columns of `self`); every
+    /// output element accumulates its `k` terms in ascending order, so the
+    /// result matches the serial kernel bit for bit.
     pub fn transpose_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -212,46 +267,93 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
+        let n = rhs.cols;
+        let work = self
+            .rows
+            .saturating_mul(self.cols)
+            .saturating_mul(n)
+            .saturating_mul(2);
+        parallel::for_chunks_mut(
+            &mut out.data,
+            MATMUL_ROW_GRAIN * n.max(1),
+            work,
+            |_, offset, chunk| {
+                let i0 = offset / n;
+                for k in 0..self.rows {
+                    let a_row = self.row(k);
+                    let b_row = rhs.row(k);
+                    for (r, out_row) in chunk.chunks_mut(n).enumerate() {
+                        let aki = a_row[i0 + r];
+                        if aki == 0.0 {
+                            continue;
+                        }
+                        vector::axpy(aki, b_row, out_row);
+                    }
                 }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                vector::axpy(aki, b_row, out_row);
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
     /// Matrix–vector product `self * x`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.cols {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x` written into a caller-provided
+    /// buffer (`out.len()` must equal `nrows`): the allocation-free form
+    /// iterative solvers call in a loop. Row blocks run on the [`parallel`]
+    /// executor; each element is the same [`vector::dot`] as the serial
+    /// kernel.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || out.len() != self.rows {
             return Err(LinalgError::ShapeMismatch {
-                op: "matvec",
+                op: "matvec_into",
                 left: self.shape(),
                 right: (x.len(), 1),
             });
         }
-        Ok(self.rows_iter().map(|row| vector::dot(row, x)).collect())
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(2);
+        parallel::for_chunks_mut(out, MATVEC_ROW_GRAIN, work, |_, offset, chunk| {
+            for (r, o) in chunk.iter_mut().enumerate() {
+                *o = vector::dot(self.row(offset + r), x);
+            }
+        });
+        Ok(())
     }
 
     /// `selfᵀ * x`.
     pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.rows {
+        let mut out = vec![0.0; self.cols];
+        self.matvec_transpose_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// `selfᵀ * x` into a caller-provided buffer (`out.len()` must equal
+    /// `ncols`). Parallel over output-column blocks: each block accumulates
+    /// the rows in ascending order, exactly like the serial single-pass
+    /// axpy loop, so results are bitwise thread-count-invariant.
+    pub fn matvec_transpose_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.rows || out.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
-                op: "matvec_transpose",
+                op: "matvec_transpose_into",
                 left: self.shape(),
                 right: (x.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.cols];
-        for (i, row) in self.rows_iter().enumerate() {
-            vector::axpy(x[i], row, &mut out);
-        }
-        Ok(out)
+        let cols = self.cols;
+        let work = self.rows.saturating_mul(cols).saturating_mul(2);
+        parallel::for_chunks_mut(out, COL_GRAIN, work, |_, offset, chunk| {
+            chunk.fill(0.0);
+            let w = chunk.len();
+            for (i, &xi) in x.iter().enumerate() {
+                let row_slab = &self.data[i * cols + offset..i * cols + offset + w];
+                vector::axpy(xi, row_slab, chunk);
+            }
+        });
+        Ok(())
     }
 
     /// Elementwise sum.

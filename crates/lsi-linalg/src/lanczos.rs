@@ -15,10 +15,14 @@ use rand::Rng;
 use crate::dense::Matrix;
 use crate::error::LinalgError;
 use crate::operator::LinearOperator;
+use crate::parallel;
 use crate::rng::seeded;
 use crate::svd::{svd, TruncatedSvd};
 use crate::vector;
 use crate::Result;
+
+/// Elements per chunk when combining Ritz vectors out of the Krylov basis.
+const COMBINE_GRAIN: usize = 2048;
 
 /// Options for [`lanczos_svd`].
 #[derive(Debug, Clone, PartialEq)]
@@ -125,10 +129,33 @@ impl GklState {
 }
 
 /// Two classical Gram–Schmidt passes against an orthonormal set.
+///
+/// The inner products and updates go through the [`parallel`] kernels:
+/// coefficients use the fixed-chunk ordered-reduction dot, updates the
+/// element-parallel axpy — both bitwise identical to the serial kernels at
+/// any thread count, so reorthogonalization (the dominant cost of full
+/// reorthogonalization at large step counts) scales without perturbing the
+/// recurrence.
 fn reorthogonalize(x: &mut [f64], basis: &[Vec<f64>]) {
     for _ in 0..2 {
-        vector::orthogonalize_against(x, basis);
+        for q in basis {
+            let c = parallel::dot(x, q);
+            parallel::axpy(-c, q, x);
+        }
     }
+}
+
+/// `out = Σ_j coeff(j) · basis[j]`, element-parallel with fixed chunk
+/// boundaries: within each output chunk the basis vectors are accumulated
+/// in ascending `j`, matching the serial axpy loop bit for bit.
+fn combine_basis(basis: &[Vec<f64>], coeff: impl Fn(usize) -> f64 + Sync, out: &mut [f64]) {
+    let work = basis.len().saturating_mul(out.len()).saturating_mul(2);
+    parallel::for_chunks_mut(out, COMBINE_GRAIN, work, |_, offset, chunk| {
+        chunk.fill(0.0);
+        for (j, q) in basis.iter().enumerate() {
+            vector::axpy(coeff(j), &q[offset..offset + chunk.len()], chunk);
+        }
+    });
 }
 
 /// Leading-`k` truncated SVD of a linear operator by Lanczos bidiagonalization.
@@ -225,19 +252,18 @@ pub fn lanczos_svd_detailed<Op: LinearOperator + ?Sized>(
     let mut vt = Matrix::zeros(k, n);
     let mut singular_values = vec![0.0; k];
 
+    // Reused scratch for both mapped columns: the back-mapping loop used to
+    // allocate two fresh vectors per triplet.
+    let mut scratch = vec![0.0; m.max(n)];
     for i in 0..avail {
         singular_values[i] = small.singular_values[i];
         // u_i = Σ_j P[j, i] · us[j]
-        let mut ucol = vec![0.0; m];
-        for j in 0..s {
-            vector::axpy(small.u[(j, i)], &state.us[j], &mut ucol);
-        }
-        u.set_col(i, &ucol);
+        let ucol = &mut scratch[..m];
+        combine_basis(&state.us[..s], |j| small.u[(j, i)], ucol);
+        u.set_col(i, ucol);
         // v_i = Σ_j Q[j, i] · vs[j]  (Q[j, i] = vt[i, j])
-        let mut vcol = vec![0.0; n];
-        for j in 0..s {
-            vector::axpy(small.vt[(i, j)], &state.vs[j], &mut vcol);
-        }
+        let vcol = &mut scratch[..n];
+        combine_basis(&state.vs[..s], |j| small.vt[(i, j)], vcol);
         for (col, &x) in vcol.iter().enumerate() {
             vt[(i, col)] = x;
         }

@@ -28,9 +28,14 @@
 //! * [`faults`] — seeded fault injection ([`faults::FaultyOperator`]) for
 //!   exercising the driver's fallback and verification paths.
 //! * [`rng`] — seeded Gaussian sampling and random orthonormal matrices.
+//! * [`parallel`] — the deterministic chunked executor behind the hot
+//!   kernels: fixed chunk boundaries and ordered reductions make every
+//!   kernel bitwise identical at any thread count (`LSI_THREADS` /
+//!   [`parallel::set_threads`]).
 //!
 //! All routines are deterministic given their inputs (and, where relevant, a
-//! seed), and return [`Result`] rather than panicking on shape errors.
+//! seed) — independently of the configured thread count — and return
+//! [`Result`] rather than panicking on shape errors.
 //!
 //! # Example
 //!
@@ -51,6 +56,7 @@ pub mod faults;
 pub mod lanczos;
 pub mod norms;
 pub mod operator;
+pub mod parallel;
 pub mod qr;
 pub mod randomized;
 pub mod rng;

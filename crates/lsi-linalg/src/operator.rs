@@ -22,6 +22,40 @@ pub trait LinearOperator {
     /// `Aᵀ x`; `x.len()` must equal `nrows()`.
     fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>>;
 
+    /// `A x` written into `out` (`out.len()` must equal `nrows()`).
+    ///
+    /// The default delegates to [`apply`](Self::apply) and copies; concrete
+    /// matrix types override it with an allocation-free kernel so iterative
+    /// solvers can reuse scratch buffers. Overrides must produce bitwise
+    /// the same values as `apply`.
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        let y = self.apply(x)?;
+        if out.len() != y.len() {
+            return Err(crate::LinalgError::ShapeMismatch {
+                op: "apply_into",
+                left: (self.nrows(), self.ncols()),
+                right: (out.len(), 1),
+            });
+        }
+        out.copy_from_slice(&y);
+        Ok(())
+    }
+
+    /// `Aᵀ x` written into `out` (`out.len()` must equal `ncols()`); see
+    /// [`apply_into`](Self::apply_into).
+    fn apply_transpose_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        let y = self.apply_transpose(x)?;
+        if out.len() != y.len() {
+            return Err(crate::LinalgError::ShapeMismatch {
+                op: "apply_transpose_into",
+                left: (self.nrows(), self.ncols()),
+                right: (out.len(), 1),
+            });
+        }
+        out.copy_from_slice(&y);
+        Ok(())
+    }
+
     /// Materializes the operator as a dense matrix by applying it to the
     /// standard basis. Intended for tests and small operators.
     fn to_dense(&self) -> Result<Matrix> {
@@ -53,6 +87,14 @@ impl LinearOperator for Matrix {
 
     fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
         self.matvec_transpose(x)
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        self.matvec_into(x, out)
+    }
+
+    fn apply_transpose_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        self.matvec_transpose_into(x, out)
     }
 
     fn to_dense(&self) -> Result<Matrix> {

@@ -1,0 +1,310 @@
+//! Deterministic chunked parallel executor for the hot kernels.
+//!
+//! Every parallel routine in this crate is built on two primitives —
+//! [`for_chunks_mut`] (disjoint output partitioning) and [`map_chunks`]
+//! (ordered per-chunk results) — designed so that results are **bitwise
+//! identical for every thread count**:
+//!
+//! * **Fixed chunk boundaries.** Work is split into chunks whose boundaries
+//!   depend only on the problem size and a per-call-site grain constant,
+//!   never on the thread count. Threads claim whole chunks (static
+//!   round-robin), so which thread runs a chunk can vary but what a chunk
+//!   computes cannot.
+//! * **Disjoint outputs.** Each chunk owns a disjoint slice of the output,
+//!   so there are no concurrent writes and no atomics in the data path.
+//! * **Ordered combine.** Reductions ([`dot`]) produce one partial per
+//!   chunk, collected in chunk order and folded sequentially on the calling
+//!   thread. The floating-point evaluation order is therefore a function of
+//!   the input length alone.
+//!
+//! The thread count resolves, in precedence order: [`set_threads`] >
+//! the `LSI_THREADS` environment variable (read once, at first use) >
+//! [`std::thread::available_parallelism`]. A count of `1` takes the exact
+//! serial path (no threads spawned); small problems stay serial regardless,
+//! gated by an approximate work estimate against
+//! [`SPAWN_WORK_THRESHOLD`] — a gate that is safe precisely because the
+//! serial and parallel paths are bitwise interchangeable.
+//!
+//! Threads are spawned per parallel region with [`std::thread::scope`]
+//! (std-only; the workspace vendors no thread-pool crate). The work
+//! threshold keeps that spawn cost amortized: regions below ~10⁵ flops run
+//! inline.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::vector;
+
+/// Approximate per-region flop count below which the executor stays serial
+/// (thread spawn/join costs tens of microseconds; regions cheaper than this
+/// lose more to spawning than they gain from parallelism).
+pub const SPAWN_WORK_THRESHOLD: usize = 1 << 17;
+
+/// Fixed reduction-chunk width (in elements) for [`dot`]. Vectors no longer
+/// than this use a single straight-line accumulation; longer vectors are
+/// reduced per-chunk and combined in chunk order. Part of the determinism
+/// contract: never derived from the thread count.
+pub const DOT_CHUNK: usize = 1 << 13;
+
+/// Programmatic thread-count override; `0` means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `LSI_THREADS` parsed once; `0` means "unset or invalid".
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Sets the global kernel thread count. `0` resets to automatic resolution
+/// (the `LSI_THREADS` environment variable, then available parallelism);
+/// `1` forces the exact serial path. Thread-count changes never change
+/// results: all kernels in this crate are bitwise thread-count-invariant.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The thread count kernels will use: [`set_threads`] override if set, else
+/// `LSI_THREADS` (read once), else [`std::thread::available_parallelism`].
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    let env = *ENV_THREADS.get_or_init(|| {
+        std::env::var("LSI_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(0)
+    });
+    if env != 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of threads a region with `n_chunks` chunks of `work` total flops
+/// would actually use.
+fn effective_threads(n_chunks: usize, work: usize) -> usize {
+    if work < SPAWN_WORK_THRESHOLD {
+        1
+    } else {
+        threads().min(n_chunks).max(1)
+    }
+}
+
+/// Splits `out` into fixed `grain`-sized chunks and runs
+/// `f(chunk_index, offset, chunk)` for each, distributing chunks round-robin
+/// over up to [`threads()`] scoped threads when `work` (an approximate flop
+/// count for the whole region) clears [`SPAWN_WORK_THRESHOLD`].
+///
+/// Chunk boundaries depend only on `out.len()` and `grain`, and every chunk
+/// is a disjoint `&mut` slice, so the result is bitwise identical for any
+/// thread count. `offset` is the index of `chunk[0]` within `out`.
+pub fn for_chunks_mut<T, F>(out: &mut [T], grain: usize, work: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let grain = grain.max(1);
+    let n_chunks = out.len().div_ceil(grain);
+    let t = effective_threads(n_chunks, work);
+    if t <= 1 {
+        for (ci, chunk) in out.chunks_mut(grain).enumerate() {
+            f(ci, ci * grain, chunk);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..t).map(|_| Vec::new()).collect();
+    for (ci, chunk) in out.chunks_mut(grain).enumerate() {
+        buckets[ci % t].push((ci, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut buckets = buckets.into_iter();
+        let mine = buckets.next().expect("t >= 1 buckets");
+        for bucket in buckets {
+            s.spawn(move || {
+                for (ci, chunk) in bucket {
+                    f(ci, ci * grain, chunk);
+                }
+            });
+        }
+        for (ci, chunk) in mine {
+            f(ci, ci * grain, chunk);
+        }
+    });
+}
+
+/// Runs `f(chunk_index, range)` over fixed `grain`-sized chunks of `0..len`
+/// and returns the per-chunk results **in chunk order**, parallelizing like
+/// [`for_chunks_mut`]. The ordered result vector is what makes reductions
+/// deterministic: callers fold it sequentially.
+pub fn map_chunks<R, F>(len: usize, grain: usize, work: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let grain = grain.max(1);
+    let n_chunks = len.div_ceil(grain);
+    let range = |ci: usize| ci * grain..((ci + 1) * grain).min(len);
+    let t = effective_threads(n_chunks, work);
+    if t <= 1 {
+        return (0..n_chunks).map(|ci| f(ci, range(ci))).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+    let mut buckets: Vec<Vec<(usize, &mut Option<R>)>> = (0..t).map(|_| Vec::new()).collect();
+    for (ci, slot) in slots.iter_mut().enumerate() {
+        buckets[ci % t].push((ci, slot));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut buckets = buckets.into_iter();
+        let mine = buckets.next().expect("t >= 1 buckets");
+        for bucket in buckets {
+            s.spawn(move || {
+                for (ci, slot) in bucket {
+                    *slot = Some(f(ci, range(ci)));
+                }
+            });
+        }
+        for (ci, slot) in mine {
+            *slot = Some(f(ci, range(ci)));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk executed"))
+        .collect()
+}
+
+/// Dot product with fixed-boundary chunked reduction.
+///
+/// Vectors of length ≤ [`DOT_CHUNK`] are identical (bit for bit) to
+/// [`vector::dot`]; longer vectors are reduced per fixed 8192-element chunk
+/// and the partials summed in chunk order, so the evaluation order — and
+/// hence the rounding — depends only on the length, never the thread count.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "parallel::dot: length mismatch");
+    if a.len() <= DOT_CHUNK {
+        return vector::dot(a, b);
+    }
+    let partials = map_chunks(a.len(), DOT_CHUNK, 2 * a.len(), |_, r| {
+        vector::dot(&a[r.clone()], &b[r])
+    });
+    partials.iter().sum()
+}
+
+/// `y += alpha * x`, element-parallel. Elementwise updates are independent,
+/// so any partitioning is bitwise identical to [`vector::axpy`].
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "parallel::axpy: length mismatch");
+    for_chunks_mut(y, DOT_CHUNK, 2 * x.len(), |_, off, chunk| {
+        vector::axpy(alpha, &x[off..off + chunk.len()], chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the global thread override.
+    static KNOB: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn threads_resolves_to_at_least_one() {
+        let _g = KNOB.lock().unwrap();
+        set_threads(0);
+        assert!(threads() >= 1);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+    }
+
+    #[test]
+    fn for_chunks_covers_every_element_once() {
+        let _g = KNOB.lock().unwrap();
+        for t in [1usize, 2, 5] {
+            set_threads(t);
+            let mut out = vec![0u32; 1000];
+            // Force the parallel path with a large fake work estimate.
+            for_chunks_mut(&mut out, 64, usize::MAX, |_, off, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x += (off + i) as u32;
+                }
+            });
+            assert!(out.iter().enumerate().all(|(i, &x)| x == i as u32));
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn for_chunks_empty_is_noop() {
+        let mut out: Vec<f64> = Vec::new();
+        for_chunks_mut(&mut out, 8, usize::MAX, |_, _, _| panic!("no chunks"));
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let _g = KNOB.lock().unwrap();
+        for t in [1usize, 3, 8] {
+            set_threads(t);
+            let got = map_chunks(103, 10, usize::MAX, |ci, r| (ci, r.start, r.end));
+            assert_eq!(got.len(), 11);
+            for (ci, (idx, start, end)) in got.iter().enumerate() {
+                assert_eq!(*idx, ci);
+                assert_eq!(*start, ci * 10);
+                assert_eq!(*end, (ci * 10 + 10).min(103));
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn dot_bitwise_invariant_across_thread_counts() {
+        let _g = KNOB.lock().unwrap();
+        let n = 3 * DOT_CHUNK + 17;
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 + 5) % 101) as f64 * 0.013)
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| ((i * 53 + 11) % 97) as f64 * -0.021)
+            .collect();
+        set_threads(1);
+        let serial = dot(&a, &b);
+        for t in [2usize, 3, 8] {
+            set_threads(t);
+            assert_eq!(serial.to_bits(), dot(&a, &b).to_bits(), "threads = {t}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn dot_short_matches_vector_dot_exactly() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        assert_eq!(dot(&a, &b).to_bits(), vector::dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn axpy_matches_serial_axpy() {
+        let _g = KNOB.lock().unwrap();
+        let n = 2 * DOT_CHUNK + 3;
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+        let mut want: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let mut got = want.clone();
+        vector::axpy(0.37, &x, &mut want);
+        set_threads(4);
+        axpy(0.37, &x, &mut got);
+        set_threads(0);
+        assert!(want
+            .iter()
+            .zip(&got)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}

@@ -36,24 +36,38 @@ impl Default for RandomizedSvdOptions {
     }
 }
 
-/// Applies an operator to every column of a dense matrix: `A · M`.
-fn apply_to_columns<Op: LinearOperator + ?Sized>(a: &Op, m: &Matrix) -> Result<Matrix> {
-    let mut out = Matrix::zeros(a.nrows(), m.ncols());
+/// Shared body of the panel products: for each column `j` of `m`, computes
+/// one output column with `f` and writes it into the result.
+///
+/// Columns are visited **in order** on the calling thread — operators may
+/// be order-sensitive (the fault-injection wrapper keys its fault windows
+/// on the apply index), so panel-level parallelism belongs to the matvec
+/// kernels inside `f`, which partition rows/columns deterministically. The
+/// panel is transposed once up front so each column reaches `f` as a
+/// contiguous slice instead of being gathered (and allocated) per call,
+/// and one scratch buffer is reused for every output column.
+fn panel_product<F>(m: &Matrix, out_rows: usize, f: F) -> Result<Matrix>
+where
+    F: Fn(&[f64], &mut [f64]) -> Result<()>,
+{
+    let mt = m.transpose();
+    let mut out = Matrix::zeros(out_rows, m.ncols());
+    let mut col = vec![0.0; out_rows];
     for j in 0..m.ncols() {
-        let col = a.apply(&m.col(j))?;
+        f(mt.row(j), &mut col)?;
         out.set_col(j, &col);
     }
     Ok(out)
 }
 
+/// Applies an operator to every column of a dense matrix: `A · M`.
+fn apply_to_columns<Op: LinearOperator + ?Sized>(a: &Op, m: &Matrix) -> Result<Matrix> {
+    panel_product(m, a.nrows(), |col, out| a.apply_into(col, out))
+}
+
 /// Applies the transpose to every column: `Aᵀ · M`.
 fn apply_transpose_to_columns<Op: LinearOperator + ?Sized>(a: &Op, m: &Matrix) -> Result<Matrix> {
-    let mut out = Matrix::zeros(a.ncols(), m.ncols());
-    for j in 0..m.ncols() {
-        let col = a.apply_transpose(&m.col(j))?;
-        out.set_col(j, &col);
-    }
-    Ok(out)
+    panel_product(m, a.ncols(), |col, out| a.apply_transpose_into(col, out))
 }
 
 /// Leading-`k` truncated SVD of a linear operator by randomized range

@@ -8,7 +8,14 @@
 use crate::dense::Matrix;
 use crate::error::LinalgError;
 use crate::operator::LinearOperator;
+use crate::parallel;
 use crate::Result;
+
+/// Output rows per CSR matvec chunk (fixed: chunk boundaries must not
+/// depend on the thread count).
+const CSR_ROW_GRAIN: usize = 256;
+/// Output columns per CSR transpose-matvec chunk.
+const CSR_COL_GRAIN: usize = 1024;
 
 /// An immutable CSR sparse matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -242,6 +249,84 @@ impl CsrMatrix {
         out
     }
 
+    /// `self * x` written into `out` (`out.len()` must equal `nrows`),
+    /// allocation-free. Row blocks run on the [`parallel`] executor; each
+    /// row's accumulation order is that of the serial kernel, so results
+    /// are bitwise identical at any thread count.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::matvec_into",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let work = self.nnz().saturating_mul(2);
+        parallel::for_chunks_mut(out, CSR_ROW_GRAIN, work, |_, offset, chunk| {
+            for (r, yi) in chunk.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (c, v) in self.row_entries(offset + r) {
+                    acc += v * x[c];
+                }
+                *yi = acc;
+            }
+        });
+        Ok(())
+    }
+
+    /// `selfᵀ * x` written into `out` (`out.len()` must equal `ncols`),
+    /// allocation-free.
+    ///
+    /// Serially this is the classic row-major scatter. In parallel each
+    /// thread owns a block of output columns and walks the rows in the same
+    /// ascending order, binary-searching each row's (column-sorted) entries
+    /// for its block — per output element the contributions arrive in
+    /// exactly the serial order, so the two paths are bitwise identical.
+    pub fn matvec_transpose_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.rows || out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "CsrMatrix::matvec_transpose_into",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let work = self.nnz().saturating_mul(2);
+        if parallel::threads() <= 1 || work < parallel::SPAWN_WORK_THRESHOLD {
+            // Serial fast path: one pass over the rows, scattering into the
+            // full output — better locality than per-block column scans.
+            out.fill(0.0);
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                for (c, v) in self.row_entries(i) {
+                    out[c] += v * xi;
+                }
+            }
+            return Ok(());
+        }
+        parallel::for_chunks_mut(out, CSR_COL_GRAIN, work, |_, offset, chunk| {
+            chunk.fill(0.0);
+            let hi_col = offset + chunk.len();
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let lo = self.row_ptr[i];
+                let hi = self.row_ptr[i + 1];
+                let cols = &self.col_idx[lo..hi];
+                let start = cols.partition_point(|&c| c < offset);
+                for (&c, &v) in cols[start..].iter().zip(&self.values[lo + start..hi]) {
+                    if c >= hi_col {
+                        break;
+                    }
+                    chunk[c - offset] += v * xi;
+                }
+            }
+        });
+        Ok(())
+    }
+
     /// Squared Frobenius norm.
     pub fn frobenius_sq(&self) -> f64 {
         self.values.iter().map(|v| v * v).sum()
@@ -263,42 +348,23 @@ impl LinearOperator for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.cols {
-            return Err(LinalgError::ShapeMismatch {
-                op: "CsrMatrix::apply",
-                left: (self.rows, self.cols),
-                right: (x.len(), 1),
-            });
-        }
         let mut y = vec![0.0; self.rows];
-        for (i, yi) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (c, v) in self.row_entries(i) {
-                acc += v * x[c];
-            }
-            *yi = acc;
-        }
+        self.matvec_into(x, &mut y)?;
         Ok(y)
     }
 
     fn apply_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.rows {
-            return Err(LinalgError::ShapeMismatch {
-                op: "CsrMatrix::apply_transpose",
-                left: (self.rows, self.cols),
-                right: (x.len(), 1),
-            });
-        }
         let mut y = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            for (c, v) in self.row_entries(i) {
-                y[c] += v * xi;
-            }
-        }
+        self.matvec_transpose_into(x, &mut y)?;
         Ok(y)
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        self.matvec_into(x, out)
+    }
+
+    fn apply_transpose_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        self.matvec_transpose_into(x, out)
     }
 
     fn to_dense(&self) -> Result<Matrix> {

@@ -1,0 +1,85 @@
+//! Allocation-count guard for the `_into` kernels.
+//!
+//! A counting global allocator verifies that the buffer-reusing kernel
+//! entry points (`matvec_into`, `matvec_transpose_into`, CSR equivalents)
+//! perform **zero** heap allocations on the serial path — the property the
+//! Lanczos scratch-buffer reuse relies on. This lives in its own
+//! integration-test binary so no other test's allocations pollute the
+//! counter, and everything runs inside one `#[test]` so the harness itself
+//! stays quiet while we measure.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to `System`; the only addition is a relaxed
+// counter increment, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn into_kernels_are_allocation_free_on_the_serial_path() {
+    use lsi_linalg::parallel::set_threads;
+    use lsi_linalg::{CsrMatrix, Matrix};
+
+    // Force the serial path: the parallel path necessarily allocates its
+    // chunk buckets (and thread stacks), which is exactly why hot loops at
+    // small sizes stay below the work threshold.
+    set_threads(1);
+
+    let m = 96;
+    let n = 64;
+    let a = Matrix::from_fn(m, n, |i, j| ((i * n + j) as f64 * 0.37).sin());
+    let sp = CsrMatrix::from_dense(&Matrix::from_fn(m, n, |i, j| ((i + j) % 5) as f64), 0.5);
+    let x = vec![1.0; n];
+    let y = vec![0.5; m];
+    let mut out_m = vec![0.0; m];
+    let mut out_n = vec![0.0; n];
+
+    // Warm up once (first call may lazily touch thread-count resolution).
+    a.matvec_into(&x, &mut out_m).unwrap();
+
+    let before = allocations();
+    for _ in 0..32 {
+        a.matvec_into(&x, &mut out_m).unwrap();
+        a.matvec_transpose_into(&y, &mut out_n).unwrap();
+        sp.matvec_into(&x, &mut out_m).unwrap();
+        sp.matvec_transpose_into(&y, &mut out_n).unwrap();
+    }
+    let extra = allocations() - before;
+    assert_eq!(
+        extra, 0,
+        "_into kernels allocated {extra} times in 128 calls; they must reuse caller buffers"
+    );
+
+    // Sanity: the Vec-returning forms do allocate (the guard is measuring
+    // what we think it measures).
+    let before = allocations();
+    let _ = a.matvec(&x).unwrap();
+    assert!(allocations() > before, "counting allocator not engaged");
+
+    set_threads(0);
+}

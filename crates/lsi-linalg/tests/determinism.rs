@@ -1,0 +1,248 @@
+//! Bitwise thread-count invariance of every parallelized kernel.
+//!
+//! The determinism contract (see `parallel` module docs): fixed chunk
+//! boundaries plus ordered reductions make each kernel's output **byte
+//! identical** for every `LSI_THREADS` setting. These tests compute each
+//! kernel at 1 thread and then assert bit equality at 2, 3, and 8 threads,
+//! over proptest-randomized inputs and over the edge shapes (empty, one
+//! row, tall-skinny) where chunk boundaries degenerate.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+
+use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
+use lsi_linalg::parallel::{self, set_threads};
+use lsi_linalg::randomized::{randomized_svd, RandomizedSvdOptions};
+use lsi_linalg::{CsrMatrix, LinearOperator, Matrix};
+
+/// Thread counts every kernel is checked at (1 is the reference).
+const THREAD_COUNTS: [usize; 3] = [2, 3, 8];
+
+/// Serializes tests: the thread knob is global, and holding the lock keeps
+/// each assertion actually running at the thread count it names.
+static KNOB: Mutex<()> = Mutex::new(());
+
+/// Locks the knob and resets it to a known state; the returned guard's drop
+/// leaves the override cleared for whoever runs next.
+struct KnobGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn knob() -> KnobGuard {
+    let g = KNOB.lock().unwrap_or_else(|p| p.into_inner());
+    set_threads(0);
+    KnobGuard(g)
+}
+
+impl Drop for KnobGuard {
+    fn drop(&mut self) {
+        set_threads(0);
+    }
+}
+
+/// Asserts two equally-shaped matrices are byte-identical.
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str, t: usize) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape changed at {t} threads");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bits differ at {t} threads ({x:?} vs {y:?})"
+        );
+    }
+}
+
+fn assert_vec_bits_eq(a: &[f64], b: &[f64], what: &str, t: usize) {
+    assert_eq!(a.len(), b.len(), "{what}: length changed at {t} threads");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bits differ at {t} threads ({x:?} vs {y:?})"
+        );
+    }
+}
+
+/// Runs `compute` at 1 thread, then re-runs at each tested thread count and
+/// checks the results byte-identical with `check(reference, candidate, t)`.
+fn for_all_thread_counts<R>(compute: impl Fn() -> R, check: impl Fn(&R, &R, usize)) {
+    set_threads(1);
+    let reference = compute();
+    for &t in &THREAD_COUNTS {
+        set_threads(t);
+        let candidate = compute();
+        check(&reference, &candidate, t);
+    }
+    set_threads(0);
+}
+
+/// Strategy: an (m, n) matrix with entries in [-10, 10], dimensions big
+/// enough to cross several chunk boundaries now and then.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data).expect("length matches"))
+    })
+}
+
+/// Strategy: a sparse matrix with at least 2 on each side.
+fn sparse_strategy(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..=max_dim, 2..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(
+            ((0..m), (0..n), -5.0f64..5.0).prop_map(|(r, c, v)| (r, c, v)),
+            0..(m * n).min(120),
+        )
+        .prop_map(move |trips| CsrMatrix::from_triplets(m, n, &trips).expect("in bounds"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_bitwise_invariant(a in matrix_strategy(24), b in matrix_strategy(24)) {
+        let _k = knob();
+        // Make shapes compatible by construction: b reshaped via transpose
+        // products would be awkward, so multiply a (m×n) by aᵀ (n×m) when
+        // shapes disagree, and by b when they happen to align.
+        let rhs = if a.ncols() == b.nrows() { b.clone() } else { a.transpose() };
+        for_all_thread_counts(
+            || a.matmul(&rhs).unwrap(),
+            |x, y, t| assert_bits_eq(x, y, "matmul", t),
+        );
+        for_all_thread_counts(
+            || a.transpose_matmul(&a).unwrap(),
+            |x, y, t| assert_bits_eq(x, y, "transpose_matmul", t),
+        );
+    }
+
+    #[test]
+    fn matvec_bitwise_invariant(a in matrix_strategy(40)) {
+        let _k = knob();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 1.3).cos()).collect();
+        for_all_thread_counts(
+            || a.matvec(&x).unwrap(),
+            |u, v, t| assert_vec_bits_eq(u, v, "matvec", t),
+        );
+        for_all_thread_counts(
+            || a.matvec_transpose(&y).unwrap(),
+            |u, v, t| assert_vec_bits_eq(u, v, "matvec_transpose", t),
+        );
+    }
+
+    #[test]
+    fn csr_matvec_bitwise_invariant(a in sparse_strategy(40)) {
+        let _k = knob();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.9).sin()).collect();
+        let y: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.4).cos()).collect();
+        for_all_thread_counts(
+            || a.apply(&x).unwrap(),
+            |u, v, t| assert_vec_bits_eq(u, v, "csr apply", t),
+        );
+        for_all_thread_counts(
+            || a.apply_transpose(&y).unwrap(),
+            |u, v, t| assert_vec_bits_eq(u, v, "csr apply_transpose", t),
+        );
+    }
+
+    #[test]
+    fn truncated_svd_bitwise_invariant(a in sparse_strategy(24), seed in proptest::num::u64::ANY) {
+        let _k = knob();
+        let k = a.nrows().min(a.ncols()).min(3);
+        let opts = LanczosOptions { seed, ..LanczosOptions::default() };
+        for_all_thread_counts(
+            || lanczos_svd(&a, k, &opts).unwrap(),
+            |x, y, t| {
+                assert_vec_bits_eq(&x.singular_values, &y.singular_values, "lanczos σ", t);
+                assert_bits_eq(&x.u, &y.u, "lanczos U", t);
+                assert_bits_eq(&x.vt, &y.vt, "lanczos Vᵀ", t);
+            },
+        );
+        let ropts = RandomizedSvdOptions { seed, ..RandomizedSvdOptions::default() };
+        for_all_thread_counts(
+            || randomized_svd(&a, k, &ropts).unwrap(),
+            |x, y, t| {
+                assert_vec_bits_eq(&x.singular_values, &y.singular_values, "randomized σ", t);
+                assert_bits_eq(&x.u, &y.u, "randomized U", t);
+                assert_bits_eq(&x.vt, &y.vt, "randomized Vᵀ", t);
+            },
+        );
+    }
+}
+
+/// Edge shapes: empty products, single rows, tall-skinny panels — the
+/// degenerate chunkings (0 chunks, 1 chunk, ragged tail) must all agree.
+#[test]
+fn edge_shapes_bitwise_invariant() {
+    let _k = knob();
+
+    // Empty: 0×4 · 4×3 and 5×0 · 0×3 (the k = 0 accumulation).
+    let e04 = Matrix::zeros(0, 4);
+    let a43 = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.25 - 1.0);
+    let e50 = Matrix::zeros(5, 0);
+    let e03 = Matrix::zeros(0, 3);
+    for_all_thread_counts(
+        || {
+            (
+                e04.matmul(&a43).unwrap(),
+                e50.matmul(&e03).unwrap(),
+                e04.matvec(&[1.0, 2.0, 3.0, 4.0]).unwrap(),
+                e04.matvec_transpose(&[]).unwrap(),
+            )
+        },
+        |x, y, t| {
+            assert_bits_eq(&x.0, &y.0, "empty matmul", t);
+            assert_bits_eq(&x.1, &y.1, "inner-empty matmul", t);
+            assert_vec_bits_eq(&x.2, &y.2, "empty matvec", t);
+            assert_vec_bits_eq(&x.3, &y.3, "empty matvec_transpose", t);
+        },
+    );
+
+    // One row × wide: a single ragged chunk on the row side, many on the
+    // column side.
+    let row = Matrix::from_fn(1, 700, |_, j| (j as f64 * 0.01).sin());
+    let wide = Matrix::from_fn(700, 3, |i, j| ((i + j) as f64 * 0.02).cos());
+    let xs: Vec<f64> = (0..700).map(|i| (i % 17) as f64 - 8.0).collect();
+    for_all_thread_counts(
+        || {
+            (
+                row.matmul(&wide).unwrap(),
+                row.matvec(&xs).unwrap(),
+                row.matvec_transpose(&[2.5]).unwrap(),
+            )
+        },
+        |x, y, t| {
+            assert_bits_eq(&x.0, &y.0, "1-row matmul", t);
+            assert_vec_bits_eq(&x.1, &y.1, "1-row matvec", t);
+            assert_vec_bits_eq(&x.2, &y.2, "1-row matvec_transpose", t);
+        },
+    );
+
+    // Tall-skinny: 900×2, the Lanczos-panel shape, k = 1 truncated SVD.
+    let tall = Matrix::from_fn(900, 2, |i, j| ((i * 2 + j) as f64 * 0.003).sin());
+    let sp = CsrMatrix::from_dense(&tall, 0.8);
+    for_all_thread_counts(
+        || {
+            let f = lanczos_svd(&tall, 1, &LanczosOptions::default()).unwrap();
+            let g = lanczos_svd(&sp, 1, &LanczosOptions::default()).unwrap();
+            (f, g)
+        },
+        |x, y, t| {
+            assert_bits_eq(&x.0.u, &y.0.u, "tall-skinny lanczos U", t);
+            assert_bits_eq(&x.1.u, &y.1.u, "tall-skinny sparse lanczos U", t);
+        },
+    );
+}
+
+/// The knob itself: LSI_THREADS-style values resolve, and `set_threads(0)`
+/// returns to automatic resolution.
+#[test]
+fn thread_knob_round_trips() {
+    let _k = knob();
+    set_threads(5);
+    assert_eq!(parallel::threads(), 5);
+    set_threads(1);
+    assert_eq!(parallel::threads(), 1);
+    set_threads(0);
+    assert!(parallel::threads() >= 1);
+}

@@ -856,4 +856,32 @@ mod tests {
             assert!(t.wait().is_ok());
         }
     }
+
+    /// Worker scoring composes with the linalg thread knob: the index build
+    /// and every scored query run through the parallel kernels, and the
+    /// ranked results (documents *and* scores, bitwise) are identical for
+    /// every `LSI_THREADS` setting.
+    #[test]
+    fn scoring_is_bitwise_invariant_across_linalg_threads() {
+        use lsi_linalg::parallel::set_threads;
+
+        let run = |threads: usize| {
+            set_threads(threads);
+            let (index, td) = sample();
+            let engine = QueryEngine::with_fallback(index, &td, EngineConfig::default());
+            let resp = engine
+                .query(Query::new(vec![(0, 1.0), (2, 0.5)], 5))
+                .unwrap();
+            resp.hits()
+                .hits()
+                .iter()
+                .map(|h| (h.doc, h.score.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let reference = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(run(t), reference, "scoring differs at {t} linalg threads");
+        }
+        set_threads(0);
+    }
 }

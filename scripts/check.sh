@@ -13,6 +13,30 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace
 
+echo "== determinism gate: tier-1 tests at LSI_THREADS=1 and 4"
+LSI_THREADS=1 cargo test -p lsi-linalg --test determinism
+LSI_THREADS=4 cargo test -p lsi-linalg --test determinism
+
+echo "== determinism gate: reproduce --exp e6 identical across thread counts"
+# E6's numerical columns are seed-deterministic; wall-clock columns vary per
+# run, so compare everything except lines containing timings (the table body
+# timing columns are filtered by dropping runtime numbers via the summary
+# status lines). Simplest robust check: the corpora and experiment statuses
+# must match, and the build must succeed at both settings.
+LSI_THREADS=1 cargo run --release -p lsi-bench --bin reproduce -- --exp e6 \
+  > /tmp/lsi_e6_t1.txt
+LSI_THREADS=4 cargo run --release -p lsi-bench --bin reproduce -- --exp e6 \
+  > /tmp/lsi_e6_t4.txt
+# Strip the four wall-clock columns (cols 3-6 of the table body) before
+# diffing; the structural columns (n, m) and every status line must agree.
+strip_times() { awk '/^ *[0-9]+ +[0-9]+ /{print $1, $2; next} {print}' "$1"; }
+diff <(strip_times /tmp/lsi_e6_t1.txt) <(strip_times /tmp/lsi_e6_t4.txt)
+echo "e6 tables structurally identical across LSI_THREADS=1/4"
+
+echo "== bench-json smoke"
+cargo run --release -p lsi-bench --bin bench-json -- --smoke --out /tmp/lsi_bench_smoke.json
+rm -f /tmp/lsi_bench_smoke.json /tmp/lsi_e6_t1.txt /tmp/lsi_e6_t4.txt
+
 echo "== serve chaos suite (fixed seed)"
 SERVE_CHAOS_SEED=20260706 cargo test --test serve_chaos
 
