@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Kernel benchmark baseline: wall-times and GFLOP/s for the parallel
 //! linalg kernels at 1, 2, and 4 linalg threads, written as JSON.
 //!
@@ -49,6 +50,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 /// Median wall time in milliseconds over `reps` runs of `f`.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..reps)
         .map(|_| {
@@ -105,6 +111,11 @@ fn sparse_matrix(m: usize, n: usize, seed: u64) -> CsrMatrix {
     CsrMatrix::from_dense(&d, 0.0)
 }
 
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 fn main() -> Result<(), String> {
     let args = parse_args()?;
     let (dim, reps, svd_mn, svd_k) = if args.smoke {

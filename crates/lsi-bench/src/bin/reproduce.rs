@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates every experiment in the paper's evaluation.
 //!
 //! ```text

@@ -16,6 +16,11 @@ pub struct ExperimentCorpus {
 }
 
 /// Samples a corpus of `m` documents from an ε-separable model.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn make_corpus(config: SeparableConfig, m: usize, seed: u64) -> ExperimentCorpus {
     let model = SeparableModel::build(config).expect("valid experiment configuration");
     let mut rng = seeded(seed);

@@ -72,6 +72,11 @@ impl E10Result {
     }
 }
 
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 fn backend_rows(exp: &ExperimentCorpus, k: usize, seed: u64) -> Vec<BackendRow> {
     let configs: Vec<(&'static str, SvdBackend)> = vec![
         ("dense", SvdBackend::Dense),
@@ -120,6 +125,11 @@ fn backend_rows(exp: &ExperimentCorpus, k: usize, seed: u64) -> Vec<BackendRow> 
         .collect()
 }
 
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 fn projection_rows(exp: &ExperimentCorpus, l: usize, seed: u64) -> Vec<ProjectionRow> {
     let n = exp.td.n_terms();
     let m = exp.td.n_docs().min(60);
@@ -141,6 +151,11 @@ fn projection_rows(exp: &ExperimentCorpus, l: usize, seed: u64) -> Vec<Projectio
         .collect()
 }
 
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 fn weighting_rows(exp: &ExperimentCorpus, k: usize) -> Vec<WeightingRow> {
     Weighting::ALL
         .iter()

@@ -50,6 +50,11 @@ impl E11Result {
 }
 
 /// Runs the sweep at corpus `scale` over matched sketch sizes.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(scale: f64, sketches: &[usize], seed: u64) -> E11Result {
     let exp = scaled_corpus(scale, 0.05, seed);
     let a = exp.td.counts();

@@ -66,6 +66,11 @@ fn pearson(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// Runs the sweep over mixing levels on a fixed topic/term geometry.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(mixes: &[usize], n_docs: usize, seed: u64) -> E12Result {
     let k = 6;
     // Reuse the separable topic shapes but with a custom document law.

@@ -61,6 +61,11 @@ impl E13Result {
 ///
 /// Universe layout: term 0 = the polysemous word, terms `1..=10` topic 0's
 /// context, terms `11..=20` topic 1's context, plus slack terms.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(n_docs: usize, seed: u64) -> E13Result {
     let universe = 25;
     let mut w0 = vec![0.0; universe];

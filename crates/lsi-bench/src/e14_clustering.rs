@@ -58,6 +58,11 @@ fn normalized_rows(m: &Matrix) -> Matrix {
 }
 
 /// Runs the comparison across separability levels.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(scale: f64, epsilons: &[f64], seed: u64) -> E14Result {
     let rows = epsilons
         .iter()

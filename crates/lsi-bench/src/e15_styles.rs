@@ -44,6 +44,11 @@ impl E15Result {
 /// Runs the sweep: a 0-separable base model whose only ε comes from a style
 /// rewriting the first few terms of each topic into the *next* topic's
 /// vocabulary with probability `p`.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(scale_topics: usize, probs: &[f64], seed: u64) -> E15Result {
     let k = scale_topics;
     let s = 25;

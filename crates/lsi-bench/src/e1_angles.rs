@@ -31,6 +31,11 @@ impl E1Result {
     }
 }
 
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 fn run_on(exp: &ExperimentCorpus) -> E1Result {
     let rank = exp.model.config().num_topics;
     let labels = exp.td.topic_labels().to_vec();

@@ -44,6 +44,11 @@ impl E2Result {
 }
 
 /// Runs the sweep at corpus `scale` over the given ε values.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(scale: f64, epsilons: &[f64], seed: u64) -> E2Result {
     let rows = epsilons
         .iter()

@@ -43,6 +43,11 @@ impl E3Result {
     }
 }
 
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 fn measure(topics: usize, terms_per_topic: usize, m: usize, len: usize, seed: u64) -> E3Row {
     let config = SeparableConfig {
         universe_size: topics * terms_per_topic,

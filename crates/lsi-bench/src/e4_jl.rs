@@ -51,6 +51,11 @@ impl E4Result {
 
 /// Runs the sweep: projects the first `n_points` document columns of a
 /// scaled corpus to each `l` and measures pairwise distortion.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(scale: f64, ls: &[usize], n_points: usize, seed: u64) -> E4Result {
     let exp = scaled_corpus(scale, 0.05, seed);
     let n = exp.td.n_terms();

@@ -49,6 +49,11 @@ impl E5Result {
 
 /// `‖A − A_k‖²_F` from the exact top-k spectrum (via Lanczos — cheap and
 /// accurate, no dense factorization needed).
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn direct_error_sq_lanczos(a: &lsi_linalg::CsrMatrix, k: usize) -> f64 {
     let f = lanczos_svd(a, k, &LanczosOptions::default()).expect("k <= min(m, n)");
     let head: f64 = f.singular_values.iter().map(|s| s * s).sum();
@@ -56,6 +61,11 @@ pub fn direct_error_sq_lanczos(a: &lsi_linalg::CsrMatrix, k: usize) -> f64 {
 }
 
 /// Runs the sweep at corpus `scale`; `k` defaults to the topic count.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(scale: f64, ls: &[usize], seed: u64) -> E5Result {
     let exp = scaled_corpus(scale, 0.05, seed);
     let a = exp.td.counts();

@@ -91,6 +91,11 @@ impl E6Result {
 
 /// Runs the sweep over vocabulary sizes (documents and topics fixed).
 /// Dense timing is skipped when `n * m^2` exceeds `dense_flop_cap`.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(
     term_sizes: &[usize],
     n_docs: usize,

@@ -54,6 +54,11 @@ impl E7Result {
 ///
 /// `n_docs` documents over a 30-term universe, two topics ("vehicles" with
 /// the synonym pair, "space travel" as contrast), rank-2 LSI.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(n_docs: usize, seed: u64) -> E7Result {
     let universe = 30;
     // Topic "vehicles": context terms 2..=10, plus the concept word (CAR)

@@ -47,6 +47,11 @@ impl E8Result {
 }
 
 /// Runs the leakage sweep.
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 pub fn run(blocks: usize, block_size: usize, epsilons: &[f64], seed: u64) -> E8Result {
     let rows = epsilons
         .iter()

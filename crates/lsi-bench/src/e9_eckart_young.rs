@@ -56,6 +56,11 @@ impl E9Result {
     }
 }
 
+///
+/// # Panics
+/// Panics if the experiment's hard-coded parameters become infeasible
+/// (a programmer error caught immediately at startup, never a
+/// data-dependent failure).
 fn challenge(a: &Matrix, k: usize, n_competitors: usize, seed: u64, name: &str) -> E9Case {
     let f = svd(a).expect("finite input");
     let ak = f.low_rank_approx(k).expect("k <= rank bound");

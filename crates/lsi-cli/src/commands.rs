@@ -115,8 +115,10 @@ pub fn cmd_add(container: &mut Container, input: &Path) -> Result<String, CliErr
     let mut skipped = 0usize;
     for doc in &docs {
         // Accumulate counts over known vocabulary only (new terms cannot
-        // enter a fixed spectral basis).
-        let mut counts = std::collections::HashMap::new();
+        // enter a fixed spectral basis). BTreeMap keeps the terms in id
+        // order: fold-in sums floats per term, and hasher order would make
+        // the spectral coordinates differ run to run.
+        let mut counts = std::collections::BTreeMap::new();
         for tok in tokenizer.tokenize(&doc.body) {
             if let Some(t) = container.dictionary.id(&tok) {
                 *counts.entry(t).or_insert(0.0) += 1.0;
@@ -222,6 +224,7 @@ pub fn cmd_topics(container: &Container, terms_per_topic: usize) -> Vec<(usize, 
         let mut weighted: Vec<(usize, f64)> = (0..n)
             .map(|t| (t, index.factors().u[(t, dim)].abs()))
             .collect();
+        // lsi-lint: allow(E1-panic-policy, "invariant: term weights come from verified finite factors")
         weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
         let top_terms: Vec<String> = weighted
             .iter()

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `lsi` — command-line latent semantic indexing.
 
 use std::path::PathBuf;

@@ -72,6 +72,7 @@ impl CancelToken {
 
     /// A token that expires `after` from now.
     pub fn with_deadline(after: Duration) -> Self {
+        // lsi-lint: allow(D1-nondeterminism, "deadline clock: wall time bounds latency, never reaches retrieval results")
         Self::with_deadline_at(Instant::now() + after)
     }
 
@@ -112,6 +113,7 @@ impl CancelToken {
             return true;
         }
         match self.deadline {
+            // lsi-lint: allow(D1-nondeterminism, "deadline clock: wall time bounds latency, never reaches retrieval results")
             Some(at) => Instant::now() >= at,
             None => false,
         }

@@ -508,6 +508,7 @@ impl LsiIndex {
         let norm = vector::norm(&rep);
         self.doc_reps
             .push_row(&rep)
+            // lsi-lint: allow(E1-panic-policy, "invariant: fold_in output length equals the index rank by construction")
             .expect("fold_in always returns a rank-length vector");
         self.doc_norms.push(norm);
         self.doc_reps.nrows() - 1

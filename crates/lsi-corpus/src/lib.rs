@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The probabilistic corpus model of Papadimitriou, Raghavan, Tamaki &

@@ -286,6 +286,7 @@ impl CorpusModel {
                 .map(|&(i, w)| (self.topics[i].distribution(), w))
                 .collect();
             DiscreteDistribution::mixture(&comps)
+                // lsi-lint: allow(E1-panic-policy, "invariant: all topics of one model share the universe by construction")
                 .expect("topic mixture over a common universe is valid")
         };
 
@@ -359,6 +360,7 @@ fn pick_weighted<R: Rng + ?Sized>(weighted: &[(usize, f64)], rng: &mut R) -> usi
         }
         u -= w;
     }
+    // lsi-lint: allow(E1-panic-policy, "invariant: model validation rejects empty mixtures")
     weighted.last().expect("nonempty mixture").0
 }
 

@@ -116,6 +116,7 @@ impl SeparableModel {
             let primary: Vec<usize> = (lo..lo + primary_terms_per_topic).collect();
             let topic =
                 Topic::concentrated(format!("topic-{i}"), universe_size, &primary, 1.0 - epsilon)
+                    // lsi-lint: allow(E1-panic-policy, "invariant: build() already validated the topic parameters")
                     .expect("validated parameters construct a topic");
             topics.push(topic);
             primary_sets.push(primary);

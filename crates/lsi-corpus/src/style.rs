@@ -5,7 +5,7 @@
 //! realistic styles rewrite only a small subset of the vocabulary, the
 //! representation here stores only the rows that differ from the identity.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A style: a sparse row-stochastic matrix over the term universe.
 ///
@@ -16,7 +16,9 @@ use std::collections::HashMap;
 pub struct Style {
     name: String,
     universe_size: usize,
-    overrides: HashMap<usize, Vec<(usize, f64)>>,
+    // BTreeMap, not HashMap: apply_to_distribution accumulates floats in
+    // iteration order, which must not depend on a per-process hasher seed.
+    overrides: BTreeMap<usize, Vec<(usize, f64)>>,
 }
 
 /// Problems detected while building a [`Style`].
@@ -61,7 +63,7 @@ impl Style {
         Style {
             name: "identity".to_owned(),
             universe_size,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -72,7 +74,7 @@ impl Style {
         universe_size: usize,
         rows: &[(usize, Vec<(usize, f64)>)],
     ) -> Result<Self, StyleError> {
-        let mut overrides = HashMap::new();
+        let mut overrides = BTreeMap::new();
         for (src, row) in rows {
             if *src >= universe_size {
                 return Err(StyleError::TermOutOfRange(*src));

@@ -72,6 +72,7 @@ pub fn sweep_cut_conductance(g: &WeightedGraph, scores: &[f64]) -> Option<f64> {
         return None;
     }
     let mut order: Vec<usize> = (0..n).collect();
+    // lsi-lint: allow(E1-panic-policy, "invariant: sweep scores come from a finite eigenvector")
     order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
 
     let mut in_set = vec![false; n];

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! The graph-theoretic corpus model (Section 6, Theorem 6).

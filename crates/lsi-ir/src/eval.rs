@@ -17,6 +17,7 @@ impl Judgments {
     /// Builds from a list of relevant document ids.
     pub fn new(relevant: impl IntoIterator<Item = usize>) -> Self {
         Judgments {
+            // lsi-lint: allow(D3-hasher-order, "iterates the caller-supplied sequence, not the HashSet field it shadows")
             relevant: relevant.into_iter().collect(),
         }
     }

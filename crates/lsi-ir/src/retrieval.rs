@@ -25,6 +25,7 @@ impl RankedList {
         hits.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
+                // lsi-lint: allow(E1-panic-policy, "invariant: cosine scores of finite vectors are finite")
                 .expect("scores are finite")
                 .then(a.doc.cmp(&b.doc))
         });

@@ -111,6 +111,7 @@ pub fn normalize_columns(a: &mut CsrMatrix) {
         .map(|&n| if n > 0.0 { 1.0 / n } else { 1.0 })
         .collect();
     a.scale_cols(&factors)
+        // lsi-lint: allow(E1-panic-policy, "invariant: both factors derive from the same matrix dimensions")
         .expect("factors built from the same matrix always match");
 }
 

@@ -243,6 +243,7 @@ pub fn symmetric_eigen(a: &Matrix, sym_tol: f64) -> Result<SymmetricEigen> {
 
     // Sort descending.
     let mut order: Vec<usize> = (0..n).collect();
+    // lsi-lint: allow(E1-panic-policy, "invariant: the finiteness guard on the input keeps eigenvalues finite")
     order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("eigenvalues are finite"));
     let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut eigenvectors = Matrix::zeros(n, n);

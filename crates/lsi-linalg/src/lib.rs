@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Dense and sparse linear algebra substrate for the LSI reproduction.

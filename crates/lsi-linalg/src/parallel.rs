@@ -123,6 +123,7 @@ where
     let f = &f;
     std::thread::scope(|s| {
         let mut buckets = buckets.into_iter();
+        // lsi-lint: allow(E1-panic-policy, "unreachable: effective_threads() returns >= 1, so one bucket always exists")
         let mine = buckets.next().expect("t >= 1 buckets");
         for bucket in buckets {
             s.spawn(move || {
@@ -164,6 +165,7 @@ where
     let f = &f;
     std::thread::scope(|s| {
         let mut buckets = buckets.into_iter();
+        // lsi-lint: allow(E1-panic-policy, "unreachable: effective_threads() returns >= 1, so one bucket always exists")
         let mine = buckets.next().expect("t >= 1 buckets");
         for bucket in buckets {
             s.spawn(move || {
@@ -178,6 +180,7 @@ where
     });
     slots
         .into_iter()
+        // lsi-lint: allow(E1-panic-policy, "unreachable: every chunk index is assigned to exactly one bucket")
         .map(|s| s.expect("every chunk executed"))
         .collect()
 }

@@ -112,6 +112,7 @@ pub fn orthonormality_error(q: &Matrix) -> f64 {
     // Gram matrix via transpose_matmul keeps this O(mn²) and allocation-light.
     let gram = q
         .transpose_matmul(q)
+        // lsi-lint: allow(E1-panic-policy, "invariant: Q^T Q is square by construction, shapes cannot disagree")
         .expect("orthonormality_error: shapes always agree");
     for i in 0..n {
         for j in 0..n {

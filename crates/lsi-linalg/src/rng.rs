@@ -44,6 +44,7 @@ pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -
     let mut data = vec![0.0; rows * cols];
     fill_standard_normal(rng, &mut data);
     Matrix::from_vec(rows, cols, data)
+        // lsi-lint: allow(E1-panic-policy, "invariant: rows*cols samples were just drawn, the length matches")
         .expect("gaussian_matrix: data length matches by construction")
 }
 

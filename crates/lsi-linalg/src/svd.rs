@@ -395,6 +395,7 @@ pub fn svd(a: &Matrix) -> Result<Svd> {
 
     // Sort triplets descending by singular value.
     let mut order: Vec<usize> = (0..d.len()).collect();
+    // lsi-lint: allow(E1-panic-policy, "invariant: the finiteness guard on the input keeps singular values finite")
     order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).expect("singular values are finite"));
     let sorted_s: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut su = Matrix::zeros(u.nrows(), d.len());

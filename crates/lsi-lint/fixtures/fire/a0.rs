@@ -1,0 +1,17 @@
+// Fixture: malformed allow directives must produce deny-level
+// A0-allow-syntax findings instead of silently suppressing nothing.
+
+pub fn missing_reason() -> u32 {
+    // lsi-lint: allow(D1-nondeterminism)
+    std::process::id()
+}
+
+pub fn empty_reason() -> u32 {
+    // lsi-lint: allow(D1-nondeterminism, "")
+    std::process::id()
+}
+
+pub fn unknown_verb() -> u32 {
+    // lsi-lint: suppress(D1-nondeterminism, "wrong verb")
+    std::process::id()
+}

@@ -1,0 +1,14 @@
+// Fixture: D1-nondeterminism must fire on wall-clock and process-id reads
+// in library code.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn pid_salt() -> u32 {
+    std::process::id()
+}

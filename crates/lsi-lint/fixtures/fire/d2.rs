@@ -1,0 +1,13 @@
+// Fixture: D2-unseeded-rng must fire when a fn constructs an RNG without a
+// seed or Rng parameter, and always on entropy-based construction.
+
+pub fn sample_noise(n: usize) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+pub fn entropy_soup(seed: u64) -> f64 {
+    let _ = seed;
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    rng.gen()
+}

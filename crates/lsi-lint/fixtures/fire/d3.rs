@@ -1,0 +1,30 @@
+// Fixture: D3-hasher-order must fire on unordered hash iteration feeding a
+// Vec output — receiver-on-previous-line chains, for loops, and params
+// declared on their own signature line.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn table_rows() -> Vec<String> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    counts.insert("term".to_string(), 3);
+    let rows: Vec<String> = counts
+        .iter()
+        .map(|(k, v)| format!("{k}\t{v}"))
+        .collect();
+    rows
+}
+
+pub fn accumulate(out: &mut [f64]) {
+    let mut weights: HashMap<usize, f64> = HashMap::new();
+    weights.insert(0, 1.5);
+    for (i, w) in &weights {
+        out[*i] += w;
+    }
+}
+
+pub fn ids(
+    set: HashSet<usize>,
+) -> Vec<usize> {
+    let flat: Vec<usize> = set.into_iter().collect();
+    flat
+}

@@ -1,0 +1,21 @@
+// Fixture: E1-panic-policy must fire on panicking calls inside library fns
+// that lack a `# Panics` doc section.
+
+/// Reads a value, swallowing the error path.
+pub fn read_value(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+/// Parses a header.
+pub fn parse_header(line: &str) -> usize {
+    line.split('\t').next().expect("header").len()
+}
+
+/// Dispatches on a tag.
+pub fn dispatch(tag: u8) -> &'static str {
+    match tag {
+        0 => "dense",
+        1 => "sparse",
+        _ => unreachable!("tag space is two bits"),
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: P1-raw-threads must fire on direct thread creation outside the
+// sanctioned parallel layer.
+
+pub fn fan_out(n: usize) -> Vec<std::thread::JoinHandle<usize>> {
+    (0..n).map(|i| std::thread::spawn(move || i * i)).collect()
+}
+
+pub fn scoped_sum(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            total = xs.iter().sum();
+        });
+    });
+    total
+}

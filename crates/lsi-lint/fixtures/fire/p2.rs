@@ -1,0 +1,12 @@
+// Fixture: P2-thread-dependent-chunking must flag chunk boundaries computed
+// from the thread count.
+
+pub fn plan(len: usize, num_threads: usize) -> usize {
+    let chunk_size = len.div_ceil(num_threads);
+    chunk_size
+}
+
+pub fn grain(total: usize, n_threads: usize) -> usize {
+    let per_thread = total / n_threads;
+    per_thread
+}

@@ -1,0 +1,13 @@
+// Fixture: R1-reflector must flag naive norm()-based Householder
+// construction outside the sanctioned implementation.
+
+pub fn naive_reflector(x: &[f64]) -> Vec<f64> {
+    let alpha = -x[0].signum() * norm(x);
+    let mut v = x.to_vec();
+    v[0] -= alpha;
+    v
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|a| a * a).sum::<f64>().sqrt()
+}

@@ -1,0 +1,6 @@
+// Fixture: U1-unsafe must fire on any unsafe outside the allowlist, tests
+// included.
+
+pub fn reinterpret(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) }
+}

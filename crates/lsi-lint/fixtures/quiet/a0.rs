@@ -1,0 +1,11 @@
+// Fixture: well-formed allow directives suppress their rule on the target
+// line only — trailing form and standalone form.
+
+pub fn standalone_form() -> u32 {
+    // lsi-lint: allow(D1-nondeterminism, "fixture demonstrating directives")
+    std::process::id()
+}
+
+pub fn trailing_form() -> u32 {
+    std::process::id() // lsi-lint: allow(D1, "short rule ids also match")
+}

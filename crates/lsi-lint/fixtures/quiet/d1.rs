@@ -1,0 +1,21 @@
+// Fixture: D1-nondeterminism must stay quiet on test-region clocks, string
+// mentions, and justified allows.
+
+/// Library code that merely names the construct in a string.
+pub fn describe() -> &'static str {
+    "uses Instant::now() internally? no."
+}
+
+pub fn deadline_poll() -> bool {
+    // lsi-lint: allow(D1-nondeterminism, "deadline clock, not experiment state")
+    std::time::Instant::now().elapsed().as_nanos() > 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+        let _p = std::process::id();
+    }
+}

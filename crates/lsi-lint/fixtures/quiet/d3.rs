@@ -1,0 +1,29 @@
+// Fixture: D3-hasher-order must stay quiet when the same statement restores
+// an order (BTree collect) or reduces order-insensitively, and on plain
+// lookups.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn table_rows() -> Vec<String> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    counts.insert("term".to_string(), 3);
+    let ordered: BTreeMap<String, usize> = counts.into_iter().collect();
+    ordered.iter().map(|(k, v)| format!("{k}\t{v}")).collect()
+}
+
+pub fn total() -> usize {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    counts.insert("term".to_string(), 3);
+    counts.values().sum()
+}
+
+pub fn biggest() -> Option<usize> {
+    let mut set: HashSet<usize> = HashSet::new();
+    set.insert(4);
+    set.iter().copied().max()
+}
+
+pub fn lookup(key: &str) -> Option<usize> {
+    let counts: HashMap<String, usize> = HashMap::new();
+    counts.get(key).copied()
+}

@@ -1,0 +1,24 @@
+// Fixture: E1-panic-policy must stay quiet when the enclosing fn documents
+// its panics, and in test code.
+
+/// Reads the first value.
+///
+/// # Panics
+/// Panics if `xs` is empty; callers guarantee non-empty input.
+pub fn read_value(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+/// Fallible variant, no panic at all.
+pub fn try_read_value(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = [1.0];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+    }
+}

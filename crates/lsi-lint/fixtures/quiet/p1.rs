@@ -1,0 +1,19 @@
+// Fixture: P1-raw-threads must stay quiet when work goes through the
+// sanctioned parallel layer, and in test code.
+
+pub fn fan_out(xs: &mut [f64]) {
+    lsi_linalg::parallel::for_chunks_mut(xs, 64, |chunk, _| {
+        for x in chunk.iter_mut() {
+            *x *= 2.0;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_threads_in_tests_are_fine() {
+        let h = std::thread::spawn(|| 3);
+        assert_eq!(h.join().unwrap(), 3);
+    }
+}

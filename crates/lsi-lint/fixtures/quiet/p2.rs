@@ -1,0 +1,13 @@
+// Fixture: P2-thread-dependent-chunking must stay quiet on size-only chunk
+// math and on thread counts that never touch chunk boundaries.
+
+pub fn plan(len: usize) -> usize {
+    // Boundary depends only on problem size: identical for every thread
+    // count.
+    let chunk_size = len.div_ceil(8).max(64);
+    chunk_size
+}
+
+pub fn pool_size(num_threads: usize) -> usize {
+    num_threads.max(1)
+}

@@ -1,0 +1,14 @@
+// Fixture: R1-reflector must stay quiet on norms used for plain magnitudes
+// and on delegation to the sanctioned reflector.
+
+pub fn residual_norm(x: &[f64]) -> f64 {
+    norm(x)
+}
+
+pub fn reflect(x: &[f64]) -> (Vec<f64>, f64) {
+    lsi_linalg::vector::householder_reflector(x)
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|a| a * a).sum::<f64>().sqrt()
+}

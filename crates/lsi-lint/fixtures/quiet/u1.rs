@@ -1,0 +1,12 @@
+// Fixture: U1-unsafe must stay quiet on safe code that merely talks about
+// unsafety in comments and strings.
+
+/// Safe bit reinterpretation; no `unsafe` needed since Rust 1.20-era
+/// `to_bits`/`from_bits`.
+pub fn reinterpret(x: u64) -> f64 {
+    f64::from_bits(x)
+}
+
+pub fn describe() -> &'static str {
+    "this crate contains no unsafe code"
+}

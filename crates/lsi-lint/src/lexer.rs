@@ -1,0 +1,326 @@
+//! A sanitizing scanner: blanks out comments, string literals, and char
+//! literals so the rule pass sees only code, while collecting every comment
+//! (with its line number) for doc-comment and `lsi-lint: allow` processing.
+//!
+//! The scanner is a hand-rolled state machine over bytes. It understands:
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * nested block comments (`/* /* */ */`, `/** */`, `/*! */`),
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"…"`),
+//! * raw strings with any hash count (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char literals incl. escapes (`'a'`, `'\n'`, `'\u{1F600}'`) versus
+//!   lifetimes (`'a`, `'static`), disambiguated by lookahead.
+//!
+//! Sanitized output preserves the byte-for-byte line structure of the input
+//! (every blanked byte becomes a space; newlines survive), so line numbers in
+//! the sanitized text match the source exactly.
+
+/// One comment captured during scanning.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first byte.
+    pub line: usize,
+    /// Full comment text including the `//`/`/*` markers.
+    pub text: String,
+    /// True when non-whitespace code precedes the comment on its first line
+    /// (a trailing comment). Allow directives in trailing comments apply to
+    /// their own line; standalone ones apply to the next code line.
+    pub has_code_before: bool,
+}
+
+/// Result of scanning one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The source with comment/string/char contents blanked to spaces.
+    pub sanitized: String,
+    /// Every comment in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// True for bytes that can continue a Rust identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans `src`, returning the sanitized text and the comment list.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Copy newlines up front so line structure always survives.
+    for (j, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            out[j] = b'\n';
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                let start_line = line;
+                let had_code = line_has_code;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i].to_string(),
+                    has_code_before: had_code,
+                });
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let had_code = line_has_code;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i].to_string(),
+                    has_code_before: had_code,
+                });
+                // Block comments don't reset `line_has_code`: code may follow
+                // on the same line, and the comment itself is not code.
+            }
+            b'"' => {
+                line_has_code = true;
+                // Was this the body of a raw string? The `r`/`b`/`#` prefix
+                // was already consumed as code below, which is fine: the
+                // prefix bytes are not string *content*.
+                i = skip_plain_string(bytes, i, &mut line);
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                line_has_code = true;
+                i = skip_raw_string(bytes, i, &mut line);
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    line_has_code = true;
+                    // Blank the contents (quotes included).
+                    for &nb in &bytes[i..end] {
+                        if nb == b'\n' {
+                            line += 1;
+                        }
+                    }
+                    i = end;
+                } else {
+                    // A lifetime: copy the tick, continue as code.
+                    out[i] = b'\'';
+                    line_has_code = true;
+                    i += 1;
+                }
+            }
+            _ => {
+                out[i] = b;
+                if !b.is_ascii_whitespace() {
+                    line_has_code = true;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    Lexed {
+        sanitized: String::from_utf8(out)
+            .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned()),
+        comments,
+    }
+}
+
+/// True when `bytes[i..]` begins a raw (byte) string: `r"`, `r#`, `br"`,
+/// `b"`-with-hashes etc. Plain `b"…"` is handled by the `"` arm after the
+/// `b` is copied as code, which is equivalent.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if j >= bytes.len() || bytes[j] != b'r' {
+            return false;
+        }
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    // Must not be the tail of an identifier like `attr"` (impossible) or a
+    // longer ident like `for"`: check the byte before `i`.
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Consumes a raw string starting at `i` (at the `r`/`b`), returning the
+/// index one past its closing quote+hashes. Updates `line`.
+fn skip_raw_string(bytes: &[u8], i: usize, line: &mut usize) -> usize {
+    let mut j = i;
+    while bytes[j] != b'"' {
+        j += 1; // consumes `b`, `r`, and the opening hashes
+    }
+    let hashes = bytes[i..j].iter().filter(|&&b| b == b'#').count();
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            *line += 1;
+            j += 1;
+        } else if bytes[j] == b'"'
+            && bytes[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Consumes a plain (possibly escaped) string starting at the opening quote,
+/// returning the index one past the closing quote. Updates `line`.
+fn skip_plain_string(bytes: &[u8], i: usize, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                // The escaped byte may itself be a newline (a line
+                // continuation); it still advances the line counter.
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// If `bytes[i]` (a `'`) opens a char literal, returns the index one past its
+/// closing `'`; returns `None` for lifetimes.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                b'\n' => return None, // malformed; treat as lifetime-ish
+                _ => j += 1,
+            }
+        }
+        None
+    } else if bytes.get(i + 2) == Some(&b'\'') && next != b'\'' {
+        // 'x' — a one-byte char literal.
+        Some(i + 3)
+    } else {
+        // Multi-byte UTF-8 char literal like 'λ': find a close quote before
+        // any identifier-breaking byte.
+        let mut j = i + 1;
+        let limit = (i + 8).min(bytes.len());
+        if next.is_ascii() && (is_ident_byte(next) || next == b'_') {
+            // Could be a lifetime ('a, 'static): lifetimes are ASCII ident
+            // chars with no closing quote immediately after the ident run.
+            while j < limit && is_ident_byte(*bytes.get(j)?) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                return Some(j + 1); // e.g. 'q' handled above; longer never valid, be safe
+            }
+            return None;
+        }
+        while j < limit {
+            if bytes[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let l = lex("let a = 1; // trailing\n/* block\nstill */ let b = 2;\n");
+        assert!(l.sanitized.contains("let a = 1;"));
+        assert!(!l.sanitized.contains("trailing"));
+        assert!(!l.sanitized.contains("block"));
+        assert!(l.sanitized.contains("let b = 2;"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].has_code_before);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strips_strings_and_chars_keeps_lifetimes() {
+        let l = lex("let s = \"Instant::now()\"; let c = '\\n'; fn f<'a>(x: &'a str) {}\n");
+        assert!(!l.sanitized.contains("Instant::now"));
+        assert!(l.sanitized.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_blocks() {
+        let l = lex("let r = r#\"unsafe \"quoted\" here\"#; /* a /* b */ c */ let z = 3;\n");
+        assert!(!l.sanitized.contains("unsafe"));
+        assert!(l.sanitized.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn line_continuation_in_string_counts_its_newline() {
+        let src = "let s = \"one \\\ntwo\";\nlet t = 1; // after\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 3);
+    }
+
+    #[test]
+    fn line_numbers_survive_sanitization() {
+        let src = "a\n\"two\nlines\"\nb\n";
+        let l = lex(src);
+        let lines: Vec<&str> = l.sanitized.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[3].trim(), "b");
+    }
+}

@@ -1,0 +1,97 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! The `lsi-lint` binary: lints the workspace (or explicit paths) and exits
+//! 0 when clean, 1 on deny-level findings, 2 on usage or I/O errors.
+
+use lsi_lint::{render_json, render_text, Finding, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: lsi-lint [--fix-hints] [--format text|json] [paths...]
+
+Lints workspace .rs files against the conformance rules (see `lsi_lint`
+crate docs for the rule table). With no paths, lints the whole workspace
+(vendor/, target/, and lsi-lint's own fixtures/ excluded).
+
+exit codes: 0 clean (warnings allowed), 1 deny-level findings, 2 usage/io error";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("lsi-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut fix_hints = false;
+    let mut format = "text".to_string();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fix-hints" => fix_hints = true,
+            "--format" => {
+                format = args.next().ok_or("--format needs a value (text|json)")?;
+                if format != "text" && format != "json" {
+                    return Err(format!("unknown format `{format}` (expected text|json)"));
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = lsi_lint::find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+
+    let files: Vec<PathBuf> = if paths.is_empty() {
+        lsi_lint::discover_workspace_files(&root)
+    } else {
+        let mut files = Vec::new();
+        for p in &paths {
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                cwd.join(p)
+            };
+            if abs.is_dir() {
+                files.extend(lsi_lint::collect_files(&abs));
+            } else if abs.is_file() {
+                files.push(abs);
+            } else {
+                return Err(format!("no such file or directory: {}", p.display()));
+            }
+        }
+        files
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &files {
+        findings
+            .extend(lsi_lint::lint_file(&root, f).map_err(|e| format!("{}: {e}", f.display()))?);
+    }
+    findings
+        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
+
+    match format.as_str() {
+        "json" => print!("{}", render_json(&findings)),
+        _ => print!("{}", render_text(&findings, fix_hints)),
+    }
+
+    let deny = findings.iter().any(|f| f.severity == Severity::Deny);
+    Ok(if deny {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}

@@ -1,0 +1,165 @@
+//! Finding types and the text / JSON renderers.
+
+use std::fmt;
+
+/// Rule severity. Deny findings fail the build (exit code 1); warn findings
+/// are printed but do not affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Printed, but does not fail the run.
+    Warn,
+    /// Fails the run.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warn"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `D1-nondeterminism`.
+    pub rule: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Suggested remediation, shown under `--fix-hints`.
+    pub hint: String,
+}
+
+impl Finding {
+    /// A deny-level meta finding for malformed `lsi-lint:` directives.
+    pub fn meta(path: &str, line: usize, message: String) -> Finding {
+        Finding {
+            rule: "A0-allow-syntax",
+            severity: Severity::Deny,
+            path: path.to_string(),
+            line,
+            message,
+            snippet: String::new(),
+            hint:
+                "write `// lsi-lint: allow(<rule-id>, \"<justification>\")` with a non-empty reason"
+                    .to_string(),
+        }
+    }
+}
+
+/// Renders findings as human-readable text. Returns the report string.
+pub fn render_text(findings: &[Finding], fix_hints: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}[{}] {}:{}: {}\n",
+            f.severity, f.rule, f.path, f.line, f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+        if fix_hints && !f.hint.is_empty() {
+            out.push_str(&format!("    = hint: {}\n", f.hint));
+        }
+    }
+    let deny = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warn = findings.len() - deny;
+    out.push_str(&format!(
+        "lsi-lint: {deny} deny, {warn} warn finding{} \n",
+        if findings.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+/// Renders findings as a stable machine-readable JSON document.
+pub fn render_json(findings: &[Finding]) -> String {
+    let deny = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let warn = findings.len() - deny;
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}, \"hint\": {}}}{}\n",
+            json_str(f.rule),
+            json_str(&f.severity.to_string()),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.snippet),
+            json_str(&f.hint),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"counts\": {{\"deny\": {deny}, \"warn\": {warn}}}\n}}\n"
+    ));
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "D1-nondeterminism",
+            severity: Severity::Deny,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "wall-clock read".to_string(),
+            snippet: "let t = Instant::now();".to_string(),
+            hint: "thread a seed or timestamp in".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_contains_location_and_rule() {
+        let s = render_text(&[sample()], true);
+        assert!(s.contains("deny[D1-nondeterminism] crates/x/src/lib.rs:7"));
+        assert!(s.contains("hint:"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut f = sample();
+        f.message = "a \"quoted\" thing\n".to_string();
+        let s = render_json(&[f]);
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.contains("\"deny\": 1"));
+        assert!(s.contains("\"warn\": 0"));
+    }
+}

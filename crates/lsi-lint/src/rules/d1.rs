@@ -1,0 +1,60 @@
+//! D1-nondeterminism: wall-clock and process-identity reads.
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Patterns that read the wall clock or other per-run ambient state. Any of
+/// these inside experiment or library code silently invalidates the
+/// "seed-deterministic outputs" contract.
+const PATTERNS: &[&str] = &[
+    "SystemTime::now",
+    "Instant::now",
+    "Utc::now",
+    "Local::now",
+    "Date::now",
+    "process::id",
+];
+
+/// Crates whose whole purpose is timing: the serve engine's deadlines and
+/// the bench harness's wall-clock columns. D1 does not apply there.
+const EXEMPT_CRATES: &[&str] = &["crates/lsi-serve/", "crates/lsi-bench/"];
+
+/// The D1 rule.
+pub struct D1Nondeterminism;
+
+impl Rule for D1Nondeterminism {
+    fn id(&self) -> &'static str {
+        "D1-nondeterminism"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn description(&self) -> &'static str {
+        "no wall-clock or process-id reads outside lsi-serve timing paths, benches, and tests"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.role == Role::TestOrBench || EXEMPT_CRATES.iter().any(|c| ctx.rel.starts_with(c)) {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            for p in PATTERNS {
+                if contains_token(line, p) {
+                    emit(
+                        ctx,
+                        out,
+                        self.id(),
+                        self.severity(),
+                        lineno,
+                        format!("nondeterministic ambient read `{p}` outside timing-exempt code"),
+                        "thread a seed/timestamp parameter in, or justify with `// lsi-lint: allow(D1-nondeterminism, \"...\")`",
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! D2-unseeded-rng: every function that constructs an RNG must be seedable
+//! from the outside — a `seed`-like `u64` parameter or a `&mut impl Rng`.
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// RNG construction sites. `from_entropy`/`thread_rng` are flagged even in
+/// seed-taking functions: they are nondeterministic by definition.
+const CONSTRUCTORS: &[&str] = &["seed_from_u64", "from_seed", "from_entropy", "thread_rng"];
+
+/// Constructors that are always wrong, seeded caller or not.
+const ALWAYS_BAD: &[&str] = &["from_entropy", "thread_rng"];
+
+/// The D2 rule.
+pub struct D2UnseededRng;
+
+impl D2UnseededRng {
+    fn signature_is_seeded(sig: &str) -> bool {
+        // `&mut impl Rng`, `R: Rng`, `rng: &mut R` with an `R: Rng` bound —
+        // all carry the token `Rng`. A `u64` seed parameter carries an ident
+        // containing `seed` (seed, base_seed, seed0, …).
+        if contains_token(sig, "Rng") || contains_token(sig, "RngCore") {
+            return true;
+        }
+        sig.contains("seed")
+    }
+}
+
+impl Rule for D2UnseededRng {
+    fn id(&self) -> &'static str {
+        "D2-unseeded-rng"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn description(&self) -> &'static str {
+        "functions constructing an RNG must take a u64 seed or &mut impl Rng parameter"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.role == Role::TestOrBench {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            for c in CONSTRUCTORS {
+                if !contains_token(line, c) {
+                    continue;
+                }
+                if ALWAYS_BAD.contains(c) {
+                    emit(
+                        ctx,
+                        out,
+                        self.id(),
+                        self.severity(),
+                        lineno,
+                        format!("`{c}` draws OS entropy; outputs can never be reproduced"),
+                        "construct the RNG with `seed_from_u64(seed)` from a caller-supplied seed",
+                    );
+                    continue;
+                }
+                let Some(f) = ctx.enclosing_fn(lineno) else {
+                    emit(
+                        ctx,
+                        out,
+                        self.id(),
+                        self.severity(),
+                        lineno,
+                        format!("RNG constructed via `{c}` outside any function"),
+                        "move construction into a function that takes `seed: u64` or `&mut impl Rng`",
+                    );
+                    continue;
+                };
+                if !Self::signature_is_seeded(&f.signature) {
+                    emit(
+                        ctx,
+                        out,
+                        self.id(),
+                        self.severity(),
+                        lineno,
+                        format!(
+                            "fn `{}` constructs an RNG via `{c}` but takes neither a `u64` seed nor `&mut impl Rng`",
+                            f.name
+                        ),
+                        "add a `seed: u64` (or `rng: &mut impl Rng`) parameter and thread it from the caller",
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! D3-hasher-order: iterating a `HashMap`/`HashSet` in code that produces
+//! ordered output (tables, files, `Vec`s, float accumulations) is
+//! run-to-run nondeterministic — `RandomState` reseeds per process.
+//!
+//! Detection is two-pass and token-level: pass 1 collects identifiers bound
+//! or declared with a hash-map/set type in this file; pass 2 flags
+//! iteration over those identifiers unless the same statement visibly
+//! restores an order (a `sort` call, a `BTreeMap`/`BTreeSet` collect) or
+//! reduces order-insensitively (`count`/`sum`/`min`/`max`/`all`/`any`).
+
+use super::{contains_token, emit, statement_from, token_pos, Rule};
+use crate::context::{FileContext, Role};
+use crate::lexer::is_ident_byte;
+use crate::report::{Finding, Severity};
+use std::collections::BTreeSet;
+
+/// Chain fragments that make an iteration order-safe.
+const ORDER_SAFE: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "sorted",
+    "BTreeMap",
+    "BTreeSet",
+    ".count()",
+    ".sum()",
+    ".sum::",
+    ".product()",
+    ".min()",
+    ".max()",
+    ".all(",
+    ".any(",
+    ".contains(",
+    ".len()",
+    ".is_empty()",
+];
+
+/// Iteration entry points on a hash collection.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+];
+
+/// The D3 rule.
+pub struct D3HasherOrder;
+
+/// Collects identifiers this file binds to a `HashMap`/`HashSet` — `let`
+/// bindings, struct fields, and fn parameters.
+fn hash_idents(ctx: &FileContext) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in &ctx.lines {
+        if !(line.contains("HashMap") || line.contains("HashSet")) {
+            continue;
+        }
+        let t = line.trim_start();
+        // `let [mut] name … = … Hash{Map,Set} …` or `let name: Hash… = …`.
+        if let Some(rest) = t.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            if let Some(name) = leading_ident(rest) {
+                names.insert(name);
+            }
+            continue;
+        }
+        // `[pub] name: Hash{Map,Set}<…>` — a struct field or fn param; also
+        // covers `name: &HashMap<…>`.
+        let field = t.strip_prefix("pub ").unwrap_or(t);
+        if let Some(colon) = field.find(':') {
+            let (head, tail) = field.split_at(colon);
+            if (tail.contains("HashMap") || tail.contains("HashSet"))
+                && !head.contains('=')
+                && head.split_whitespace().count() == 1
+            {
+                if let Some(name) = leading_ident(head) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The identifier at the start of `s`, if any.
+fn leading_ident(s: &str) -> Option<String> {
+    let end = s.bytes().position(|b| !is_ident_byte(b)).unwrap_or(s.len());
+    if end == 0 || s.as_bytes()[0].is_ascii_digit() {
+        None
+    } else {
+        Some(s[..end].to_string())
+    }
+}
+
+impl Rule for D3HasherOrder {
+    fn id(&self) -> &'static str {
+        "D3-hasher-order"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn description(&self) -> &'static str {
+        "no unordered HashMap/HashSet iteration feeding tables, files, or Vec outputs"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.role == Role::TestOrBench {
+            return;
+        }
+        let names = hash_idents(ctx);
+        if names.is_empty() {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            for name in &names {
+                if !contains_token(line, name) {
+                    continue;
+                }
+                // Method chains may break lines after the receiver
+                // (`counts\n.into_iter()`), so match against the
+                // whitespace-normalized statement, not the single line.
+                let stmt = normalize(&statement_from(ctx, lineno, 8));
+                let iterated = ITER_METHODS.iter().any(|m| {
+                    contains_token(&stmt, &format!("{name}{m}"))
+                        || contains_token(&stmt, &format!("self.{name}{m}"))
+                }) || for_loop_over(line, name);
+                if !iterated {
+                    continue;
+                }
+                if ORDER_SAFE.iter().any(|s| stmt.contains(s)) {
+                    continue;
+                }
+                emit(
+                    ctx,
+                    out,
+                    self.id(),
+                    self.severity(),
+                    lineno,
+                    format!("iteration over hash-ordered `{name}` without restoring a deterministic order"),
+                    "collect and sort by key, switch to BTreeMap/BTreeSet, or justify with `// lsi-lint: allow(D3-hasher-order, \"...\")`",
+                );
+            }
+        }
+    }
+}
+
+/// Collapses whitespace runs to single spaces and deletes spaces adjacent to
+/// `.`/`(`/`)`, so split method chains match single-line patterns.
+fn normalize(stmt: &str) -> String {
+    let mut out = String::with_capacity(stmt.len());
+    let mut pending_space = false;
+    for c in stmt
+        .split_whitespace()
+        .flat_map(|w| w.chars().chain(std::iter::once('\u{0}')))
+    {
+        if c == '\u{0}' {
+            pending_space = true;
+            continue;
+        }
+        if pending_space {
+            if !matches!(c, '.' | '(' | ')') && !out.ends_with(['.', '(']) && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// True for `for … in` loops whose iterated expression mentions `name`
+/// (`for (k, v) in &map`, `for k in map.keys()` is caught by the method
+/// check; this catches the bare `&map`/`map` form).
+fn for_loop_over(line: &str, name: &str) -> bool {
+    let Some(for_at) = token_pos(line, "for") else {
+        return false;
+    };
+    let rest = &line[for_at..];
+    let Some(in_at) = token_pos(rest, "in") else {
+        return false;
+    };
+    let expr = &rest[in_at + 2..];
+    contains_token(expr, name) || contains_token(expr, &format!("self.{name}"))
+}

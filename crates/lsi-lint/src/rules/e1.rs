@@ -1,0 +1,76 @@
+//! E1-panic-policy: `unwrap`/`expect`/`panic!`/`unreachable!` in non-test
+//! crate code must live in a function whose doc comment carries a
+//! `# Panics` section (CLAUDE.md: errors over panics at API boundaries;
+//! panics only for documented programmer-error preconditions).
+
+use super::{emit, token_pos, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Panicking constructs the policy covers.
+const PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "unimplemented!(",
+    "todo!(",
+];
+
+/// The E1 rule.
+pub struct E1PanicPolicy;
+
+impl Rule for E1PanicPolicy {
+    fn id(&self) -> &'static str {
+        "E1-panic-policy"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic! outside tests must sit in a fn documented with `# Panics`"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        // Examples are narrative documentation; tests/benches are exempt by
+        // role. The policy bites in library and binary sources.
+        if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            for p in PATTERNS {
+                if token_pos(line, p).is_none() {
+                    continue;
+                }
+                match ctx.enclosing_fn(lineno) {
+                    Some(f) if f.has_panics_doc => {}
+                    Some(f) => emit(
+                        ctx,
+                        out,
+                        self.id(),
+                        self.severity(),
+                        lineno,
+                        format!(
+                            "`{}` in fn `{}`, whose doc comment has no `# Panics` section",
+                            p.trim_matches(|c| c == '.' || c == '('),
+                            f.name
+                        ),
+                        "return a typed error instead, document the precondition under `# Panics`, or justify with `// lsi-lint: allow(E1-panic-policy, \"...\")`",
+                    ),
+                    None => emit(
+                        ctx,
+                        out,
+                        self.id(),
+                        self.severity(),
+                        lineno,
+                        format!("`{}` outside any function", p.trim_matches(|c| c == '.' || c == '(')),
+                        "move the fallible expression into a function and document its `# Panics` contract",
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! P1-raw-threads: `thread::spawn`/`thread::scope`/`thread::Builder` are
+//! reserved for the deterministic executor (`lsi_linalg::parallel`) and the
+//! serve worker pool. Everything else must go through `for_chunks_mut` /
+//! `map_chunks` so chunk boundaries stay thread-count-invariant.
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Thread-creation entry points.
+const PATTERNS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// The only files allowed to create threads.
+const ALLOWLIST: &[&str] = &[
+    "crates/lsi-linalg/src/parallel.rs",
+    "crates/lsi-serve/src/engine.rs",
+];
+
+/// The P1 rule.
+pub struct P1RawThreads;
+
+impl Rule for P1RawThreads {
+    fn id(&self) -> &'static str {
+        "P1-raw-threads"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn description(&self) -> &'static str {
+        "no raw thread creation outside lsi_linalg::parallel and the lsi-serve worker pool"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.role == Role::TestOrBench || ALLOWLIST.contains(&ctx.rel.as_str()) {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            for p in PATTERNS {
+                if contains_token(line, p) {
+                    emit(
+                        ctx,
+                        out,
+                        self.id(),
+                        self.severity(),
+                        lineno,
+                        format!("raw `{p}` outside the sanctioned executors"),
+                        "route the work through `lsi_linalg::parallel::{for_chunks_mut, map_chunks}`",
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! P2-thread-dependent-chunking: arithmetic that combines a thread count
+//! with a chunk/block size is the classic way determinism dies — chunk
+//! boundaries must depend only on problem size. Heuristic (warn-level):
+//! flag lines where a thread-count identifier meets division/modulo/
+//! `div_ceil` alongside a size-ish identifier.
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Identifiers that denote a thread count.
+const THREAD_TOKENS: &[&str] = &[
+    "num_threads",
+    "n_threads",
+    "nthreads",
+    "thread_count",
+    "threads",
+    "LSI_THREADS",
+];
+
+/// Identifiers that suggest the arithmetic feeds a partition size.
+const SIZE_TOKENS: &[&str] = &[
+    "chunk",
+    "chunks",
+    "chunk_size",
+    "grain",
+    "block",
+    "stride",
+    "len",
+    "size",
+    "per_thread",
+];
+
+/// The P2 rule.
+pub struct P2ThreadDependentChunking;
+
+impl Rule for P2ThreadDependentChunking {
+    fn id(&self) -> &'static str {
+        "P2-thread-dependent-chunking"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "chunk-boundary arithmetic must not involve the thread count"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.role == Role::TestOrBench {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            let has_thread = THREAD_TOKENS.iter().any(|t| contains_token(line, t));
+            if !has_thread {
+                continue;
+            }
+            let has_div =
+                line.contains('/') || line.contains('%') || contains_token(line, "div_ceil");
+            if !has_div {
+                continue;
+            }
+            let has_size = SIZE_TOKENS.iter().any(|t| contains_token(line, t));
+            if !has_size {
+                continue;
+            }
+            emit(
+                ctx,
+                out,
+                self.id(),
+                self.severity(),
+                lineno,
+                "thread count participates in size/chunk arithmetic; boundaries must depend only on problem size".to_string(),
+                "derive chunk boundaries from `len`/`grain` alone and let threads pull chunks (see lsi_linalg::parallel)",
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! R1-reflector: Householder reflectors must come from
+//! `vector::householder_reflector` (the scaled, overflow-safe construction).
+//! A hand-rolled `norm()`+`signum()` reflector overflows on large entries
+//! and loses sign stability. Heuristic (warn-level).
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// The sanctioned construction site.
+const ALLOWLIST: &[&str] = &["crates/lsi-linalg/src/vector.rs"];
+
+/// The R1 rule.
+pub struct R1Reflector;
+
+impl Rule for R1Reflector {
+    fn id(&self) -> &'static str {
+        "R1-reflector"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "no naive norm()-based Householder construction outside vector::householder_reflector"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.role == Role::TestOrBench || ALLOWLIST.contains(&ctx.rel.as_str()) {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            // Pattern A: the classic `-x[0].signum() * norm(x)` one-liner.
+            let norm_call = contains_token(line, "norm") && line.contains("norm(");
+            if norm_call && line.contains("signum") {
+                emit(
+                    ctx,
+                    out,
+                    self.id(),
+                    self.severity(),
+                    lineno,
+                    "norm()+signum() reflector construction; use vector::householder_reflector".to_string(),
+                    "call `vector::householder_reflector` (scaled, overflow-safe) instead of composing norm and sign by hand",
+                );
+                continue;
+            }
+            // Pattern B: any norm() call inside a fn that names itself a
+            // householder/reflector builder.
+            if norm_call {
+                if let Some(f) = ctx.enclosing_fn(lineno) {
+                    let n = f.name.to_ascii_lowercase();
+                    if n.contains("householder") || n.contains("reflector") {
+                        emit(
+                            ctx,
+                            out,
+                            self.id(),
+                            self.severity(),
+                            lineno,
+                            format!("fn `{}` builds a reflector with a raw norm(); use vector::householder_reflector", f.name),
+                            "delete the local construction and call `vector::householder_reflector`",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

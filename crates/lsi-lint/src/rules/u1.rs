@@ -1,0 +1,48 @@
+//! U1-unsafe: `unsafe` is forbidden everywhere except an explicit
+//! allowlist — currently only the counting-allocator integration test,
+//! which must implement `GlobalAlloc`. The allowlist mirrors the crates'
+//! `#![forbid(unsafe_code)]` / scoped `#[allow(unsafe_code)]` attributes.
+
+use super::{contains_token, emit, Rule};
+use crate::context::FileContext;
+use crate::report::{Finding, Severity};
+
+/// Files allowed to contain `unsafe` (each must also carry
+/// `#![deny(unsafe_code)]` with scoped, justified allows).
+const ALLOWLIST: &[&str] = &["crates/lsi-linalg/tests/alloc_guard.rs"];
+
+/// The U1 rule.
+pub struct U1Unsafe;
+
+impl Rule for U1Unsafe {
+    fn id(&self) -> &'static str {
+        "U1-unsafe"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn description(&self) -> &'static str {
+        "unsafe code is forbidden outside the explicit allowlist"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ALLOWLIST.contains(&ctx.rel.as_str()) {
+            return;
+        }
+        // Applies to every role, test code included: unsafe in a test is
+        // still unsafe.
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if contains_token(line, "unsafe") {
+                emit(
+                    ctx,
+                    out,
+                    self.id(),
+                    self.severity(),
+                    lineno,
+                    "`unsafe` outside the allowlist".to_string(),
+                    "rewrite safely, or (exceptionally) extend U1's allowlist together with a scoped #[allow(unsafe_code)] and justification",
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-rule fixture tests: every rule must fire on its seeded-violation
+//! fixture (`fixtures/fire/<rule>.rs`) and stay quiet on its near-miss
+//! fixture (`fixtures/quiet/<rule>.rs`).
+
+use lsi_lint::{lint_source, Severity};
+use std::path::PathBuf;
+
+/// (short name, full rule id) for every shipped rule.
+const RULES: &[(&str, &str)] = &[
+    ("d1", "D1-nondeterminism"),
+    ("d2", "D2-unseeded-rng"),
+    ("d3", "D3-hasher-order"),
+    ("e1", "E1-panic-policy"),
+    ("p1", "P1-raw-threads"),
+    ("p2", "P2-thread-dependent-chunking"),
+    ("r1", "R1-reflector"),
+    ("u1", "U1-unsafe"),
+];
+
+/// Lints `fixtures/<kind>/<name>.rs` under its real workspace-relative path
+/// (which classifies as library source, so every rule applies).
+fn lint_fixture(kind: &str, name: &str) -> Vec<lsi_lint::Finding> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(kind)
+        .join(format!("{name}.rs"));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let rel = format!("crates/lsi-lint/fixtures/{kind}/{name}.rs");
+    lint_source(&rel, &src)
+}
+
+#[test]
+fn every_rule_fires_on_its_fire_fixture() {
+    for (name, rule) in RULES {
+        let findings = lint_fixture("fire", name);
+        let hits = findings.iter().filter(|f| f.rule == *rule).count();
+        assert!(
+            hits >= 1,
+            "rule {rule} produced no findings on fixtures/fire/{name}.rs; got: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_quiet_on_its_quiet_fixture() {
+    for (name, rule) in RULES {
+        let findings = lint_fixture("quiet", name);
+        let hits: Vec<_> = findings.iter().filter(|f| f.rule == *rule).collect();
+        assert!(
+            hits.is_empty(),
+            "rule {rule} fired on fixtures/quiet/{name}.rs: {hits:#?}"
+        );
+    }
+}
+
+#[test]
+fn quiet_tree_is_fully_clean() {
+    // The quiet fixtures are also cross-checked against every *other* rule:
+    // a near-miss for one rule must not trip a different one.
+    for (name, _) in RULES {
+        let findings = lint_fixture("quiet", name);
+        assert!(
+            findings.is_empty(),
+            "fixtures/quiet/{name}.rs is not clean: {findings:#?}"
+        );
+    }
+    assert!(lint_fixture("quiet", "a0").is_empty());
+}
+
+#[test]
+fn fire_fixtures_carry_deny_findings() {
+    // The seeded-violation tree must make the binary exit nonzero, which
+    // requires at least one deny-severity finding among the fire fixtures.
+    let mut deny = 0usize;
+    for (name, _) in RULES {
+        deny += lint_fixture("fire", name)
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count();
+    }
+    assert!(deny > 0, "fire fixtures produced no deny findings");
+}
+
+#[test]
+fn warn_rules_have_warn_severity() {
+    for (name, rule) in [
+        ("p2", "P2-thread-dependent-chunking"),
+        ("r1", "R1-reflector"),
+    ] {
+        let findings = lint_fixture("fire", name);
+        let hit = findings
+            .iter()
+            .find(|f| f.rule == rule)
+            .unwrap_or_else(|| panic!("{rule} missing from fire fixture"));
+        assert_eq!(hit.severity, Severity::Warn, "{rule} must be warn-level");
+    }
+}
+
+#[test]
+fn malformed_allow_directives_fire_a0() {
+    let findings = lint_fixture("fire", "a0");
+    let a0: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "A0-allow-syntax")
+        .collect();
+    assert_eq!(
+        a0.len(),
+        3,
+        "expected one A0 per malformed directive (missing reason, empty reason, wrong verb): {findings:#?}"
+    );
+    assert!(a0.iter().all(|f| f.severity == Severity::Deny));
+    // Malformed directives must not suppress the underlying findings.
+    assert!(
+        findings.iter().any(|f| f.rule == "D1-nondeterminism"),
+        "a malformed allow suppressed a D1 finding: {findings:#?}"
+    );
+}
+
+#[test]
+fn wellformed_allow_directives_suppress() {
+    // quiet/a0.rs reads `process::id()` twice, suppressed by a standalone
+    // directive (full rule id) and a trailing directive (short id).
+    let findings = lint_fixture("quiet", "a0");
+    assert!(
+        findings.is_empty(),
+        "well-formed allows failed to suppress: {findings:#?}"
+    );
+}
+
+#[test]
+fn findings_report_real_lines() {
+    // Spot-check diagnostics point at the violating line, not the fn header.
+    let findings = lint_fixture("fire", "d1");
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "D1-nondeterminism")
+        .expect("d1 fires");
+    assert!(
+        f.snippet.contains("::now()") || f.snippet.contains("process::id()"),
+        "snippet should show the ambient read: {f:#?}"
+    );
+    assert!(f.line > 1);
+}

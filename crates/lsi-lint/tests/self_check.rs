@@ -1,0 +1,75 @@
+//! Self-check: the real workspace must lint clean at deny level. This is the
+//! same pass `scripts/check.sh` gates on; keeping it in the test suite means
+//! `cargo test --workspace` alone catches a conformance regression.
+
+use lsi_lint::{discover_workspace_files, find_workspace_root, lint_file, Severity};
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_deny_findings() {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(start).expect("workspace root above crates/lsi-lint");
+    let files = discover_workspace_files(&root);
+    assert!(
+        files.len() > 40,
+        "workspace discovery looks broken: only {} .rs files under {}",
+        files.len(),
+        root.display()
+    );
+    let mut deny = Vec::new();
+    for f in &files {
+        for finding in lint_file(&root, f).expect("workspace file readable") {
+            if finding.severity == Severity::Deny {
+                deny.push(format!(
+                    "{}:{} {} {}",
+                    finding.path, finding.line, finding.rule, finding.message
+                ));
+            }
+        }
+    }
+    assert!(
+        deny.is_empty(),
+        "workspace must be deny-clean; found {} violations:\n{}",
+        deny.len(),
+        deny.join("\n")
+    );
+}
+
+#[test]
+fn discovery_skips_fixture_and_vendor_trees() {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(start).expect("workspace root above crates/lsi-lint");
+    let files = discover_workspace_files(&root);
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        assert!(
+            !rel.contains("fixtures/")
+                && !rel.starts_with("vendor/")
+                && !rel.starts_with("target/"),
+            "discovery leaked an excluded path: {rel}"
+        );
+    }
+}
+
+#[test]
+fn seeded_violation_tree_fails_the_gate() {
+    // The acceptance check behind `lsi-lint crates/lsi-lint/fixtures/fire`:
+    // explicitly-passed paths do include fixtures, and the seeded tree must
+    // produce deny findings (binary exit code 1).
+    let fire = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("fire");
+    let root = find_workspace_root(&fire).expect("workspace root");
+    let files = lsi_lint::collect_files(&fire);
+    assert!(files.len() >= 8, "expected one fire fixture per rule");
+    let deny = files
+        .iter()
+        .flat_map(|f| lint_file(&root, f).expect("fixture readable"))
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    assert!(deny > 0, "fire tree must carry deny findings");
+}

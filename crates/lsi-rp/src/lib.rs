@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Random projection and the two-step RP + LSI pipeline (Section 5).

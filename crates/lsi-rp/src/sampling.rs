@@ -95,6 +95,7 @@ pub fn fkv_low_rank(
     let mut c = Matrix::zeros(n, s);
     for col in 0..s {
         let u: f64 = rng.gen();
+        // lsi-lint: allow(E1-panic-policy, "invariant: the cdf is built from finite, validated column norms")
         let j = match cdf.binary_search_by(|x| x.partial_cmp(&u).expect("finite cdf")) {
             Ok(idx) | Err(idx) => idx.min(m - 1),
         };

@@ -318,6 +318,10 @@ impl QueryEngine {
         Self::build(index, Some(raw), config)
     }
 
+    /// # Panics
+    /// Panics when the OS refuses to spawn a worker thread (resource
+    /// exhaustion at construction time; an engine without workers could
+    /// never serve).
     fn build(index: LsiIndex, raw: Option<VectorSpaceIndex>, config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
         let capacity = config.queue_capacity.max(1);
@@ -594,6 +598,7 @@ fn handle_job(
             }
             // Soft deadline fired with budget to spare: degrade to the raw
             // term-space scorer (guaranteed present when soft_at is set).
+            // lsi-lint: allow(E1-panic-policy, "invariant: degraded mode is only entered when the fallback index exists")
             let raw = state.raw.as_ref().expect("soft deadline implies fallback");
             let hits = raw.query(&query.terms, query.top_k);
             hard.check().map_err(|_| QueryError::DeadlineExceeded)?;
@@ -699,6 +704,13 @@ mod tests {
         for _ in 0..8 {
             let ok = engine.query(Query::new(vec![(0, 1.0)], 5)).unwrap();
             assert!(!ok.hits().is_empty());
+        }
+        // The respawn is recorded by the worker's supervisor *after* the
+        // Internal reply reaches the caller, so it lands asynchronously;
+        // wait (bounded) instead of racing the supervisor thread.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while engine.stats().worker_respawns < 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
         }
         let s = engine.stats();
         assert_eq!(s.internal, 1);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Resilient concurrent query serving for LSI indexes.
 //!
 //! The paper's retrieval model is a pure function: project a query into the

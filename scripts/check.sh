@@ -1,23 +1,49 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints, and the test suite.
+# Full local gate: formatting, lints, conformance, and the test suite.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
+# Fail fast with a clear message when the toolchain is missing: every gate
+# below needs cargo, and a bare `command not found` mid-run is easy to
+# misread as a code failure.
+if ! command -v cargo >/dev/null 2>&1; then
+  echo "check.sh: error: 'cargo' not found on PATH; install a Rust toolchain first" >&2
+  exit 2
+fi
+
+# Name the gate that failed: with `set -e` the script dies at the first
+# nonzero exit, and without this trap the culprit is whichever command
+# happened to print last.
+CURRENT_GATE="startup"
+trap 'status=$?; if [ "$status" -ne 0 ]; then echo "check.sh: FAILED in gate: $CURRENT_GATE (exit $status)" >&2; fi' EXIT
+
+gate() {
+  CURRENT_GATE="$1"
+  echo "== $1"
+}
+
+gate "cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy (deny warnings)"
+gate "cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test"
+gate "lsi-lint conformance (deny gate + JSON report)"
+mkdir -p target
+# Write the machine-readable report first (never fails the gate on its own),
+# then enforce with the human-readable run so failures print diagnostics.
+cargo run --release -p lsi-lint -- --format json > target/lint-report.json || true
+cargo run --release -p lsi-lint
+
+gate "cargo test"
 cargo test --workspace
 
-echo "== determinism gate: tier-1 tests at LSI_THREADS=1 and 4"
+gate "determinism: tier-1 tests at LSI_THREADS=1 and 4"
 LSI_THREADS=1 cargo test -p lsi-linalg --test determinism
 LSI_THREADS=4 cargo test -p lsi-linalg --test determinism
 
-echo "== determinism gate: reproduce --exp e6 identical across thread counts"
+gate "determinism: reproduce --exp e6 identical across thread counts"
 # E6's numerical columns are seed-deterministic; wall-clock columns vary per
 # run, so compare everything except lines containing timings (the table body
 # timing columns are filtered by dropping runtime numbers via the summary
@@ -33,17 +59,18 @@ strip_times() { awk '/^ *[0-9]+ +[0-9]+ /{print $1, $2; next} {print}' "$1"; }
 diff <(strip_times /tmp/lsi_e6_t1.txt) <(strip_times /tmp/lsi_e6_t4.txt)
 echo "e6 tables structurally identical across LSI_THREADS=1/4"
 
-echo "== bench-json smoke"
+gate "bench-json smoke"
 cargo run --release -p lsi-bench --bin bench-json -- --smoke --out /tmp/lsi_bench_smoke.json
 rm -f /tmp/lsi_bench_smoke.json /tmp/lsi_e6_t1.txt /tmp/lsi_e6_t4.txt
 
-echo "== serve chaos suite (fixed seed)"
+gate "serve chaos suite (fixed seed)"
 SERVE_CHAOS_SEED=20260706 cargo test --test serve_chaos
 
-echo "== serve chaos soak (high volume)"
+gate "serve chaos soak (high volume)"
 SERVE_SOAK=1 cargo test --test serve_chaos fault_storm
 
-echo "== benches compile"
+gate "benches compile"
 cargo bench --workspace --no-run
 
+CURRENT_GATE="done"
 echo "== all checks passed"

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate for the LSI reproduction workspace.
 //!
 //! Re-exports every member crate under one roof so the examples and
