@@ -3,7 +3,9 @@
 
 use std::path::Path;
 
-use lsi_core::{BuildStatus, LsiConfig, LsiIndex, SvdBackend};
+use lsi_core::{
+    BuildStatus, Journal, LsiConfig, LsiIndex, MutationRecord, SvdBackend, TruncationCause,
+};
 use lsi_ir::text::Tokenizer;
 use lsi_ir::{Dictionary, TermDocumentMatrix, Weighting};
 
@@ -96,7 +98,16 @@ pub fn cmd_index(
 /// binary and log-tf are locally computable; tf-idf and log-entropy need
 /// corpus-global statistics the container does not carry, so folding into
 /// such an index is rejected rather than silently mis-scaled.
-pub fn cmd_add(container: &mut Container, input: &Path) -> Result<String, CliError> {
+///
+/// With a `journal`, each fold-in is appended (and fsynced) as a
+/// [`MutationRecord::AddDocument`] frame *before* it is applied in memory,
+/// so a crash between this call and the container save loses nothing —
+/// `lsi recover` replays the journal tail over the last saved container.
+pub fn cmd_add(
+    container: &mut Container,
+    input: &Path,
+    mut journal: Option<&mut Journal>,
+) -> Result<String, CliError> {
     let weighting = container.index.config().weighting;
     match weighting {
         Weighting::Count | Weighting::Binary | Weighting::LogTf => {}
@@ -139,6 +150,15 @@ pub fn cmd_add(container: &mut Container, input: &Path) -> Result<String, CliErr
                 (t, w)
             })
             .collect();
+        if let Some(j) = journal.as_deref_mut() {
+            // Write-ahead: the frame is durable before the in-memory apply,
+            // so an acknowledged fold-in can always be replayed.
+            j.append(&MutationRecord::AddDocument {
+                seq: container.index.n_docs() as u64,
+                doc_id: doc.id.clone(),
+                terms: terms.clone(),
+            })?;
+        }
         container.index.add_document(&terms);
         container.doc_ids.push(doc.id.clone());
         added += 1;
@@ -148,6 +168,121 @@ pub fn cmd_add(container: &mut Container, input: &Path) -> Result<String, CliErr
          total {} documents",
         container.index.n_docs()
     ))
+}
+
+/// What `lsi recover` did, as a typed summary (rendered by its `Display`).
+#[derive(Debug, Clone)]
+pub struct RecoverSummary {
+    /// Documents in the loaded container snapshot.
+    pub snapshot_docs: usize,
+    /// Intact frames found in the sidecar journal.
+    pub frames_read: usize,
+    /// Frames replayed on top of the snapshot.
+    pub frames_replayed: usize,
+    /// Frames already contained in the snapshot (or checkpoint markers).
+    pub frames_skipped: usize,
+    /// Intact frames dropped because replay could not continue past them.
+    pub frames_dropped: usize,
+    /// Bytes discarded past the last intact frame.
+    pub truncated_bytes: u64,
+    /// Why the journal tail was discarded, if it was.
+    pub truncation: Option<TruncationCause>,
+    /// Document count after recovery and compaction.
+    pub total_docs: usize,
+}
+
+impl std::fmt::Display for RecoverSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "snapshot loaded: {} documents; journal: {} intact frame(s)",
+            self.snapshot_docs, self.frames_read
+        )?;
+        writeln!(
+            f,
+            "replayed {} frame(s), skipped {} already-checkpointed, dropped {}",
+            self.frames_replayed, self.frames_skipped, self.frames_dropped
+        )?;
+        match self.truncation {
+            Some(cause) => writeln!(
+                f,
+                "truncated {} trailing byte(s): {cause}",
+                self.truncated_bytes
+            )?,
+            None => writeln!(f, "journal tail clean")?,
+        }
+        write!(
+            f,
+            "compacted: {} documents checkpointed, journal rotated",
+            self.total_docs
+        )
+    }
+}
+
+/// `lsi recover`: reconstructs a container from its last saved state plus
+/// the sidecar journal (`<index>.lsic.lsij`), then compacts — saves the
+/// recovered container atomically and rotates the journal. Torn or corrupt
+/// journal tails are truncated, never fatal; only an unreadable container
+/// (or a journal file that is not a journal at all) errors, with the
+/// storage exit code.
+pub fn cmd_recover(path: &Path) -> Result<RecoverSummary, CliError> {
+    let mut container = Container::load(path)?;
+    let (mut journal, recovery) = Journal::open(&lsi_core::journal_path(path))?;
+
+    let mut summary = RecoverSummary {
+        snapshot_docs: container.index.n_docs(),
+        frames_read: recovery.records.len(),
+        frames_replayed: 0,
+        frames_skipped: 0,
+        frames_dropped: 0,
+        truncated_bytes: recovery.truncated_bytes,
+        truncation: recovery.truncation,
+        total_docs: 0,
+    };
+    for (i, record) in recovery.records.iter().enumerate() {
+        let n = container.index.n_docs() as u64;
+        let applied = match record {
+            MutationRecord::Checkpoint { seq } if *seq <= n => {
+                summary.frames_skipped += 1;
+                true
+            }
+            MutationRecord::FoldIn { seq, terms }
+            | MutationRecord::AddDocument { seq, terms, .. } => {
+                if *seq < n {
+                    summary.frames_skipped += 1;
+                    true
+                } else if *seq == n && container.index.try_add_document(terms).is_ok() {
+                    // Applied: restore the caller-side id too (fold-ins
+                    // without one get the same synthetic id `lsi query`
+                    // would print).
+                    let id = match record {
+                        MutationRecord::AddDocument { doc_id, .. } => doc_id.clone(),
+                        _ => format!("doc#{seq}"),
+                    };
+                    container.doc_ids.push(id);
+                    summary.frames_replayed += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            MutationRecord::Checkpoint { .. } => false,
+        };
+        if !applied {
+            // Sequence gap or unappliable record: replay cannot safely
+            // continue past it.
+            summary.frames_dropped = recovery.records.len() - i;
+            summary
+                .truncation
+                .get_or_insert(TruncationCause::SequenceGap);
+            break;
+        }
+    }
+
+    container.save(path)?;
+    journal.rotate(container.index.n_docs() as u64)?;
+    summary.total_docs = container.index.n_docs();
+    Ok(summary)
 }
 
 /// `lsi query`: tokenizes the query with the same pipeline, folds it into
@@ -259,6 +394,13 @@ pub struct ServeBenchOptions {
     /// term-document matrix, so the bench engine has no term-space
     /// fallback and soft deadlines only matter for degraded indexes.
     pub soft_deadline_ms: Option<u64>,
+    /// Exercise the durability layer: serve through a [`DurableIndex`] in
+    /// a seed-keyed scratch directory, mix journaled fold-ins into the
+    /// load profile, and verify checkpoint + reopen equals the live engine
+    /// after the run.
+    ///
+    /// [`DurableIndex`]: lsi_core::DurableIndex
+    pub durable: bool,
 }
 
 impl Default for ServeBenchOptions {
@@ -269,6 +411,7 @@ impl Default for ServeBenchOptions {
             seed: 20260706,
             deadline_ms: 1_000,
             soft_deadline_ms: None,
+            durable: false,
         }
     }
 }
@@ -303,10 +446,25 @@ pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result
             }
         })),
     };
-    let engine = QueryEngine::new(container.index, config);
+    // Durable mode serves through the write-ahead journal in a seed-keyed
+    // scratch directory (deterministic path, no ambient entropy).
+    let scratch = opts
+        .durable
+        .then(|| std::env::temp_dir().join(format!("lsi-serve-bench-durable-{}", opts.seed)));
+    let engine = match &scratch {
+        Some(dir) => {
+            let _ = std::fs::remove_dir_all(dir);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::io(format!("cannot create {}: {e}", dir.display())))?;
+            let durable = lsi_core::DurableIndex::create(&dir.join("index.lsix"), container.index)?;
+            QueryEngine::with_durable(durable, config)
+        }
+        None => QueryEngine::new(container.index, config),
+    };
 
     let mut rng = lsi_linalg::rng::seeded(opts.seed);
     let mut tickets = Vec::with_capacity(opts.queries);
+    let mut journaled = 0usize;
     for _ in 0..opts.queries {
         let roll = rng.gen_range(0usize..100);
         let mut terms: Vec<(usize, f64)> = (0..rng.gen_range(1usize..=4))
@@ -320,6 +478,15 @@ pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result
             5..=7 => terms[0].1 = f64::NAN,
             // 2%: deliberately slow.
             8..=9 => tag = TAG_SLOW,
+            // 4% in durable mode: a journaled fold-in through the mutator,
+            // interleaved with the query load it contends with.
+            10..=13 if opts.durable => {
+                engine
+                    .add_document(&terms)
+                    .map_err(|e| CliError::serve(format!("durable fold-in failed: {e}")))?;
+                journaled += 1;
+                continue;
+            }
             _ => {}
         }
         let query = Query {
@@ -343,14 +510,38 @@ pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result
             stats.table()
         )));
     }
+
+    let mut durable_lines = String::new();
+    if let Some(dir) = &scratch {
+        // Compact, tear the engine down, and prove recovery: reopening the
+        // snapshot + journal must reproduce the live document count.
+        engine
+            .checkpoint()
+            .map_err(|e| CliError::serve(format!("checkpoint failed: {e}")))?;
+        let live_docs = engine.n_docs();
+        engine.shutdown();
+        let (recovered, report) = lsi_core::DurableIndex::open_durable(&dir.join("index.lsix"))?;
+        if recovered.index().n_docs() != live_docs {
+            return Err(CliError::serve(format!(
+                "recovery mismatch: live engine had {live_docs} docs, reopened index has {} ({report})",
+                recovered.index().n_docs()
+            )));
+        }
+        durable_lines = format!(
+            "\ndurable: {journaled} fold-in(s) journaled; checkpoint + reopen verified \
+             ({live_docs} docs; {report})"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
     Ok(format!(
-        "serve-bench: {} queries, {} workers, {} linalg thread(s), deadline {} ms, seed {}\n{}",
+        "serve-bench: {} queries, {} workers, {} linalg thread(s), deadline {} ms, seed {}\n{}{}",
         opts.queries,
         opts.workers,
         lsi_linalg::parallel::threads(),
         opts.deadline_ms,
         opts.seed,
-        stats.table().trim_end()
+        stats.table().trim_end(),
+        durable_lines
     ))
 }
 
@@ -454,7 +645,7 @@ mod tests {
         .unwrap();
         let mut container = Container::load(&output).unwrap();
         let before = container.index.n_docs();
-        let summary = cmd_add(&mut container, &more).unwrap();
+        let summary = cmd_add(&mut container, &more, None).unwrap();
         assert!(summary.contains("folded in 1"), "{summary}");
         assert!(summary.contains("1 skipped"), "{summary}");
         assert_eq!(container.index.n_docs(), before + 1);
@@ -481,7 +672,7 @@ mod tests {
         write_sample_corpus(&input);
         cmd_index(&input, &output, 2, Weighting::TfIdf).unwrap();
         let mut container = Container::load(&output).unwrap();
-        let err = cmd_add(&mut container, &input).unwrap_err();
+        let err = cmd_add(&mut container, &input, None).unwrap_err();
         assert!(err.message.contains("tf-idf"), "{err}");
         fs::remove_file(&input).ok();
         fs::remove_file(&output).ok();
@@ -494,7 +685,7 @@ mod tests {
         write_sample_corpus(&input);
         cmd_index(&input, &output, 2, Weighting::LogTf).unwrap();
         let mut container = Container::load(&output).unwrap();
-        let summary = cmd_add(&mut container, &input).unwrap();
+        let summary = cmd_add(&mut container, &input, None).unwrap();
         assert!(summary.contains("folded in 6"), "{summary}");
         // Folded copies of existing documents land on top of the originals.
         let n = container.index.n_docs();
@@ -548,6 +739,7 @@ mod tests {
             seed: 42,
             deadline_ms: 5_000,
             soft_deadline_ms: None,
+            durable: false,
         };
         let report = cmd_serve_bench(container, &opts).unwrap();
         assert!(report.contains("200 queries"), "{report}");
@@ -560,5 +752,77 @@ mod tests {
 
         fs::remove_file(&input).ok();
         fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn serve_bench_durable_mode_journals_and_verifies_recovery() {
+        let input = temp("corpus_bench_durable.txt");
+        let output = temp("corpus_bench_durable.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+        let container = Container::load(&output).unwrap();
+
+        let opts = ServeBenchOptions {
+            queries: 150,
+            workers: 2,
+            seed: 4242,
+            deadline_ms: 5_000,
+            soft_deadline_ms: None,
+            durable: true,
+        };
+        let report = cmd_serve_bench(container, &opts).unwrap();
+        assert!(report.contains("durable:"), "{report}");
+        assert!(report.contains("checkpoint + reopen verified"), "{report}");
+        // The 4% mutation slice of 150 queries lands a handful of fold-ins.
+        assert!(!report.contains("0 fold-in(s)"), "{report}");
+
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn recover_replays_a_crashed_add_and_is_idempotent() {
+        let input = temp("corpus_recover.txt");
+        let output = temp("corpus_recover.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+
+        let more = temp("more_recover.txt");
+        fs::write(&more, "d6\tthe car engine and the automobile engine\n").unwrap();
+
+        // Journaled add that "crashes" before the container is saved: the
+        // in-memory container is simply dropped.
+        let jpath = lsi_core::journal_path(&output);
+        {
+            let mut container = Container::load(&output).unwrap();
+            let mut journal = lsi_core::Journal::create(&jpath).unwrap();
+            cmd_add(&mut container, &more, Some(&mut journal)).unwrap();
+            // No container.save, no journal.rotate: crash window.
+        }
+
+        let before = Container::load(&output).unwrap().index.n_docs();
+        let summary = cmd_recover(&output).unwrap();
+        assert_eq!(summary.snapshot_docs, before);
+        assert_eq!(summary.frames_replayed, 1, "{summary}");
+        assert_eq!(summary.frames_dropped, 0, "{summary}");
+        assert_eq!(summary.total_docs, before + 1);
+
+        // The replayed document is searchable under its journaled id.
+        let recovered = Container::load(&output).unwrap();
+        let hits = cmd_query(&recovered, "automobile engine", 10).unwrap();
+        assert!(
+            hits.iter().any(|(id, s)| id == "d6" && *s > 0.8),
+            "replayed doc not retrieved: {hits:?}"
+        );
+
+        // Recovery is idempotent: a second pass replays nothing.
+        let summary2 = cmd_recover(&output).unwrap();
+        assert_eq!(summary2.frames_replayed, 0, "{summary2}");
+        assert_eq!(summary2.total_docs, before + 1);
+
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+        fs::remove_file(&more).ok();
+        fs::remove_file(&jpath).ok();
     }
 }

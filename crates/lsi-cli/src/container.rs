@@ -156,9 +156,11 @@ impl Container {
         })
     }
 
-    /// Writes to a file path, atomically: the container is written to a
-    /// temporary sibling file and renamed into place, so a crash mid-write
-    /// never destroys an existing index.
+    /// Writes to a file path, atomically *and durably*: the container is
+    /// written to a temporary sibling file, fsynced, renamed into place,
+    /// and the parent directory is synced so the rename itself survives a
+    /// crash. A crash mid-write therefore never destroys an existing
+    /// index, and a completed save is never silently rolled back.
     pub fn save(&self, path: &Path) -> Result<(), CliError> {
         let tmp = path.with_extension("lsic.tmp");
         {
@@ -169,11 +171,17 @@ impl Container {
             self.write(&mut f)?;
             use std::io::Write as _;
             f.flush()?;
+            f.get_ref().sync_all().map_err(|e| {
+                let _ = std::fs::remove_file(&tmp);
+                CliError::io(format!("cannot sync {}: {e}", tmp.display()))
+            })?;
         }
         std::fs::rename(&tmp, path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             CliError::io(format!("cannot replace {}: {e}", path.display()))
-        })
+        })?;
+        lsi_core::sync_parent_dir(path)
+            .map_err(|e| CliError::io(format!("cannot sync parent of {}: {e}", path.display())))
     }
 
     /// Reads from a file path.

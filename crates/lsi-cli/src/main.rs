@@ -5,8 +5,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lsi_cli::commands::{
-    cmd_add, cmd_index, cmd_query, cmd_serve_bench, cmd_similar_terms, cmd_topics, parse_weighting,
-    ServeBenchOptions,
+    cmd_add, cmd_index, cmd_query, cmd_recover, cmd_serve_bench, cmd_similar_terms, cmd_topics,
+    parse_weighting, ServeBenchOptions,
 };
 use lsi_cli::container::Container;
 use lsi_cli::CliError;
@@ -15,19 +15,28 @@ use lsi_ir::Weighting;
 const USAGE: &str = "\
 usage:
   lsi index --input <file|dir> --output <out.lsic> [--rank K] [--weighting W]
-  lsi add --index <out.lsic> --input <file|dir>
+  lsi add --index <out.lsic> --input <file|dir> [--durable]
+  lsi recover --index <out.lsic>
   lsi query --index <out.lsic> <query text...> [--top N]
   lsi similar-terms --index <out.lsic> <term> [--top N]
   lsi topics --index <out.lsic> [--terms N]
   lsi serve-bench --index <out.lsic> [--queries N] [--workers W] [--seed S]
-                  [--deadline-ms D] [--soft-ms D]
+                  [--deadline-ms D] [--soft-ms D] [--durable]
 
 global flags:
   --threads N   linalg thread count (overrides LSI_THREADS; outputs are
                 bitwise identical for every value)
 
+durability:
+  `add --durable` write-ahead-journals every fold-in (sidecar
+  <out.lsic>.lsij, fsynced before apply); `recover` replays that journal
+  over the last saved container after a crash and compacts it.
+
 weightings: count, binary, log-tf, tf-idf, log-entropy (default: log-entropy)
 ";
+
+/// Flags that take no value; present means `true`.
+const BOOL_FLAGS: &[&str] = &["durable"];
 
 struct Flags {
     named: std::collections::HashMap<String, String>,
@@ -40,6 +49,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                named.insert(name.to_owned(), "true".to_owned());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError::usage(format!("--{name} needs a value")))?;
@@ -122,8 +135,38 @@ fn run() -> Result<(), CliError> {
         "add" => {
             let index_path = flags.path("index")?;
             let mut container = Container::load(&index_path)?;
-            let summary = cmd_add(&mut container, &flags.path("input")?)?;
-            container.save(&index_path)?;
+            let summary = if flags.named.contains_key("durable") {
+                // Write-ahead mode: journal every fold-in before applying
+                // it, save, then compact the journal. A journal holding
+                // unreplayed frames means a previous run crashed; recover
+                // first rather than interleaving new frames with old ones.
+                let (mut journal, recovery) =
+                    lsi_core::Journal::open(&lsi_core::journal_path(&index_path))?;
+                let pending = recovery.records.iter().any(|r| {
+                    r.seq() >= container.index.n_docs() as u64
+                        && !matches!(r, lsi_core::MutationRecord::Checkpoint { .. })
+                });
+                if pending {
+                    return Err(CliError::storage(format!(
+                        "journal {} holds unreplayed frames from a previous run; \
+                         run `lsi recover --index {}` first",
+                        journal.path().display(),
+                        index_path.display()
+                    )));
+                }
+                let summary = cmd_add(&mut container, &flags.path("input")?, Some(&mut journal))?;
+                container.save(&index_path)?;
+                journal.rotate(container.index.n_docs() as u64)?;
+                summary
+            } else {
+                let summary = cmd_add(&mut container, &flags.path("input")?, None)?;
+                container.save(&index_path)?;
+                summary
+            };
+            println!("{summary}");
+        }
+        "recover" => {
+            let summary = cmd_recover(&flags.path("index")?)?;
             println!("{summary}");
         }
         "query" => {
@@ -168,6 +211,7 @@ fn run() -> Result<(), CliError> {
                         })?)
                     }
                 },
+                durable: flags.named.contains_key("durable"),
             };
             println!("{}", cmd_serve_bench(container, &opts)?);
         }

@@ -1,0 +1,925 @@
+//! Write-ahead durability for mutating indexes.
+//!
+//! The paper's index is static, but the fold-in update path
+//! ([`LsiIndex::add_document`]) serves live mutating traffic, and an
+//! accepted update that exists only in memory is an accepted update a
+//! crash silently loses. This module closes that window with a classic
+//! write-ahead log:
+//!
+//! * [`Journal`] — an append-only file of CRC-framed, length-prefixed
+//!   mutation records ([`MutationRecord`]). Every append is flushed and
+//!   fsynced **before** the caller applies the mutation in memory, so an
+//!   acknowledged mutation is always recoverable.
+//! * [`DurableIndex`] — an [`LsiIndex`] paired with its snapshot path and
+//!   journal. [`DurableIndex::open_durable`] loads the last checkpointed
+//!   `.lsix` snapshot and replays the journal tail, truncating at the
+//!   first torn or corrupt frame instead of erroring; a crash at **any**
+//!   byte boundary therefore recovers to exactly the pre- or
+//!   post-mutation state (enforced exhaustively by `tests/crash_matrix.rs`
+//!   at the workspace root).
+//! * [`DurableIndex::checkpoint`] — compaction: rewrite the snapshot
+//!   atomically ([`write_index_atomic`]), then rotate the journal down to
+//!   a single [`MutationRecord::Checkpoint`] frame.
+//!
+//! Replay is idempotent by construction: every mutation record carries the
+//! sequence number (`seq`) equal to the document count at the moment it
+//! was applied, and each successful fold-in grows the index by exactly one
+//! document. Recovery skips records with `seq` below the snapshot's
+//! document count, so replaying the same journal twice equals replaying it
+//! once, and a crash between checkpoint's snapshot rename and its journal
+//! rotation is harmless.
+//!
+//! ## On-disk format (`.lsij`, version 1, little-endian)
+//!
+//! ```text
+//! magic  b"LSIJ" | version u32
+//! frame* :=  len u32 | body (len bytes) | crc u32
+//! body   :=  tag u8 | seq u64 | payload
+//!   tag 0 FoldIn      payload = n u32 | (term u64, weight f64) * n
+//!   tag 1 AddDocument payload = id_len u32 | id utf-8 | n u32 | (term, weight) * n
+//!   tag 2 Checkpoint  payload = (empty)
+//! ```
+//!
+//! The CRC-32 covers the length prefix *and* the body, so a corrupted
+//! length field cannot redirect the checksum window undetected.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::index::{LsiError, LsiIndex};
+use crate::storage::{self, write_index_atomic, Crc32, StorageError};
+
+/// Journal file magic.
+const MAGIC: [u8; 4] = *b"LSIJ";
+/// Journal format version.
+const VERSION: u32 = 1;
+/// Header length in bytes (magic + version).
+const HEADER_LEN: usize = 8;
+/// Upper bound on one frame body, rejected before any allocation so a
+/// corrupt length prefix cannot drive memory use.
+const MAX_FRAME: usize = 1 << 24;
+/// Upper bound on terms per record (same spirit as `MAX_FRAME`).
+const MAX_TERMS: u32 = 1 << 22;
+/// Upper bound on a document-id string, in bytes.
+const MAX_DOC_ID: u32 = 1 << 20;
+/// Smallest possible body: tag byte plus sequence number.
+const MIN_BODY: usize = 9;
+
+/// One durable mutation, as written to and replayed from the journal.
+///
+/// `seq` is the index's document count at the moment the mutation was
+/// applied (equivalently: the id the folded-in document received). It is
+/// the idempotence key for replay — see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationRecord {
+    /// A fold-in of raw `(term, weight)` pairs with no external identity.
+    FoldIn {
+        /// Document count when this mutation was applied.
+        seq: u64,
+        /// The (already weighted) query-style term vector folded in.
+        terms: Vec<(usize, f64)>,
+    },
+    /// A fold-in that also carries a caller-side document id (the CLI's
+    /// container keeps ids alongside the index and journals through this
+    /// variant so recovery can restore both).
+    AddDocument {
+        /// Document count when this mutation was applied.
+        seq: u64,
+        /// Caller-side document identifier.
+        doc_id: String,
+        /// The (already weighted) term vector folded in.
+        terms: Vec<(usize, f64)>,
+    },
+    /// A compaction marker written by journal rotation: everything with
+    /// `seq` below this value is contained in the snapshot.
+    Checkpoint {
+        /// Document count captured by the checkpointed snapshot.
+        seq: u64,
+    },
+}
+
+impl MutationRecord {
+    /// The record's sequence number (document count at apply time).
+    pub fn seq(&self) -> u64 {
+        match self {
+            Self::FoldIn { seq, .. } | Self::AddDocument { seq, .. } | Self::Checkpoint { seq } => {
+                *seq
+            }
+        }
+    }
+}
+
+/// Why journal replay stopped before the file's physical end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationCause {
+    /// The final frame was cut short — the classic torn write.
+    TornFrame,
+    /// A frame's CRC-32 did not match its contents.
+    ChecksumMismatch,
+    /// A frame's checksum held but its body did not decode (bad tag,
+    /// non-finite weight, absurd count).
+    MalformedRecord,
+    /// A record's sequence number skipped ahead of the index state, or a
+    /// structurally valid record failed to apply — replay cannot safely
+    /// continue past it.
+    SequenceGap,
+}
+
+impl std::fmt::Display for TruncationCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TornFrame => write!(f, "torn frame"),
+            Self::ChecksumMismatch => write!(f, "checksum mismatch"),
+            Self::MalformedRecord => write!(f, "malformed record"),
+            Self::SequenceGap => write!(f, "sequence gap"),
+        }
+    }
+}
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug, Clone)]
+pub struct JournalRecovery {
+    /// The records of the valid frame prefix, in append order.
+    pub records: Vec<MutationRecord>,
+    /// Bytes discarded past the last valid frame (0 for a clean journal).
+    pub truncated_bytes: u64,
+    /// Why the tail was discarded, if it was.
+    pub truncation: Option<TruncationCause>,
+    /// True when the journal file was missing or its header was torn and a
+    /// fresh journal was (re)created in its place.
+    pub created: bool,
+}
+
+/// An append-only write-ahead log of [`MutationRecord`]s.
+///
+/// Appends are fsynced before they return; opening scans the file and
+/// truncates it back to the last intact frame. See the module docs for the
+/// frame format.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+/// The sidecar journal path for a snapshot: the file name with `.lsij`
+/// appended (`index.lsix` → `index.lsix.lsij`).
+pub fn journal_path(snapshot: &Path) -> PathBuf {
+    let mut name = snapshot
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".lsij");
+    snapshot.with_file_name(name)
+}
+
+/// The bytes of a freshly rotated journal: header plus, when given, a
+/// single [`MutationRecord::Checkpoint`] frame. Public so crash-injection
+/// harnesses can enumerate byte-exact intermediate disk states.
+pub fn fresh_journal_bytes(checkpoint: Option<u64>) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + 32);
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    if let Some(seq) = checkpoint {
+        bytes.extend_from_slice(&encode_frame(&MutationRecord::Checkpoint { seq }));
+    }
+    bytes
+}
+
+/// Encodes one record as a complete journal frame (length prefix, body,
+/// CRC trailer). Public for the crash-matrix and fuzz harnesses.
+pub fn encode_frame(record: &MutationRecord) -> Vec<u8> {
+    let body = encode_body(record);
+    let len = body.len() as u32;
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&body);
+    let mut crc = Crc32::new();
+    crc.update(&len.to_le_bytes());
+    crc.update(&body);
+    frame.extend_from_slice(&crc.finalize().to_le_bytes());
+    frame
+}
+
+fn encode_body(record: &MutationRecord) -> Vec<u8> {
+    let mut b = Vec::new();
+    match record {
+        MutationRecord::FoldIn { seq, terms } => {
+            b.push(0);
+            b.extend_from_slice(&seq.to_le_bytes());
+            encode_terms(&mut b, terms);
+        }
+        MutationRecord::AddDocument { seq, doc_id, terms } => {
+            b.push(1);
+            b.extend_from_slice(&seq.to_le_bytes());
+            b.extend_from_slice(&(doc_id.len() as u32).to_le_bytes());
+            b.extend_from_slice(doc_id.as_bytes());
+            encode_terms(&mut b, terms);
+        }
+        MutationRecord::Checkpoint { seq } => {
+            b.push(2);
+            b.extend_from_slice(&seq.to_le_bytes());
+        }
+    }
+    b
+}
+
+fn encode_terms(b: &mut Vec<u8>, terms: &[(usize, f64)]) {
+    b.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+    for &(t, w) in terms {
+        b.extend_from_slice(&(t as u64).to_le_bytes());
+        b.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// A bounds-checked little-endian byte cursor for frame decoding.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn decode_terms(r: &mut ByteReader<'_>) -> Option<Vec<(usize, f64)>> {
+    let n = r.u32()?;
+    if n > MAX_TERMS {
+        return None;
+    }
+    let mut terms = Vec::with_capacity(n.min(1 << 16) as usize);
+    for _ in 0..n {
+        let t = r.u64()?;
+        let w = r.f64()?;
+        if !w.is_finite() || usize::try_from(t).is_err() {
+            return None;
+        }
+        terms.push((t as usize, w));
+    }
+    Some(terms)
+}
+
+/// Decodes one frame body. `None` means the bytes are structurally invalid
+/// even though the checksum held (possible only for bytes never produced
+/// by [`encode_frame`]).
+fn decode_body(body: &[u8]) -> Option<MutationRecord> {
+    let mut r = ByteReader::new(body);
+    let tag = r.u8()?;
+    let seq = r.u64()?;
+    let record = match tag {
+        0 => MutationRecord::FoldIn {
+            seq,
+            terms: decode_terms(&mut r)?,
+        },
+        1 => {
+            let id_len = r.u32()?;
+            if id_len > MAX_DOC_ID {
+                return None;
+            }
+            let id_bytes = r.take(id_len as usize)?;
+            let doc_id = std::str::from_utf8(id_bytes).ok()?.to_string();
+            MutationRecord::AddDocument {
+                seq,
+                doc_id,
+                terms: decode_terms(&mut r)?,
+            }
+        }
+        2 => MutationRecord::Checkpoint { seq },
+        _ => return None,
+    };
+    if !r.done() {
+        return None;
+    }
+    Some(record)
+}
+
+/// Scans the frame region of a journal (everything after the header) and
+/// returns the decoded valid prefix, its byte length, and — if the scan
+/// stopped early — why. Public for the fuzz and crash-matrix harnesses.
+pub fn decode_frames(bytes: &[u8]) -> (Vec<MutationRecord>, usize, Option<TruncationCause>) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 4 {
+            return (records, pos, Some(TruncationCause::TornFrame));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if !(MIN_BODY..=MAX_FRAME).contains(&len) {
+            return (records, pos, Some(TruncationCause::MalformedRecord));
+        }
+        if rest.len() < 4 + len + 4 {
+            return (records, pos, Some(TruncationCause::TornFrame));
+        }
+        let body = &rest[4..4 + len];
+        let stored = u32::from_le_bytes([
+            rest[4 + len],
+            rest[4 + len + 1],
+            rest[4 + len + 2],
+            rest[4 + len + 3],
+        ]);
+        let mut crc = Crc32::new();
+        crc.update(&rest[0..4]);
+        crc.update(body);
+        if crc.finalize() != stored {
+            return (records, pos, Some(TruncationCause::ChecksumMismatch));
+        }
+        match decode_body(body) {
+            Some(record) => records.push(record),
+            None => return (records, pos, Some(TruncationCause::MalformedRecord)),
+        }
+        pos += 4 + len + 4;
+    }
+    (records, pos, None)
+}
+
+/// Writes a fresh journal (header, plus a checkpoint frame when given)
+/// crash-safely: bytes go to a `.tmp` sibling, are synced, renamed over
+/// the destination, and the parent directory is synced so the rename
+/// survives a crash.
+fn write_fresh(path: &Path, checkpoint: Option<u64>) -> Result<(), StorageError> {
+    let tmp = journal_tmp_path(path);
+    if tmp.exists() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    let mut file = File::create(&tmp)?;
+    let result = file
+        .write_all(&fresh_journal_bytes(checkpoint))
+        .and_then(|()| file.sync_all());
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(StorageError::Io(e));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        StorageError::Io(e)
+    })?;
+    storage::sync_parent_dir(path)
+}
+
+/// The temporary sibling used by journal rotation (`<name>.tmp`).
+pub fn journal_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+impl Journal {
+    /// Creates a fresh, empty journal at `path`, replacing whatever was
+    /// there. The file and its parent directory are synced before this
+    /// returns.
+    pub fn create(path: &Path) -> Result<Self, StorageError> {
+        write_fresh(path, None)?;
+        Self::open_append(path.to_path_buf())
+    }
+
+    /// Opens the journal at `path`, scanning its frames and truncating the
+    /// file back to the last intact frame. A missing file — or one whose
+    /// header itself was torn mid-create — is replaced by a fresh journal
+    /// (`created` in the recovery report). A file with a foreign magic or
+    /// an unsupported version is a real error, not crash damage, and is
+    /// reported as such rather than clobbered.
+    pub fn open(path: &Path) -> Result<(Self, JournalRecovery), StorageError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let journal = Self::create(path)?;
+                return Ok((
+                    journal,
+                    JournalRecovery {
+                        records: Vec::new(),
+                        truncated_bytes: 0,
+                        truncation: None,
+                        created: true,
+                    },
+                ));
+            }
+            Err(e) => return Err(StorageError::Io(e)),
+        };
+        if bytes.len() < HEADER_LEN {
+            // Torn header: the journal died mid-create, before any frame
+            // could have been acknowledged. Start over.
+            let truncated = bytes.len() as u64;
+            let journal = Self::create(path)?;
+            return Ok((
+                journal,
+                JournalRecovery {
+                    records: Vec::new(),
+                    truncated_bytes: truncated,
+                    truncation: Some(TruncationCause::TornFrame),
+                    created: true,
+                },
+            ));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != VERSION {
+            return Err(StorageError::UnsupportedVersion(version));
+        }
+        let (records, valid_len, truncation) = decode_frames(&bytes[HEADER_LEN..]);
+        let keep = (HEADER_LEN + valid_len) as u64;
+        let truncated_bytes = bytes.len() as u64 - keep;
+        let file = OpenOptions::new().append(true).open(path)?;
+        if truncated_bytes > 0 {
+            file.set_len(keep)?;
+            file.sync_all()?;
+        }
+        Ok((
+            Self {
+                path: path.to_path_buf(),
+                file,
+            },
+            JournalRecovery {
+                records,
+                truncated_bytes,
+                truncation,
+                created: false,
+            },
+        ))
+    }
+
+    fn open_append(path: PathBuf) -> Result<Self, StorageError> {
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Self { path, file })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and fsyncs it to disk. Only after this returns
+    /// `Ok` may the caller apply (and acknowledge) the mutation.
+    pub fn append(&mut self, record: &MutationRecord) -> Result<(), StorageError> {
+        let frame = encode_frame(record);
+        self.file.write_all(&frame)?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Rotates the journal after a checkpoint: atomically replaces the
+    /// file with a fresh one holding a single
+    /// [`MutationRecord::Checkpoint`] frame at `checkpoint_seq`. The new
+    /// file and the parent directory are synced before this returns.
+    pub fn rotate(&mut self, checkpoint_seq: u64) -> Result<(), StorageError> {
+        write_fresh(&self.path, Some(checkpoint_seq))?;
+        // The old handle points at the replaced inode; reopen.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+}
+
+/// An error from the durable mutation path: either the journal/snapshot
+/// I/O failed (nothing was applied) or the mutation itself was invalid
+/// (rejected before it was journaled).
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// Journal or snapshot I/O failed; the mutation was not applied.
+    Storage(StorageError),
+    /// The mutation was rejected by index validation before journaling.
+    Index(LsiError),
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "durable mutation failed in storage: {e}"),
+            Self::Index(e) => write!(f, "durable mutation rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            Self::Index(e) => Some(e),
+        }
+    }
+}
+
+impl From<StorageError> for DurabilityError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+impl From<LsiError> for DurabilityError {
+    fn from(e: LsiError) -> Self {
+        Self::Index(e)
+    }
+}
+
+/// What [`DurableIndex::open_durable`] did to reconstruct the index.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Documents in the loaded snapshot.
+    pub snapshot_docs: usize,
+    /// Intact frames found in the journal.
+    pub frames_read: usize,
+    /// Frames applied on top of the snapshot.
+    pub frames_replayed: usize,
+    /// Frames already contained in the snapshot (sequence number below the
+    /// snapshot's document count) or checkpoint markers — skipped.
+    pub frames_skipped: usize,
+    /// Intact frames that could not be applied (sequence gap); replay
+    /// stopped at the first one.
+    pub frames_dropped: usize,
+    /// Bytes discarded past the last intact frame.
+    pub truncated_bytes: u64,
+    /// Why the journal tail was discarded, if it was.
+    pub truncation: Option<TruncationCause>,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot {} docs; journal {} frame(s): {} replayed, {} skipped, {} dropped",
+            self.snapshot_docs,
+            self.frames_read,
+            self.frames_replayed,
+            self.frames_skipped,
+            self.frames_dropped
+        )?;
+        match self.truncation {
+            Some(cause) => write!(f, "; truncated {} byte(s) ({cause})", self.truncated_bytes),
+            None => write!(f, "; clean tail"),
+        }
+    }
+}
+
+/// An [`LsiIndex`] with crash-consistent mutations: every
+/// [`add_document`](Self::add_document) is journaled and fsynced before it
+/// is applied in memory, and [`open_durable`](Self::open_durable) replays
+/// the journal tail over the last snapshot.
+#[derive(Debug)]
+pub struct DurableIndex {
+    index: LsiIndex,
+    journal: Journal,
+    snapshot: PathBuf,
+}
+
+impl DurableIndex {
+    /// Establishes durable state at `snapshot`: writes the index there
+    /// atomically and creates a fresh sidecar journal
+    /// ([`journal_path`]`(snapshot)`).
+    pub fn create(snapshot: &Path, index: LsiIndex) -> Result<Self, StorageError> {
+        write_index_atomic(snapshot, &index)?;
+        let journal = Journal::create(&journal_path(snapshot))?;
+        Ok(Self {
+            index,
+            journal,
+            snapshot: snapshot.to_path_buf(),
+        })
+    }
+
+    /// Recovers durable state from `snapshot` and its sidecar journal:
+    /// loads the snapshot, scans the journal (truncating a torn or corrupt
+    /// tail), and replays every record whose sequence number is at or past
+    /// the snapshot's document count. A missing journal is treated as
+    /// empty and recreated.
+    ///
+    /// Crash damage is never an error here — any prefix of acknowledged
+    /// bytes recovers to a valid index. Errors mean the snapshot itself is
+    /// unreadable (surface those; the snapshot has its own CRC) or the
+    /// journal file belongs to a different format entirely.
+    pub fn open_durable(snapshot: &Path) -> Result<(Self, RecoveryReport), StorageError> {
+        let mut reader = std::io::BufReader::new(File::open(snapshot)?);
+        let mut index = storage::read_index(&mut reader)?;
+        let snapshot_docs = index.n_docs();
+        let (journal, recovery) = Journal::open(&journal_path(snapshot))?;
+        let mut report = RecoveryReport {
+            snapshot_docs,
+            frames_read: recovery.records.len(),
+            frames_replayed: 0,
+            frames_skipped: 0,
+            frames_dropped: 0,
+            truncated_bytes: recovery.truncated_bytes,
+            truncation: recovery.truncation,
+        };
+        for (i, record) in recovery.records.iter().enumerate() {
+            let n = index.n_docs() as u64;
+            match record {
+                MutationRecord::Checkpoint { seq } => {
+                    if *seq > n {
+                        // The snapshot this checkpoint refers to is not the
+                        // one we loaded — replay cannot bridge the gap.
+                        report.frames_dropped = recovery.records.len() - i;
+                        report
+                            .truncation
+                            .get_or_insert(TruncationCause::SequenceGap);
+                        break;
+                    }
+                    report.frames_skipped += 1;
+                }
+                MutationRecord::FoldIn { seq, terms }
+                | MutationRecord::AddDocument { seq, terms, .. } => {
+                    if *seq < n {
+                        report.frames_skipped += 1;
+                    } else if *seq == n && index.try_add_document(terms).is_ok() {
+                        report.frames_replayed += 1;
+                    } else {
+                        report.frames_dropped = recovery.records.len() - i;
+                        report
+                            .truncation
+                            .get_or_insert(TruncationCause::SequenceGap);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok((
+            Self {
+                index,
+                journal,
+                snapshot: snapshot.to_path_buf(),
+            },
+            report,
+        ))
+    }
+
+    /// The live index (read-only; mutate through
+    /// [`add_document`](Self::add_document)).
+    pub fn index(&self) -> &LsiIndex {
+        &self.index
+    }
+
+    /// The snapshot path this durable state is anchored to.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot
+    }
+
+    /// The sidecar journal path.
+    pub fn journal_file(&self) -> &Path {
+        self.journal.path()
+    }
+
+    /// Durably folds in a document: validates the terms, appends a
+    /// [`MutationRecord::FoldIn`] frame (fsynced), and only then applies
+    /// the mutation in memory. Returns the new document's id.
+    ///
+    /// On a storage error the in-memory index is untouched — the caller
+    /// must not acknowledge the mutation.
+    pub fn add_document(&mut self, terms: &[(usize, f64)]) -> Result<usize, DurabilityError> {
+        self.index.validate_query(terms)?;
+        let seq = self.index.n_docs() as u64;
+        self.journal.append(&MutationRecord::FoldIn {
+            seq,
+            terms: terms.to_vec(),
+        })?;
+        Ok(self.index.add_document(terms))
+    }
+
+    /// Compacts durable state: atomically rewrites the snapshot from the
+    /// live index, then rotates the journal down to a single checkpoint
+    /// frame. Logically a no-op — a crash at any point leaves a state that
+    /// recovers to exactly the live index (old snapshot + old journal, or
+    /// new snapshot + old journal with every frame skipped, or new
+    /// snapshot + rotated journal).
+    pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        write_index_atomic(&self.snapshot, &self.index)?;
+        self.journal.rotate(self.index.n_docs() as u64)
+    }
+
+    /// Consumes the wrapper, returning the in-memory index.
+    pub fn into_index(self) -> LsiIndex {
+        self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LsiConfig;
+    use crate::index::LsiIndex;
+    use lsi_ir::TermDocumentMatrix;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lsi_journal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sample_index() -> LsiIndex {
+        let td = TermDocumentMatrix::from_triplets(
+            6,
+            5,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (2, 1, 1.0),
+                (2, 2, 2.0),
+                (3, 2, 1.0),
+                (3, 3, 2.0),
+                (4, 3, 1.0),
+                (4, 4, 2.0),
+                (5, 4, 1.0),
+            ],
+        )
+        .expect("valid triplets");
+        LsiIndex::build(&td, LsiConfig::with_rank(3)).expect("build sample index")
+    }
+
+    fn sample_records() -> Vec<MutationRecord> {
+        vec![
+            MutationRecord::FoldIn {
+                seq: 5,
+                terms: vec![(0, 1.0), (3, 0.5)],
+            },
+            MutationRecord::AddDocument {
+                seq: 6,
+                doc_id: "doc-six".to_string(),
+                terms: vec![(1, 2.0)],
+            },
+            MutationRecord::Checkpoint { seq: 7 },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut bytes = Vec::new();
+        for r in sample_records() {
+            bytes.extend_from_slice(&encode_frame(&r));
+        }
+        let (records, valid, cause) = decode_frames(&bytes);
+        assert_eq!(records, sample_records());
+        assert_eq!(valid, bytes.len());
+        assert!(cause.is_none());
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_frame_boundary() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(&records[0]));
+        let boundary = bytes.len();
+        bytes.extend_from_slice(&encode_frame(&records[1]));
+        for cut in (boundary + 1)..bytes.len() {
+            let (got, valid, cause) = decode_frames(&bytes[..cut]);
+            assert_eq!(got, records[..1], "cut at {cut}");
+            assert_eq!(valid, boundary, "cut at {cut}");
+            assert!(cause.is_some(), "cut at {cut} should report a cause");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_never_yields_a_mutated_record() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_frame(r));
+        }
+        for i in 0..bytes.len() {
+            let mut dirty = bytes.clone();
+            dirty[i] ^= 0xFF;
+            let (got, _, _) = decode_frames(&dirty);
+            assert!(
+                got.len() <= records.len() && got[..] == records[..got.len()],
+                "flip at {i} produced a non-prefix decode"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_lifecycle_append_reopen_rotate() {
+        let dir = temp_dir("lifecycle");
+        let path = dir.join("m.lsij");
+        let mut j = Journal::create(&path).expect("create");
+        for r in &sample_records() {
+            j.append(r).expect("append");
+        }
+        drop(j);
+        let (mut j, rec) = Journal::open(&path).expect("open");
+        assert_eq!(rec.records, sample_records());
+        assert_eq!(rec.truncated_bytes, 0);
+        j.rotate(9).expect("rotate");
+        drop(j);
+        let (_, rec) = Journal::open(&path).expect("reopen");
+        assert_eq!(rec.records, vec![MutationRecord::Checkpoint { seq: 9 }]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_on_disk() {
+        let dir = temp_dir("torn");
+        let path = dir.join("m.lsij");
+        let mut j = Journal::create(&path).expect("create");
+        j.append(&sample_records()[0]).expect("append");
+        drop(j);
+        // Simulate a torn second frame: append half of one.
+        let frame = encode_frame(&sample_records()[1]);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let clean_len = bytes.len();
+        bytes.extend_from_slice(&frame[..frame.len() / 2]);
+        std::fs::write(&path, &bytes).expect("write torn");
+        let (_, rec) = Journal::open(&path).expect("open torn");
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.truncation, Some(TruncationCause::TornFrame));
+        assert_eq!(
+            std::fs::metadata(&path).expect("stat").len(),
+            clean_len as u64,
+            "torn tail must be physically truncated"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_torn_header_recreate() {
+        let dir = temp_dir("header");
+        let path = dir.join("m.lsij");
+        let (_, rec) = Journal::open(&path).expect("open missing");
+        assert!(rec.created);
+        std::fs::write(&path, b"LSI").expect("torn header");
+        let (_, rec) = Journal::open(&path).expect("open torn header");
+        assert!(rec.created);
+        std::fs::write(&path, b"NOPEnope").expect("foreign file");
+        assert!(matches!(Journal::open(&path), Err(StorageError::BadMagic)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_index_mutate_checkpoint_reopen() {
+        let dir = temp_dir("durable");
+        let snapshot = dir.join("index.lsix");
+        let mut d = DurableIndex::create(&snapshot, sample_index()).expect("create");
+        let base = d.index().n_docs();
+        d.add_document(&[(0, 1.0), (2, 0.5)]).expect("add 1");
+        d.add_document(&[(1, 1.0)]).expect("add 2");
+        let live = d.index().n_docs();
+        assert_eq!(live, base + 2);
+
+        // Reopen without checkpoint: journal replay restores both.
+        let (d2, report) = DurableIndex::open_durable(&snapshot).expect("reopen");
+        assert_eq!(d2.index().n_docs(), live);
+        assert_eq!(report.frames_replayed, 2);
+        assert_eq!(report.frames_dropped, 0);
+        drop(d2);
+
+        // Checkpoint, then reopen: everything comes from the snapshot.
+        d.checkpoint().expect("checkpoint");
+        let (d3, report) = DurableIndex::open_durable(&snapshot).expect("reopen 2");
+        assert_eq!(d3.index().n_docs(), live);
+        assert_eq!(report.snapshot_docs, live);
+        assert_eq!(report.frames_replayed, 0);
+        assert_eq!(report.frames_skipped, 1, "checkpoint marker is skipped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_add_rejects_bad_terms_before_journaling() {
+        let dir = temp_dir("reject");
+        let snapshot = dir.join("index.lsix");
+        let mut d = DurableIndex::create(&snapshot, sample_index()).expect("create");
+        let journal_len = std::fs::metadata(d.journal_file()).expect("stat").len();
+        let err = d.add_document(&[(999, 1.0)]).expect_err("must reject");
+        assert!(matches!(err, DurabilityError::Index(_)));
+        assert_eq!(
+            std::fs::metadata(d.journal_file()).expect("stat").len(),
+            journal_len,
+            "rejected mutation must not reach the journal"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

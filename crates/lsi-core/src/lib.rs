@@ -25,10 +25,15 @@
 //! * [`cancel`] — cooperative cancellation tokens threaded through the
 //!   query hot paths, so a serving layer can enforce deadlines.
 
+//! * [`journal`] — a write-ahead mutation log plus [`DurableIndex`], so
+//!   fold-in updates survive crashes: journaled and fsynced before they
+//!   are acknowledged, replayed over the last snapshot on recovery.
+
 pub mod angles;
 pub mod cancel;
 pub mod config;
 pub mod index;
+pub mod journal;
 pub mod skew;
 pub mod storage;
 pub mod synonymy;
@@ -37,5 +42,9 @@ pub use angles::{pairwise_angle_stats, AngleStats, PairAngleReport};
 pub use cancel::CancelToken;
 pub use config::{LsiConfig, SvdBackend};
 pub use index::{BadQuery, BuildStatus, LsiError, LsiIndex};
+pub use journal::{
+    journal_path, DurabilityError, DurableIndex, Journal, JournalRecovery, MutationRecord,
+    RecoveryReport, TruncationCause,
+};
 pub use skew::{measure_skew, SkewReport};
-pub use storage::{read_index, write_index, write_index_atomic, StorageError};
+pub use storage::{read_index, sync_parent_dir, write_index, write_index_atomic, StorageError};

@@ -314,9 +314,10 @@ pub fn write_index<W: Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageE
 /// Writes an index to `path` atomically, mirroring the crash-safe pattern
 /// of the CLI's `.lsic` container: the bytes go to a temporary sibling
 /// (`<name>.tmp`), are flushed and synced, and only then renamed over the
-/// destination. A crash or I/O failure mid-write therefore never destroys
-/// an existing index file — at worst it leaves a stale `.tmp`, which the
-/// next atomic write cleans up.
+/// destination — after which the parent directory is synced too, so the
+/// rename itself survives a crash. A crash or I/O failure mid-write
+/// therefore never destroys an existing index file — at worst it leaves a
+/// stale `.tmp`, which the next atomic write cleans up.
 pub fn write_index_atomic(path: &std::path::Path, index: &LsiIndex) -> Result<(), StorageError> {
     let tmp = stale_tmp_path(path);
     // A leftover .tmp from a crashed previous writer is dead weight; remove
@@ -337,7 +338,31 @@ pub fn write_index_atomic(path: &std::path::Path, index: &LsiIndex) -> Result<()
     std::fs::rename(&tmp, path).map_err(|e| {
         let _ = std::fs::remove_file(&tmp);
         StorageError::Io(e)
-    })
+    })?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path`, making a just-completed rename
+/// (or create) of `path` durable: POSIX only guarantees that a rename
+/// survives a crash once the *parent directory* has been synced — syncing
+/// the file alone pins its bytes, not its name.
+///
+/// Platform note: on filesystems/OSes where a directory cannot be opened
+/// for synchronization (notably Windows), the open fails and this function
+/// is a documented no-op — directory metadata there is already as durable
+/// as the platform makes it, and failing the write would be strictly worse.
+pub fn sync_parent_dir(path: &std::path::Path) -> Result<(), StorageError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    match std::fs::File::open(&parent) {
+        Ok(dir) => dir.sync_all().map_err(StorageError::from),
+        // Directories are not openable on every platform; treat that as
+        // the documented no-op rather than failing an otherwise-complete
+        // write.
+        Err(_) => Ok(()),
+    }
 }
 
 /// The temporary sibling used by [`write_index_atomic`]: the destination

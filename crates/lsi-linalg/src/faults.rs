@@ -270,6 +270,99 @@ impl<Op: LinearOperator + ?Sized> LinearOperator for FaultyOperator<'_, Op> {
     }
 }
 
+/// A simulated crash location in a byte stream: exactly the first
+/// [`offset`](Self::offset) bytes survive; everything after is lost.
+///
+/// This is the write-side sibling of [`FaultKind`]: where operator faults
+/// corrupt matrix–vector products, a crash point models a process (or
+/// kernel) dying mid-write, leaving an arbitrary prefix of the intended
+/// bytes on disk. Crash-consistency harnesses enumerate every boundary
+/// with [`CrashPoint::enumerate`] and assert that recovery from each
+/// resulting prefix yields a valid state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    offset: u64,
+}
+
+impl CrashPoint {
+    /// A crash after exactly `offset` bytes have reached the device.
+    pub fn after(offset: u64) -> Self {
+        Self { offset }
+    }
+
+    /// The number of leading bytes that survive this crash.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Every crash point of a `len`-byte stream: after 0 bytes, after 1,
+    /// …, after `len` (the final point is "no crash at all").
+    pub fn enumerate(len: usize) -> impl Iterator<Item = CrashPoint> {
+        (0..=len as u64).map(CrashPoint::after)
+    }
+}
+
+/// An [`std::io::Write`] adapter that persists only the bytes before its
+/// [`CrashPoint`], modelling a torn write.
+///
+/// Writes pass through unchanged until the crash point; the write that
+/// crosses the boundary commits the surviving prefix to the inner writer
+/// and then fails with an [`std::io::ErrorKind::Other`] error, as do all
+/// subsequent writes. The inner writer afterwards holds exactly the bytes
+/// a crashed process would have left on disk.
+#[derive(Debug)]
+pub struct FaultyWriter<W: std::io::Write> {
+    inner: W,
+    crash: CrashPoint,
+    written: u64,
+}
+
+impl<W: std::io::Write> FaultyWriter<W> {
+    /// Wraps `inner`, cutting the stream at `crash`.
+    pub fn new(inner: W, crash: CrashPoint) -> Self {
+        Self {
+            inner,
+            crash,
+            written: 0,
+        }
+    }
+
+    /// Bytes that reached the inner writer so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// True once the crash point has been hit.
+    pub fn crashed(&self) -> bool {
+        self.written >= self.crash.offset()
+    }
+
+    /// Unwraps the inner writer (the simulated on-disk state).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let room = self.crash.offset().saturating_sub(self.written);
+        let survive = (buf.len() as u64).min(room) as usize;
+        self.inner.write_all(&buf[..survive])?;
+        self.written += survive as u64;
+        if survive < buf.len() {
+            return Err(std::io::Error::other(format!(
+                "injected crash after {} byte(s)",
+                self.crash.offset()
+            )));
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +469,33 @@ mod tests {
         let f = FaultyOperator::new(&a, plan);
         let x = vec![1.0, 1.0, 1.0];
         assert_eq!(f.apply(&x).unwrap(), a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn faulty_writer_commits_exactly_the_prefix() {
+        use std::io::Write;
+        let payload = b"0123456789abcdef";
+        for crash in CrashPoint::enumerate(payload.len()) {
+            let mut w = FaultyWriter::new(Vec::new(), crash);
+            // Write in awkward chunk sizes to cross the boundary mid-call.
+            let result = payload.chunks(3).try_for_each(|c| w.write_all(c));
+            let cut = crash.offset() as usize;
+            if cut < payload.len() {
+                assert!(result.is_err(), "crash at {cut} must error");
+                assert!(w.crashed());
+            } else {
+                assert!(result.is_ok());
+            }
+            assert_eq!(w.written(), cut as u64);
+            assert_eq!(w.into_inner(), payload[..cut].to_vec());
+        }
+    }
+
+    #[test]
+    fn crash_point_enumeration_covers_both_ends() {
+        let points: Vec<_> = CrashPoint::enumerate(4).collect();
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[0].offset(), 0);
+        assert_eq!(points[4].offset(), 4);
     }
 }

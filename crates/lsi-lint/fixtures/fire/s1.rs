@@ -1,0 +1,19 @@
+// Fixture: S1-unsynced-write must fire on fns that create or rename files
+// without ever reaching sync_all/sync_parent_dir.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes bytes with no fsync: lost on crash even after returning Ok.
+pub fn save_unsynced(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    Ok(())
+}
+
+/// Renames into place without syncing the parent directory: the rename
+/// itself can be rolled back by a crash.
+pub fn publish_unsynced(tmp: &Path, dest: &Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, dest)?;
+    Ok(())
+}

@@ -1,0 +1,49 @@
+// Fixture: S1-unsynced-write must stay quiet when create/rename paths
+// reach sync_all/sync_parent_dir, in fns that touch no files, and in test
+// code that stages disk states on purpose.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Syncs the parent directory of `path`; no-op where directories cannot
+/// be opened.
+pub fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = path.parent().unwrap_or(Path::new("."));
+    match std::fs::File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Durable save: create + write + fsync, rename, then directory sync.
+pub fn save_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// No file writes at all: nothing to sync.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0u64, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(u64::from(*b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_stage_unsynced_files() {
+        let dir = std::env::temp_dir().join("s1_quiet_fixture");
+        std::fs::create_dir_all(&dir).ok();
+        let staged = dir.join("torn.bin");
+        let mut f = std::fs::File::create(&staged).expect("create staged file");
+        f.write_all(b"torn").expect("write staged bytes");
+        std::fs::rename(&staged, dir.join("renamed.bin")).expect("stage rename");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -17,6 +17,7 @@ mod e1;
 mod p1;
 mod p2;
 mod r1;
+mod s1;
 mod u1;
 
 /// A conformance rule.
@@ -41,6 +42,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(p1::P1RawThreads),
         Box::new(p2::P2ThreadDependentChunking),
         Box::new(r1::R1Reflector),
+        Box::new(s1::S1UnsyncedWrite),
         Box::new(u1::U1Unsafe),
     ]
 }

@@ -1,0 +1,82 @@
+//! S1-unsynced-write: durability policy for persistence paths (CLAUDE.md:
+//! files that are created or renamed into place must be flushed to stable
+//! storage before the operation is treated as done). A function that calls
+//! `File::create` or `fs::rename` but never reaches `sync_all` (directly,
+//! or via the `sync_parent_dir` helper for the post-rename directory sync)
+//! leaves a window where a crash silently discards an acknowledged write.
+//! Deny-level: a create/rename that genuinely needs no durability (say, a
+//! scratch file handed to a syncing helper) takes an inline allow with its
+//! reason.
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Calls that make bytes or directory entries that must survive a crash.
+const WRITES: &[&str] = &["File::create(", "fs::rename("];
+/// Calls that make them durable.
+const SYNCS: &[&str] = &["sync_all(", "sync_parent_dir("];
+
+/// The S1 rule.
+pub struct S1UnsyncedWrite;
+
+impl Rule for S1UnsyncedWrite {
+    fn id(&self) -> &'static str {
+        "S1-unsynced-write"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn description(&self) -> &'static str {
+        "fns that File::create or fs::rename must reach sync_all/sync_parent_dir"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        // Tests and benches stage disk states on purpose (crash matrices
+        // literally install torn files); examples are narrative. The policy
+        // bites where production persistence lives.
+        if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
+            return;
+        }
+        for f in &ctx.fns {
+            if ctx.is_test_line(f.start_line) {
+                continue;
+            }
+            // First offending write call in the fn body, and whether any
+            // sync call appears anywhere in the same body.
+            let mut first_write: Option<(usize, &str)> = None;
+            let mut synced = false;
+            for lineno in f.start_line..=f.end_line.min(ctx.lines.len()) {
+                if ctx.is_test_line(lineno) {
+                    continue;
+                }
+                let line = &ctx.lines[lineno - 1];
+                if first_write.is_none() {
+                    if let Some(w) = WRITES.iter().find(|w| contains_token(line, w)) {
+                        first_write = Some((lineno, w));
+                    }
+                }
+                if SYNCS.iter().any(|s| contains_token(line, s)) {
+                    synced = true;
+                    break;
+                }
+            }
+            if let (Some((lineno, w)), false) = (first_write, synced) {
+                emit(
+                    ctx,
+                    out,
+                    self.id(),
+                    self.severity(),
+                    lineno,
+                    format!(
+                        "fn `{}` calls `{}` but never reaches sync_all/sync_parent_dir",
+                        f.name,
+                        w.trim_end_matches('(')
+                    ),
+                    "fsync the file before rename (sync_all) and the parent directory after \
+                     (sync_parent_dir), or add `// lsi-lint: allow(S1, \"...\")` with the reason \
+                     this write may be lost on crash",
+                );
+            }
+        }
+    }
+}

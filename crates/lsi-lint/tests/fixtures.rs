@@ -14,6 +14,7 @@ const RULES: &[(&str, &str)] = &[
     ("p1", "P1-raw-threads"),
     ("p2", "P2-thread-dependent-chunking"),
     ("r1", "R1-reflector"),
+    ("s1", "S1-unsynced-write"),
     ("u1", "U1-unsafe"),
 ];
 

@@ -31,7 +31,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lsi_core::cancel::CancelToken;
-use lsi_core::{BadQuery, BuildStatus, LsiError, LsiIndex};
+use lsi_core::{BadQuery, BuildStatus, DurabilityError, DurableIndex, LsiError, LsiIndex};
 use lsi_ir::retrieval::{RankedList, VectorSpaceIndex};
 use lsi_ir::TermDocumentMatrix;
 
@@ -231,10 +231,42 @@ struct Job {
     reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
 }
 
+/// The served index: plain in-memory, or wrapped in the write-ahead
+/// durability layer so every accepted fold-in is journaled (and fsynced)
+/// before it is acknowledged.
+enum ServedIndex {
+    Plain(LsiIndex),
+    Durable(DurableIndex),
+}
+
+impl ServedIndex {
+    fn index(&self) -> &LsiIndex {
+        match self {
+            ServedIndex::Plain(index) => index,
+            ServedIndex::Durable(durable) => durable.index(),
+        }
+    }
+
+    /// Applies one fold-in. The durable variant journals first; a storage
+    /// failure surfaces as [`QueryError::Internal`] and leaves the
+    /// in-memory index untouched — the mutation was never acknowledged.
+    fn add_document(&mut self, terms: &[(usize, f64)]) -> Result<usize, QueryError> {
+        match self {
+            ServedIndex::Plain(index) => index.try_add_document(terms).map_err(map_lsi_error),
+            ServedIndex::Durable(durable) => durable.add_document(terms).map_err(|e| match e {
+                DurabilityError::Index(inner) => map_lsi_error(inner),
+                DurabilityError::Storage(inner) => QueryError::Internal {
+                    detail: format!("journal append failed: {inner}"),
+                },
+            }),
+        }
+    }
+}
+
 /// Index state guarded by one RwLock: queries share read access; fold-in
 /// updates take the write lock.
 struct EngineState {
-    index: LsiIndex,
+    served: ServedIndex,
     /// Raw term-space fallback over the same (weighted) corpus, kept in
     /// lockstep with fold-in updates; `None` when the engine was built
     /// without a term-document matrix.
@@ -306,7 +338,7 @@ impl QueryEngine {
     /// marked, but soft deadlines have nothing to fall back to and are
     /// ignored.
     pub fn new(index: LsiIndex, config: EngineConfig) -> Self {
-        Self::build(index, None, config)
+        Self::build(ServedIndex::Plain(index), None, config)
     }
 
     /// Builds an engine over `index` plus a raw term-space fallback scorer
@@ -315,20 +347,28 @@ impl QueryEngine {
     pub fn with_fallback(index: LsiIndex, td: &TermDocumentMatrix, config: EngineConfig) -> Self {
         let weighted = td.weighted(index.config().weighting);
         let raw = VectorSpaceIndex::build(&weighted);
-        Self::build(index, Some(raw), config)
+        Self::build(ServedIndex::Plain(index), Some(raw), config)
+    }
+
+    /// Builds an engine over a [`DurableIndex`]: every accepted fold-in is
+    /// journaled and fsynced *before* [`add_document`](Self::add_document)
+    /// returns, so a crash never loses an acknowledged mutation. Pair with
+    /// [`checkpoint`](Self::checkpoint) to compact the journal.
+    pub fn with_durable(durable: DurableIndex, config: EngineConfig) -> Self {
+        Self::build(ServedIndex::Durable(durable), None, config)
     }
 
     /// # Panics
     /// Panics when the OS refuses to spawn a worker thread (resource
     /// exhaustion at construction time; an engine without workers could
     /// never serve).
-    fn build(index: LsiIndex, raw: Option<VectorSpaceIndex>, config: EngineConfig) -> Self {
+    fn build(served: ServedIndex, raw: Option<VectorSpaceIndex>, config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
         let capacity = config.queue_capacity.max(1);
-        let index_degraded = matches!(index.build_status(), BuildStatus::Degraded { .. });
+        let index_degraded = matches!(served.index().build_status(), BuildStatus::Degraded { .. });
         let shared = Arc::new(Shared {
             state: RwLock::new(EngineState {
-                index,
+                served,
                 raw,
                 index_degraded,
             }),
@@ -398,24 +438,60 @@ impl QueryEngine {
     /// Folds a new document into the served index (and the term-space
     /// fallback, when present) under the write lock; concurrent queries
     /// see either the old or the new document set, never a torn one.
-    /// Malformed updates are rejected with [`QueryError::BadQuery`].
+    /// Malformed updates are rejected with [`QueryError::BadQuery`]. On a
+    /// durable engine ([`with_durable`](Self::with_durable)) the mutation
+    /// is journaled and fsynced before this returns; a journal I/O failure
+    /// surfaces as [`QueryError::Internal`] with nothing applied.
     pub fn add_document(&self, terms: &[(usize, f64)]) -> Result<usize, QueryError> {
         let mut state = self
             .shared
             .state
             .write()
             .unwrap_or_else(|poison| poison.into_inner());
-        let id = state.index.try_add_document(terms).map_err(|e| match e {
-            LsiError::BadQuery(b) => QueryError::BadQuery(b),
-            other => QueryError::Internal {
-                detail: other.to_string(),
-            },
-        })?;
+        let id = state.served.add_document(terms)?;
         if let Some(raw) = &mut state.raw {
             raw.add_document(terms);
         }
         self.shared.stats.record_doc_added();
         Ok(id)
+    }
+
+    /// Compacts the durability layer under the write lock: atomically
+    /// rewrites the snapshot from the live index and rotates the journal.
+    /// Returns `Ok(true)` after a compaction, `Ok(false)` for engines
+    /// built without a durability layer, and [`QueryError::Internal`] when
+    /// the snapshot or rotation I/O fails (the in-memory index keeps
+    /// serving either way).
+    pub fn checkpoint(&self) -> Result<bool, QueryError> {
+        let mut state = self
+            .shared
+            .state
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        match &mut state.served {
+            ServedIndex::Plain(_) => Ok(false),
+            ServedIndex::Durable(durable) => {
+                durable
+                    .checkpoint()
+                    .map(|()| true)
+                    .map_err(|e| QueryError::Internal {
+                        detail: format!("checkpoint failed: {e}"),
+                    })
+            }
+        }
+    }
+
+    /// True when the engine journals mutations
+    /// ([`with_durable`](Self::with_durable)).
+    pub fn is_durable(&self) -> bool {
+        matches!(
+            self.shared
+                .state
+                .read()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .served,
+            ServedIndex::Durable(_)
+        )
     }
 
     /// Number of documents currently served.
@@ -424,7 +500,8 @@ impl QueryEngine {
             .state
             .read()
             .unwrap_or_else(|poison| poison.into_inner())
-            .index
+            .served
+            .index()
             .n_docs()
     }
 
@@ -552,21 +629,18 @@ fn handle_job(
         .state
         .read()
         .unwrap_or_else(|poison| poison.into_inner());
+    let index = state.served.index();
 
     // Validation gates every path, so malformed input can never reach a
     // scorer (LSI or fallback).
-    state
-        .index
-        .validate_query(&query.terms)
-        .map_err(map_lsi_error)?;
+    index.validate_query(&query.terms).map_err(map_lsi_error)?;
 
     // Degraded index: prefer the raw term-space scorer; without one, the
     // live-subspace LSI answer is still served, but marked.
     if state.index_degraded {
         let hits = match &state.raw {
             Some(raw) => raw.query(&query.terms, query.top_k),
-            None => state
-                .index
+            None => index
                 .try_query(&query.terms, query.top_k, Some(&hard))
                 .map_err(map_lsi_error)?,
         };
@@ -587,10 +661,7 @@ fn handle_job(
         Some(at) => hard.child_with_deadline_at(at),
         None => hard.clone(),
     };
-    match state
-        .index
-        .try_query(&query.terms, query.top_k, Some(&token))
-    {
+    match index.try_query(&query.terms, query.top_k, Some(&token)) {
         Ok(hits) => Ok(QueryResponse::Ranked(hits)),
         Err(LsiError::Cancelled) => {
             if hard.is_cancelled() {
@@ -845,6 +916,53 @@ mod tests {
         let bad = engine.add_document(&[(0, f64::INFINITY)]);
         assert!(matches!(bad, Err(QueryError::BadQuery(_))));
         assert_eq!(engine.stats().docs_added, 1);
+    }
+
+    #[test]
+    fn durable_engine_journals_mutations_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("lsi_serve_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("index.lsix");
+
+        let (index, _td) = sample();
+        let durable = DurableIndex::create(&snapshot, index).unwrap();
+        let engine = QueryEngine::with_durable(durable, EngineConfig::default());
+        assert!(engine.is_durable());
+
+        let before = engine.n_docs();
+        engine.add_document(&[(0, 2.0), (1, 1.0)]).unwrap();
+        engine.add_document(&[(2, 1.5)]).unwrap();
+        assert_eq!(engine.n_docs(), before + 2);
+        // Malformed updates never reach the journal.
+        assert!(matches!(
+            engine.add_document(&[(0, f64::NAN)]),
+            Err(QueryError::BadQuery(_))
+        ));
+        let s = engine.stats();
+        assert_eq!(s.docs_added, 2);
+        assert!(s.consistent());
+
+        // Pre-checkpoint crash model: journal replay restores both docs.
+        let (recovered, report) = DurableIndex::open_durable(&snapshot).unwrap();
+        assert_eq!(recovered.index().n_docs(), before + 2);
+        assert_eq!(report.frames_replayed, 2);
+        drop(recovered);
+
+        assert!(engine.checkpoint().unwrap(), "durable engine compacts");
+        let (recovered, report) = DurableIndex::open_durable(&snapshot).unwrap();
+        assert_eq!(recovered.index().n_docs(), before + 2);
+        assert_eq!(report.snapshot_docs, before + 2);
+        assert_eq!(report.frames_replayed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_engine_checkpoint_is_a_typed_no_op() {
+        let (index, td) = sample();
+        let engine = QueryEngine::with_fallback(index, &td, EngineConfig::default());
+        assert!(!engine.is_durable());
+        assert_eq!(engine.checkpoint(), Ok(false));
     }
 
     #[test]

@@ -69,6 +69,14 @@ SERVE_CHAOS_SEED=20260706 cargo test --test serve_chaos
 gate "serve chaos soak (high volume)"
 SERVE_SOAK=1 cargo test --test serve_chaos fault_storm
 
+gate "durability: crash matrix, corruption fuzz, recovery consistency"
+# Release profile: the crash matrix enumerates every byte of every durable
+# write and the fuzz sweep flips every byte of every format twice.
+cargo test --release --test crash_matrix
+cargo test --release --test corruption_fuzz
+cargo test --release --test recovery_consistency
+cargo test --release -p lsi-cli --test container_fuzz
+
 gate "benches compile"
 cargo bench --workspace --no-run
 

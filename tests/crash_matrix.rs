@@ -1,0 +1,298 @@
+//! Exhaustive crash-point matrix for the durability layer.
+//!
+//! The crash model: a process dies mid-write and an arbitrary *prefix* of
+//! the bytes it intended to persist survives (prefixes are generated
+//! through `lsi_linalg::faults::FaultyWriter`, the write-side sibling of
+//! the operator fault injector). For **every** crash point of every
+//! durable operation — journal append, checkpoint compaction, and the
+//! atomic snapshot rewrite — reopening must yield exactly the
+//! pre-mutation or the post-mutation state, verified by query-result
+//! equality. Never an error, never a corrupt index.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use lsi_core::journal::{encode_frame, fresh_journal_bytes, journal_tmp_path};
+use lsi_core::{
+    journal_path, read_index, write_index, write_index_atomic, DurableIndex, LsiConfig, LsiIndex,
+    MutationRecord,
+};
+use lsi_ir::TermDocumentMatrix;
+use lsi_linalg::faults::{CrashPoint, FaultyWriter};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsi_crash_matrix_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn sample_index() -> LsiIndex {
+    let td = TermDocumentMatrix::from_triplets(
+        6,
+        5,
+        &[
+            (0, 0, 2.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+            (3, 2, 1.0),
+            (3, 3, 2.0),
+            (4, 3, 1.0),
+            (4, 4, 2.0),
+            (5, 4, 1.0),
+        ],
+    )
+    .expect("valid triplets");
+    LsiIndex::build(&td, LsiConfig::with_rank(3)).expect("build sample index")
+}
+
+/// The state identity used across the whole matrix: document count plus a
+/// fixed query's full ranking with bitwise scores.
+fn fingerprint(index: &LsiIndex) -> (usize, Vec<(usize, u64)>) {
+    let hits = index.query(&[(0, 1.0), (2, 0.7), (5, 0.3)], index.n_docs());
+    (
+        index.n_docs(),
+        hits.hits()
+            .iter()
+            .map(|h| (h.doc, h.score.to_bits()))
+            .collect(),
+    )
+}
+
+fn reopen_fingerprint(snapshot: &Path) -> (usize, Vec<(usize, u64)>) {
+    let (recovered, _report) =
+        DurableIndex::open_durable(snapshot).expect("crash damage must never be an error");
+    fingerprint(recovered.index())
+}
+
+/// The surviving prefix of `intended`, produced through the injected
+/// writer so the crash model and the production write path agree.
+fn surviving_prefix(intended: &[u8], crash: CrashPoint) -> Vec<u8> {
+    let mut w = FaultyWriter::new(Vec::new(), crash);
+    // Chunked like a real buffered writer; the error past the crash point
+    // is the simulated death.
+    let _ = intended.chunks(7).try_for_each(|c| w.write_all(c));
+    w.into_inner()
+}
+
+/// Every crash point of a journal append: the on-disk journal holds the
+/// pre-append bytes plus any prefix of the new frame. Recovery must yield
+/// the pre-state for every proper prefix and the post-state for the
+/// complete frame.
+#[test]
+fn journal_append_recovers_pre_or_post_at_every_byte() {
+    let dir = temp_dir("append");
+    let snapshot = dir.join("index.lsix");
+    let mut d = DurableIndex::create(&snapshot, sample_index()).expect("create");
+
+    // One committed mutation, so replay also has a frame it must keep.
+    d.add_document(&[(1, 1.0), (4, 0.5)])
+        .expect("committed add");
+    let journal = journal_path(&snapshot);
+    let base_bytes = std::fs::read(&journal).expect("read journal");
+    let pre = fingerprint(d.index());
+
+    // The mutation under test, encoded exactly as the journal would.
+    let terms = vec![(0usize, 2.0f64), (3, 1.0)];
+    let frame = encode_frame(&MutationRecord::FoldIn {
+        seq: d.index().n_docs() as u64,
+        terms: terms.clone(),
+    });
+    d.add_document(&terms).expect("mutation under test");
+    let post = fingerprint(d.index());
+    assert_ne!(pre, post, "the mutation must be observable");
+    assert_eq!(
+        std::fs::read(&journal).expect("read journal"),
+        [base_bytes.clone(), frame.clone()].concat(),
+        "append must write exactly one frame"
+    );
+    drop(d);
+
+    let mut outcomes = [0usize; 2]; // [pre, post]
+    for crash in CrashPoint::enumerate(frame.len()) {
+        let disk = [base_bytes.clone(), surviving_prefix(&frame, crash)].concat();
+        std::fs::write(&journal, &disk).expect("install crash state");
+        let got = reopen_fingerprint(&snapshot);
+        if crash.offset() == frame.len() as u64 {
+            assert_eq!(got, post, "complete frame must recover post-state");
+            outcomes[1] += 1;
+        } else {
+            assert_eq!(
+                got,
+                pre,
+                "torn frame (crash at {}) must recover pre-state",
+                crash.offset()
+            );
+            outcomes[0] += 1;
+        }
+    }
+    assert_eq!(outcomes[0], frame.len());
+    assert_eq!(outcomes[1], 1);
+
+    // Corruption at every byte of the frame (not just truncation) also
+    // recovers the pre-state: the CRC rejects the frame, replay truncates.
+    for i in 0..frame.len() {
+        let mut dirty = frame.clone();
+        dirty[i] ^= 0xA5;
+        let disk = [base_bytes.clone(), dirty].concat();
+        std::fs::write(&journal, &disk).expect("install corrupt state");
+        assert_eq!(
+            reopen_fingerprint(&snapshot),
+            pre,
+            "corrupt byte {i} must recover pre-state"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every crash point of checkpoint compaction. A checkpoint is logically a
+/// no-op, so every intermediate disk state — partial snapshot tmp, renamed
+/// snapshot with the old journal, partial rotated-journal tmp, rotated
+/// journal — must recover to exactly the live (pre == post) state.
+#[test]
+fn checkpoint_compaction_recovers_identical_state_at_every_byte() {
+    let dir = temp_dir("checkpoint");
+    let snapshot = dir.join("index.lsix");
+    let mut d = DurableIndex::create(&snapshot, sample_index()).expect("create");
+    d.add_document(&[(0, 1.0), (3, 0.5)]).expect("add 1");
+    d.add_document(&[(2, 2.0)]).expect("add 2");
+    let live = fingerprint(d.index());
+    let n_docs = d.index().n_docs() as u64;
+
+    // Materialize the byte-exact artifacts checkpoint would write.
+    let mut new_snapshot_bytes = Vec::new();
+    write_index(&mut new_snapshot_bytes, d.index()).expect("serialize snapshot");
+    let rotated_journal_bytes = fresh_journal_bytes(Some(n_docs));
+    drop(d);
+
+    let journal = journal_path(&snapshot);
+    let old_snapshot_bytes = std::fs::read(&snapshot).expect("read old snapshot");
+    let old_journal_bytes = std::fs::read(&journal).expect("read old journal");
+    let snapshot_tmp = {
+        // write_index_atomic's sibling: `<name>.tmp`.
+        let mut name = snapshot.file_name().expect("file name").to_os_string();
+        name.push(".tmp");
+        snapshot.with_file_name(name)
+    };
+    let journal_tmp = journal_tmp_path(&journal);
+
+    // Resets the directory to a given 4-file state (None = absent).
+    let install = |snap: &[u8], jour: &[u8], snap_tmp: Option<&[u8]>, jour_tmp: Option<&[u8]>| {
+        std::fs::write(&snapshot, snap).expect("install snapshot");
+        std::fs::write(&journal, jour).expect("install journal");
+        match snap_tmp {
+            Some(b) => std::fs::write(&snapshot_tmp, b).expect("install snapshot tmp"),
+            None => {
+                let _ = std::fs::remove_file(&snapshot_tmp);
+            }
+        }
+        match jour_tmp {
+            Some(b) => std::fs::write(&journal_tmp, b).expect("install journal tmp"),
+            None => {
+                let _ = std::fs::remove_file(&journal_tmp);
+            }
+        }
+    };
+
+    // Stage 1: crash while writing the new snapshot's tmp sibling, at
+    // every byte. Old snapshot and journal intact.
+    for crash in CrashPoint::enumerate(new_snapshot_bytes.len()) {
+        let partial = surviving_prefix(&new_snapshot_bytes, crash);
+        install(
+            &old_snapshot_bytes,
+            &old_journal_bytes,
+            Some(&partial),
+            None,
+        );
+        assert_eq!(
+            reopen_fingerprint(&snapshot),
+            live,
+            "stage 1 crash at {} diverged",
+            crash.offset()
+        );
+    }
+
+    // Stage 2: snapshot renamed (dir synced), journal not yet rotated —
+    // every old frame is now covered by the snapshot and must be skipped.
+    install(&new_snapshot_bytes, &old_journal_bytes, None, None);
+    assert_eq!(reopen_fingerprint(&snapshot), live, "stage 2 diverged");
+
+    // Stage 3: crash while writing the rotated journal's tmp, at every
+    // byte. New snapshot + old journal still authoritative.
+    for crash in CrashPoint::enumerate(rotated_journal_bytes.len()) {
+        let partial = surviving_prefix(&rotated_journal_bytes, crash);
+        install(
+            &new_snapshot_bytes,
+            &old_journal_bytes,
+            None,
+            Some(&partial),
+        );
+        assert_eq!(
+            reopen_fingerprint(&snapshot),
+            live,
+            "stage 3 crash at {} diverged",
+            crash.offset()
+        );
+    }
+
+    // Stage 4: rotation complete.
+    install(&new_snapshot_bytes, &rotated_journal_bytes, None, None);
+    assert_eq!(reopen_fingerprint(&snapshot), live, "stage 4 diverged");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every crash point of the atomic snapshot rewrite itself
+/// (`write_index_atomic`): a partial tmp never affects the destination,
+/// and the destination flips old → new only at the rename.
+#[test]
+fn atomic_rewrite_recovers_pre_or_post_at_every_byte() {
+    let dir = temp_dir("rewrite");
+    let dest = dir.join("index.lsix");
+
+    let old_index = sample_index();
+    write_index_atomic(&dest, &old_index).expect("seed destination");
+    let mut new_index = sample_index();
+    new_index.add_document(&[(0, 1.0), (5, 2.0)]);
+    let pre = fingerprint(&old_index);
+    let post = fingerprint(&new_index);
+    assert_ne!(pre, post);
+
+    let mut new_bytes = Vec::new();
+    write_index(&mut new_bytes, &new_index).expect("serialize");
+    let tmp = {
+        let mut name = dest.file_name().expect("file name").to_os_string();
+        name.push(".tmp");
+        dest.with_file_name(name)
+    };
+
+    // Crash while writing the tmp sibling, at every byte: the destination
+    // still reads as the old index.
+    for crash in CrashPoint::enumerate(new_bytes.len()) {
+        std::fs::write(&tmp, surviving_prefix(&new_bytes, crash)).expect("install tmp");
+        let mut f = std::fs::File::open(&dest).expect("open dest");
+        let loaded = read_index(&mut f).expect("pre-rename dest must stay readable");
+        assert_eq!(
+            fingerprint(&loaded),
+            pre,
+            "crash at {} touched the destination",
+            crash.offset()
+        );
+    }
+
+    // Post-rename state: destination holds the new bytes; reads as new.
+    std::fs::write(&dest, &new_bytes).expect("simulate completed rename");
+    let _ = std::fs::remove_file(&tmp);
+    let mut f = std::fs::File::open(&dest).expect("open dest");
+    let loaded = read_index(&mut f).expect("post-rename dest must be readable");
+    assert_eq!(fingerprint(&loaded), post);
+
+    // And the next atomic writer sweeps any stale tmp and succeeds.
+    std::fs::write(&tmp, &new_bytes[..new_bytes.len() / 2]).expect("stale tmp");
+    write_index_atomic(&dest, &old_index).expect("rewrite over stale tmp");
+    assert!(!tmp.exists(), "stale tmp swept");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

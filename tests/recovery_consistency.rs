@@ -1,0 +1,179 @@
+//! Recovery idempotence and convergence.
+//!
+//! Three invariants on top of the crash matrix: (1) recovery is
+//! *idempotent* — replaying the same journal twice yields the same index
+//! as replaying it once, so a crash during recovery itself is harmless;
+//! (2) recovery *converges* — a checkpointed index reopened from disk is
+//! bitwise identical (serialized form) to the live in-memory index it
+//! snapshotted; and (3) a durable query engine under mutation load keeps
+//! the same books as a plain one and recovers every acknowledged
+//! mutation.
+
+use std::path::PathBuf;
+
+use lsi_core::{write_index, DurableIndex, LsiConfig, LsiIndex};
+use lsi_ir::TermDocumentMatrix;
+use lsi_serve::{EngineConfig, Query, QueryEngine};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsi_recovery_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn sample_index() -> LsiIndex {
+    let td = TermDocumentMatrix::from_triplets(
+        6,
+        5,
+        &[
+            (0, 0, 2.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+            (3, 2, 1.0),
+            (3, 3, 2.0),
+            (4, 3, 1.0),
+            (4, 4, 2.0),
+            (5, 4, 1.0),
+        ],
+    )
+    .expect("valid triplets");
+    LsiIndex::build(&td, LsiConfig::with_rank(3)).expect("build sample index")
+}
+
+/// The serialized image is the equality witness everywhere below: two
+/// indexes with identical bytes answer every query identically.
+fn index_bytes(index: &LsiIndex) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_index(&mut buf, index).expect("serialize");
+    buf
+}
+
+/// Replaying a journal twice equals replaying it once. The journal tail
+/// is deliberately left un-compacted between the two opens, so the
+/// second open sees exactly the frames the first one saw.
+#[test]
+fn recovery_is_idempotent() {
+    let dir = temp_dir("idempotent");
+    let snapshot = dir.join("index.lsix");
+    let mut d = DurableIndex::create(&snapshot, sample_index()).expect("create");
+    d.add_document(&[(0, 1.0), (2, 0.5)]).expect("add 1");
+    d.add_document(&[(1, 2.0)]).expect("add 2");
+    d.add_document(&[(4, 1.0), (5, 1.0)]).expect("add 3");
+    let live = index_bytes(d.index());
+    drop(d);
+
+    let (first, report1) = DurableIndex::open_durable(&snapshot).expect("first recovery");
+    assert_eq!(report1.frames_replayed, 3);
+    let once = index_bytes(first.index());
+    drop(first);
+
+    let (second, report2) = DurableIndex::open_durable(&snapshot).expect("second recovery");
+    assert_eq!(
+        report2.frames_replayed, 3,
+        "recovery must not consume the journal without a checkpoint"
+    );
+    let twice = index_bytes(second.index());
+
+    assert_eq!(once, live, "recovered index must equal the live one");
+    assert_eq!(twice, once, "second replay must change nothing");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint + reopen converges: the reopened index is bitwise
+/// identical to the live one, the journal is compacted (zero frames to
+/// replay), and a third generation built on top of the reopened index
+/// still matches a continuously-live twin.
+#[test]
+fn checkpoint_and_reopen_converge_bitwise() {
+    let dir = temp_dir("converge");
+    let snapshot = dir.join("index.lsix");
+
+    // Twin A lives entirely in memory; twin B is checkpointed and
+    // reopened between every mutation. They must never diverge.
+    let mut twin = sample_index();
+    let mut d = DurableIndex::create(&snapshot, sample_index()).expect("create");
+
+    let mutations: [&[(usize, f64)]; 3] =
+        [&[(0, 1.0), (3, 0.5)], &[(2, 2.0)], &[(1, 0.25), (5, 4.0)]];
+    for (i, terms) in mutations.iter().enumerate() {
+        twin.add_document(terms);
+        d.add_document(terms).expect("durable add");
+        d.checkpoint().expect("checkpoint");
+        let live = index_bytes(d.index());
+        drop(d);
+
+        let (reopened, report) = DurableIndex::open_durable(&snapshot).expect("reopen");
+        assert_eq!(
+            report.frames_replayed, 0,
+            "round {i}: journal not compacted"
+        );
+        assert_eq!(
+            index_bytes(reopened.index()),
+            live,
+            "round {i}: reopened index diverged from live"
+        );
+        assert_eq!(
+            index_bytes(reopened.index()),
+            index_bytes(&twin),
+            "round {i}: durable lineage diverged from in-memory twin"
+        );
+        d = reopened;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A durable query engine is observationally equivalent to a plain one:
+/// same mutation stream, same query answers, consistent bookkeeping —
+/// and after shutdown every acknowledged mutation survives reopening.
+#[test]
+fn durable_engine_matches_plain_engine_and_recovers_all_acks() {
+    let dir = temp_dir("engine");
+    let snapshot = dir.join("index.lsix");
+    let durable = DurableIndex::create(&snapshot, sample_index()).expect("create");
+
+    let plain = QueryEngine::new(sample_index(), EngineConfig::default());
+    let engine = QueryEngine::with_durable(durable, EngineConfig::default());
+    assert!(engine.is_durable() && !plain.is_durable());
+
+    let mutations: [&[(usize, f64)]; 4] = [
+        &[(0, 1.0)],
+        &[(1, 1.0), (2, 1.0)],
+        &[(3, 0.5), (4, 0.5)],
+        &[(5, 2.0)],
+    ];
+    for terms in mutations {
+        let a = plain.add_document(terms).expect("plain add");
+        let b = engine.add_document(terms).expect("durable add");
+        assert_eq!(a, b, "document ids diverged");
+
+        let q = || Query::new(vec![(0, 1.0), (4, 0.6)], 16);
+        let pa = plain.query(q()).expect("plain query");
+        let pb = engine.query(q()).expect("durable query");
+        assert_eq!(
+            pa.hits().hits().len(),
+            pb.hits().hits().len(),
+            "result set sizes diverged"
+        );
+        for (ha, hb) in pa.hits().hits().iter().zip(pb.hits().hits()) {
+            assert_eq!(ha.doc, hb.doc);
+            assert_eq!(ha.score.to_bits(), hb.score.to_bits(), "scores diverged");
+        }
+    }
+
+    assert!(engine.stats().consistent(), "durable engine books diverged");
+    assert!(
+        engine.checkpoint().expect("checkpoint"),
+        "durable engines compact"
+    );
+    let n_live = engine.n_docs();
+    plain.shutdown();
+    engine.shutdown();
+
+    let (recovered, report) = DurableIndex::open_durable(&snapshot).expect("reopen");
+    assert_eq!(recovered.index().n_docs(), n_live);
+    assert_eq!(report.frames_replayed, 0, "checkpoint left frames behind");
+    let _ = std::fs::remove_dir_all(&dir);
+}
