@@ -266,6 +266,36 @@ pub fn cmd_recover(path: &Path) -> Result<RecoverSummary, CliError> {
                     false
                 }
             }
+            MutationRecord::AddVector {
+                seq,
+                doc_id,
+                coords,
+            } => {
+                if *seq < n {
+                    summary.frames_skipped += 1;
+                    true
+                } else if *seq == n && container.index.add_document_vector(coords).is_ok() {
+                    container.doc_ids.push(if doc_id.is_empty() {
+                        format!("doc#{seq}")
+                    } else {
+                        doc_id.clone()
+                    });
+                    summary.frames_replayed += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            MutationRecord::Retire { seq, doc } => {
+                // Retirement zeroes the representation in place; the id
+                // stays allocated, so `doc_ids` keeps its entry.
+                if *seq <= n && container.index.retire_document(*doc as usize).is_ok() {
+                    summary.frames_replayed += 1;
+                    true
+                } else {
+                    false
+                }
+            }
             MutationRecord::Checkpoint { .. } => false,
         };
         if !applied {
@@ -283,6 +313,115 @@ pub fn cmd_recover(path: &Path) -> Result<RecoverSummary, CliError> {
     journal.rotate(container.index.n_docs() as u64)?;
     summary.total_docs = container.index.n_docs();
     Ok(summary)
+}
+
+/// One shard's outcome under `lsi recover --all`: either a recovery
+/// summary or the storage damage that prevented recovery.
+#[derive(Debug)]
+pub struct ShardRecovery {
+    /// Snapshot file name (`shard-NNN.lsix`).
+    pub shard: String,
+    /// Recovery summary, or the storage error for a damaged shard.
+    pub outcome: Result<RecoverSummary, String>,
+}
+
+/// What `lsi recover --all` did: one [`ShardRecovery`] row per shard
+/// snapshot found under the directory, in file-name order.
+#[derive(Debug)]
+pub struct RecoverAllSummary {
+    /// Per-shard outcomes, sorted by snapshot file name.
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl RecoverAllSummary {
+    /// True when at least one shard could not be recovered (storage
+    /// damage beyond a truncatable journal tail). The CLI turns this
+    /// into the storage exit code after printing the table.
+    pub fn any_damaged(&self) -> bool {
+        self.shards.iter().any(|s| s.outcome.is_err())
+    }
+}
+
+impl std::fmt::Display for RecoverAllSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "recovered {} shard(s):", self.shards.len())?;
+        for row in &self.shards {
+            match &row.outcome {
+                Ok(s) => {
+                    let tail = match s.truncation {
+                        Some(cause) => format!("truncated {} B ({cause})", s.truncated_bytes),
+                        None => "tail clean".to_owned(),
+                    };
+                    writeln!(
+                        f,
+                        "  {}  snapshot {:>4} docs  replayed {:>3}  skipped {:>3}  \
+                         dropped {:>3}  {tail}  total {} docs",
+                        row.shard,
+                        s.snapshot_docs,
+                        s.frames_replayed,
+                        s.frames_skipped,
+                        s.frames_dropped,
+                        s.total_docs
+                    )?;
+                }
+                Err(e) => writeln!(f, "  {}  DAMAGED: {e}", row.shard)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `lsi recover --all`: bulk recovery for a sharded serving directory.
+/// Every `*.lsix` shard snapshot under `dir` is reopened through its
+/// write-ahead journal (torn tails truncated, stale rotation tmp files
+/// swept) and compacted with a checkpoint. Damaged shards — an unreadable
+/// snapshot or a journal that is not a journal — do not abort the sweep:
+/// the remaining shards are still recovered and the damage is reported
+/// per shard, so the caller can turn "any damage" into the storage exit
+/// code after printing every row.
+pub fn cmd_recover_all(dir: &Path) -> Result<RecoverAllSummary, CliError> {
+    let mut snapshots: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::io(format!("cannot read {}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "lsix"))
+        .collect();
+    if snapshots.is_empty() {
+        return Err(CliError::other(format!(
+            "no .lsix shard snapshots under {}",
+            dir.display()
+        )));
+    }
+    snapshots.sort();
+
+    let mut shards = Vec::with_capacity(snapshots.len());
+    for path in snapshots {
+        let shard = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let outcome = match lsi_core::DurableIndex::open_durable(&path) {
+            Ok((mut durable, report)) => {
+                // Compact: checkpoint the replayed state so the journal
+                // rotates and the next open starts from a clean tail.
+                match durable.checkpoint() {
+                    Ok(()) => Ok(RecoverSummary {
+                        snapshot_docs: report.snapshot_docs,
+                        frames_read: report.frames_read,
+                        frames_replayed: report.frames_replayed,
+                        frames_skipped: report.frames_skipped,
+                        frames_dropped: report.frames_dropped,
+                        truncated_bytes: report.truncated_bytes,
+                        truncation: report.truncation,
+                        total_docs: durable.index().n_docs(),
+                    }),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            Err(e) => Err(e.to_string()),
+        };
+        shards.push(ShardRecovery { shard, outcome });
+    }
+    Ok(RecoverAllSummary { shards })
 }
 
 /// `lsi query`: tokenizes the query with the same pipeline, folds it into
@@ -401,6 +540,15 @@ pub struct ServeBenchOptions {
     ///
     /// [`DurableIndex`]: lsi_core::DurableIndex
     pub durable: bool,
+    /// Shard count. `1` serves through a single [`QueryEngine`]; more than
+    /// one serves through the scatter-gather [`Cluster`] coordinator
+    /// (document-partitioned shards, order-fixed top-k merge), with
+    /// `--durable` giving every shard its own snapshot + journal and
+    /// verifying a bit-identical reopen after the run.
+    ///
+    /// [`QueryEngine`]: lsi_serve::QueryEngine
+    /// [`Cluster`]: lsi_serve::Cluster
+    pub shards: usize,
 }
 
 impl Default for ServeBenchOptions {
@@ -412,6 +560,7 @@ impl Default for ServeBenchOptions {
             deadline_ms: 1_000,
             soft_deadline_ms: None,
             durable: false,
+            shards: 1,
         }
     }
 }
@@ -427,6 +576,12 @@ pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result
     use rand::Rng;
     use std::time::Duration;
 
+    if opts.shards == 0 {
+        return Err(CliError::usage("--shards must be at least 1"));
+    }
+    if opts.shards > 1 {
+        return serve_bench_cluster(container, opts);
+    }
     let n_terms = container.index.n_terms();
     if n_terms == 0 {
         return Err(CliError::other("index has an empty vocabulary"));
@@ -536,6 +691,190 @@ pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result
     Ok(format!(
         "serve-bench: {} queries, {} workers, {} linalg thread(s), deadline {} ms, seed {}\n{}{}",
         opts.queries,
+        opts.workers,
+        lsi_linalg::parallel::threads(),
+        opts.deadline_ms,
+        opts.seed,
+        stats.table().trim_end(),
+        durable_lines
+    ))
+}
+
+/// The sharded path of `lsi serve-bench --shards N`: serves the same
+/// seed-deterministic profile through the scatter-gather [`Cluster`]
+/// coordinator — documents partitioned round-robin across `N` shards,
+/// each with its own worker pool — and renders the cluster statistics
+/// table with its per-shard breakdown. In durable mode every shard gets
+/// its own snapshot + journal in a seed-keyed scratch directory, the
+/// profile mixes in journaled fold-ins and a mid-run rebalance, and the
+/// run ends by reopening the whole cluster from disk and verifying the
+/// visible document fingerprint is bit-identical.
+///
+/// [`Cluster`]: lsi_serve::Cluster
+fn serve_bench_cluster(container: Container, opts: &ServeBenchOptions) -> Result<String, CliError> {
+    use lsi_serve::cluster::{Cluster, ClusterConfig};
+    use lsi_serve::{EngineConfig, FaultHook, Query};
+    use rand::Rng;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let n_terms = container.index.n_terms();
+    if n_terms == 0 {
+        return Err(CliError::other("index has an empty vocabulary"));
+    }
+    const TAG_SLOW: u64 = 1;
+    let config = ClusterConfig {
+        shards: opts.shards,
+        engine: EngineConfig {
+            workers: opts.workers,
+            queue_capacity: opts.queries.max(64),
+            deadline: None, // the coordinator's hard deadline governs
+            soft_deadline: None,
+            fault_hook: None,
+        },
+        soft_deadline: opts.soft_deadline_ms.map(Duration::from_millis),
+        hard_deadline: Duration::from_millis(opts.deadline_ms),
+        fault_hooks: Some(Arc::new(|_shard| {
+            Some(Arc::new(|tag: u64| {
+                if tag == TAG_SLOW {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }) as FaultHook)
+        })),
+        ..ClusterConfig::default()
+    };
+    let scratch = opts
+        .durable
+        .then(|| std::env::temp_dir().join(format!("lsi-serve-bench-cluster-{}", opts.seed)));
+    let cluster = match &scratch {
+        Some(dir) => {
+            let _ = std::fs::remove_dir_all(dir);
+            Cluster::create(&container.index, dir, config.clone())
+                .map_err(|e| CliError::serve(format!("cannot create cluster: {e}")))?
+        }
+        None => Cluster::build(&container.index, config.clone())
+            .map_err(|e| CliError::serve(format!("cannot build cluster: {e}")))?,
+    };
+    let cluster = Arc::new(cluster);
+
+    // Same profile mix as the single-engine bench; fold-ins (durable mode)
+    // are pulled out of the stream and applied through the coordinator's
+    // journaled mutation path while the query load runs.
+    let mut rng = lsi_linalg::rng::seeded(opts.seed);
+    let mut queries = Vec::with_capacity(opts.queries);
+    let mut fold_ins = Vec::new();
+    for _ in 0..opts.queries {
+        let roll = rng.gen_range(0usize..100);
+        let mut terms: Vec<(usize, f64)> = (0..rng.gen_range(1usize..=4))
+            .map(|_| (rng.gen_range(0..n_terms), rng.gen_range(0.5..2.0)))
+            .collect();
+        let mut tag = 0;
+        match roll {
+            0..=4 => terms[0].0 = n_terms + 1,
+            5..=7 => terms[0].1 = f64::NAN,
+            8..=9 => tag = TAG_SLOW,
+            10..=13 if opts.durable => {
+                fold_ins.push(terms);
+                continue;
+            }
+            _ => {}
+        }
+        queries.push(Query {
+            terms,
+            top_k: rng.gen_range(1usize..=10),
+            tag,
+        });
+    }
+
+    // Drive the scatter-gather path from several submitter threads so the
+    // per-shard pools actually contend; outcomes land in the coordinator's
+    // counters, which is the bench's data.
+    let submitters = opts.workers.clamp(2, 8);
+    let chunk = queries.len().div_ceil(submitters);
+    let queries = Arc::new(queries);
+    let handles: Vec<_> = (0..submitters)
+        .map(|t| {
+            let cluster = Arc::clone(&cluster);
+            let queries = Arc::clone(&queries);
+            // lsi-lint: allow(P1-raw-threads, "bench load generators: submitters race wall-clock queries, not deterministic kernel work")
+            std::thread::spawn(move || {
+                let lo = (t * chunk).min(queries.len());
+                let hi = (lo + chunk).min(queries.len());
+                for q in &queries[lo..hi] {
+                    let _ = cluster.query(q.clone());
+                }
+            })
+        })
+        .collect();
+    let journaled = fold_ins.len();
+    let mut moved = 0usize;
+    for terms in &fold_ins {
+        cluster
+            .add_document(terms)
+            .map_err(|e| CliError::serve(format!("journaled fold-in failed: {e}")))?;
+    }
+    if opts.durable && opts.shards >= 2 {
+        // A mid-run rebalance: move one document between the first two
+        // shards through the crash-consistent two-journal protocol.
+        let docs = cluster
+            .shard_docs(0)
+            .map_err(|e| CliError::serve(e.to_string()))?;
+        if let Some(&gid) = docs.first() {
+            moved = cluster
+                .rebalance(0, 1, &[gid])
+                .map_err(|e| CliError::serve(format!("mid-run rebalance failed: {e}")))?;
+        }
+    }
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| CliError::serve("a submitter thread panicked"))?;
+    }
+
+    let stats = cluster.stats();
+    if !stats.consistent() {
+        return Err(CliError::serve(format!(
+            "cluster bookkeeping does not balance after the run:\n{}",
+            stats.table()
+        )));
+    }
+
+    let mut durable_lines = String::new();
+    if let Some(dir) = &scratch {
+        // Compact every shard, tear the cluster down, and prove recovery:
+        // reopening the whole cluster from its shard snapshots + journals
+        // must reproduce the visible document fingerprint bit for bit.
+        for shard in 0..cluster.n_shards() {
+            cluster
+                .compact_shard(shard)
+                .map_err(|e| CliError::serve(format!("shard {shard} compaction failed: {e}")))?;
+        }
+        let fingerprint = cluster.fingerprint();
+        let live_docs = cluster.n_docs();
+        match Arc::try_unwrap(cluster) {
+            Ok(cluster) => cluster.shutdown(),
+            Err(_) => return Err(CliError::serve("cluster handles leaked past join")),
+        }
+        let (reopened, _reports) = Cluster::open(dir, config)
+            .map_err(|e| CliError::serve(format!("cluster reopen failed: {e}")))?;
+        if reopened.fingerprint() != fingerprint {
+            return Err(CliError::serve(
+                "recovery mismatch: reopened cluster fingerprint differs from the live cluster",
+            ));
+        }
+        reopened.shutdown();
+        durable_lines = format!(
+            "\ndurable: {journaled} fold-in(s) journaled, {moved} document(s) rebalanced; \
+             cluster reopen verified bit-identical ({live_docs} docs across {} shards)",
+            opts.shards
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    Ok(format!(
+        "serve-bench: {} queries, {} shards, {} workers/shard, {} linalg thread(s), \
+         deadline {} ms, seed {}\n{}{}",
+        queries.len(),
+        opts.shards,
         opts.workers,
         lsi_linalg::parallel::threads(),
         opts.deadline_ms,
@@ -740,6 +1079,7 @@ mod tests {
             deadline_ms: 5_000,
             soft_deadline_ms: None,
             durable: false,
+            shards: 1,
         };
         let report = cmd_serve_bench(container, &opts).unwrap();
         assert!(report.contains("200 queries"), "{report}");
@@ -769,6 +1109,7 @@ mod tests {
             deadline_ms: 5_000,
             soft_deadline_ms: None,
             durable: true,
+            shards: 1,
         };
         let report = cmd_serve_bench(container, &opts).unwrap();
         assert!(report.contains("durable:"), "{report}");
@@ -824,5 +1165,112 @@ mod tests {
         fs::remove_file(&output).ok();
         fs::remove_file(&more).ok();
         fs::remove_file(&jpath).ok();
+    }
+
+    #[test]
+    fn serve_bench_cluster_mode_shards_and_verifies_reopen() {
+        let input = temp("corpus_bench_cluster.txt");
+        let output = temp("corpus_bench_cluster.lsic");
+        write_sample_corpus(&input);
+        cmd_index(&input, &output, 2, Weighting::Count).unwrap();
+        let container = Container::load(&output).unwrap();
+
+        let opts = ServeBenchOptions {
+            queries: 150,
+            workers: 2,
+            seed: 777,
+            deadline_ms: 5_000,
+            soft_deadline_ms: None,
+            durable: true,
+            shards: 2,
+        };
+        let report = cmd_serve_bench(container, &opts).unwrap();
+        assert!(report.contains("2 shards"), "{report}");
+        // The per-shard breakdown rows render in the stats table.
+        assert!(report.contains("shard"), "{report}");
+        assert!(report.contains("breaker"), "{report}");
+        assert!(
+            report.contains("cluster reopen verified bit-identical"),
+            "{report}"
+        );
+        assert!(report.contains("rebalanced"), "{report}");
+
+        fs::remove_file(&input).ok();
+        fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn recover_all_sweeps_every_shard_and_reports_damage() {
+        use lsi_repro_test_corpus::sample_shard_dir;
+        let dir = sample_shard_dir("recover_all");
+
+        // Healthy sweep: every shard row renders, nothing damaged.
+        let summary = cmd_recover_all(&dir).unwrap();
+        assert_eq!(summary.shards.len(), 2, "{summary}");
+        assert!(!summary.any_damaged(), "{summary}");
+        let rendered = summary.to_string();
+        assert!(rendered.contains("shard-000.lsix"), "{rendered}");
+        assert!(rendered.contains("shard-001.lsix"), "{rendered}");
+
+        // Torn journal tail: still recoverable (truncated, not damage).
+        let j0 = lsi_core::journal_path(&dir.join("shard-000.lsix"));
+        let mut bytes = fs::read(&j0).unwrap();
+        bytes.extend_from_slice(&[0xAB; 9]);
+        fs::write(&j0, bytes).unwrap();
+        let summary = cmd_recover_all(&dir).unwrap();
+        assert!(!summary.any_damaged(), "{summary}");
+        assert!(summary.to_string().contains("truncated 9 B"), "{}", summary);
+
+        // A snapshot that is not a snapshot is per-shard damage: the other
+        // shard still recovers and the sweep reports both.
+        fs::write(dir.join("shard-001.lsix"), b"not a snapshot").unwrap();
+        let summary = cmd_recover_all(&dir).unwrap();
+        assert!(summary.any_damaged(), "{summary}");
+        let rendered = summary.to_string();
+        assert!(rendered.contains("DAMAGED"), "{rendered}");
+        assert!(rendered.contains("shard-000.lsix"), "{rendered}");
+
+        // No snapshots at all is an invocation-level error, not damage.
+        let empty = temp("recover_all_empty");
+        fs::create_dir_all(&empty).unwrap();
+        assert!(cmd_recover_all(&empty).is_err());
+
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&empty).ok();
+    }
+
+    /// Builds a tiny two-shard durable directory for the recover-all test.
+    mod lsi_repro_test_corpus {
+        use std::path::PathBuf;
+
+        pub fn sample_shard_dir(tag: &str) -> PathBuf {
+            let dir =
+                std::env::temp_dir().join(format!("lsi_cmd_shards_{}_{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            for shard in 0..2usize {
+                let td = lsi_ir::TermDocumentMatrix::from_triplets(
+                    4,
+                    3,
+                    &[
+                        (0, 0, 2.0),
+                        (1, 0, 1.0),
+                        (1, 1, 3.0),
+                        (2, 1, 1.0),
+                        (3, 2, 2.0),
+                        (0, 2, 1.0 + shard as f64),
+                    ],
+                )
+                .unwrap();
+                let index =
+                    lsi_core::LsiIndex::build(&td, lsi_core::LsiConfig::with_rank(2)).unwrap();
+                let path = dir.join(format!("shard-{shard:03}.lsix"));
+                let mut durable = lsi_core::DurableIndex::create(&path, index).unwrap();
+                // Leave an unreplayed journaled mutation behind so the
+                // sweep has something to replay.
+                durable.add_document(&[(0, 1.0), (2, 0.5)]).unwrap();
+            }
+            dir
+        }
     }
 }

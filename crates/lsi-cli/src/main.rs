@@ -5,8 +5,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lsi_cli::commands::{
-    cmd_add, cmd_index, cmd_query, cmd_recover, cmd_serve_bench, cmd_similar_terms, cmd_topics,
-    parse_weighting, ServeBenchOptions,
+    cmd_add, cmd_index, cmd_query, cmd_recover, cmd_recover_all, cmd_serve_bench,
+    cmd_similar_terms, cmd_topics, parse_weighting, ServeBenchOptions,
 };
 use lsi_cli::container::Container;
 use lsi_cli::CliError;
@@ -17,11 +17,12 @@ usage:
   lsi index --input <file|dir> --output <out.lsic> [--rank K] [--weighting W]
   lsi add --index <out.lsic> --input <file|dir> [--durable]
   lsi recover --index <out.lsic>
+  lsi recover --all <shard-dir>
   lsi query --index <out.lsic> <query text...> [--top N]
   lsi similar-terms --index <out.lsic> <term> [--top N]
   lsi topics --index <out.lsic> [--terms N]
   lsi serve-bench --index <out.lsic> [--queries N] [--workers W] [--seed S]
-                  [--deadline-ms D] [--soft-ms D] [--durable]
+                  [--deadline-ms D] [--soft-ms D] [--durable] [--shards N]
 
 global flags:
   --threads N   linalg thread count (overrides LSI_THREADS; outputs are
@@ -31,6 +32,13 @@ durability:
   `add --durable` write-ahead-journals every fold-in (sidecar
   <out.lsic>.lsij, fsynced before apply); `recover` replays that journal
   over the last saved container after a crash and compacts it.
+  `recover --all` bulk-recovers every shard snapshot (*.lsix) under a
+  sharded serving directory, one summary row per shard; it exits with the
+  storage code (4) if any shard has damage beyond a truncatable tail.
+  `serve-bench --shards N` serves through the scatter-gather cluster
+  coordinator (document-partitioned shards, order-fixed top-k merge);
+  with --durable each shard journals independently and the run verifies
+  a bit-identical cluster reopen.
 
 weightings: count, binary, log-tf, tf-idf, log-entropy (default: log-entropy)
 ";
@@ -166,8 +174,28 @@ fn run() -> Result<(), CliError> {
             println!("{summary}");
         }
         "recover" => {
-            let summary = cmd_recover(&flags.path("index")?)?;
-            println!("{summary}");
+            if flags.named.contains_key("all") {
+                let summary = cmd_recover_all(&flags.path("all")?)?;
+                // Print every shard row before deciding the exit code, so
+                // partial damage still leaves a full report on stdout.
+                print!("{summary}");
+                if summary.any_damaged() {
+                    let damaged: Vec<&str> = summary
+                        .shards
+                        .iter()
+                        .filter(|s| s.outcome.is_err())
+                        .map(|s| s.shard.as_str())
+                        .collect();
+                    return Err(CliError::storage(format!(
+                        "storage damage in {} shard(s): {}",
+                        damaged.len(),
+                        damaged.join(", ")
+                    )));
+                }
+            } else {
+                let summary = cmd_recover(&flags.path("index")?)?;
+                println!("{summary}");
+            }
         }
         "query" => {
             let container = Container::load(&flags.path("index")?)?;
@@ -212,6 +240,7 @@ fn run() -> Result<(), CliError> {
                     }
                 },
                 durable: flags.named.contains_key("durable"),
+                shards: flags.usize_or("shards", defaults.shards)?,
             };
             println!("{}", cmd_serve_bench(container, &opts)?);
         }

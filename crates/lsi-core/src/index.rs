@@ -523,6 +523,72 @@ impl LsiIndex {
         Ok(self.add_document(terms))
     }
 
+    /// Appends a document whose LSI-space representation is already known
+    /// (a length-`rank` coordinate vector), bypassing fold-in entirely.
+    ///
+    /// This is the transplant primitive of document-partitioned sharding:
+    /// a shard receives the *bitwise* row another index computed, so the
+    /// cosine scores it serves are identical to the donor's — scores are a
+    /// pure function of the query fold-in bits and the stored row bits.
+    /// Rejects wrong-length or non-finite vectors with
+    /// [`LsiError::BadQuery`]. Returns the new document's id.
+    pub fn add_document_vector(&mut self, coords: &[f64]) -> Result<usize, LsiError> {
+        if coords.len() != self.rank() {
+            return Err(BadQuery::WrongDimension {
+                got: coords.len(),
+                expected: self.rank(),
+            }
+            .into());
+        }
+        if coords.iter().any(|x| !x.is_finite()) {
+            return Err(BadQuery::NonFiniteQuery.into());
+        }
+        let norm = vector::norm(coords);
+        self.doc_reps
+            .push_row(coords)
+            // lsi-lint: allow(E1-panic-policy, "invariant: coords length was just checked against the rank")
+            .expect("coords length equals the index rank");
+        self.doc_norms.push(norm);
+        Ok(self.doc_reps.nrows() - 1)
+    }
+
+    /// Retires document `doc` from retrieval: its representation row and
+    /// norm are zeroed, and zero-norm documents are skipped by every
+    /// cosine scan (the same mechanism that hides numerically-null
+    /// documents). The id stays allocated — later documents keep their
+    /// ids — so retirement composes with journal replay, which keys on
+    /// the document count. Idempotent. Out-of-range ids are a typed
+    /// [`LsiError::BadQuery`].
+    pub fn retire_document(&mut self, doc: usize) -> Result<(), LsiError> {
+        self.check_doc(doc)?;
+        self.doc_reps.row_mut(doc).fill(0.0);
+        self.doc_norms[doc] = 0.0;
+        Ok(())
+    }
+
+    /// A zero-document index sharing this index's spectral basis (factors,
+    /// configuration): the starting point for a document-partitioned shard,
+    /// to be populated with [`LsiIndex::add_document_vector`]. Queries fold
+    /// in through the identical `U_k`, so scores computed against
+    /// transplanted rows match the donor index bitwise.
+    pub fn basis_clone(&self) -> Self {
+        // `vt` holds per-document loadings; the basis carries none, so it
+        // shrinks to `k × 0` to keep the factor dimensions consistent
+        // with the empty document set (storage validates exactly that).
+        let factors = TruncatedSvd {
+            u: self.factors.u.clone(),
+            singular_values: self.factors.singular_values.clone(),
+            vt: Matrix::zeros(self.rank(), 0),
+        };
+        LsiIndex {
+            factors,
+            doc_reps: Matrix::zeros(0, self.rank()),
+            doc_norms: Vec::new(),
+            config: self.config.clone(),
+            solve_report: None,
+        }
+    }
+
     /// Terms most similar to term `t` in LSI space (cosine over rows of
     /// `U_k D_k`), excluding `t` itself. This is the term-side view of the
     /// synonymy effect: surface forms that share contexts land together.

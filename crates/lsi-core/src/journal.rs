@@ -38,6 +38,8 @@
 //!   tag 0 FoldIn      payload = n u32 | (term u64, weight f64) * n
 //!   tag 1 AddDocument payload = id_len u32 | id utf-8 | n u32 | (term, weight) * n
 //!   tag 2 Checkpoint  payload = (empty)
+//!   tag 3 AddVector   payload = id_len u32 | id utf-8 | k u32 | coord f64 * k
+//!   tag 4 Retire      payload = doc u64
 //! ```
 //!
 //! The CRC-32 covers the length prefix *and* the body, so a corrupted
@@ -47,7 +49,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use crate::index::{LsiError, LsiIndex};
+use crate::index::{BadQuery, LsiError, LsiIndex};
 use crate::storage::{self, write_index_atomic, Crc32, StorageError};
 
 /// Journal file magic.
@@ -63,6 +65,9 @@ const MAX_FRAME: usize = 1 << 24;
 const MAX_TERMS: u32 = 1 << 22;
 /// Upper bound on a document-id string, in bytes.
 const MAX_DOC_ID: u32 = 1 << 20;
+/// Upper bound on an [`MutationRecord::AddVector`] coordinate count (LSI
+/// ranks are small; this is purely a corrupt-length guard).
+const MAX_COORDS: u32 = 1 << 16;
 /// Smallest possible body: tag byte plus sequence number.
 const MIN_BODY: usize = 9;
 
@@ -97,15 +102,40 @@ pub enum MutationRecord {
         /// Document count captured by the checkpointed snapshot.
         seq: u64,
     },
+    /// A document appended by its already-computed LSI-space coordinates
+    /// (no fold-in at replay time). This is the sharding transplant
+    /// record: the coordinate bits are stored verbatim, so a replayed
+    /// document scores bitwise identically to the donor index's row.
+    AddVector {
+        /// Document count when this mutation was applied.
+        seq: u64,
+        /// Caller-side document identifier (shards store the global doc
+        /// id here).
+        doc_id: String,
+        /// The length-`rank` LSI-space representation, bit-exact.
+        coords: Vec<f64>,
+    },
+    /// Retirement of a previously added document: its representation is
+    /// zeroed so cosine scans skip it. `seq` is the document count at
+    /// append time (retirement does not change the count); replay is
+    /// idempotent because zeroing twice equals zeroing once.
+    Retire {
+        /// Document count when the retirement was applied.
+        seq: u64,
+        /// Local id of the retired document.
+        doc: u64,
+    },
 }
 
 impl MutationRecord {
     /// The record's sequence number (document count at apply time).
     pub fn seq(&self) -> u64 {
         match self {
-            Self::FoldIn { seq, .. } | Self::AddDocument { seq, .. } | Self::Checkpoint { seq } => {
-                *seq
-            }
+            Self::FoldIn { seq, .. }
+            | Self::AddDocument { seq, .. }
+            | Self::Checkpoint { seq }
+            | Self::AddVector { seq, .. }
+            | Self::Retire { seq, .. } => *seq,
         }
     }
 }
@@ -186,6 +216,20 @@ pub fn fresh_journal_bytes(checkpoint: Option<u64>) -> Vec<u8> {
     bytes
 }
 
+/// The bytes of a journal holding exactly `records` (header plus one frame
+/// per record, in order). Public so crash-injection harnesses can
+/// enumerate byte-exact intermediate disk states of a record-list
+/// rotation ([`Journal::rotate_with`]).
+pub fn journal_bytes(records: &[MutationRecord]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + 64 * records.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    for record in records {
+        bytes.extend_from_slice(&encode_frame(record));
+    }
+    bytes
+}
+
 /// Encodes one record as a complete journal frame (length prefix, body,
 /// CRC trailer). Public for the crash-matrix and fuzz harnesses.
 pub fn encode_frame(record: &MutationRecord) -> Vec<u8> {
@@ -219,6 +263,25 @@ fn encode_body(record: &MutationRecord) -> Vec<u8> {
         MutationRecord::Checkpoint { seq } => {
             b.push(2);
             b.extend_from_slice(&seq.to_le_bytes());
+        }
+        MutationRecord::AddVector {
+            seq,
+            doc_id,
+            coords,
+        } => {
+            b.push(3);
+            b.extend_from_slice(&seq.to_le_bytes());
+            b.extend_from_slice(&(doc_id.len() as u32).to_le_bytes());
+            b.extend_from_slice(doc_id.as_bytes());
+            b.extend_from_slice(&(coords.len() as u32).to_le_bytes());
+            for &c in coords {
+                b.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        MutationRecord::Retire { seq, doc } => {
+            b.push(4);
+            b.extend_from_slice(&seq.to_le_bytes());
+            b.extend_from_slice(&doc.to_le_bytes());
         }
     }
     b
@@ -319,6 +382,32 @@ fn decode_body(body: &[u8]) -> Option<MutationRecord> {
             }
         }
         2 => MutationRecord::Checkpoint { seq },
+        3 => {
+            let id_len = r.u32()?;
+            if id_len > MAX_DOC_ID {
+                return None;
+            }
+            let id_bytes = r.take(id_len as usize)?;
+            let doc_id = std::str::from_utf8(id_bytes).ok()?.to_string();
+            let k = r.u32()?;
+            if k > MAX_COORDS {
+                return None;
+            }
+            let mut coords = Vec::with_capacity(k as usize);
+            for _ in 0..k {
+                let c = r.f64()?;
+                if !c.is_finite() {
+                    return None;
+                }
+                coords.push(c);
+            }
+            MutationRecord::AddVector {
+                seq,
+                doc_id,
+                coords,
+            }
+        }
+        4 => MutationRecord::Retire { seq, doc: r.u64()? },
         _ => return None,
     };
     if !r.done() {
@@ -367,19 +456,16 @@ pub fn decode_frames(bytes: &[u8]) -> (Vec<MutationRecord>, usize, Option<Trunca
     (records, pos, None)
 }
 
-/// Writes a fresh journal (header, plus a checkpoint frame when given)
-/// crash-safely: bytes go to a `.tmp` sibling, are synced, renamed over
-/// the destination, and the parent directory is synced so the rename
-/// survives a crash.
-fn write_fresh(path: &Path, checkpoint: Option<u64>) -> Result<(), StorageError> {
+/// Writes a complete journal image crash-safely: bytes go to a `.tmp`
+/// sibling, are synced, renamed over the destination, and the parent
+/// directory is synced so the rename survives a crash.
+fn write_fresh_bytes(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
     let tmp = journal_tmp_path(path);
     if tmp.exists() {
         let _ = std::fs::remove_file(&tmp);
     }
     let mut file = File::create(&tmp)?;
-    let result = file
-        .write_all(&fresh_journal_bytes(checkpoint))
-        .and_then(|()| file.sync_all());
+    let result = file.write_all(bytes).and_then(|()| file.sync_all());
     if let Err(e) = result {
         let _ = std::fs::remove_file(&tmp);
         return Err(StorageError::Io(e));
@@ -389,6 +475,12 @@ fn write_fresh(path: &Path, checkpoint: Option<u64>) -> Result<(), StorageError>
         StorageError::Io(e)
     })?;
     storage::sync_parent_dir(path)
+}
+
+/// Writes a fresh journal (header, plus a checkpoint frame when given)
+/// crash-safely via [`write_fresh_bytes`].
+fn write_fresh(path: &Path, checkpoint: Option<u64>) -> Result<(), StorageError> {
+    write_fresh_bytes(path, &fresh_journal_bytes(checkpoint))
 }
 
 /// The temporary sibling used by journal rotation (`<name>.tmp`).
@@ -410,13 +502,32 @@ impl Journal {
         Self::open_append(path.to_path_buf())
     }
 
+    /// Creates a journal at `path` holding exactly `records`, replacing
+    /// whatever was there, in one crash-safe write (a shard seeding its
+    /// document list appends nothing frame-by-frame). The file and its
+    /// parent directory are synced before this returns.
+    pub fn create_with(path: &Path, records: &[MutationRecord]) -> Result<Self, StorageError> {
+        write_fresh_bytes(path, &journal_bytes(records))?;
+        Self::open_append(path.to_path_buf())
+    }
+
     /// Opens the journal at `path`, scanning its frames and truncating the
     /// file back to the last intact frame. A missing file — or one whose
     /// header itself was torn mid-create — is replaced by a fresh journal
     /// (`created` in the recovery report). A file with a foreign magic or
     /// an unsupported version is a real error, not crash damage, and is
     /// reported as such rather than clobbered.
+    ///
+    /// A stale `<name>.tmp` sibling — the residue of a crash between a
+    /// rotation's temp-file write and its rename — is swept here (the
+    /// rename never happened, so the rotation was never acknowledged and
+    /// the temp bytes are garbage), mirroring `write_index_atomic`'s
+    /// stale-`.tmp` sweep for snapshots.
     pub fn open(path: &Path) -> Result<(Self, JournalRecovery), StorageError> {
+        let stale_tmp = journal_tmp_path(path);
+        if stale_tmp.exists() {
+            let _ = std::fs::remove_file(&stale_tmp);
+        }
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -503,6 +614,19 @@ impl Journal {
     pub fn rotate(&mut self, checkpoint_seq: u64) -> Result<(), StorageError> {
         write_fresh(&self.path, Some(checkpoint_seq))?;
         // The old handle points at the replaced inode; reopen.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
+    }
+
+    /// Rotates the journal down to an explicit record list: atomically
+    /// replaces the file with one holding exactly `records`. This is the
+    /// compaction primitive for journals that *are* the canonical document
+    /// list (sharded serving): the unbounded mutation history is replaced
+    /// by a bounded state dump whose replay reproduces the live state. A
+    /// crash at any byte leaves either the old journal or the new one —
+    /// never a blend — because the swap is a single `rename`.
+    pub fn rotate_with(&mut self, records: &[MutationRecord]) -> Result<(), StorageError> {
+        write_fresh_bytes(&self.path, &journal_bytes(records))?;
         self.file = OpenOptions::new().append(true).open(&self.path)?;
         Ok(())
     }
@@ -624,6 +748,18 @@ impl DurableIndex {
     /// unreadable (surface those; the snapshot has its own CRC) or the
     /// journal file belongs to a different format entirely.
     pub fn open_durable(snapshot: &Path) -> Result<(Self, RecoveryReport), StorageError> {
+        let (durable, report, _) = Self::open_durable_with_records(snapshot)?;
+        Ok((durable, report))
+    }
+
+    /// [`open_durable`](Self::open_durable), additionally returning the
+    /// intact journal records so callers that keep state *alongside* the
+    /// index (e.g. a shard's local→global document-id map, reconstructed
+    /// from [`MutationRecord::AddVector`] ids) can rebuild it from the
+    /// exact record list the replay saw.
+    pub fn open_durable_with_records(
+        snapshot: &Path,
+    ) -> Result<(Self, RecoveryReport, Vec<MutationRecord>), StorageError> {
         let mut reader = std::io::BufReader::new(File::open(snapshot)?);
         let mut index = storage::read_index(&mut reader)?;
         let snapshot_docs = index.n_docs();
@@ -639,35 +775,55 @@ impl DurableIndex {
         };
         for (i, record) in recovery.records.iter().enumerate() {
             let n = index.n_docs() as u64;
-            match record {
+            let applied = match record {
                 MutationRecord::Checkpoint { seq } => {
-                    if *seq > n {
-                        // The snapshot this checkpoint refers to is not the
-                        // one we loaded — replay cannot bridge the gap.
-                        report.frames_dropped = recovery.records.len() - i;
-                        report
-                            .truncation
-                            .get_or_insert(TruncationCause::SequenceGap);
-                        break;
-                    }
-                    report.frames_skipped += 1;
+                    // `seq > n` means the snapshot this checkpoint refers
+                    // to is not the one we loaded — replay cannot bridge
+                    // the gap.
+                    (*seq <= n).then_some(false)
                 }
                 MutationRecord::FoldIn { seq, terms }
                 | MutationRecord::AddDocument { seq, terms, .. } => {
                     if *seq < n {
-                        report.frames_skipped += 1;
+                        Some(false)
                     } else if *seq == n && index.try_add_document(terms).is_ok() {
-                        report.frames_replayed += 1;
+                        Some(true)
                     } else {
-                        report.frames_dropped = recovery.records.len() - i;
-                        report
-                            .truncation
-                            .get_or_insert(TruncationCause::SequenceGap);
-                        break;
+                        None
                     }
+                }
+                MutationRecord::AddVector { seq, coords, .. } => {
+                    if *seq < n {
+                        Some(false)
+                    } else if *seq == n && index.add_document_vector(coords).is_ok() {
+                        Some(true)
+                    } else {
+                        None
+                    }
+                }
+                MutationRecord::Retire { seq, doc } => {
+                    if *seq <= n && index.retire_document(*doc as usize).is_ok() {
+                        Some(true)
+                    } else {
+                        None
+                    }
+                }
+            };
+            match applied {
+                Some(true) => report.frames_replayed += 1,
+                Some(false) => report.frames_skipped += 1,
+                None => {
+                    report.frames_dropped = recovery.records.len() - i;
+                    report
+                        .truncation
+                        .get_or_insert(TruncationCause::SequenceGap);
+                    break;
                 }
             }
         }
+        let replay_len = recovery.records.len() - report.frames_dropped;
+        let mut records = recovery.records;
+        records.truncate(replay_len);
         Ok((
             Self {
                 index,
@@ -675,6 +831,7 @@ impl DurableIndex {
                 snapshot: snapshot.to_path_buf(),
             },
             report,
+            records,
         ))
     }
 
@@ -708,6 +865,92 @@ impl DurableIndex {
             terms: terms.to_vec(),
         })?;
         Ok(self.index.add_document(terms))
+    }
+
+    /// Durably appends a document by its already-computed LSI-space
+    /// coordinates (the sharding transplant path): validates the vector,
+    /// appends a [`MutationRecord::AddVector`] frame carrying `doc_id` and
+    /// the bit-exact coordinates (fsynced), and only then applies the
+    /// mutation in memory. Returns the new document's local id.
+    pub fn add_document_vector(
+        &mut self,
+        doc_id: &str,
+        coords: &[f64],
+    ) -> Result<usize, DurabilityError> {
+        if coords.len() != self.index.rank() {
+            return Err(DurabilityError::Index(
+                BadQuery::WrongDimension {
+                    got: coords.len(),
+                    expected: self.index.rank(),
+                }
+                .into(),
+            ));
+        }
+        if coords.iter().any(|x| !x.is_finite()) {
+            return Err(DurabilityError::Index(BadQuery::NonFiniteQuery.into()));
+        }
+        let seq = self.index.n_docs() as u64;
+        self.journal.append(&MutationRecord::AddVector {
+            seq,
+            doc_id: doc_id.to_string(),
+            coords: coords.to_vec(),
+        })?;
+        // Length and finiteness were checked above; apply cannot fail.
+        self.index.add_document_vector(coords).map_err(Into::into)
+    }
+
+    /// Durably retires document `doc`: appends a
+    /// [`MutationRecord::Retire`] frame (fsynced), then zeroes the live
+    /// representation so cosine scans skip it. The id stays allocated.
+    pub fn retire_document(&mut self, doc: usize) -> Result<(), DurabilityError> {
+        if doc >= self.index.n_docs() {
+            return Err(DurabilityError::Index(
+                BadQuery::DocOutOfRange {
+                    doc,
+                    n_docs: self.index.n_docs(),
+                }
+                .into(),
+            ));
+        }
+        self.journal.append(&MutationRecord::Retire {
+            seq: self.index.n_docs() as u64,
+            doc: doc as u64,
+        })?;
+        self.index.retire_document(doc).map_err(Into::into)
+    }
+
+    /// Journals a [`MutationRecord::Retire`] frame (fsynced) **without**
+    /// zeroing the live representation. For callers that keep their own
+    /// visibility map above the index (sharded serving): the document
+    /// must become invisible through that map, while the live row stays
+    /// intact so queries already scoring against it stay consistent. On
+    /// replay the retirement *is* applied, which matches — a reopened
+    /// index has no in-flight readers.
+    pub fn log_retire(&mut self, doc: usize) -> Result<(), DurabilityError> {
+        if doc >= self.index.n_docs() {
+            return Err(DurabilityError::Index(
+                BadQuery::DocOutOfRange {
+                    doc,
+                    n_docs: self.index.n_docs(),
+                }
+                .into(),
+            ));
+        }
+        self.journal.append(&MutationRecord::Retire {
+            seq: self.index.n_docs() as u64,
+            doc: doc as u64,
+        })?;
+        Ok(())
+    }
+
+    /// Rotates the sidecar journal down to an explicit record list
+    /// ([`Journal::rotate_with`]) without touching the snapshot. This is
+    /// the compaction path for durable state whose snapshot is an
+    /// immutable basis and whose journal is the canonical document list
+    /// (sharded serving); the caller supplies a state dump whose replay
+    /// over the snapshot reproduces the live index.
+    pub fn rotate_journal_with(&mut self, records: &[MutationRecord]) -> Result<(), StorageError> {
+        self.journal.rotate_with(records)
     }
 
     /// Compacts durable state: atomically rewrites the snapshot from the
@@ -774,6 +1017,12 @@ mod tests {
                 terms: vec![(1, 2.0)],
             },
             MutationRecord::Checkpoint { seq: 7 },
+            MutationRecord::AddVector {
+                seq: 7,
+                doc_id: "42".to_string(),
+                coords: vec![0.25, -1.5, 3.0],
+            },
+            MutationRecord::Retire { seq: 8, doc: 2 },
         ]
     }
 
@@ -904,6 +1153,101 @@ mod tests {
         assert_eq!(report.snapshot_docs, live);
         assert_eq!(report.frames_replayed, 0);
         assert_eq!(report.frames_skipped, 1, "checkpoint marker is skipped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_rotation_tmp() {
+        let dir = temp_dir("sweep");
+        let path = dir.join("m.lsij");
+        let mut j = Journal::create(&path).expect("create");
+        j.append(&sample_records()[0]).expect("append");
+        drop(j);
+        // A crash between rotation's tmp write and its rename leaves a
+        // stale sibling; open must sweep it (the rotation was never
+        // acknowledged) and keep the real journal intact.
+        let tmp = journal_tmp_path(&path);
+        std::fs::write(&tmp, b"half a rotation").expect("stale tmp");
+        let (_, rec) = Journal::open(&path).expect("open");
+        assert!(!tmp.exists(), "stale .tmp must be swept on open");
+        assert_eq!(rec.records, sample_records()[..1]);
+        assert_eq!(rec.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotate_with_replaces_journal_with_record_list() {
+        let dir = temp_dir("rotate_with");
+        let path = dir.join("m.lsij");
+        let mut j = Journal::create_with(&path, &sample_records()).expect("create_with");
+        let compacted = vec![
+            MutationRecord::AddVector {
+                seq: 0,
+                doc_id: "7".to_string(),
+                coords: vec![1.0, 0.0],
+            },
+            MutationRecord::AddVector {
+                seq: 1,
+                doc_id: "9".to_string(),
+                coords: vec![0.0, 1.0],
+            },
+        ];
+        j.rotate_with(&compacted).expect("rotate_with");
+        // The handle must keep appending to the *new* inode.
+        j.append(&MutationRecord::Retire { seq: 2, doc: 0 })
+            .expect("append after rotate");
+        drop(j);
+        let (_, rec) = Journal::open(&path).expect("reopen");
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[..2], compacted[..]);
+        assert_eq!(rec.records[2], MutationRecord::Retire { seq: 2, doc: 0 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_vector_lifecycle_add_retire_reopen() {
+        let dir = temp_dir("vector");
+        let snapshot = dir.join("index.lsix");
+        let index = sample_index();
+        let k = index.rank();
+        let donor_row: Vec<f64> = index.doc_vector(0).to_vec();
+        let mut d = DurableIndex::create(&snapshot, index.basis_clone()).expect("create");
+        assert_eq!(d.index().n_docs(), 0, "basis snapshot starts empty");
+
+        let id = d.add_document_vector("100", &donor_row).expect("add");
+        assert_eq!(id, 0);
+        d.add_document_vector("101", &vec![0.5; k]).expect("add 2");
+        d.retire_document(0).expect("retire");
+        assert_eq!(d.index().doc_vector(0), vec![0.0; k].as_slice());
+
+        // Bad vectors are rejected before journaling.
+        assert!(matches!(
+            d.add_document_vector("102", &vec![1.0; k + 1]),
+            Err(DurabilityError::Index(_))
+        ));
+        assert!(matches!(
+            d.retire_document(99),
+            Err(DurabilityError::Index(_))
+        ));
+
+        // Replay restores both documents and the retirement, and returns
+        // the record list for sidecar state reconstruction.
+        let (d2, report, records) =
+            DurableIndex::open_durable_with_records(&snapshot).expect("reopen");
+        assert_eq!(d2.index().n_docs(), 2);
+        assert_eq!(report.frames_replayed, 3);
+        assert_eq!(report.frames_dropped, 0);
+        assert_eq!(d2.index().doc_vector(0), vec![0.0; k].as_slice());
+        assert_eq!(
+            d2.index().doc_vector(1),
+            vec![0.5; k].as_slice(),
+            "transplanted bits must survive replay verbatim"
+        );
+        assert_eq!(records.len(), 3);
+        assert!(matches!(
+            &records[0],
+            MutationRecord::AddVector { doc_id, .. } if doc_id == "100"
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -426,12 +426,15 @@ fn read_body<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
     let m_vt = u64::from_le_bytes(u64buf) as usize;
 
     // Sanity caps: reject absurd headers (≈1 GiB per array at most).
+    // `m_vt == 0` with `m_docs == 0` is legal: a basis-only snapshot (the
+    // sharding layer's immutable spectral basis, populated later through
+    // journal replay). A populated `vt` must still cover the rank.
     const MAX_ELEMS: usize = 1 << 27;
     if k == 0
         || n == 0
-        || m_vt == 0
         || m_docs < m_vt
-        || k > n.min(m_vt)
+        || k > n
+        || (m_vt > 0 && k > m_vt)
         || n.saturating_mul(k) > MAX_ELEMS
         || m_vt.saturating_mul(k) > MAX_ELEMS
         || m_docs.saturating_mul(k) > MAX_ELEMS

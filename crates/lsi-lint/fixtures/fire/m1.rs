@@ -1,0 +1,21 @@
+// Fixture: M1-arrival-order-merge must flag replies folded into a merged
+// result set in whatever order they arrive — the merge depends on
+// scheduling, so the answer is not reply-order-invariant.
+
+use std::sync::mpsc::Receiver;
+
+pub fn gather(rx: &Receiver<Vec<(usize, f64)>>, shards: usize) -> Vec<(usize, f64)> {
+    let mut merged = Vec::new();
+    for _ in 0..shards {
+        merged.extend(rx.recv().unwrap_or_default());
+    }
+    merged
+}
+
+pub fn collect(handles: Vec<std::thread::JoinHandle<(usize, f64)>>) -> Vec<(usize, f64)> {
+    let mut hits = Vec::new();
+    for handle in handles {
+        hits.push(handle.join().unwrap_or((0, 0.0)));
+    }
+    hits
+}

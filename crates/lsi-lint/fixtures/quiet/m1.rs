@@ -1,0 +1,28 @@
+// Fixture: M1-arrival-order-merge must stay quiet on the sanctioned
+// order-fixed shape — each reply lands in its shard-indexed slot, and the
+// reduction walks the slots in index order, independent of arrival order.
+
+use std::sync::mpsc::Receiver;
+
+pub fn gather(rx: &Receiver<(usize, Vec<(usize, f64)>)>, shards: usize) -> Vec<(usize, f64)> {
+    // Replies carry their shard index; arrival order only decides when a
+    // slot fills, never where.
+    let mut slots: Vec<Option<Vec<(usize, f64)>>> = vec![None; shards];
+    for _ in 0..shards {
+        if let Ok((shard, reply)) = rx.recv() {
+            slots[shard] = Some(reply);
+        }
+    }
+    // Order-fixed reduction: slot order, then a total sort.
+    let mut merged = Vec::new();
+    for slot in slots.into_iter().flatten() {
+        merged.extend(slot);
+    }
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    merged
+}
+
+pub fn enqueue(pending: &mut Vec<(usize, f64)>, item: (usize, f64)) {
+    // Accumulation with no cross-thread arrival in sight is fine.
+    pending.push(item);
+}

@@ -1,0 +1,80 @@
+//! M1-arrival-order-merge: folding cross-worker replies into a result
+//! accumulator as they *arrive* (off a channel receive, a ticket wait, or
+//! a thread join) makes the merged output depend on scheduling — the
+//! sharded coordinator's answers must be bitwise identical for every
+//! shard count and reply order. Heuristic (warn-level): flag lines where
+//! a reply-arrival token meets `push`/`extend`/`append` alongside a
+//! merge-ish result identifier. The sanctioned shape stores each reply in
+//! its shard-indexed slot and reduces the slots in index order
+//! (`lsi_serve::merge_top_k`).
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Tokens that mean "a reply just arrived from another thread".
+const ARRIVAL_TOKENS: &[&str] = &[
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "recv_deadline",
+    "wait",
+    "wait_until",
+    "join",
+];
+
+/// Accumulator methods that fold in arrival order.
+const ACCUM_TOKENS: &[&str] = &["push", "extend", "append"];
+
+/// Identifiers that suggest the accumulator is a merged result set.
+const MERGE_TOKENS: &[&str] = &[
+    "merged", "merge", "hits", "results", "ranked", "top_k", "answers",
+];
+
+/// The M1 rule.
+pub struct M1ArrivalOrderMerge;
+
+impl Rule for M1ArrivalOrderMerge {
+    fn id(&self) -> &'static str {
+        "M1-arrival-order-merge"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "cross-worker result merges must be order-fixed, never arrival-order"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.role == Role::TestOrBench {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            let arrives = ARRIVAL_TOKENS.iter().any(|t| contains_token(line, t));
+            if !arrives {
+                continue;
+            }
+            let accumulates = ACCUM_TOKENS.iter().any(|t| contains_token(line, t));
+            if !accumulates {
+                continue;
+            }
+            let merge_ish = MERGE_TOKENS.iter().any(|t| contains_token(line, t));
+            if !merge_ish {
+                continue;
+            }
+            emit(
+                ctx,
+                out,
+                self.id(),
+                self.severity(),
+                lineno,
+                "reply folded into a merged result set in arrival order; the merge must be order-fixed"
+                    .to_string(),
+                "store each reply in its shard-indexed slot and reduce slots in index order (see lsi_serve::merge_top_k)",
+            );
+        }
+    }
+}

@@ -31,7 +31,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lsi_core::cancel::CancelToken;
-use lsi_core::{BadQuery, BuildStatus, DurabilityError, DurableIndex, LsiError, LsiIndex};
+use lsi_core::{
+    BadQuery, BuildStatus, DurabilityError, DurableIndex, LsiError, LsiIndex, MutationRecord,
+};
 use lsi_ir::retrieval::{RankedList, VectorSpaceIndex};
 use lsi_ir::TermDocumentMatrix;
 
@@ -223,6 +225,24 @@ impl Ticket {
             })
         })
     }
+
+    /// Blocks until the query resolves or `deadline` passes, whichever is
+    /// first. On timeout the ticket itself is handed back (`Err`), so the
+    /// caller can hedge — submit a retry elsewhere — and still collect
+    /// this original answer later; the pending query is *not* cancelled.
+    pub fn wait_until(
+        self,
+        deadline: Instant,
+    ) -> Result<Result<QueryResponse, QueryError>, Ticket> {
+        let budget = deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(budget) {
+            Ok(result) => Ok(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Err(QueryError::Internal {
+                detail: "reply channel severed before a result was sent".into(),
+            })),
+        }
+    }
 }
 
 struct Job {
@@ -253,12 +273,32 @@ impl ServedIndex {
     fn add_document(&mut self, terms: &[(usize, f64)]) -> Result<usize, QueryError> {
         match self {
             ServedIndex::Plain(index) => index.try_add_document(terms).map_err(map_lsi_error),
-            ServedIndex::Durable(durable) => durable.add_document(terms).map_err(|e| match e {
-                DurabilityError::Index(inner) => map_lsi_error(inner),
-                DurabilityError::Storage(inner) => QueryError::Internal {
-                    detail: format!("journal append failed: {inner}"),
-                },
-            }),
+            ServedIndex::Durable(durable) => {
+                durable.add_document(terms).map_err(map_durability_error)
+            }
+        }
+    }
+
+    /// Appends a document by its precomputed LSI-space coordinates (the
+    /// sharding transplant path). The durable variant journals an
+    /// `AddVector` frame carrying `doc_id` first.
+    fn add_document_vector(&mut self, doc_id: &str, coords: &[f64]) -> Result<usize, QueryError> {
+        match self {
+            ServedIndex::Plain(index) => index.add_document_vector(coords).map_err(map_lsi_error),
+            ServedIndex::Durable(durable) => durable
+                .add_document_vector(doc_id, coords)
+                .map_err(map_durability_error),
+        }
+    }
+
+    /// Retires a document (zeroed representation, skipped by cosine
+    /// scans). The durable variant journals a `Retire` frame first.
+    fn retire_document(&mut self, doc: usize) -> Result<(), QueryError> {
+        match self {
+            ServedIndex::Plain(index) => index.retire_document(doc).map_err(map_lsi_error),
+            ServedIndex::Durable(durable) => {
+                durable.retire_document(doc).map_err(map_durability_error)
+            }
         }
     }
 }
@@ -454,6 +494,105 @@ impl QueryEngine {
         }
         self.shared.stats.record_doc_added();
         Ok(id)
+    }
+
+    /// Appends a document by its precomputed LSI-space coordinates under
+    /// the write lock — the sharding transplant path: the bits are stored
+    /// verbatim, so the document scores identically to the donor index's
+    /// row. On a durable engine the mutation is journaled as an
+    /// `AddVector` frame carrying `doc_id` (fsynced) before this returns.
+    /// The term-space fallback, when present, is *not* updated (shards are
+    /// built without one). Returns the new document's local id.
+    pub fn add_document_vector(&self, doc_id: &str, coords: &[f64]) -> Result<usize, QueryError> {
+        let mut state = self
+            .shared
+            .state
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let id = state.served.add_document_vector(doc_id, coords)?;
+        self.shared.stats.record_doc_added();
+        Ok(id)
+    }
+
+    /// Retires a document under the write lock: its representation is
+    /// zeroed so every subsequent scan skips it; the id stays allocated.
+    /// On a durable engine the retirement is journaled (fsynced) first.
+    pub fn retire_document(&self, doc: usize) -> Result<(), QueryError> {
+        let mut state = self
+            .shared
+            .state
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        state.served.retire_document(doc)
+    }
+
+    /// Journals a retirement (fsynced) **without** zeroing the live row.
+    /// This is the rebalance tombstone path: the coordinator makes the
+    /// document invisible through its own id map, and must not mutate the
+    /// row bits while queries snapshotted before the move may still score
+    /// against them. Returns `Ok(false)` for engines without a durability
+    /// layer (nothing to journal; the caller's map is the only state).
+    pub fn log_retire(&self, doc: usize) -> Result<bool, QueryError> {
+        let mut state = self
+            .shared
+            .state
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        match &mut state.served {
+            ServedIndex::Plain(index) => {
+                if doc >= index.n_docs() {
+                    return Err(map_lsi_error(
+                        lsi_core::BadQuery::DocOutOfRange {
+                            doc,
+                            n_docs: index.n_docs(),
+                        }
+                        .into(),
+                    ));
+                }
+                Ok(false)
+            }
+            ServedIndex::Durable(durable) => durable
+                .log_retire(doc)
+                .map(|()| true)
+                .map_err(map_durability_error),
+        }
+    }
+
+    /// Runs `f` against the served index under the read lock (concurrent
+    /// with queries, serialized against mutations). This is the
+    /// coordinator's window into shard state — reading document rows for
+    /// a rebalance transfer, or dumping live state for a compaction —
+    /// without cloning the index out.
+    pub fn with_index<R>(&self, f: impl FnOnce(&LsiIndex) -> R) -> R {
+        let state = self
+            .shared
+            .state
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner());
+        f(state.served.index())
+    }
+
+    /// Rotates a durable engine's journal down to an explicit record list
+    /// under the write lock ([`lsi_core::Journal::rotate_with`]), without
+    /// touching the snapshot. Returns `Ok(false)` for engines without a
+    /// durability layer. This is the compaction path for shards, whose
+    /// journal is the canonical document list (the snapshot is an
+    /// immutable basis that cannot carry the shard's id map).
+    pub fn rotate_journal(&self, records: &[MutationRecord]) -> Result<bool, QueryError> {
+        let mut state = self
+            .shared
+            .state
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner());
+        match &mut state.served {
+            ServedIndex::Plain(_) => Ok(false),
+            ServedIndex::Durable(durable) => durable
+                .rotate_journal_with(records)
+                .map(|()| true)
+                .map_err(|e| QueryError::Internal {
+                    detail: format!("journal rotation failed: {e}"),
+                }),
+        }
     }
 
     /// Compacts the durability layer under the write lock: atomically
@@ -679,6 +818,15 @@ fn handle_job(
             })
         }
         Err(e) => Err(map_lsi_error(e)),
+    }
+}
+
+fn map_durability_error(e: DurabilityError) -> QueryError {
+    match e {
+        DurabilityError::Index(inner) => map_lsi_error(inner),
+        DurabilityError::Storage(inner) => QueryError::Internal {
+            detail: format!("journal append failed: {inner}"),
+        },
     }
 }
 

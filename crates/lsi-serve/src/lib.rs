@@ -23,6 +23,12 @@
 //!   admission decision and terminal outcome plus a latency histogram, with
 //!   an accounting identity ([`StatsSnapshot::consistent`]) the chaos suite
 //!   asserts after every storm.
+//! - **Sharded scatter-gather** — [`Cluster`] partitions the corpus across
+//!   N durable shards (one journal and worker pool each) behind a
+//!   coordinator with hedged retries, a consecutive-failure circuit
+//!   breaker, and quorum-gated partial answers; the order-fixed
+//!   [`merge_top_k`] reduction keeps merged rankings bitwise identical for
+//!   every shard count and reply order.
 //!
 //! Concurrency is std-only: a fixed pool of named worker threads, a bounded
 //! `sync_channel` for admission, and an `RwLock` around the index so
@@ -50,11 +56,17 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 mod engine;
 pub mod stats;
 
+pub use cluster::{
+    merge_top_k, Cluster, ClusterConfig, ClusterDegradeReason, ClusterError, ClusterResponse,
+};
 pub use engine::{
     DegradeReason, EngineConfig, FaultHook, Query, QueryEngine, QueryError, QueryResponse, Ticket,
 };
 pub use lsi_core::cancel::CancelToken;
-pub use stats::{Outcome, ServeStats, StatsSnapshot, LATENCY_BUCKETS_US};
+pub use stats::{
+    ClusterStatsSnapshot, Outcome, ServeStats, ShardStatsRow, StatsSnapshot, LATENCY_BUCKETS_US,
+};

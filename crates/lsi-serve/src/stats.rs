@@ -194,9 +194,134 @@ impl StatsSnapshot {
     }
 }
 
+/// One shard's row in a [`ClusterStatsSnapshot`]: coordinator-side health
+/// counters plus the shard engine's own [`StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatsRow {
+    /// Shard index (stable for the cluster's lifetime).
+    pub shard: usize,
+    /// Documents currently visible through the shard's id map.
+    pub docs: usize,
+    /// Tombstoned id-map slots (documents moved away or retired).
+    pub tombstones: usize,
+    /// Queries the coordinator scattered to this shard.
+    pub queries: u64,
+    /// Scattered queries this shard failed to answer (submit rejection,
+    /// worker error, or hard-deadline expiry).
+    pub failures: u64,
+    /// Current consecutive-failure count feeding the circuit breaker.
+    pub consecutive_failures: u64,
+    /// Soft-deadline expiries observed by the coordinator (each one
+    /// triggers a hedged retry to the shard's pool).
+    pub deadline_hits: u64,
+    /// Hedged retries actually submitted.
+    pub hedges: u64,
+    /// True once the circuit breaker ejected the shard from the scatter
+    /// set (cleared by [`Cluster::revive`](crate::cluster::Cluster::revive)).
+    pub ejected: bool,
+    /// The shard engine's own counters (includes `shed` — queries dropped
+    /// at the shard's admission queue).
+    pub engine: StatsSnapshot,
+}
+
+/// A point-in-time copy of a cluster coordinator's counters, one
+/// [`ShardStatsRow`] per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatsSnapshot {
+    /// Queries offered to the coordinator.
+    pub queries: u64,
+    /// Responses with every shard answering at full fidelity.
+    pub complete: u64,
+    /// Responses honestly marked [`Degraded`](crate::cluster::ClusterResponse::Degraded).
+    pub degraded: u64,
+    /// Queries refused because fewer shards answered than the configured
+    /// quorum fraction requires.
+    pub quorum_lost: u64,
+    /// Malformed queries rejected before the scatter.
+    pub bad_query: u64,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStatsRow>,
+}
+
+impl ClusterStatsSnapshot {
+    /// The coordinator's accounting identity: every query offered resolved
+    /// to exactly one of the four terminal states. Unlike the engine-level
+    /// identity this holds at every instant — the coordinator's `query`
+    /// call is synchronous.
+    pub fn consistent(&self) -> bool {
+        self.queries == self.complete + self.degraded + self.quorum_lost + self.bad_query
+    }
+
+    /// A fixed-width table: the cluster summary line followed by one row
+    /// per shard.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cluster stats\n");
+        out.push_str(&format!(
+            "  queries {:>8}  ({} complete, {} degraded, {} quorum-lost, {} bad)\n",
+            self.queries, self.complete, self.degraded, self.quorum_lost, self.bad_query
+        ));
+        out.push_str(
+            "  shard    docs    tomb  queries     fail     cons   dl-hit    hedge     shed  breaker\n",
+        );
+        for row in &self.shards {
+            out.push_str(&format!(
+                "  {:>5} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {}\n",
+                row.shard,
+                row.docs,
+                row.tombstones,
+                row.queries,
+                row.failures,
+                row.consecutive_failures,
+                row.deadline_hits,
+                row.hedges,
+                row.engine.shed,
+                if row.ejected { "ejected" } else { "closed" },
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cluster_table_renders_summary_and_shard_rows() {
+        let shard_row = |shard: usize, ejected: bool| ShardStatsRow {
+            shard,
+            docs: 10 + shard,
+            tombstones: shard,
+            queries: 42,
+            failures: 3,
+            consecutive_failures: 1,
+            deadline_hits: 2,
+            hedges: 2,
+            ejected,
+            engine: ServeStats::new().snapshot(),
+        };
+        let snap = ClusterStatsSnapshot {
+            queries: 7,
+            complete: 4,
+            degraded: 2,
+            quorum_lost: 1,
+            bad_query: 0,
+            shards: vec![shard_row(0, false), shard_row(1, true)],
+        };
+        assert!(snap.consistent());
+        let t = snap.table();
+        assert!(t.contains("cluster stats"), "{t}");
+        assert!(t.contains("2 degraded"), "{t}");
+        assert!(t.contains("ejected"), "{t}");
+        assert!(t.contains("closed"), "{t}");
+
+        let broken = ClusterStatsSnapshot {
+            complete: 3,
+            ..snap
+        };
+        assert!(!broken.consistent());
+    }
 
     #[test]
     fn outcomes_and_latency_land_in_the_right_buckets() {

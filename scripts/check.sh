@@ -63,11 +63,24 @@ gate "bench-json smoke"
 cargo run --release -p lsi-bench --bin bench-json -- --smoke --out /tmp/lsi_bench_smoke.json
 rm -f /tmp/lsi_bench_smoke.json /tmp/lsi_e6_t1.txt /tmp/lsi_e6_t4.txt
 
+gate "serve-json smoke (sharded serving baseline)"
+# The emitter refuses to write a row whose sharded answers are not bitwise
+# the 1-shard answers, so this smoke doubles as a partition-invariance check.
+cargo run --release -p lsi-bench --bin serve-json -- --smoke --out /tmp/lsi_serve_smoke.json
+rm -f /tmp/lsi_serve_smoke.json
+
 gate "serve chaos suite (fixed seed)"
 SERVE_CHAOS_SEED=20260706 cargo test --test serve_chaos
 
 gate "serve chaos soak (high volume)"
 SERVE_SOAK=1 cargo test --test serve_chaos fault_storm
+
+gate "cluster chaos: shard storm + rebalance crash matrix (release)"
+# Release profile: the storm fans thousands of queries across panicking,
+# slow, and crashing shards while documents migrate, and the matrix
+# enumerates every crash byte of the two-journal rebalance move.
+SERVE_CHAOS_SEED=20260706 cargo test --release --test cluster_chaos
+SERVE_SOAK=1 cargo test --release --test cluster_chaos cluster_storm
 
 gate "durability: crash matrix, corruption fuzz, recovery consistency"
 # Release profile: the crash matrix enumerates every byte of every durable
