@@ -1,0 +1,339 @@
+#![forbid(unsafe_code)]
+//! Cold-start baseline: open, journal-replay, and first-query wall times
+//! for monolithic v2 versus sectioned v3 snapshots, written as JSON.
+//!
+//! ```text
+//! open-json [--out PATH] [--smoke] [--seed S]
+//! ```
+//!
+//! Emits `BENCH_open.json` (at the repo root by default) with one record
+//! per corpus size: for each snapshot format, the bytes on disk, the bytes
+//! actually read to open, and median open / first-query wall milliseconds;
+//! plus the replay cost of a journal at the auto-compaction frame budget.
+//! A v2 monolith cannot be opened without gulping the whole file, so its
+//! open bytes equal its file size and its open time grows with the index.
+//! A v3 open reads only the header, the section directory, and the meta
+//! section — the run *asserts* (on exact byte counts, not timings) that v3
+//! open cost is flat across a 10× size step and a small fraction of the
+//! file, and exits nonzero if the sublinearity claim ever regresses.
+//!
+//! Streamed v3 first-query answers are checked bitwise against the eager
+//! v2 open before anything is timed, so the cheaper open can never be a
+//! silent correctness loss.
+//!
+//! `--smoke` shrinks corpus sizes and repetitions so CI can verify the
+//! path end-to-end in well under a second.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lsi_core::{
+    read_index, write_index, write_index_v2, DurableIndex, LazySnapshot, LsiConfig, LsiIndex,
+};
+use lsi_corpus::{SeparableConfig, SeparableModel};
+use lsi_ir::retrieval::RankedList;
+use lsi_ir::TermDocumentMatrix;
+use lsi_linalg::rng::seeded;
+
+/// Fold-in frames staged in the replay measurement — the journal length an
+/// auto-compaction budget of the same value guarantees recovery never
+/// exceeds.
+const REPLAY_FRAMES: usize = 64;
+
+struct Args {
+    out: String,
+    smoke: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = "BENCH_open.json".to_owned();
+    let mut smoke = false;
+    let mut seed = 20260706u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().ok_or("--out needs a value")?,
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: open-json [--out PATH] [--smoke] [--seed S]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args { out, smoke, seed })
+}
+
+/// Builds the benchmark index from a seed-deterministic separable corpus.
+///
+/// # Panics
+/// Panics if the hard-coded corpus parameters become infeasible (a
+/// programmer error caught immediately at startup, never a data-dependent
+/// failure).
+fn build_index(seed: u64, docs: usize) -> LsiIndex {
+    let model = SeparableModel::build(SeparableConfig {
+        universe_size: 120,
+        num_topics: 4,
+        primary_terms_per_topic: 30,
+        epsilon: 0.05,
+        min_doc_len: 20,
+        max_doc_len: 40,
+    })
+    .expect("feasible corpus config");
+    let mut rng = seeded(seed);
+    let corpus = model.model().sample_corpus(docs, &mut rng);
+    let td = TermDocumentMatrix::from_generated(&corpus).expect("corpus fits universe");
+    LsiIndex::build(&td, LsiConfig::with_rank(4)).expect("feasible rank")
+}
+
+/// Median wall time in milliseconds over `reps` runs of `f`.
+///
+/// # Panics
+/// Panics if a timing is not finite (impossible for `Instant` deltas).
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Writes `index` to `path` in the format chosen by `writer`, synced.
+fn write_snapshot(
+    path: &std::path::Path,
+    index: &LsiIndex,
+    writer: fn(
+        &mut std::io::BufWriter<std::fs::File>,
+        &LsiIndex,
+    ) -> Result<(), lsi_core::StorageError>,
+) -> Result<u64, String> {
+    let file =
+        std::fs::File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let mut w = std::io::BufWriter::new(file);
+    writer(&mut w, index).map_err(|e| format!("write {}: {e}", path.display()))?;
+    let file = w
+        .into_inner()
+        .map_err(|e| format!("flush {}: {e}", path.display()))?;
+    file.sync_all()
+        .map_err(|e| format!("sync {}: {e}", path.display()))?;
+    Ok(std::fs::metadata(path)
+        .map_err(|e| format!("stat {}: {e}", path.display()))?
+        .len())
+}
+
+/// The bit pattern of a ranked list: doc ids plus exact score bits.
+fn ranked_bits(hits: &RankedList) -> Vec<(usize, u64)> {
+    hits.hits()
+        .iter()
+        .map(|h| (h.doc, h.score.to_bits()))
+        .collect()
+}
+
+/// One format's cold-start measurements.
+struct FormatRecord {
+    file_bytes: u64,
+    open_bytes: u64,
+    open_ms: f64,
+    first_query_ms: f64,
+}
+
+/// One corpus size's measurements.
+struct SizeRecord {
+    docs: usize,
+    v2: FormatRecord,
+    v3: FormatRecord,
+    replay_frames: usize,
+    replay_ms: f64,
+    streaming_matches_eager: bool,
+}
+
+///
+/// # Panics
+/// Panics if the benchmark's hard-coded parameters become infeasible (a
+/// programmer error caught immediately at startup, never a data-dependent
+/// failure).
+fn main() -> Result<(), String> {
+    let args = parse_args()?;
+    let (sizes, reps): (&[usize], usize) = if args.smoke {
+        (&[1_000, 4_000], 3)
+    } else {
+        (&[10_000, 100_000], 5)
+    };
+    let probe: Vec<(usize, f64)> = vec![(0, 1.0), (7, 0.5), (19, 1.25)];
+    let top_k = 10usize;
+
+    let dir = std::env::temp_dir().join(format!("lsi-open-json-{:016x}", args.seed));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+    let mut records: Vec<SizeRecord> = Vec::new();
+    for &docs in sizes {
+        eprintln!("open-json: building {docs}-doc index…");
+        let index = build_index(args.seed, docs);
+
+        let v2_path = dir.join(format!("open-{docs}-v2.lsix"));
+        let v3_path = dir.join(format!("open-{docs}-v3.lsix"));
+        let v2_bytes = write_snapshot(&v2_path, &index, write_index_v2)?;
+        let v3_bytes = write_snapshot(&v3_path, &index, write_index)?;
+
+        // Correctness before speed: the streamed v3 first-query answer must
+        // be bitwise identical to the eager v2 open's.
+        let eager = {
+            let file = std::fs::File::open(&v2_path).map_err(|e| format!("open v2: {e}"))?;
+            read_index(&mut std::io::BufReader::new(file)).map_err(|e| format!("read v2: {e}"))?
+        };
+        let mut lazy = LazySnapshot::open_path(&v3_path).map_err(|e| format!("open v3: {e}"))?;
+        let open_bytes_v3 = lazy.bytes_read();
+        let streamed = lazy
+            .query_streaming(&probe, top_k)
+            .map_err(|e| format!("streamed query: {e}"))?;
+        let streaming_matches_eager =
+            ranked_bits(&streamed) == ranked_bits(&eager.query(&probe, top_k));
+        if !streaming_matches_eager {
+            return Err(format!(
+                "{docs} docs: streamed v3 answer diverged from eager v2"
+            ));
+        }
+
+        // v2 cold start: the monolith gulps the whole file, then queries.
+        let v2_open_ms = median_ms(reps, || {
+            let file = std::fs::File::open(&v2_path).expect("v2 snapshot readable");
+            let idx = read_index(&mut std::io::BufReader::new(file)).expect("v2 snapshot parses");
+            std::hint::black_box(idx.n_docs());
+        });
+        let v2_query_ms = median_ms(reps, || {
+            std::hint::black_box(eager.query(&probe, top_k));
+        });
+
+        // v3 cold start: header + directory + meta only, then one streamed
+        // scoring pass. Each rep re-opens so the query is a true first one.
+        let v3_open_ms = median_ms(reps, || {
+            let snap = LazySnapshot::open_path(&v3_path).expect("v3 snapshot opens");
+            std::hint::black_box(snap.n_docs());
+        });
+        let v3_query_ms = median_ms(reps, || {
+            let mut snap = LazySnapshot::open_path(&v3_path).expect("v3 snapshot opens");
+            std::hint::black_box(snap.query_streaming(&probe, top_k).expect("streamed query"));
+        });
+
+        // Replay cost at the auto-compaction budget: a durable index whose
+        // journal holds REPLAY_FRAMES fold-ins is the worst recovery a
+        // set_auto_compact(REPLAY_FRAMES) policy permits.
+        let durable_path = dir.join(format!("open-{docs}-durable.lsix"));
+        {
+            let mut durable = DurableIndex::create(&durable_path, index.clone())
+                .map_err(|e| format!("durable create: {e}"))?;
+            for i in 0..REPLAY_FRAMES {
+                durable
+                    .add_document(&[(i % 120, 1.0), ((i * 7) % 120, 0.5)])
+                    .map_err(|e| format!("journaled add: {e}"))?;
+            }
+        }
+        let mut replay_frames = 0usize;
+        let replay_ms = median_ms(reps, || {
+            let (durable, report) =
+                DurableIndex::open_durable(&durable_path).expect("durable reopen");
+            replay_frames = report.frames_replayed;
+            std::hint::black_box(durable.index().n_docs());
+        });
+
+        eprintln!(
+            "  {docs:>6} docs  v2 open {v2_open_ms:>8.3} ms ({v2_bytes} B)  \
+             v3 open {v3_open_ms:>8.3} ms ({open_bytes_v3} B)  replay {replay_ms:>8.3} ms"
+        );
+        records.push(SizeRecord {
+            docs,
+            v2: FormatRecord {
+                file_bytes: v2_bytes,
+                open_bytes: v2_bytes,
+                open_ms: v2_open_ms,
+                first_query_ms: v2_query_ms,
+            },
+            v3: FormatRecord {
+                file_bytes: v3_bytes,
+                open_bytes: open_bytes_v3,
+                open_ms: v3_open_ms,
+                first_query_ms: v3_query_ms,
+            },
+            replay_frames,
+            replay_ms,
+            streaming_matches_eager,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The sublinearity claim, on exact byte counts (timings wobble; bytes
+    // cannot): a v3 open reads a small, size-independent prefix, while a v2
+    // open reads everything.
+    let small = records.first().ok_or("no sizes measured")?;
+    let large = records.last().ok_or("no sizes measured")?;
+    if large.v3.open_bytes * 20 > large.v3.file_bytes {
+        return Err(format!(
+            "v3 open read {} of {} bytes at {} docs — not sublinear",
+            large.v3.open_bytes, large.v3.file_bytes, large.docs
+        ));
+    }
+    if large.v3.open_bytes > small.v3.open_bytes + 256 {
+        return Err(format!(
+            "v3 open bytes grew from {} to {} across a {}x size step",
+            small.v3.open_bytes,
+            large.v3.open_bytes,
+            large.docs / small.docs.max(1)
+        ));
+    }
+
+    // Hand-rolled JSON: the workspace is dependency-free by policy, and the
+    // schema is flat enough that formatting it directly stays readable.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"probe_top_k\": {top_k},");
+    let _ = writeln!(json, "  \"replay_frames_budget\": {REPLAY_FRAMES},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"v3 open reads header + section directory + meta only; open_bytes asserted flat across sizes and < file_bytes/20; streamed answers checked bitwise against eager opens\","
+    );
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"docs\": {}, \
+             \"v2\": {{\"file_bytes\": {}, \"open_bytes\": {}, \"open_ms\": {:.4}, \"first_query_ms\": {:.4}}}, \
+             \"v3\": {{\"file_bytes\": {}, \"open_bytes\": {}, \"open_ms\": {:.4}, \"first_query_ms\": {:.4}}}, \
+             \"replay\": {{\"frames\": {}, \"replay_ms\": {:.4}}}, \
+             \"streaming_matches_eager\": {}}}",
+            r.docs,
+            r.v2.file_bytes,
+            r.v2.open_bytes,
+            r.v2.open_ms,
+            r.v2.first_query_ms,
+            r.v3.file_bytes,
+            r.v3.open_bytes,
+            r.v3.open_ms,
+            r.v3.first_query_ms,
+            r.replay_frames,
+            r.replay_ms,
+            r.streaming_matches_eager,
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"v3_open_sublinear\": true\n");
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).map_err(|e| format!("writing {}: {e}", args.out))?;
+    println!("wrote {} ({} sizes)", args.out, records.len());
+    Ok(())
+}

@@ -64,6 +64,72 @@ fn read_string<R: Read>(r: &mut R) -> Result<String, CliError> {
     String::from_utf8(buf).map_err(|_| CliError::storage("corrupt container: invalid UTF-8"))
 }
 
+/// Locates the embedded LSIX payload inside serialized `.lsic` bytes by
+/// walking the container header — magic, version, and both string tables —
+/// without materializing a dictionary or index. Returns the byte range of
+/// the embedded snapshot (for version ≥ 2 the container's CRC trailer is
+/// excluded). Used by `lsi inspect` to frame-check the embedded index in
+/// place without a strict parse, so damage can be *reported* rather than
+/// aborting the read.
+pub fn embedded_index_span(bytes: &[u8]) -> Result<std::ops::Range<usize>, CliError> {
+    fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CliError> {
+        let end = pos
+            .checked_add(n)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| CliError::storage("container truncated mid-header"))?;
+        let slice = &bytes[*pos..end];
+        *pos = end;
+        Ok(slice)
+    }
+    fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CliError> {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(take(bytes, pos, 4)?);
+        Ok(u32::from_le_bytes(buf))
+    }
+    fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CliError> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(take(bytes, pos, 8)?);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    let mut pos = 0usize;
+    if take(bytes, &mut pos, 4)? != MAGIC {
+        return Err(CliError::storage("not an .lsic container (bad magic)"));
+    }
+    let version = take_u32(bytes, &mut pos)?;
+    if version != VERSION_NO_CRC && version != VERSION {
+        return Err(CliError::storage(format!(
+            "unsupported container version {version}"
+        )));
+    }
+    // Two string tables: the term dictionary, then the document ids. Each
+    // string costs at least its 4-byte length prefix, so even a corrupt
+    // count cannot loop past the end of the file.
+    for _ in 0..2 {
+        let count = take_u64(bytes, &mut pos)?;
+        for _ in 0..count {
+            let len = take_u32(bytes, &mut pos)?;
+            if len > MAX_STRING {
+                return Err(CliError::storage(format!(
+                    "corrupt container: string length {len}"
+                )));
+            }
+            take(bytes, &mut pos, len as usize)?;
+        }
+    }
+    let end = if version >= VERSION {
+        // The whole-file CRC trailer is container framing, not snapshot.
+        bytes
+            .len()
+            .checked_sub(4)
+            .filter(|&end| end >= pos)
+            .ok_or_else(|| CliError::storage("container truncated before its CRC trailer"))?
+    } else {
+        bytes.len()
+    };
+    Ok(pos..end)
+}
+
 impl Container {
     /// Serializes to a writer (version 2: CRC-32 trailer included).
     pub fn write<W: Write>(&self, w: &mut W) -> Result<(), CliError> {

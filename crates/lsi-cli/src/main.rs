@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lsi_cli::commands::{
-    cmd_add, cmd_index, cmd_query, cmd_recover, cmd_recover_all, cmd_serve_bench,
+    cmd_add, cmd_index, cmd_inspect, cmd_query, cmd_recover, cmd_recover_all, cmd_serve_bench,
     cmd_similar_terms, cmd_topics, parse_weighting, ServeBenchOptions,
 };
 use lsi_cli::container::Container;
@@ -18,6 +18,7 @@ usage:
   lsi add --index <out.lsic> --input <file|dir> [--durable]
   lsi recover --index <out.lsic>
   lsi recover --all <shard-dir>
+  lsi inspect <index.lsic|shard.lsix>
   lsi query --index <out.lsic> <query text...> [--top N]
   lsi similar-terms --index <out.lsic> <term> [--top N]
   lsi topics --index <out.lsic> [--terms N]
@@ -35,6 +36,10 @@ durability:
   `recover --all` bulk-recovers every shard snapshot (*.lsix) under a
   sharded serving directory, one summary row per shard; it exits with the
   storage code (4) if any shard has damage beyond a truncatable tail.
+  `inspect` prints the snapshot's section directory (offsets, lengths,
+  per-section CRC status), its format version, and the sidecar journal's
+  frame count and last checkpoint — read-only, no repair. It exits with
+  the storage code (4) if any section (or the directory) is damaged.
   `serve-bench --shards N` serves through the scatter-gather cluster
   coordinator (document-partitioned shards, order-fixed top-k merge);
   with --durable each shard journals independently and the run verifies
@@ -195,6 +200,24 @@ fn run() -> Result<(), CliError> {
             } else {
                 let summary = cmd_recover(&flags.path("index")?)?;
                 println!("{summary}");
+            }
+        }
+        "inspect" => {
+            let path = match flags.named.get("index") {
+                Some(p) => PathBuf::from(p),
+                None => PathBuf::from(flags.positional.first().ok_or_else(|| {
+                    CliError::usage("inspect needs an index path (positional or --index)")
+                })?),
+            };
+            let summary = cmd_inspect(&path)?;
+            // Print the full table before deciding the exit code, so
+            // damage still leaves a complete report on stdout.
+            print!("{summary}");
+            if summary.any_damaged() {
+                return Err(CliError::storage(format!(
+                    "section damage in {}",
+                    path.display()
+                )));
             }
         }
         "query" => {

@@ -186,6 +186,9 @@ pub struct LsiIndex {
     /// Per-attempt record of the solve that produced `factors`; `None` for
     /// indexes reloaded from storage.
     solve_report: Option<SolveReport>,
+    /// Sections of the source snapshot that were damaged and quarantined
+    /// by a tolerant open; empty for built or strictly-read indexes.
+    quarantined: Vec<crate::sections::SectionId>,
 }
 
 impl LsiIndex {
@@ -266,6 +269,7 @@ impl LsiIndex {
             doc_norms,
             config,
             solve_report: Some(report),
+            quarantined: Vec::new(),
         })
     }
 
@@ -297,6 +301,7 @@ impl LsiIndex {
             doc_norms,
             config,
             solve_report: None,
+            quarantined: Vec::new(),
         }
     }
 
@@ -304,6 +309,60 @@ impl LsiIndex {
     /// for indexes reloaded from storage.
     pub fn solve_report(&self) -> Option<&SolveReport> {
         self.solve_report.as_ref()
+    }
+
+    /// Snapshot sections that were damaged and quarantined when this index
+    /// was opened tolerantly (see
+    /// [`open_index_tolerant`](crate::open_index_tolerant)). Empty for
+    /// freshly built indexes and strict reads. A quarantined
+    /// [`DocVectors`](crate::sections::SectionId::DocVectors) section means
+    /// every stored document row is zero: cosine scans skip them all, so
+    /// the index behaves exactly like a term-space fallback until
+    /// [`LsiIndex::rebuild_doc_vectors`] repairs it.
+    pub fn quarantined_sections(&self) -> &[crate::sections::SectionId] {
+        &self.quarantined
+    }
+
+    pub(crate) fn set_quarantined(&mut self, quarantined: Vec<crate::sections::SectionId>) {
+        self.quarantined = quarantined;
+    }
+
+    /// Recomputes the document rows covered by the factorization
+    /// (`j < vt.ncols()`) from `D_k V_kᵀ`, reproducing the build-time
+    /// representations bitwise — including the numerically-null snap to
+    /// exact zero — and clears the
+    /// [`DocVectors`](crate::sections::SectionId::DocVectors) quarantine
+    /// when at least one row was rebuildable. Rows beyond the
+    /// factorization (folded-in documents) are journal-owned and left
+    /// untouched; the caller replays or re-applies their mutations.
+    ///
+    /// Returns how many rows were rebuilt.
+    pub fn rebuild_doc_vectors(&mut self) -> usize {
+        let m_vt = self.factors.vt.ncols();
+        if m_vt == 0 {
+            return 0;
+        }
+        let mut rebuilt = self.factors.doc_representation();
+        let mut norms: Vec<f64> = (0..m_vt).map(|j| vector::norm(rebuilt.row(j))).collect();
+        // Identical snap rule to the build path, so a rebuild after
+        // quarantine round-trips to the original bytes.
+        let max_norm = norms.iter().copied().fold(0.0f64, f64::max);
+        for (j, norm) in norms.iter_mut().enumerate() {
+            if *norm <= 1e-12 * max_norm {
+                rebuilt.row_mut(j).fill(0.0);
+                *norm = 0.0;
+            }
+        }
+        let count = m_vt.min(self.doc_norms.len());
+        for (j, norm) in norms.iter().enumerate().take(count) {
+            self.doc_reps.row_mut(j).copy_from_slice(rebuilt.row(j));
+            self.doc_norms[j] = *norm;
+        }
+        if count > 0 {
+            self.quarantined
+                .retain(|s| *s != crate::sections::SectionId::DocVectors);
+        }
+        count
     }
 
     /// Whether the build achieved the full requested rank or degraded to
@@ -586,6 +645,7 @@ impl LsiIndex {
             doc_norms: Vec::new(),
             config: self.config.clone(),
             solve_report: None,
+            quarantined: Vec::new(),
         }
     }
 

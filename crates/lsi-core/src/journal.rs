@@ -50,6 +50,8 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use crate::index::{BadQuery, LsiError, LsiIndex};
+use crate::iofault::{io_faults, RetryPolicy};
+use crate::sections::SectionId;
 use crate::storage::{self, write_index_atomic, Crc32, StorageError};
 
 /// Journal file magic.
@@ -460,12 +462,19 @@ pub fn decode_frames(bytes: &[u8]) -> (Vec<MutationRecord>, usize, Option<Trunca
 /// sibling, are synced, renamed over the destination, and the parent
 /// directory is synced so the rename survives a crash.
 fn write_fresh_bytes(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    // Transient I/O faults retry the whole attempt; every failed attempt
+    // removes its `.tmp`, so each retry starts from the same clean
+    // pre-state and a hard fault leaves the destination untouched.
+    RetryPolicy::default().run(|| write_fresh_bytes_once(path, bytes))
+}
+
+fn write_fresh_bytes_once(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
     let tmp = journal_tmp_path(path);
     if tmp.exists() {
         let _ = std::fs::remove_file(&tmp);
     }
-    let mut file = File::create(&tmp)?;
-    let result = file.write_all(bytes).and_then(|()| file.sync_all());
+    let mut file = io_faults::MaybeFaulty::new(File::create(&tmp)?);
+    let result = file.write_all(bytes).and_then(|()| file.inner().sync_all());
     if let Err(e) = result {
         let _ = std::fs::remove_file(&tmp);
         return Err(StorageError::Io(e));
@@ -600,11 +609,30 @@ impl Journal {
 
     /// Appends one record and fsyncs it to disk. Only after this returns
     /// `Ok` may the caller apply (and acknowledge) the mutation.
+    ///
+    /// The append is all-or-nothing on disk: a failed write (device full,
+    /// short write, torn write) truncates the file back to its exact
+    /// pre-append length before the error is surfaced, so a failed append
+    /// never leaves a partial frame for recovery to find. Transient
+    /// faults are retried with bounded backoff; recovery would also
+    /// truncate a torn tail, but an *unacknowledged* frame must not
+    /// survive either.
     pub fn append(&mut self, record: &MutationRecord) -> Result<(), StorageError> {
         let frame = encode_frame(record);
-        self.file.write_all(&frame)?;
-        self.file.sync_all()?;
-        Ok(())
+        let pre_len = self.file.metadata()?.len();
+        RetryPolicy::default().run(|| {
+            let result =
+                io_faults::write_all(&mut self.file, &frame).and_then(|()| self.file.sync_all());
+            if let Err(e) = result {
+                // Roll back to the exact pre-append length; best-effort —
+                // if even the truncate fails, recovery's torn-tail scan
+                // still discards the partial frame.
+                let _ = self.file.set_len(pre_len);
+                let _ = self.file.sync_all();
+                return Err(StorageError::Io(e));
+            }
+            Ok(())
+        })
     }
 
     /// Rotates the journal after a checkpoint: atomically replaces the
@@ -692,6 +720,12 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// Why the journal tail was discarded, if it was.
     pub truncation: Option<TruncationCause>,
+    /// Snapshot sections that were damaged and quarantined by the
+    /// tolerant open (empty for intact snapshots and v1/v2 formats). A
+    /// quarantined [`SectionId::DocVectors`] leaves every snapshot-held
+    /// document row zeroed — queries degrade to the term-space fallback
+    /// until [`DurableIndex::rebuild_quarantined`] repairs the section.
+    pub quarantined: Vec<SectionId>,
 }
 
 impl std::fmt::Display for RecoveryReport {
@@ -706,9 +740,39 @@ impl std::fmt::Display for RecoveryReport {
             self.frames_dropped
         )?;
         match self.truncation {
-            Some(cause) => write!(f, "; truncated {} byte(s) ({cause})", self.truncated_bytes),
-            None => write!(f, "; clean tail"),
+            Some(cause) => write!(f, "; truncated {} byte(s) ({cause})", self.truncated_bytes)?,
+            None => write!(f, "; clean tail")?,
         }
+        if !self.quarantined.is_empty() {
+            write!(f, "; quarantined:")?;
+            for s in &self.quarantined {
+                write!(f, " {s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What [`DurableIndex::rebuild_quarantined`] repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// Factorization-covered document rows recomputed from `D_k V_kᵀ`.
+    pub rebuilt: usize,
+    /// Journal retirements re-applied after the rebuild (the rebuild
+    /// resurrects retired rows; their Retire records zero them again).
+    pub retires_reapplied: usize,
+    /// Folded-in rows that stayed zero: their fold-in frames were
+    /// compacted away before the damage, so nothing can recompute them.
+    pub unrecovered: usize,
+}
+
+impl std::fmt::Display for RebuildReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} row(s) rebuilt, {} retirement(s) re-applied, {} unrecoverable",
+            self.rebuilt, self.retires_reapplied, self.unrecovered
+        )
     }
 }
 
@@ -721,6 +785,18 @@ pub struct DurableIndex {
     index: LsiIndex,
     journal: Journal,
     snapshot: PathBuf,
+    /// Checkpoint automatically once this many frames have been appended
+    /// since the last checkpoint (`None` = never — the default, because
+    /// callers whose journal is the canonical document list, e.g. cluster
+    /// shards, must not have it compacted away beneath them).
+    auto_compact_frames: Option<u64>,
+    /// Frames appended since the last checkpoint (or open).
+    frames_since_checkpoint: u64,
+    /// The error from the last failed auto-compaction, if any. The
+    /// triggering mutation itself was already durable and applied, so the
+    /// failure is parked here instead of failing the mutation; the next
+    /// mutation retries the compaction.
+    pending_compaction_error: Option<StorageError>,
 }
 
 impl DurableIndex {
@@ -734,6 +810,9 @@ impl DurableIndex {
             index,
             journal,
             snapshot: snapshot.to_path_buf(),
+            auto_compact_frames: None,
+            frames_since_checkpoint: 0,
+            pending_compaction_error: None,
         })
     }
 
@@ -760,8 +839,13 @@ impl DurableIndex {
     pub fn open_durable_with_records(
         snapshot: &Path,
     ) -> Result<(Self, RecoveryReport, Vec<MutationRecord>), StorageError> {
-        let mut reader = std::io::BufReader::new(File::open(snapshot)?);
-        let mut index = storage::read_index(&mut reader)?;
+        let file = File::open(snapshot)?;
+        let total_len = file.metadata()?.len();
+        let mut reader = std::io::BufReader::new(file);
+        // Tolerant open: degradable-section damage in a v3 snapshot
+        // quarantines the section (reported below) instead of failing the
+        // whole recovery; the journal replays over the degraded index.
+        let (mut index, damage) = storage::open_index_tolerant(&mut reader, Some(total_len))?;
         let snapshot_docs = index.n_docs();
         let (journal, recovery) = Journal::open(&journal_path(snapshot))?;
         let mut report = RecoveryReport {
@@ -772,6 +856,7 @@ impl DurableIndex {
             frames_dropped: 0,
             truncated_bytes: recovery.truncated_bytes,
             truncation: recovery.truncation,
+            quarantined: damage.iter().map(|d| d.section).collect(),
         };
         for (i, record) in recovery.records.iter().enumerate() {
             let n = index.n_docs() as u64;
@@ -824,11 +909,30 @@ impl DurableIndex {
         let replay_len = recovery.records.len() - report.frames_dropped;
         let mut records = recovery.records;
         records.truncate(replay_len);
+        // A basis-only snapshot (zero document rows) quarantining
+        // `doc-vectors` loses nothing: every row the index now holds was
+        // reconstructed by the replay above, so the quarantine is lifted.
+        if snapshot_docs == 0 && report.quarantined.contains(&SectionId::DocVectors) {
+            report.quarantined.retain(|s| *s != SectionId::DocVectors);
+            let remaining: Vec<SectionId> = index
+                .quarantined_sections()
+                .iter()
+                .copied()
+                .filter(|s| *s != SectionId::DocVectors)
+                .collect();
+            index.set_quarantined(remaining);
+        }
         Ok((
             Self {
                 index,
                 journal,
                 snapshot: snapshot.to_path_buf(),
+                auto_compact_frames: None,
+                // Replayed frames count toward the next auto-compaction:
+                // a long journal tail is exactly the replay cost a
+                // compaction bound exists to cap.
+                frames_since_checkpoint: replay_len as u64,
+                pending_compaction_error: None,
             },
             report,
             records,
@@ -864,7 +968,9 @@ impl DurableIndex {
             seq,
             terms: terms.to_vec(),
         })?;
-        Ok(self.index.add_document(terms))
+        let id = self.index.add_document(terms);
+        self.note_mutation();
+        Ok(id)
     }
 
     /// Durably appends a document by its already-computed LSI-space
@@ -896,7 +1002,9 @@ impl DurableIndex {
             coords: coords.to_vec(),
         })?;
         // Length and finiteness were checked above; apply cannot fail.
-        self.index.add_document_vector(coords).map_err(Into::into)
+        let id = self.index.add_document_vector(coords)?;
+        self.note_mutation();
+        Ok(id)
     }
 
     /// Durably retires document `doc`: appends a
@@ -916,7 +1024,9 @@ impl DurableIndex {
             seq: self.index.n_docs() as u64,
             doc: doc as u64,
         })?;
-        self.index.retire_document(doc).map_err(Into::into)
+        self.index.retire_document(doc)?;
+        self.note_mutation();
+        Ok(())
     }
 
     /// Journals a [`MutationRecord::Retire`] frame (fsynced) **without**
@@ -940,6 +1050,7 @@ impl DurableIndex {
             seq: self.index.n_docs() as u64,
             doc: doc as u64,
         })?;
+        self.note_mutation();
         Ok(())
     }
 
@@ -960,8 +1071,151 @@ impl DurableIndex {
     /// new snapshot + old journal with every frame skipped, or new
     /// snapshot + rotated journal).
     pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        // A checkpoint of a quarantined index would bake the degraded
+        // (zeroed) state into the new snapshot and rotate away the very
+        // journal a rebuild needs. Repair first:
+        // [`rebuild_quarantined`](Self::rebuild_quarantined).
+        if let Some(&section) = self.index.quarantined_sections().first() {
+            return Err(StorageError::DamagedSection { section });
+        }
         write_index_atomic(&self.snapshot, &self.index)?;
-        self.journal.rotate(self.index.n_docs() as u64)
+        self.journal.rotate(self.index.n_docs() as u64)?;
+        self.frames_since_checkpoint = 0;
+        self.pending_compaction_error = None;
+        Ok(())
+    }
+
+    /// Enables (or disables, with `None`) automatic checkpoint compaction:
+    /// once `frames` mutations have accumulated since the last checkpoint,
+    /// the next mutation triggers [`checkpoint`](Self::checkpoint), so
+    /// recovery replay cost stays bounded by `frames` regardless of how
+    /// long the index lives.
+    ///
+    /// Off by default, deliberately: a caller whose journal is the
+    /// canonical document list rather than a replayable tail (cluster
+    /// shards, which pair a basis-only snapshot with an
+    /// [`MutationRecord::AddVector`] journal) must never have its journal
+    /// rotated down beneath it. Only enable this when the snapshot alone
+    /// fully captures the index state.
+    ///
+    /// # Panics
+    /// Panics if `frames` is `Some(0)` — a zero threshold would checkpoint
+    /// on every mutation, which is [`checkpoint`](Self::checkpoint) called
+    /// directly, not a policy.
+    pub fn set_auto_compact(&mut self, frames: Option<u64>) {
+        assert!(
+            frames != Some(0),
+            "auto-compaction threshold must be at least 1"
+        );
+        self.auto_compact_frames = frames;
+    }
+
+    /// Frames appended (or replayed at open) since the last checkpoint —
+    /// the journal length the next recovery would have to replay.
+    pub fn frames_since_checkpoint(&self) -> u64 {
+        self.frames_since_checkpoint
+    }
+
+    /// The error from the last failed auto-compaction, if one is pending.
+    /// The mutation that triggered it was already durable and applied —
+    /// compaction is an optimization, so its failure is parked here (and
+    /// retried on the next mutation) instead of failing the mutation.
+    pub fn pending_compaction_error(&self) -> Option<&StorageError> {
+        self.pending_compaction_error.as_ref()
+    }
+
+    /// Bookkeeping after a durably applied mutation: counts the frame and
+    /// runs auto-compaction when the policy says so.
+    fn note_mutation(&mut self) {
+        self.frames_since_checkpoint += 1;
+        let Some(limit) = self.auto_compact_frames else {
+            return;
+        };
+        if self.frames_since_checkpoint >= limit {
+            if let Err(e) = self.checkpoint() {
+                self.pending_compaction_error = Some(e);
+            }
+        }
+    }
+
+    /// Rebuilds a quarantined document-vector section in place and
+    /// persists the repair: recomputes every factorization-covered row
+    /// from `D_k V_kᵀ` (bitwise identical to the build), re-applies the
+    /// retirements in `records` (their zeroed rows were just
+    /// resurrected), and checkpoints so the repaired state is durable.
+    ///
+    /// `records` should be the intact record list returned by
+    /// [`open_durable_with_records`](Self::open_durable_with_records):
+    /// folded-in rows past the factorization were already recovered by
+    /// replaying those records, and their retirements are re-applied
+    /// here. Rows whose fold-in frames were compacted away before the
+    /// damage are unrecoverable and stay zero (reported in
+    /// [`RebuildReport::unrecovered`]).
+    ///
+    /// Returns `Ok` with the rebuild summary; a quarantined
+    /// [`SectionId::DocFactors`] cannot be rebuilt from the same file (it
+    /// *is* the rebuild source) and yields
+    /// [`StorageError::DamagedSection`] without touching anything.
+    pub fn rebuild_quarantined(
+        &mut self,
+        records: &[MutationRecord],
+    ) -> Result<RebuildReport, StorageError> {
+        let quarantined = self.index.quarantined_sections();
+        if quarantined.contains(&SectionId::DocFactors) {
+            // `vt` was the damaged section: there is nothing on this file
+            // to rebuild doc vectors from. A full re-index (or a shard
+            // re-seed) is the only repair.
+            return Err(StorageError::DamagedSection {
+                section: SectionId::DocFactors,
+            });
+        }
+        if !quarantined.contains(&SectionId::DocVectors) {
+            // No rows to rebuild. The in-memory state is already whole (a
+            // quarantined FoldInMeta is derived bookkeeping), so clearing
+            // the flags and checkpointing rewrites every section intact.
+            self.index.set_quarantined(Vec::new());
+            self.checkpoint()?;
+            return Ok(RebuildReport {
+                rebuilt: 0,
+                retires_reapplied: 0,
+                unrecovered: 0,
+            });
+        }
+
+        let rebuilt = self.index.rebuild_doc_vectors();
+        let mut retires_reapplied = 0usize;
+        for record in records {
+            if let MutationRecord::Retire { doc, .. } = record {
+                if self.index.retire_document(*doc as usize).is_ok() {
+                    retires_reapplied += 1;
+                }
+            }
+        }
+        // Folded-in rows beyond the factorization recover only through
+        // journal replay; any still-zero row among them was lost to a
+        // compacted journal (or was genuinely retired — already counted).
+        let retired: std::collections::HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                MutationRecord::Retire { doc, .. } => Some(*doc),
+                _ => None,
+            })
+            .collect();
+        let unrecovered = (rebuilt..self.index.n_docs())
+            .filter(|&j| {
+                !retired.contains(&(j as u64)) && self.index.doc_vector(j).iter().all(|&x| x == 0.0)
+            })
+            .count();
+        // Every repairable section is repaired; clear the remaining flags
+        // (e.g. FoldInMeta, which is derived bookkeeping) so the
+        // checkpoint below persists a fully intact snapshot.
+        self.index.set_quarantined(Vec::new());
+        self.checkpoint()?;
+        Ok(RebuildReport {
+            rebuilt,
+            retires_reapplied,
+            unrecovered,
+        })
     }
 
     /// Consumes the wrapper, returning the in-memory index.

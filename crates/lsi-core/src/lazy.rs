@@ -1,0 +1,470 @@
+//! Streaming, lazily loaded version-3 snapshots.
+//!
+//! [`LazySnapshot::open`] reads only the file header, the section
+//! directory, and the [`Meta`](crate::sections::SectionId::Meta)
+//! dictionary — a few hundred bytes regardless of index size. The
+//! expensive sections stream in on first use: the term factors and
+//! singular values load (and cache) when the first query folds in, and
+//! [`LazySnapshot::query_streaming`] scans the document-vector section in
+//! bounded chunks without ever materializing it, verifying the section's
+//! CRC before any hit is returned. Open-to-first-query cost is therefore
+//! sublinear in index size — proportional to `U_k` plus one streaming
+//! pass, never the whole file — and [`LazySnapshot::bytes_read`] exposes
+//! the exact byte count so tests can assert it.
+//!
+//! Scores are bitwise identical to [`LsiIndex::query`] on the same
+//! snapshot: the fold-in and cosine loops are the same expressions
+//! evaluated in the same order over the same bytes.
+
+use std::io::{Read, Seek, SeekFrom};
+
+use lsi_ir::retrieval::{RankedList, SearchHit};
+use lsi_ir::Weighting;
+use lsi_linalg::{vector, Matrix};
+
+use crate::index::LsiIndex;
+use crate::sections::{MetaSection, SectionDirectory, SectionEntry, SectionId};
+use crate::storage::{self, read_f64s_exact, Crc32, StorageError, MAGIC, VERSION_SECTIONED};
+
+/// Rows of the document-vector section scored per streamed chunk. A
+/// function of nothing but the format (never of thread count or load), so
+/// streamed scans are deterministic by construction.
+const ROWS_PER_CHUNK: usize = 512;
+
+/// A reader adapter that counts every byte yielded, so open-cost claims
+/// are measurable facts rather than assumptions.
+#[derive(Debug)]
+struct CountingReader<R> {
+    inner: R,
+    read: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+impl<R: Seek> Seek for CountingReader<R> {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
+    }
+}
+
+/// A version-3 snapshot opened lazily: header, directory, and dictionary
+/// up front; everything else streamed (and CRC-verified) on first use.
+///
+/// Only the sectioned v3 format supports lazy opens — v1/v2 monoliths
+/// have no directory to navigate by, so [`LazySnapshot::open`] returns
+/// [`StorageError::UnsupportedVersion`] for them and callers fall back to
+/// the eager [`read_index`](crate::read_index).
+///
+/// ```no_run
+/// use lsi_core::LazySnapshot;
+///
+/// let mut snap = LazySnapshot::open_path("index.lsix".as_ref())?;
+/// // Only header + directory + dictionary bytes were read so far.
+/// let hits = snap.query_streaming(&[(0, 1.0)], 10)?;
+/// # Ok::<(), lsi_core::StorageError>(())
+/// ```
+#[derive(Debug)]
+pub struct LazySnapshot<R> {
+    src: CountingReader<R>,
+    directory: SectionDirectory,
+    meta: MetaSection,
+    singular_values: Option<Vec<f64>>,
+    term_factors: Option<Matrix>,
+}
+
+impl LazySnapshot<std::io::BufReader<std::fs::File>> {
+    /// Opens the snapshot at `path` lazily.
+    pub fn open_path(path: &std::path::Path) -> Result<Self, StorageError> {
+        let file = std::fs::File::open(path)?;
+        Self::open(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read + Seek> LazySnapshot<R> {
+    /// Opens a v3 snapshot, reading only the magic, version, section
+    /// directory, and [`Meta`](SectionId::Meta) dictionary section.
+    ///
+    /// Directory or dictionary damage is a typed error (nothing can be
+    /// navigated without them); damage in any *other* section is not even
+    /// noticed until that section is first streamed.
+    pub fn open(src: R) -> Result<Self, StorageError> {
+        let mut src = CountingReader {
+            inner: src,
+            read: 0,
+        };
+        let mut header = [0u8; 8];
+        src.read_exact(&mut header)?;
+        if &header[..4] != MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = storage::le_u32(&header[4..8]);
+        if version != VERSION_SECTIONED {
+            return Err(StorageError::UnsupportedVersion(version));
+        }
+        let directory = SectionDirectory::read_after_version(&mut src)?;
+        let mut snap = LazySnapshot {
+            src,
+            directory,
+            meta: MetaSection {
+                weighting: Weighting::Count,
+                rank: 0,
+                n_terms: 0,
+                n_docs: 0,
+                n_vt_docs: 0,
+            },
+            singular_values: None,
+            term_factors: None,
+        };
+        let payload = snap.read_section(SectionId::Meta)?;
+        snap.meta = MetaSection::decode(&payload)?;
+        Ok(snap)
+    }
+
+    /// Total bytes read from the underlying source so far (header,
+    /// directory, and every streamed section byte).
+    pub fn bytes_read(&self) -> u64 {
+        self.src.read
+    }
+
+    /// The parsed section directory.
+    pub fn directory(&self) -> &SectionDirectory {
+        &self.directory
+    }
+
+    /// Number of terms in the index.
+    pub fn n_terms(&self) -> usize {
+        self.meta.n_terms
+    }
+
+    /// Number of documents in the index (build-time plus folded-in).
+    pub fn n_docs(&self) -> usize {
+        self.meta.n_docs
+    }
+
+    /// The factorization rank `k`.
+    pub fn rank(&self) -> usize {
+        self.meta.rank
+    }
+
+    /// The weighting scheme the index was built with.
+    pub fn weighting(&self) -> Weighting {
+        self.meta.weighting
+    }
+
+    fn entry(&self, id: SectionId) -> Result<SectionEntry, StorageError> {
+        self.directory
+            .entry(id)
+            .copied()
+            .ok_or(StorageError::DamagedSection { section: id })
+    }
+
+    /// Seeks to a section and reads its whole block, verifying the length
+    /// prefix and both CRC copies. Any mismatch is
+    /// [`StorageError::DamagedSection`].
+    fn read_section(&mut self, id: SectionId) -> Result<Vec<u8>, StorageError> {
+        let entry = self.entry(id)?;
+        let damaged = StorageError::DamagedSection { section: id };
+        self.src.seek(SeekFrom::Start(entry.offset))?;
+
+        let mut prefix = [0u8; 8];
+        self.src.read_exact(&mut prefix)?;
+        let mut crc = Crc32::new();
+        crc.update(&prefix);
+        if u64::from_le_bytes(prefix) != entry.len {
+            return Err(damaged);
+        }
+        // The directory's layout validation already bounded `len`, but a
+        // lazy reader still never allocates more than it has streamed.
+        let len = usize::try_from(entry.len).map_err(|_| StorageError::CorruptData)?;
+        let mut payload = Vec::with_capacity(len.min(1 << 16));
+        let mut remaining = len;
+        let mut chunk = [0u8; 1 << 16];
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            self.src.read_exact(&mut chunk[..take])?;
+            crc.update(&chunk[..take]);
+            payload.extend_from_slice(&chunk[..take]);
+            remaining -= take;
+        }
+
+        let mut trailer = [0u8; 4];
+        self.src.read_exact(&mut trailer)?;
+        let stored = u32::from_le_bytes(trailer);
+        let computed = crc.finalize();
+        if stored != entry.crc || computed != entry.crc {
+            return Err(damaged);
+        }
+        Ok(payload)
+    }
+
+    /// The singular values, loading (and caching) them on first call.
+    pub fn singular_values(&mut self) -> Result<&[f64], StorageError> {
+        if self.singular_values.is_none() {
+            let payload = self.read_section(SectionId::SingularValues)?;
+            let values = read_f64s_exact(&payload, self.meta.rank)?;
+            if values.iter().any(|&s| s < 0.0) {
+                return Err(StorageError::CorruptData);
+            }
+            self.singular_values = Some(values);
+        }
+        // lsi-lint: allow(E1-panic-policy, "invariant: populated by the preceding is_none branch")
+        Ok(self.singular_values.as_deref().expect("cached above"))
+    }
+
+    /// The term factor matrix `U_k`, loading (and caching) it on first
+    /// call. This is the one large section a query *must* materialize —
+    /// every fold-in multiplies through it.
+    fn term_factors(&mut self) -> Result<&Matrix, StorageError> {
+        if self.term_factors.is_none() {
+            let payload = self.read_section(SectionId::TermFactors)?;
+            let data = read_f64s_exact(&payload, self.meta.n_terms * self.meta.rank)?;
+            let u = Matrix::from_vec(self.meta.n_terms, self.meta.rank, data)
+                .map_err(|e| StorageError::BadDimensions(e.to_string()))?;
+            self.term_factors = Some(u);
+        }
+        // lsi-lint: allow(E1-panic-policy, "invariant: populated by the preceding is_none branch")
+        Ok(self.term_factors.as_ref().expect("cached above"))
+    }
+
+    /// Folds a sparse query into LSI space through the streamed `U_k`,
+    /// with semantics identical to [`LsiIndex::fold_in`] (out-of-range
+    /// term ids and zero weights are skipped).
+    pub fn fold_in(&mut self, terms: &[(usize, f64)]) -> Result<Vec<f64>, StorageError> {
+        let n_terms = self.meta.n_terms;
+        let k = self.meta.rank;
+        let u = self.term_factors()?;
+        let mut out = vec![0.0; k];
+        for &(t, w) in terms {
+            if t >= n_terms || w == 0.0 {
+                continue;
+            }
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += u[(t, i)] * w;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cosine-ranked retrieval scanning the document-vector section as a
+    /// bounded-memory stream, without ever holding the full matrix.
+    ///
+    /// The scoring loop is the same arithmetic in the same order as
+    /// [`LsiIndex::query`], so results are bitwise identical to an eager
+    /// open of the same file. The section's CRC is accumulated across the
+    /// scan and verified **before** any hit is returned: a damaged
+    /// section yields [`StorageError::DamagedSection`] (the caller then
+    /// falls back to a tolerant eager open), never silently wrong bits.
+    pub fn query_streaming(
+        &mut self,
+        terms: &[(usize, f64)],
+        top_k: usize,
+    ) -> Result<RankedList, StorageError> {
+        let q = self.fold_in(terms)?;
+        let qn = vector::norm(&q);
+        let k = self.meta.rank;
+        let m = self.meta.n_docs;
+        let entry = self.entry(SectionId::DocVectors)?;
+        let damaged = StorageError::DamagedSection {
+            section: SectionId::DocVectors,
+        };
+        let row_bytes = k
+            .checked_mul(8)
+            .and_then(|b| b.checked_mul(m))
+            .ok_or(StorageError::CorruptData)?;
+        if entry.len != row_bytes as u64 {
+            return Err(damaged);
+        }
+
+        self.src.seek(SeekFrom::Start(entry.offset))?;
+        let mut prefix = [0u8; 8];
+        self.src.read_exact(&mut prefix)?;
+        let mut crc = Crc32::new();
+        crc.update(&prefix);
+        if u64::from_le_bytes(prefix) != entry.len {
+            return Err(damaged);
+        }
+
+        let mut hits: Vec<SearchHit> = Vec::new();
+        let chunk_rows = ROWS_PER_CHUNK.max(1);
+        let mut buf = vec![0u8; chunk_rows * k.max(1) * 8];
+        let mut doc = 0usize;
+        while doc < m {
+            let rows = chunk_rows.min(m - doc);
+            let take = rows * k * 8;
+            self.src.read_exact(&mut buf[..take])?;
+            crc.update(&buf[..take]);
+            if qn > 0.0 {
+                let floats = read_f64s_exact(&buf[..take], rows * k)?;
+                for r in 0..rows {
+                    let row = &floats[r * k..(r + 1) * k];
+                    let norm = vector::norm(row);
+                    if norm <= 0.0 {
+                        continue;
+                    }
+                    hits.push(SearchHit {
+                        doc: doc + r,
+                        score: (vector::dot(&q, row) / (qn * norm)).clamp(-1.0, 1.0),
+                    });
+                }
+            }
+            doc += rows;
+        }
+
+        let mut trailer = [0u8; 4];
+        self.src.read_exact(&mut trailer)?;
+        let stored = u32::from_le_bytes(trailer);
+        if stored != entry.crc || crc.finalize() != entry.crc {
+            // The hits computed above may be garbage: discard them.
+            return Err(damaged);
+        }
+        if qn <= 0.0 {
+            return Ok(RankedList::default());
+        }
+        Ok(RankedList::from_hits(hits).truncated(top_k))
+    }
+
+    /// Promotes the lazy snapshot to a fully materialized [`LsiIndex`] by
+    /// re-reading the file strictly from the start (every section
+    /// verified). Counts toward [`LazySnapshot::bytes_read`].
+    pub fn load_index(&mut self) -> Result<LsiIndex, StorageError> {
+        self.src.seek(SeekFrom::Start(0))?;
+        storage::read_index(&mut self.src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LsiConfig;
+    use crate::storage::write_index;
+    use lsi_ir::TermDocumentMatrix;
+    use std::io::Cursor;
+
+    fn sample_index() -> LsiIndex {
+        let td = TermDocumentMatrix::from_triplets(
+            6,
+            5,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (0, 1, 1.0),
+                (2, 2, 3.0),
+                (3, 2, 1.0),
+                (2, 3, 2.0),
+                (4, 4, 1.0),
+                (5, 4, 2.0),
+            ],
+        )
+        .unwrap();
+        LsiIndex::build(&td, LsiConfig::with_rank(3)).unwrap()
+    }
+
+    fn v3_bytes(idx: &LsiIndex) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        write_index(&mut bytes, idx).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn open_reads_only_header_directory_and_dictionary() {
+        let idx = sample_index();
+        let bytes = v3_bytes(&idx);
+        let snap = LazySnapshot::open(Cursor::new(&bytes)).unwrap();
+        let dir_len = snap.directory().header_len();
+        let meta_block = snap.directory().entry(SectionId::Meta).unwrap().block_len();
+        assert_eq!(
+            snap.bytes_read(),
+            dir_len + meta_block,
+            "open must read exactly header + directory + dictionary"
+        );
+        assert!(snap.bytes_read() < bytes.len() as u64 / 2);
+        assert_eq!(snap.n_docs(), idx.n_docs());
+        assert_eq!(snap.n_terms(), idx.n_terms());
+        assert_eq!(snap.rank(), idx.rank());
+    }
+
+    #[test]
+    fn streaming_query_matches_eager_bitwise() {
+        let idx = sample_index();
+        let bytes = v3_bytes(&idx);
+        let mut snap = LazySnapshot::open(Cursor::new(&bytes)).unwrap();
+        for query in [
+            vec![(0usize, 1.0f64), (1, 0.5)],
+            vec![(3, 2.0), (5, 1.0)],
+            vec![(99_999, 1.0)],
+        ] {
+            let lazy = snap.query_streaming(&query, 4).unwrap();
+            let eager = idx.query(&query, 4);
+            assert_eq!(lazy.hits().len(), eager.hits().len());
+            for (a, b) in lazy.hits().iter().zip(eager.hits()) {
+                assert_eq!(a.doc, b.doc);
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "scores must be bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_doc_vectors_fail_before_hits_escape() {
+        let idx = sample_index();
+        let mut bytes = v3_bytes(&idx);
+        let snap = LazySnapshot::open(Cursor::new(&bytes)).unwrap();
+        let entry = *snap.directory().entry(SectionId::DocVectors).unwrap();
+        drop(snap);
+        // Flip one payload byte: the CRC check must reject the scan.
+        bytes[(entry.offset + 8 + entry.len / 2) as usize] ^= 0xFF;
+        let mut snap = LazySnapshot::open(Cursor::new(&bytes)).unwrap();
+        let err = snap.query_streaming(&[(0, 1.0)], 4).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::DamagedSection {
+                section: SectionId::DocVectors
+            }
+        ));
+    }
+
+    #[test]
+    fn v2_files_are_refused_with_typed_error() {
+        let idx = sample_index();
+        let mut bytes = Vec::new();
+        crate::storage::write_index_v2(&mut bytes, &idx).unwrap();
+        assert!(matches!(
+            LazySnapshot::open(Cursor::new(&bytes)),
+            Err(StorageError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn load_index_promotes_to_full_strict_read() {
+        let idx = sample_index();
+        let bytes = v3_bytes(&idx);
+        let mut snap = LazySnapshot::open(Cursor::new(&bytes)).unwrap();
+        let full = snap.load_index().unwrap();
+        assert_eq!(full.n_docs(), idx.n_docs());
+        assert_eq!(full.singular_values(), idx.singular_values());
+    }
+
+    #[test]
+    fn singular_values_stream_on_demand() {
+        let idx = sample_index();
+        let bytes = v3_bytes(&idx);
+        let mut snap = LazySnapshot::open(Cursor::new(&bytes)).unwrap();
+        let before = snap.bytes_read();
+        let sv = snap.singular_values().unwrap().to_vec();
+        assert_eq!(sv, idx.singular_values());
+        assert!(snap.bytes_read() > before);
+        let after = snap.bytes_read();
+        // Second call is served from cache: no further reads.
+        snap.singular_values().unwrap();
+        assert_eq!(snap.bytes_read(), after);
+    }
+}

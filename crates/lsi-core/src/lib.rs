@@ -29,11 +29,29 @@
 //!   fold-in updates survive crashes: journaled and fsynced before they
 //!   are acknowledged, replayed over the last snapshot on recovery.
 
+//! * [`sections`] — the sectioned `.lsix` v3 container: a CRC'd section
+//!   directory plus independently checksummed sections, so one flipped
+//!   byte quarantines a section instead of the whole index, and
+//!   [`inspect_snapshot`] reports per-section health.
+
+//! * [`lazy`] — [`LazySnapshot`], the streaming v3 loader: open reads only
+//!   header + directory + dictionary; factors and document vectors stream
+//!   in (CRC-verified) on first use, so open-to-first-query cost is
+//!   sublinear in index size.
+
+//! * [`iofault`] — injectable write faults (ENOSPC, short write, torn
+//!   write, transient) behind every durable persistence path, plus
+//!   [`RetryPolicy`], the bounded retry-with-backoff that rides out
+//!   transient faults.
+
 pub mod angles;
 pub mod cancel;
 pub mod config;
 pub mod index;
+pub mod iofault;
 pub mod journal;
+pub mod lazy;
+pub mod sections;
 pub mod skew;
 pub mod storage;
 pub mod synonymy;
@@ -42,9 +60,15 @@ pub use angles::{pairwise_angle_stats, AngleStats, PairAngleReport};
 pub use cancel::CancelToken;
 pub use config::{LsiConfig, SvdBackend};
 pub use index::{BadQuery, BuildStatus, LsiError, LsiIndex};
+pub use iofault::{io_faults, is_transient, RetryPolicy};
 pub use journal::{
     journal_path, DurabilityError, DurableIndex, Journal, JournalRecovery, MutationRecord,
-    RecoveryReport, TruncationCause,
+    RebuildReport, RecoveryReport, TruncationCause,
 };
+pub use lazy::LazySnapshot;
+pub use sections::{inspect_snapshot, SectionDamage, SectionId, SectionStatus, SnapshotReport};
 pub use skew::{measure_skew, SkewReport};
-pub use storage::{read_index, sync_parent_dir, write_index, write_index_atomic, StorageError};
+pub use storage::{
+    open_index_tolerant, read_index, read_index_sized, sync_parent_dir, write_index,
+    write_index_atomic, write_index_v2, StorageError,
+};

@@ -1,0 +1,1062 @@
+//! The sectioned `.lsix` version-3 container: corruption isolation by
+//! construction.
+//!
+//! Versions 1 and 2 serialize the index as one monolithic blob; a single
+//! flipped byte anywhere makes the whole file unreadable (v2) or silently
+//! suspect (v1). Version 3 splits the index into independently framed,
+//! independently checksummed sections behind an offset-indexed directory,
+//! so damage is *localized*: a corrupt section quarantines that section,
+//! not the index.
+//!
+//! ```text
+//! magic "LSIX" | version u32 = 3 |
+//! n_sections u32 |
+//! n × entry: tag u8 | offset u64 | len u64 | crc u32 |
+//! dir_crc u32          (CRC-32 over every preceding byte)
+//! then, per entry, at its offset:
+//! len u64 | payload (len bytes) | crc u32   (CRC over len prefix + payload)
+//! ```
+//!
+//! Each section's CRC is stored twice — in the directory entry and as the
+//! block trailer — and the block's length prefix must agree with the
+//! directory, so a reader always knows *which* copy to distrust. The
+//! directory itself is CRC-trailed; directory damage is unrecoverable from
+//! the same file (there is nothing trustworthy to navigate by) and is a
+//! typed error.
+//!
+//! Section tags and their quarantine policy:
+//!
+//! | tag | section          | contents                    | on damage |
+//! |-----|------------------|-----------------------------|-----------|
+//! | 0   | `Meta`           | weighting, rank, dimensions | error     |
+//! | 1   | `SingularValues` | `k × f64`                   | error     |
+//! | 2   | `TermFactors`    | `U_k`, row-major            | error     |
+//! | 3   | `DocFactors`     | `V_kᵀ`, row-major           | quarantine|
+//! | 4   | `DocVectors`     | `D_k V_kᵀ` rows + fold-ins  | quarantine|
+//! | 5   | `FoldInMeta`     | fold-in bookkeeping         | quarantine|
+//!
+//! `Meta`, the singular values, and the term factors are *essential*: they
+//! are the dictionary of the index (how to interpret every other byte) and
+//! the `U_k` basis every query folds in through — without them nothing can
+//! be served, so their damage fails the open with
+//! [`StorageError::DamagedSection`]. The document-side sections are
+//! *degradable*: [`open_index_tolerant`] quarantines them, zeroes the
+//! affected rows, and the serving layer answers from the term-space
+//! fallback until `lsi recover` rebuilds them from the factors plus the
+//! write-ahead journal. Unknown tags are skipped (forward compatibility).
+//!
+//! All integers and floats are little-endian. Readers never trust a
+//! declared length further than they can see: payloads are streamed in
+//! bounded chunks, so a corrupt length yields a typed error, not an
+//! allocation bomb.
+
+use std::io::Read;
+
+use lsi_ir::Weighting;
+use lsi_linalg::{vector, Matrix, TruncatedSvd};
+
+use crate::config::{LsiConfig, SvdBackend};
+use crate::index::LsiIndex;
+use crate::storage::{
+    self, crc32, read_f64s_exact, weighting_from_tag, weighting_tag, Crc32, StorageError, MAGIC,
+    MAX_ELEMS, VERSION_SECTIONED,
+};
+
+/// A known section of a version-3 snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionId {
+    /// Weighting scheme, rank, and dimensions — the dictionary that gives
+    /// every other section its meaning. Essential.
+    Meta,
+    /// The `k` singular values. Essential.
+    SingularValues,
+    /// The term factor matrix `U_k` (`n_terms × k`), which every query
+    /// folds in through. Essential.
+    TermFactors,
+    /// The document factor matrix `V_kᵀ` (`k × n_vt_docs`). Degradable:
+    /// only rebuilds and recomputations need it.
+    DocFactors,
+    /// The scored document representations (`n_docs × k`, build-time rows
+    /// plus fold-ins). Degradable: quarantine falls back to term space.
+    DocVectors,
+    /// Fold-in bookkeeping (folded-document count, checkpoint sequence).
+    /// Degradable: informational only.
+    FoldInMeta,
+}
+
+/// Every known section, in on-disk order.
+pub const SECTION_ORDER: [SectionId; 6] = [
+    SectionId::Meta,
+    SectionId::SingularValues,
+    SectionId::TermFactors,
+    SectionId::DocFactors,
+    SectionId::DocVectors,
+    SectionId::FoldInMeta,
+];
+
+impl SectionId {
+    /// The on-disk tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            SectionId::Meta => 0,
+            SectionId::SingularValues => 1,
+            SectionId::TermFactors => 2,
+            SectionId::DocFactors => 3,
+            SectionId::DocVectors => 4,
+            SectionId::FoldInMeta => 5,
+        }
+    }
+
+    /// The section for a tag byte, or `None` for a tag this build does not
+    /// know (skipped for forward compatibility).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        SECTION_ORDER.into_iter().find(|s| s.tag() == tag)
+    }
+
+    /// Human-readable name (used by `lsi inspect` and error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionId::Meta => "meta",
+            SectionId::SingularValues => "singular-values",
+            SectionId::TermFactors => "term-factors",
+            SectionId::DocFactors => "doc-factors",
+            SectionId::DocVectors => "doc-vectors",
+            SectionId::FoldInMeta => "foldin-meta",
+        }
+    }
+
+    /// True when the index cannot open at all without this section.
+    pub fn essential(self) -> bool {
+        matches!(
+            self,
+            SectionId::Meta | SectionId::SingularValues | SectionId::TermFactors
+        )
+    }
+
+    /// True when quarantining this section changes query answers, so a
+    /// serving layer must degrade (zeroed document vectors lose the
+    /// corpus). [`DocFactors`](Self::DocFactors) and
+    /// [`FoldInMeta`](Self::FoldInMeta) damage, by contrast, affects only
+    /// rebuilds and bookkeeping — query scoring never touches them.
+    pub fn affects_queries(self) -> bool {
+        matches!(self, SectionId::DocVectors)
+    }
+}
+
+impl std::fmt::Display for SectionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One directory entry: where a section lives and what its bytes hash to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// The section's on-disk tag (may be unknown to this build).
+    pub tag: u8,
+    /// Byte offset of the section block (its length prefix) from the start
+    /// of the file.
+    pub offset: u64,
+    /// Payload length in bytes (excluding the 8-byte prefix and 4-byte
+    /// trailer).
+    pub len: u64,
+    /// CRC-32 over the block's length prefix and payload.
+    pub crc: u32,
+}
+
+impl SectionEntry {
+    /// The known section this entry names, if any.
+    pub fn id(&self) -> Option<SectionId> {
+        SectionId::from_tag(self.tag)
+    }
+
+    /// Total on-disk block size: prefix + payload + trailer.
+    pub fn block_len(&self) -> u64 {
+        8 + self.len + 4
+    }
+}
+
+/// Bytes of one directory entry on disk.
+const ENTRY_BYTES: usize = 1 + 8 + 8 + 4;
+/// Directory entries are bounded: this format writes six sections, and a
+/// reader must not let a corrupt count drive its allocations.
+const MAX_SECTIONS: u32 = 64;
+/// A single section may not exceed the element cap's byte size; anything
+/// larger is a corrupt or hostile directory, refused before allocation.
+const MAX_SECTION_BYTES: u64 = (MAX_ELEMS as u64) * 8;
+/// Fixed payload size of the [`SectionId::Meta`] section.
+const META_LEN: usize = 1 + 4 + 8 + 8 + 8;
+/// Fixed payload size of the [`SectionId::FoldInMeta`] section.
+const FOLDIN_LEN: usize = 8 + 8;
+
+/// The parsed section directory of a version-3 file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionDirectory {
+    entries: Vec<SectionEntry>,
+}
+
+impl SectionDirectory {
+    /// The entries, in on-disk order.
+    pub fn entries(&self) -> &[SectionEntry] {
+        &self.entries
+    }
+
+    /// The entry for a known section, if present.
+    pub fn entry(&self, id: SectionId) -> Option<&SectionEntry> {
+        self.entries.iter().find(|e| e.tag == id.tag())
+    }
+
+    /// Total header size on disk: magic, version, count, entries, CRC.
+    pub fn header_len(&self) -> u64 {
+        (4 + 4 + 4 + self.entries.len() * ENTRY_BYTES + 4) as u64
+    }
+
+    /// Total file size the directory describes (header plus every block).
+    pub fn file_len(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(SectionEntry::block_len)
+            .fold(self.header_len(), u64::saturating_add)
+    }
+
+    /// Parses the directory from a reader positioned just past the magic
+    /// and version fields. Returns the directory; its CRC (which covers
+    /// the magic and version too) is verified before anything is trusted.
+    pub fn read_after_version<R: Read>(r: &mut R) -> Result<Self, StorageError> {
+        let mut crc = Crc32::new();
+        crc.update(MAGIC);
+        crc.update(&VERSION_SECTIONED.to_le_bytes());
+
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        crc.update(&u32buf);
+        let n_sections = u32::from_le_bytes(u32buf);
+        if n_sections == 0 || n_sections > MAX_SECTIONS {
+            return Err(StorageError::DamagedDirectory);
+        }
+
+        let mut entries = Vec::with_capacity(n_sections as usize);
+        let mut buf = [0u8; ENTRY_BYTES];
+        for _ in 0..n_sections {
+            r.read_exact(&mut buf)?;
+            crc.update(&buf);
+            entries.push(SectionEntry {
+                tag: buf[0],
+                offset: storage::le_u64(&buf[1..9]),
+                len: storage::le_u64(&buf[9..17]),
+                crc: storage::le_u32(&buf[17..21]),
+            });
+        }
+        r.read_exact(&mut u32buf)?;
+        if u32::from_le_bytes(u32buf) != crc.finalize() {
+            return Err(StorageError::DamagedDirectory);
+        }
+
+        let dir = SectionDirectory { entries };
+        dir.validate_layout()?;
+        Ok(dir)
+    }
+
+    /// Rejects directories whose (CRC-valid, therefore possibly hostile)
+    /// entries describe an impossible layout: blocks must tile the file
+    /// back-to-back after the header, and no section may exceed the
+    /// element cap's byte size.
+    fn validate_layout(&self) -> Result<(), StorageError> {
+        let mut expected = self.header_len();
+        for e in &self.entries {
+            if e.offset != expected || e.len > MAX_SECTION_BYTES {
+                return Err(StorageError::DamagedDirectory);
+            }
+            expected = expected
+                .checked_add(e.block_len())
+                .ok_or(StorageError::DamagedDirectory)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the header (magic, version, count, entries, CRC).
+    fn encode_header(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.header_len() as usize);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION_SECTIONED.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.push(e.tag);
+            out.extend_from_slice(&e.offset.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+/// The decoded [`SectionId::Meta`] payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MetaSection {
+    pub weighting: Weighting,
+    pub rank: usize,
+    pub n_terms: usize,
+    pub n_docs: usize,
+    pub n_vt_docs: usize,
+}
+
+impl MetaSection {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(META_LEN);
+        out.push(weighting_tag(self.weighting));
+        out.extend_from_slice(&(self.rank as u32).to_le_bytes());
+        out.extend_from_slice(&(self.n_terms as u64).to_le_bytes());
+        out.extend_from_slice(&(self.n_docs as u64).to_le_bytes());
+        out.extend_from_slice(&(self.n_vt_docs as u64).to_le_bytes());
+        out
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> Result<Self, StorageError> {
+        if payload.len() != META_LEN {
+            return Err(StorageError::DamagedSection {
+                section: SectionId::Meta,
+            });
+        }
+        let weighting = weighting_from_tag(payload[0])?;
+        let rank = storage::le_u32(&payload[1..5]) as usize;
+        let n_terms = storage::le_u64(&payload[5..13]) as usize;
+        let n_docs = storage::le_u64(&payload[13..21]) as usize;
+        let n_vt_docs = storage::le_u64(&payload[21..29]) as usize;
+        let meta = MetaSection {
+            weighting,
+            rank,
+            n_terms,
+            n_docs,
+            n_vt_docs,
+        };
+        meta.validate_dims()?;
+        Ok(meta)
+    }
+
+    /// The same dimensional sanity rules the v1/v2 reader applies: a
+    /// basis-only snapshot (`n_vt_docs == 0`) is legal, a populated `vt`
+    /// must cover the rank, and nothing may exceed the element cap.
+    fn validate_dims(&self) -> Result<(), StorageError> {
+        let (k, n, m_docs, m_vt) = (self.rank, self.n_terms, self.n_docs, self.n_vt_docs);
+        if k == 0
+            || n == 0
+            || m_docs < m_vt
+            || k > n
+            || (m_vt > 0 && k > m_vt)
+            || n.saturating_mul(k) > MAX_ELEMS
+            || m_vt.saturating_mul(k) > MAX_ELEMS
+            || m_docs.saturating_mul(k) > MAX_ELEMS
+        {
+            return Err(StorageError::BadDimensions(format!(
+                "k={k}, n_terms={n}, n_docs={m_docs}, n_vt_docs={m_vt}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn f64s_payload(xs: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Serializes an index to a writer in the sectioned version-3 format.
+pub fn write_index_v3<W: std::io::Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageError> {
+    let f = index.factors();
+    let meta = MetaSection {
+        weighting: index.config().weighting,
+        rank: index.rank(),
+        n_terms: index.n_terms(),
+        n_docs: index.n_docs(),
+        n_vt_docs: f.vt.ncols(),
+    };
+    let foldin = {
+        let mut out = Vec::with_capacity(FOLDIN_LEN);
+        out.extend_from_slice(&((index.n_docs() - f.vt.ncols()) as u64).to_le_bytes());
+        out.extend_from_slice(&(index.n_docs() as u64).to_le_bytes());
+        out
+    };
+    let payloads: [(SectionId, Vec<u8>); 6] = [
+        (SectionId::Meta, meta.encode()),
+        (SectionId::SingularValues, f64s_payload(&f.singular_values)),
+        (SectionId::TermFactors, f64s_payload(f.u.as_slice())),
+        (SectionId::DocFactors, f64s_payload(f.vt.as_slice())),
+        (
+            SectionId::DocVectors,
+            f64s_payload(index.doc_representations().as_slice()),
+        ),
+        (SectionId::FoldInMeta, foldin),
+    ];
+
+    let header_len = (4 + 4 + 4 + payloads.len() * ENTRY_BYTES + 4) as u64;
+    let mut offset = header_len;
+    let mut entries = Vec::with_capacity(payloads.len());
+    for (id, payload) in &payloads {
+        let len = payload.len() as u64;
+        let mut crc = Crc32::new();
+        crc.update(&len.to_le_bytes());
+        crc.update(payload);
+        let entry = SectionEntry {
+            tag: id.tag(),
+            offset,
+            len,
+            crc: crc.finalize(),
+        };
+        offset += entry.block_len();
+        entries.push(entry);
+    }
+    let dir = SectionDirectory { entries };
+
+    w.write_all(&dir.encode_header())?;
+    for ((_, payload), entry) in payloads.iter().zip(dir.entries()) {
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        w.write_all(payload)?;
+        w.write_all(&entry.crc.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads one section block sequentially, consuming exactly
+/// `entry.block_len()` bytes. `Ok(Some(payload))` means every check passed
+/// (length prefix, CRC against both the directory and the trailer);
+/// `Ok(None)` means the block's bytes are present but damaged. An I/O
+/// error (truncated file) propagates as `Err`.
+fn read_block<R: Read>(r: &mut R, entry: &SectionEntry) -> Result<Option<Vec<u8>>, StorageError> {
+    let mut prefix = [0u8; 8];
+    r.read_exact(&mut prefix)?;
+    let declared = u64::from_le_bytes(prefix);
+
+    let mut crc = Crc32::new();
+    crc.update(&prefix);
+    // Stream the payload in bounded chunks: `entry.len` is CRC-protected,
+    // but never worth a single huge up-front allocation.
+    let len = entry.len as usize;
+    let mut payload = Vec::with_capacity(len.min(1 << 16));
+    let mut chunk = [0u8; 1 << 16];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        crc.update(&chunk[..take]);
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    let computed = crc.finalize();
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)?;
+    let stored = u32::from_le_bytes(trailer);
+
+    if declared != entry.len || computed != entry.crc || stored != entry.crc {
+        return Ok(None);
+    }
+    Ok(Some(payload))
+}
+
+/// What [`open_index_tolerant`] (via the version-3 reader) found wrong
+/// with one section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionDamage {
+    /// The damaged section.
+    pub section: SectionId,
+}
+
+impl std::fmt::Display for SectionDamage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "section {} damaged", self.section)
+    }
+}
+
+/// All section payloads of a v3 file, each either intact or damaged.
+struct SectionSet {
+    meta: MetaSection,
+    payloads: std::collections::BTreeMap<u8, Option<Vec<u8>>>,
+}
+
+impl SectionSet {
+    fn payload(&self, id: SectionId) -> Option<&[u8]> {
+        self.payloads.get(&id.tag()).and_then(|p| p.as_deref())
+    }
+
+    fn damaged(&self, id: SectionId) -> bool {
+        matches!(self.payloads.get(&id.tag()), Some(None) | None)
+    }
+}
+
+/// Reads every block of a v3 stream (the magic and version already
+/// consumed). Essential-section damage is a typed error; degradable
+/// damage is recorded in the returned set. With `tolerant == false`, any
+/// damage at all is an error (the strict `read_index` contract), and a
+/// known `total_len` smaller than the directory's declared extent is
+/// rejected before any section payload is allocated.
+fn read_sections<R: Read>(
+    r: &mut R,
+    tolerant: bool,
+    total_len: Option<u64>,
+) -> Result<SectionSet, StorageError> {
+    let dir = SectionDirectory::read_after_version(r)?;
+    if !tolerant {
+        if let Some(total) = total_len {
+            let declared = dir.file_len();
+            if declared > total {
+                return Err(StorageError::TruncatedFile {
+                    declared,
+                    available: total,
+                });
+            }
+        }
+    }
+    let mut payloads = std::collections::BTreeMap::new();
+    // Once the stream is lost (truncated file), every later section is
+    // unreadable too; in tolerant mode that is damage, not an error —
+    // unless the section was essential.
+    let mut stream_dead = false;
+    for entry in dir.entries() {
+        let id = entry.id();
+        let block = if stream_dead {
+            None
+        } else {
+            match read_block(r, entry) {
+                Ok(b) => b,
+                Err(e) => {
+                    if !tolerant || matches!(id, Some(s) if s.essential()) {
+                        return match id {
+                            Some(section) => Err(StorageError::DamagedSection { section }),
+                            None => Err(e),
+                        };
+                    }
+                    stream_dead = true;
+                    None
+                }
+            }
+        };
+        let Some(section) = id else {
+            // Unknown tag: skipped for forward compatibility. Its bytes
+            // were consumed above to keep the stream aligned.
+            continue;
+        };
+        if block.is_none() && (!tolerant || section.essential()) {
+            return Err(StorageError::DamagedSection { section });
+        }
+        payloads.insert(entry.tag, block);
+    }
+    let meta_payload = payloads
+        .get(&SectionId::Meta.tag())
+        .and_then(|p| p.as_deref())
+        .ok_or(StorageError::DamagedSection {
+            section: SectionId::Meta,
+        })?;
+    let meta = MetaSection::decode(meta_payload)?;
+    Ok(SectionSet { meta, payloads })
+}
+
+/// Assembles an index from a parsed section set, zeroing what was
+/// quarantined. Returns the index and the quarantined sections.
+fn assemble(set: &SectionSet) -> Result<(LsiIndex, Vec<SectionId>), StorageError> {
+    let MetaSection {
+        weighting,
+        rank: k,
+        n_terms: n,
+        n_docs: m_docs,
+        n_vt_docs: m_vt,
+    } = set.meta;
+
+    let decode = |id: SectionId, count: usize| -> Result<Option<Vec<f64>>, StorageError> {
+        match set.payload(id) {
+            None => Ok(None),
+            Some(payload) => {
+                if payload.len() != count * 8 {
+                    // The section is internally intact but disagrees with
+                    // the meta dimensions: treat as damage to *this*
+                    // section (meta is the dictionary; it wins).
+                    if id.essential() {
+                        return Err(StorageError::DamagedSection { section: id });
+                    }
+                    return Ok(None);
+                }
+                match read_f64s_exact(payload, count) {
+                    Ok(xs) => Ok(Some(xs)),
+                    Err(e) if id.essential() => Err(e),
+                    Err(_) => Ok(None),
+                }
+            }
+        }
+    };
+
+    let singular_values =
+        decode(SectionId::SingularValues, k)?.ok_or(StorageError::DamagedSection {
+            section: SectionId::SingularValues,
+        })?;
+    if singular_values.iter().any(|&s| s < 0.0) {
+        return Err(StorageError::CorruptData);
+    }
+    let u_data = decode(SectionId::TermFactors, n * k)?.ok_or(StorageError::DamagedSection {
+        section: SectionId::TermFactors,
+    })?;
+
+    let mut quarantined = Vec::new();
+    let vt = match decode(SectionId::DocFactors, k * m_vt)? {
+        Some(data) => Matrix::from_vec(k, m_vt, data)
+            .map_err(|e| StorageError::BadDimensions(e.to_string()))?,
+        None => {
+            quarantined.push(SectionId::DocFactors);
+            Matrix::zeros(k, 0)
+        }
+    };
+    let (doc_reps, doc_norms) = match decode(SectionId::DocVectors, m_docs * k)? {
+        Some(data) => {
+            let reps = Matrix::from_vec(m_docs, k, data)
+                .map_err(|e| StorageError::BadDimensions(e.to_string()))?;
+            let norms = (0..m_docs).map(|j| vector::norm(reps.row(j))).collect();
+            (reps, norms)
+        }
+        None => {
+            // Quarantine: the document count is preserved (replay keys on
+            // it) but every row is zero, so cosine scans skip them all and
+            // the serving layer falls back to term space.
+            quarantined.push(SectionId::DocVectors);
+            (Matrix::zeros(m_docs, k), vec![0.0; m_docs])
+        }
+    };
+    if set.damaged(SectionId::FoldInMeta) {
+        quarantined.push(SectionId::FoldInMeta);
+    }
+
+    let u =
+        Matrix::from_vec(n, k, u_data).map_err(|e| StorageError::BadDimensions(e.to_string()))?;
+    let mut index = LsiIndex::from_parts(
+        TruncatedSvd {
+            u,
+            singular_values,
+            vt,
+        },
+        doc_reps,
+        doc_norms,
+        LsiConfig {
+            rank: k,
+            weighting,
+            backend: SvdBackend::Dense,
+        },
+    );
+    index.set_quarantined(quarantined.clone());
+    Ok((index, quarantined))
+}
+
+/// Strict version-3 reader (magic and version already consumed): any
+/// damage anywhere — directory or section, essential or not — is a typed
+/// error. This is the v3 arm of [`crate::storage::read_index`].
+pub(crate) fn read_index_v3<R: Read>(
+    r: &mut R,
+    total_len: Option<u64>,
+) -> Result<LsiIndex, StorageError> {
+    let set = read_sections(r, false, total_len)?;
+    let (index, quarantined) = assemble(&set)?;
+    debug_assert!(quarantined.is_empty(), "strict read cannot quarantine");
+    Ok(index)
+}
+
+/// Tolerant version-3 reader (magic and version already consumed):
+/// degradable damage quarantines the section instead of failing the open.
+pub(crate) fn open_index_tolerant_v3<R: Read>(
+    r: &mut R,
+) -> Result<(LsiIndex, Vec<SectionDamage>), StorageError> {
+    let set = read_sections(r, true, None)?;
+    let (index, quarantined) = assemble(&set)?;
+    Ok((
+        index,
+        quarantined
+            .into_iter()
+            .map(|section| SectionDamage { section })
+            .collect(),
+    ))
+}
+
+/// CRC status of one section (or, for v1/v2, the whole monolithic body)
+/// as reported by [`inspect_snapshot`].
+#[derive(Debug, Clone)]
+pub struct SectionStatus {
+    /// On-disk tag byte (0 for the v1/v2 pseudo-section).
+    pub tag: u8,
+    /// Known section, if the tag is recognized.
+    pub id: Option<SectionId>,
+    /// Display name: the section name, or a format-level label for v1/v2.
+    pub name: String,
+    /// Offset of the section block in the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Whether every integrity check on this section passed.
+    pub ok: bool,
+}
+
+/// What [`inspect_snapshot`] found in a snapshot file.
+#[derive(Debug, Clone)]
+pub struct SnapshotReport {
+    /// Declared format version.
+    pub version: u32,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Whether the section directory itself (v3) or the header (v1/v2)
+    /// parsed and verified.
+    pub directory_ok: bool,
+    /// Per-section status rows.
+    pub sections: Vec<SectionStatus>,
+}
+
+impl SnapshotReport {
+    /// True when any known section (or the directory) is damaged.
+    pub fn damaged(&self) -> bool {
+        !self.directory_ok || self.sections.iter().any(|s| !s.ok)
+    }
+}
+
+/// Examines a snapshot's framing without constructing an index: version,
+/// section directory, and per-section CRC status. Works on all format
+/// versions; v1/v2 report a single monolithic pseudo-section. Only a file
+/// too foreign to interpret at all (bad magic, unknown version, short
+/// header) is an error.
+pub fn inspect_snapshot(bytes: &[u8]) -> Result<SnapshotReport, StorageError> {
+    if bytes.len() < 8 {
+        return Err(StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "file shorter than the magic and version fields",
+        )));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = storage::le_u32(&bytes[4..8]);
+    let file_len = bytes.len() as u64;
+    match version {
+        1 => Ok(SnapshotReport {
+            version,
+            file_len,
+            directory_ok: true,
+            sections: vec![SectionStatus {
+                tag: 0,
+                id: None,
+                name: "monolith (v1, no checksum)".into(),
+                offset: 8,
+                len: file_len - 8,
+                ok: true,
+            }],
+        }),
+        2 => {
+            let ok = bytes.len() >= 12 && {
+                let stored = storage::le_u32(&bytes[bytes.len() - 4..]);
+                crc32(&bytes[..bytes.len() - 4]) == stored
+            };
+            Ok(SnapshotReport {
+                version,
+                file_len,
+                directory_ok: true,
+                sections: vec![SectionStatus {
+                    tag: 0,
+                    id: None,
+                    name: "monolith (v2, whole-file CRC)".into(),
+                    offset: 8,
+                    len: file_len.saturating_sub(12),
+                    ok,
+                }],
+            })
+        }
+        VERSION_SECTIONED => {
+            let mut cursor = &bytes[8..];
+            let dir = match SectionDirectory::read_after_version(&mut cursor) {
+                Ok(d) => d,
+                Err(_) => {
+                    return Ok(SnapshotReport {
+                        version,
+                        file_len,
+                        directory_ok: false,
+                        sections: Vec::new(),
+                    })
+                }
+            };
+            let sections = dir
+                .entries()
+                .iter()
+                .map(|entry| {
+                    let end = entry.offset.saturating_add(entry.block_len());
+                    let ok = end <= file_len && {
+                        let block = &bytes[entry.offset as usize..end as usize];
+                        let declared = storage::le_u64(&block[..8]);
+                        let stored = storage::le_u32(&block[block.len() - 4..]);
+                        declared == entry.len
+                            && stored == entry.crc
+                            && crc32(&block[..block.len() - 4]) == entry.crc
+                    };
+                    SectionStatus {
+                        tag: entry.tag,
+                        id: entry.id(),
+                        name: entry
+                            .id()
+                            .map(|s| s.name().to_string())
+                            .unwrap_or_else(|| format!("unknown (tag {})", entry.tag)),
+                        offset: entry.offset,
+                        len: entry.len,
+                        ok,
+                    }
+                })
+                .collect();
+            Ok(SnapshotReport {
+                version,
+                file_len,
+                directory_ok: true,
+                sections,
+            })
+        }
+        other => Err(StorageError::UnsupportedVersion(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{read_index, write_index};
+    use lsi_ir::TermDocumentMatrix;
+
+    fn sample_index() -> LsiIndex {
+        let td = TermDocumentMatrix::from_triplets(
+            6,
+            5,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (0, 1, 1.0),
+                (2, 2, 3.0),
+                (3, 2, 1.0),
+                (2, 3, 2.0),
+                (4, 4, 1.0),
+                (5, 4, 2.0),
+            ],
+        )
+        .unwrap();
+        LsiIndex::build(
+            &td,
+            LsiConfig {
+                rank: 3,
+                weighting: Weighting::LogTf,
+                backend: SvdBackend::Dense,
+            },
+        )
+        .unwrap()
+    }
+
+    fn v3_bytes(idx: &LsiIndex) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_index(&mut buf, idx).unwrap();
+        buf
+    }
+
+    fn directory_of(bytes: &[u8]) -> SectionDirectory {
+        let mut cursor = &bytes[8..];
+        SectionDirectory::read_after_version(&mut cursor).unwrap()
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for id in SECTION_ORDER {
+            assert_eq!(SectionId::from_tag(id.tag()), Some(id));
+        }
+        assert_eq!(SectionId::from_tag(200), None);
+    }
+
+    #[test]
+    fn directory_describes_the_whole_file() {
+        let bytes = v3_bytes(&sample_index());
+        let dir = directory_of(&bytes);
+        assert_eq!(dir.entries().len(), SECTION_ORDER.len());
+        assert_eq!(dir.file_len(), bytes.len() as u64);
+        for (entry, id) in dir.entries().iter().zip(SECTION_ORDER) {
+            assert_eq!(entry.tag, id.tag());
+        }
+    }
+
+    #[test]
+    fn doc_vector_damage_opens_degraded_with_zeroed_rows() {
+        let idx = sample_index();
+        let mut bytes = v3_bytes(&idx);
+        let dir = directory_of(&bytes);
+        let entry = *dir.entry(SectionId::DocVectors).unwrap();
+        // Flip a payload byte deep inside the doc-vector section.
+        bytes[(entry.offset + 8 + entry.len / 2) as usize] ^= 0x01;
+
+        // Strict read refuses.
+        assert!(matches!(
+            read_index(&mut bytes.as_slice()),
+            Err(StorageError::DamagedSection {
+                section: SectionId::DocVectors
+            })
+        ));
+        // Tolerant open quarantines.
+        let mut cursor = &bytes[8..];
+        let (degraded, damage) = open_index_tolerant_v3(&mut cursor).unwrap();
+        assert_eq!(damage.len(), 1);
+        assert_eq!(damage[0].section, SectionId::DocVectors);
+        assert_eq!(
+            degraded.quarantined_sections(),
+            &[SectionId::DocVectors],
+            "quarantine marker must ride on the index"
+        );
+        assert_eq!(degraded.n_docs(), idx.n_docs(), "ids stay allocated");
+        // Every row zeroed: cosine scans return nothing.
+        assert!(degraded.query(&[(0, 1.0)], 10).hits().is_empty());
+        // The basis is intact: fold-in still works bit-for-bit.
+        assert_eq!(degraded.fold_in(&[(0, 1.0)]), idx.fold_in(&[(0, 1.0)]));
+    }
+
+    #[test]
+    fn essential_damage_is_a_typed_error_even_tolerantly() {
+        let idx = sample_index();
+        for id in [
+            SectionId::Meta,
+            SectionId::SingularValues,
+            SectionId::TermFactors,
+        ] {
+            let mut bytes = v3_bytes(&idx);
+            let dir = directory_of(&bytes);
+            let entry = *dir.entry(id).unwrap();
+            bytes[(entry.offset + 8) as usize] ^= 0xFF;
+            let mut cursor = &bytes[8..];
+            match open_index_tolerant_v3(&mut cursor) {
+                Err(StorageError::DamagedSection { section }) => assert_eq!(section, id),
+                other => panic!("expected DamagedSection({id}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn doc_factor_damage_quarantines_but_still_serves() {
+        let idx = sample_index();
+        let mut bytes = v3_bytes(&idx);
+        let dir = directory_of(&bytes);
+        let entry = *dir.entry(SectionId::DocFactors).unwrap();
+        bytes[(entry.offset + 8) as usize] ^= 0xFF;
+        let mut cursor = &bytes[8..];
+        let (degraded, damage) = open_index_tolerant_v3(&mut cursor).unwrap();
+        assert_eq!(damage[0].section, SectionId::DocFactors);
+        // Document vectors are intact, so retrieval is unimpaired.
+        let q = [(0usize, 1.0)];
+        assert_eq!(degraded.query(&q, 5).doc_ids(), idx.query(&q, 5).doc_ids());
+    }
+
+    #[test]
+    fn directory_damage_is_unrecoverable() {
+        let idx = sample_index();
+        let mut bytes = v3_bytes(&idx);
+        // Flip a byte inside the entry table.
+        bytes[14] ^= 0xFF;
+        let mut cursor = &bytes[8..];
+        assert!(matches!(
+            open_index_tolerant_v3(&mut cursor),
+            Err(StorageError::DamagedDirectory)
+        ));
+    }
+
+    #[test]
+    fn truncation_inside_doc_vectors_opens_degraded() {
+        let idx = sample_index();
+        let bytes = v3_bytes(&idx);
+        let dir = directory_of(&bytes);
+        let entry = *dir.entry(SectionId::DocVectors).unwrap();
+        let cut = (entry.offset + 8 + entry.len / 2) as usize;
+        let mut cursor = &bytes[8..cut];
+        let (degraded, damage) = open_index_tolerant_v3(&mut cursor).unwrap();
+        // Doc vectors and everything after them are gone; the basis opened.
+        assert!(damage.iter().any(|d| d.section == SectionId::DocVectors));
+        assert_eq!(degraded.rank(), idx.rank());
+    }
+
+    #[test]
+    fn inspect_reports_per_section_status() {
+        let idx = sample_index();
+        let mut bytes = v3_bytes(&idx);
+        let report = inspect_snapshot(&bytes).unwrap();
+        assert_eq!(report.version, VERSION_SECTIONED);
+        assert!(report.directory_ok);
+        assert!(!report.damaged());
+        assert_eq!(report.sections.len(), SECTION_ORDER.len());
+
+        let dir = directory_of(&bytes);
+        let entry = *dir.entry(SectionId::DocVectors).unwrap();
+        bytes[(entry.offset + 8) as usize] ^= 0x01;
+        let report = inspect_snapshot(&bytes).unwrap();
+        assert!(report.damaged());
+        let row = report
+            .sections
+            .iter()
+            .find(|s| s.id == Some(SectionId::DocVectors))
+            .unwrap();
+        assert!(!row.ok);
+        assert!(report
+            .sections
+            .iter()
+            .filter(|s| s.id != Some(SectionId::DocVectors))
+            .all(|s| s.ok));
+    }
+
+    #[test]
+    fn inspect_handles_legacy_versions() {
+        let idx = sample_index();
+        let mut v2 = Vec::new();
+        crate::storage::write_index_v2(&mut v2, &idx).unwrap();
+        let report = inspect_snapshot(&v2).unwrap();
+        assert_eq!(report.version, 2);
+        assert!(!report.damaged());
+        let mut flipped = v2.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert!(inspect_snapshot(&flipped).unwrap().damaged());
+
+        // v1: patch the version and drop the trailer.
+        let mut v1 = v2.clone();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        v1.truncate(v1.len() - 4);
+        let report = inspect_snapshot(&v1).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(!report.damaged());
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        // Hand-build a v3 file with an extra unknown section appended:
+        // readers must skip it and still produce the index.
+        let idx = sample_index();
+        let bytes = v3_bytes(&idx);
+        let dir = directory_of(&bytes);
+
+        let extra_payload = b"future-extension";
+        let mut extra_crc = Crc32::new();
+        extra_crc.update(&(extra_payload.len() as u64).to_le_bytes());
+        extra_crc.update(extra_payload);
+        let mut entries = dir.entries().to_vec();
+        // One more entry grows the header; shift every offset accordingly.
+        for e in &mut entries {
+            e.offset += ENTRY_BYTES as u64;
+        }
+        let tail = entries.last().unwrap();
+        entries.push(SectionEntry {
+            tag: 250,
+            offset: tail.offset + tail.block_len(),
+            len: extra_payload.len() as u64,
+            crc: extra_crc.finalize(),
+        });
+        let extended = SectionDirectory { entries };
+        let mut out = extended.encode_header();
+        out.extend_from_slice(&bytes[dir.header_len() as usize..]);
+        out.extend_from_slice(&(extra_payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(extra_payload);
+        out.extend_from_slice(&extended.entries().last().unwrap().crc.to_le_bytes());
+
+        let loaded = read_index(&mut out.as_slice()).unwrap();
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+        let report = inspect_snapshot(&out).unwrap();
+        assert!(!report.damaged());
+        assert_eq!(report.sections.len(), SECTION_ORDER.len() + 1);
+    }
+}

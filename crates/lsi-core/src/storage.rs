@@ -3,15 +3,20 @@
 //! The SVD is the expensive step of LSI ("at the expense of some
 //! considerable preprocessing", §1); a deployable system computes it once
 //! and serves many queries. This module defines a small, versioned,
-//! self-describing binary format:
+//! self-describing binary format. The current version (3) is *sectioned*:
+//! a CRC'd offset directory indexes independently length-prefixed,
+//! independently CRC-trailed sections (see [`crate::sections`] for the
+//! exact layout and the quarantine policy), so corruption is localized and
+//! large indexes can be opened lazily ([`crate::lazy`]). Legacy layouts:
 //!
 //! ```text
-//! magic "LSIX" | version u32 | weighting u8 | rank u32 |
-//! n_terms u64 | n_docs u64 | n_vt_docs u64 |
-//! singular_values  k × f64 |
-//! u        (n_terms × k) × f64 row-major |
-//! vt       (k × n_vt_docs) × f64 row-major |
-//! doc_reps (n_docs × k) × f64 row-major
+//! v1/v2: magic "LSIX" | version u32 | weighting u8 | rank u32 |
+//!        n_terms u64 | n_docs u64 | n_vt_docs u64 |
+//!        singular_values  k × f64 |
+//!        u        (n_terms × k) × f64 row-major |
+//!        vt       (k × n_vt_docs) × f64 row-major |
+//!        doc_reps (n_docs × k) × f64 row-major
+//!        [v2 only: crc32 u32 over every preceding byte]
 //! ```
 //!
 //! All integers and floats are little-endian. Document representations are
@@ -20,12 +25,14 @@
 //! factorization — `n_docs ≥ n_vt_docs`. Document norms are recomputed on
 //! load. Readers validate magic, version, dimensional consistency, and
 //! finiteness, so a truncated or corrupted file yields an error rather than
-//! a quietly broken index.
+//! a quietly broken index; when the caller knows the file size
+//! ([`read_index_sized`]), every declared length is additionally checked
+//! against the bytes actually available *before* anything is allocated.
 //!
-//! Version 2 appends a little-endian IEEE CRC-32 trailer computed over
-//! every preceding byte (magic and version included), so silent bit rot is
-//! caught even when the flipped bits still decode to finite floats.
-//! Version-1 files (no trailer) are still read.
+//! [`write_index`] emits version 3. [`read_index`] reads versions 1–3
+//! strictly (any damage is a typed error); [`open_index_tolerant`]
+//! additionally offers the v3 degraded partial-open, where damage to a
+//! non-essential section quarantines that section instead of failing.
 
 use std::io::{Read, Write};
 
@@ -34,11 +41,22 @@ use lsi_linalg::{vector, Matrix, TruncatedSvd};
 
 use crate::config::{LsiConfig, SvdBackend};
 use crate::index::LsiIndex;
+use crate::iofault::{io_faults, RetryPolicy};
+use crate::sections::{self, SectionDamage, SectionId};
 
-const MAGIC: &[u8; 4] = b"LSIX";
+pub(crate) const MAGIC: &[u8; 4] = b"LSIX";
+/// The monolithic CRC-trailed format (still read, no longer written by
+/// default; [`write_index_v2`] keeps it writable for compatibility tests
+/// and benchmarks).
 const VERSION: u32 = 2;
 /// Last format version without the CRC-32 trailer.
 const VERSION_NO_CRC: u32 = 1;
+/// The sectioned, offset-indexed format written by [`write_index`].
+pub(crate) const VERSION_SECTIONED: u32 = 3;
+
+/// Element-count cap per stored array (≈1 GiB of f64s): headers declaring
+/// more are rejected before any allocation.
+pub(crate) const MAX_ELEMS: usize = 1 << 27;
 
 const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
@@ -208,6 +226,25 @@ pub enum StorageError {
         /// The checksum computed over the bytes actually read.
         computed: u32,
     },
+    /// A v3 section directory failed its own CRC or describes an
+    /// impossible layout. The directory is the map to everything else, so
+    /// this damage cannot be isolated — the file is unreadable.
+    DamagedDirectory,
+    /// A v3 section failed its integrity checks. For essential sections
+    /// this fails the open; for degradable ones the tolerant open
+    /// quarantines the section instead of erroring.
+    DamagedSection {
+        /// The damaged section.
+        section: SectionId,
+    },
+    /// The header declares more payload than the file holds: a short read
+    /// or a crafted length, caught before any allocation.
+    TruncatedFile {
+        /// Bytes the header claims the file needs.
+        declared: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -222,6 +259,22 @@ impl std::fmt::Display for StorageError {
             StorageError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "checksum mismatch: file says {stored:#010x}, contents hash to {computed:#010x}"
+            ),
+            StorageError::DamagedDirectory => {
+                write!(
+                    f,
+                    "section directory damaged (unrecoverable from this file)"
+                )
+            }
+            StorageError::DamagedSection { section } => {
+                write!(f, "section {section} damaged")
+            }
+            StorageError::TruncatedFile {
+                declared,
+                available,
+            } => write!(
+                f,
+                "file truncated: header declares {declared} byte(s), only {available} available"
             ),
         }
     }
@@ -242,7 +295,7 @@ impl From<std::io::Error> for StorageError {
     }
 }
 
-fn weighting_tag(w: Weighting) -> u8 {
+pub(crate) fn weighting_tag(w: Weighting) -> u8 {
     match w {
         Weighting::Count => 0,
         Weighting::Binary => 1,
@@ -252,7 +305,7 @@ fn weighting_tag(w: Weighting) -> u8 {
     }
 }
 
-fn weighting_from_tag(t: u8) -> Result<Weighting, StorageError> {
+pub(crate) fn weighting_from_tag(t: u8) -> Result<Weighting, StorageError> {
     Ok(match t {
         0 => Weighting::Count,
         1 => Weighting::Binary,
@@ -286,8 +339,64 @@ fn read_f64s<R: Read>(r: &mut R, count: usize) -> Result<Vec<f64>, StorageError>
     Ok(out)
 }
 
-/// Serializes an index to any writer (version 2: CRC-32 trailer included).
+/// Decodes a little-endian `u32` from a fixed 4-byte window.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not exactly 4 bytes long; call sites pass
+/// fixed-width windows of buffers whose length was already checked.
+pub(crate) fn le_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes.try_into().expect("caller passes a 4-byte window"))
+}
+
+/// Decodes a little-endian `u64` from a fixed 8-byte window.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not exactly 8 bytes long; call sites pass
+/// fixed-width windows of buffers whose length was already checked.
+pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("caller passes an 8-byte window"))
+}
+
+/// Decodes a little-endian `f64` from a fixed 8-byte window.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not exactly 8 bytes long; call sites pass
+/// fixed-width windows of buffers whose length was already checked.
+pub(crate) fn le_f64(bytes: &[u8]) -> f64 {
+    f64::from_le_bytes(bytes.try_into().expect("caller passes an 8-byte window"))
+}
+
+/// Decodes exactly `count` little-endian f64s from an in-memory payload,
+/// rejecting non-finite values. The payload length was validated against
+/// `count` by the caller (a CRC-verified section), so this never
+/// over-allocates.
+pub(crate) fn read_f64s_exact(payload: &[u8], count: usize) -> Result<Vec<f64>, StorageError> {
+    debug_assert_eq!(payload.len(), count * 8);
+    let mut out = Vec::with_capacity(count.min(payload.len() / 8));
+    for chunk in payload.chunks_exact(8) {
+        let x = le_f64(chunk);
+        if !x.is_finite() {
+            return Err(StorageError::CorruptData);
+        }
+        out.push(x);
+    }
+    Ok(out)
+}
+
+/// Serializes an index to any writer in the current (sectioned, version-3)
+/// format. See [`crate::sections`] for the layout.
 pub fn write_index<W: Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageError> {
+    sections::write_index_v3(w, index)
+}
+
+/// Serializes an index in the legacy monolithic version-2 format (one
+/// whole-file CRC-32 trailer). Kept writable so compatibility tests and
+/// the open-latency benchmark can produce v2 files; new snapshots should
+/// use [`write_index`].
+pub fn write_index_v2<W: Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageError> {
     let f = index.factors();
     let k = index.rank();
     let n = index.n_terms();
@@ -319,6 +428,13 @@ pub fn write_index<W: Write>(w: &mut W, index: &LsiIndex) -> Result<(), StorageE
 /// therefore never destroys an existing index file — at worst it leaves a
 /// stale `.tmp`, which the next atomic write cleans up.
 pub fn write_index_atomic(path: &std::path::Path, index: &LsiIndex) -> Result<(), StorageError> {
+    // Transient I/O faults (EINTR-like hiccups) retry the whole attempt
+    // with bounded backoff; each failed attempt removes its .tmp, so every
+    // retry starts from the same clean pre-state.
+    RetryPolicy::default().run(|| write_index_atomic_once(path, index))
+}
+
+fn write_index_atomic_once(path: &std::path::Path, index: &LsiIndex) -> Result<(), StorageError> {
     let tmp = stale_tmp_path(path);
     // A leftover .tmp from a crashed previous writer is dead weight; remove
     // it so this write starts from a clean slate (File::create would
@@ -327,10 +443,10 @@ pub fn write_index_atomic(path: &std::path::Path, index: &LsiIndex) -> Result<()
         let _ = std::fs::remove_file(&tmp);
     }
     let file = std::fs::File::create(&tmp)?;
-    let mut w = std::io::BufWriter::new(file);
+    let mut w = std::io::BufWriter::new(io_faults::MaybeFaulty::new(file));
     let write_result = write_index(&mut w, index)
         .and_then(|()| w.flush().map_err(StorageError::from))
-        .and_then(|()| w.get_ref().sync_all().map_err(StorageError::from));
+        .and_then(|()| w.get_ref().inner().sync_all().map_err(StorageError::from));
     if let Err(e) = write_result {
         let _ = std::fs::remove_file(&tmp);
         return Err(e);
@@ -373,28 +489,39 @@ fn stale_tmp_path(path: &std::path::Path) -> std::path::PathBuf {
     path.with_file_name(name)
 }
 
-/// Deserializes an index from any reader.
+/// Deserializes an index from any reader, strictly: any damage anywhere
+/// is a typed error.
 ///
-/// Accepts both the current version-2 format (CRC-32 trailer, verified)
-/// and legacy version-1 files (no trailer). The loaded index reports
-/// [`SvdBackend::Dense`] as its backend (the factors are already computed;
-/// the backend only matters at build time).
+/// Accepts the sectioned version-3 format, version-2 (whole-file CRC-32
+/// trailer, verified), and legacy version-1 files (no trailer). The loaded
+/// index reports [`SvdBackend::Dense`] as its backend (the factors are
+/// already computed; the backend only matters at build time).
+///
+/// When the total byte size of the source is known, prefer
+/// [`read_index_sized`], which rejects oversized declared lengths before
+/// allocating.
 pub fn read_index<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(StorageError::BadMagic);
-    }
-    let mut u32buf = [0u8; 4];
-    r.read_exact(&mut u32buf)?;
-    let version = u32::from_le_bytes(u32buf);
-    match version {
-        VERSION_NO_CRC => read_body(r),
+    read_index_sized(r, None)
+}
+
+/// [`read_index`] with the source's total byte size: every
+/// header-declared payload length is validated against the bytes actually
+/// available *before* any allocation, so a short file or a crafted length
+/// prefix is a typed [`StorageError::TruncatedFile`] instead of an
+/// out-of-memory abort.
+pub fn read_index_sized<R: Read>(
+    r: &mut R,
+    total_len: Option<u64>,
+) -> Result<LsiIndex, StorageError> {
+    match read_header_version(r)? {
+        VERSION_NO_CRC => read_body(r, total_len.map(|t| t.saturating_sub(8))),
         VERSION => {
             let mut cr = Crc32Reader::new(r);
             cr.absorb(MAGIC);
-            cr.absorb(&version.to_le_bytes());
-            let index = read_body(&mut cr)?;
+            cr.absorb(&VERSION.to_le_bytes());
+            // The v2 trailer consumes 4 of the remaining bytes.
+            let remaining = total_len.map(|t| t.saturating_sub(8 + 4));
+            let index = read_body(&mut cr, remaining)?;
             let computed = cr.crc();
             let mut trailer = [0u8; 4];
             cr.inner().read_exact(&mut trailer)?;
@@ -404,13 +531,63 @@ pub fn read_index<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
             }
             Ok(index)
         }
+        VERSION_SECTIONED => sections::read_index_v3(r, total_len),
         other => Err(StorageError::UnsupportedVersion(other)),
     }
 }
 
+/// Deserializes an index tolerantly: damage to a *degradable* section of a
+/// version-3 file quarantines that section (returned as
+/// [`SectionDamage`], and marked on the index via
+/// [`LsiIndex::quarantined_sections`]) instead of failing the open.
+/// Essential-section or directory damage is still a typed error, as is any
+/// damage at all in the monolithic v1/v2 formats (they have no sections to
+/// isolate).
+pub fn open_index_tolerant<R: Read>(
+    r: &mut R,
+    total_len: Option<u64>,
+) -> Result<(LsiIndex, Vec<SectionDamage>), StorageError> {
+    match read_header_version(r)? {
+        VERSION_SECTIONED => sections::open_index_tolerant_v3(r),
+        VERSION => {
+            let mut cr = Crc32Reader::new(r);
+            cr.absorb(MAGIC);
+            cr.absorb(&VERSION.to_le_bytes());
+            let remaining = total_len.map(|t| t.saturating_sub(8 + 4));
+            let index = read_body(&mut cr, remaining)?;
+            let computed = cr.crc();
+            let mut trailer = [0u8; 4];
+            cr.inner().read_exact(&mut trailer)?;
+            let stored = u32::from_le_bytes(trailer);
+            if stored != computed {
+                return Err(StorageError::ChecksumMismatch { stored, computed });
+            }
+            Ok((index, Vec::new()))
+        }
+        VERSION_NO_CRC => Ok((
+            read_body(r, total_len.map(|t| t.saturating_sub(8)))?,
+            Vec::new(),
+        )),
+        other => Err(StorageError::UnsupportedVersion(other)),
+    }
+}
+
+/// Consumes and validates the magic, returning the declared version.
+fn read_header_version<R: Read>(r: &mut R) -> Result<u32, StorageError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    Ok(u32::from_le_bytes(u32buf))
+}
+
 /// Reads everything after the magic/version header: the weighting tag,
-/// dimensions, and factor payload.
-fn read_body<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
+/// dimensions, and factor payload. `remaining` is the byte budget past the
+/// magic/version (minus the v2 trailer), when the caller knows it.
+fn read_body<R: Read>(r: &mut R, remaining: Option<u64>) -> Result<LsiIndex, StorageError> {
     let mut u32buf = [0u8; 4];
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
@@ -429,7 +606,6 @@ fn read_body<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
     // `m_vt == 0` with `m_docs == 0` is legal: a basis-only snapshot (the
     // sharding layer's immutable spectral basis, populated later through
     // journal replay). A populated `vt` must still cover the rank.
-    const MAX_ELEMS: usize = 1 << 27;
     if k == 0
         || n == 0
         || m_docs < m_vt
@@ -442,6 +618,21 @@ fn read_body<R: Read>(r: &mut R) -> Result<LsiIndex, StorageError> {
         return Err(StorageError::BadDimensions(format!(
             "k={k}, n_terms={n}, n_docs={m_docs}, n_vt_docs={m_vt}"
         )));
+    }
+
+    // With a known byte budget, check the declared payload fits *before*
+    // allocating anything: a short read or an oversized length prefix is a
+    // typed error here, never an OOM abort mid-read.
+    if let Some(remaining) = remaining {
+        const HEADER: u64 = (1 + 4 + 8 + 8 + 8) as u64;
+        let elems = (k + n * k + k * m_vt + m_docs * k) as u64;
+        let declared = HEADER + elems * 8;
+        if declared > remaining {
+            return Err(StorageError::TruncatedFile {
+                declared,
+                available: remaining,
+            });
+        }
     }
 
     let singular_values = read_f64s(r, k)?;
@@ -556,8 +747,11 @@ mod tests {
 
     #[test]
     fn rejects_unknown_weighting() {
+        // v2 layout: the weighting tag sits at a fixed offset. (In v3 the
+        // tag lives inside the CRC-protected meta section, so a flipped
+        // tag surfaces as section damage before it is ever interpreted.)
         let mut buf = Vec::new();
-        write_index(&mut buf, &sample_index()).unwrap();
+        write_index_v2(&mut buf, &sample_index()).unwrap();
         buf[8] = 42;
         assert!(matches!(
             read_index(&mut buf.as_slice()),
@@ -578,8 +772,8 @@ mod tests {
     #[test]
     fn rejects_nan_payload() {
         let mut buf = Vec::new();
-        write_index(&mut buf, &sample_index()).unwrap();
-        // Overwrite the first singular value with NaN.
+        write_index_v2(&mut buf, &sample_index()).unwrap();
+        // Overwrite the first singular value with NaN (v2 fixed offsets).
         let offset = 4 + 4 + 1 + 4 + 8 + 8 + 8;
         buf[offset..offset + 8].copy_from_slice(&f64::NAN.to_le_bytes());
         assert!(matches!(
@@ -607,13 +801,82 @@ mod tests {
     #[test]
     fn rejects_absurd_dimensions() {
         let mut buf = Vec::new();
-        write_index(&mut buf, &sample_index()).unwrap();
-        // Claim 2^40 terms.
+        write_index_v2(&mut buf, &sample_index()).unwrap();
+        // Claim 2^40 terms (v2 fixed offsets).
         let offset = 4 + 4 + 1 + 4;
         buf[offset..offset + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
         assert!(matches!(
             read_index(&mut buf.as_slice()),
             Err(StorageError::BadDimensions(_))
+        ));
+    }
+
+    #[test]
+    fn v2_files_still_read_back() {
+        let idx = sample_index();
+        let mut buf = Vec::new();
+        write_index_v2(&mut buf, &idx).unwrap();
+        let loaded = read_index(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+        assert_eq!(loaded.n_docs(), idx.n_docs());
+        let q = vec![(0usize, 1.0), (1, 2.0)];
+        assert_eq!(loaded.query(&q, 5).doc_ids(), idx.query(&q, 5).doc_ids());
+    }
+
+    #[test]
+    fn sized_read_rejects_oversized_length_prefix_before_allocating() {
+        let idx = sample_index();
+        for v2 in [false, true] {
+            let mut buf = Vec::new();
+            if v2 {
+                write_index_v2(&mut buf, &idx).unwrap();
+            } else {
+                write_index_v2(&mut buf, &idx).unwrap();
+                buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+                buf.truncate(buf.len() - 4);
+            }
+            // Claim far more documents than the file holds — small enough
+            // to pass the element cap, so only the size check can refuse.
+            let offset = 4 + 4 + 1 + 4 + 8;
+            buf[offset..offset + 8].copy_from_slice(&(50_000u64).to_le_bytes());
+            let total = buf.len() as u64;
+            assert!(
+                matches!(
+                    read_index_sized(&mut buf.as_slice(), Some(total)),
+                    Err(StorageError::TruncatedFile { .. })
+                ),
+                "v2={v2}: oversized length prefix must be TruncatedFile"
+            );
+        }
+    }
+
+    #[test]
+    fn sized_read_accepts_exact_sizes() {
+        let idx = sample_index();
+        let mut v3 = Vec::new();
+        write_index(&mut v3, &idx).unwrap();
+        let loaded = read_index_sized(&mut v3.as_slice(), Some(v3.len() as u64)).unwrap();
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+        let mut v2 = Vec::new();
+        write_index_v2(&mut v2, &idx).unwrap();
+        let loaded = read_index_sized(&mut v2.as_slice(), Some(v2.len() as u64)).unwrap();
+        assert_eq!(loaded.singular_values(), idx.singular_values());
+    }
+
+    #[test]
+    fn sized_read_rejects_truncated_v3_directory_claims() {
+        let idx = sample_index();
+        let mut v3 = Vec::new();
+        write_index(&mut v3, &idx).unwrap();
+        let total = v3.len() as u64;
+        // Physically cut the file: the directory's declared extent now
+        // exceeds the available bytes.
+        assert!(matches!(
+            read_index_sized(
+                &mut v3[..v3.len() - 10].to_vec().as_slice(),
+                Some(total - 10)
+            ),
+            Err(StorageError::TruncatedFile { .. })
         ));
     }
 
@@ -627,7 +890,7 @@ mod tests {
     #[test]
     fn rejects_single_bit_flip_via_checksum() {
         let mut buf = Vec::new();
-        write_index(&mut buf, &sample_index()).unwrap();
+        write_index_v2(&mut buf, &sample_index()).unwrap();
         // Flip a low mantissa bit deep in the doc-representation payload:
         // the float stays finite, so only the checksum can catch it.
         let target = buf.len() - 12; // inside the last f64 before the trailer
@@ -641,7 +904,7 @@ mod tests {
     #[test]
     fn rejects_truncated_trailer() {
         let mut buf = Vec::new();
-        write_index(&mut buf, &sample_index()).unwrap();
+        write_index_v2(&mut buf, &sample_index()).unwrap();
         buf.truncate(buf.len() - 2); // payload intact, trailer cut short
         assert!(matches!(
             read_index(&mut buf.as_slice()),
@@ -653,7 +916,7 @@ mod tests {
     fn reads_legacy_version_1_files_without_trailer() {
         let idx = sample_index();
         let mut buf = Vec::new();
-        write_index(&mut buf, &idx).unwrap();
+        write_index_v2(&mut buf, &idx).unwrap();
         // Rewrite as a v1 file: patch the version field, drop the trailer.
         buf[4..8].copy_from_slice(&1u32.to_le_bytes());
         buf.truncate(buf.len() - 4);

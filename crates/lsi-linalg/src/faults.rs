@@ -302,39 +302,175 @@ impl CrashPoint {
     }
 }
 
-/// An [`std::io::Write`] adapter that persists only the bytes before its
-/// [`CrashPoint`], modelling a torn write.
+/// The way a byte stream's writes start failing once a boundary is
+/// crossed: the write-side fault taxonomy.
 ///
-/// Writes pass through unchanged until the crash point; the write that
-/// crosses the boundary commits the surviving prefix to the inner writer
-/// and then fails with an [`std::io::ErrorKind::Other`] error, as do all
-/// subsequent writes. The inner writer afterwards holds exactly the bytes
-/// a crashed process would have left on disk.
+/// Every variant triggers after `after` bytes have been accepted. The
+/// variants model distinct real-world failures with distinct observable
+/// signatures, so persistence paths can prove they map each one to a
+/// typed error (or ride it out) while leaving exact pre-state:
+///
+/// * [`Crash`](Self::Crash) — process/kernel death mid-write: the prefix
+///   survives, every write at or past the boundary fails with
+///   [`std::io::ErrorKind::Other`], permanently.
+/// * [`Enospc`](Self::Enospc) — device full: the prefix survives, the
+///   crossing write and all later ones fail with
+///   [`std::io::ErrorKind::StorageFull`] (the disk stays full).
+/// * [`ShortWrite`](Self::ShortWrite) — the device accepts a partial
+///   write, then accepts nothing: the crossing call returns `Ok(prefix)`
+///   and later calls return `Ok(0)`, which `write_all` surfaces as
+///   [`std::io::ErrorKind::WriteZero`].
+/// * [`Transient`](Self::Transient) — a retryable hiccup: the crossing
+///   write fails with [`std::io::ErrorKind::WouldBlock`] (committing
+///   nothing) `failures` times, then everything succeeds. A bounded
+///   retry-with-backoff rides this out; a non-retrying path surfaces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Process death after `after` bytes: prefix survives, then hard
+    /// errors forever.
+    Crash {
+        /// Bytes accepted before the fault.
+        after: u64,
+    },
+    /// Device full after `after` bytes: prefix survives, then
+    /// `StorageFull` forever.
+    Enospc {
+        /// Bytes accepted before the fault.
+        after: u64,
+    },
+    /// Partial acceptance after `after` bytes, then `Ok(0)` (→
+    /// `WriteZero` under `write_all`).
+    ShortWrite {
+        /// Bytes accepted before the fault.
+        after: u64,
+    },
+    /// `failures` retryable `WouldBlock` errors at the boundary, then
+    /// clean writes (nothing is lost).
+    Transient {
+        /// Bytes accepted before the fault first fires.
+        after: u64,
+        /// How many times the fault fires before clearing.
+        failures: u32,
+    },
+}
+
+/// Mutable progress of one armed [`WriteFault`] (bytes committed, times
+/// fired). Shared by [`FaultyWriter`] and any external injector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultState {
+    /// Bytes committed to the underlying writer so far.
+    pub written: u64,
+    /// Times the fault has fired so far.
+    pub fired: u32,
+}
+
+impl WriteFault {
+    /// The byte boundary at which this fault triggers.
+    pub fn after(&self) -> u64 {
+        match *self {
+            WriteFault::Crash { after }
+            | WriteFault::Enospc { after }
+            | WriteFault::ShortWrite { after }
+            | WriteFault::Transient { after, .. } => after,
+        }
+    }
+
+    /// Decides the fate of a `len`-byte write given prior progress:
+    /// returns how many leading bytes to commit and the error (if any) to
+    /// return after committing them. `(n, None)` with `n < len` is a
+    /// short write (`Ok(n)`; `n == 0` becomes `WriteZero` under
+    /// `write_all`). The caller must add the committed count to
+    /// `state.written` itself, after the commit actually succeeds.
+    pub fn decide(&self, state: &mut FaultState, len: usize) -> (usize, Option<std::io::Error>) {
+        let room =
+            usize::try_from(self.after().saturating_sub(state.written)).unwrap_or(usize::MAX);
+        if len <= room {
+            return (len, None);
+        }
+        match *self {
+            WriteFault::Crash { after } => {
+                state.fired += 1;
+                (
+                    room,
+                    Some(std::io::Error::other(format!(
+                        "injected crash after {after} byte(s)"
+                    ))),
+                )
+            }
+            WriteFault::Enospc { after } => {
+                state.fired += 1;
+                (
+                    room,
+                    Some(std::io::Error::new(
+                        std::io::ErrorKind::StorageFull,
+                        format!("injected ENOSPC after {after} byte(s)"),
+                    )),
+                )
+            }
+            WriteFault::ShortWrite { .. } => (room, None),
+            WriteFault::Transient { failures, .. } => {
+                if state.fired < failures {
+                    state.fired += 1;
+                    (
+                        0,
+                        Some(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "injected transient i/o fault",
+                        )),
+                    )
+                } else {
+                    (len, None)
+                }
+            }
+        }
+    }
+}
+
+/// An [`std::io::Write`] adapter that injects a [`WriteFault`] into the
+/// stream, modelling torn writes, full devices, short writes, and
+/// transient hiccups.
+///
+/// Writes pass through unchanged until the fault's byte boundary; the
+/// write that crosses it behaves per the fault's contract (see
+/// [`WriteFault`]). For [`WriteFault::Crash`] the inner writer afterwards
+/// holds exactly the bytes a crashed process would have left on disk.
 #[derive(Debug)]
 pub struct FaultyWriter<W: std::io::Write> {
     inner: W,
-    crash: CrashPoint,
-    written: u64,
+    fault: WriteFault,
+    state: FaultState,
 }
 
 impl<W: std::io::Write> FaultyWriter<W> {
-    /// Wraps `inner`, cutting the stream at `crash`.
+    /// Wraps `inner`, cutting the stream at `crash` (the original torn
+    /// write model; equivalent to [`WriteFault::Crash`]).
     pub fn new(inner: W, crash: CrashPoint) -> Self {
+        Self::with_fault(
+            inner,
+            WriteFault::Crash {
+                after: crash.offset(),
+            },
+        )
+    }
+
+    /// Wraps `inner`, injecting `fault` at its byte boundary.
+    pub fn with_fault(inner: W, fault: WriteFault) -> Self {
         Self {
             inner,
-            crash,
-            written: 0,
+            fault,
+            state: FaultState::default(),
         }
     }
 
     /// Bytes that reached the inner writer so far.
     pub fn written(&self) -> u64 {
-        self.written
+        self.state.written
     }
 
-    /// True once the crash point has been hit.
+    /// True once the fault boundary has been reached or the fault has
+    /// fired at least once.
     pub fn crashed(&self) -> bool {
-        self.written >= self.crash.offset()
+        self.state.written >= self.fault.after() || self.state.fired > 0
     }
 
     /// Unwraps the inner writer (the simulated on-disk state).
@@ -345,17 +481,13 @@ impl<W: std::io::Write> FaultyWriter<W> {
 
 impl<W: std::io::Write> std::io::Write for FaultyWriter<W> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        let room = self.crash.offset().saturating_sub(self.written);
-        let survive = (buf.len() as u64).min(room) as usize;
-        self.inner.write_all(&buf[..survive])?;
-        self.written += survive as u64;
-        if survive < buf.len() {
-            return Err(std::io::Error::other(format!(
-                "injected crash after {} byte(s)",
-                self.crash.offset()
-            )));
+        let (commit, err) = self.fault.decide(&mut self.state, buf.len());
+        self.inner.write_all(&buf[..commit])?;
+        self.state.written += commit as u64;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(commit),
         }
-        Ok(buf.len())
     }
 
     fn flush(&mut self) -> std::io::Result<()> {

@@ -1,0 +1,26 @@
+// Fixture: S2-unchecked-length-alloc must fire on readers that feed a
+// decoded length straight into an allocation.
+
+/// Reads a length prefix and allocates whatever it says: four corrupt
+/// bytes become a multi-gigabyte reservation.
+pub fn read_records(bytes: &[u8]) -> Vec<u64> {
+    let mut n = [0u8; 8];
+    n.copy_from_slice(&bytes[..8]);
+    let count = u64::from_le_bytes(n) as usize;
+    let mut out = Vec::with_capacity(count);
+    for chunk in bytes[8..].chunks_exact(8) {
+        let mut v = [0u8; 8];
+        v.copy_from_slice(chunk);
+        out.push(u64::from_le_bytes(v));
+    }
+    out
+}
+
+/// Same failure through the `vec![0; n]` spelling and `read_exact`.
+pub fn read_payload(r: &mut impl std::io::Read) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}

@@ -1,0 +1,63 @@
+// Fixture: S2-unchecked-length-alloc must stay quiet when decoded lengths
+// are bounded before allocation, in fns that decode nothing, and under a
+// justified allow.
+
+/// Declared section counts may never exceed this.
+pub const MAX_RECORDS: u64 = 1 << 12;
+
+/// Cap against a named constant before allocating.
+pub fn read_capped(bytes: &[u8]) -> Option<Vec<u64>> {
+    let mut n = [0u8; 8];
+    n.copy_from_slice(bytes.get(..8)?);
+    let count = u64::from_le_bytes(n);
+    if count > MAX_RECORDS {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    for chunk in bytes[8..].chunks_exact(8) {
+        let mut v = [0u8; 8];
+        v.copy_from_slice(chunk);
+        out.push(u64::from_le_bytes(v));
+    }
+    Some(out)
+}
+
+/// Clamp against the remaining input on the allocation line itself.
+pub fn read_clamped(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    len.copy_from_slice(bytes.get(..4)?);
+    let declared = u32::from_le_bytes(len) as usize;
+    let mut out = Vec::with_capacity(declared.min(bytes.len() - 4));
+    out.extend_from_slice(bytes.get(4..4 + declared)?);
+    Some(out)
+}
+
+/// Overflow-checked size arithmetic rejects absurd declared shapes.
+pub fn read_matrix(bytes: &[u8], rows: usize, cols: usize) -> Option<Vec<u8>> {
+    let mut tag = [0u8; 4];
+    tag.copy_from_slice(bytes.get(..4)?);
+    let _version = u32::from_le_bytes(tag);
+    let total = rows.checked_mul(cols)?;
+    let mut out = vec![0u8; total];
+    out.copy_from_slice(bytes.get(4..4 + total)?);
+    Some(out)
+}
+
+/// No decoding at all: allocating from a caller-supplied size is the
+/// caller's contract, not a corruption surface.
+pub fn zeros(n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    out.resize(n, 0.0);
+    out
+}
+
+/// A justified exception keeps the escape hatch honest.
+pub fn read_trusted(bytes: &[u8]) -> Vec<u8> {
+    let mut len = [0u8; 4];
+    len.copy_from_slice(&bytes[..4]);
+    let n = u32::from_le_bytes(len) as usize;
+    // lsi-lint: allow(S2-unchecked-length-alloc, "length was validated by the caller's header check")
+    let mut out = vec![0u8; n];
+    out.copy_from_slice(&bytes[4..4 + n]);
+    out
+}

@@ -19,6 +19,7 @@ mod p1;
 mod p2;
 mod r1;
 mod s1;
+mod s2;
 mod u1;
 
 /// A conformance rule.
@@ -45,6 +46,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(p2::P2ThreadDependentChunking),
         Box::new(r1::R1Reflector),
         Box::new(s1::S1UnsyncedWrite),
+        Box::new(s2::S2UncheckedLengthAlloc),
         Box::new(u1::U1Unsafe),
     ]
 }

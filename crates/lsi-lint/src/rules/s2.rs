@@ -1,0 +1,95 @@
+//! S2-unchecked-length-alloc: reader hardening policy (CLAUDE.md: fns that
+//! decode on-disk bytes must bound every decoded length against a constant
+//! or the remaining input before allocating from it). A reader that feeds a
+//! `from_le_bytes`/`read_exact` value straight into `Vec::with_capacity` or
+//! `vec![0…; n]` turns four corrupt bytes into a multi-gigabyte allocation —
+//! an abort, not the typed `StorageError` the corruption paths promise.
+//! Warn-level: the heuristic can't prove a bound flows into the allocation,
+//! only that some bounding idiom (a `MAX_*` cap, `.min(…)`, or `checked_*`
+//! arithmetic) appears in the fn at or before the allocation.
+
+use super::{emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Tokens that mark a fn as decoding untrusted on-disk bytes.
+const DECODES: &[&str] = &["from_le_bytes(", "read_exact("];
+/// Allocation sites whose size may derive from decoded input.
+const ALLOCS: &[&str] = &["with_capacity(", "vec![0"];
+/// Bounding idioms: a named cap constant, a clamp, or overflow-checked size
+/// arithmetic (whose `None` arm rejects the decoded value).
+const GUARDS: &[&str] = &[
+    "MAX_",
+    ".min(",
+    "checked_mul(",
+    "checked_add(",
+    "checked_sub(",
+];
+
+/// The S2 rule.
+pub struct S2UncheckedLengthAlloc;
+
+impl Rule for S2UncheckedLengthAlloc {
+    fn id(&self) -> &'static str {
+        "S2-unchecked-length-alloc"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "fns that decode on-disk bytes must bound lengths before allocating"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        // Tests and benches allocate from literals they just wrote; the
+        // policy bites where production readers parse files a crash (or a
+        // fuzzer) may have mangled.
+        if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
+            return;
+        }
+        for f in &ctx.fns {
+            if ctx.is_test_line(f.start_line) {
+                continue;
+            }
+            // Line-ordered scan: an allocation is suspect once a decode has
+            // been seen and no bounding idiom has appeared yet. Guards are
+            // checked first so a same-line clamp
+            // (`with_capacity(n.min(1 << 16))`) stays quiet.
+            let mut decoded = false;
+            let mut guarded = false;
+            for lineno in f.start_line..=f.end_line.min(ctx.lines.len()) {
+                if ctx.is_test_line(lineno) {
+                    continue;
+                }
+                let line = &ctx.lines[lineno - 1];
+                if GUARDS.iter().any(|g| line.contains(g)) {
+                    guarded = true;
+                }
+                if !decoded && DECODES.iter().any(|d| line.contains(d)) {
+                    decoded = true;
+                }
+                if decoded && !guarded {
+                    if let Some(a) = ALLOCS.iter().find(|a| line.contains(*a)) {
+                        emit(
+                            ctx,
+                            out,
+                            self.id(),
+                            self.severity(),
+                            lineno,
+                            format!(
+                                "fn `{}` decodes on-disk bytes, then reaches `{}` with no \
+                                 bound in sight",
+                                f.name,
+                                a.trim_end_matches('(')
+                            ),
+                            "cap the decoded length against a MAX_* constant or the remaining \
+                             input (`.min(…)`, `checked_mul`) before allocating, or add \
+                             `// lsi-lint: allow(S2, \"...\")` with the reason the size is \
+                             already trusted",
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -16,6 +16,7 @@ const RULES: &[(&str, &str)] = &[
     ("p2", "P2-thread-dependent-chunking"),
     ("r1", "R1-reflector"),
     ("s1", "S1-unsynced-write"),
+    ("s2", "S2-unchecked-length-alloc"),
     ("u1", "U1-unsafe"),
 ];
 
@@ -90,6 +91,7 @@ fn warn_rules_have_warn_severity() {
         ("m1", "M1-arrival-order-merge"),
         ("p2", "P2-thread-dependent-chunking"),
         ("r1", "R1-reflector"),
+        ("s2", "S2-unchecked-length-alloc"),
     ] {
         let findings = lint_fixture("fire", name);
         let hit = findings

@@ -667,6 +667,31 @@ impl Cluster {
         dir: &Path,
         config: ClusterConfig,
     ) -> Result<(Self, Vec<RecoveryReport>), ClusterError> {
+        let (cluster, reports) = Self::open_tolerant(dir, config)?;
+        let mut out = Vec::with_capacity(reports.len());
+        for report in reports {
+            out.push(report.map_err(ClusterError::Storage)?);
+        }
+        Ok((cluster, out))
+    }
+
+    /// [`open`](Self::open), tolerating unopenable shards: a shard whose
+    /// snapshot is too damaged to open at all (directory or
+    /// essential-section corruption) is left *down* — its slot remains,
+    /// the scatter skips it, and answers are honestly marked
+    /// [`MissingShards`](ClusterDegradeReason::MissingShards) under the
+    /// usual quorum rules — instead of failing the whole cluster open.
+    /// Damage is thereby contained twice over: a flipped byte in one
+    /// shard's degradable section quarantines just that section (the
+    /// shard still opens), and essential damage downs just that shard.
+    ///
+    /// Returns, per shard, `Ok(report)` or the open error that downed it.
+    /// Fails only when *no* shard opens (nothing to serve, and no basis
+    /// to serve it with).
+    pub fn open_tolerant(
+        dir: &Path,
+        config: ClusterConfig,
+    ) -> Result<(Self, Vec<Result<RecoveryReport, StorageError>>), ClusterError> {
         let mut snapshots: Vec<PathBuf> = std::fs::read_dir(dir)
             .map_err(StorageError::from)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -690,7 +715,23 @@ impl Cluster {
         let mut basis: Option<LsiIndex> = None;
         let mut next_gid = 0u64;
         for (shard, snapshot) in snapshots.iter().enumerate() {
-            let (durable, report, records) = DurableIndex::open_durable_with_records(snapshot)?;
+            let (durable, report, records) = match DurableIndex::open_durable_with_records(snapshot)
+            {
+                Ok(opened) => opened,
+                Err(e) => {
+                    // Down, not fatal: the slot stays so shard indices and
+                    // quorum arithmetic are unchanged, and the scatter
+                    // simply gets nothing from it.
+                    cells.push(RwLock::new(ShardCell {
+                        engine: None,
+                        ids: Vec::new(),
+                        generation: 0,
+                    }));
+                    health.push(ShardHealth::default());
+                    reports.push(Err(e));
+                    continue;
+                }
+            };
             let ids = rebuild_ids(report.snapshot_docs, &records, durable.index().n_docs());
             for gid in ids.iter().flatten() {
                 next_gid = next_gid.max(gid + 1);
@@ -706,13 +747,17 @@ impl Cluster {
                 generation: 0,
             }));
             health.push(ShardHealth::default());
-            reports.push(report);
+            reports.push(Ok(report));
         }
         let n_shards = cells.len();
         let Some(basis) = basis else {
-            return Err(ClusterError::BadOperation(
-                "shard scan produced no basis".to_string(),
-            ));
+            // Every shard failed to open; surface the first failure (the
+            // caller cannot serve anything, so this is a hard error).
+            let first = reports.into_iter().find_map(Result::err);
+            return Err(match first {
+                Some(e) => ClusterError::Storage(e),
+                None => ClusterError::BadOperation("shard scan produced no basis".to_string()),
+            });
         };
         Ok((
             Cluster {
@@ -1512,5 +1557,60 @@ mod tests {
         assert_eq!(stats.bad_query, 1);
         assert!(stats.consistent());
         cluster.shutdown();
+    }
+
+    #[test]
+    fn damaged_shard_snapshot_is_contained_by_tolerant_open() {
+        let dir = temp_dir("tolerant_open");
+        let index = sample_index();
+        let cluster = Cluster::create(&index, &dir, fast_config(3)).expect("create cluster");
+        cluster.shutdown();
+
+        // Corrupt shard 1's snapshot inside an essential section: that
+        // shard can no longer open at all.
+        let snapshot = shard_snapshot_path(&dir, 1);
+        let mut bytes = std::fs::read(&snapshot).expect("read shard snapshot");
+        let report = lsi_core::inspect_snapshot(&bytes).expect("inspect shard snapshot");
+        let section = report
+            .sections
+            .iter()
+            .find(|s| s.id == Some(lsi_core::SectionId::TermFactors))
+            .expect("term-factors section present");
+        bytes[(section.offset + 8 + section.len / 2) as usize] ^= 0xFF;
+        std::fs::write(&snapshot, &bytes).expect("install corrupt shard snapshot");
+
+        // The strict open refuses the whole cluster.
+        assert!(matches!(
+            Cluster::open(&dir, fast_config(3)),
+            Err(ClusterError::Storage(_))
+        ));
+
+        // The tolerant open downs exactly that shard and keeps serving:
+        // the other shards' documents still answer, honestly marked.
+        let (reopened, reports) =
+            Cluster::open_tolerant(&dir, fast_config(3)).expect("tolerant open");
+        assert_eq!(reports.len(), 3);
+        assert!(reports[0].is_ok() && reports[2].is_ok());
+        assert!(reports[1].is_err(), "damaged shard must report its error");
+        let response = reopened
+            .query(Query::new(vec![(0, 1.0), (7, 2.0)], 10))
+            .expect("quorum holds with one shard down");
+        match response {
+            ClusterResponse::Degraded {
+                hits,
+                reason: ClusterDegradeReason::MissingShards(1),
+            } => {
+                assert!(!hits.is_empty());
+                // Shard 1 held docs 1, 4, 7 (round-robin): none can appear.
+                assert!(
+                    hits.doc_ids().iter().all(|d| d % 3 != 1),
+                    "downed shard leaked documents: {:?}",
+                    hits.doc_ids()
+                );
+            }
+            other => panic!("expected MissingShards(1), got {other:?}"),
+        }
+        reopened.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 use lsi_core::cancel::CancelToken;
 use lsi_core::{
     BadQuery, BuildStatus, DurabilityError, DurableIndex, LsiError, LsiIndex, MutationRecord,
+    SectionId,
 };
 use lsi_ir::retrieval::{RankedList, VectorSpaceIndex};
 use lsi_ir::TermDocumentMatrix;
@@ -123,6 +124,11 @@ pub enum DegradeReason {
     /// LSI-space scoring exceeded the soft deadline; the answer comes from
     /// the raw term-space scorer instead.
     SoftDeadline,
+    /// The snapshot was partially opened with this section quarantined
+    /// (corrupt on disk); answers come from the term-space fallback, or
+    /// from the surviving LSI state when no fallback is attached, until
+    /// `lsi recover` rebuilds the section.
+    DamagedSection(SectionId),
 }
 
 impl std::fmt::Display for DegradeReason {
@@ -130,6 +136,9 @@ impl std::fmt::Display for DegradeReason {
         match self {
             DegradeReason::DegradedIndex => write!(f, "index built at degraded rank"),
             DegradeReason::SoftDeadline => write!(f, "soft deadline exceeded"),
+            DegradeReason::DamagedSection(section) => {
+                write!(f, "snapshot section `{section}` quarantined")
+            }
         }
     }
 }
@@ -313,6 +322,12 @@ struct EngineState {
     raw: Option<VectorSpaceIndex>,
     /// Cached `matches!(index.build_status(), Degraded)`.
     index_degraded: bool,
+    /// First *answer-affecting* quarantined section of a partially opened
+    /// snapshot (see [`SectionId::affects_queries`]), cached from
+    /// [`LsiIndex::quarantined_sections`] at construction. Bookkeeping
+    /// quarantines (`doc-factors`, `foldin-meta`) never touch query
+    /// scoring and do not degrade answers.
+    quarantined_section: Option<SectionId>,
 }
 
 struct Shared {
@@ -398,6 +413,21 @@ impl QueryEngine {
         Self::build(ServedIndex::Durable(durable), None, config)
     }
 
+    /// Builds an engine over a [`DurableIndex`] plus a raw term-space
+    /// fallback scorer built from `td`. The fallback both absorbs soft
+    /// deadlines and keeps a partially opened snapshot (quarantined
+    /// [`DocVectors`](SectionId::DocVectors)) answering at full corpus
+    /// coverage, marked [`DegradeReason::DamagedSection`].
+    pub fn with_durable_fallback(
+        durable: DurableIndex,
+        td: &TermDocumentMatrix,
+        config: EngineConfig,
+    ) -> Self {
+        let weighted = td.weighted(durable.index().config().weighting);
+        let raw = VectorSpaceIndex::build(&weighted);
+        Self::build(ServedIndex::Durable(durable), Some(raw), config)
+    }
+
     /// # Panics
     /// Panics when the OS refuses to spawn a worker thread (resource
     /// exhaustion at construction time; an engine without workers could
@@ -406,11 +436,18 @@ impl QueryEngine {
         let workers = config.workers.max(1);
         let capacity = config.queue_capacity.max(1);
         let index_degraded = matches!(served.index().build_status(), BuildStatus::Degraded { .. });
+        let quarantined_section = served
+            .index()
+            .quarantined_sections()
+            .iter()
+            .copied()
+            .find(|s| s.affects_queries());
         let shared = Arc::new(Shared {
             state: RwLock::new(EngineState {
                 served,
                 raw,
                 index_degraded,
+                quarantined_section,
             }),
             stats: ServeStats::new(),
             config,
@@ -773,6 +810,24 @@ fn handle_job(
     // Validation gates every path, so malformed input can never reach a
     // scorer (LSI or fallback).
     index.validate_query(&query.terms).map_err(map_lsi_error)?;
+
+    // Partially opened snapshot: a quarantined section means the LSI
+    // document vectors cannot be trusted (zeroed rows), so prefer the raw
+    // term-space scorer; without one, the surviving LSI state still
+    // answers (quarantined rows score zero and sink), but marked.
+    if let Some(section) = state.quarantined_section {
+        let hits = match &state.raw {
+            Some(raw) => raw.query(&query.terms, query.top_k),
+            None => index
+                .try_query(&query.terms, query.top_k, Some(&hard))
+                .map_err(map_lsi_error)?,
+        };
+        hard.check().map_err(|_| QueryError::DeadlineExceeded)?;
+        return Ok(QueryResponse::Degraded {
+            hits,
+            reason: DegradeReason::DamagedSection(section),
+        });
+    }
 
     // Degraded index: prefer the raw term-space scorer; without one, the
     // live-subspace LSI answer is still served, but marked.

@@ -69,6 +69,13 @@ gate "serve-json smoke (sharded serving baseline)"
 cargo run --release -p lsi-bench --bin serve-json -- --smoke --out /tmp/lsi_serve_smoke.json
 rm -f /tmp/lsi_serve_smoke.json
 
+gate "open-json smoke (cold-start baseline)"
+# The emitter refuses to write when a v3 lazy open stops being sublinear
+# (byte-counted, not timed) or a streamed answer diverges bitwise from the
+# eager open, so this smoke doubles as a cold-start invariant check.
+cargo run --release -p lsi-bench --bin open-json -- --smoke --out /tmp/lsi_open_smoke.json
+rm -f /tmp/lsi_open_smoke.json
+
 gate "serve chaos suite (fixed seed)"
 SERVE_CHAOS_SEED=20260706 cargo test --test serve_chaos
 
@@ -89,6 +96,12 @@ cargo test --release --test crash_matrix
 cargo test --release --test corruption_fuzz
 cargo test --release --test recovery_consistency
 cargo test --release -p lsi-cli --test container_fuzz
+
+gate "I/O fault injection: ENOSPC / short-write / transient suite (release)"
+# Release profile: every persistence path (journal append, checkpoint,
+# atomic rewrite, cluster rebalance) must surface a typed error and leave
+# byte-exact pre-state under injected write faults.
+cargo test --release --test io_faults
 
 gate "benches compile"
 cargo bench --workspace --no-run

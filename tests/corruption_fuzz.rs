@@ -1,21 +1,25 @@
 //! Corruption fuzz sweep over the persistence formats.
 //!
 //! Every single-byte corruption of an `.lsix` snapshot or a `.lsij`
-//! journal must be *contained*: snapshot reads fail with a typed
+//! journal must be *contained*: strict snapshot reads fail with a typed
 //! [`lsi_core::StorageError`] (never a panic, never a silently wrong
-//! index), and journal recovery degrades to a strict prefix of the
-//! original record stream (never an invented or altered record). Two
-//! masks per offset: `0xFF` (whole byte inverted — gross media damage)
-//! and `0x01` (single bit — the classic silent-rot case a checksum must
-//! catch).
+//! index); tolerant opens of the sectioned v3 format either fail typed or
+//! quarantine exactly the degradable section holding the flipped byte;
+//! and journal recovery degrades to a strict prefix of the original
+//! record stream (never an invented or altered record). Two masks per
+//! offset: `0xFF` (whole byte inverted — gross media damage) and `0x01`
+//! (single bit — the classic silent-rot case a checksum must catch).
 
 use std::path::PathBuf;
 
 use lsi_core::journal::{decode_frames, encode_frame, fresh_journal_bytes};
 use lsi_core::{
-    read_index, write_index, DurableIndex, Journal, LsiConfig, LsiIndex, MutationRecord,
+    inspect_snapshot, open_index_tolerant, read_index, write_index, DurableIndex, Journal,
+    LsiConfig, LsiIndex, MutationRecord, SectionId, SnapshotReport,
 };
+use lsi_ir::retrieval::VectorSpaceIndex;
 use lsi_ir::TermDocumentMatrix;
+use lsi_serve::{DegradeReason, EngineConfig, Query, QueryEngine, QueryResponse};
 
 const MASKS: [u8; 2] = [0xFF, 0x01];
 
@@ -26,8 +30,8 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn sample_index() -> LsiIndex {
-    let td = TermDocumentMatrix::from_triplets(
+fn sample_corpus() -> TermDocumentMatrix {
+    TermDocumentMatrix::from_triplets(
         5,
         4,
         &[
@@ -41,8 +45,21 @@ fn sample_index() -> LsiIndex {
             (4, 3, 1.0),
         ],
     )
-    .expect("valid triplets");
-    LsiIndex::build(&td, LsiConfig::with_rank(2)).expect("build sample index")
+    .expect("valid triplets")
+}
+
+fn sample_index() -> LsiIndex {
+    LsiIndex::build(&sample_corpus(), LsiConfig::with_rank(2)).expect("build sample index")
+}
+
+/// Byte offset of the middle of `id`'s payload in a v3 snapshot image.
+fn payload_mid(report: &SnapshotReport, id: SectionId) -> usize {
+    let s = report
+        .sections
+        .iter()
+        .find(|s| s.id == Some(id))
+        .expect("section present in directory");
+    (s.offset + 8 + s.len / 2) as usize
 }
 
 /// Flipping any byte of a snapshot — any offset, both masks — must come
@@ -73,41 +90,173 @@ fn every_snapshot_byte_flip_is_a_typed_error() {
     }
 }
 
-/// The same sweep through the full recovery entry point: a corrupt
-/// snapshot on disk makes `open_durable` fail with a typed error rather
-/// than panic or fabricate an index. (Sampled offsets — the exhaustive
-/// in-memory sweep above already covers every byte.)
+/// Tolerant open, exhaustively: flipping any byte of a v3 snapshot — any
+/// offset, both masks — either fails with a typed error (version,
+/// directory, or essential-section damage) or opens with a non-empty
+/// quarantine naming only degradable sections whose block contains the
+/// flipped byte. A flip is never silently absorbed, and the quarantine
+/// reported to the caller always matches the one marked on the index.
 #[test]
-fn open_durable_reports_snapshot_corruption_as_typed_error() {
+fn every_v3_byte_flip_quarantines_or_errors() {
+    let index = sample_index();
+    let mut clean = Vec::new();
+    write_index(&mut clean, &index).expect("serialize");
+    let report = inspect_snapshot(&clean).expect("inspect clean image");
+
+    for offset in 0..clean.len() {
+        for mask in MASKS {
+            let mut dirty = clean.clone();
+            dirty[offset] ^= mask;
+            let total = dirty.len() as u64;
+            match open_index_tolerant(&mut dirty.as_slice(), Some(total)) {
+                Err(_typed) => {} // contained: every variant is acceptable
+                Ok((opened, damage)) => {
+                    assert!(
+                        !damage.is_empty(),
+                        "flip {mask:#04x} at offset {offset} was silently absorbed"
+                    );
+                    for d in &damage {
+                        assert!(
+                            !d.section.essential(),
+                            "tolerant open quarantined essential section {}",
+                            d.section
+                        );
+                        let s = report
+                            .sections
+                            .iter()
+                            .find(|s| s.id == Some(d.section))
+                            .expect("quarantined section is in the directory");
+                        let block = s.offset..s.offset + 8 + s.len + 4;
+                        assert!(
+                            block.contains(&(offset as u64)),
+                            "flip {mask:#04x} at offset {offset} quarantined \
+                             unrelated section {}",
+                            d.section
+                        );
+                    }
+                    let marked: Vec<SectionId> = damage.iter().map(|d| d.section).collect();
+                    assert_eq!(opened.quarantined_sections(), marked.as_slice());
+                }
+            }
+        }
+    }
+}
+
+/// The same contract through the full recovery entry point. `open_durable`
+/// opens *tolerantly*: damage to the directory or an essential section is
+/// still a typed error, while damage inside a degradable section opens the
+/// index with exactly that section quarantined — never a panic, never a
+/// silently clean index. (Sampled offsets — the exhaustive in-memory
+/// sweeps above already cover every byte.)
+#[test]
+fn open_durable_contains_snapshot_corruption() {
     let dir = temp_dir("open_durable");
     let snapshot = dir.join("index.lsix");
     let d = DurableIndex::create(&snapshot, sample_index()).expect("create");
     drop(d);
     let clean = std::fs::read(&snapshot).expect("read snapshot");
+    let report = inspect_snapshot(&clean).expect("inspect clean snapshot");
 
-    let probes = [
+    // Magic, directory count, and a directory entry: unrecoverable.
+    let essential_probes = [
         0usize,
         1,
         8,
-        9,
-        clean.len() / 2,
-        clean.len() - 3,
-        clean.len() - 1,
+        13,
+        payload_mid(&report, SectionId::Meta),
+        payload_mid(&report, SectionId::SingularValues),
+        payload_mid(&report, SectionId::TermFactors),
     ];
-    for offset in probes {
+    for offset in essential_probes {
         let mut dirty = clean.clone();
         dirty[offset] ^= 0xFF;
         std::fs::write(&snapshot, &dirty).expect("install corrupt snapshot");
         assert!(
             DurableIndex::open_durable(&snapshot).is_err(),
-            "corrupt snapshot (offset {offset}) opened without error"
+            "essential damage (offset {offset}) opened without error"
         );
+    }
+
+    // Degradable sections: partial open with the quarantine reported.
+    for id in [
+        SectionId::DocFactors,
+        SectionId::DocVectors,
+        SectionId::FoldInMeta,
+    ] {
+        let mut dirty = clean.clone();
+        dirty[payload_mid(&report, id)] ^= 0xFF;
+        std::fs::write(&snapshot, &dirty).expect("install corrupt snapshot");
+        let (durable, recovery) =
+            DurableIndex::open_durable(&snapshot).expect("degradable damage partially opens");
+        assert_eq!(recovery.quarantined, vec![id]);
+        assert_eq!(durable.index().quarantined_sections(), &[id]);
     }
 
     // Restore the clean bytes: recovery works again — corruption handling
     // must not have side effects on the snapshot itself.
     std::fs::write(&snapshot, &clean).expect("restore snapshot");
-    DurableIndex::open_durable(&snapshot).expect("clean snapshot reopens");
+    let (durable, recovery) =
+        DurableIndex::open_durable(&snapshot).expect("clean snapshot reopens");
+    assert!(recovery.quarantined.is_empty());
+    assert!(durable.index().quarantined_sections().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A partial open with `doc-vectors` quarantined must answer every query
+/// exactly — bitwise — like the raw term-space fallback it degrades to,
+/// and say so in the degrade reason.
+#[test]
+fn partial_open_answers_exactly_like_term_space_fallback() {
+    let td = sample_corpus();
+    let index = LsiIndex::build(&td, LsiConfig::with_rank(2)).expect("build");
+    let weighting = index.config().weighting;
+    let dir = temp_dir("partial_open");
+    let snapshot = dir.join("index.lsix");
+    drop(DurableIndex::create(&snapshot, index).expect("create"));
+
+    let mut bytes = std::fs::read(&snapshot).expect("read snapshot");
+    let report = inspect_snapshot(&bytes).expect("inspect");
+    bytes[payload_mid(&report, SectionId::DocVectors)] ^= 0x01;
+    std::fs::write(&snapshot, &bytes).expect("install corrupt snapshot");
+
+    let (durable, recovery) = DurableIndex::open_durable(&snapshot).expect("partial open");
+    assert_eq!(recovery.quarantined, vec![SectionId::DocVectors]);
+
+    let engine = QueryEngine::with_durable_fallback(
+        durable,
+        &td,
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let raw = VectorSpaceIndex::build(&td.weighted(weighting));
+
+    let mut queries: Vec<Vec<(usize, f64)>> = (0..5).map(|t| vec![(t, 1.0)]).collect();
+    queries.push(vec![(0, 0.5), (3, 2.0)]);
+    queries.push(vec![(1, 1.0), (2, 1.0), (4, 0.25)]);
+
+    for terms in queries {
+        let resp = engine
+            .query(Query::new(terms.clone(), 4))
+            .expect("degraded query answers");
+        match resp {
+            QueryResponse::Degraded { hits, reason } => {
+                assert_eq!(reason, DegradeReason::DamagedSection(SectionId::DocVectors));
+                let expect = raw.query(&terms, 4);
+                assert_eq!(hits.doc_ids(), expect.doc_ids(), "ranking diverged");
+                for (h, e) in hits.hits().iter().zip(expect.hits()) {
+                    assert_eq!(
+                        h.score.to_bits(),
+                        e.score.to_bits(),
+                        "doc {} scored differently from the fallback",
+                        h.doc
+                    );
+                }
+            }
+            other => panic!("expected a degraded response, got {other:?}"),
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
