@@ -8,45 +8,56 @@
 //!
 //! Emits `BENCH_kernels.json` (at the repo root by default) with one record
 //! per (kernel, thread count): median wall milliseconds over several runs,
-//! derived GFLOP/s where a flop count is well-defined, and speedup versus
+//! derived GFLOP/s (exact counts for the dense/CSR kernels, a
+//! matvec-count estimate for whole Lanczos runs), and speedup versus
 //! the 1-thread row. The host's logical CPU count is recorded alongside —
 //! on a single-core host the >1-thread rows measure scheduling overhead,
 //! not speedup, and the JSON says so rather than hiding it.
 //!
 //! `--smoke` shrinks problem sizes and repetitions so CI can verify the
-//! path end-to-end in well under a second.
+//! path end-to-end in well under a second. `--gate BASELINE.json`
+//! re-measures the single-thread dense matmul and exits non-zero when it
+//! regresses more than 20% below the committed baseline's GFLOP/s.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
 use lsi_linalg::parallel::set_threads;
 use lsi_linalg::rng::{gaussian_matrix, seeded};
-use lsi_linalg::CsrMatrix;
+use lsi_linalg::{CsrMatrix, LinearOperator, Matrix, Result as LinalgResult};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Largest single-thread GFLOP/s regression `--gate` tolerates before
+/// failing, as a fraction of the committed baseline.
+const GATE_TOLERANCE: f64 = 0.20;
 
 struct Args {
     out: String,
     smoke: bool,
+    gate: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut out = "BENCH_kernels.json".to_owned();
     let mut smoke = false;
+    let mut gate = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = it.next().ok_or("--out needs a value")?,
             "--smoke" => smoke = true,
+            "--gate" => gate = Some(it.next().ok_or("--gate needs a baseline path")?),
             "--help" | "-h" => {
-                println!("usage: bench-json [--out PATH] [--smoke]");
+                println!("usage: bench-json [--out PATH] [--smoke] [--gate BASELINE.json]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    Ok(Args { out, smoke })
+    Ok(Args { out, smoke, gate })
 }
 
 /// Median wall time in milliseconds over `reps` runs of `f`.
@@ -72,7 +83,8 @@ struct Record {
     shape: String,
     threads: usize,
     wall_ms: f64,
-    /// `None` when a flop count is not well-defined (e.g. whole Lanczos runs).
+    /// `None` when no flop count (exact or estimated) is attached. Lanczos
+    /// rows carry a matvec-count estimate rather than an exact count.
     gflops: Option<f64>,
     speedup_vs_1t: f64,
 }
@@ -104,6 +116,115 @@ fn sweep(
     records
 }
 
+/// A [`LinearOperator`] shim that counts matvec applications, so a flop
+/// estimate can be attached to a whole Lanczos run: every apply (forward
+/// or transposed) touches each stored entry once (2·nnz flops), and the
+/// tridiagonal/re-orthogonalization work is a lower-order term the
+/// estimate deliberately ignores. The count is deterministic — Lanczos is
+/// seed-deterministic and thread-invariant — so one counted run prices
+/// every timed run.
+struct CountingOp<'a> {
+    inner: &'a CsrMatrix,
+    applies: AtomicU64,
+}
+
+impl LinearOperator for CountingOp<'_> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn apply(&self, x: &[f64]) -> LinalgResult<Vec<f64>> {
+        self.applies.fetch_add(1, Ordering::Relaxed);
+        self.inner.apply(x)
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> LinalgResult<Vec<f64>> {
+        self.applies.fetch_add(1, Ordering::Relaxed);
+        self.inner.apply_transpose(x)
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> LinalgResult<()> {
+        self.applies.fetch_add(1, Ordering::Relaxed);
+        self.inner.apply_into(x, out)
+    }
+
+    fn apply_transpose_into(&self, x: &[f64], out: &mut [f64]) -> LinalgResult<()> {
+        self.applies.fetch_add(1, Ordering::Relaxed);
+        self.inner.apply_transpose_into(x, out)
+    }
+
+    fn to_dense(&self) -> LinalgResult<Matrix> {
+        self.inner.to_dense()
+    }
+}
+
+/// Extracts the committed `gflops` for one (kernel, threads) row from a
+/// previously emitted baseline file. The parser leans on the emitter's
+/// one-row-per-line format below — it is not a general JSON reader.
+fn committed_gflops(path: &str, kernel: &str, threads: usize) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let kernel_key = format!("\"kernel\": \"{kernel}\"");
+    let threads_key = format!("\"threads\": {threads},");
+    for line in text.lines() {
+        if !line.contains(&kernel_key) || !line.contains(&threads_key) {
+            continue;
+        }
+        let key = "\"gflops\": ";
+        let pos = line
+            .find(key)
+            .ok_or_else(|| format!("{path}: row without a gflops field"))?
+            + key.len();
+        let rest = &line[pos..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        return rest[..end]
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path}: bad gflops value: {e}"));
+    }
+    Err(format!("{path} has no {kernel} threads={threads} row"))
+}
+
+/// Perf-regression gate: re-measures the single-thread dense matmul (the
+/// packed-GEMM hot path) at the full benchmark size and fails when it has
+/// lost more than [`GATE_TOLERANCE`] of the committed baseline's GFLOP/s.
+/// Run-to-run noise on a quiet host is a few percent; a 20% drop means
+/// the kernel regressed, not the weather.
+///
+/// # Panics
+/// Panics if the square matmul of two well-formed benchmark matrices
+/// fails — a programmer error in the bench itself.
+fn run_gate(baseline_path: &str) -> Result<(), String> {
+    let dim = 1000usize;
+    let committed = committed_gflops(baseline_path, "dense_matmul", 1)?;
+    let mut rng = seeded(0xbe7c);
+    let a = gaussian_matrix(&mut rng, dim, dim);
+    let b = gaussian_matrix(&mut rng, dim, dim);
+    set_threads(1);
+    let wall_ms = median_ms(3, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    });
+    set_threads(0);
+    let measured = 2.0 * (dim as f64).powi(3) / (wall_ms * 1e6);
+    let floor = committed * (1.0 - GATE_TOLERANCE);
+    println!(
+        "gate: dense_matmul {dim}³ 1-thread  measured {measured:.2} GFLOP/s  \
+         committed {committed:.2}  floor {floor:.2}"
+    );
+    if measured < floor {
+        return Err(format!(
+            "perf gate failed: dense_matmul measured {measured:.2} GFLOP/s, \
+             below {floor:.2} ({:.0}% of the committed {committed:.2}) — \
+             if the regression is intended, regenerate {baseline_path} with bench-json",
+            100.0 * (1.0 - GATE_TOLERANCE)
+        ));
+    }
+    Ok(())
+}
+
 fn sparse_matrix(m: usize, n: usize, seed: u64) -> CsrMatrix {
     let mut rng = seeded(seed);
     let mut d = gaussian_matrix(&mut rng, m, n);
@@ -118,6 +239,9 @@ fn sparse_matrix(m: usize, n: usize, seed: u64) -> CsrMatrix {
 /// data-dependent failure).
 fn main() -> Result<(), String> {
     let args = parse_args()?;
+    if let Some(baseline) = &args.gate {
+        return run_gate(baseline);
+    }
     let (dim, reps, svd_mn, svd_k) = if args.smoke {
         (96usize, 3usize, (200usize, 100usize), 5usize)
     } else {
@@ -173,11 +297,20 @@ fn main() -> Result<(), String> {
         },
     ));
 
-    // Rank-k Lanczos SVD of the sparse matrix; no single flop count.
+    // Rank-k Lanczos SVD of the sparse matrix. The exact flop count has no
+    // closed form, so one counted run prices the matvecs (the dominant
+    // cost) and that estimate is attached to every timed run.
+    let counting = CountingOp {
+        inner: &sp,
+        applies: AtomicU64::new(0),
+    };
+    std::hint::black_box(lanczos_svd(&counting, svd_k, &LanczosOptions::default()).unwrap());
+    let matvecs = counting.applies.load(Ordering::Relaxed);
+    let lanczos_flops = matvecs as f64 * 2.0 * sp.nnz() as f64;
     records.extend(sweep(
         "lanczos_svd",
-        format!("{sm}x{sn} k={svd_k}"),
-        None,
+        format!("{sm}x{sn} k={svd_k} matvecs={matvecs}"),
+        Some(lanczos_flops),
         reps.min(3),
         || {
             std::hint::black_box(lanczos_svd(&sp, svd_k, &LanczosOptions::default()).unwrap());

@@ -59,7 +59,7 @@ pub mod synonymy;
 pub use angles::{pairwise_angle_stats, AngleStats, PairAngleReport};
 pub use cancel::CancelToken;
 pub use config::{LsiConfig, SvdBackend};
-pub use index::{BadQuery, BuildStatus, LsiError, LsiIndex};
+pub use index::{BadQuery, BuildStatus, LsiError, LsiIndex, VectorQuery};
 pub use iofault::{io_faults, is_transient, RetryPolicy};
 pub use journal::{
     journal_path, DurabilityError, DurableIndex, Journal, JournalRecovery, MutationRecord,

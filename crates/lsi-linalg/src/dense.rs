@@ -8,48 +8,13 @@ use crate::parallel;
 use crate::vector;
 use crate::Result;
 
-/// Rows per matmul chunk: fixed so chunk boundaries (and hence results)
-/// never depend on the thread count.
+/// Rows per transpose-matmul chunk: fixed so chunk boundaries (and hence
+/// results) never depend on the thread count.
 const MATMUL_ROW_GRAIN: usize = 8;
 /// Rows per matvec chunk.
 const MATVEC_ROW_GRAIN: usize = 64;
 /// Output columns per transpose-side chunk.
 const COL_GRAIN: usize = 512;
-/// Register tile width of the matmul microkernel.
-const MICRO_NR: usize = 8;
-
-/// Accumulates one output row of `A · B` into `out_row`, register-tiled
-/// over `MICRO_NR`-wide column blocks.
-///
-/// The per-element arithmetic is exactly the classic i-k-j axpy loop: each
-/// `out[j]` receives `a[k] * b[k][j]` for `k` ascending, one rounding per
-/// addition, skipping zero `a[k]` — so results are bit-identical to the
-/// untiled kernel while the accumulators stay in registers.
-fn matmul_row_kernel(a_row: &[f64], b_data: &[f64], n: usize, out_row: &mut [f64]) {
-    let mut j = 0;
-    while j + MICRO_NR <= n {
-        let mut acc = [0.0f64; MICRO_NR];
-        for (k, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b = &b_data[k * n + j..k * n + j + MICRO_NR];
-            for (a, &bj) in acc.iter_mut().zip(b) {
-                *a += aik * bj;
-            }
-        }
-        out_row[j..j + MICRO_NR].copy_from_slice(&acc);
-        j += MICRO_NR;
-    }
-    if j < n {
-        for (k, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            vector::axpy(aik, &b_data[k * n + j..(k + 1) * n], &mut out_row[j..]);
-        }
-    }
-}
 
 /// A dense, row-major `f64` matrix.
 ///
@@ -221,9 +186,12 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Row blocks are distributed over the [`parallel`] executor and each
-    /// row runs a register-tiled i-k-j microkernel; the result is bitwise
-    /// identical for every thread count (see `parallel` module docs).
+    /// Runs the packed, cache-blocked [`crate::gemm`] kernel: row panels
+    /// are distributed over the [`parallel`] executor and each panel runs a
+    /// register-tiled micro-kernel over packed operands. The result is
+    /// bitwise identical to [`crate::gemm::gemm_reference`] (the classic
+    /// ascending-`k` i-k-j loop) for every thread count — see the `gemm`
+    /// module docs for the contract.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -233,23 +201,14 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        let work = self
-            .rows
-            .saturating_mul(self.cols)
-            .saturating_mul(n)
-            .saturating_mul(2);
-        parallel::for_chunks_mut(
+        crate::gemm::gemm(
+            self.rows,
+            rhs.cols,
+            self.cols,
+            &self.data,
+            &rhs.data,
             &mut out.data,
-            MATMUL_ROW_GRAIN * n.max(1),
-            work,
-            |_, offset, chunk| {
-                let row0 = offset / n;
-                for (r, out_row) in chunk.chunks_mut(n).enumerate() {
-                    matmul_row_kernel(self.row(row0 + r), &rhs.data, n, out_row);
-                }
-            },
-        );
+        )?;
         Ok(out)
     }
 
@@ -319,6 +278,72 @@ impl Matrix {
         parallel::for_chunks_mut(out, MATVEC_ROW_GRAIN, work, |_, offset, chunk| {
             for (r, o) in chunk.iter_mut().enumerate() {
                 *o = vector::dot(self.row(offset + r), x);
+            }
+        });
+        Ok(())
+    }
+
+    /// Dots a block of rows against a batch of query vectors — the batched
+    /// scoring kernel behind coalesced query serving: one pass over the row
+    /// block serves every query in the batch, amortizing the row-matrix
+    /// memory traffic that per-query scans pay repeatedly.
+    ///
+    /// Writes `out[r * queries.len() + q] =
+    /// vector::dot(queries[q], self.row(row0 + r))` for `r` in `0..rows` —
+    /// note the query is the *first* `dot` operand, exactly as in a
+    /// per-query scan, so every output element is bit-identical to the
+    /// unbatched computation for any batch composition. Structurally this
+    /// is a GEMM (`rows × cols` block times `cols × nq` query matrix), but
+    /// each element deliberately uses the [`vector::dot`] rounding sequence
+    /// (no zero-skip) rather than the packed [`crate::gemm`] kernel, so
+    /// batched and sequential scoring agree bit for bit even on signed
+    /// zeros. Row blocks run on the [`parallel`] executor; elements are
+    /// independent, so any thread count produces identical bytes.
+    ///
+    /// Errors if `row0 + rows` overflows the matrix, any query length
+    /// differs from `ncols`, or `out.len() != rows * queries.len()`.
+    pub fn dot_rows_batch_into(
+        &self,
+        row0: usize,
+        rows: usize,
+        queries: &[&[f64]],
+        out: &mut [f64],
+    ) -> Result<()> {
+        let nq = queries.len();
+        if row0.checked_add(rows).is_none_or(|end| end > self.rows)
+            || out.len() != rows.saturating_mul(nq)
+        {
+            return Err(LinalgError::InvalidDimension {
+                op: "dot_rows_batch_into",
+                detail: format!(
+                    "rows {row0}..{row0}+{rows} of {} with {} queries into {} outputs",
+                    self.rows,
+                    nq,
+                    out.len()
+                ),
+            });
+        }
+        if let Some(q) = queries.iter().find(|q| q.len() != self.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "dot_rows_batch_into",
+                left: self.shape(),
+                right: (q.len(), 1),
+            });
+        }
+        let work = rows
+            .saturating_mul(self.cols)
+            .saturating_mul(nq)
+            .saturating_mul(2);
+        if nq == 0 {
+            return Ok(());
+        }
+        parallel::for_chunks_mut(out, MATVEC_ROW_GRAIN * nq, work, |_, offset, chunk| {
+            let r0 = offset / nq;
+            for (r, out_row) in chunk.chunks_mut(nq).enumerate() {
+                let row = self.row(row0 + r0 + r);
+                for (o, q) in out_row.iter_mut().zip(queries) {
+                    *o = vector::dot(q, row);
+                }
             }
         });
         Ok(())
@@ -626,6 +651,35 @@ mod tests {
         for (u, v) in z.iter().zip(&via_t) {
             assert!((u - v).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn dot_rows_batch_matches_per_query_dots_bitwise() {
+        let m = Matrix::from_fn(9, 5, |i, j| ((i * 5 + j) as f64 * 0.37).sin());
+        let q0: Vec<f64> = (0..5).map(|i| (i as f64 * 1.1).cos()).collect();
+        let q1: Vec<f64> = (0..5).map(|i| (i as f64) - 2.0).collect();
+        let queries: Vec<&[f64]> = vec![&q0, &q1];
+        let mut out = vec![0.0; 3 * 2];
+        m.dot_rows_batch_into(4, 3, &queries, &mut out).unwrap();
+        for r in 0..3 {
+            for (q, qv) in queries.iter().enumerate() {
+                assert_eq!(
+                    out[r * 2 + q].to_bits(),
+                    vector::dot(qv, m.row(4 + r)).to_bits()
+                );
+            }
+        }
+        // Empty batch and empty block are no-ops.
+        m.dot_rows_batch_into(0, 9, &[], &mut []).unwrap();
+        m.dot_rows_batch_into(9, 0, &queries, &mut []).unwrap();
+        // Shape errors are typed.
+        assert!(m.dot_rows_batch_into(8, 2, &queries, &mut out).is_err());
+        assert!(m
+            .dot_rows_batch_into(0, 1, &[&q0[..4]], &mut out[..1])
+            .is_err());
+        assert!(m
+            .dot_rows_batch_into(0, 3, &queries, &mut out[..5])
+            .is_err());
     }
 
     #[test]

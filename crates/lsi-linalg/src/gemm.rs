@@ -1,0 +1,378 @@
+//! Blocked, packed GEMM with a register-tiled micro-kernel.
+//!
+//! This is the BLIS/GotoBLAS decomposition of `C = A · B` adapted to the
+//! crate's determinism rules:
+//!
+//! * the column dimension is split into `nc`-wide panels (`jc` loop),
+//! * the inner dimension into `kc`-deep blocks (`pc` loop),
+//! * rows into `mc`-tall panels (the [`parallel`] chunk),
+//!
+//! with the A and B operand blocks copied into contiguous pack buffers
+//! ([`crate::pack`]) so the innermost loops stream cache-resident,
+//! unit-stride micro-panels into an [`MR`]×[`NR`] register tile.
+//!
+//! # Bitwise contract
+//!
+//! Every output element accumulates its `k` terms in ascending order — one
+//! multiplication rounding and one addition rounding per term, skipping
+//! zero A entries — exactly like [`gemm_reference`]. Block boundaries
+//! (`kc`/`mc`/`nc`) and pack layouts depend only on the problem size, never
+//! on the thread count, and row panels are distributed by
+//! [`parallel::for_chunks_mut`], so `gemm` is bitwise identical to the
+//! serial reference for every `LSI_THREADS` value, every scalar type, and
+//! every shape (enforced by `tests/determinism.rs`).
+//!
+//! The element type is an explicit parameter: `f64` is the default used by
+//! [`crate::Matrix::matmul`]; an `f32` path is available by instantiating
+//! [`gemm::<f32>`] directly (opt-in — nothing in the crate silently
+//! downgrades precision).
+
+use crate::error::LinalgError;
+use crate::pack::{pack_a, pack_b, MR, NR};
+use crate::parallel;
+use crate::Result;
+
+/// Element types the packed GEMM accepts.
+///
+/// Implemented for `f64` (the crate default) and `f32` (opt-in reduced
+/// precision). The trait is deliberately minimal: the kernels only need
+/// copy, comparison against zero (for the zero-skip), addition and
+/// multiplication — each of which must be IEEE-754 correctly rounded so the
+/// bitwise contract holds on any hardware.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + Send
+    + Sync
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + 'static
+{
+    /// Additive identity (`+0.0`).
+    const ZERO: Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+}
+
+impl Scalar for f32 {
+    const ZERO: f32 = 0.0;
+}
+
+/// Maximum depth of a packed `kc` block (inner dimension).
+pub const KC_MAX: usize = 256;
+/// Maximum height of a row panel (one [`parallel`] chunk), a multiple of
+/// [`MR`].
+pub const MC_MAX: usize = 64;
+/// Maximum width of a column panel, a multiple of [`NR`].
+pub const NC_MAX: usize = 4096;
+
+/// Cache-block sizes for one GEMM invocation.
+///
+/// Derived from the operand shape alone — never from the thread count —
+/// so chunk boundaries, pack layouts, and therefore output bits are
+/// identical for every `LSI_THREADS` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// Rows per packed A panel / parallel chunk.
+    pub mc: usize,
+    /// Depth per packed block.
+    pub kc: usize,
+    /// Columns per packed B panel.
+    pub nc: usize,
+}
+
+/// Picks cache-block sizes for an `m × k · k × n` product.
+///
+/// The policy is size-only: clamp each dimension to a fixed cap chosen so
+/// one A panel (`mc × kc`) stays L2-resident and one B block (`kc × nc`)
+/// stays in the outer cache.
+pub fn block_plan(m: usize, n: usize, k: usize) -> BlockPlan {
+    BlockPlan {
+        mc: MC_MAX.min(m.next_multiple_of(MR).max(MR)),
+        kc: KC_MAX.min(k.max(1)),
+        nc: NC_MAX.min(n.next_multiple_of(NR).max(NR)),
+    }
+}
+
+fn check_shapes<T>(m: usize, n: usize, k: usize, a: &[T], b: &[T], c: &[T]) -> Result<()> {
+    let (mk, kn, mn) = match (m.checked_mul(k), k.checked_mul(n), m.checked_mul(n)) {
+        (Some(mk), Some(kn), Some(mn)) => (mk, kn, mn),
+        _ => {
+            return Err(LinalgError::InvalidDimension {
+                op: "gemm",
+                detail: format!("dimension product overflows usize: m={m} n={n} k={k}"),
+            })
+        }
+    };
+    if a.len() != mk || b.len() != kn || c.len() != mn {
+        return Err(LinalgError::InvalidDimension {
+            op: "gemm",
+            detail: format!(
+                "slice lengths {}/{}/{} do not match m={m} n={n} k={k}",
+                a.len(),
+                b.len(),
+                c.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Packed, blocked `C = A · B` over row-major slices (`a` is `m × k`, `b`
+/// is `k × n`, `c` is `m × n`, all with leading dimension equal to their
+/// width). Overwrites `c`.
+///
+/// See the module docs for the blocking scheme and the bitwise contract;
+/// [`gemm_reference`] is the semantic definition.
+pub fn gemm<T: Scalar>(m: usize, n: usize, k: usize, a: &[T], b: &[T], c: &mut [T]) -> Result<()> {
+    check_shapes(m, n, k, a, b, c)?;
+    c.fill(T::ZERO);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+    let plan = block_plan(m, n, k);
+    let (bpack, boffsets, n_pc) = pack_all_b(n, k, b, plan);
+    let work = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    parallel::for_chunks_mut(c, plan.mc * n, work, |_, offset, chunk| {
+        let row0 = offset / n;
+        let rows = chunk.len() / n;
+        let mut apack: Vec<T> = Vec::new();
+        for (jc_idx, jc0) in (0..n).step_by(plan.nc).enumerate() {
+            let nc_eff = plan.nc.min(n - jc0);
+            for (pc_idx, k0) in (0..k).step_by(plan.kc).enumerate() {
+                let kc_eff = plan.kc.min(k - k0);
+                pack_a(a, k, row0, rows, k0, kc_eff, &mut apack);
+                let boff = boffsets[jc_idx * n_pc + pc_idx];
+                let bblock = &bpack[boff..boff + kc_eff * nc_eff];
+                let mut jr0 = 0;
+                while jr0 < nc_eff {
+                    let nr = NR.min(nc_eff - jr0);
+                    let bpanel = &bblock[jr0 * kc_eff..(jr0 + nr) * kc_eff];
+                    let mut ir0 = 0;
+                    while ir0 < rows {
+                        let mr = MR.min(rows - ir0);
+                        let apanel = &apack[ir0 * kc_eff..(ir0 + mr) * kc_eff];
+                        let ctile = &mut chunk[ir0 * n + jc0 + jr0..];
+                        micro_kernel(kc_eff, apanel, bpanel, ctile, n, mr, nr);
+                        ir0 += mr;
+                    }
+                    jr0 += nr;
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Packs every `kc × nc` block of B up front (one sequential pass over B —
+/// a vanishing fraction of the `O(m·n·k)` compute) and returns the buffer
+/// plus the start offset of each `(jc, pc)` block.
+fn pack_all_b<T: Scalar>(
+    n: usize,
+    k: usize,
+    b: &[T],
+    plan: BlockPlan,
+) -> (Vec<T>, Vec<usize>, usize) {
+    let n_jc = n.div_ceil(plan.nc);
+    let n_pc = k.div_ceil(plan.kc);
+    let mut bpack: Vec<T> = Vec::with_capacity(k * n);
+    let mut offsets = Vec::with_capacity(n_jc * n_pc);
+    for jc0 in (0..n).step_by(plan.nc) {
+        let nc_eff = plan.nc.min(n - jc0);
+        for k0 in (0..k).step_by(plan.kc) {
+            let kc_eff = plan.kc.min(k - k0);
+            offsets.push(bpack.len());
+            pack_b(b, n, k0, kc_eff, jc0, nc_eff, &mut bpack);
+        }
+    }
+    (bpack, offsets, n_pc)
+}
+
+/// Rank-`kc` update of one `mr × nr` C tile from packed micro-panels.
+///
+/// `ap` is `kc × mr` (k outer, row inner), `bp` is `kc × nr` (k outer,
+/// column inner), `c` starts at the tile's top-left element with row stride
+/// `ldc`. The full [`MR`]×[`NR`] tile keeps its accumulators in registers
+/// (loaded from and stored back to C, which is lossless); edge tiles
+/// accumulate in place. Both paths apply the `k` terms in ascending order
+/// with the same zero-skip, so the element-wise rounding sequence is
+/// identical to [`gemm_reference`].
+#[inline]
+fn micro_kernel<T: Scalar>(
+    kc: usize,
+    ap: &[T],
+    bp: &[T],
+    c: &mut [T],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    if mr == MR && nr == NR {
+        let mut acc = [[T::ZERO; NR]; MR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            accr.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+        }
+        for kk in 0..kc {
+            let ak = &ap[kk * MR..kk * MR + MR];
+            let bk = &bp[kk * NR..kk * NR + NR];
+            for (accr, &ar) in acc.iter_mut().zip(ak) {
+                if ar == T::ZERO {
+                    continue;
+                }
+                for (aj, &bj) in accr.iter_mut().zip(bk) {
+                    *aj = *aj + ar * bj;
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            c[r * ldc..r * ldc + NR].copy_from_slice(accr);
+        }
+    } else {
+        for kk in 0..kc {
+            let ak = &ap[kk * mr..kk * mr + mr];
+            let bk = &bp[kk * nr..kk * nr + nr];
+            for (r, &ar) in ak.iter().enumerate() {
+                if ar == T::ZERO {
+                    continue;
+                }
+                let crow = &mut c[r * ldc..r * ldc + nr];
+                for (cj, &bj) in crow.iter_mut().zip(bk) {
+                    *cj = *cj + ar * bj;
+                }
+            }
+        }
+    }
+}
+
+/// Serial reference `C = A · B`: the classic i-k-j loop, skipping zero A
+/// entries, each output element accumulating its `k` terms in ascending
+/// order. This is the semantic *and bitwise* definition of [`gemm`] (and of
+/// the historical row-tiled matmul kernel it replaced, which performed the
+/// identical per-element rounding sequence).
+pub fn gemm_reference<T: Scalar>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+) -> Result<()> {
+    check_shapes(m, n, k, a, b, c)?;
+    c.fill(T::ZERO);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == T::ZERO {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj = *cj + aik * bj;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill<T: Scalar>(len: usize, f: impl Fn(usize) -> T) -> Vec<T> {
+        (0..len).map(f).collect()
+    }
+
+    fn check_f64(m: usize, n: usize, k: usize) {
+        let a = fill(m * k, |i| ((i * 7 + 3) % 11) as f64 - 5.0);
+        let b = fill(k * n, |i| ((i * 5 + 1) % 13) as f64 * 0.25 - 1.5);
+        let mut fast = vec![0.0f64; m * n];
+        let mut slow = vec![1.0f64; m * n];
+        gemm(m, n, k, &a, &b, &mut fast).unwrap();
+        gemm_reference(m, n, k, &a, &b, &mut slow).unwrap();
+        assert!(
+            fast.iter()
+                .zip(&slow)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "gemm != reference at {m}x{n}x{k}"
+        );
+    }
+
+    #[test]
+    fn matches_reference_bitwise_across_shapes() {
+        for &(m, n, k) in &[
+            (0, 5, 3),
+            (5, 0, 3),
+            (5, 3, 0),
+            (1, 1, 1),
+            (4, 8, 16),
+            (5, 9, 7),
+            (65, 17, 3),
+            (13, 300, 2),
+            (67, 70, 300),
+        ] {
+            check_f64(m, n, k);
+        }
+    }
+
+    #[test]
+    fn f32_path_matches_reference_bitwise() {
+        let (m, n, k) = (33, 21, 40);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 + 3) % 11) as f32 - 5.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 + 1) % 13) as f32 * 0.25)
+            .collect();
+        let mut fast = vec![0.0f32; m * n];
+        let mut slow = vec![0.0f32; m * n];
+        gemm::<f32>(m, n, k, &a, &b, &mut fast).unwrap();
+        gemm_reference::<f32>(m, n, k, &a, &b, &mut slow).unwrap();
+        assert!(fast
+            .iter()
+            .zip(&slow)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn zero_skip_preserves_signed_zero() {
+        // A zero row must yield +0.0 outputs (skipped entirely), and a
+        // -0.0 contribution must round identically in both kernels.
+        let a = vec![0.0, -0.0, 2.0, -3.0];
+        let b = vec![-0.0, 1.0, 0.5, -2.0];
+        let mut fast = vec![0.0f64; 4];
+        let mut slow = vec![0.0f64; 4];
+        gemm(2, 2, 2, &a, &b, &mut fast).unwrap();
+        gemm_reference(2, 2, 2, &a, &b, &mut slow).unwrap();
+        assert!(fast
+            .iter()
+            .zip(&slow)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(fast[0].to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn rejects_mismatched_slices() {
+        let mut c = vec![0.0; 4];
+        assert!(gemm(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c).is_err());
+        assert!(gemm_reference(2, 2, 2, &[0.0; 4], &[0.0; 5], &mut c).is_err());
+    }
+
+    #[test]
+    fn block_plan_is_size_only_and_clamped() {
+        let p = block_plan(1000, 1000, 1000);
+        assert_eq!(
+            p,
+            BlockPlan {
+                mc: 64,
+                kc: 256,
+                nc: 1000
+            }
+        );
+        let tiny = block_plan(2, 3, 1);
+        assert!(tiny.mc >= MR && tiny.nc >= NR && tiny.kc >= 1);
+    }
+}

@@ -9,6 +9,10 @@
 //!
 //! * [`Matrix`] — row-major dense matrices with the usual kernels
 //!   (multiplication, transpose, norms, slicing).
+//! * [`gemm`] — the packed, cache-blocked matrix multiply behind
+//!   [`Matrix::matmul`]: BLIS-style `kc`/`mc`/`nc` panels ([`pack`]) driving
+//!   a register-tiled micro-kernel, f64 by default with an opt-in f32 path,
+//!   bitwise identical to its serial reference at any thread count.
 //! * [`qr`] — Householder QR factorization and orthonormalization.
 //! * [`svd`] — full singular value decomposition (Golub–Kahan
 //!   bidiagonalization followed by Golub–Reinsch implicit-shift QR).
@@ -54,9 +58,11 @@ pub mod dense;
 pub mod eigen;
 pub mod error;
 pub mod faults;
+pub mod gemm;
 pub mod lanczos;
 pub mod norms;
 pub mod operator;
+pub mod pack;
 pub mod parallel;
 pub mod qr;
 pub mod randomized;

@@ -1,0 +1,119 @@
+//! Panel packing for the blocked GEMM ([`crate::gemm`]).
+//!
+//! The packed layouts are the classic BLIS/GotoBLAS micro-panel formats:
+//!
+//! * **A panels** (`pack_a`): the `rows × kc` operand block is split into
+//!   [`MR`]-row micro-panels; within a micro-panel, elements are stored
+//!   column-by-column (`k` outer, row inner), so the micro-kernel reads one
+//!   contiguous `mr`-vector of A per `k` step.
+//! * **B panels** (`pack_b`): the `kc × cols` block is split into
+//!   [`NR`]-column micro-panels stored row-by-row (`k` outer, column inner),
+//!   so the micro-kernel reads one contiguous `nr`-vector of B per `k` step.
+//!
+//! Edge micro-panels (fewer than `MR` rows / `NR` columns) are packed
+//! *unpadded* at their true width; the micro-kernel handles them with a
+//! separate edge path. Packing copies values verbatim — it never reorders
+//! the `k` dimension — so the accumulation order (and hence every output
+//! bit) is decided solely by the micro-kernel loop, not by packing.
+//!
+//! All pack geometry depends only on the operand sizes, never on the thread
+//! count (see `parallel` module docs for why that matters).
+
+use crate::gemm::Scalar;
+
+/// Micro-panel height (rows of A / C updated per micro-kernel call).
+pub const MR: usize = 4;
+/// Micro-panel width (columns of B / C updated per micro-kernel call).
+pub const NR: usize = 8;
+
+/// Packs the `rows × kc` block of `a` (row-major, leading dimension `lda`)
+/// starting at `(row0, k0)` into `out` in MR-micro-panel format.
+///
+/// `out` is cleared first; its final length is exactly `rows * kc`.
+pub fn pack_a<T: Scalar>(
+    a: &[T],
+    lda: usize,
+    row0: usize,
+    rows: usize,
+    k0: usize,
+    kc: usize,
+    out: &mut Vec<T>,
+) {
+    out.clear();
+    out.reserve(rows * kc);
+    let mut ir = 0;
+    while ir < rows {
+        let mr = MR.min(rows - ir);
+        for kk in 0..kc {
+            let col = k0 + kk;
+            for r in 0..mr {
+                out.push(a[(row0 + ir + r) * lda + col]);
+            }
+        }
+        ir += mr;
+    }
+}
+
+/// Packs the `kc × cols` block of `b` (row-major, leading dimension `ldb`)
+/// starting at `(k0, col0)` into `out` in NR-micro-panel format.
+///
+/// Appends to `out` (callers packing several blocks into one buffer track
+/// offsets themselves); appends exactly `kc * cols` elements.
+pub fn pack_b<T: Scalar>(
+    b: &[T],
+    ldb: usize,
+    k0: usize,
+    kc: usize,
+    col0: usize,
+    cols: usize,
+    out: &mut Vec<T>,
+) {
+    out.reserve(kc * cols);
+    let mut jr = 0;
+    while jr < cols {
+        let nr = NR.min(cols - jr);
+        for kk in 0..kc {
+            let row = (k0 + kk) * ldb + col0 + jr;
+            out.extend_from_slice(&b[row..row + nr]);
+        }
+        jr += nr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_micro_panel_layout() {
+        // 3x2 block of a 4x3 matrix, MR=4 so a single (edge) micro-panel.
+        let a: Vec<f64> = (0..12).map(|x| x as f64).collect();
+        let mut out = Vec::new();
+        pack_a(&a, 3, 1, 3, 1, 2, &mut out);
+        // rows 1..4, cols 1..3, column-major within the micro-panel:
+        assert_eq!(out, vec![4.0, 7.0, 10.0, 5.0, 8.0, 11.0]);
+    }
+
+    #[test]
+    fn pack_a_splits_full_micro_panels() {
+        // 5 rows => one full MR=4 panel then a 1-row edge panel.
+        let a: Vec<f64> = (0..10).map(|x| x as f64).collect();
+        let mut out = Vec::new();
+        pack_a(&a, 2, 0, 5, 0, 2, &mut out);
+        assert_eq!(out, vec![0.0, 2.0, 4.0, 6.0, 1.0, 3.0, 5.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn pack_b_micro_panel_layout() {
+        // 2x9 block => one full NR=8 panel then a 1-col edge panel.
+        let b: Vec<f64> = (0..18).map(|x| x as f64).collect();
+        let mut out = Vec::new();
+        pack_b(&b, 9, 0, 2, 0, 9, &mut out);
+        let expect: Vec<f64> = (0..8)
+            .map(|x| x as f64)
+            .chain((9..17).map(|x| x as f64))
+            .chain([8.0, 17.0])
+            .collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -27,8 +27,8 @@
 //!
 //! Threads are spawned per parallel region with [`std::thread::scope`]
 //! (std-only; the workspace vendors no thread-pool crate). The work
-//! threshold keeps that spawn cost amortized: regions below ~10⁵ flops run
-//! inline.
+//! threshold keeps that spawn cost amortized: regions below ~4·10⁶ flops
+//! (e.g. a 1000×1000 matvec) run inline.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,10 +36,16 @@ use std::sync::OnceLock;
 
 use crate::vector;
 
-/// Approximate per-region flop count below which the executor stays serial
-/// (thread spawn/join costs tens of microseconds; regions cheaper than this
-/// lose more to spawning than they gain from parallelism).
-pub const SPAWN_WORK_THRESHOLD: usize = 1 << 17;
+/// Approximate per-region flop count below which the executor stays serial.
+///
+/// Thread spawn/join costs tens of microseconds per region, so regions
+/// cheaper than this lose more to spawning than they gain from parallelism:
+/// `BENCH_kernels.json` measured the 1000×1000 dense matvec (2·10⁶ flops)
+/// *slower* at 2 and 4 threads than at 1 under the previous `1 << 17` gate.
+/// The cutoff depends only on the work estimate — a pure function of the
+/// problem size — never on the thread count, so raising it cannot change any
+/// output bit (serial and parallel paths are bitwise interchangeable).
+pub const SPAWN_WORK_THRESHOLD: usize = 1 << 22;
 
 /// Fixed reduction-chunk width (in elements) for [`dot`]. Vectors no longer
 /// than this use a single straight-line accumulation; longer vectors are

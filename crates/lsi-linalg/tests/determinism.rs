@@ -11,6 +11,7 @@ use std::sync::{Mutex, MutexGuard};
 
 use proptest::prelude::*;
 
+use lsi_linalg::gemm::{gemm, gemm_reference, Scalar};
 use lsi_linalg::lanczos::{lanczos_svd, LanczosOptions};
 use lsi_linalg::parallel::{self, set_threads};
 use lsi_linalg::randomized::{randomized_svd, RandomizedSvdOptions};
@@ -167,6 +168,112 @@ proptest! {
                 assert_bits_eq(&x.vt, &y.vt, "randomized Vᵀ", t);
             },
         );
+    }
+}
+
+/// Computes the serial [`gemm_reference`] once, then asserts the packed
+/// [`gemm`] reproduces it bit for bit at 1 thread and at every tested
+/// thread count.
+fn assert_gemm_matches_reference<T>(m: usize, n: usize, k: usize, a: &[T], b: &[T])
+where
+    T: Scalar + BitsEq,
+{
+    let mut reference = vec![T::ZERO; m * n];
+    gemm_reference(m, n, k, a, b, &mut reference).unwrap();
+    set_threads(1);
+    let mut out = vec![T::ZERO; m * n];
+    gemm(m, n, k, a, b, &mut out).unwrap();
+    T::assert_all_bits_eq(&out, &reference, "packed gemm", 1);
+    for &t in &THREAD_COUNTS {
+        set_threads(t);
+        out.fill(T::ZERO);
+        gemm(m, n, k, a, b, &mut out).unwrap();
+        T::assert_all_bits_eq(&out, &reference, "packed gemm", t);
+    }
+    set_threads(0);
+}
+
+/// Bit-pattern equality for the scalar types the GEMM supports.
+trait BitsEq: Scalar {
+    fn assert_all_bits_eq(got: &[Self], want: &[Self], what: &str, t: usize);
+}
+
+impl BitsEq for f64 {
+    fn assert_all_bits_eq(got: &[f64], want: &[f64], what: &str, t: usize) {
+        assert_vec_bits_eq(got, want, what, t);
+    }
+}
+
+impl BitsEq for f32 {
+    fn assert_all_bits_eq(got: &[f32], want: &[f32], what: &str, t: usize) {
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "{what}: length differs at {t} threads"
+        );
+        for (x, y) in got.iter().zip(want) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what} (f32): bits differ at {t} threads ({x:?} vs {y:?})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The packed GEMM equals its serial reference bit for bit, at every
+    /// thread count, for both element types, over random shapes — including
+    /// the low-rank `k ≪ m, n` regime the LSI pipeline lives in.
+    #[test]
+    fn packed_gemm_matches_reference_bitwise(
+        m in 0usize..48,
+        n in 0usize..48,
+        k in 0usize..12,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let _g = knob();
+        let mix = |i: usize| {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+            ((h >> 32) as i64 % 19) as f64 * 0.125 - 0.5
+        };
+        let a64: Vec<f64> = (0..m * k).map(mix).collect();
+        let b64: Vec<f64> = (0..k * n).map(|i| mix(i + 1_000_003)).collect();
+        assert_gemm_matches_reference(m, n, k, &a64, &b64);
+        let a32: Vec<f32> = a64.iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = b64.iter().map(|&x| x as f32).collect();
+        assert_gemm_matches_reference(m, n, k, &a32, &b32);
+    }
+}
+
+/// Packed-GEMM edge shapes: empty operands, a single row, tall-skinny
+/// panels, and blocks straddling the `kc`/`mc`/`nc` boundaries.
+#[test]
+fn packed_gemm_edge_shapes_match_reference() {
+    let _g = knob();
+    for &(m, n, k) in &[
+        (0, 7, 4),      // empty row side
+        (7, 0, 4),      // empty column side
+        (7, 4, 0),      // empty inner dimension
+        (1, 300, 5),    // one row, wide
+        (300, 1, 5),    // one column
+        (900, 2, 2),    // tall-skinny Lanczos panel
+        (70, 70, 300),  // k crosses the kc=256 boundary
+        (130, 9, 257),  // m crosses mc=64, k just past kc
+        (3, 129, 1000), // deep k, few rows
+    ] {
+        let a: Vec<f64> = (0..m * k)
+            .map(|i| ((i * 11 + 7) % 23) as f64 * 0.0625 - 0.6)
+            .collect();
+        let b: Vec<f64> = (0..k * n)
+            .map(|i| ((i * 17 + 3) % 29) as f64 * 0.03125 - 0.4)
+            .collect();
+        assert_gemm_matches_reference(m, n, k, &a, &b);
+        let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+        assert_gemm_matches_reference(m, n, k, &a32, &b32);
     }
 }
 

@@ -1,0 +1,12 @@
+// Fixture: K1-thread-dependent-blocking must flag blocking geometry chosen
+// from runtime parallelism.
+
+pub fn panel_heights(m: usize, num_threads: usize) -> usize {
+    let mc = (m + num_threads).max(8);
+    mc
+}
+
+pub fn panel_depth(k: usize) -> usize {
+    let kc = k.min(std::thread::available_parallelism().map_or(1, |n| n.get()) * 64);
+    kc
+}

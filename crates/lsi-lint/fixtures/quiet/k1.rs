@@ -1,0 +1,15 @@
+// Fixture: K1-thread-dependent-blocking must stay quiet on size-only
+// blocking geometry, even next to thread-pool plumbing elsewhere.
+
+pub fn block_plan(m: usize, n: usize, k: usize) -> (usize, usize, usize) {
+    // Geometry is a pure function of the problem dimensions.
+    let mc = m.max(4).min(64);
+    let kc = k.max(1).min(256);
+    let nc = n.max(8).min(4096);
+    (mc, kc, nc)
+}
+
+pub fn pool_size(num_threads: usize) -> usize {
+    // The thread count sizes the pool, never the panels.
+    num_threads.max(1)
+}

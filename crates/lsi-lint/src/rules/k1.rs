@@ -1,0 +1,79 @@
+//! K1-thread-dependent-blocking: kernel blocking geometry (GEMM panel
+//! sizes, pack layouts) must be a pure function of problem size. Deriving
+//! `kc`/`mc`/`nc` or a pack decision from the thread count or the host's
+//! CPU count silently changes accumulation order with the environment and
+//! breaks bitwise reproducibility. Heuristic (warn-level): flag lines
+//! where a blocking-geometry identifier meets a runtime-parallelism
+//! identifier.
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Identifiers that denote kernel blocking geometry.
+const GEOMETRY_TOKENS: &[&str] = &[
+    "kc",
+    "mc",
+    "nc",
+    "kc_eff",
+    "block_plan",
+    "BlockPlan",
+    "pack_a",
+    "pack_b",
+    "micro_kernel",
+];
+
+/// Identifiers whose value varies with the execution environment.
+const RUNTIME_TOKENS: &[&str] = &[
+    "num_threads",
+    "n_threads",
+    "nthreads",
+    "thread_count",
+    "threads",
+    "LSI_THREADS",
+    "available_parallelism",
+    "num_cpus",
+];
+
+/// The K1 rule.
+pub struct K1ThreadDependentBlocking;
+
+impl Rule for K1ThreadDependentBlocking {
+    fn id(&self) -> &'static str {
+        "K1-thread-dependent-blocking"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "kernel blocking/packing geometry must depend only on problem size"
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        if ctx.role == Role::TestOrBench {
+            return;
+        }
+        for (idx, line) in ctx.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if ctx.is_test_line(lineno) {
+                continue;
+            }
+            let has_geometry = GEOMETRY_TOKENS.iter().any(|t| contains_token(line, t));
+            if !has_geometry {
+                continue;
+            }
+            let has_runtime = RUNTIME_TOKENS.iter().any(|t| contains_token(line, t));
+            if !has_runtime {
+                continue;
+            }
+            emit(
+                ctx,
+                out,
+                self.id(),
+                self.severity(),
+                lineno,
+                "blocking/packing geometry meets a runtime-parallelism value; panel and pack decisions must be size-only".to_string(),
+                "choose kc/mc/nc and pack layouts from problem dimensions alone (see lsi_linalg::gemm::block_plan)",
+            );
+        }
+    }
+}

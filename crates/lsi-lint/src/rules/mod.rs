@@ -14,6 +14,7 @@ mod d1;
 mod d2;
 mod d3;
 mod e1;
+mod k1;
 mod m1;
 mod p1;
 mod p2;
@@ -41,6 +42,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(d2::D2UnseededRng),
         Box::new(d3::D3HasherOrder),
         Box::new(e1::E1PanicPolicy),
+        Box::new(k1::K1ThreadDependentBlocking),
         Box::new(m1::M1ArrivalOrderMerge),
         Box::new(p1::P1RawThreads),
         Box::new(p2::P2ThreadDependentChunking),

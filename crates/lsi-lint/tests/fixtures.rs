@@ -11,6 +11,7 @@ const RULES: &[(&str, &str)] = &[
     ("d2", "D2-unseeded-rng"),
     ("d3", "D3-hasher-order"),
     ("e1", "E1-panic-policy"),
+    ("k1", "K1-thread-dependent-blocking"),
     ("m1", "M1-arrival-order-merge"),
     ("p1", "P1-raw-threads"),
     ("p2", "P2-thread-dependent-chunking"),
@@ -88,6 +89,7 @@ fn fire_fixtures_carry_deny_findings() {
 #[test]
 fn warn_rules_have_warn_severity() {
     for (name, rule) in [
+        ("k1", "K1-thread-dependent-blocking"),
         ("m1", "M1-arrival-order-merge"),
         ("p2", "P2-thread-dependent-chunking"),
         ("r1", "R1-reflector"),

@@ -63,6 +63,12 @@ gate "bench-json smoke"
 cargo run --release -p lsi-bench --bin bench-json -- --smoke --out /tmp/lsi_bench_smoke.json
 rm -f /tmp/lsi_bench_smoke.json /tmp/lsi_e6_t1.txt /tmp/lsi_e6_t4.txt
 
+gate "perf gate: packed GEMM vs committed BENCH_kernels.json"
+# Re-measures the single-thread 1000^3 dense matmul and fails on a >20%
+# GFLOP/s regression against the committed baseline. Intentional changes
+# regenerate the baseline: cargo run --release -p lsi-bench --bin bench-json
+cargo run --release -p lsi-bench --bin bench-json -- --gate BENCH_kernels.json
+
 gate "serve-json smoke (sharded serving baseline)"
 # The emitter refuses to write a row whose sharded answers are not bitwise
 # the 1-shard answers, so this smoke doubles as a partition-invariance check.

@@ -15,7 +15,7 @@ use lsi_repro::corpus::{SeparableConfig, SeparableModel};
 use lsi_repro::ir::{RankedList, SearchHit, TermDocumentMatrix};
 use lsi_repro::linalg::rng::seeded;
 use lsi_repro::serve::cluster::{merge_top_k, Cluster, ClusterConfig, ClusterResponse};
-use lsi_repro::serve::Query;
+use lsi_repro::serve::{EngineConfig, Query};
 
 fn bits(hits: &RankedList) -> Vec<(usize, u64)> {
     hits.hits()
@@ -101,6 +101,47 @@ proptest! {
         }
         single.shutdown();
         many.shutdown();
+    }
+
+    /// Coalescing is invisible too: for any partitioning, any batch cap,
+    /// and whatever arrival order a concurrent burst produces, every
+    /// merged answer is bitwise the unsharded sequential answer.
+    #[test]
+    fn batched_shard_scoring_answers_bitwise_like_sequential(
+        (shards, assignment) in partition_strategy(),
+        max_batch in 1usize..=8,
+        (terms, top_k) in query_strategy(),
+    ) {
+        let index = reference();
+        let want = bits(&index.try_query(&terms, top_k, None).expect("reference query"));
+        let cluster = Cluster::build(
+            &index,
+            ClusterConfig {
+                shards,
+                assignment: Some(assignment),
+                // One worker per shard so a concurrent burst forms a real
+                // backlog for the worker to coalesce (when max_batch > 1).
+                engine: EngineConfig { workers: 1, max_batch, ..EngineConfig::default() },
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("valid partitioning");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..4 {
+                        match cluster
+                            .query(Query::new(terms.clone(), top_k))
+                            .expect("cluster query")
+                        {
+                            ClusterResponse::Complete(hits) => assert_eq!(bits(&hits), want),
+                            other => panic!("healthy cluster degraded: {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        cluster.shutdown();
     }
 
     /// The merge is a pure order-fixed reduction: permuting which slot

@@ -137,6 +137,9 @@ fn fault_storm_every_submission_resolves_typed() {
             TAG_POISON => panic!("chaos: poisoned scorer (tag {tag})"),
             _ => {}
         })),
+        // The hook disables coalescing anyway; the storm's accounting
+        // (one respawn per poisoned query) is strictly per-query.
+        max_batch: 1,
     };
     let engine = Arc::new(QueryEngine::with_fallback(index, &td, config));
 
@@ -266,6 +269,7 @@ fn slow_query_times_out_while_fast_queries_complete() {
                 std::thread::sleep(Duration::from_millis(400));
             }
         })),
+        max_batch: 1,
     };
     let engine = QueryEngine::with_fallback(index, &td, config);
 
@@ -308,6 +312,7 @@ fn overload_storm_sheds_typed_and_books_balance() {
         fault_hook: Some(Arc::new(|_| {
             std::thread::sleep(Duration::from_millis(5));
         })),
+        max_batch: 1,
     };
     let engine = QueryEngine::with_fallback(index, &td, config);
     let mut tickets = Vec::new();
@@ -369,6 +374,7 @@ fn soft_deadline_overrun_degrades_not_fails() {
         deadline: Some(Duration::from_secs(30)),
         soft_deadline: Some(Duration::ZERO),
         fault_hook: None,
+        max_batch: EngineConfig::default().max_batch,
     };
     let engine = QueryEngine::with_fallback(index, &td, config);
     for _ in 0..8 {
