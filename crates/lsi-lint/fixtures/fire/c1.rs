@@ -1,0 +1,12 @@
+// Fixture: C1-unpolled-hot-loop must fire on a fn that accepts a
+// CancelToken, loops over its input, and never polls the token — the
+// cancellation request can never land.
+
+/// Sums the batch but ignores the token entirely.
+pub fn drain(token: &CancelToken, items: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for item in items {
+        acc = acc.wrapping_add(*item);
+    }
+    acc
+}

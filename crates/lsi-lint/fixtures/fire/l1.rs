@@ -1,0 +1,24 @@
+// Fixture: L1-lock-order-cycle must fire on two paths that take the same
+// pair of locks in opposite orders (ABBA deadlock).
+
+/// A registry with two locks and no agreed acquisition order.
+pub struct Registry {
+    cells: RwLock<u64>,
+    moves: Mutex<u64>,
+}
+
+impl Registry {
+    /// Takes `cells` then `moves`.
+    pub fn promote(&self) {
+        let cells = self.cells.write().unwrap_or_else(|p| p.into_inner());
+        let moves = self.moves.lock().unwrap_or_else(|p| p.into_inner());
+        reconcile(&cells, &moves);
+    }
+
+    /// Takes `moves` then `cells` — the opposite order.
+    pub fn demote(&self) {
+        let moves = self.moves.lock().unwrap_or_else(|p| p.into_inner());
+        let cells = self.cells.write().unwrap_or_else(|p| p.into_inner());
+        reconcile(&cells, &moves);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: W1-apply-before-journal must fire when a durable mutation path
+// applies the in-memory change before the journal append+fsync — a crash
+// between the two leaves memory ahead of the durable log.
+
+/// A durable index whose write path journals in the wrong order.
+pub struct DurableIndex {
+    index: MemoryIndex,
+    journal: Journal,
+}
+
+impl DurableIndex {
+    /// Applies first, journals second: the classic torn-mutation bug.
+    pub fn add_document(&mut self, terms: &[u32]) -> Result<u64, StorageError> {
+        let id = self.index.add_document(terms);
+        self.journal.append(&MutationRecord::AddDocument {
+            terms: terms.to_vec(),
+        })?;
+        Ok(id)
+    }
+}

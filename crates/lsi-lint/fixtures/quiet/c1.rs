@@ -1,0 +1,32 @@
+// Fixture: C1-unpolled-hot-loop must stay quiet when the loop polls the
+// token — directly, or through a helper the call graph resolves.
+
+/// Polls inline every 1024 items.
+pub fn drain(token: &CancelToken, items: &[u64]) -> Result<u64, Cancelled> {
+    let mut acc = 0u64;
+    for (i, item) in items.iter().enumerate() {
+        if i % 1024 == 0 && token.is_cancelled() {
+            return Err(Cancelled);
+        }
+        acc = acc.wrapping_add(*item);
+    }
+    Ok(acc)
+}
+
+/// Delegates the poll to a helper; the summary carries the poll fact up.
+pub fn drain_checked(token: &CancelToken, items: &[u64]) -> Result<u64, Cancelled> {
+    let mut acc = 0u64;
+    for item in items {
+        poll(token)?;
+        acc = acc.wrapping_add(*item);
+    }
+    Ok(acc)
+}
+
+/// Owns the poll; loop-free, so C1 does not apply to it.
+fn poll(token: &CancelToken) -> Result<(), Cancelled> {
+    if token.is_cancelled() {
+        return Err(Cancelled);
+    }
+    Ok(())
+}

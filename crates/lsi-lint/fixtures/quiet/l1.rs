@@ -1,0 +1,31 @@
+// Fixture: L1-lock-order-cycle must stay quiet when every path agrees on
+// one global order — including paths where the second acquisition happens
+// inside a helper (the interprocedural edge still points the same way).
+
+/// A registry whose lock order is always `cells` before `moves`.
+pub struct Registry {
+    cells: RwLock<u64>,
+    moves: Mutex<u64>,
+}
+
+impl Registry {
+    /// Takes `cells`, then delegates the `moves` acquisition to a helper.
+    pub fn promote(&self) {
+        let cells = self.cells.write().unwrap_or_else(|p| p.into_inner());
+        self.bump_moves();
+        audit(&cells);
+    }
+
+    /// Owns the `moves` acquisition.
+    fn bump_moves(&self) {
+        let moves = self.moves.lock().unwrap_or_else(|p| p.into_inner());
+        audit(&moves);
+    }
+
+    /// Same order inline: `cells` before `moves`.
+    pub fn demote(&self) {
+        let cells = self.cells.write().unwrap_or_else(|p| p.into_inner());
+        let moves = self.moves.lock().unwrap_or_else(|p| p.into_inner());
+        reconcile(&cells, &moves);
+    }
+}

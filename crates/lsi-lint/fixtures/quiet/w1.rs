@@ -1,0 +1,35 @@
+// Fixture: W1-apply-before-journal must stay quiet when the journal
+// append (possibly delegated to a helper) precedes the in-memory apply,
+// and on replay paths that apply already-durable records.
+
+/// A durable index whose write path journals before applying.
+pub struct DurableIndex {
+    index: MemoryIndex,
+    journal: Journal,
+}
+
+impl DurableIndex {
+    /// Correct order, with the append delegated to a helper: the call
+    /// graph recognizes `log_add` as the append event.
+    pub fn add_document(&mut self, terms: &[u32]) -> Result<u64, StorageError> {
+        self.log_add(terms)?;
+        let id = self.index.add_document(terms);
+        Ok(id)
+    }
+
+    /// Owns the append+fsync; callers inherit the append event.
+    fn log_add(&mut self, terms: &[u32]) -> Result<(), StorageError> {
+        self.journal.append(&MutationRecord::AddDocument {
+            terms: terms.to_vec(),
+        })
+    }
+
+    /// Replay applies without appending: the records being replayed are
+    /// already durable, so this path is out of W1's scope.
+    pub fn replay(&mut self, records: &[MutationRecord]) -> Result<(), StorageError> {
+        for record in records {
+            self.index.add_document(record.terms());
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,457 @@
+//! The workspace call graph and summary-based dataflow.
+//!
+//! [`Workspace::build`] takes every file's [`FileContext`], extracts
+//! [`FileSymbols`], resolves call sites to candidate callees by name (with
+//! module / impl-type filtering for qualified calls), and then propagates
+//! [`Facts`] summaries and transitive lock-acquisition sets to a fixpoint.
+//! Workspace rules ([`crate::rules::WorkspaceRule`]) consume the result.
+//!
+//! # Resolution rules
+//!
+//! * **Bare** `helper(…)` — same-file fns of that name win; otherwise
+//!   same-crate; otherwise any workspace fn of that name.
+//! * **Qualified** `a::b::f(…)` — fns of that name whose impl self-type or
+//!   module tail equals the last qualifier segment; falls back to the
+//!   name-global set (re-exports move items across modules).
+//! * **Method** `recv.f(…)` — the union of every impl method of that name
+//!   anywhere in the workspace (no type inference).
+//!
+//! Unresolved calls (std, closures, trait objects) contribute no edges.
+//! The union semantics over-approximate: summaries may claim a fact the
+//! runtime path never exercises. Rules are written so that over-approximated
+//! *coverage* facts (reaches-sync, reaches-poll) err toward silence, and
+//! ordering rules (W1) treat ambiguous callees as neutral events.
+//!
+//! Lock summaries are stricter: common method names (`read`, `write`,
+//! `append`, `into_inner`) union-resolve to dozens of unrelated impls, and
+//! letting lock sets flow across those blind edges smears the serve tier's
+//! locks over the whole workspace. So [`CallGraph::lock_names`] propagates
+//! only along *confident* edges — bare calls, qualified calls matched by
+//! impl type or module, and `self.method()` narrowed to the caller's own
+//! impl type — recorded per call site in [`CallGraph::lock_confident`].
+//! Hazard rules (L1) likewise only draw interprocedural edges from
+//! confident call sites.
+//!
+//! Everything iterates in file/fn declaration order or `BTreeMap` order, so
+//! the graph — and every report derived from it — is deterministic.
+
+use crate::context::FileContext;
+use crate::symbols::{CallKind, Facts, FileSymbols};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies one function in the workspace: file index + fn index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef {
+    /// Index into [`Workspace::ctxs`] / [`Workspace::syms`].
+    pub file: usize,
+    /// Index into that file's [`FileSymbols::fns`].
+    pub fn_idx: usize,
+}
+
+/// The resolved call graph plus fixpoint summaries.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// All fns, in file order then declaration order.
+    pub nodes: Vec<NodeRef>,
+    /// Name → node ids bearing that fn name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `resolved[n][c]` — candidate callee node ids (sorted, deduped) for
+    /// the `c`-th call site of node `n`; empty when unresolved.
+    pub resolved: Vec<Vec<Vec<usize>>>,
+    /// `lock_confident[n][c]` — whether the `c`-th call site of node `n`
+    /// resolved confidently enough to carry lock summaries (bare/qualified
+    /// resolution or a `self.method()` narrowed by impl type); blind
+    /// method-name unions stay `false`.
+    pub lock_confident: Vec<Vec<bool>>,
+    /// Direct caller node ids per node (sorted, deduped).
+    pub callers: Vec<Vec<usize>>,
+    /// Local facts per node (copied from symbols).
+    pub local: Vec<Facts>,
+    /// Transitive facts per node: local facts ∪ every resolved callee's
+    /// reach, to a fixpoint.
+    pub reach: Vec<Facts>,
+    /// Transitive lock-receiver names acquired by each node or its callees.
+    pub lock_names: Vec<BTreeSet<String>>,
+}
+
+/// Everything a workspace rule sees: per-file contexts, per-file symbols
+/// (parallel vectors), and the call graph over them.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Per-file analysis contexts, in the order given to [`Workspace::build`].
+    pub ctxs: Vec<FileContext>,
+    /// Per-file symbols, parallel to `ctxs`.
+    pub syms: Vec<FileSymbols>,
+    /// The resolved call graph.
+    pub graph: CallGraph,
+}
+
+impl Workspace {
+    /// Builds symbols and the call graph for a set of file contexts.
+    pub fn build(ctxs: Vec<FileContext>) -> Workspace {
+        let syms: Vec<FileSymbols> = ctxs.iter().map(FileSymbols::extract).collect();
+        let graph = CallGraph::build(&syms);
+        Workspace { ctxs, syms, graph }
+    }
+
+    /// The node id of fn `fn_idx` in file `file`, if present in the graph.
+    pub fn node_id(&self, file: usize, fn_idx: usize) -> Option<usize> {
+        self.graph
+            .nodes
+            .iter()
+            .position(|n| n.file == file && n.fn_idx == fn_idx)
+    }
+
+    /// Total parsed `lsi-lint: allow` directives across all files.
+    pub fn allow_count(&self) -> usize {
+        self.ctxs.iter().map(|c| c.allows.len()).sum()
+    }
+}
+
+impl CallGraph {
+    /// Resolves calls and runs the summary fixpoints.
+    pub fn build(syms: &[FileSymbols]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, fs) in syms.iter().enumerate() {
+            for (ji, f) in fs.fns.iter().enumerate() {
+                let id = nodes.len();
+                nodes.push(NodeRef {
+                    file: fi,
+                    fn_idx: ji,
+                });
+                by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+
+        let sym = |id: usize| -> &crate::symbols::FnSym {
+            let n = nodes[id];
+            &syms[n.file].fns[n.fn_idx]
+        };
+
+        let mut resolved: Vec<Vec<Vec<usize>>> = Vec::with_capacity(nodes.len());
+        let mut lock_confident: Vec<Vec<bool>> = Vec::with_capacity(nodes.len());
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for id in 0..nodes.len() {
+            let caller_ref = nodes[id];
+            let f = sym(id);
+            let mut per_call = Vec::with_capacity(f.calls.len());
+            let mut per_call_conf = Vec::with_capacity(f.calls.len());
+            for call in &f.calls {
+                let (mut targets, confident) = resolve(call, caller_ref, &nodes, syms, &by_name);
+                targets.sort_unstable();
+                targets.dedup();
+                for &t in &targets {
+                    callers[t].push(id);
+                }
+                per_call.push(targets);
+                per_call_conf.push(confident);
+            }
+            resolved.push(per_call);
+            lock_confident.push(per_call_conf);
+        }
+        for c in &mut callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+
+        let local: Vec<Facts> = (0..nodes.len()).map(|id| sym(id).facts).collect();
+        let mut reach = local.clone();
+        let mut lock_names: Vec<BTreeSet<String>> = (0..nodes.len())
+            .map(|id| sym(id).locks.iter().map(|l| l.name.clone()).collect())
+            .collect();
+
+        // Fixpoint: OR facts along every call edge, but union lock sets only
+        // along confident edges (blind method unions would smear lock names
+        // workspace-wide). Both lattices are small and monotone; iterate
+        // until nothing changes.
+        loop {
+            let mut changed = false;
+            for id in 0..nodes.len() {
+                for (ci, targets) in resolved[id].iter().enumerate() {
+                    for &t in targets {
+                        let callee_reach = reach[t];
+                        if reach[id].merge(callee_reach) {
+                            changed = true;
+                        }
+                        if lock_confident[id][ci] && !lock_names[t].is_empty() && t != id {
+                            let extra: Vec<String> = lock_names[t]
+                                .iter()
+                                .filter(|n| !lock_names[id].contains(*n))
+                                .cloned()
+                                .collect();
+                            if !extra.is_empty() {
+                                lock_names[id].extend(extra);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        CallGraph {
+            nodes,
+            by_name,
+            resolved,
+            lock_confident,
+            callers,
+            local,
+            reach,
+            lock_names,
+        }
+    }
+
+    /// Least-fixpoint "this fn's writes end up durable" predicate for S1:
+    /// a fn is covered when it transitively reaches a sync call itself, or
+    /// when it has at least one caller and *every* caller is covered (the
+    /// helper's write is fsynced by whoever drives it). Recursive cliques
+    /// with no sync anywhere stay uncovered.
+    pub fn covered_by_sync(&self) -> Vec<bool> {
+        let mut covered: Vec<bool> = self.reach.iter().map(|r| r.has(Facts::SYNC)).collect();
+        loop {
+            let mut changed = false;
+            for id in 0..covered.len() {
+                if covered[id] {
+                    continue;
+                }
+                let cs = &self.callers[id];
+                if !cs.is_empty() && cs.iter().all(|&c| covered[c]) {
+                    covered[id] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        covered
+    }
+}
+
+/// Candidate callees for one call site, plus whether the resolution is
+/// confident enough to carry lock summaries (see module docs).
+fn resolve(
+    call: &crate::symbols::Call,
+    caller: NodeRef,
+    nodes: &[NodeRef],
+    syms: &[FileSymbols],
+    by_name: &BTreeMap<String, Vec<usize>>,
+) -> (Vec<usize>, bool) {
+    let Some(named) = by_name.get(&call.name) else {
+        return (Vec::new(), false);
+    };
+    let fn_of = |id: usize| -> &crate::symbols::FnSym {
+        let n = nodes[id];
+        &syms[n.file].fns[n.fn_idx]
+    };
+    match &call.kind {
+        CallKind::Bare => {
+            let same_file: Vec<usize> = named
+                .iter()
+                .copied()
+                .filter(|&id| nodes[id].file == caller.file)
+                .collect();
+            if !same_file.is_empty() {
+                return (same_file, true);
+            }
+            let caller_crate = syms[caller.file].module.first();
+            let same_crate: Vec<usize> = named
+                .iter()
+                .copied()
+                .filter(|&id| syms[nodes[id].file].module.first() == caller_crate)
+                .collect();
+            if !same_crate.is_empty() {
+                return (same_crate, true);
+            }
+            (named.clone(), true)
+        }
+        CallKind::Qualified(q) => {
+            let matched: Vec<usize> = named
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let ty_ok = fn_of(id).self_type.as_deref() == Some(q.as_str());
+                    let mod_ok =
+                        syms[nodes[id].file].module.last().map(String::as_str) == Some(q.as_str());
+                    ty_ok || mod_ok
+                })
+                .collect();
+            if !matched.is_empty() {
+                return (matched, true);
+            }
+            // Re-exports move items across module boundaries; fall back to
+            // the global name set rather than dropping the edge — but that
+            // fallback is a guess, so it does not carry lock summaries.
+            (named.clone(), false)
+        }
+        CallKind::Method(recv) => {
+            // `self.helper()` stays on the caller's own impl type when that
+            // narrows to something nonempty — the one receiver whose type
+            // is statically known without inference.
+            if recv.as_deref() == Some("self") {
+                if let Some(own_ty) = syms[caller.file].fns[caller.fn_idx].self_type.as_deref() {
+                    let own: Vec<usize> = named
+                        .iter()
+                        .copied()
+                        .filter(|&id| fn_of(id).self_type.as_deref() == Some(own_ty))
+                        .collect();
+                    if !own.is_empty() {
+                        return (own, true);
+                    }
+                }
+            }
+            // Other receivers: union over every impl method of this name —
+            // a blind dispatch guess, fine for coverage facts, never for
+            // lock summaries.
+            let union: Vec<usize> = named
+                .iter()
+                .copied()
+                .filter(|&id| fn_of(id).self_type.is_some())
+                .collect();
+            (union, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let ctxs = files
+            .iter()
+            .map(|(rel, src)| FileContext::build(rel, src))
+            .collect();
+        Workspace::build(ctxs)
+    }
+
+    #[test]
+    fn facts_propagate_through_helpers() {
+        let w = ws(&[(
+            "crates/lsi-core/src/storage.rs",
+            "fn save(p: &Path) -> io::Result<()> {\n    let f = File::create(p)?;\n    finish(&f)\n}\nfn finish(f: &File) -> io::Result<()> {\n    f.sync_all()\n}\n",
+        )]);
+        let save = w.node_id(0, 0).expect("save indexed");
+        let finish = w.node_id(0, 1).expect("finish indexed");
+        assert!(w.graph.local[finish].has(Facts::SYNC));
+        assert!(!w.graph.local[save].has(Facts::SYNC));
+        assert!(
+            w.graph.reach[save].has(Facts::SYNC),
+            "summary flows up the call"
+        );
+        assert!(w.graph.reach[save].has(Facts::WRITE));
+    }
+
+    #[test]
+    fn cross_file_bare_calls_resolve_same_crate_first() {
+        let w = ws(&[
+            (
+                "crates/lsi-core/src/a.rs",
+                "pub fn driver() {\n    helper();\n}\n",
+            ),
+            (
+                "crates/lsi-core/src/b.rs",
+                "pub fn helper() {\n    f.sync_all();\n}\n",
+            ),
+            (
+                "crates/lsi-serve/src/c.rs",
+                "pub fn helper() {\n    let x = 1;\n}\n",
+            ),
+        ]);
+        let driver = w.node_id(0, 0).expect("driver indexed");
+        let targets = &w.graph.resolved[driver][0];
+        assert_eq!(targets.len(), 1, "same-crate helper wins over lsi-serve's");
+        assert!(w.graph.reach[driver].has(Facts::SYNC));
+    }
+
+    #[test]
+    fn covered_by_sync_includes_caller_coverage() {
+        let w = ws(&[(
+            "crates/lsi-core/src/s.rs",
+            "fn raw_write(p: &Path) {\n    let f = File::create(p);\n}\nfn commit(p: &Path) {\n    raw_write(p);\n    d.sync_all();\n}\n",
+        )]);
+        let raw = w.node_id(0, 0).expect("raw_write indexed");
+        let commit = w.node_id(0, 1).expect("commit indexed");
+        let covered = w.graph.covered_by_sync();
+        assert!(covered[commit]);
+        assert!(covered[raw], "every caller syncs, so the helper is covered");
+    }
+
+    #[test]
+    fn uncovered_orphan_writer_stays_uncovered() {
+        let w = ws(&[(
+            "crates/lsi-core/src/s.rs",
+            "fn leak(p: &Path) {\n    let f = File::create(p);\n}\n",
+        )]);
+        let covered = w.graph.covered_by_sync();
+        assert!(!covered[0]);
+    }
+
+    #[test]
+    fn lock_sets_are_transitive() {
+        let w = ws(&[(
+            "crates/lsi-serve/src/e.rs",
+            "impl E {\n    fn outer(&self) {\n        let g = self.moves.write().unwrap_or_else(|p| p.into_inner());\n        self.inner();\n    }\n    fn inner(&self) {\n        let h = self.state.read().unwrap_or_else(|p| p.into_inner());\n    }\n}\n",
+        )]);
+        let outer = w.node_id(0, 0).expect("outer indexed");
+        assert!(w.graph.lock_names[outer].contains("moves"));
+        assert!(
+            w.graph.lock_names[outer].contains("state"),
+            "callee's lock set flows into the caller"
+        );
+    }
+
+    #[test]
+    fn blind_method_unions_do_not_carry_lock_summaries() {
+        // `h.fetch()` on an unknown receiver union-resolves to Store::fetch,
+        // whose body locks — but that blind edge must not smear `state`
+        // into the unrelated caller's lock set.
+        let w = ws(&[
+            (
+                "crates/lsi-core/src/user.rs",
+                "pub fn consume(h: &Handle) {\n    let v = h.fetch();\n}\n",
+            ),
+            (
+                "crates/lsi-serve/src/store.rs",
+                "impl Store {\n    pub fn fetch(&self) -> u32 {\n        let g = self.state.lock().unwrap_or_else(|p| p.into_inner());\n        *g\n    }\n}\n",
+            ),
+        ]);
+        let consume = w.node_id(0, 0).expect("consume indexed");
+        let store_read = w.node_id(1, 0).expect("Store::fetch indexed");
+        assert!(w.graph.lock_names[store_read].contains("state"));
+        assert!(
+            w.graph.lock_names[consume].is_empty(),
+            "blind method edge must not propagate lock names"
+        );
+        // The edge still exists for coverage facts — only lock summaries
+        // are withheld.
+        assert_eq!(w.graph.resolved[consume][0], vec![store_read]);
+        assert!(!w.graph.lock_confident[consume][0]);
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        let files = [
+            (
+                "crates/lsi-core/src/a.rs",
+                "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+            ),
+            ("crates/lsi-core/src/d.rs", "fn d() { a(); }\n"),
+        ];
+        let w1 = ws(&files);
+        let w2 = ws(&files);
+        assert_eq!(
+            format!("{:?}", w1.graph.by_name),
+            format!("{:?}", w2.graph.by_name)
+        );
+        assert_eq!(
+            format!("{:?}", w1.graph.resolved),
+            format!("{:?}", w2.graph.resolved)
+        );
+    }
+}

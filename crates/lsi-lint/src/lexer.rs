@@ -104,8 +104,14 @@ pub fn lex(src: &str) -> Lexed {
                     text: src[start..i].to_string(),
                     has_code_before: had_code,
                 });
-                // Block comments don't reset `line_has_code`: code may follow
-                // on the same line, and the comment itself is not code.
+                // A single-line block comment keeps `line_has_code`: code may
+                // precede it and more may follow on the same line. A
+                // multi-line one ends on a fresh line where nothing before
+                // this point is code, so the flag must reset — otherwise a
+                // trailing comment on the close line inherits line 1's state.
+                if line > start_line {
+                    line_has_code = false;
+                }
             }
             b'"' => {
                 line_has_code = true;
@@ -117,6 +123,15 @@ pub fn lex(src: &str) -> Lexed {
             b'r' | b'b' if is_raw_string_start(bytes, i) => {
                 line_has_code = true;
                 i = skip_raw_string(bytes, i, &mut line);
+            }
+            b'r' if is_raw_ident_start(bytes, i) => {
+                // A raw identifier like `r#fn`: blank the `r#` to `__` so the
+                // remaining bytes fuse into one ordinary identifier (`__fn`)
+                // instead of leaving a phantom `fn` keyword in the output.
+                out[i] = b'_';
+                out[i + 1] = b'_';
+                line_has_code = true;
+                i += 2;
             }
             b'\'' => {
                 if let Some(end) = char_literal_end(bytes, i) {
@@ -176,6 +191,19 @@ fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
         j += 1;
     }
     j < bytes.len() && bytes[j] == b'"'
+}
+
+/// True when `bytes[i..]` begins a raw identifier (`r#ident`). Raw strings
+/// (`r#"…"#`) are matched first by [`is_raw_string_start`], so reaching here
+/// with `r#` followed by an identifier byte is unambiguous.
+fn is_raw_ident_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false; // tail of a longer identifier
+    }
+    bytes.get(i + 1) == Some(&b'#')
+        && bytes
+            .get(i + 2)
+            .is_some_and(|&b| b.is_ascii_alphabetic() || b == b'_')
 }
 
 /// Consumes a raw string starting at `i` (at the `r`/`b`), returning the

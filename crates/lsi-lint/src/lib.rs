@@ -18,17 +18,26 @@
 //!
 //! | id | severity | enforces |
 //! |----|----------|----------|
-//! | `D1-nondeterminism` | deny | no wall-clock/process-id reads outside lsi-serve, benches, tests |
+//! | `C1-unpolled-hot-loop` | warn | fns taking a `CancelToken` that loop must poll it |
+//! | `D1-nondeterminism` | deny | no wall-clock/process-id reads outside lsi-serve, benches, tests, examples |
 //! | `D2-unseeded-rng` | deny | RNG-constructing fns take `seed: u64` or `&mut impl Rng` |
 //! | `D3-hasher-order` | deny | no unordered `HashMap`/`HashSet` iteration feeding ordered output |
 //! | `E1-panic-policy` | deny | `unwrap`/`expect`/`panic!` only under a documented `# Panics` contract |
+//! | `K1-thread-dependent-blocking` | warn | GEMM blocking geometry derives from sizes only |
+//! | `L1-lock-order-cycle` | warn | Mutex/RwLock acquisition order forms a DAG |
 //! | `M1-arrival-order-merge` | warn | cross-worker merges reduce in slot order, never arrival order |
 //! | `P1-raw-threads` | deny | threads only in `lsi_linalg::parallel` + serve worker pool |
 //! | `P2-thread-dependent-chunking` | warn | chunk boundaries never derive from thread counts |
 //! | `R1-reflector` | warn | Householder reflectors come from `vector::householder_reflector` |
-//! | `S1-unsynced-write` | deny | created/renamed files reach `sync_all`/`sync_parent_dir` |
+//! | `S1-unsynced-write` | deny | created/renamed files reach `sync_all`/`sync_parent_dir`, here or via callers |
 //! | `S2-unchecked-length-alloc` | warn | readers bound decoded lengths before allocating |
 //! | `U1-unsafe` | deny | `unsafe` only on the explicit allowlist |
+//! | `W1-apply-before-journal` | deny | durable mutations journal-append (fsync) before the in-memory apply |
+//!
+//! `S1`, `W1`, `L1`, and `C1` are workspace rules since PR 9: they run over
+//! the resolved call graph ([`callgraph`]) with summary-based dataflow, so
+//! helper-delegated syncs/polls/appends are recognized and lock-order edges
+//! cross fn boundaries. The rest are per-file token rules.
 //!
 //! Malformed `lsi-lint:` directives surface as deny-level `A0-allow-syntax`
 //! findings so a typo can't silently disable a rule.
@@ -52,26 +61,52 @@
 //! assert_eq!(findings[0].severity, Severity::Deny);
 //! ```
 
+pub mod callgraph;
 pub mod context;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
+pub use callgraph::Workspace;
 pub use report::{render_json, render_text, Finding, Severity};
+pub use sarif::render_sarif;
 
 use context::FileContext;
 use std::path::{Path, PathBuf};
 
-/// Lints one in-memory source file at workspace-relative path `rel`.
-pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
-    let ctx = FileContext::build(rel, src);
-    let mut findings = ctx.meta_findings.clone();
-    for rule in rules::registry() {
-        rule.check(&ctx, &mut findings);
+/// Lints a set of in-memory source files as one workspace: per-file rules
+/// run on each file, then the call graph is built over all of them and the
+/// workspace rules (interprocedural S1/W1/L1/C1) run once. Findings come
+/// back sorted by (path, line, rule) and deduped.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let ctxs: Vec<FileContext> = files
+        .iter()
+        .map(|(rel, src)| FileContext::build(rel, src))
+        .collect();
+    let mut findings = Vec::new();
+    let per_file = rules::registry();
+    for ctx in &ctxs {
+        findings.extend(ctx.meta_findings.clone());
+        for rule in &per_file {
+            rule.check(ctx, &mut findings);
+        }
     }
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.message == b.message);
+    let ws = Workspace::build(ctxs);
+    for rule in rules::workspace_registry() {
+        rule.check(&ws, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.path == b.path);
     findings
+}
+
+/// Lints one in-memory source file at workspace-relative path `rel` — a
+/// single-file workspace, so interprocedural rules see only same-file
+/// helpers (which is exactly what fixtures exercise).
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    lint_sources(&[(rel.to_string(), src.to_string())])
 }
 
 /// Lints the file at `path`, reporting it relative to `root`.
@@ -86,6 +121,44 @@ pub fn lint_file(root: &Path, path: &Path) -> std::io::Result<Vec<Finding>> {
         .to_string_lossy()
         .replace('\\', "/");
     Ok(lint_source(&rel, &src))
+}
+
+/// Reads every file in `files` and lints them as one workspace (see
+/// [`lint_sources`]), reporting paths relative to `root`.
+///
+/// # Errors
+/// Returns the first I/O error encountered while reading.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, src));
+    }
+    Ok(lint_sources(&sources))
+}
+
+/// Total `lsi-lint: allow` directives across a set of files, for the
+/// `--allow-budget` gate.
+///
+/// # Errors
+/// Returns the first I/O error encountered while reading.
+pub fn count_allows(root: &Path, files: &[PathBuf]) -> std::io::Result<usize> {
+    let mut count = 0usize;
+    for path in files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        count += FileContext::build(&rel, &src).allows.len();
+    }
+    Ok(count)
 }
 
 /// Directory names never descended into.

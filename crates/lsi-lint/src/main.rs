@@ -4,15 +4,25 @@
 //! The `lsi-lint` binary: lints the workspace (or explicit paths) and exits
 //! 0 when clean, 1 on deny-level findings, 2 on usage or I/O errors.
 
-use lsi_lint::{render_json, render_text, Finding, Severity};
+use lsi_lint::{render_json, render_sarif, render_text, Finding, Severity};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: lsi-lint [--fix-hints] [--format text|json] [paths...]
+const USAGE: &str = "usage: lsi-lint [options] [paths...]
+
+options:
+  --fix-hints           print remediation hints under each finding
+  --format text|json|sarif
+                        output format (default text)
+  --explain <rule>      print the rationale for one rule id and exit
+  --allow-budget <n>    fail (exit 1) when the workspace carries more than
+                        <n> inline `lsi-lint: allow` directives
+  --deny-warnings       exit 1 on warn-level findings too
 
 Lints workspace .rs files against the conformance rules (see `lsi_lint`
 crate docs for the rule table). With no paths, lints the whole workspace
-(vendor/, target/, and lsi-lint's own fixtures/ excluded).
+(vendor/, target/, and lsi-lint's own fixtures/ excluded). Interprocedural
+rules (S1/W1/L1/C1) analyze the linted file set as one call graph.
 
 exit codes: 0 clean (warnings allowed), 1 deny-level findings, 2 usage/io error";
 
@@ -28,17 +38,35 @@ fn main() -> ExitCode {
 
 fn run() -> Result<ExitCode, String> {
     let mut fix_hints = false;
+    let mut deny_warnings = false;
     let mut format = "text".to_string();
+    let mut allow_budget: Option<usize> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fix-hints" => fix_hints = true,
+            "--deny-warnings" => deny_warnings = true,
             "--format" => {
-                format = args.next().ok_or("--format needs a value (text|json)")?;
-                if format != "text" && format != "json" {
-                    return Err(format!("unknown format `{format}` (expected text|json)"));
+                format = args
+                    .next()
+                    .ok_or("--format needs a value (text|json|sarif)")?;
+                if format != "text" && format != "json" && format != "sarif" {
+                    return Err(format!(
+                        "unknown format `{format}` (expected text|json|sarif)"
+                    ));
                 }
+            }
+            "--explain" => {
+                let rule = args.next().ok_or("--explain needs a rule id")?;
+                return explain(&rule);
+            }
+            "--allow-budget" => {
+                let n = args.next().ok_or("--allow-budget needs a number")?;
+                allow_budget = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("--allow-budget: `{n}` is not a number"))?,
+                );
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -75,23 +103,65 @@ fn run() -> Result<ExitCode, String> {
         files
     };
 
-    let mut findings: Vec<Finding> = Vec::new();
-    for f in &files {
-        findings
-            .extend(lsi_lint::lint_file(&root, f).map_err(|e| format!("{}: {e}", f.display()))?);
-    }
-    findings
-        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
+    let findings: Vec<Finding> =
+        lsi_lint::lint_files(&root, &files).map_err(|e| format!("read: {e}"))?;
 
     match format.as_str() {
         "json" => print!("{}", render_json(&findings)),
+        "sarif" => print!("{}", render_sarif(&findings)),
         _ => print!("{}", render_text(&findings, fix_hints)),
     }
 
-    let deny = findings.iter().any(|f| f.severity == Severity::Deny);
-    Ok(if deny {
+    let mut fail = findings.iter().any(|f| f.severity == Severity::Deny);
+    if deny_warnings && !findings.is_empty() {
+        fail = true;
+    }
+    if let Some(budget) = allow_budget {
+        let allows = lsi_lint::count_allows(&root, &files).map_err(|e| format!("read: {e}"))?;
+        if allows > budget {
+            eprintln!(
+                "lsi-lint: allow budget exceeded: {allows} inline allow directives, \
+                 budget is {budget}"
+            );
+            fail = true;
+        } else {
+            eprintln!("lsi-lint: allow budget ok: {allows}/{budget} directives");
+        }
+    }
+    Ok(if fail {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// Prints the long-form rationale for one rule id (full id or short prefix).
+fn explain(rule: &str) -> Result<ExitCode, String> {
+    let want = rule.split('-').next().unwrap_or(rule);
+    if want.eq_ignore_ascii_case("A0") {
+        println!(
+            "A0-allow-syntax (deny)\n\nEvery `lsi-lint:` directive must parse as \
+             `allow(<rule-id>, \"<justification>\")` with a non-empty reason; a typo'd \
+             directive would otherwise silently disable a rule, so malformed ones are \
+             themselves deny findings."
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for r in lsi_lint::rules::registry() {
+        let short = r.id().split('-').next().unwrap_or(r.id());
+        if r.id().eq_ignore_ascii_case(rule) || short.eq_ignore_ascii_case(want) {
+            println!("{} ({})\n\n{}", r.id(), r.severity(), r.explain());
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
+    for r in lsi_lint::rules::workspace_registry() {
+        let short = r.id().split('-').next().unwrap_or(r.id());
+        if r.id().eq_ignore_ascii_case(rule) || short.eq_ignore_ascii_case(want) {
+            println!("{} ({})\n\n{}", r.id(), r.severity(), r.explain());
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
+    Err(format!(
+        "unknown rule `{rule}` (see --help for the rule table)"
+    ))
 }

@@ -1,0 +1,88 @@
+//! C1-unpolled-hot-loop: cancellation responsiveness for scoring paths
+//! (the PR 2 deadline invariant). A fn that takes a `CancelToken` and loops
+//! is promising bounded latency; if neither it nor anything it calls ever
+//! polls the token (`is_cancelled()` / `.check()`), the deadline is
+//! decorative — a long scan runs to completion no matter what the caller's
+//! budget says.
+//!
+//! Warn-level: the loop may be trivially short, and reach-based analysis is
+//! fn-granular (one polled loop quiets a sibling unpolled one), so findings
+//! are strong hints rather than proofs.
+
+use super::{emit, WorkspaceRule};
+use crate::callgraph::Workspace;
+use crate::context::Role;
+use crate::report::{Finding, Severity};
+use crate::symbols::Facts;
+
+/// The C1 rule.
+pub struct C1UnpolledHotLoop;
+
+impl WorkspaceRule for C1UnpolledHotLoop {
+    fn id(&self) -> &'static str {
+        "C1-unpolled-hot-loop"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "fns taking a CancelToken that loop must poll it (directly or via a helper)"
+    }
+    fn explain(&self) -> &'static str {
+        "Query deadlines work by cooperative polling: scoring loops check the \
+         `CancelToken` every `CHECK_INTERVAL` iterations (`token.check()?`) so a \
+         deadline or explicit cancel bounds latency. A fn that accepts a token in its \
+         parameter list and contains a loop, but whose call-graph summary never \
+         reaches `is_cancelled(` or `.check()`, silently drops that contract: the \
+         caller believes the work is cancellable and it is not.\n\n\
+         The check is interprocedural — delegating the poll to a helper inside the \
+         loop counts. Fns that merely *return* a token (constructors) are out of \
+         scope: only a `CancelToken` among the parameters creates the obligation."
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for (fi, ctx) in ws.ctxs.iter().enumerate() {
+            if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
+                continue;
+            }
+            for (ji, f) in ws.syms[fi].fns.iter().enumerate() {
+                if ctx.is_test_line(f.start_line) {
+                    continue;
+                }
+                // Only a token in the parameter list (before the return
+                // arrow) obligates polling.
+                let params = match f.signature.find("->") {
+                    Some(pos) => &f.signature[..pos],
+                    None => f.signature.as_str(),
+                };
+                if !params.contains("CancelToken") {
+                    continue;
+                }
+                let first_loop = f.loop_lines.iter().copied().find(|&l| !ctx.is_test_line(l));
+                let Some(loop_line) = first_loop else {
+                    continue;
+                };
+                let polls = ws
+                    .node_id(fi, ji)
+                    .map(|n| ws.graph.reach[n].has(Facts::POLL))
+                    .unwrap_or(false);
+                if polls {
+                    continue;
+                }
+                emit(
+                    ctx,
+                    out,
+                    self.id(),
+                    self.severity(),
+                    loop_line,
+                    format!(
+                        "fn `{}` takes a CancelToken and loops, but neither it nor its \
+                         callees ever poll the token",
+                        f.name
+                    ),
+                    "poll inside the loop — `if i % CHECK_INTERVAL == 0 { token.check()?; }` \
+                     — or pass the token down to a helper that does",
+                );
+            }
+        }
+    }
+}

@@ -31,10 +31,15 @@ impl Rule for D1Nondeterminism {
         Severity::Deny
     }
     fn description(&self) -> &'static str {
-        "no wall-clock or process-id reads outside lsi-serve timing paths, benches, and tests"
+        "no wall-clock or process-id reads outside lsi-serve timing paths, benches, tests, examples"
     }
     fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
-        if ctx.role == Role::TestOrBench || EXEMPT_CRATES.iter().any(|c| ctx.rel.starts_with(c)) {
+        // Examples are narrative demos: their timings are printed for the
+        // reader, never recorded as experiment outputs, so the
+        // determinism contract does not extend to them.
+        if matches!(ctx.role, Role::TestOrBench | Role::Example)
+            || EXEMPT_CRATES.iter().any(|c| ctx.rel.starts_with(c))
+        {
             return;
         }
         for (idx, line) in ctx.lines.iter().enumerate() {

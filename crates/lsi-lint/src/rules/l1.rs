@@ -1,0 +1,337 @@
+//! L1-lock-order-cycle: a static deadlock detector over Mutex/RwLock
+//! acquisition order. Every time a guard is held across another acquisition
+//! (in the same fn, scope-aware) or across a call into a fn whose summary
+//! acquires locks, the rule records a directed edge `held → acquired` in a
+//! per-crate graph keyed by the lock's receiver identifier (`self.moves` →
+//! `moves`). A cycle in that graph means two paths acquire the same locks
+//! in opposite orders — the classic ABBA deadlock.
+//!
+//! Warn-level by design: receiver identifiers are a best-effort identity
+//! (two fields named `state` on different types alias one node), and the
+//! expected serve-tier topology (`moves → cells → state`, `rx → state`) is
+//! a DAG, so any reported cycle deserves eyes rather than an auto-fail.
+
+use super::{emit, WorkspaceRule};
+use crate::callgraph::Workspace;
+use crate::context::Role;
+use crate::report::{Finding, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The L1 rule.
+pub struct L1LockOrderCycle;
+
+/// Edge provenance: where the second acquisition happens.
+type Site = (usize, usize); // (file index, line)
+
+impl WorkspaceRule for L1LockOrderCycle {
+    fn id(&self) -> &'static str {
+        "L1-lock-order-cycle"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "Mutex/RwLock acquisition order must form a DAG (no ABBA deadlocks)"
+    }
+    fn explain(&self) -> &'static str {
+        "Deadlock freedom across the serving tier rests on a global lock order: every \
+         code path that holds one lock while taking another must agree on the \
+         direction (the tree's topology is `moves → cells → state` in the cluster and \
+         `rx → state` in the engine worker). The rule reconstructs that order \
+         statically: scope-aware guard tracking finds every acquisition made while a \
+         `let`-bound guard is live, and the call-graph lock summaries extend the edge \
+         set through helper calls (caller's held guard → every lock the callee's \
+         summary acquires). Only confidently-resolved calls contribute — blind \
+         method-name dispatch is a may-edge and must not invent hazards — and \
+         ambiguous candidates contribute only their intersection. Cycles in the \
+         per-crate graph are reported once per strongly-connected component.\n\n\
+         Identity is the receiver identifier, so distinct fields sharing a name alias \
+         one node — which is why the rule warns instead of denying. Same-name edges \
+         count only when at least one side is an exclusive acquisition (`.lock()` / \
+         `.write()`); shared read-read re-entry is not a hazard."
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // crate → (from, to) → smallest provenance site.
+        let mut edges: BTreeMap<String, BTreeMap<(String, String), Site>> = BTreeMap::new();
+        for (fi, ctx) in ws.ctxs.iter().enumerate() {
+            if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
+                continue;
+            }
+            let krate = match ws.syms[fi].module.first() {
+                Some(k) => k.clone(),
+                None => continue,
+            };
+            for (ji, f) in ws.syms[fi].fns.iter().enumerate() {
+                if ctx.is_test_line(f.start_line) {
+                    continue;
+                }
+                let crate_edges = edges.entry(krate.clone()).or_default();
+                // Intra-fn: guard A live across acquisition B.
+                for b in &f.locks {
+                    if ctx.is_test_line(b.line) {
+                        continue;
+                    }
+                    for a in &f.locks {
+                        if !a.held
+                            || a.order >= b.order
+                            || b.line > a.scope_end_line
+                            || ctx.is_test_line(a.line)
+                        {
+                            continue;
+                        }
+                        if a.name == b.name && !(a.exclusive || b.exclusive) {
+                            continue;
+                        }
+                        let key = (a.name.clone(), b.name.clone());
+                        let site = (fi, b.line);
+                        upsert_min(crate_edges, key, site, ws);
+                    }
+                }
+                // Interprocedural: guard A live across a call whose callee
+                // summary acquires locks. Same-name re-entry through a call
+                // is skipped: the receiver almost always names a different
+                // instance (shard cells, child tokens), and the intra-fn
+                // pass already covers the same-instance case.
+                if let Some(node) = ws.node_id(fi, ji) {
+                    for (ci, call) in f.calls.iter().enumerate() {
+                        let targets = &ws.graph.resolved[node][ci];
+                        if targets.is_empty()
+                            || !ws.graph.lock_confident[node][ci]
+                            || ctx.is_test_line(call.line)
+                        {
+                            continue;
+                        }
+                        // Must-analysis: a hazard edge needs the callee to
+                        // certainly acquire the lock, so ambiguous method
+                        // resolution contributes only the locks common to
+                        // every candidate. (Coverage rules use the union;
+                        // hazard rules must not invent edges.)
+                        let mut callee_locks: Option<BTreeSet<&str>> = None;
+                        for &t in targets {
+                            let set: BTreeSet<&str> =
+                                ws.graph.lock_names[t].iter().map(String::as_str).collect();
+                            callee_locks = Some(match callee_locks {
+                                None => set,
+                                Some(acc) => acc.intersection(&set).copied().collect(),
+                            });
+                        }
+                        let callee_locks = callee_locks.unwrap_or_default();
+                        if callee_locks.is_empty() {
+                            continue;
+                        }
+                        for a in &f.locks {
+                            if !a.held
+                                || call.line < a.line
+                                || call.line > a.scope_end_line
+                                || ctx.is_test_line(a.line)
+                            {
+                                continue;
+                            }
+                            for l in &callee_locks {
+                                if *l == a.name {
+                                    continue;
+                                }
+                                let key = (a.name.clone(), (*l).to_string());
+                                let site = (fi, call.line);
+                                upsert_min(crate_edges, key, site, ws);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for (krate, crate_edges) in &edges {
+            for scc in cycles(crate_edges) {
+                // Report at the smallest (path, line) edge site inside the
+                // cycle so the finding is stable run to run.
+                let mut best: Option<(&str, Site)> = None;
+                for ((from, to), site) in crate_edges {
+                    let in_cycle = if from == to {
+                        scc.len() == 1 && scc.contains(from)
+                    } else {
+                        scc.contains(from) && scc.contains(to)
+                    };
+                    if !in_cycle {
+                        continue;
+                    }
+                    let rel = ws.ctxs[site.0].rel.as_str();
+                    if best.is_none_or(|(brel, bsite)| (rel, site.1) < (brel, bsite.1)) {
+                        best = Some((rel, *site));
+                    }
+                }
+                let Some((_, (fi, line))) = best else {
+                    continue;
+                };
+                let names: Vec<&str> = scc.iter().map(String::as_str).collect();
+                emit(
+                    &ws.ctxs[fi],
+                    out,
+                    self.id(),
+                    self.severity(),
+                    line,
+                    format!(
+                        "lock acquisition-order cycle in crate `{krate}`: {{{}}} — two \
+                         paths take these locks in opposite orders",
+                        names.join(" ⇄ ")
+                    ),
+                    "pick one global order for these locks and re-acquire in that order \
+                     everywhere, or shrink a guard's scope (drop it before taking the \
+                     next lock)",
+                );
+            }
+        }
+    }
+}
+
+/// Keeps the smallest (path, line) provenance per edge so reports are
+/// deterministic regardless of file iteration order.
+fn upsert_min(
+    edges: &mut BTreeMap<(String, String), Site>,
+    key: (String, String),
+    site: Site,
+    ws: &Workspace,
+) {
+    match edges.get(&key) {
+        Some(&old) => {
+            let old_key = (ws.ctxs[old.0].rel.as_str(), old.1);
+            let new_key = (ws.ctxs[site.0].rel.as_str(), site.1);
+            if new_key < old_key {
+                edges.insert(key, site);
+            }
+        }
+        None => {
+            edges.insert(key, site);
+        }
+    }
+}
+
+/// Strongly-connected components with a cycle (size > 1, or a self-loop),
+/// as sorted name sets, in deterministic order. Iterative Tarjan.
+fn cycles(edges: &BTreeMap<(String, String), Site>) -> Vec<BTreeSet<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+        nodes.insert(from.as_str());
+        nodes.insert(to.as_str());
+    }
+    let index_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let name_of: Vec<&str> = nodes.iter().copied().collect();
+    let n = name_of.len();
+    let succ: Vec<Vec<usize>> = name_of
+        .iter()
+        .map(|&name| {
+            adj.get(name)
+                .map(|ts| ts.iter().map(|t| index_of[t]).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Iterative Tarjan SCC.
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<BTreeSet<String>> = Vec::new();
+    // (node, next successor position)
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        work.push((start, 0));
+        while let Some(&mut (v, ref mut pi)) = work.last_mut() {
+            if *pi == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *pi < succ[v].len() {
+                let w = succ[v][*pi];
+                *pi += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp: BTreeSet<String> = BTreeSet::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.insert(name_of[w].to_string());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic = comp.len() > 1
+                        || comp
+                            .iter()
+                            .any(|m| edges.contains_key(&(m.clone(), m.clone())));
+                    if cyclic {
+                        out.push(comp);
+                    }
+                }
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(from: &str, to: &str) -> ((String, String), Site) {
+        ((from.to_string(), to.to_string()), (0, 1))
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let edges: BTreeMap<_, _> = [edge("moves", "cells"), edge("cells", "state")]
+            .into_iter()
+            .collect();
+        assert!(cycles(&edges).is_empty());
+    }
+
+    #[test]
+    fn abba_is_one_scc() {
+        let edges: BTreeMap<_, _> = [edge("alpha", "beta"), edge("beta", "alpha")]
+            .into_iter()
+            .collect();
+        let cs = cycles(&edges);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].contains("alpha") && cs[0].contains("beta"));
+    }
+
+    #[test]
+    fn self_loop_counts() {
+        let edges: BTreeMap<_, _> = [edge("cells", "cells")].into_iter().collect();
+        assert_eq!(cycles(&edges).len(), 1);
+    }
+
+    #[test]
+    fn three_cycle_through_dag_tail() {
+        let edges: BTreeMap<_, _> = [
+            edge("a", "b"),
+            edge("b", "c"),
+            edge("c", "a"),
+            edge("c", "d"),
+        ]
+        .into_iter()
+        .collect();
+        let cs = cycles(&edges);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].len(), 3);
+        assert!(!cs[0].contains("d"));
+    }
+}

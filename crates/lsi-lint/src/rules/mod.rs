@@ -7,14 +7,17 @@
 //! suspicious — the inline `lsi-lint: allow(<rule>, "<reason>")` escape hatch
 //! (reason mandatory) is the sanctioned way to keep a justified exception.
 
+use crate::callgraph::Workspace;
 use crate::context::FileContext;
 use crate::report::{Finding, Severity};
 
+mod c1;
 mod d1;
 mod d2;
 mod d3;
 mod e1;
 mod k1;
+mod l1;
 mod m1;
 mod p1;
 mod p2;
@@ -22,8 +25,9 @@ mod r1;
 mod s1;
 mod s2;
 mod u1;
+mod w1;
 
-/// A conformance rule.
+/// A per-file conformance rule.
 pub trait Rule {
     /// Stable rule id, e.g. `D1-nondeterminism`.
     fn id(&self) -> &'static str;
@@ -31,11 +35,34 @@ pub trait Rule {
     fn severity(&self) -> Severity;
     /// One-line description for `--help` and docs.
     fn description(&self) -> &'static str;
+    /// Multi-paragraph rationale for `--explain <rule>`. Defaults to the
+    /// one-line description.
+    fn explain(&self) -> &'static str {
+        self.description()
+    }
     /// Runs the rule over one file, appending findings.
     fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>);
 }
 
-/// All shipped rules, in id order.
+/// A workspace-level conformance rule: sees every file plus the resolved
+/// call graph and its fixpoint summaries, so invariants can follow calls
+/// through helpers instead of stopping at fn boundaries.
+pub trait WorkspaceRule {
+    /// Stable rule id, e.g. `W1-apply-before-journal`.
+    fn id(&self) -> &'static str;
+    /// Severity of this rule's findings.
+    fn severity(&self) -> Severity;
+    /// One-line description for `--help` and docs.
+    fn description(&self) -> &'static str;
+    /// Multi-paragraph rationale for `--explain <rule>`.
+    fn explain(&self) -> &'static str {
+        self.description()
+    }
+    /// Runs the rule over the whole workspace, appending findings.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// All shipped per-file rules, in id order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(d1::D1Nondeterminism),
@@ -47,9 +74,19 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(p1::P1RawThreads),
         Box::new(p2::P2ThreadDependentChunking),
         Box::new(r1::R1Reflector),
-        Box::new(s1::S1UnsyncedWrite),
         Box::new(s2::S2UncheckedLengthAlloc),
         Box::new(u1::U1Unsafe),
+    ]
+}
+
+/// All shipped workspace rules, in id order. S1 lives here since PR 9: its
+/// durability proof follows helper calls in both directions.
+pub fn workspace_registry() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(c1::C1UnpolledHotLoop),
+        Box::new(l1::L1LockOrderCycle),
+        Box::new(s1::S1UnsyncedWrite),
+        Box::new(w1::W1ApplyBeforeJournal),
     ]
 }
 

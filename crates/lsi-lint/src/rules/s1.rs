@@ -1,26 +1,25 @@
 //! S1-unsynced-write: durability policy for persistence paths (CLAUDE.md:
 //! files that are created or renamed into place must be flushed to stable
-//! storage before the operation is treated as done). A function that calls
-//! `File::create` or `fs::rename` but never reaches `sync_all` (directly,
-//! or via the `sync_parent_dir` helper for the post-rename directory sync)
-//! leaves a window where a crash silently discards an acknowledged write.
-//! Deny-level: a create/rename that genuinely needs no durability (say, a
-//! scratch file handed to a syncing helper) takes an inline allow with its
-//! reason.
+//! storage before the operation is treated as done). A write that never
+//! reaches `sync_all` / `sync_parent_dir` — in its own fn, in a helper it
+//! calls, or in every caller that drives it — leaves a window where a crash
+//! silently discards an acknowledged write.
+//!
+//! Since PR 9 the rule is interprocedural: coverage is the least fixpoint of
+//! "reaches a sync transitively, or has callers and all of them are
+//! covered". Helper fns whose writes are fsynced by their drivers no longer
+//! need inline allows; a write helper nobody syncs still fires.
 
-use super::{contains_token, emit, Rule};
-use crate::context::{FileContext, Role};
+use super::{contains_token, emit, WorkspaceRule};
+use crate::callgraph::Workspace;
+use crate::context::Role;
 use crate::report::{Finding, Severity};
-
-/// Calls that make bytes or directory entries that must survive a crash.
-const WRITES: &[&str] = &["File::create(", "fs::rename("];
-/// Calls that make them durable.
-const SYNCS: &[&str] = &["sync_all(", "sync_parent_dir("];
+use crate::symbols::{Facts, WRITE_TOKENS};
 
 /// The S1 rule.
 pub struct S1UnsyncedWrite;
 
-impl Rule for S1UnsyncedWrite {
+impl WorkspaceRule for S1UnsyncedWrite {
     fn id(&self) -> &'static str {
         "S1-unsynced-write"
     }
@@ -28,54 +27,66 @@ impl Rule for S1UnsyncedWrite {
         Severity::Deny
     }
     fn description(&self) -> &'static str {
-        "fns that File::create or fs::rename must reach sync_all/sync_parent_dir"
+        "created/renamed files must reach sync_all/sync_parent_dir, here or via callers"
     }
-    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
-        // Tests and benches stage disk states on purpose (crash matrices
-        // literally install torn files); examples are narrative. The policy
-        // bites where production persistence lives.
-        if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
-            return;
-        }
-        for f in &ctx.fns {
-            if ctx.is_test_line(f.start_line) {
+    fn explain(&self) -> &'static str {
+        "Crash consistency demands that any file created (`File::create`) or renamed into \
+         place (`fs::rename`) is flushed to stable storage (`sync_all`, and \
+         `sync_parent_dir` for the directory entry after a rename) before the operation \
+         reports success — otherwise a crash can discard an acknowledged write while the \
+         recovery path believes it durable.\n\n\
+         The check is interprocedural over the workspace call graph: a fn is covered when \
+         it transitively reaches a sync call through any helper, or when it has callers \
+         and every caller is covered (the write helper's bytes are fsynced by whoever \
+         drives it). An uncovered write is a deny finding at the write site. Blind spots: \
+         trait-object and fn-pointer dispatch contribute no call edges, so a sync hidden \
+         behind `dyn` indirection still needs an inline allow naming the invariant."
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let covered = ws.graph.covered_by_sync();
+        for (fi, ctx) in ws.ctxs.iter().enumerate() {
+            // Tests and benches stage disk states on purpose (crash matrices
+            // literally install torn files); examples are narrative. The
+            // policy bites where production persistence lives.
+            if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
                 continue;
             }
-            // First offending write call in the fn body, and whether any
-            // sync call appears anywhere in the same body.
-            let mut first_write: Option<(usize, &str)> = None;
-            let mut synced = false;
-            for lineno in f.start_line..=f.end_line.min(ctx.lines.len()) {
-                if ctx.is_test_line(lineno) {
+            for (ji, f) in ws.syms[fi].fns.iter().enumerate() {
+                if ctx.is_test_line(f.start_line) || !f.facts.has(Facts::WRITE) {
                     continue;
                 }
-                let line = &ctx.lines[lineno - 1];
-                if first_write.is_none() {
-                    if let Some(w) = WRITES.iter().find(|w| contains_token(line, w)) {
-                        first_write = Some((lineno, w));
+                let is_covered = ws.node_id(fi, ji).map(|n| covered[n]).unwrap_or(false);
+                if is_covered {
+                    continue;
+                }
+                // Report at the first write site in the body.
+                for lineno in f.start_line..=f.end_line.min(ctx.lines.len()) {
+                    if ctx.is_test_line(lineno) {
+                        continue;
+                    }
+                    let line = &ctx.lines[lineno - 1];
+                    if let Some(w) = WRITE_TOKENS.iter().find(|w| contains_token(line, w)) {
+                        emit(
+                            ctx,
+                            out,
+                            self.id(),
+                            self.severity(),
+                            lineno,
+                            format!(
+                                "fn `{}` calls `{}` but never reaches \
+                                 sync_all/sync_parent_dir (not via helpers, and not in \
+                                 every caller)",
+                                f.name,
+                                w.trim_end_matches('(')
+                            ),
+                            "fsync the file before rename (sync_all) and the parent \
+                             directory after (sync_parent_dir) — directly or in a helper \
+                             — or add `// lsi-lint: allow(S1, \"...\")` with the reason \
+                             this write may be lost on crash",
+                        );
+                        break;
                     }
                 }
-                if SYNCS.iter().any(|s| contains_token(line, s)) {
-                    synced = true;
-                    break;
-                }
-            }
-            if let (Some((lineno, w)), false) = (first_write, synced) {
-                emit(
-                    ctx,
-                    out,
-                    self.id(),
-                    self.severity(),
-                    lineno,
-                    format!(
-                        "fn `{}` calls `{}` but never reaches sync_all/sync_parent_dir",
-                        f.name,
-                        w.trim_end_matches('(')
-                    ),
-                    "fsync the file before rename (sync_all) and the parent directory after \
-                     (sync_parent_dir), or add `// lsi-lint: allow(S1, \"...\")` with the reason \
-                     this write may be lost on crash",
-                );
             }
         }
     }

@@ -1,0 +1,146 @@
+//! W1-apply-before-journal: write-ahead ordering for durable mutations
+//! (CLAUDE.md: mutations to a durable index go through the write-ahead
+//! journal — append + fsync before apply). The crash matrix proves the
+//! runtime behavior; this rule pins the *source* ordering so a refactor
+//! can't quietly swap the two calls and leave the matrix testing the wrong
+//! program.
+//!
+//! A fn is in scope when it orchestrates both sides: at least one journal
+//! append event and at least one in-memory apply event (token-level, or a
+//! call into a helper whose summary reaches exactly one of the two facts).
+//! Within scope, any apply event before the first append event is a deny
+//! finding. Replay and recovery paths apply without appending, so they have
+//! no append event and stay out of scope by construction.
+
+use super::{contains_token, emit, WorkspaceRule};
+use crate::callgraph::Workspace;
+use crate::context::Role;
+use crate::report::{Finding, Severity};
+use crate::symbols::{Facts, APPEND_TOKENS, APPLY_TOKENS};
+
+/// The W1 rule.
+pub struct W1ApplyBeforeJournal;
+
+/// One ordered event in a fn body.
+#[derive(Debug, Clone)]
+struct Event {
+    line: usize,
+    /// False = append-side, true = apply-side. Sort puts appends first on a
+    /// shared line: `append(...)?; apply(...)` one-liners are legal.
+    is_apply: bool,
+    what: String,
+}
+
+impl WorkspaceRule for W1ApplyBeforeJournal {
+    fn id(&self) -> &'static str {
+        "W1-apply-before-journal"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn description(&self) -> &'static str {
+        "durable mutation paths must journal-append (fsync) before the in-memory apply"
+    }
+    fn explain(&self) -> &'static str {
+        "The durability contract (CLAUDE.md, proven by tests/crash_matrix.rs) is \
+         append-fsync-before-apply: a mutation record lands in the write-ahead journal \
+         and is fsynced before the in-memory index changes, so a crash between the two \
+         replays the mutation instead of losing an acknowledged write.\n\n\
+         The rule walks each fn that orchestrates both sides — a journal append event \
+         (`journal.append(…)`, `wal.append(…)`, `.append(&MutationRecord::…)`, or a call \
+         into a helper whose call-graph summary reaches an append but no apply) and an \
+         in-memory apply event (`index.add_document(…)` / `index.add_document_vector(…)` \
+         / `index.retire_document(…)`, or a call into an apply-only helper) — in source \
+         order, and denies any apply reachable before the first append. Fns with no \
+         append event (replay, recovery, non-durable construction) are out of scope. \
+         Calls whose summaries reach both facts are neutral: the callee is checked on \
+         its own."
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for (fi, ctx) in ws.ctxs.iter().enumerate() {
+            if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
+                continue;
+            }
+            for (ji, f) in ws.syms[fi].fns.iter().enumerate() {
+                if ctx.is_test_line(f.start_line) {
+                    continue;
+                }
+                let mut events: Vec<Event> = Vec::new();
+                for lineno in f.start_line..=f.end_line.min(ctx.lines.len()) {
+                    if ctx.is_test_line(lineno) {
+                        continue;
+                    }
+                    let line = &ctx.lines[lineno - 1];
+                    if APPEND_TOKENS.iter().any(|t| contains_token(line, t)) {
+                        events.push(Event {
+                            line: lineno,
+                            is_apply: false,
+                            what: "journal append".to_string(),
+                        });
+                    }
+                    if let Some(t) = APPLY_TOKENS.iter().find(|t| contains_token(line, t)) {
+                        events.push(Event {
+                            line: lineno,
+                            is_apply: true,
+                            what: format!("`{}…)`", t.trim_end_matches('(')),
+                        });
+                    }
+                }
+                if let Some(node) = ws.node_id(fi, ji) {
+                    for (ci, call) in f.calls.iter().enumerate() {
+                        let targets = &ws.graph.resolved[node][ci];
+                        if targets.is_empty() || ctx.is_test_line(call.line) {
+                            continue;
+                        }
+                        let any_append = targets
+                            .iter()
+                            .any(|&t| ws.graph.reach[t].has(Facts::APPEND));
+                        let any_apply =
+                            targets.iter().any(|&t| ws.graph.reach[t].has(Facts::APPLY));
+                        if any_append && !any_apply {
+                            events.push(Event {
+                                line: call.line,
+                                is_apply: false,
+                                what: format!("helper `{}` (appends)", call.name),
+                            });
+                        } else if any_apply && !any_append {
+                            events.push(Event {
+                                line: call.line,
+                                is_apply: true,
+                                what: format!("call to apply-only helper `{}`", call.name),
+                            });
+                        }
+                    }
+                }
+                events.sort_by_key(|e| (e.line, e.is_apply));
+                if !events.iter().any(|e| e.is_apply) || !events.iter().any(|e| !e.is_apply) {
+                    continue;
+                }
+                let mut appended = false;
+                for e in &events {
+                    if !e.is_apply {
+                        appended = true;
+                    } else if !appended {
+                        emit(
+                            ctx,
+                            out,
+                            self.id(),
+                            self.severity(),
+                            e.line,
+                            format!(
+                                "fn `{}` applies {} before the write-ahead journal append \
+                                 — a crash here loses an acknowledged mutation",
+                                f.name, e.what
+                            ),
+                            "append the MutationRecord to the journal (which fsyncs) \
+                             before mutating the in-memory index; see \
+                             lsi_core::journal::DurableIndex::add_document for the \
+                             canonical ordering",
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

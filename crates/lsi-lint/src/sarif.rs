@@ -1,0 +1,148 @@
+//! A minimal, dependency-free SARIF 2.1.0 renderer.
+//!
+//! The output carries exactly what CI annotation tooling needs — the rule
+//! catalog (`tool.driver.rules` with stable ids and default levels) and one
+//! `result` per finding with a physical location — and nothing else. Field
+//! order is fixed and findings are emitted in the caller's (already sorted)
+//! order, so two runs over the same tree produce byte-identical reports.
+
+use crate::report::{Finding, Severity};
+
+/// One catalog entry: id, deny/warn level, one-line description.
+fn rule_catalog() -> Vec<(&'static str, Severity, &'static str)> {
+    let mut rules: Vec<(&'static str, Severity, &'static str)> = vec![(
+        "A0-allow-syntax",
+        Severity::Deny,
+        "lsi-lint allow directives must parse and carry a justification",
+    )];
+    for r in crate::rules::registry() {
+        rules.push((r.id(), r.severity(), r.description()));
+    }
+    for r in crate::rules::workspace_registry() {
+        rules.push((r.id(), r.severity(), r.description()));
+    }
+    rules.sort_by_key(|(id, _, _)| *id);
+    rules
+}
+
+/// SARIF level string for a severity.
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+    }
+}
+
+/// Renders findings as a SARIF 2.1.0 document. Deterministic: byte-identical
+/// output for identical findings.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(4096 + findings.len() * 256);
+    out.push_str("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"lsi-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/lsi-repro\",\n");
+    out.push_str("          \"rules\": [\n");
+    let catalog = rule_catalog();
+    for (i, (id, sev, desc)) in catalog.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"defaultConfiguration\": {{\"level\": {}}}}}{}\n",
+            json_str(id),
+            json_str(desc),
+            json_str(level(*sev)),
+            if i + 1 == catalog.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_str(f.rule),
+            json_str(level(f.severity)),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line,
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "W1-apply-before-journal",
+            severity: Severity::Deny,
+            path: "crates/lsi-core/src/journal.rs".to_string(),
+            line: 42,
+            message: "apply before append".to_string(),
+            snippet: String::new(),
+            hint: String::new(),
+        }
+    }
+
+    #[test]
+    fn catalog_covers_every_rule_once() {
+        let s = render_sarif(&[]);
+        for r in crate::rules::registry() {
+            assert!(
+                s.contains(&format!("\"id\": \"{}\"", r.id())),
+                "{} missing",
+                r.id()
+            );
+        }
+        for r in crate::rules::workspace_registry() {
+            assert!(
+                s.contains(&format!("\"id\": \"{}\"", r.id())),
+                "{} missing",
+                r.id()
+            );
+        }
+        assert!(s.contains("\"id\": \"A0-allow-syntax\""));
+    }
+
+    #[test]
+    fn results_carry_location_and_level() {
+        let s = render_sarif(&[sample()]);
+        assert!(s.contains("\"ruleId\": \"W1-apply-before-journal\""));
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("crates/lsi-core/src/journal.rs"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = render_sarif(&[sample()]);
+        let b = render_sarif(&[sample()]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,819 @@
+//! Per-file symbol extraction for the interprocedural engine: for every
+//! function found by [`FileContext`], the module path it lives in, the
+//! `impl` self-type enclosing it, the call sites inside its body, the
+//! Mutex/RwLock acquisition sites, and the local dataflow facts the summary
+//! pass propagates through the call graph.
+//!
+//! Everything here works on the sanitized token stream (comments and string
+//! contents already blanked), so matching is purely structural. The
+//! extraction is best-effort by design — trait-object dispatch, turbofish
+//! chains, and macro-generated items are invisible — and the analyses built
+//! on top are written so that a missed edge degrades toward silence, never
+//! toward a spurious deny.
+
+use crate::context::FileContext;
+use crate::lexer::is_ident_byte;
+
+/// Local (non-transitive) dataflow facts, one bit each. The summary pass in
+/// [`crate::callgraph`] ORs these along call edges to a fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Facts(pub u16);
+
+impl Facts {
+    /// Calls `sync_all` or `sync_parent_dir` (durability barrier).
+    pub const SYNC: u16 = 1 << 0;
+    /// Calls `File::create` or `fs::rename` (makes crash-visible state).
+    pub const WRITE: u16 = 1 << 1;
+    /// Appends (and fsyncs) a write-ahead journal frame.
+    pub const APPEND: u16 = 1 << 2;
+    /// Applies a mutation to the in-memory index (`index.add_document(…)`
+    /// and friends) without going through a journal.
+    pub const APPLY: u16 = 1 << 3;
+    /// Polls a `CancelToken` (`is_cancelled()` / `.check()`).
+    pub const POLL: u16 = 1 << 4;
+
+    /// True when `bit` is set.
+    pub fn has(self, bit: u16) -> bool {
+        self.0 & bit != 0
+    }
+    /// Sets `bit`.
+    pub fn set(&mut self, bit: u16) {
+        self.0 |= bit;
+    }
+    /// ORs another fact set in, returning whether anything changed.
+    pub fn merge(&mut self, other: Facts) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(…)` — a bare path, resolved same-file first.
+    Bare,
+    /// `a::b::f(…)` — the qualifier is the segment just before the name
+    /// (a module or a type).
+    Qualified(String),
+    /// `recv.f(…)` — a method call; `recv` is the last identifier of the
+    /// receiver chain when one is visible (`self.cells[i].f()` → `cells`).
+    Method(Option<String>),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name as written.
+    pub name: String,
+    /// Resolution hint.
+    pub kind: CallKind,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+/// One Mutex/RwLock acquisition (`.lock()`, `.read()`, `.write()` with
+/// empty argument lists).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock identity: the last identifier of the receiver chain
+    /// (`self.cells[i].write()` → `cells`). Best-effort; unknown receivers
+    /// (chained call results) are skipped entirely.
+    pub name: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Brace depth (relative to the fn body) at the acquisition.
+    pub depth: usize,
+    /// True when the guard is bound by a plain `let g = recv.lock()…;`
+    /// statement and therefore lives until its enclosing block closes.
+    /// False for temporaries consumed within their own statement.
+    pub held: bool,
+    /// Ordinal of this site in the fn's event stream (shared with calls),
+    /// used to interleave lock and call events chronologically.
+    pub order: usize,
+    /// 1-based line where the guard's scope ends: the closing `}` of its
+    /// enclosing block for held guards, the acquisition line itself for
+    /// temporaries. Lock-order analysis treats the guard as live on lines
+    /// `line..=scope_end_line`.
+    pub scope_end_line: usize,
+    /// True for `.lock()` / `.write()` (exclusive acquisition); false for
+    /// `.read()`. Two shared acquisitions of the same lock never form a
+    /// same-lock hazard on their own.
+    pub exclusive: bool,
+}
+
+/// One function with everything the interprocedural pass needs.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index into `FileContext::fns`.
+    pub span_idx: usize,
+    /// Function name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block, if any (`impl Journal` /
+    /// `impl Rule for S1UnsyncedWrite` → `Journal` / `S1UnsyncedWrite`).
+    pub self_type: Option<String>,
+    /// Whitespace-normalized signature (from the span).
+    pub signature: String,
+    /// 1-based body span.
+    pub start_line: usize,
+    /// 1-based body span end.
+    pub end_line: usize,
+    /// Call sites in source order.
+    pub calls: Vec<Call>,
+    /// Lock acquisitions in source order.
+    pub locks: Vec<LockSite>,
+    /// Local dataflow facts.
+    pub facts: Facts,
+    /// Lines (1-based) holding a `for`/`while`/`loop` keyword — candidate
+    /// hot loops for the cancellation rule.
+    pub loop_lines: Vec<usize>,
+}
+
+/// All symbols of one file.
+#[derive(Debug, Clone)]
+pub struct FileSymbols {
+    /// Module path: crate name (with `-` mapped to `_`) followed by the
+    /// file's module segments (`crates/lsi-core/src/journal.rs` →
+    /// `["lsi_core", "journal"]`).
+    pub module: Vec<String>,
+    /// Functions in source order.
+    pub fns: Vec<FnSym>,
+}
+
+/// Tokens whose presence sets [`Facts::SYNC`].
+pub(crate) const SYNC_TOKENS: &[&str] = &["sync_all(", "sync_parent_dir("];
+/// Tokens whose presence sets [`Facts::WRITE`].
+pub(crate) const WRITE_TOKENS: &[&str] = &["File::create(", "fs::rename("];
+/// Tokens whose presence sets [`Facts::APPEND`] — a receiver named
+/// `journal`/`wal`, or an `.append` fed a `MutationRecord`, makes the
+/// intent unambiguous at token level.
+pub(crate) const APPEND_TOKENS: &[&str] = &[
+    "journal.append(",
+    "wal.append(",
+    ".append(&MutationRecord::",
+];
+/// Tokens whose presence sets [`Facts::APPLY`]: a mutating call on a
+/// receiver chain ending in `index` — the raw, unjournaled apply path.
+pub(crate) const APPLY_TOKENS: &[&str] = &[
+    "index.add_document(",
+    "index.add_document_vector(",
+    "index.retire_document(",
+];
+/// Tokens whose presence sets [`Facts::POLL`].
+pub(crate) const POLL_TOKENS: &[&str] = &["is_cancelled(", ".check()"];
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "let", "move", "as", "in", "else",
+    "unsafe", "impl", "where", "dyn", "ref", "mut", "pub", "use", "mod", "box", "await",
+];
+
+impl FileSymbols {
+    /// Extracts the symbols of one file.
+    pub fn extract(ctx: &FileContext) -> FileSymbols {
+        let module = module_path(&ctx.rel);
+        let impls = find_impl_spans(&ctx.lines);
+        let mut fns = Vec::new();
+        for (span_idx, span) in ctx.fns.iter().enumerate() {
+            let self_type = impls
+                .iter()
+                .filter(|im| im.start_line <= span.start_line && span.end_line <= im.end_line)
+                .min_by_key(|im| im.end_line - im.start_line)
+                .map(|im| im.self_type.clone());
+            let mut sym = FnSym {
+                span_idx,
+                name: span.name.clone(),
+                self_type,
+                signature: span.signature.clone(),
+                start_line: span.start_line,
+                end_line: span.end_line,
+                calls: Vec::new(),
+                locks: Vec::new(),
+                facts: Facts::default(),
+                loop_lines: Vec::new(),
+            };
+            // Inner fns (closures are fine, nested `fn` items get their own
+            // span) would double-count; scan only lines the innermost
+            // enclosing fn of which is this one.
+            scan_body(ctx, &mut sym);
+            fns.push(sym);
+        }
+        FileSymbols { module, fns }
+    }
+}
+
+/// Derives the module path from a workspace-relative file path.
+fn module_path(rel: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let p = rel.replace('\\', "/");
+    let parts: Vec<&str> = p.split('/').collect();
+    // `crates/<crate>/src/...` (or any other subtree of a crate, e.g.
+    // fixtures linted by explicit path) or root `src/...`.
+    let (krate, rest) = if parts.len() >= 2 && parts[0] == "crates" {
+        let rest = &parts[2..];
+        let rest = if rest.first() == Some(&"src") {
+            &rest[1..]
+        } else {
+            rest
+        };
+        (parts[1], rest)
+    } else if parts.first() == Some(&"src") {
+        ("lsi", &parts[1..])
+    } else {
+        (parts.first().copied().unwrap_or(""), &parts[1..])
+    };
+    out.push(krate.replace('-', "_"));
+    for (i, seg) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        if last {
+            let stem = seg.strip_suffix(".rs").unwrap_or(seg);
+            if stem != "lib" && stem != "main" && stem != "mod" {
+                out.push(stem.replace('-', "_"));
+            }
+        } else if *seg != "bin" {
+            out.push(seg.replace('-', "_"));
+        }
+    }
+    out
+}
+
+/// An `impl` block span with its self type.
+struct ImplSpan {
+    self_type: String,
+    start_line: usize,
+    end_line: usize,
+}
+
+/// Locates `impl` blocks and their self types in the sanitized lines.
+fn find_impl_spans(lines: &[String]) -> Vec<ImplSpan> {
+    let (text, offsets) = join(lines);
+    let bytes = text.as_bytes();
+    let line_of = |pos: usize| line_of(&offsets, pos);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'i' && word_at(bytes, i, b"impl") {
+            let start = i;
+            let mut j = i + 4;
+            // Skip generic parameters `<…>` (balanced).
+            j = skip_ws(bytes, j);
+            if bytes.get(j) == Some(&b'<') {
+                j = skip_angles(bytes, j);
+            }
+            // Scan the header up to `{` or `;`, remembering the last path
+            // segment seen and whether a `for` clause overrode it.
+            let mut last_seg = String::new();
+            let mut seen_for = false;
+            let mut after_for_seg = String::new();
+            while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+                if is_ident_byte(bytes[j]) && !bytes[j].is_ascii_digit() {
+                    let s = j;
+                    while j < bytes.len() && is_ident_byte(bytes[j]) {
+                        j += 1;
+                    }
+                    let word = &text[s..j];
+                    if word == "for" {
+                        seen_for = true;
+                    } else if word != "where" && word != "dyn" {
+                        if seen_for {
+                            after_for_seg = word.to_string();
+                        } else {
+                            last_seg = word.to_string();
+                        }
+                    }
+                    // `where` clauses can mention many types; stop updating
+                    // once one starts.
+                    if word == "where" {
+                        break;
+                    }
+                } else if bytes[j] == b'<' {
+                    j = skip_angles(bytes, j);
+                } else {
+                    j += 1;
+                }
+            }
+            while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'{') {
+                let close = match_brace(bytes, j);
+                let ty = if seen_for { after_for_seg } else { last_seg };
+                if !ty.is_empty() {
+                    out.push(ImplSpan {
+                        self_type: ty,
+                        start_line: line_of(start),
+                        end_line: line_of(close),
+                    });
+                }
+                i = j + 1;
+                continue;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Scans one fn body for calls, locks, facts, and loop lines.
+fn scan_body(ctx: &FileContext, sym: &mut FnSym) {
+    let lines = &ctx.lines;
+    let lo = sym.start_line;
+    let hi = sym.end_line.min(lines.len());
+    let body: Vec<String> = lines[lo - 1..hi].to_vec();
+    let (text, offsets) = join(&body);
+    let bytes = text.as_bytes();
+    let to_line = |pos: usize| lo + line_of(&offsets, pos) - 1;
+
+    // Find the body's opening brace so signature tokens (e.g. a param named
+    // `index` or generic bounds) don't count as body events. Everything
+    // before it is the signature; `CancelToken` there is detected via
+    // `sym.signature` by the rules.
+    let body_open = bytes.iter().position(|&b| b == b'{').unwrap_or(0);
+
+    let mut depth = 0usize;
+    let mut order = 0usize;
+    // Indices into `sym.locks` of held guards whose scope is still open.
+    let mut open_locks: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                open_locks.retain(|&idx| {
+                    if sym.locks[idx].depth > depth {
+                        sym.locks[idx].scope_end_line = to_line(i);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                i += 1;
+            }
+            b'.' if i > body_open => {
+                // Method call or lock acquisition.
+                let s = skip_ws(bytes, i + 1);
+                if s < bytes.len() && is_ident_byte(bytes[s]) && !bytes[s].is_ascii_digit() {
+                    let mut e = s;
+                    while e < bytes.len() && is_ident_byte(bytes[e]) {
+                        e += 1;
+                    }
+                    let name = text[s..e].to_string();
+                    let after = skip_ws(bytes, e);
+                    if bytes.get(after) == Some(&b'(') {
+                        let recv = receiver_ident(bytes, &text, i);
+                        let close = match_paren(bytes, after);
+                        let empty_args = text[after + 1..close.min(text.len())].trim().is_empty();
+                        if empty_args && matches!(name.as_str(), "lock" | "read" | "write") {
+                            if let Some(recv) = recv.clone() {
+                                let held = guard_is_bound(bytes, &text, i, close);
+                                let line = to_line(i);
+                                sym.locks.push(LockSite {
+                                    name: recv,
+                                    line,
+                                    depth,
+                                    held,
+                                    order,
+                                    scope_end_line: line,
+                                    exclusive: name != "read",
+                                });
+                                if held {
+                                    open_locks.push(sym.locks.len() - 1);
+                                }
+                                order += 1;
+                            }
+                        }
+                        sym.calls.push(Call {
+                            name,
+                            kind: CallKind::Method(recv),
+                            line: to_line(s),
+                        });
+                        order += 1;
+                        i = after + 1;
+                        continue;
+                    }
+                    i = e;
+                    continue;
+                }
+                i += 1;
+            }
+            _ if is_ident_byte(b) && !b.is_ascii_digit() && i > body_open => {
+                let s = i;
+                let mut e = s;
+                while e < bytes.len() && is_ident_byte(bytes[e]) {
+                    e += 1;
+                }
+                let word = &text[s..e];
+                let prev = prev_non_ws(bytes, s);
+                // Loop keywords.
+                if matches!(word, "for" | "while" | "loop") && prev != Some(b'.') {
+                    sym.loop_lines.push(to_line(s));
+                }
+                let after = skip_ws(bytes, e);
+                if bytes.get(after) == Some(&b'(')
+                    && bytes.get(e) != Some(&b'!')
+                    && !NON_CALL_KEYWORDS.contains(&word)
+                    && prev != Some(b'.')
+                {
+                    let kind = if prev == Some(b':') && s >= 2 && bytes[s - 2] == b':' {
+                        CallKind::Qualified(qualifier_ident(bytes, &text, s))
+                    } else {
+                        CallKind::Bare
+                    };
+                    sym.calls.push(Call {
+                        name: word.to_string(),
+                        kind,
+                        line: to_line(s),
+                    });
+                    order += 1;
+                }
+                i = e;
+            }
+            _ => i += 1,
+        }
+    }
+    for idx in open_locks {
+        sym.locks[idx].scope_end_line = sym.end_line;
+    }
+
+    // Facts and loop lines via per-line token matching (cheap, and allows
+    // test-line exclusion to mirror the per-file rules).
+    for lineno in lo..=hi {
+        if ctx.is_test_line(lineno) {
+            continue;
+        }
+        let line = &lines[lineno - 1];
+        for t in SYNC_TOKENS {
+            if contains_token(line, t) {
+                sym.facts.set(Facts::SYNC);
+            }
+        }
+        for t in WRITE_TOKENS {
+            if contains_token(line, t) {
+                sym.facts.set(Facts::WRITE);
+            }
+        }
+        for t in APPEND_TOKENS {
+            if contains_token(line, t) {
+                sym.facts.set(Facts::APPEND);
+            }
+        }
+        for t in APPLY_TOKENS {
+            if contains_token(line, t) {
+                sym.facts.set(Facts::APPLY);
+            }
+        }
+        for t in POLL_TOKENS {
+            if contains_token(line, t) {
+                sym.facts.set(Facts::POLL);
+            }
+        }
+    }
+}
+
+/// True when the guard produced by the lock call at `dot` (whose argument
+/// list closes at `close`) is bound by a `let` and survives its statement:
+/// the statement starts with `let`, and after the lock call only an
+/// `unwrap`/`expect`/`unwrap_or_else` adapter may follow before the `;`.
+fn guard_is_bound(bytes: &[u8], text: &str, dot: usize, close: usize) -> bool {
+    // Statement start: walk back to the previous `;`, `{`, or `}`.
+    let mut s = dot;
+    while s > 0 && !matches!(bytes[s - 1], b';' | b'{' | b'}') {
+        s -= 1;
+    }
+    let head = text[s..dot].trim_start();
+    if !(head.starts_with("let ") || head.starts_with("let(")) {
+        return false;
+    }
+    // Tail: after the call's closing paren, only guard adapters then `;`.
+    let mut j = close + 1;
+    loop {
+        j = skip_ws(bytes, j);
+        match bytes.get(j) {
+            Some(b';') => return true,
+            Some(b'.') => {
+                let s2 = skip_ws(bytes, j + 1);
+                let mut e2 = s2;
+                while e2 < bytes.len() && is_ident_byte(bytes[e2]) {
+                    e2 += 1;
+                }
+                let name = &text[s2..e2];
+                if !matches!(name, "unwrap" | "expect" | "unwrap_or_else") {
+                    return false;
+                }
+                let p = skip_ws(bytes, e2);
+                if bytes.get(p) != Some(&b'(') {
+                    return false;
+                }
+                j = match_paren(bytes, p) + 1;
+            }
+            Some(b'?') => {
+                j += 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// The last identifier of the receiver chain ending at the `.` at `dot`:
+/// `self.cells[i].write()` → `cells`; `rx.lock()` → `rx`; a chained call
+/// result (`f().lock()`) has no nameable receiver.
+fn receiver_ident(bytes: &[u8], text: &str, dot: usize) -> Option<String> {
+    let mut j = dot;
+    // Skip one bracket group (indexing).
+    loop {
+        if j == 0 {
+            return None;
+        }
+        let c = bytes[j - 1];
+        if c == b']' {
+            let mut depth = 0usize;
+            while j > 0 {
+                match bytes[j - 1] {
+                    b']' => depth += 1,
+                    b'[' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j -= 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j -= 1;
+            }
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            j -= 1;
+            continue;
+        }
+        if is_ident_byte(c) {
+            let e = j;
+            while j > 0 && is_ident_byte(bytes[j - 1]) {
+                j -= 1;
+            }
+            let name = &text[j..e];
+            if name.is_empty() || name.as_bytes()[0].is_ascii_digit() {
+                return None;
+            }
+            return Some(name.to_string());
+        }
+        return None;
+    }
+}
+
+/// The path segment immediately before a `::name(` call (`a::b::f(` → `b`).
+fn qualifier_ident(bytes: &[u8], text: &str, name_start: usize) -> String {
+    // name_start points at `f`; bytes[name_start-2..name_start] == "::".
+    let mut j = name_start.saturating_sub(2);
+    // Skip a turbofish / generic group if present.
+    if j > 0 && bytes[j - 1] == b'>' {
+        let mut depth = 0usize;
+        while j > 0 {
+            match bytes[j - 1] {
+                b'>' => depth += 1,
+                b'<' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j -= 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j -= 1;
+        }
+    }
+    let e = j;
+    while j > 0 && is_ident_byte(bytes[j - 1]) {
+        j -= 1;
+    }
+    text[j..e].to_string()
+}
+
+/// Joins lines with `\n`, returning the text and per-line byte offsets.
+fn join(lines: &[String]) -> (String, Vec<usize>) {
+    let mut offsets = Vec::with_capacity(lines.len());
+    let mut text = String::new();
+    for l in lines {
+        offsets.push(text.len());
+        text.push_str(l);
+        text.push('\n');
+    }
+    (text, offsets)
+}
+
+/// 1-based line of byte `pos` given `join` offsets.
+fn line_of(offsets: &[usize], pos: usize) -> usize {
+    match offsets.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// First non-whitespace index at or after `i`.
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Last non-whitespace byte strictly before `i`.
+fn prev_non_ws(bytes: &[u8], i: usize) -> Option<u8> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !bytes[j].is_ascii_whitespace() {
+            return Some(bytes[j]);
+        }
+    }
+    None
+}
+
+/// Index of the `>` closing the `<` at `i` (balanced); `i` past-the-end on
+/// imbalance.
+fn skip_angles(bytes: &[u8], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `}` matching the `{` at `i`.
+fn match_brace(bytes: &[u8], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index of the `)` matching the `(` at `i`.
+fn match_paren(bytes: &[u8], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// True when `bytes[i..]` is the whole word `word` at identifier boundaries.
+fn word_at(bytes: &[u8], i: usize, word: &[u8]) -> bool {
+    if i + word.len() > bytes.len() || &bytes[i..i + word.len()] != word {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+    let after_ok = i + word.len() >= bytes.len() || !is_ident_byte(bytes[i + word.len()]);
+    before_ok && after_ok
+}
+
+/// Ident-boundary token containment (same semantics as `rules::contains_token`,
+/// duplicated to avoid a circular module dependency).
+fn contains_token(hay: &str, needle: &str) -> bool {
+    let hb = hay.as_bytes();
+    let nb = needle.as_bytes();
+    let first_is_ident = nb.first().is_some_and(|b| is_ident_byte(*b));
+    let last_is_ident = nb.last().is_some_and(|b| is_ident_byte(*b));
+    let mut from = 0usize;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = !first_is_ident || at == 0 || !is_ident_byte(hb[at - 1]);
+        let end = at + nb.len();
+        let after_ok = !last_is_ident || end >= hb.len() || !is_ident_byte(hb[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_of(src: &str) -> FileSymbols {
+        let ctx = FileContext::build("crates/lsi-core/src/journal.rs", src);
+        FileSymbols::extract(&ctx)
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(
+            module_path("crates/lsi-core/src/journal.rs"),
+            vec!["lsi_core", "journal"]
+        );
+        assert_eq!(
+            module_path("crates/lsi-serve/src/lib.rs"),
+            vec!["lsi_serve"]
+        );
+        assert_eq!(
+            module_path("crates/lsi-bench/src/bin/reproduce.rs"),
+            vec!["lsi_bench", "reproduce"]
+        );
+    }
+
+    #[test]
+    fn extracts_calls_and_impl_type() {
+        let src = "struct J;\nimpl J {\n    fn go(&mut self) {\n        self.journal.append(&r);\n        helper(1);\n        crate::storage::write_index_atomic(&p);\n    }\n}\n";
+        let syms = sym_of(src);
+        let f = &syms.fns[0];
+        assert_eq!(f.self_type.as_deref(), Some("J"));
+        let names: Vec<&str> = f.calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"append"));
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"write_index_atomic"));
+        let append = f.calls.iter().find(|c| c.name == "append").unwrap();
+        assert_eq!(append.kind, CallKind::Method(Some("journal".into())));
+        let wia = f
+            .calls
+            .iter()
+            .find(|c| c.name == "write_index_atomic")
+            .unwrap();
+        assert_eq!(wia.kind, CallKind::Qualified("storage".into()));
+        assert!(f.facts.has(Facts::APPEND));
+    }
+
+    #[test]
+    fn lock_sites_with_binding_and_temporary() {
+        let src = "impl C {\n    fn go(&self) {\n        let _moves = self.moves.write().unwrap_or_else(|p| p.into_inner());\n        let best = self.cells.iter().map(|c| c.read().unwrap().alive()).min();\n        {\n            let mut cell = self.cells[0].write().unwrap();\n            cell.touch();\n        }\n    }\n}\n";
+        let syms = sym_of(src);
+        let f = &syms.fns[0];
+        assert_eq!(f.locks.len(), 3, "{:#?}", f.locks);
+        assert_eq!(f.locks[0].name, "moves");
+        assert!(f.locks[0].held);
+        assert_eq!(f.locks[1].name, "c");
+        assert!(
+            !f.locks[1].held,
+            "closure temporary must not be a held guard"
+        );
+        assert_eq!(f.locks[2].name, "cells");
+        assert!(f.locks[2].held);
+        assert!(f.locks[2].depth > f.locks[0].depth);
+        // The outer guard lives to the fn's close; the scoped one dies at
+        // its block's `}`, before the fn ends.
+        assert_eq!(f.locks[0].scope_end_line, f.end_line);
+        assert!(f.locks[2].scope_end_line < f.end_line);
+        assert!(f.locks[2].scope_end_line > f.locks[2].line);
+    }
+
+    #[test]
+    fn loops_and_polls() {
+        let src = "fn scan(xs: &[f64], cancel: Option<&CancelToken>) -> f64 {\n    let mut acc = 0.0;\n    for (i, x) in xs.iter().enumerate() {\n        if i % 1024 == 0 {\n            if let Some(t) = cancel { t.check().ok(); }\n        }\n        acc += x;\n    }\n    acc\n}\n";
+        let syms = sym_of(src);
+        let f = &syms.fns[0];
+        assert!(!f.loop_lines.is_empty());
+        assert!(f.facts.has(Facts::POLL));
+        assert!(f.signature.contains("CancelToken"));
+    }
+
+    #[test]
+    fn write_and_sync_facts() {
+        let src = "fn save(p: &Path) -> std::io::Result<()> {\n    let f = File::create(p)?;\n    f.sync_all()?;\n    Ok(())\n}\n";
+        let syms = sym_of(src);
+        assert!(syms.fns[0].facts.has(Facts::WRITE));
+        assert!(syms.fns[0].facts.has(Facts::SYNC));
+    }
+}

@@ -7,11 +7,13 @@ use std::path::PathBuf;
 
 /// (short name, full rule id) for every shipped rule.
 const RULES: &[(&str, &str)] = &[
+    ("c1", "C1-unpolled-hot-loop"),
     ("d1", "D1-nondeterminism"),
     ("d2", "D2-unseeded-rng"),
     ("d3", "D3-hasher-order"),
     ("e1", "E1-panic-policy"),
     ("k1", "K1-thread-dependent-blocking"),
+    ("l1", "L1-lock-order-cycle"),
     ("m1", "M1-arrival-order-merge"),
     ("p1", "P1-raw-threads"),
     ("p2", "P2-thread-dependent-chunking"),
@@ -19,6 +21,7 @@ const RULES: &[(&str, &str)] = &[
     ("s1", "S1-unsynced-write"),
     ("s2", "S2-unchecked-length-alloc"),
     ("u1", "U1-unsafe"),
+    ("w1", "W1-apply-before-journal"),
 ];
 
 /// Lints `fixtures/<kind>/<name>.rs` under its real workspace-relative path
@@ -89,7 +92,9 @@ fn fire_fixtures_carry_deny_findings() {
 #[test]
 fn warn_rules_have_warn_severity() {
     for (name, rule) in [
+        ("c1", "C1-unpolled-hot-loop"),
         ("k1", "K1-thread-dependent-blocking"),
+        ("l1", "L1-lock-order-cycle"),
         ("m1", "M1-arrival-order-merge"),
         ("p2", "P2-thread-dependent-chunking"),
         ("r1", "R1-reflector"),
@@ -133,6 +138,60 @@ fn wellformed_allow_directives_suppress() {
         findings.is_empty(),
         "well-formed allows failed to suppress: {findings:#?}"
     );
+}
+
+#[test]
+fn every_registered_rule_has_fixture_coverage() {
+    // Meta-test derived from the registries themselves, so adding a rule
+    // without fixtures fails here rather than silently shipping untested.
+    let mut ids: Vec<String> = lsi_lint::rules::registry()
+        .iter()
+        .map(|r| r.id().to_string())
+        .collect();
+    ids.extend(
+        lsi_lint::rules::workspace_registry()
+            .iter()
+            .map(|r| r.id().to_string()),
+    );
+    assert!(!ids.is_empty());
+    for id in &ids {
+        let short = id
+            .split('-')
+            .next()
+            .expect("rule ids start with a short code")
+            .to_ascii_lowercase();
+        for kind in ["fire", "quiet"] {
+            let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("fixtures")
+                .join(kind)
+                .join(format!("{short}.rs"));
+            assert!(
+                path.is_file(),
+                "rule {id} has no {kind} fixture at {}",
+                path.display()
+            );
+        }
+        let findings = lint_fixture("fire", &short);
+        assert!(
+            findings.iter().any(|f| f.rule == *id),
+            "rule {id} does not fire on its fire fixture: {findings:#?}"
+        );
+        // Exactness: a fire fixture seeds one violation class; collateral
+        // findings from other rules would make the fixture ambiguous.
+        let others: Vec<_> = findings.iter().filter(|f| f.rule != *id).collect();
+        assert!(
+            others.is_empty(),
+            "fixtures/fire/{short}.rs trips rules other than {id}: {others:#?}"
+        );
+        let quiet_hits: Vec<_> = lint_fixture("quiet", &short)
+            .into_iter()
+            .filter(|f| f.rule == *id)
+            .collect();
+        assert!(
+            quiet_hits.is_empty(),
+            "rule {id} fired on its quiet fixture: {quiet_hits:#?}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,131 @@
+//! Lexer edge-case regressions: raw strings with hash fences, nested and
+//! multi-line block comments, lifetimes vs char literals, and raw
+//! identifiers. Each case once produced a wrong sanitized stream or a wrong
+//! comment attribution; these tests pin the corrected behavior.
+
+use lsi_lint::context::FileContext;
+use lsi_lint::lexer::lex;
+use lsi_lint::lint_source;
+
+#[test]
+fn raw_string_hash_fences_hide_their_contents() {
+    let src = r####"let re = r#"thread::spawn "quoted" Instant::now()"#;
+let deep = r###"ends with "## not before"###;
+let tail = 7;
+"####;
+    let l = lex(src);
+    assert!(!l.sanitized.contains("thread::spawn"));
+    assert!(!l.sanitized.contains("Instant::now"));
+    assert!(!l.sanitized.contains("ends with"));
+    assert!(l.sanitized.contains("let tail = 7;"));
+    // The rule pass agrees: nothing inside the fences fires.
+    assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn raw_byte_strings_are_blanked_too() {
+    let src = "let b = br#\"unsafe { process::id() }\"#;\nlet n = 1;\n";
+    let l = lex(src);
+    assert!(!l.sanitized.contains("unsafe"));
+    assert!(!l.sanitized.contains("process::id"));
+    assert!(l.sanitized.contains("let n = 1;"));
+}
+
+#[test]
+fn nested_block_comments_close_at_matching_depth() {
+    let src = "/* outer /* inner */ still outer */ let a = 1;\n";
+    let l = lex(src);
+    assert!(!l.sanitized.contains("outer"));
+    assert!(!l.sanitized.contains("inner"));
+    assert!(l.sanitized.contains("let a = 1;"));
+    assert_eq!(l.comments.len(), 1);
+}
+
+#[test]
+fn multiline_block_comment_resets_trailing_detection() {
+    // Code on line 1, then a block comment spanning to line 3. A `//`
+    // comment on the close line is standalone — nothing before it on line 3
+    // is code — and must not inherit line 1's "has code" state.
+    let src = "let a = 1; /* spans\nlines\n*/ // standalone\nlet b = 2;\n";
+    let l = lex(src);
+    assert_eq!(l.comments.len(), 2);
+    assert!(
+        l.comments[0].has_code_before,
+        "block comment trails `let a`"
+    );
+    assert!(
+        !l.comments[1].has_code_before,
+        "comment on the block's close line must be standalone"
+    );
+}
+
+#[test]
+fn standalone_allow_after_multiline_block_applies_to_next_line() {
+    // The practical consequence of trailing-detection: a directive on the
+    // close line of a multi-line block comment must suppress the NEXT line.
+    let src = "/* design\nnote\n*/ // lsi-lint: allow(D1-nondeterminism, \"deadline math\")\nlet t = Instant::now();\n";
+    let findings = lint_source("crates/x/src/lib.rs", src);
+    assert!(
+        findings.is_empty(),
+        "standalone allow after a multi-line block must suppress: {findings:#?}"
+    );
+}
+
+#[test]
+fn lifetimes_survive_char_literals_are_blanked() {
+    let src = "fn f<'a>(x: &'a str) -> char {\n    let c = 'x';\n    let nl = '\\n';\n    let u = '\\u{1F600}';\n    let tick = '\\'';\n    c\n}\n";
+    let l = lex(src);
+    assert!(
+        l.sanitized.contains("fn f<'a>(x: &'a str)"),
+        "lifetimes are code"
+    );
+    assert!(!l.sanitized.contains("'x'"), "char contents are blanked");
+    assert!(!l.sanitized.contains("1F600"));
+    let ctx = FileContext::build("crates/x/src/lib.rs", src);
+    assert_eq!(ctx.fns.len(), 1, "fn detection survives the literals");
+}
+
+#[test]
+fn static_lifetime_is_not_a_char_literal() {
+    let src = "static S: &'static str = \"x\";\nfn g(v: &'static [u8]) -> usize { v.len() }\n";
+    let l = lex(src);
+    assert!(l.sanitized.contains("&'static str"));
+    assert!(l.sanitized.contains("&'static [u8]"));
+}
+
+#[test]
+fn raw_identifiers_leave_no_phantom_keywords() {
+    // `r#fn` / `r#loop` are identifiers, not keywords; the sanitized stream
+    // must not present them as `fn` / `loop` tokens.
+    let src = "pub fn real(r#fn: u32, r#loop: u32) -> u32 {\n    r#fn + r#loop\n}\n";
+    let l = lex(src);
+    assert!(
+        l.sanitized.contains("__fn"),
+        "r#fn fuses into one identifier"
+    );
+    assert!(!l.sanitized.contains("r#fn"));
+    let ctx = FileContext::build("crates/x/src/lib.rs", src);
+    assert_eq!(ctx.fns.len(), 1, "only `real` is a fn item");
+    assert_eq!(ctx.fns[0].name, "real");
+}
+
+#[test]
+fn raw_string_prefix_is_not_a_raw_identifier() {
+    // `r#"…"#` must still lex as a raw string, not as `r#` + junk.
+    let src = "let s = r#\"fn phantom() {}\"#;\n";
+    let l = lex(src);
+    assert!(!l.sanitized.contains("phantom"));
+    let ctx = FileContext::build("crates/x/src/lib.rs", src);
+    assert!(
+        ctx.fns.is_empty(),
+        "string contents must not produce fn spans"
+    );
+}
+
+#[test]
+fn ident_tail_r_is_not_a_raw_string_or_raw_ident() {
+    // The `r` in `attr#` / `var#` tails must not trigger either raw form.
+    let src = "let var = 1;\nlet forr = var + 1;\n";
+    let l = lex(src);
+    assert!(l.sanitized.contains("let forr = var + 1;"));
+}

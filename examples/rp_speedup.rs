@@ -40,7 +40,6 @@ fn main() {
     );
 
     // Direct rank-k LSI.
-    // lsi-lint: allow(D1-nondeterminism, "wall-clock speedup demo; timings are narrative, not recorded outputs")
     let t0 = Instant::now();
     let direct = lanczos_svd(a, k, &LanczosOptions::default()).expect("valid rank");
     let direct_secs = t0.elapsed().as_secs_f64();
@@ -54,7 +53,6 @@ fn main() {
     println!("\ntwo-step RP + rank-2k LSI (Theorem 5):");
     println!("    l    secs   captured   excess err vs direct (frac of ‖A‖²)");
     for &l in &[40usize, 80, 160, 320] {
-        // lsi-lint: allow(D1-nondeterminism, "wall-clock speedup demo; timings are narrative, not recorded outputs")
         let t0 = Instant::now();
         let r = two_step_lsi(a, k, l, ProjectionKind::OrthonormalSubspace, 77)
             .expect("valid dimensions");

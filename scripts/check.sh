@@ -29,12 +29,33 @@ cargo fmt --all -- --check
 gate "cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-gate "lsi-lint conformance (deny gate + JSON report)"
+gate "lsi-lint conformance (deny gate + JSON/SARIF reports + allow budget)"
 mkdir -p target
-# Write the machine-readable report first (never fails the gate on its own),
-# then enforce with the human-readable run so failures print diagnostics.
+# Write the machine-readable reports first (never fail the gate on their
+# own), then enforce with the human-readable run so failures print
+# diagnostics. The enforcing run also caps the inline-allow count: burning
+# down escape hatches must not quietly reverse.
 cargo run --release -p lsi-lint -- --format json > target/lint-report.json || true
-cargo run --release -p lsi-lint
+cargo run --release -p lsi-lint -- --format sarif > target/lint-report.sarif || true
+cargo run --release -p lsi-lint -- --allow-budget 30
+
+gate "lsi-lint smoke: seeded violations must fail"
+# Inject one W1 (deny) and one L1 (warn) violation into a scratch tree and
+# assert the gate actually trips — a lint that silently stopped firing
+# would otherwise pass every clean-tree check above.
+LINT_SMOKE_DIR="$(mktemp -d)"
+cp crates/lsi-lint/fixtures/fire/w1.rs "$LINT_SMOKE_DIR/w1_seeded.rs"
+if cargo run --release -p lsi-lint -- "$LINT_SMOKE_DIR/w1_seeded.rs" > /dev/null; then
+  echo "check.sh: seeded W1 violation did not fail the lint gate" >&2
+  exit 1
+fi
+cp crates/lsi-lint/fixtures/fire/l1.rs "$LINT_SMOKE_DIR/l1_seeded.rs"
+if cargo run --release -p lsi-lint -- --deny-warnings "$LINT_SMOKE_DIR/l1_seeded.rs" > /dev/null; then
+  echo "check.sh: seeded L1 violation did not fail --deny-warnings" >&2
+  exit 1
+fi
+rm -rf "$LINT_SMOKE_DIR"
+echo "seeded W1/L1 violations correctly rejected"
 
 gate "cargo test"
 cargo test --workspace
