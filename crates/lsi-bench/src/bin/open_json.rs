@@ -166,10 +166,13 @@ struct SizeRecord {
 /// failure).
 fn main() -> Result<(), String> {
     let args = parse_args()?;
+    // The 10⁶-doc row records cold-start cost at serving scale (ROADMAP:
+    // "millions of users"); the sublinearity assertions below then span a
+    // 100× size step.
     let (sizes, reps): (&[usize], usize) = if args.smoke {
         (&[1_000, 4_000], 3)
     } else {
-        (&[10_000, 100_000], 5)
+        (&[10_000, 100_000, 1_000_000], 5)
     };
     let probe: Vec<(usize, f64)> = vec![(0, 1.0), (7, 0.5), (19, 1.25)];
     let top_k = 10usize;

@@ -3,7 +3,7 @@
 //! the scatter-gather cluster at 1, 2, and 4 shards, written as JSON.
 //!
 //! ```text
-//! serve-json [--out PATH] [--smoke] [--seed S]
+//! serve-json [--out PATH] [--smoke] [--process] [--seed S]
 //! ```
 //!
 //! Emits `BENCH_serve.json` (at the repo root by default) with one record
@@ -14,10 +14,17 @@
 //! — the JSON records that the partitioning is answer-invariant, so a
 //! throughput win can never be a silent correctness loss.
 //!
+//! `--process` adds cross-process rows: the same shard counts served by
+//! real `shard-serve` daemon children (this binary re-execs itself as the
+//! daemon entry point) behind the Unix-socket RPC transport, with the
+//! same bitwise gate against the in-process 1-shard reference before any
+//! timing — so the socket hop's cost is measured, never a divergence.
+//!
 //! `--smoke` shrinks the corpus and query count so CI can verify the path
 //! end-to-end in well under a second.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,7 +33,10 @@ use lsi_corpus::{SeparableConfig, SeparableModel};
 use lsi_ir::TermDocumentMatrix;
 use lsi_linalg::rng::seeded;
 use lsi_serve::cluster::{Cluster, ClusterConfig, ClusterResponse};
-use lsi_serve::{EngineConfig, Query};
+use lsi_serve::{
+    run_shard_daemon, DaemonCommand, EngineConfig, Query, ShardDaemonConfig, ShardSupervisor,
+    SupervisorConfig,
+};
 use rand::Rng;
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -35,18 +45,21 @@ const SUBMITTERS: usize = 4;
 struct Args {
     out: String,
     smoke: bool,
+    process: bool,
     seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut out = "BENCH_serve.json".to_owned();
     let mut smoke = false;
+    let mut process = false;
     let mut seed = 20260706u64;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = it.next().ok_or("--out needs a value")?,
             "--smoke" => smoke = true,
+            "--process" => process = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -55,13 +68,58 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--help" | "-h" => {
-                println!("usage: serve-json [--out PATH] [--smoke] [--seed S]");
+                println!("usage: serve-json [--out PATH] [--smoke] [--process] [--seed S]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    Ok(Args { out, smoke, seed })
+    Ok(Args {
+        out,
+        smoke,
+        process,
+        seed,
+    })
+}
+
+/// The re-exec'd daemon entry point: `serve-json shard-daemon --snapshot …
+/// --socket …` serves one shard over the Unix-socket RPC protocol, exactly
+/// as `lsi shard-serve` does (the supervisor spawns this very binary so
+/// the bench needs no other executable built).
+///
+/// # Panics
+/// Panics on unknown or missing flags — the only caller is the supervisor,
+/// whose argument list is fixed, so a mismatch is a programmer error.
+fn run_daemon_child(args: &[String]) {
+    let mut snapshot: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut workers = 2usize;
+    let mut deadline_ms = 1_000u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--snapshot" => snapshot = it.next().map(PathBuf::from),
+            "--socket" => socket = it.next().map(PathBuf::from),
+            "--workers" => workers = it.next().and_then(|v| v.parse().ok()).unwrap_or(workers),
+            "--deadline-ms" => {
+                deadline_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(deadline_ms);
+            }
+            other => panic!("shard-daemon: unknown flag {other:?}"),
+        }
+    }
+    let mut config = ShardDaemonConfig::new(
+        snapshot.expect("shard-daemon needs --snapshot"),
+        socket.expect("shard-daemon needs --socket"),
+    );
+    config.workers = workers;
+    config.hard_deadline = Duration::from_millis(deadline_ms);
+    if let Err(e) = run_shard_daemon(config) {
+        eprintln!("shard-daemon failed: {e}");
+        std::process::exit(4);
+    }
 }
 
 /// Builds the benchmark index from a seed-deterministic separable corpus.
@@ -241,12 +299,74 @@ fn run_load(cluster: &Arc<Cluster>, queries: &Arc<Vec<Query>>) -> (Vec<f64>, f64
     (latencies, queries.len() as f64 / wall)
 }
 
+/// Measures one shard count served by real daemon child processes: a
+/// durable cluster layout is written to a scratch directory, a
+/// [`ShardSupervisor`] spawns one `shard-daemon` child per shard (this
+/// binary, re-exec'd), probe answers are verified bitwise against the
+/// in-process reference, and only then is the load timed.
+///
+/// # Panics
+/// Panics if a probe query against the healthy, supervised cluster fails —
+/// a programmer error in the bench itself, never a data-dependent failure.
+fn run_process_load(
+    index: &LsiIndex,
+    queries: &Arc<Vec<Query>>,
+    probes: usize,
+    probe_bits: &[Vec<(usize, u64)>],
+    shards: usize,
+    seed: u64,
+) -> Result<Record, String> {
+    let dir = std::env::temp_dir().join(format!("lsi-serve-json-process-{seed}-{shards}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    Cluster::create(index, &dir, cluster_config(shards))
+        .map_err(|e| e.to_string())?
+        .shutdown();
+    let program = std::env::current_exe().map_err(|e| format!("cannot locate serve-json: {e}"))?;
+    let command = DaemonCommand::new(program, vec!["shard-daemon".to_owned()]);
+    let (cluster, supervisor) = ShardSupervisor::launch(
+        &dir,
+        cluster_config(shards),
+        command,
+        SupervisorConfig::default(),
+    )
+    .map_err(|e| format!("cannot launch shard daemons: {e}"))?;
+    let bitwise_equal = queries
+        .iter()
+        .take(probes)
+        .zip(probe_bits)
+        .all(|(q, want)| {
+            let response = cluster.query(q.clone()).expect("probe query");
+            &response_bits(&response) == want
+        });
+    let (latencies, qps) = run_load(&cluster, queries);
+    supervisor.shutdown();
+    match Arc::try_unwrap(cluster) {
+        Ok(cluster) => cluster.shutdown(),
+        Err(_) => return Err("cluster handles leaked past join".to_owned()),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(Record {
+        shards,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        qps,
+        bitwise_equal_to_1_shard: bitwise_equal,
+    })
+}
+
 ///
 /// # Panics
 /// Panics if the hard-coded benchmark parameters become infeasible (a
 /// programmer error caught immediately at startup, never a data-dependent
 /// failure).
 fn main() -> Result<(), String> {
+    // Re-exec dispatch: the supervisor spawns this very binary as the
+    // shard daemon (see `run_daemon_child`).
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("shard-daemon") {
+        run_daemon_child(&argv[2..]);
+        return Ok(());
+    }
     let args = parse_args()?;
     let (docs, total, probes) = if args.smoke {
         (40usize, 120usize, 20usize)
@@ -310,6 +430,26 @@ fn main() -> Result<(), String> {
         return Err("sharded answers diverged from the 1-shard reference".to_owned());
     }
 
+    // Cross-process rows: the same shard counts behind real daemon
+    // children and the socket RPC transport. Correctness first, as above —
+    // a cross-process answer must be bitwise the in-process 1-shard answer
+    // before the socket hop's cost is recorded.
+    let mut process_records = Vec::new();
+    if args.process {
+        for &shards in &SHARD_COUNTS {
+            let record =
+                run_process_load(&index, &queries, probes, &probe_bits, shards, args.seed)?;
+            eprintln!(
+                "  process shards={shards}  p50={:>8.1} us  p99={:>8.1} us  {:>8.0} q/s  bitwise_equal={}",
+                record.p50_us, record.p99_us, record.qps, record.bitwise_equal_to_1_shard
+            );
+            process_records.push(record);
+        }
+        if process_records.iter().any(|r| !r.bitwise_equal_to_1_shard) {
+            return Err("cross-process answers diverged from the in-process reference".to_owned());
+        }
+    }
+
     // Coalesced scoring: same engine, same standing backlog, max_batch 1
     // (sequential) vs 32 (coalesced). Correctness first, as above: every
     // response must be bitwise the sequential answer before the batched
@@ -351,6 +491,25 @@ fn main() -> Result<(), String> {
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    if !process_records.is_empty() {
+        json.push_str(
+            "  \"cross_process_note\": \"same shard counts served by shard-serve daemon children over the Unix-socket RPC transport; answers verified bitwise-identical to the in-process reference before timing\",\n",
+        );
+        json.push_str("  \"cross_process_shard_counts\": [\n");
+        for (i, r) in process_records.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"shards\": {}, \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}, \"queries_per_sec\": {:.0}, \"bitwise_equal_to_in_process\": {}}}",
+                r.shards, r.p50_us, r.p99_us, r.qps, r.bitwise_equal_to_1_shard
+            );
+            json.push_str(if i + 1 < process_records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ],\n");
+    }
     json.push_str(
         "  \"batching_note\": \"single engine, 2 workers, full backlog; batched answers verified bitwise-identical to sequential before timing\",\n",
     );

@@ -725,6 +725,14 @@ pub struct ServeBenchOptions {
     /// [`QueryEngine`]: lsi_serve::QueryEngine
     /// [`Cluster`]: lsi_serve::Cluster
     pub shards: usize,
+    /// Run every shard as a separate `lsi shard-serve` daemon process
+    /// behind the coordinator — Unix-domain-socket RPC, heartbeat
+    /// supervision ([`ShardSupervisor`]). Implies the durable layout:
+    /// the shards are laid out on disk in a seed-keyed scratch directory
+    /// and the run ends with a bit-identical in-process reopen.
+    ///
+    /// [`ShardSupervisor`]: lsi_serve::ShardSupervisor
+    pub process: bool,
 }
 
 impl Default for ServeBenchOptions {
@@ -737,6 +745,7 @@ impl Default for ServeBenchOptions {
             soft_deadline_ms: None,
             durable: false,
             shards: 1,
+            process: false,
         }
     }
 }
@@ -755,7 +764,7 @@ pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result
     if opts.shards == 0 {
         return Err(CliError::usage("--shards must be at least 1"));
     }
-    if opts.shards > 1 {
+    if opts.shards > 1 || opts.process {
         return serve_bench_cluster(container, opts);
     }
     let n_terms = container.index.n_terms();
@@ -891,7 +900,9 @@ pub fn cmd_serve_bench(container: Container, opts: &ServeBenchOptions) -> Result
 /// [`Cluster`]: lsi_serve::Cluster
 fn serve_bench_cluster(container: Container, opts: &ServeBenchOptions) -> Result<String, CliError> {
     use lsi_serve::cluster::{Cluster, ClusterConfig};
-    use lsi_serve::{EngineConfig, FaultHook, Query};
+    use lsi_serve::{
+        DaemonCommand, EngineConfig, FaultHook, Query, ShardSupervisor, SupervisorConfig,
+    };
     use rand::Rng;
     use std::sync::Arc;
     use std::time::Duration;
@@ -922,19 +933,45 @@ fn serve_bench_cluster(container: Container, opts: &ServeBenchOptions) -> Result
         })),
         ..ClusterConfig::default()
     };
-    let scratch = opts
-        .durable
+    // --process implies the durable layout: daemons can only serve shards
+    // that exist on disk (snapshot + journal each).
+    let durable = opts.durable || opts.process;
+    let scratch = durable
         .then(|| std::env::temp_dir().join(format!("lsi-serve-bench-cluster-{}", opts.seed)));
+    let mut supervisor: Option<ShardSupervisor> = None;
     let cluster = match &scratch {
-        Some(dir) => {
+        Some(dir) if opts.process => {
+            // Lay the shards out on disk exactly as the in-process durable
+            // path would, release them, then hand them to out-of-process
+            // daemons spawned from this very binary (`lsi shard-serve`).
             let _ = std::fs::remove_dir_all(dir);
             Cluster::create(&container.index, dir, config.clone())
                 .map_err(|e| CliError::serve(format!("cannot create cluster: {e}")))?
+                .shutdown();
+            let program = std::env::current_exe()
+                .map_err(|e| CliError::io(format!("cannot locate the lsi binary: {e}")))?;
+            let command = DaemonCommand::new(program, vec!["shard-serve".to_owned()]);
+            let sup_config = SupervisorConfig {
+                workers: opts.workers,
+                ..SupervisorConfig::default()
+            };
+            let (cluster, sup) = ShardSupervisor::launch(dir, config.clone(), command, sup_config)
+                .map_err(|e| CliError::serve(format!("cannot launch shard daemons: {e}")))?;
+            supervisor = Some(sup);
+            cluster
         }
-        None => Cluster::build(&container.index, config.clone())
-            .map_err(|e| CliError::serve(format!("cannot build cluster: {e}")))?,
+        Some(dir) => {
+            let _ = std::fs::remove_dir_all(dir);
+            Arc::new(
+                Cluster::create(&container.index, dir, config.clone())
+                    .map_err(|e| CliError::serve(format!("cannot create cluster: {e}")))?,
+            )
+        }
+        None => Arc::new(
+            Cluster::build(&container.index, config.clone())
+                .map_err(|e| CliError::serve(format!("cannot build cluster: {e}")))?,
+        ),
     };
-    let cluster = Arc::new(cluster);
 
     // Same profile mix as the single-engine bench; fold-ins (durable mode)
     // are pulled out of the stream and applied through the coordinator's
@@ -952,7 +989,7 @@ fn serve_bench_cluster(container: Container, opts: &ServeBenchOptions) -> Result
             0..=4 => terms[0].0 = n_terms + 1,
             5..=7 => terms[0].1 = f64::NAN,
             8..=9 => tag = TAG_SLOW,
-            10..=13 if opts.durable => {
+            10..=13 if durable => {
                 fold_ins.push(terms);
                 continue;
             }
@@ -992,7 +1029,7 @@ fn serve_bench_cluster(container: Container, opts: &ServeBenchOptions) -> Result
             .add_document(terms)
             .map_err(|e| CliError::serve(format!("journaled fold-in failed: {e}")))?;
     }
-    if opts.durable && opts.shards >= 2 {
+    if durable && opts.shards >= 2 {
         // A mid-run rebalance: move one document between the first two
         // shards through the crash-consistent two-journal protocol.
         let docs = cluster
@@ -1030,6 +1067,12 @@ fn serve_bench_cluster(container: Container, opts: &ServeBenchOptions) -> Result
         }
         let fingerprint = cluster.fingerprint();
         let live_docs = cluster.n_docs();
+        if let Some(sup) = supervisor.take() {
+            // Stop the daemons first — they own the journals, and a clean
+            // Shutdown RPC checkpoints nothing, so the reopen below reads
+            // exactly what their crash discipline guarantees on disk.
+            sup.shutdown();
+        }
         match Arc::try_unwrap(cluster) {
             Ok(cluster) => cluster.shutdown(),
             Err(_) => return Err(CliError::serve("cluster handles leaked past join")),
@@ -1042,9 +1085,14 @@ fn serve_bench_cluster(container: Container, opts: &ServeBenchOptions) -> Result
             ));
         }
         reopened.shutdown();
+        let mode = if opts.process {
+            " served by shard-serve daemons"
+        } else {
+            ""
+        };
         durable_lines = format!(
             "\ndurable: {journaled} fold-in(s) journaled, {moved} document(s) rebalanced; \
-             cluster reopen verified bit-identical ({live_docs} docs across {} shards)",
+             cluster reopen verified bit-identical ({live_docs} docs across {} shards{mode})",
             opts.shards
         );
         let _ = std::fs::remove_dir_all(dir);
@@ -1259,6 +1307,7 @@ mod tests {
             soft_deadline_ms: None,
             durable: false,
             shards: 1,
+            process: false,
         };
         let report = cmd_serve_bench(container, &opts).unwrap();
         assert!(report.contains("200 queries"), "{report}");
@@ -1289,6 +1338,7 @@ mod tests {
             soft_deadline_ms: None,
             durable: true,
             shards: 1,
+            process: false,
         };
         let report = cmd_serve_bench(container, &opts).unwrap();
         assert!(report.contains("durable:"), "{report}");
@@ -1362,6 +1412,7 @@ mod tests {
             soft_deadline_ms: None,
             durable: true,
             shards: 2,
+            process: false,
         };
         let report = cmd_serve_bench(container, &opts).unwrap();
         assert!(report.contains("2 shards"), "{report}");

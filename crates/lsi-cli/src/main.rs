@@ -24,6 +24,9 @@ usage:
   lsi topics --index <out.lsic> [--terms N]
   lsi serve-bench --index <out.lsic> [--queries N] [--workers W] [--seed S]
                   [--deadline-ms D] [--soft-ms D] [--durable] [--shards N]
+                  [--process]
+  lsi shard-serve --snapshot <shard.lsix> --socket <path> [--workers W]
+                  [--deadline-ms D]
 
 global flags:
   --threads N   linalg thread count (overrides LSI_THREADS; outputs are
@@ -44,12 +47,21 @@ durability:
   coordinator (document-partitioned shards, order-fixed top-k merge);
   with --durable each shard journals independently and the run verifies
   a bit-identical cluster reopen.
+  `serve-bench --shards N --process` runs every shard as a separate
+  `lsi shard-serve` daemon spawned from this binary — Unix-socket RPC,
+  heartbeat supervision — behind the same coordinator; the run lays the
+  shards out on disk, journals fold-ins through the daemons, and ends
+  with a bit-identical in-process reopen of the same directory.
+  `shard-serve` runs one shard (snapshot + journal + worker pool) as a
+  daemon answering the cluster RPC protocol on a Unix socket until a
+  Shutdown RPC; it is what the supervisor spawns, and it sweeps a stale
+  socket path left by a previous kill -9 before binding.
 
 weightings: count, binary, log-tf, tf-idf, log-entropy (default: log-entropy)
 ";
 
 /// Flags that take no value; present means `true`.
-const BOOL_FLAGS: &[&str] = &["durable"];
+const BOOL_FLAGS: &[&str] = &["durable", "process"];
 
 struct Flags {
     named: std::collections::HashMap<String, String>,
@@ -264,8 +276,20 @@ fn run() -> Result<(), CliError> {
                 },
                 durable: flags.named.contains_key("durable"),
                 shards: flags.usize_or("shards", defaults.shards)?,
+                process: flags.named.contains_key("process"),
             };
             println!("{}", cmd_serve_bench(container, &opts)?);
+        }
+        "shard-serve" => {
+            let mut config =
+                lsi_serve::ShardDaemonConfig::new(flags.path("snapshot")?, flags.path("socket")?);
+            config.workers = flags.usize_or("workers", config.workers)?;
+            let default_deadline = u64::try_from(config.hard_deadline.as_millis()).unwrap_or(1_000);
+            config.hard_deadline = std::time::Duration::from_millis(
+                flags.usize_or("deadline-ms", default_deadline as usize)? as u64,
+            );
+            lsi_serve::run_shard_daemon(config)
+                .map_err(|e| CliError::storage(format!("shard daemon failed: {e}")))?;
         }
         "--help" | "-h" | "help" => {
             print!("{USAGE}");

@@ -44,9 +44,15 @@
 //!   [`RetryPolicy`], the bounded retry-with-backoff that rides out
 //!   transient faults.
 
+//! * [`frame`] — the journal's length-prefixed CRC framing as a reusable
+//!   codec, so stream transports (the shard RPC socket protocol) apply
+//!   the same bounded, checksummed discipline to wire bytes as the
+//!   journal applies to disk bytes.
+
 pub mod angles;
 pub mod cancel;
 pub mod config;
+pub mod frame;
 pub mod index;
 pub mod iofault;
 pub mod journal;
@@ -59,6 +65,7 @@ pub mod synonymy;
 pub use angles::{pairwise_angle_stats, AngleStats, PairAngleReport};
 pub use cancel::CancelToken;
 pub use config::{LsiConfig, SvdBackend};
+pub use frame::{FrameError, FrameScan};
 pub use index::{BadQuery, BuildStatus, LsiError, LsiIndex, VectorQuery};
 pub use iofault::{io_faults, is_transient, RetryPolicy};
 pub use journal::{

@@ -1,0 +1,18 @@
+// Fixture: T1-unbounded-socket-read must fire on socket reads with no
+// deadline — a silent peer (or a SIGKILLed daemon) stalls the caller
+// forever.
+
+use std::io::Read;
+use std::os::unix::net::UnixStream;
+
+/// Reads a reply header, blocking for as long as the peer stays quiet.
+pub fn read_reply_header(stream: &mut UnixStream) -> std::io::Result<usize> {
+    let mut header = [0u8; 16];
+    let n = stream.read(&mut header)?;
+    Ok(n)
+}
+
+/// Drains a child's stdout with no bound on how long the child may stall.
+pub fn drain_child(pipe: &mut std::process::ChildStdout, out: &mut String) -> std::io::Result<usize> {
+    pipe.read_to_string(out)
+}

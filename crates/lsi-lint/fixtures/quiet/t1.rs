@@ -1,0 +1,33 @@
+// Fixture: T1-unbounded-socket-read must stay quiet when the read is
+// deadline-bounded, when the socket is driven nonblocking, and on reads
+// that involve no socket at all.
+
+use std::io::Read;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Timeout armed before the read: a dead peer surfaces as `WouldBlock` /
+/// `TimedOut`, never an unbounded stall.
+pub fn read_reply_header(stream: &mut UnixStream, timeout: Duration) -> std::io::Result<usize> {
+    stream.set_read_timeout(Some(timeout))?;
+    let mut header = [0u8; 16];
+    let n = stream.read(&mut header)?;
+    Ok(n)
+}
+
+/// Nonblocking socket: the caller's poll loop owns the deadline.
+pub fn poll_byte(stream: &mut UnixStream) -> std::io::Result<usize> {
+    stream.set_nonblocking(true)?;
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(n) => Ok(n),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+/// No socket in sight: in-memory readers block on nobody.
+pub fn read_tag(bytes: &mut &[u8]) -> std::io::Result<u8> {
+    let mut tag = [0u8; 1];
+    bytes.read(&mut tag).map(|_| tag[0])
+}

@@ -31,6 +31,7 @@
 //! | `R1-reflector` | warn | Householder reflectors come from `vector::householder_reflector` |
 //! | `S1-unsynced-write` | deny | created/renamed files reach `sync_all`/`sync_parent_dir`, here or via callers |
 //! | `S2-unchecked-length-alloc` | warn | readers bound decoded lengths before allocating |
+//! | `T1-unbounded-socket-read` | warn | socket/child-pipe reads carry a read timeout |
 //! | `U1-unsafe` | deny | `unsafe` only on the explicit allowlist |
 //! | `W1-apply-before-journal` | deny | durable mutations journal-append (fsync) before the in-memory apply |
 //!

@@ -24,6 +24,7 @@ mod p2;
 mod r1;
 mod s1;
 mod s2;
+mod t1;
 mod u1;
 mod w1;
 
@@ -75,6 +76,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(p2::P2ThreadDependentChunking),
         Box::new(r1::R1Reflector),
         Box::new(s2::S2UncheckedLengthAlloc),
+        Box::new(t1::T1UnboundedSocketRead),
         Box::new(u1::U1Unsafe),
     ]
 }

@@ -10,10 +10,16 @@ use crate::report::{Finding, Severity};
 /// Thread-creation entry points.
 const PATTERNS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
 
-/// The only files allowed to create threads.
+/// The only files allowed to create threads: the deterministic executor,
+/// the serve worker pool, and the process-isolation service threads (the
+/// shard daemon's connection handlers and the supervisor's heartbeat —
+/// I/O-bound service loops, not data-parallel kernels, so chunk-boundary
+/// determinism does not apply to them).
 const ALLOWLIST: &[&str] = &[
     "crates/lsi-linalg/src/parallel.rs",
+    "crates/lsi-serve/src/daemon.rs",
     "crates/lsi-serve/src/engine.rs",
+    "crates/lsi-serve/src/supervisor.rs",
 ];
 
 /// The P1 rule.

@@ -1,0 +1,105 @@
+//! T1-unbounded-socket-read: transport hardening policy (CLAUDE.md: any fn
+//! that reads from a socket or child pipe must bound the read with a
+//! deadline). A blocking `read` on a `UnixStream`/`TcpStream`/child pipe
+//! with no `set_read_timeout` in sight hangs the caller for as long as the
+//! peer stays silent — a SIGKILLed daemon mid-reply would wedge the
+//! coordinator's scatter, the exact latency hole the per-RPC deadlines
+//! exist to close. Warn-level: the heuristic only sees that a timeout
+//! idiom appears somewhere in the fn, not that it governs this read; the
+//! sanctioned structure is to route reads through the deadline-carrying
+//! frame codec (`lsi_serve::transport::read_frame`), which arms the
+//! timeout itself.
+
+use super::{contains_token, emit, Rule};
+use crate::context::{FileContext, Role};
+use crate::report::{Finding, Severity};
+
+/// Types whose presence marks a fn as talking to a socket or child pipe.
+const SOURCES: &[&str] = &["UnixStream", "TcpStream", "ChildStdout", "ChildStderr"];
+/// Blocking read entry points.
+const READS: &[&str] = &[
+    ".read(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_to_string(",
+];
+/// Deadline idioms that bound how long a read may block.
+const GUARDS: &[&str] = &["set_read_timeout(", "set_nonblocking("];
+
+/// The T1 rule.
+pub struct T1UnboundedSocketRead;
+
+impl Rule for T1UnboundedSocketRead {
+    fn id(&self) -> &'static str {
+        "T1-unbounded-socket-read"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "fns reading from sockets or child pipes must set a read timeout"
+    }
+    fn explain(&self) -> &'static str {
+        "A socket read with no deadline blocks until the peer says otherwise, \
+         and a kill -9'd peer never says anything: the caller inherits the \
+         crash as an unbounded stall instead of a typed timeout. Any fn that \
+         mentions a socket or child-pipe type and performs a blocking read \
+         must also arm `set_read_timeout` (or drive the socket nonblocking), \
+         or — better — route the read through the deadline-carrying frame \
+         codec (`lsi_serve::transport::read_frame`), which re-arms the \
+         timeout around every partial read."
+    }
+    fn check(&self, ctx: &FileContext, out: &mut Vec<Finding>) {
+        // Tests and benches talk to peers they control in-process; the
+        // policy bites where production code awaits a peer a crash (or a
+        // SIGKILL) may have silenced.
+        if !matches!(ctx.role, Role::LibSrc | Role::Bin) {
+            return;
+        }
+        for f in &ctx.fns {
+            if ctx.is_test_line(f.start_line) {
+                continue;
+            }
+            // Whole-fn scan: the guard may legitimately precede or follow
+            // the read (e.g. a timeout re-armed inside the read loop), so
+            // order is not significant — only presence.
+            let mut sourced = false;
+            let mut guarded = false;
+            let mut read_line = None;
+            for lineno in f.start_line..=f.end_line.min(ctx.lines.len()) {
+                if ctx.is_test_line(lineno) {
+                    continue;
+                }
+                let line = &ctx.lines[lineno - 1];
+                if GUARDS.iter().any(|g| line.contains(g)) {
+                    guarded = true;
+                }
+                if SOURCES.iter().any(|s| contains_token(line, s)) {
+                    sourced = true;
+                }
+                if read_line.is_none() && READS.iter().any(|r| line.contains(r)) {
+                    read_line = Some(lineno);
+                }
+            }
+            if sourced && !guarded {
+                if let Some(lineno) = read_line {
+                    emit(
+                        ctx,
+                        out,
+                        self.id(),
+                        self.severity(),
+                        lineno,
+                        format!(
+                            "fn `{}` reads from a socket or child pipe with no read \
+                             timeout in sight",
+                            f.name
+                        ),
+                        "arm `set_read_timeout` before the read (re-arm it inside read \
+                         loops), or route the read through the deadline-carrying frame \
+                         codec (`lsi_serve::transport::read_frame`)",
+                    );
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@ const RULES: &[(&str, &str)] = &[
     ("r1", "R1-reflector"),
     ("s1", "S1-unsynced-write"),
     ("s2", "S2-unchecked-length-alloc"),
+    ("t1", "T1-unbounded-socket-read"),
     ("u1", "U1-unsafe"),
     ("w1", "W1-apply-before-journal"),
 ];
@@ -99,6 +100,7 @@ fn warn_rules_have_warn_severity() {
         ("p2", "P2-thread-dependent-chunking"),
         ("r1", "R1-reflector"),
         ("s2", "S2-unchecked-length-alloc"),
+        ("t1", "T1-unbounded-socket-read"),
     ] {
         let findings = lint_fixture("fire", name);
         let hit = findings

@@ -82,6 +82,7 @@ use lsi_ir::retrieval::{RankedList, SearchHit};
 
 use crate::engine::{EngineConfig, FaultHook, Query, QueryEngine, QueryError, QueryResponse};
 use crate::stats::{ClusterStatsSnapshot, ShardStatsRow};
+use crate::transport::{LocalShard, PendingReply, ShardTransport};
 
 /// Builds the per-shard [`FaultHook`] at cluster construction; the chaos
 /// suite uses it to give each shard its own failure personality.
@@ -281,19 +282,22 @@ impl From<QueryError> for ClusterError {
     }
 }
 
-/// One shard: its engine plus the coordinator's local → global id map.
+/// One shard: its transport plus the coordinator's local → global id map.
 /// `ids[local] = None` marks a tombstone (moved away or retired); the map,
-/// not the index row, is the single source of visibility truth.
+/// not the index row, is the single source of visibility truth. The
+/// transport is in-process ([`LocalShard`]) or a socket RPC client to a
+/// shard daemon — the cell, and everything downstream of it, cannot tell.
 struct ShardCell {
-    /// `None` only while (or after a failed) crash-recovery swap in
-    /// [`Cluster::crash_shard_with`]; every accessor treats it as a shard
-    /// failure.
-    engine: Option<QueryEngine>,
+    /// `None` only for shards that failed to open (down slots) or while a
+    /// crash-recovery swap is mid-flight; every accessor treats it as a
+    /// shard failure.
+    transport: Option<Box<dyn ShardTransport>>,
     ids: Vec<Option<u64>>,
-    /// Engine incarnation, bumped by every crash-recovery swap
-    /// ([`Cluster::crash_shard_with`]). Journal replay re-applies `Retire`
-    /// frames by zeroing rows, so a recovered engine can score a pre-crash
-    /// id snapshot differently than the incarnation the scatter submitted
+    /// Shard incarnation, bumped by every crash-recovery swap — the
+    /// in-process [`Cluster::crash_shard_with`] and the supervisor's
+    /// daemon respawn alike. Journal replay re-applies `Retire` frames by
+    /// zeroing rows, so a recovered shard can score a pre-crash id
+    /// snapshot differently than the incarnation the scatter submitted
     /// to — hedges therefore never cross incarnations (the shard's
     /// contribution is honestly dropped and the answer degrades instead).
     generation: u64,
@@ -339,7 +343,7 @@ enum ShardAttempt {
     /// In flight; `ids` is the submit-time id-map snapshot the reply (and
     /// any hedge reply) is mapped through.
     InFlight {
-        ticket: crate::engine::Ticket,
+        pending: PendingReply,
         ids: Vec<Option<u64>>,
         generation: u64,
         submitted: Instant,
@@ -452,7 +456,7 @@ pub fn merge_top_k(slots: &[Option<Vec<SearchHit>>], top_k: usize) -> RankedList
 /// (empty / unparsable ids — e.g. a compaction dump of a tombstoned row —
 /// map to `None`), legacy fold-in frames have no global identity, and
 /// `Retire` frames tombstone their slot.
-fn rebuild_ids(
+pub(crate) fn rebuild_ids(
     snapshot_docs: usize,
     records: &[MutationRecord],
     n_docs: usize,
@@ -494,7 +498,7 @@ fn rebuild_ids(
 /// empty global id) followed by one `Retire` per tombstone. Replaying the
 /// dump reproduces the same document count, the same visible `(gid, row)`
 /// set, and the same next sequence number as the live shard.
-fn state_dump(ids: &[Option<u64>], index: &LsiIndex) -> Vec<MutationRecord> {
+pub(crate) fn state_dump(ids: &[Option<u64>], index: &LsiIndex) -> Vec<MutationRecord> {
     let n = ids.len();
     let mut records = Vec::with_capacity(n + ids.iter().filter(|id| id.is_none()).count());
     for (local, gid) in ids.iter().enumerate() {
@@ -628,7 +632,7 @@ impl Cluster {
         }
         let engine = QueryEngine::new(index, Self::engine_config_for(config, shard));
         Ok(ShardCell {
-            engine: Some(engine),
+            transport: Some(Box::new(LocalShard::new(engine))),
             ids: docs.iter().map(|&(gid, _)| Some(gid)).collect(),
             generation: 0,
         })
@@ -657,7 +661,7 @@ impl Cluster {
         let ids = rebuild_ids(report.snapshot_docs, &records, durable.index().n_docs());
         let engine = QueryEngine::with_durable(durable, Self::engine_config_for(config, shard));
         Ok(ShardCell {
-            engine: Some(engine),
+            transport: Some(Box::new(LocalShard::new(engine))),
             ids,
             generation: 0,
         })
@@ -728,7 +732,7 @@ impl Cluster {
                     // quorum arithmetic are unchanged, and the scatter
                     // simply gets nothing from it.
                     cells.push(RwLock::new(ShardCell {
-                        engine: None,
+                        transport: None,
                         ids: Vec::new(),
                         generation: 0,
                     }));
@@ -747,7 +751,7 @@ impl Cluster {
             let engine =
                 QueryEngine::with_durable(durable, Self::engine_config_for(&config, shard));
             cells.push(RwLock::new(ShardCell {
-                engine: Some(engine),
+                transport: Some(Box::new(LocalShard::new(engine))),
                 ids,
                 generation: 0,
             }));
@@ -871,7 +875,7 @@ impl Cluster {
                     continue;
                 }
                 let cell = cell.read().unwrap_or_else(|p| p.into_inner());
-                let Some(engine) = &cell.engine else {
+                let Some(transport) = &cell.transport else {
                     attempts.push(ShardAttempt::Skipped);
                     continue;
                 };
@@ -884,9 +888,9 @@ impl Cluster {
                     top_k: usize::MAX,
                     tag: query.tag,
                 };
-                match engine.submit(local) {
-                    Ok(ticket) => attempts.push(ShardAttempt::InFlight {
-                        ticket,
+                match transport.submit(local) {
+                    Ok(pending) => attempts.push(ShardAttempt::InFlight {
+                        pending,
                         ids: cell.ids.clone(),
                         generation: cell.generation,
                         submitted: Instant::now(),
@@ -908,11 +912,11 @@ impl Cluster {
                     slots.push(None);
                 }
                 ShardAttempt::InFlight {
-                    ticket,
+                    pending,
                     ids,
                     generation,
                     submitted,
-                } => match self.await_shard(shard, ticket, submitted, generation, &query) {
+                } => match self.await_shard(shard, pending, submitted, generation, &query) {
                     Some(response) => {
                         if response.is_degraded() {
                             degraded_replies += 1;
@@ -958,29 +962,31 @@ impl Cluster {
     /// Waits out one shard's reply with the soft-deadline / hedge / hard-
     /// deadline ladder. Returns `None` when the shard contributes nothing
     /// to this query. The hedge reply is mapped through the *original*
-    /// submit-time id snapshot by the caller — within one engine
+    /// submit-time id snapshot by the caller — within one shard
     /// incarnation shard rows are append-only and never mutated in place,
     /// so any local id covered by that snapshot scores to the same bits in
-    /// the hedge reply. A crash-recovered engine breaks that invariant
+    /// the hedge reply. A crash-recovered shard breaks that invariant
     /// (replay zeroes `Retire`d rows), so a hedge is only submitted while
-    /// `generation` still matches the scatter-time incarnation.
+    /// `generation` still matches the scatter-time incarnation — whether
+    /// the recovery was an in-process engine swap or a supervisor
+    /// respawning a killed daemon.
     fn await_shard(
         &self,
         shard: usize,
-        ticket: crate::engine::Ticket,
+        pending: PendingReply,
         submitted: Instant,
         generation: u64,
         query: &Query,
     ) -> Option<QueryResponse> {
         let hard_at = submitted + self.config.hard_deadline;
         let Some(soft) = self.config.soft_deadline else {
-            return match ticket.wait_until(hard_at) {
+            return match pending.wait_until(hard_at) {
                 Ok(result) => result.ok(),
                 Err(_pending) => None,
             };
         };
 
-        let original = match ticket.wait_until(submitted + soft) {
+        let original = match pending.wait_until(submitted + soft) {
             Ok(result) => return result.ok(),
             Err(pending) => pending,
         };
@@ -989,29 +995,30 @@ impl Cluster {
             .fetch_add(1, Ordering::Relaxed);
 
         // Hedge a retry into the same shard's pool: a respawned or idle
-        // worker often answers while the first pick is stuck.
+        // worker (or, cross-process, a fresh connection) often answers
+        // while the first pick is stuck.
         let hedge = {
             let cell = self.cells[shard].read().unwrap_or_else(|p| p.into_inner());
             if cell.generation == generation {
-                cell.engine.as_ref().map(|engine| {
-                    engine.submit(Query {
+                cell.transport.as_ref().map(|transport| {
+                    transport.submit(Query {
                         terms: query.terms.clone(),
                         top_k: usize::MAX,
                         tag: query.tag,
                     })
                 })
             } else {
-                // The engine was crash-swapped since the scatter: the id
+                // The shard was crash-swapped since the scatter: the id
                 // snapshot no longer maps this shard's answers faithfully,
-                // so only the original (same-incarnation) ticket may still
+                // so only the original (same-incarnation) reply may still
                 // contribute.
                 None
             }
         };
         match hedge {
-            Some(Ok(hedge_ticket)) => {
+            Some(Ok(hedge_pending)) => {
                 self.health[shard].hedges.fetch_add(1, Ordering::Relaxed);
-                match hedge_ticket.wait_until(hard_at) {
+                match hedge_pending.wait_until(hard_at) {
                     Ok(Ok(response)) => Some(response),
                     // Hedge failed outright: the original may still answer
                     // within the hard budget.
@@ -1063,10 +1070,10 @@ impl Cluster {
         let mut cell = self.cells[target]
             .write()
             .unwrap_or_else(|p| p.into_inner());
-        let Some(engine) = &cell.engine else {
+        let Some(transport) = &cell.transport else {
             return Err(ClusterError::Query(QueryError::ShuttingDown));
         };
-        engine.add_document_vector(&gid.to_string(), &coords)?;
+        transport.add_document_vector(&gid.to_string(), &coords)?;
         cell.ids.push(Some(gid));
         Ok(gid)
     }
@@ -1094,7 +1101,7 @@ impl Cluster {
             //    the move lock already excludes every other mover).
             let (local, coords) = {
                 let cell = self.cells[from].read().unwrap_or_else(|p| p.into_inner());
-                let Some(engine) = &cell.engine else {
+                let Some(transport) = &cell.transport else {
                     return Err(ClusterError::Query(QueryError::ShuttingDown));
                 };
                 let local = cell
@@ -1102,28 +1109,25 @@ impl Cluster {
                     .iter()
                     .position(|&id| id == Some(gid))
                     .ok_or(ClusterError::UnknownDocument { doc: gid })?;
-                (
-                    local,
-                    engine.with_index(|index| index.doc_vector(local).to_vec()),
-                )
+                (local, transport.doc_vector(local)?)
             };
             // 2. Destination first: journal + apply + map.
             {
                 let mut cell = self.cells[to].write().unwrap_or_else(|p| p.into_inner());
-                let Some(engine) = &cell.engine else {
+                let Some(transport) = &cell.transport else {
                     return Err(ClusterError::Query(QueryError::ShuttingDown));
                 };
-                engine.add_document_vector(&gid.to_string(), &coords)?;
+                transport.add_document_vector(&gid.to_string(), &coords)?;
                 cell.ids.push(Some(gid));
             }
             // 3. Then the source tombstone: journal-only retire (the live
             //    row keeps its bits for in-flight readers), map update.
             {
                 let mut cell = self.cells[from].write().unwrap_or_else(|p| p.into_inner());
-                let Some(engine) = &cell.engine else {
+                let Some(transport) = &cell.transport else {
                     return Err(ClusterError::Query(QueryError::ShuttingDown));
                 };
-                engine.log_retire(local)?;
+                transport.log_retire(local)?;
                 cell.ids[local] = None;
             }
             moved += 1;
@@ -1168,11 +1172,10 @@ impl Cluster {
     pub fn compact_shard(&self, shard: usize) -> Result<bool, ClusterError> {
         self.check_shard(shard)?;
         let cell = self.cells[shard].write().unwrap_or_else(|p| p.into_inner());
-        let Some(engine) = &cell.engine else {
+        let Some(transport) = &cell.transport else {
             return Err(ClusterError::Query(QueryError::ShuttingDown));
         };
-        let records = engine.with_index(|index| state_dump(&cell.ids, index));
-        Ok(engine.rotate_journal(&records)?)
+        Ok(transport.compact(&cell.ids)?)
     }
 
     /// Fingerprint of the cluster's visible documents: global id → the
@@ -1183,23 +1186,16 @@ impl Cluster {
         let mut map = BTreeMap::new();
         for cell in &self.cells {
             let cell = cell.read().unwrap_or_else(|p| p.into_inner());
-            let Some(engine) = &cell.engine else {
+            let Some(transport) = &cell.transport else {
                 continue;
             };
-            engine.with_index(|index| {
-                for (local, gid) in cell.ids.iter().enumerate() {
-                    if let Some(gid) = gid {
-                        map.insert(
-                            *gid,
-                            index
-                                .doc_vector(local)
-                                .iter()
-                                .map(|x| x.to_bits())
-                                .collect(),
-                        );
+            for (local, gid) in cell.ids.iter().enumerate() {
+                if let Some(gid) = gid {
+                    if let Ok(coords) = transport.doc_vector(local) {
+                        map.insert(*gid, coords.iter().map(|x| x.to_bits()).collect());
                     }
                 }
-            });
+            }
         }
         map
     }
@@ -1229,16 +1225,30 @@ impl Cluster {
         };
         let snapshot = shard_snapshot_path(dir, shard);
         let mut cell = self.cells[shard].write().unwrap_or_else(|p| p.into_inner());
-        if let Some(engine) = cell.engine.take() {
-            engine.shutdown();
+        if cell
+            .transport
+            .as_ref()
+            .is_some_and(|t| t.engine().is_none())
+        {
+            // A remote shard's journal belongs to its daemon process;
+            // opening it here would race the owner. Kill the daemon (the
+            // supervisor respawns it) instead of simulating in-process.
+            return Err(ClusterError::BadOperation(
+                "crash simulation needs in-process shards; kill the daemon instead".to_string(),
+            ));
+        }
+        if let Some(transport) = cell.transport.take() {
+            if let Some(engine) = transport.take_engine() {
+                engine.shutdown();
+            }
         }
         damage(&snapshot);
         let (durable, report, records) = DurableIndex::open_durable_with_records(&snapshot)?;
         cell.ids = rebuild_ids(report.snapshot_docs, &records, durable.index().n_docs());
-        cell.engine = Some(QueryEngine::with_durable(
+        cell.transport = Some(Box::new(LocalShard::new(QueryEngine::with_durable(
             durable,
             Self::engine_config_for(&self.config, shard),
-        ));
+        ))));
         // New incarnation: replay zeroed any `Retire`d rows, so in-flight
         // queries holding the pre-crash id snapshot must not hedge into
         // this engine (see `ShardCell::generation`).
@@ -1266,9 +1276,9 @@ impl Cluster {
                     hedges: self.health[shard].hedges.load(Ordering::Relaxed),
                     ejected: self.health[shard].ejected.load(Ordering::Relaxed),
                     engine: cell
-                        .engine
+                        .transport
                         .as_ref()
-                        .map(QueryEngine::stats)
+                        .map(|transport| transport.stats())
                         .unwrap_or_else(|| crate::stats::ServeStats::new().snapshot()),
                 }
             })
@@ -1283,15 +1293,96 @@ impl Cluster {
         }
     }
 
-    /// Shuts every shard engine down, draining their queues and joining
-    /// their workers.
+    /// Shuts every shard transport down — in-process engines drain their
+    /// queues and join their workers; remote daemons are left to their
+    /// supervisor's shutdown.
     pub fn shutdown(self) {
         for cell in self.cells {
             let cell = cell.into_inner().unwrap_or_else(|p| p.into_inner());
-            if let Some(engine) = cell.engine {
-                engine.shutdown();
+            if let Some(transport) = cell.transport {
+                transport.shutdown();
             }
         }
+    }
+
+    /// Assembles a coordinator over already-running shard transports (the
+    /// supervisor's entry point: one RPC transport + hello-reported id map
+    /// per daemon). `basis` must be the shards' shared basis — the
+    /// supervisor reads it from a shard snapshot, read-only.
+    pub(crate) fn from_remote_parts(
+        basis: LsiIndex,
+        shards: Vec<crate::transport::ShardPart>,
+        dir: PathBuf,
+        config: ClusterConfig,
+    ) -> Result<Self, ClusterError> {
+        if shards.is_empty() {
+            return Err(ClusterError::BadOperation(
+                "a cluster needs at least one shard transport".to_string(),
+            ));
+        }
+        if !(config.quorum > 0.0 && config.quorum <= 1.0) {
+            return Err(ClusterError::BadOperation(format!(
+                "quorum fraction must be in (0, 1], got {}",
+                config.quorum
+            )));
+        }
+        let n_shards = shards.len();
+        let mut next_gid = 0u64;
+        let mut cells = Vec::with_capacity(n_shards);
+        let mut health = Vec::with_capacity(n_shards);
+        for (transport, ids) in shards {
+            for gid in ids.iter().flatten() {
+                next_gid = next_gid.max(gid + 1);
+            }
+            cells.push(RwLock::new(ShardCell {
+                transport: Some(transport),
+                ids,
+                generation: 0,
+            }));
+            health.push(ShardHealth::default());
+        }
+        Ok(Cluster {
+            basis,
+            cells,
+            health,
+            counters: ClusterCounters::default(),
+            config: ClusterConfig {
+                shards: n_shards,
+                ..config
+            },
+            dir: Some(dir),
+            next_gid: AtomicU64::new(next_gid),
+            moves: RwLock::new(()),
+        })
+    }
+
+    /// Swaps in a fresh transport for `shard` (the supervisor's respawn
+    /// path), adopting the id map the recovered daemon reported in its
+    /// hello — the journal's truth, which supersedes the coordinator's map
+    /// because acks lost to the kill may have been journaled. Bumps the
+    /// shard's incarnation so in-flight queries never hedge across the
+    /// recovery, exactly as [`crash_shard_with`](Self::crash_shard_with)
+    /// does in-process.
+    pub(crate) fn swap_shard_transport(
+        &self,
+        shard: usize,
+        transport: Box<dyn ShardTransport>,
+        ids: Vec<Option<u64>>,
+    ) -> Result<(), ClusterError> {
+        self.check_shard(shard)?;
+        let mut cell = self.cells[shard].write().unwrap_or_else(|p| p.into_inner());
+        if let Some(old) = cell.transport.take() {
+            old.shutdown();
+        }
+        // Adopted ids can include journaled-but-unacked fold-ins; keep the
+        // global id allocator ahead of everything the journal holds.
+        for gid in ids.iter().flatten() {
+            self.next_gid.fetch_max(gid + 1, Ordering::Relaxed);
+        }
+        cell.ids = ids;
+        cell.transport = Some(transport);
+        cell.generation += 1;
+        Ok(())
     }
 }
 

@@ -1,0 +1,309 @@
+//! The shard daemon: one durable shard served over a Unix domain socket.
+//!
+//! [`run_shard_daemon`] is the body of the `lsi shard-serve` subcommand
+//! (and of the re-exec'd child processes the chaos harness spawns). It
+//! opens one shard exactly the way the in-process cluster does — basis
+//! snapshot + write-ahead journal replay, id map rebuilt from the replayed
+//! records — then binds a socket and answers the RPC grammar of
+//! [`crate::transport`] until a `Shutdown` RPC (or a signal) takes it
+//! down.
+//!
+//! ## Crash discipline
+//!
+//! The daemon adds **no** state of its own: the journal stays the shard's
+//! single source of truth. Every mutation RPC acks only after the engine's
+//! journaled path returns (append + fsync strictly before the in-memory
+//! apply), so a SIGKILL at any instant loses at most unacknowledged work —
+//! exactly the crash contract the in-process shard already proves in
+//! `tests/crash_matrix.rs`. On restart the daemon replays the journal and
+//! reports the replayed id map in its `Hello`, which is how the supervisor
+//! reconciles acks the kill may have swallowed.
+//!
+//! ## Stale sockets
+//!
+//! A kill -9 leaves the socket file behind (the kernel removes the
+//! *listener*, not the path). Startup therefore unlinks a leftover socket
+//! path before binding — the socket-flavored analogue of the journal's
+//! stale `.tmp` sweep. Socket files are coordination points, never data:
+//! unlinking one can orphan a dead listener, never lose a document.
+
+use std::io::ErrorKind;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lsi_core::{DurableIndex, StorageError};
+
+use crate::cluster::{rebuild_ids, state_dump};
+use crate::engine::{EngineConfig, Query, QueryEngine, QueryError};
+use crate::transport::{
+    decode_request, encode_reply, read_frame, send_frame, RpcReply, RpcRequest, TransportError,
+};
+
+/// How long an idle connection read blocks before re-checking the stop
+/// flag (also the accept poll cadence's upper bound).
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Accept-loop poll cadence while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Configuration for one shard daemon.
+#[derive(Debug, Clone)]
+pub struct ShardDaemonConfig {
+    /// The shard's basis snapshot (`shard-NNN.lsix`); its journal sits
+    /// beside it under the usual `lsi_core::journal_path` convention.
+    pub snapshot: PathBuf,
+    /// The Unix-domain-socket path to serve on.
+    pub socket: PathBuf,
+    /// Worker threads for the shard's query engine.
+    pub workers: usize,
+    /// Hard per-query deadline applied by the engine.
+    pub hard_deadline: Duration,
+}
+
+impl ShardDaemonConfig {
+    /// A daemon config with the default engine geometry.
+    pub fn new(snapshot: impl Into<PathBuf>, socket: impl Into<PathBuf>) -> Self {
+        let engine = EngineConfig::default();
+        ShardDaemonConfig {
+            snapshot: snapshot.into(),
+            socket: socket.into(),
+            workers: engine.workers,
+            hard_deadline: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Shared daemon state: the engine plus the id map its journal implies.
+///
+/// The `ids` mutex is held across every mutation RPC (journal + apply +
+/// map update) and across `Hello`, so a handshake always observes an id
+/// map consistent with the engine's document count.
+struct DaemonState {
+    engine: QueryEngine,
+    ids: Mutex<Vec<Option<u64>>>,
+    stop: AtomicBool,
+    /// Write budget for one reply frame (the engine's hard deadline).
+    reply_deadline: Duration,
+}
+
+/// Runs one shard daemon to completion: open the shard, serve the socket,
+/// shut the engine down cleanly on a `Shutdown` RPC.
+///
+/// # Errors
+/// [`StorageError`] when the shard cannot be opened (snapshot/journal
+/// damage beyond recovery) or the socket cannot be bound.
+pub fn run_shard_daemon(config: ShardDaemonConfig) -> Result<(), StorageError> {
+    // Stale-socket sweep: a previous kill -9 leaves the path bound to a
+    // dead listener; unlink it so bind() succeeds (single-owner: the
+    // supervisor never runs two daemons on one path).
+    match std::fs::remove_file(&config.socket) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::NotFound => {}
+        Err(e) => return Err(StorageError::from(e)),
+    }
+
+    let (durable, report, records) = DurableIndex::open_durable_with_records(&config.snapshot)?;
+    let ids = rebuild_ids(report.snapshot_docs, &records, durable.index().n_docs());
+    let engine_config = EngineConfig {
+        workers: config.workers.max(1),
+        deadline: Some(config.hard_deadline),
+        ..EngineConfig::default()
+    };
+    let engine = QueryEngine::with_durable(durable, engine_config);
+
+    let listener = UnixListener::bind(&config.socket).map_err(StorageError::from)?;
+    listener.set_nonblocking(true).map_err(StorageError::from)?;
+
+    let state = Arc::new(DaemonState {
+        engine,
+        ids: Mutex::new(ids),
+        stop: AtomicBool::new(false),
+        reply_deadline: config.hard_deadline.max(IDLE_POLL),
+    });
+
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !state.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(&state);
+                let handle = std::thread::Builder::new()
+                    .name("lsi-shard-conn".to_string())
+                    .spawn(move || serve_connection(stream, &state))
+                    .map_err(StorageError::from)?;
+                // Finished handlers have nothing left to run; dropping
+                // their handles here keeps the vector bounded by the
+                // number of *live* connections.
+                handlers.retain(|h| !h.is_finished());
+                handlers.push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(StorageError::from(e)),
+        }
+    }
+
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    match Arc::try_unwrap(state) {
+        Ok(state) => state.engine.shutdown(),
+        Err(_) => {
+            // A handler outlived its join (cannot happen: all were joined
+            // above) — leak the engine rather than hang.
+        }
+    }
+    let _ = std::fs::remove_file(&config.socket);
+    Ok(())
+}
+
+/// Serves one connection: a loop of (frame in, dispatch, frame out).
+///
+/// The coordinator's transport opens one connection per RPC, but the loop
+/// tolerates pipelined callers. Idle reads block [`IDLE_POLL`] at a time
+/// so a `Shutdown` elsewhere stops this handler promptly.
+fn serve_connection(mut stream: UnixStream, state: &DaemonState) {
+    let mut buf = Vec::new();
+    loop {
+        if state.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let payload = match read_frame(&mut stream, Instant::now() + IDLE_POLL, &mut buf) {
+            Ok(payload) => payload,
+            Err(TransportError::Deadline) => continue,
+            // EOF, frame damage, or a vanished peer: nothing sensible to
+            // reply to — drop the connection (per-call transport opens a
+            // fresh one anyway).
+            Err(_) => return,
+        };
+        let (reply, stop_after) = match decode_request(&payload) {
+            Ok(request) => dispatch(request, state),
+            Err(e) => (
+                RpcReply::Fail(QueryError::Internal {
+                    detail: format!("bad request: {e}"),
+                }),
+                false,
+            ),
+        };
+        let deadline = Instant::now() + state.reply_deadline;
+        if send_frame(&mut stream, &encode_reply(&reply), deadline).is_err() {
+            return;
+        }
+        if stop_after {
+            state.stop.store(true, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// Handles one decoded request; the bool asks the connection loop to stop
+/// the whole daemon after the reply is flushed.
+fn dispatch(request: RpcRequest, state: &DaemonState) -> (RpcReply, bool) {
+    match request {
+        RpcRequest::Hello => {
+            let ids = lock_ids(state).clone();
+            (
+                RpcReply::Hello {
+                    pid: std::process::id(),
+                    ids,
+                },
+                false,
+            )
+        }
+        RpcRequest::Query { terms, top_k, tag } => {
+            let top_k = usize::try_from(top_k).unwrap_or(usize::MAX);
+            let reply = match state.engine.query(Query { terms, top_k, tag }) {
+                Ok(response) => RpcReply::Answer(response),
+                Err(e) => RpcReply::Fail(e),
+            };
+            (reply, false)
+        }
+        RpcRequest::AddVector { doc_id, coords } => {
+            // Hold the id map across journal + apply so `Hello` can never
+            // observe a map that lags the engine's document count.
+            let mut ids = lock_ids(state);
+            let reply = match state.engine.add_document_vector(&doc_id, &coords) {
+                Ok(local) => {
+                    ids.push(doc_id.parse::<u64>().ok());
+                    debug_assert_eq!(ids.len(), local + 1);
+                    RpcReply::Local {
+                        local: local as u64,
+                    }
+                }
+                Err(e) => RpcReply::Fail(e),
+            };
+            (reply, false)
+        }
+        RpcRequest::LogRetire { doc } => {
+            let mut ids = lock_ids(state);
+            let reply = match usize::try_from(doc) {
+                Ok(local) if local < ids.len() => match state.engine.log_retire(local) {
+                    Ok(value) => {
+                        if value {
+                            ids[local] = None;
+                        }
+                        RpcReply::Flag { value }
+                    }
+                    Err(e) => RpcReply::Fail(e),
+                },
+                _ => RpcReply::Fail(QueryError::Internal {
+                    detail: format!("retire of row {doc} out of range ({} rows)", ids.len()),
+                }),
+            };
+            (reply, false)
+        }
+        RpcRequest::DocVector { doc } => {
+            let reply = match usize::try_from(doc) {
+                Ok(local) => state.engine.with_index(|index| {
+                    if local < index.n_docs() {
+                        RpcReply::Coords {
+                            coords: index.doc_vector(local).to_vec(),
+                        }
+                    } else {
+                        RpcReply::Fail(QueryError::Internal {
+                            detail: format!("row {doc} out of range ({} rows)", index.n_docs()),
+                        })
+                    }
+                }),
+                Err(_) => RpcReply::Fail(QueryError::Internal {
+                    detail: format!("row {doc} overflows"),
+                }),
+            };
+            (reply, false)
+        }
+        RpcRequest::Compact { ids: wanted } => {
+            let mut ids = lock_ids(state);
+            if wanted.len() != ids.len() {
+                return (
+                    RpcReply::Fail(QueryError::Internal {
+                        detail: format!(
+                            "compact id map covers {} rows, shard holds {}",
+                            wanted.len(),
+                            ids.len()
+                        ),
+                    }),
+                    false,
+                );
+            }
+            let records = state.engine.with_index(|index| state_dump(&wanted, index));
+            let reply = match state.engine.rotate_journal(&records) {
+                Ok(value) => {
+                    *ids = wanted;
+                    RpcReply::Flag { value }
+                }
+                Err(e) => RpcReply::Fail(e),
+            };
+            (reply, false)
+        }
+        RpcRequest::Ping => (RpcReply::Ok, false),
+        RpcRequest::Shutdown => (RpcReply::Ok, true),
+    }
+}
+
+fn lock_ids(state: &DaemonState) -> std::sync::MutexGuard<'_, Vec<Option<u64>>> {
+    state.ids.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -29,6 +29,14 @@
 //!   breaker, and quorum-gated partial answers; the order-fixed
 //!   [`merge_top_k`] reduction keeps merged rankings bitwise identical for
 //!   every shard count and reply order.
+//! - **Process isolation** — every shard sits behind a [`ShardTransport`]:
+//!   in-process ([`LocalShard`]) or a separate `lsi shard-serve` daemon
+//!   reached over a Unix-domain-socket RPC protocol ([`RemoteShard`],
+//!   [`daemon`]) framed with the journal's CRC discipline. A
+//!   [`ShardSupervisor`] spawns/adopts the daemons, heartbeats them, and
+//!   respawns kill -9 casualties from their journals with a bumped
+//!   incarnation — Complete answers stay bitwise identical to
+//!   single-process mode for every transport and kill schedule.
 //!
 //! Concurrency is std-only: a fixed pool of named worker threads, a bounded
 //! `sync_channel` for admission, and an `RwLock` around the index so
@@ -57,16 +65,24 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod daemon;
 mod engine;
 pub mod stats;
+pub mod supervisor;
+pub mod transport;
 
 pub use cluster::{
     merge_top_k, Cluster, ClusterConfig, ClusterDegradeReason, ClusterError, ClusterResponse,
 };
+pub use daemon::{run_shard_daemon, ShardDaemonConfig};
 pub use engine::{
     DegradeReason, EngineConfig, FaultHook, Query, QueryEngine, QueryError, QueryResponse, Ticket,
 };
 pub use lsi_core::cancel::CancelToken;
 pub use stats::{
     ClusterStatsSnapshot, Outcome, ServeStats, ShardStatsRow, StatsSnapshot, LATENCY_BUCKETS_US,
+};
+pub use supervisor::{DaemonCommand, ShardSupervisor, SupervisorConfig};
+pub use transport::{
+    LocalShard, PendingReply, RemoteShard, ShardPart, ShardTransport, TransportError,
 };

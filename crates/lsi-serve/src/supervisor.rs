@@ -1,0 +1,612 @@
+//! Process supervision for out-of-process shard daemons.
+//!
+//! [`ShardSupervisor::launch`] turns a shard directory (the
+//! `shard-NNN.lsix` + journal layout that [`Cluster::create`] writes) into
+//! a running cross-process cluster: one `lsi shard-serve` daemon per
+//! shard, each reached over its own Unix domain socket, all behind the
+//! same [`Cluster`] coordinator the in-process mode uses — so every
+//! Complete answer is bitwise identical across the two modes.
+//!
+//! ## Supervision loop
+//!
+//! A heartbeat thread wakes every [`SupervisorConfig::heartbeat_interval`]
+//! and, per shard, first reaps exited children (`try_wait`, which is what
+//! notices a SIGKILL) and then pings the daemon over RPC. A dead or
+//! persistently unresponsive shard is **respawned**: kill + reap whatever
+//! is left, start a fresh daemon on the same snapshot but a **fresh,
+//! never-reused socket path** (`shard-NNN.gK.sock`), wait out its journal
+//! replay with bounded backoff (riding the hello RPC's
+//! [`RetryPolicy`]-style retries), and swap the new transport into the
+//! coordinator with a **bumped incarnation** — in-flight queries holding
+//! the pre-crash id snapshot never hedge into the recovered daemon,
+//! exactly the in-process `crash_shard_with` contract. The fresh path is
+//! what extends that contract to per-path transports: until the swap
+//! lands, the coordinator's old transport still scatters by the old path,
+//! and its id map can disagree with the replayed daemon (a retire
+//! journaled but killed before its ack). On a reused path those scatters
+//! would reach the new incarnation and mis-map its answers; on a fresh
+//! path they fail to connect and the shard honestly degrades instead.
+//!
+//! ## Lost-ack reconciliation
+//!
+//! A kill can land between a daemon fsyncing a mutation and the
+//! coordinator receiving the ack. The journal is the truth: the respawned
+//! daemon replays it and reports the replayed id map in its hello, and the
+//! coordinator **adopts** that map (superseding its own), so
+//! journaled-but-unacked documents reappear and unjournaled ones stay
+//! gone — at-most-once on the wire, exactly-once after recovery.
+//!
+//! ## Adoption
+//!
+//! `launch` first tries the sockets of an already-running daemon (every
+//! `shard-NNN*.sock` candidate — a prior supervisor may have respawned
+//! past the base path) and only spawns a child when no hello answers — so
+//! supervisors can hand clusters over without a restart storm.
+//! Non-adopted candidate files are swept as stale. Adopted daemons have
+//! no `Child` handle; they are supervised by ping alone.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lsi_core::StorageError;
+
+use crate::cluster::{Cluster, ClusterConfig, ClusterError};
+use crate::transport::{RemoteShard, ShardPart, ShardTransport};
+
+/// How to start one shard daemon: a program plus fixed leading arguments;
+/// the supervisor appends `--snapshot <path> --socket <path> --workers N
+/// --deadline-ms M` per shard.
+#[derive(Debug, Clone)]
+pub struct DaemonCommand {
+    /// Executable to run (`lsi` in production; the test harness re-execs
+    /// itself).
+    pub program: PathBuf,
+    /// Leading arguments (e.g. `["shard-serve"]`).
+    pub args: Vec<String>,
+}
+
+impl DaemonCommand {
+    /// A command running `program` with `args` before the per-shard flags.
+    pub fn new(program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        DaemonCommand {
+            program: program.into(),
+            args,
+        }
+    }
+}
+
+/// Tuning knobs for a [`ShardSupervisor`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Cadence of the reap-and-ping supervision loop.
+    pub heartbeat_interval: Duration,
+    /// Budget for a freshly spawned daemon to finish its journal replay
+    /// and answer its first hello.
+    pub connect_timeout: Duration,
+    /// Per-RPC deadline applied by every shard transport.
+    pub rpc_timeout: Duration,
+    /// Worker threads per shard daemon.
+    pub workers: usize,
+    /// Consecutive failed pings after which a live-looking process is
+    /// declared wedged and respawned.
+    pub ping_failures_before_respawn: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            connect_timeout: Duration::from_secs(10),
+            rpc_timeout: Duration::from_secs(1),
+            workers: 2,
+            ping_failures_before_respawn: 5,
+        }
+    }
+}
+
+/// One supervised daemon: its child handle (None for adopted daemons),
+/// pid, consecutive ping-failure count, and the socket path of the
+/// incarnation currently (or last) installed in the coordinator.
+struct Worker {
+    child: Option<Child>,
+    pid: u32,
+    ping_failures: u32,
+    /// Socket of this shard's current incarnation. Every respawn binds a
+    /// **fresh** path (see [`incarnation_socket_path`]) so a coordinator
+    /// transport created for an earlier incarnation — which connects by
+    /// path, per RPC — can never reach the replacement daemon: its
+    /// connects fail and the shard honestly degrades until the swap
+    /// installs the new transport, id map, and incarnation atomically.
+    socket: PathBuf,
+    /// Monotonic incarnation counter feeding the socket naming; bumped
+    /// before every respawn attempt so even failed attempts never reuse
+    /// a path.
+    incarnation: u64,
+}
+
+/// State shared between the supervisor handle and its heartbeat thread.
+struct Shared {
+    cluster: Arc<Cluster>,
+    workers: Mutex<Vec<Worker>>,
+    snapshots: Vec<PathBuf>,
+    dir: PathBuf,
+    command: DaemonCommand,
+    config: SupervisorConfig,
+    hard_deadline: Duration,
+    stop: AtomicBool,
+}
+
+/// Spawns, adopts, heartbeats, and respawns the shard daemons behind a
+/// cross-process [`Cluster`].
+pub struct ShardSupervisor {
+    shared: Arc<Shared>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Socket filename for shard `shard`'s first incarnation under `dir`.
+fn shard_socket_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}.sock"))
+}
+
+/// Socket filename for shard `shard`'s `incarnation`-th respawn:
+/// `shard-NNN.sock` for the first incarnation, `shard-NNN.gK.sock` after.
+/// Paths are never reused across incarnations — socket identity IS
+/// incarnation identity, which is what keeps stale per-path transports
+/// from crossing a respawn.
+fn incarnation_socket_path(dir: &Path, shard: usize, incarnation: u64) -> PathBuf {
+    if incarnation == 0 {
+        shard_socket_path(dir, shard)
+    } else {
+        dir.join(format!("shard-{shard:03}.g{incarnation}.sock"))
+    }
+}
+
+/// All socket files under `dir` that belong to shard `shard` — the base
+/// `shard-NNN.sock` plus any `shard-NNN.gK.sock` left by respawns of a
+/// previous supervisor. Returned as `(incarnation, path)`, base first.
+fn shard_socket_candidates(dir: &Path, shard: usize) -> Vec<(u64, PathBuf)> {
+    let prefix = format!("shard-{shard:03}");
+    let mut found: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter_map(|path| {
+            let name = path.file_name()?.to_str()?;
+            let middle = name.strip_prefix(&prefix)?.strip_suffix(".sock")?;
+            if middle.is_empty() {
+                Some((0, path))
+            } else {
+                let gen: u64 = middle.strip_prefix(".g")?.parse().ok()?;
+                Some((gen, path))
+            }
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+/// Sorted `shard-NNN.lsix` snapshots under `dir`.
+fn discover_snapshots(dir: &Path) -> Result<Vec<PathBuf>, ClusterError> {
+    let mut snapshots: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(StorageError::from)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".lsix"))
+        })
+        .collect();
+    snapshots.sort();
+    if snapshots.is_empty() {
+        return Err(ClusterError::BadOperation(format!(
+            "no shard-NNN.lsix snapshots under {}",
+            dir.display()
+        )));
+    }
+    Ok(snapshots)
+}
+
+/// Spawns one daemon process for (`snapshot`, `socket`).
+fn spawn_daemon(
+    command: &DaemonCommand,
+    config: &SupervisorConfig,
+    hard_deadline: Duration,
+    snapshot: &Path,
+    socket: &Path,
+) -> Result<Child, ClusterError> {
+    Command::new(&command.program)
+        .args(&command.args)
+        .arg("--snapshot")
+        .arg(snapshot)
+        .arg("--socket")
+        .arg(socket)
+        .arg("--workers")
+        .arg(config.workers.to_string())
+        .arg("--deadline-ms")
+        .arg(hard_deadline.as_millis().to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| {
+            ClusterError::BadOperation(format!(
+                "failed to spawn shard daemon {}: {e}",
+                command.program.display()
+            ))
+        })
+}
+
+/// Retries the hello handshake with doubling backoff until `timeout` —
+/// the daemon may still be mid journal replay.
+fn hello_with_backoff(
+    shard: &RemoteShard,
+    timeout: Duration,
+) -> Result<(u32, Vec<Option<u64>>), ClusterError> {
+    let deadline = Instant::now() + timeout;
+    let mut backoff = Duration::from_millis(2);
+    loop {
+        match shard.hello() {
+            Ok(hello) => return Ok(hello),
+            Err(e) => {
+                if Instant::now() + backoff >= deadline {
+                    return Err(ClusterError::BadOperation(format!(
+                        "shard daemon on {} never answered hello: {e}",
+                        shard.socket().display()
+                    )));
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+impl ShardSupervisor {
+    /// Brings up a cross-process cluster over the shard directory `dir`:
+    /// per shard, adopt an already-listening daemon or spawn a fresh one
+    /// via `command`, handshake, and assemble the coordinator from the
+    /// hello-reported id maps. The basis is read (read-only) from the
+    /// first shard snapshot — the daemons own their journals exclusively.
+    ///
+    /// # Errors
+    /// [`ClusterError`] when the directory holds no shards, a daemon
+    /// cannot be spawned, or a daemon never answers its hello within
+    /// [`SupervisorConfig::connect_timeout`].
+    pub fn launch(
+        dir: &Path,
+        cluster_config: ClusterConfig,
+        command: DaemonCommand,
+        config: SupervisorConfig,
+    ) -> Result<(Arc<Cluster>, ShardSupervisor), ClusterError> {
+        let snapshots = discover_snapshots(dir)?;
+
+        // The shared basis, read without touching any journal (recovery,
+        // and therefore journal writes, are strictly daemon business).
+        let basis = {
+            let file = std::fs::File::open(&snapshots[0]).map_err(StorageError::from)?;
+            let mut reader = std::io::BufReader::new(file);
+            lsi_core::read_index(&mut reader)
+                .map_err(ClusterError::Storage)?
+                .basis_clone()
+        };
+
+        let mut workers = Vec::with_capacity(snapshots.len());
+        let mut parts: Vec<ShardPart> = Vec::with_capacity(snapshots.len());
+        for (shard, snapshot) in snapshots.iter().enumerate() {
+            // Adopt a surviving daemon when one already answers on any of
+            // the shard's candidate sockets — a previous supervisor may
+            // have respawned past the base path. Non-adopted candidates
+            // are stale files; sweep them so they cannot be mistaken for
+            // live incarnations later.
+            let candidates = shard_socket_candidates(dir, shard);
+            let max_incarnation = candidates.iter().map(|(gen, _)| *gen).max().unwrap_or(0);
+            let mut adopted: Option<(RemoteShard, u32, Vec<Option<u64>>)> = None;
+            for (_, candidate) in &candidates {
+                if adopted.is_some() {
+                    break;
+                }
+                let transport = RemoteShard::new(candidate.clone(), config.rpc_timeout);
+                if let Ok((pid, ids)) = transport.hello() {
+                    adopted = Some((transport, pid, ids));
+                }
+            }
+            for (_, candidate) in &candidates {
+                if adopted
+                    .as_ref()
+                    .is_none_or(|(t, _, _)| t.socket() != candidate)
+                {
+                    let _ = std::fs::remove_file(candidate);
+                }
+            }
+            match adopted {
+                Some((transport, pid, ids)) => {
+                    workers.push(Worker {
+                        child: None,
+                        pid,
+                        ping_failures: 0,
+                        socket: transport.socket().to_path_buf(),
+                        incarnation: max_incarnation,
+                    });
+                    parts.push((Box::new(transport), ids));
+                }
+                None => {
+                    let socket = shard_socket_path(dir, shard);
+                    let child = spawn_daemon(
+                        &command,
+                        &config,
+                        cluster_config.hard_deadline,
+                        snapshot,
+                        &socket,
+                    )?;
+                    let transport = RemoteShard::new(socket.clone(), config.rpc_timeout);
+                    let (pid, ids) = hello_with_backoff(&transport, config.connect_timeout)?;
+                    workers.push(Worker {
+                        child: Some(child),
+                        pid,
+                        ping_failures: 0,
+                        socket,
+                        incarnation: 0,
+                    });
+                    parts.push((Box::new(transport), ids));
+                }
+            }
+        }
+
+        let hard_deadline = cluster_config.hard_deadline;
+        let cluster = Arc::new(Cluster::from_remote_parts(
+            basis,
+            parts,
+            dir.to_path_buf(),
+            cluster_config,
+        )?);
+
+        let shared = Arc::new(Shared {
+            cluster: Arc::clone(&cluster),
+            workers: Mutex::new(workers),
+            snapshots,
+            dir: dir.to_path_buf(),
+            command,
+            config,
+            hard_deadline,
+            stop: AtomicBool::new(false),
+        });
+        let heartbeat = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lsi-shard-heartbeat".to_string())
+                .spawn(move || heartbeat_loop(&shared))
+                .map_err(|e| {
+                    ClusterError::BadOperation(format!("failed to start heartbeat thread: {e}"))
+                })?
+        };
+        Ok((
+            cluster,
+            ShardSupervisor {
+                shared,
+                heartbeat: Some(heartbeat),
+            },
+        ))
+    }
+
+    /// SIGKILLs shard `shard`'s daemon process — the chaos harness's kill
+    /// switch. The corpse is *not* reaped here; the heartbeat notices the
+    /// death, reaps it, and respawns. No-op for adopted daemons (no child
+    /// handle to kill).
+    ///
+    /// # Errors
+    /// [`ClusterError::BadOperation`] for an out-of-range shard.
+    pub fn kill_shard(&self, shard: usize) -> Result<(), ClusterError> {
+        let mut workers = lock_workers(&self.shared);
+        let worker = workers
+            .get_mut(shard)
+            .ok_or_else(|| ClusterError::BadOperation(format!("shard {shard} out of range")))?;
+        if let Some(child) = &mut worker.child {
+            let _ = child.kill();
+        }
+        Ok(())
+    }
+
+    /// Kills (if needed), reaps, respawns, and re-adopts shard `shard`'s
+    /// daemon, swapping the fresh transport into the coordinator with a
+    /// bumped incarnation. Normally the heartbeat's job; exposed for
+    /// deterministic tests.
+    ///
+    /// # Errors
+    /// [`ClusterError`] when the respawned daemon cannot be started or
+    /// never answers its hello.
+    pub fn respawn_shard(&self, shard: usize) -> Result<(), ClusterError> {
+        respawn(&self.shared, shard)
+    }
+
+    /// The supervised daemons' pids, shard-index order.
+    pub fn pids(&self) -> Vec<u32> {
+        lock_workers(&self.shared).iter().map(|w| w.pid).collect()
+    }
+
+    /// Stops the heartbeat, asks every daemon to shut down cleanly, and
+    /// reaps every child — escalating to SIGKILL for daemons that ignore
+    /// the request. Socket files are removed (daemons remove their own on
+    /// clean exit; this sweeps the rest).
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.heartbeat.take() {
+            let _ = handle.join();
+        }
+        let mut workers = lock_workers(&self.shared);
+        for worker in workers.iter_mut() {
+            let remote = RemoteShard::new(worker.socket.clone(), self.shared.config.rpc_timeout);
+            let _ = remote.send_shutdown();
+            if let Some(child) = &mut worker.child {
+                let deadline = Instant::now() + self.shared.config.connect_timeout;
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() >= deadline => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                        Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        // Sweep every incarnation's socket file — the current ones plus
+        // anything a respawn racing this shutdown may have left.
+        for shard in 0..self.shared.snapshots.len() {
+            for (_, socket) in shard_socket_candidates(&self.shared.dir, shard) {
+                let _ = std::fs::remove_file(&socket);
+            }
+        }
+    }
+}
+
+impl Drop for ShardSupervisor {
+    fn drop(&mut self) {
+        // Last-resort hygiene for a dropped (not shut down) supervisor:
+        // stop the heartbeat and reap hard, so tests never leak zombies.
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.heartbeat.take() {
+            let _ = handle.join();
+        }
+        let mut workers = lock_workers(&self.shared);
+        for worker in workers.iter_mut() {
+            if let Some(child) = &mut worker.child {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+fn lock_workers(shared: &Shared) -> std::sync::MutexGuard<'_, Vec<Worker>> {
+    shared.workers.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The reap-and-ping supervision loop.
+fn heartbeat_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::Acquire) {
+        for shard in 0..shared.snapshots.len() {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let (needs_respawn, socket) = {
+                let mut workers = lock_workers(shared);
+                let Some(worker) = workers.get_mut(shard) else {
+                    continue;
+                };
+                let dead = match &mut worker.child {
+                    // try_wait reaps the zombie a SIGKILL leaves behind.
+                    Some(child) => matches!(child.try_wait(), Ok(Some(_))),
+                    // Adopted daemon: ping-only supervision below.
+                    None => false,
+                };
+                (dead, worker.socket.clone())
+            };
+            if needs_respawn {
+                let _ = respawn(shared, shard);
+                continue;
+            }
+            let remote = RemoteShard::new(socket, shared.config.rpc_timeout);
+            let ping_failed = remote.ping().is_err();
+            let over_limit = {
+                let mut workers = lock_workers(shared);
+                let Some(worker) = workers.get_mut(shard) else {
+                    continue;
+                };
+                if ping_failed {
+                    worker.ping_failures += 1;
+                } else {
+                    worker.ping_failures = 0;
+                }
+                worker.ping_failures >= shared.config.ping_failures_before_respawn
+            };
+            if over_limit {
+                let _ = respawn(shared, shard);
+            }
+        }
+        std::thread::sleep(shared.config.heartbeat_interval);
+    }
+}
+
+/// Kill + reap + spawn + hello + swap-with-bumped-incarnation for one
+/// shard. The worker lock is *not* held across the slow parts (spawn and
+/// replay-bounded hello), so other shards keep being supervised.
+///
+/// The replacement binds a **fresh socket path** ([`incarnation_socket_path`])
+/// and the dead incarnation's path is removed before the spawn. This is a
+/// correctness requirement, not hygiene: coordinator transports connect
+/// by path per RPC, so until [`Cluster::swap_shard_transport`] installs
+/// the new transport the coordinator still scatters through the old one —
+/// whose id map can disagree with the replayed daemon (a retire journaled
+/// but killed before its ack leaves the coordinator mapping a local the
+/// replay zeroed). Reusing the path would let those stale scatters reach
+/// the new incarnation and mis-map its answers into a Complete reply;
+/// with a fresh path they fail to connect and the shard honestly degrades
+/// until the swap lands.
+fn respawn(shared: &Shared, shard: usize) -> Result<(), ClusterError> {
+    let (old_socket, socket) = {
+        let mut workers = lock_workers(shared);
+        let worker = workers
+            .get_mut(shard)
+            .ok_or_else(|| ClusterError::BadOperation(format!("shard {shard} out of range")))?;
+        if let Some(mut child) = worker.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        // Bump before the attempt: even a failed respawn burns its path,
+        // so no two daemon processes can ever have bound the same one.
+        worker.incarnation += 1;
+        let old_socket = std::mem::replace(
+            &mut worker.socket,
+            incarnation_socket_path(&shared.dir, shard, worker.incarnation),
+        );
+        (old_socket, worker.socket.clone())
+    };
+    // The SIGKILLed incarnation's socket file lingers (the kernel removes
+    // the listener, not the path); sweep it now so the only socket files
+    // on disk are live or about-to-be-live incarnations.
+    let _ = std::fs::remove_file(&old_socket);
+    let child = spawn_daemon(
+        &shared.command,
+        &shared.config,
+        shared.hard_deadline,
+        &shared.snapshots[shard],
+        &socket,
+    )?;
+    let transport = RemoteShard::new(socket.clone(), shared.config.rpc_timeout);
+    let (pid, ids) = match hello_with_backoff(&transport, shared.config.connect_timeout) {
+        Ok(hello) => hello,
+        Err(e) => {
+            // The replacement is wedged too: reap it, drop its socket
+            // file, and leave the shard down (slot intact, scatter skips
+            // it) for the next heartbeat to try again on yet another
+            // fresh path.
+            let mut child = child;
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_file(&socket);
+            return Err(e);
+        }
+    };
+    // The journal's truth (hello ids) supersedes the coordinator's map —
+    // see the module docs on lost-ack reconciliation.
+    shared
+        .cluster
+        .swap_shard_transport(shard, Box::new(transport), ids)?;
+    {
+        let mut workers = lock_workers(shared);
+        if let Some(worker) = workers.get_mut(shard) {
+            worker.child = Some(child);
+            worker.pid = pid;
+            worker.ping_failures = 0;
+        }
+    }
+    // Close the breaker: the shard is healthy again.
+    shared.cluster.revive(shard)?;
+    Ok(())
+}

@@ -90,10 +90,12 @@ gate "perf gate: packed GEMM vs committed BENCH_kernels.json"
 # regenerate the baseline: cargo run --release -p lsi-bench --bin bench-json
 cargo run --release -p lsi-bench --bin bench-json -- --gate BENCH_kernels.json
 
-gate "serve-json smoke (sharded serving baseline)"
+gate "serve-json smoke (sharded serving baseline, in-process + cross-process)"
 # The emitter refuses to write a row whose sharded answers are not bitwise
-# the 1-shard answers, so this smoke doubles as a partition-invariance check.
-cargo run --release -p lsi-bench --bin serve-json -- --smoke --out /tmp/lsi_serve_smoke.json
+# the 1-shard answers, so this smoke doubles as a partition-invariance
+# check. --process spawns real shard-serve daemon children behind the
+# Unix-socket RPC transport and holds them to the same bitwise gate.
+cargo run --release -p lsi-bench --bin serve-json -- --smoke --process --out /tmp/lsi_serve_smoke.json
 rm -f /tmp/lsi_serve_smoke.json
 
 gate "open-json smoke (cold-start baseline)"
@@ -115,6 +117,13 @@ gate "cluster chaos: shard storm + rebalance crash matrix (release)"
 # enumerates every crash byte of the two-journal rebalance move.
 SERVE_CHAOS_SEED=20260706 cargo test --release --test cluster_chaos
 SERVE_SOAK=1 cargo test --release --test cluster_chaos cluster_storm
+
+gate "process chaos: kill -9 storm against real shard daemons (release)"
+# Release profile: the storm SIGKILLs live shard-serve child processes
+# mid-query, mid-fold-in, and mid-rebalance; every Complete answer must be
+# bitwise the unsharded reference, the supervisor must respawn from the
+# journal, and no zombies or stale sockets may remain.
+SERVE_CHAOS_SEED=20260706 cargo test --release --test process_chaos
 
 gate "durability: crash matrix, corruption fuzz, recovery consistency"
 # Release profile: the crash matrix enumerates every byte of every durable

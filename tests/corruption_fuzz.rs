@@ -1,4 +1,5 @@
-//! Corruption fuzz sweep over the persistence formats.
+//! Corruption fuzz sweep over the persistence formats and the shard RPC
+//! wire format.
 //!
 //! Every single-byte corruption of an `.lsix` snapshot or a `.lsij`
 //! journal must be *contained*: strict snapshot reads fail with a typed
@@ -6,20 +7,29 @@
 //! index); tolerant opens of the sectioned v3 format either fail typed or
 //! quarantine exactly the degradable section holding the flipped byte;
 //! and journal recovery degrades to a strict prefix of the original
-//! record stream (never an invented or altered record). Two masks per
-//! offset: `0xFF` (whole byte inverted — gross media damage) and `0x01`
-//! (single bit — the classic silent-rot case a checksum must catch).
+//! record stream (never an invented or altered record). The same bar
+//! applies to bytes arriving over a shard socket: every flipped or
+//! truncated RPC frame dies in [`lsi_core::frame::scan_frame`] or the
+//! payload grammar with a typed [`TransportError`] — never a panic, never
+//! an unbounded allocation, never a silently altered message. Two masks
+//! per offset: `0xFF` (whole byte inverted — gross media damage) and
+//! `0x01` (single bit — the classic silent-rot case a checksum must
+//! catch).
 
 use std::path::PathBuf;
 
 use lsi_core::journal::{decode_frames, encode_frame, fresh_journal_bytes};
 use lsi_core::{
-    inspect_snapshot, open_index_tolerant, read_index, write_index, DurableIndex, Journal,
-    LsiConfig, LsiIndex, MutationRecord, SectionId, SnapshotReport,
+    inspect_snapshot, open_index_tolerant, read_index, write_index, DurableIndex, FrameScan,
+    Journal, LsiConfig, LsiIndex, MutationRecord, SectionId, SnapshotReport,
 };
-use lsi_ir::retrieval::VectorSpaceIndex;
+use lsi_ir::retrieval::{RankedList, SearchHit, VectorSpaceIndex};
 use lsi_ir::TermDocumentMatrix;
-use lsi_serve::{DegradeReason, EngineConfig, Query, QueryEngine, QueryResponse};
+use lsi_serve::transport::{
+    decode_reply, decode_request, encode_reply, encode_request, RpcReply, RpcRequest,
+    TransportError,
+};
+use lsi_serve::{DegradeReason, EngineConfig, Query, QueryEngine, QueryError, QueryResponse};
 
 const MASKS: [u8; 2] = [0xFF, 0x01];
 
@@ -354,4 +364,222 @@ fn journal_header_flips_are_typed_errors() {
         clean[..clean.len() - recovery.truncated_bytes as usize]
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --------------------------------------------------------------------------
+// RPC frame decoder: the bytes a coordinator reads off a shard socket.
+// --------------------------------------------------------------------------
+
+/// One wire message with the grammar (request or reply) that produced it,
+/// so a sweep can re-run the matching decoder over damaged bytes.
+enum RpcMsg {
+    Req(RpcRequest),
+    Reply(RpcReply),
+}
+
+impl RpcMsg {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            RpcMsg::Req(r) => encode_request(r),
+            RpcMsg::Reply(r) => encode_reply(r),
+        }
+    }
+
+    /// Decodes `payload` with this message's grammar; `Ok(true)` means the
+    /// bytes decoded *and* reproduced the original message bit-exactly.
+    fn decode_matches(&self, payload: &[u8]) -> Result<bool, TransportError> {
+        match self {
+            RpcMsg::Req(r) => decode_request(payload).map(|d| d == *r),
+            RpcMsg::Reply(r) => decode_reply(payload).map(|d| d == *r),
+        }
+    }
+}
+
+/// Every wire tag on both sides of the protocol, with payloads that
+/// exercise strings, f64 bit patterns, optional ids, and hit lists.
+/// (`Fail(BadQuery)` is excluded: it intentionally decodes to `Internal`
+/// — the reason is rendered at the encoding boundary — so it is the one
+/// message whose round trip is not the identity.) No `0.0` floats: the
+/// sweep asserts a flip never decodes back to the original message, and
+/// `-0.0 == 0.0` under `f64` equality would mask a sign-bit flip.
+fn rpc_messages() -> Vec<RpcMsg> {
+    let hits = RankedList::from_hits(vec![
+        SearchHit {
+            doc: 2,
+            score: 0.75,
+        },
+        SearchHit { doc: 0, score: 0.5 },
+    ]);
+    vec![
+        RpcMsg::Req(RpcRequest::Hello),
+        RpcMsg::Req(RpcRequest::Query {
+            terms: vec![(0, 1.5), (7, -0.25), (usize::MAX >> 1, 1e-300)],
+            top_k: u64::MAX,
+            tag: 42,
+        }),
+        RpcMsg::Req(RpcRequest::AddVector {
+            doc_id: "1729".to_string(),
+            coords: vec![0.1, -2.5, 3.25],
+        }),
+        RpcMsg::Req(RpcRequest::LogRetire { doc: 3 }),
+        RpcMsg::Req(RpcRequest::DocVector { doc: 0 }),
+        RpcMsg::Req(RpcRequest::Compact {
+            ids: vec![Some(5), None, Some(u64::MAX)],
+        }),
+        RpcMsg::Req(RpcRequest::Ping),
+        RpcMsg::Req(RpcRequest::Shutdown),
+        RpcMsg::Reply(RpcReply::Hello {
+            pid: 4321,
+            ids: vec![Some(0), None, Some(17)],
+        }),
+        RpcMsg::Reply(RpcReply::Answer(QueryResponse::Ranked(hits.clone()))),
+        RpcMsg::Reply(RpcReply::Answer(QueryResponse::Degraded {
+            hits,
+            reason: DegradeReason::SoftDeadline,
+        })),
+        RpcMsg::Reply(RpcReply::Answer(QueryResponse::Degraded {
+            hits: RankedList::default(),
+            reason: DegradeReason::DamagedSection(SectionId::DocVectors),
+        })),
+        RpcMsg::Reply(RpcReply::Local { local: 9 }),
+        RpcMsg::Reply(RpcReply::Flag { value: true }),
+        RpcMsg::Reply(RpcReply::Coords {
+            coords: vec![1.0, -1.0],
+        }),
+        RpcMsg::Reply(RpcReply::Ok),
+        RpcMsg::Reply(RpcReply::Fail(QueryError::Overloaded { capacity: 64 })),
+        RpcMsg::Reply(RpcReply::Fail(QueryError::DeadlineExceeded)),
+        RpcMsg::Reply(RpcReply::Fail(QueryError::Internal {
+            detail: "worker panicked".to_string(),
+        })),
+        RpcMsg::Reply(RpcReply::Fail(QueryError::ShuttingDown)),
+    ]
+}
+
+/// Flip every byte of every framed RPC message (length prefix, payload,
+/// and CRC trailer) under both masks. Each flip must be contained: the
+/// frame scanner rejects it with a typed [`lsi_core::FrameError`], or
+/// reports `Incomplete` (a grown length prefix — the reader keeps
+/// waiting and the per-RPC deadline fires), or — should a damaged frame
+/// ever clear the checksum — the payload grammar must refuse it. A
+/// corrupted frame never becomes a different valid message.
+#[test]
+fn every_rpc_frame_flip_is_contained() {
+    for msg in rpc_messages() {
+        let payload = msg.encode();
+        let frame = lsi_core::frame::encode_frame(&payload);
+
+        // Sanity: the pristine frame scans whole and round-trips.
+        match lsi_core::frame::scan_frame(&frame).expect("pristine frame scans") {
+            FrameScan::Complete {
+                payload: p,
+                consumed,
+            } => {
+                assert_eq!(consumed, frame.len(), "frame byte count");
+                assert_eq!(p, payload, "scan returns the payload verbatim");
+                assert!(
+                    msg.decode_matches(&p).expect("pristine payload decodes"),
+                    "pristine round trip is the identity"
+                );
+            }
+            FrameScan::Incomplete => panic!("pristine frame scanned incomplete"),
+        }
+
+        for offset in 0..frame.len() {
+            for mask in MASKS {
+                let mut dirty = frame.clone();
+                dirty[offset] ^= mask;
+                match lsi_core::frame::scan_frame(&dirty) {
+                    // Typed rejection: checksum mismatch or over-cap length.
+                    Err(_) => {}
+                    // The length prefix grew past the received bytes: the
+                    // reader waits for more and the deadline bounds it.
+                    Ok(FrameScan::Incomplete) => {}
+                    Ok(FrameScan::Complete { payload: p, .. }) => {
+                        assert!(
+                            msg.decode_matches(&p).is_err(),
+                            "flip {mask:#04x} at frame offset {offset} survived \
+                             the checksum and decoded"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every strict prefix of a framed RPC message must scan as `Incomplete`
+/// — the mid-stream state a reader sits in while bytes are still
+/// arriving. A truncation must never error (the frame may yet complete)
+/// and never yield a frame.
+#[test]
+fn every_rpc_frame_truncation_scans_incomplete() {
+    for msg in rpc_messages() {
+        let frame = lsi_core::frame::encode_frame(&msg.encode());
+        for cut in 0..frame.len() {
+            match lsi_core::frame::scan_frame(&frame[..cut]) {
+                Ok(FrameScan::Incomplete) => {}
+                Ok(FrameScan::Complete { .. }) => {
+                    panic!(
+                        "prefix of {cut}/{} bytes scanned as a whole frame",
+                        frame.len()
+                    )
+                }
+                Err(e) => panic!(
+                    "prefix of {cut}/{} bytes errored ({e}) — truncation must stay retriable",
+                    frame.len()
+                ),
+            }
+        }
+    }
+}
+
+/// Byte-flip the bare payload (as if a damaged frame cleared the CRC):
+/// the grammar must return a typed [`TransportError::Malformed`] or
+/// decode to a *different* valid message — never panic, never allocate
+/// beyond the wire caps, and never reproduce the original message from
+/// altered bytes (every payload byte is semantically live).
+#[test]
+fn every_rpc_payload_flip_is_typed_or_differs() {
+    for msg in rpc_messages() {
+        let payload = msg.encode();
+        for offset in 0..payload.len() {
+            for mask in MASKS {
+                let mut dirty = payload.clone();
+                dirty[offset] ^= mask;
+                match msg.decode_matches(&dirty) {
+                    Err(TransportError::Malformed(_)) => {}
+                    Err(e) => panic!(
+                        "payload flip {mask:#04x} at {offset} raised a non-grammar \
+                         error: {e}"
+                    ),
+                    Ok(matches) => assert!(
+                        !matches,
+                        "payload flip {mask:#04x} at {offset} decoded back to the \
+                         original message — a dead wire byte"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Truncate the bare payload at every offset: the grammar hits the end of
+/// input (or the trailing-bytes check) and returns a typed
+/// [`TransportError::Malformed`] — a strict prefix never decodes.
+#[test]
+fn every_rpc_payload_truncation_is_a_typed_error() {
+    for msg in rpc_messages() {
+        let payload = msg.encode();
+        for cut in 0..payload.len() {
+            match msg.decode_matches(&payload[..cut]) {
+                Err(TransportError::Malformed(_)) => {}
+                Err(e) => panic!("payload prefix of {cut} bytes raised a non-grammar error: {e}"),
+                Ok(_) => panic!(
+                    "payload prefix of {cut}/{} bytes decoded as a whole message",
+                    payload.len()
+                ),
+            }
+        }
+    }
 }
